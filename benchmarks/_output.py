@@ -1,0 +1,40 @@
+"""Output plumbing for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures.  pytest's
+fd-level capture swallows ordinary prints from passing tests, so
+:func:`emit`
+
+* archives the rendered rows under ``benchmarks/results/<name>.txt``, and
+* queues the banner in :data:`EMITTED`, which the harness's ``conftest.py``
+  flushes through the terminal reporter after the run — so a
+  ``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` transcript
+  contains every regenerated table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Banners queued for the end-of-run terminal summary.
+EMITTED: list[str] = []
+
+
+def emit(name: str, text: str) -> None:
+    """Queue a regenerated table/figure and archive it under results/."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}"
+    EMITTED.append(banner)
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    head = name.split("(")[0].strip()
+    if head.startswith(("Figure", "Table", "Section")):
+        head = head.split(":")[0]
+    slug = (
+        head.lower()
+        .replace(":", "")
+        .replace("—", "-")
+        .replace(" ", "_")
+        .replace("/", "-")[:60]
+    )
+    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")

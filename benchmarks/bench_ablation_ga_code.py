@@ -1,0 +1,86 @@
+"""Ablation — does the genetic search matter?
+
+The paper's SEC-2bEC matrix was tuned by a GA to minimize how many
+non-aligned double-bit errors alias an aligned-pair syndrome (each alias is
+a potential miscorrection, hence SDC).  This benchmark compares, on the
+same interleaved+CSC TrioECC organization:
+
+* the paper's published Equation-3 matrix,
+* a code from our (briefly run) genetic search, and
+* an intentionally unoptimized valid SEC-2bEC code (first generation,
+  no selection pressure),
+
+reporting the structural alias count and the measured double-bit SDC.
+"""
+
+import numpy as np
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.codes.genetic import miscorrection_count, search_sec2bec
+from repro.codes.sec2bec import (
+    SEC_2BEC_72_64,
+    interleave_column_permutation,
+    stride4_pairs,
+)
+from repro.core.binary import BinaryEntryScheme
+from repro.errormodel.montecarlo import evaluate_pattern
+from repro.errormodel.patterns import ErrorPattern
+from repro.gf.gf2 import pack_bits
+
+
+def _trio_like(code, name):
+    """Build the TrioECC organization on an arbitrary SEC-2bEC matrix."""
+    swizzled = code.column_permuted(interleave_column_permutation(), name=name)
+    pair_table = swizzled.build_pair_table(stride4_pairs())
+    return BinaryEntryScheme(
+        swizzled, interleaved=True, pair_table=pair_table, csc=True,
+        name=name, label=name,
+    )
+
+
+def _candidates():
+    tuned = search_sec2bec(population=20, generations=12, seed=4)
+    untuned = search_sec2bec(population=6, generations=0, seed=9)
+    return [
+        ("paper Eq. 3", SEC_2BEC_72_64),
+        (f"GA ({tuned.generations_run} gens)", tuned.code),
+        ("unoptimized", untuned.code),
+    ]
+
+
+def test_ablation_ga_code_quality(benchmark):
+    candidates = benchmark.pedantic(_candidates, rounds=1, iterations=1)
+
+    rows = []
+    measured = {}
+    for label, code in candidates:
+        aliases = miscorrection_count(pack_bits(code.h.T))
+        scheme = _trio_like(code, label)
+        outcome = evaluate_pattern(scheme, ErrorPattern.DOUBLE_BIT)
+        measured[label] = (aliases, outcome.sdc)
+        rows.append([label, aliases, f"{outcome.sdc:.3%}", f"{outcome.dce:.2%}"])
+    emit(
+        "Ablation: SEC-2bEC code quality (paper: GA cuts non-aligned 2b "
+        "miscorrection risk ~20% vs prior DAEC constructions)",
+        format_table(
+            ["H matrix", "2b alias count", "2-bit SDC (exhaustive)",
+             "2-bit corrected"],
+            rows,
+        ),
+    )
+
+    paper_aliases, paper_sdc = measured["paper Eq. 3"]
+    untuned_aliases, untuned_sdc = measured["unoptimized"]
+    # Fixed regression value for the published matrix.
+    assert paper_aliases == 553
+    # Selection pressure matters: the paper's matrix beats a random valid
+    # code on the structural metric, and SDC tracks the alias count.
+    assert paper_aliases < untuned_aliases
+    assert paper_sdc <= untuned_sdc
+    # Every candidate still corrects all byte errors (the guarantee is
+    # structural, independent of GA quality).
+    for label, code in candidates:
+        scheme = _trio_like(code, label)
+        byte_outcome = evaluate_pattern(scheme, ErrorPattern.BYTE)
+        assert byte_outcome.dce == 1.0, label

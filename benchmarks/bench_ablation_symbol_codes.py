@@ -1,0 +1,70 @@
+"""Ablation — the full (36, 32) symbol-code design space of Section 6.2.
+
+The paper considers three ways to spend four check symbols on one codeword:
+DSC (double-symbol correct), SSC-TSD (single correct / triple detect) and
+its own one-shot SSC-DSD+.  It keeps only the last, arguing the other two
+need an iterative >= 8-cycle decoder.  This benchmark quantifies what that
+latency argument leaves on the table.
+"""
+
+from benchmarks._output import emit
+from benchmarks._shared import MC_SEED
+from repro.analysis.tables import format_percent, format_table
+from repro.core import get_scheme
+from repro.errormodel.montecarlo import evaluate_scheme, weighted_outcomes
+from repro.errormodel.patterns import ErrorPattern
+
+SAMPLES = 30_000
+SCHEMES = ("ssc-dsd+", "ssc-tsd", "dsc")
+
+
+def _evaluate_all():
+    results = {}
+    for name in SCHEMES:
+        scheme = get_scheme(name)
+        per_pattern = evaluate_scheme(scheme, samples=SAMPLES, seed=MC_SEED)
+        results[name] = weighted_outcomes(scheme, per_pattern=per_pattern)
+    return results
+
+
+def test_ablation_symbol_code_design_space(benchmark):
+    outcomes = benchmark.pedantic(_evaluate_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in SCHEMES:
+        scheme = get_scheme(name)
+        outcome = outcomes[name]
+        cycles = getattr(scheme, "decoder_cycles", 1)
+        rows.append([
+            scheme.label,
+            f"{outcome.correct:.2%}",
+            f"{outcome.detect:.2%}",
+            format_percent(outcome.sdc),
+            f"{cycles}",
+        ])
+    emit(
+        "Ablation: (36,32) symbol-code organizations "
+        "(paper keeps SSC-DSD+ for its 1-cycle decoder)",
+        format_table(
+            ["organization", "corrected", "DUE", "SDC", "decoder cycles"],
+            rows,
+        ),
+    )
+
+    dsd = outcomes["ssc-dsd+"]
+    tsd = outcomes["ssc-tsd"]
+    dsc = outcomes["dsc"]
+
+    # SSC-TSD buys nothing over the one-shot DSD+ (they are equivalent)...
+    assert abs(tsd.correct - dsd.correct) < 1e-9
+    assert abs(tsd.sdc - dsd.sdc) < 1e-9
+    # ...while DSC buys extra correction (double-symbol events) at the cost
+    # of both the 8-cycle decoder and a higher severe-error SDC risk.
+    assert dsc.correct >= dsd.correct
+    assert dsc.sdc >= dsd.sdc
+    assert dsc.detect < dsd.detect
+
+    # Per-pattern view: DSC corrects the 2-bit pattern outright (two bits in
+    # two different bytes = two correctable symbols).
+    assert dsc.per_pattern[ErrorPattern.DOUBLE_BIT].dce == 1.0
+    assert dsd.per_pattern[ErrorPattern.DOUBLE_BIT].due == 1.0

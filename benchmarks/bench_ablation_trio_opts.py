@@ -1,0 +1,62 @@
+"""Ablation — the three complementary TrioECC optimizations (Section 6.1).
+
+TrioECC = interleaving + correction sanity check + SEC-2bEC.  The paper
+presents them as complementary: interleaving restructures byte errors,
+the CSC restores detection that aggressive correction would spend, and the
+2b-symbol code converts Duet's detections into corrections.  This benchmark
+isolates each increment along both build-up paths.
+"""
+
+from benchmarks._output import emit
+from benchmarks._shared import scheme_outcomes
+from repro.analysis.tables import format_percent, format_table
+
+STEPS = (
+    ("ni-secded", "baseline"),
+    ("i-secded", "+ interleave"),
+    ("duet", "+ CSC  (= DuetECC)"),
+    ("ni-sec2bec", "baseline + 2bEC only"),
+    ("i-sec2bec", "+ interleave"),
+    ("trio", "+ CSC  (= TrioECC)"),
+)
+
+
+def test_ablation_trio_optimizations(benchmark):
+    outcomes = benchmark.pedantic(scheme_outcomes, rounds=1, iterations=1)
+
+    rows = []
+    for name, label in STEPS:
+        outcome = outcomes[name]
+        rows.append([
+            label,
+            f"{outcome.correct:.2%}",
+            f"{outcome.detect:.2%}",
+            format_percent(outcome.sdc),
+        ])
+    emit(
+        "Ablation: incremental contribution of the three TrioECC "
+        "optimizations",
+        format_table(["configuration", "corrected", "DUE", "SDC"], rows),
+    )
+
+    secded = outcomes["ni-secded"]
+    interleaved = outcomes["i-secded"]
+    duet = outcomes["duet"]
+    sec2bec = outcomes["ni-sec2bec"]
+    i_sec2bec = outcomes["i-sec2bec"]
+    trio = outcomes["trio"]
+
+    # Interleaving: the big SDC lever on the SEC-DED path (paper: 247x).
+    assert secded.sdc / interleaved.sdc > 100
+    # CSC: another order of magnitude, at a sub-1% correction cost.
+    assert interleaved.sdc / duet.sdc > 5
+    assert interleaved.correct - duet.correct < 0.01
+    # 2bEC alone is a regression; interleaving rescues it (paper's point
+    # that the optimizations are complementary, not independent).
+    assert sec2bec.sdc > secded.sdc
+    assert i_sec2bec.correct - sec2bec.correct > 0.15
+    assert i_sec2bec.sdc < sec2bec.sdc / 10
+    # CSC again buys an order of magnitude on the 2bEC path.
+    assert i_sec2bec.sdc / trio.sdc > 5
+    # End to end: Trio corrects ~16% more events than Duet.
+    assert trio.correct - duet.correct > 0.12

@@ -1,0 +1,38 @@
+"""Software decoder throughput (library performance, not a paper figure).
+
+The Monte Carlo evaluation of Table 2 / Figure 8 rests on the vectorized
+batch decoders; this benchmark measures their entry-decode throughput so
+regressions in the hot path are caught.  pytest-benchmark runs each decoder
+repeatedly over a fixed random error batch.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks._output import emit
+from repro.core import get_scheme
+from repro.core.layout import ENTRY_BITS
+
+BATCH = 20_000
+SCHEMES = ("ni-secded", "duet", "trio", "i-ssc-csc", "ssc-dsd+", "dsc")
+
+
+@pytest.fixture(scope="module")
+def error_batch():
+    rng = np.random.default_rng(99)
+    return (rng.random((BATCH, ENTRY_BITS)) < 0.01).astype(np.uint8)
+
+
+@pytest.mark.parametrize("name", SCHEMES)
+def test_batch_decoder_throughput(benchmark, name, error_batch):
+    scheme = get_scheme(name)
+    result = benchmark(scheme.decode_batch_errors, error_batch)
+    entries_per_second = BATCH / benchmark.stats["mean"]
+    emit(
+        f"Throughput — {name} batch decoder",
+        f"{entries_per_second:,.0f} entries/s "
+        f"({BATCH} entries/call, mean {benchmark.stats['mean'] * 1e3:.1f} ms)",
+    )
+    assert result.size == BATCH
+    # Sanity floor: the Monte Carlo harness needs ~1e5 entries/s to finish.
+    assert entries_per_second > 20_000

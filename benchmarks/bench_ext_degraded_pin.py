@@ -1,0 +1,66 @@
+"""Extension — quantifying Section 2.5's graceful-degradation argument.
+
+The paper preserves single-pin correction in every organization except
+SSC-DSD+ so that a GPU with a cracked microbump can keep running until its
+replacement is scheduled, but it never puts numbers on degraded operation.
+This benchmark does: it superimposes a permanent stuck pin on the Table-1
+soft-error stream and reports (a) the DUE rate of ordinary, soft-error-free
+accesses — the availability cost — and (b) the outcome mix when a soft
+error lands on the already-degraded device.
+"""
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_percent, format_table
+from repro.core import get_scheme
+from repro.errormodel.permanent import evaluate_with_stuck_pin
+
+SCHEMES = ("ni-secded", "duet", "trio", "i-ssc-csc", "ssc-dsd+")
+SAMPLES = 30_000
+
+
+def _evaluate_all():
+    return {
+        name: evaluate_with_stuck_pin(get_scheme(name), samples=SAMPLES,
+                                      seed=20211018)
+        for name in SCHEMES
+    }
+
+
+def test_ext_degraded_pin_operation(benchmark):
+    outcomes = benchmark.pedantic(_evaluate_all, rounds=1, iterations=1)
+
+    rows = []
+    for name in SCHEMES:
+        outcome = outcomes[name]
+        rows.append([
+            get_scheme(name).label,
+            format_percent(outcome.due_without_soft_error),
+            "yes" if outcome.survives_degraded else "NO",
+            f"{outcome.correct_with_soft_error:.2%}",
+            f"{outcome.due_with_soft_error:.2%}",
+            format_percent(outcome.sdc_with_soft_error),
+        ])
+    emit(
+        "Extension: operating with a permanent pin fault "
+        "(clean-access DUE = availability cost of degradation; "
+        "right columns = a soft error hitting the degraded device)",
+        format_table(
+            ["scheme", "clean-access DUE", "usable degraded",
+             "soft: corrected", "soft: DUE", "soft: SDC"],
+            rows,
+        ),
+    )
+
+    # The §2.5 argument, quantified: pin-correcting schemes run degraded
+    # with zero clean-access interrupts; SSC-DSD+ becomes unusable.
+    for name in ("ni-secded", "duet", "trio", "i-ssc-csc"):
+        assert outcomes[name].due_without_soft_error == 0.0, name
+    assert outcomes["ssc-dsd+"].due_without_soft_error > 0.5
+
+    # Under degradation the CSC turns most concurrent soft errors into
+    # DUEs rather than risk misaligned corrections — Duet stays safest.
+    assert outcomes["duet"].sdc_with_soft_error < 1e-3
+    assert outcomes["duet"].due_with_soft_error > 0.5
+    # Aggressive correction pays an SDC price once a pin is already dead.
+    assert (outcomes["trio"].sdc_with_soft_error
+            > outcomes["duet"].sdc_with_soft_error)

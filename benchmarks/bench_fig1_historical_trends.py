@@ -1,0 +1,48 @@
+"""Figure 1 — historical DRAM soft-error trends vs. capacity, with the
+measured HBM2 overlay and the non-bitcell band."""
+
+from benchmarks._output import emit
+from repro.analysis.historical import historical_trends
+from repro.analysis.tables import format_table
+
+
+def _rows(trends):
+    rows = []
+    for (year, rate), (_, capacity) in zip(
+        trends.error_rate_points, trends.capacity_points
+    ):
+        rows.append([
+            year,
+            f"{rate:.1f}",
+            f"{trends.error_rate_fit.predict(year):.1f}",
+            f"{capacity:.0f}",
+            f"{trends.capacity_fit.predict(year):.0f}",
+        ])
+    return rows
+
+
+def test_fig1_historical_trends(benchmark):
+    trends = benchmark(historical_trends)
+
+    table = format_table(
+        ["year", "per-chip SER", "SER fit", "capacity (Mbit)", "capacity fit"],
+        _rows(trends),
+    )
+    year, total, multibit = trends.hbm2_point
+    summary = (
+        f"{table}\n\n"
+        f"SER regression: halves every {trends.rate_halving_years:.2f} years"
+        f" (R^2={trends.error_rate_fit.r_squared:.3f})\n"
+        f"Capacity regression: doubles every "
+        f"{trends.capacity_doubling_years:.2f} years"
+        f" (R^2={trends.capacity_fit.r_squared:.3f})\n"
+        f"SER decrease outpaces capacity increase: "
+        f"{trends.rate_outpaces_capacity()}\n"
+        f"HBM2 overlay ({year}): total={total}, multi-bit={multibit} "
+        f"(non-bitcell band {trends.non_bitcell_band})\n"
+        f"HBM2 within expectations: {trends.hbm2_within_expectations()}"
+    )
+    emit("Figure 1: historical neutron beam trends and HBM2 overlay", summary)
+
+    assert trends.rate_outpaces_capacity()
+    assert trends.hbm2_within_expectations()

@@ -1,0 +1,95 @@
+"""Figure 3 — intermittent (displacement-damage) error experiments.
+
+(a) observable weak cells vs. DRAM refresh period, with the model overlay;
+(b) the normal retention-time fit recovered from the sweep;
+(c) weak-cell accumulation vs. cumulative fluence with a linear fit.
+"""
+
+import numpy as np
+
+from benchmarks._output import emit
+from repro.analysis.fitting import fit_linear, fit_retention_normal
+from repro.analysis.tables import format_table
+from repro.beam.campaign import refresh_sweep
+from repro.beam.displacement import DisplacementDamageModel
+from repro.dram.refresh import RefreshConfig
+
+SWEEP_PERIODS = [4e-3, 8e-3, 12e-3, 16e-3, 24e-3, 32e-3, 48e-3]
+
+
+def _saturated_model(seed=20211018):
+    model = DisplacementDamageModel(seed=seed)
+    model.accumulate(1e11)  # a long campaign's worth of fluence
+    return model
+
+
+def test_fig3a_weak_cells_vs_refresh(benchmark):
+    model = _saturated_model()
+    sweep = benchmark(refresh_sweep, model, SWEEP_PERIODS)
+
+    fit = fit_retention_normal(SWEEP_PERIODS, [sweep[p] for p in SWEEP_PERIODS])
+    rows = [
+        [f"{period * 1e3:.0f} ms", sweep[period],
+         f"{fit.predict(period):.0f}",
+         f"{model.predicted_observable(RefreshConfig(period)):.0f}"]
+        for period in SWEEP_PERIODS
+    ]
+    emit(
+        "Figure 3a: weak cell counts vs refresh period "
+        "(paper: ~294 @ 8ms, ~1000 @ 16ms, ~2589 @ 48ms)",
+        format_table(["refresh", "measured", "CDF fit", "model"], rows),
+    )
+
+    counts = [sweep[p] for p in SWEEP_PERIODS]
+    assert counts == sorted(counts)
+    assert 150 < sweep[8e-3] < 500
+    assert 600 < sweep[16e-3] < 1400
+    assert 2100 < sweep[48e-3] < 2700
+
+
+def test_fig3b_retention_normal_fit(benchmark):
+    model = _saturated_model()
+    sweep = refresh_sweep(model, SWEEP_PERIODS)
+
+    fit = benchmark(
+        fit_retention_normal, SWEEP_PERIODS, [sweep[p] for p in SWEEP_PERIODS]
+    )
+    emit(
+        "Figure 3b: normally-distributed weak cell retention times",
+        f"mean    = {fit.mean_s * 1e3:.2f} ms  (model truth 20.0 ms)\n"
+        f"sigma   = {fit.sigma_s * 1e3:.2f} ms  (model truth 10.0 ms)\n"
+        f"cells   = {fit.population:.0f}      (model truth ~2700)\n"
+        f"R^2     = {fit.r_squared:.4f}",
+    )
+    assert fit.r_squared > 0.98
+    assert abs(fit.mean_s - 20e-3) < 5e-3
+    assert abs(fit.sigma_s - 10e-3) < 4e-3
+
+
+def test_fig3c_accumulation_with_fluence(benchmark):
+    def accumulate_curve():
+        model = DisplacementDamageModel(seed=7)
+        fluences, counts = [], []
+        # The beginning of the campaign: well under saturation fluence.
+        step = model.parameters.saturation_fluence / 50
+        for index in range(15):
+            model.accumulate(step)
+            fluences.append((index + 1) * step)
+            counts.append(len(model.damaged_cells))
+        return np.array(fluences), np.array(counts, dtype=float)
+
+    fluences, counts = benchmark(accumulate_curve)
+    fit = fit_linear(fluences, counts)
+
+    rows = [
+        [f"{fluence:.2e}", int(count), f"{fit.predict(fluence):.0f}"]
+        for fluence, count in zip(fluences, counts)
+    ]
+    emit(
+        "Figure 3c: weak cell accumulation vs cumulative fluence "
+        "(paper: linear, R^2 = 0.97)",
+        format_table(["fluence (n/cm^2)", "weak cells", "linear fit"], rows)
+        + f"\n\nR^2 = {fit.r_squared:.4f}",
+    )
+    assert fit.r_squared > 0.9
+    assert fit.slope > 0

@@ -1,0 +1,59 @@
+"""Figure 8 — correction/detection/SDC probabilities per scheme, weighted
+by the Table-1 pattern probabilities."""
+
+from benchmarks._output import emit
+from benchmarks._shared import scheme_outcomes
+from repro.analysis.tables import format_percent, format_table
+from repro.core import SCHEME_NAMES
+
+
+def test_fig8_weighted_outcomes(benchmark):
+    outcomes = benchmark.pedantic(scheme_outcomes, rounds=1, iterations=1)
+
+    baseline = outcomes["ni-secded"]
+    rows = []
+    for name in SCHEME_NAMES:
+        outcome = outcomes[name]
+        sdc_ratio = (baseline.sdc / outcome.sdc) if outcome.sdc else float("inf")
+        rows.append([
+            outcome.label,
+            f"{outcome.correct:.2%}",
+            f"{outcome.detect:.2%}",
+            format_percent(outcome.sdc),
+            f"{sdc_ratio:,.0f}x",
+        ])
+    emit(
+        "Figure 8: Table-1-weighted outcome probabilities "
+        "(paper: SEC-DED 74%/20%/5.4%; Duet SDC ~0.0013%; "
+        "Trio 97% correct / ~0.0085% SDC)",
+        format_table(
+            ["scheme", "corrected", "detected (DUE)", "SDC",
+             "SDC reduction vs SEC-DED"],
+            rows,
+        ),
+    )
+
+    secded = outcomes["ni-secded"]
+    interleaved = outcomes["i-secded"]
+    duet = outcomes["duet"]
+    trio = outcomes["trio"]
+
+    # Paper's headline comparisons.
+    assert 0.70 < secded.correct < 0.78  # ~74%
+    assert 0.03 < secded.sdc < 0.11  # ~5.4%
+    # Interleaving: ~6.6% more correction, two-orders SDC reduction.
+    assert 0.05 < interleaved.correct - secded.correct < 0.09
+    assert secded.sdc / interleaved.sdc > 100
+    # DuetECC: further order-of-magnitude SDC reduction over interleaving.
+    assert interleaved.sdc / duet.sdc > 5
+    assert duet.sdc < 5e-5
+    # TrioECC: ~97% correction, far fewer uncorrectable errors (paper 7.87x).
+    assert trio.correct > 0.95
+    assert 3 < secded.detect / trio.detect < 12
+    assert trio.sdc < 2e-4
+    # NI:SEC-2bEC alone is worse than the baseline (paper: 9.3% SDC).
+    assert outcomes["ni-sec2bec"].sdc > secded.sdc
+    # Symbol codes: SSC-DSD+ has the lowest SDC of all.
+    assert outcomes["ssc-dsd+"].sdc <= min(
+        outcome.sdc for outcome in outcomes.values()
+    )

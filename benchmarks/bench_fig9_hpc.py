@@ -1,0 +1,59 @@
+"""Figure 9 — exascale system MTTI (DUE rate) and MTTF (SDC rate) for
+DuetECC and TrioECC, 0.5-2 exaflops."""
+
+from benchmarks._output import emit
+from benchmarks._shared import scheme_outcomes
+from repro.analysis.tables import format_table
+from repro.system.hpc import figure9_series
+
+EXAFLOPS = (0.5, 0.75, 1.0, 1.5, 2.0)
+
+
+def test_fig9_system_failure_rates(benchmark):
+    outcomes = scheme_outcomes()
+    series = benchmark(
+        figure9_series,
+        {name: outcomes[name] for name in ("ni-secded", "duet", "trio")},
+        exaflops=EXAFLOPS,
+    )
+
+    rows = []
+    for name, points in series.items():
+        for point in points:
+            rows.append([
+                name,
+                f"{point.exaflops:.2f}",
+                f"{point.gpus:,}",
+                f"{point.mtti_hours:.1f}",
+                f"{point.mttf_hours:,.0f}",
+                f"{point.mttf_months:,.1f}",
+            ])
+    emit(
+        "Figure 9: exascale MTTI/MTTF "
+        "(paper: Duet MTTI 1.6-6.3h, MTTF years; "
+        "Trio MTTI 9.4-37.6h, MTTF 5.7-22.6 months; "
+        "SEC-DED SDC every ~22.5h at 0.5 EF)",
+        format_table(
+            ["scheme", "exaflops", "GPUs", "MTTI (h)", "MTTF (h)", "MTTF (months)"],
+            rows,
+        ),
+    )
+
+    duet = {p.exaflops: p for p in series["duet"]}
+    trio = {p.exaflops: p for p in series["trio"]}
+    secded = {p.exaflops: p for p in series["ni-secded"]}
+
+    # Duet: DUEs every 1.6-6.3 hours across the scale range.
+    assert 4.5 < duet[0.5].mtti_hours < 8.5
+    assert 1.1 < duet[2.0].mtti_hours < 2.2
+    # Trio: 9.4-37.6 hours.
+    assert 28 < trio[0.5].mtti_hours < 50
+    assert 7 < trio[2.0].mtti_hours < 13
+    # The correction/SDC trade-off: Trio wins MTTI, Duet wins MTTF.
+    for exaflops in EXAFLOPS:
+        assert trio[exaflops].mtti_hours > duet[exaflops].mtti_hours
+        assert duet[exaflops].mttf_hours > trio[exaflops].mttf_hours
+    # Trio MTTF lands in months; Duet in years; SEC-DED in hours/days.
+    assert 3 < trio[0.5].mttf_months < 40
+    assert duet[0.5].mttf_hours > 3 * 8766
+    assert secded[0.5].mttf_hours < 100

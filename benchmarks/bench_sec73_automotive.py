@@ -1,0 +1,56 @@
+"""Section 7.3 — autonomous-vehicle safety: ISO 26262 FIT rates and the
+national-fleet exposure model."""
+
+from benchmarks._output import emit
+from benchmarks._shared import scheme_outcomes
+from repro.analysis.tables import format_table
+from repro.core import SCHEME_NAMES, get_scheme
+from repro.system.automotive import ISO26262_SDC_FIT_LIMIT, assess_scheme
+
+
+def test_sec73_automotive_safety(benchmark):
+    outcomes = scheme_outcomes()
+
+    def assess_all():
+        return {name: assess_scheme(outcomes[name]) for name in SCHEME_NAMES}
+
+    assessments = benchmark(assess_all)
+
+    rows = []
+    for name in SCHEME_NAMES:
+        assessment = assessments[name]
+        rows.append([
+            get_scheme(name).label,
+            f"{assessment.sdc_fit:.4g}",
+            "PASS" if assessment.meets_iso26262 else "FAIL",
+            f"{assessment.fleet_sdc_per_day:.3g}",
+            f"{assessment.days_between_fleet_sdc:,.0f}",
+            f"{assessment.fleet_due_cars_per_day:,.0f}",
+        ])
+    emit(
+        f"Section 7.3: automotive safety (ISO 26262 limit "
+        f"{ISO26262_SDC_FIT_LIMIT} FIT; paper: SEC-DED 216 FIT FAIL, "
+        f"Trio 0.29 FIT, Duet 0.045 FIT; fleet: ~41 SDC/day SEC-DED, "
+        f"DUE recoveries 148 cars/day Duet vs 25 Trio)",
+        format_table(
+            ["scheme", "SDC FIT/GPU", "ISO 26262", "fleet SDC/day",
+             "days between fleet SDC", "DUE cars/day"],
+            rows,
+        ),
+    )
+
+    secded = assessments["ni-secded"]
+    duet = assessments["duet"]
+    trio = assessments["trio"]
+
+    assert not secded.meets_iso26262  # ~216 FIT >> 10 FIT
+    assert secded.sdc_fit > 100
+    assert duet.meets_iso26262 and duet.sdc_fit < 1.0
+    assert trio.meets_iso26262 and trio.sdc_fit < 1.0
+    # Fleet exposure shapes.
+    assert 25 < secded.fleet_sdc_per_day < 90  # paper: ~41
+    assert 120 < duet.fleet_due_cars_per_day < 180  # paper: ~148
+    assert 15 < trio.fleet_due_cars_per_day < 40  # paper: ~25
+    assert duet.days_between_fleet_sdc > trio.days_between_fleet_sdc
+    # SSC-DSD+ nearly eliminates the risk entirely.
+    assert assessments["ssc-dsd+"].sdc_fit < 0.05

@@ -1,0 +1,66 @@
+"""Table 1 — soft error pattern probabilities.
+
+Runs the full characterization pipeline: a simulated beam campaign for the
+observation path (device, scanning, intermittent filtering, grouping),
+supplemented with generator-truth events for statistical weight, then
+classifies every event into the 7 patterns with the paper's priority rule.
+"""
+
+import pytest
+
+from benchmarks._output import emit
+from repro.analysis.tables import format_table
+from repro.beam.campaign import BeamCampaign, CampaignConfig
+from repro.beam.displacement import DamageParameters
+from repro.beam.events import EventParameters, SoftErrorEventGenerator
+from repro.beam.postprocess import (
+    derive_table1,
+    events_from_truth,
+    filter_intermittent,
+    group_events,
+)
+from repro.errormodel.patterns import TABLE1_PROBABILITIES, ErrorPattern
+
+
+def _characterize():
+    # The observation path: a short campaign through the real device loop.
+    config = CampaignConfig(
+        runs=3, write_cycles=6, reads_per_write=3, loop_time_s=2.0, seed=11,
+        event_parameters=EventParameters(mean_time_to_event_s=8.0),
+        damage_parameters=DamageParameters(leaky_pool=80,
+                                           saturation_fluence=3e8),
+    )
+    result = BeamCampaign(config).run()
+    filtered = filter_intermittent(result.records)
+    observed = group_events(filtered.soft_records)
+
+    # Statistical weight: generator-truth events at analysis scale.
+    generator = SoftErrorEventGenerator(seed=20211018)
+    observed += events_from_truth(
+        [generator.generate_event(20.0 * i) for i in range(6000)]
+    )
+    return derive_table1(observed), len(observed), len(filtered.damaged_entries)
+
+
+def test_tab1_pattern_probabilities(benchmark):
+    probabilities, num_events, num_damaged = benchmark.pedantic(
+        _characterize, rounds=1, iterations=1
+    )
+
+    rows = [
+        [pattern.value, f"{probabilities[pattern]:.2%}",
+         f"{TABLE1_PROBABILITIES[pattern]:.2%}"]
+        for pattern in ErrorPattern
+    ]
+    emit(
+        f"Table 1: soft error pattern probabilities "
+        f"({num_events} events; {num_damaged} damaged entries filtered)",
+        format_table(["severity", "measured", "paper"], rows),
+    )
+
+    assert abs(sum(probabilities.values()) - 1.0) < 1e-9
+    # Shape: single-bit dominates, byte errors are the major multi-bit mode.
+    assert probabilities[ErrorPattern.BIT] > 0.55
+    assert 0.12 < probabilities[ErrorPattern.BYTE] < 0.35
+    assert probabilities[ErrorPattern.BYTE] > probabilities[ErrorPattern.ENTRY]
+    assert probabilities[ErrorPattern.PIN] < 0.02

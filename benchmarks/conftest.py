@@ -1,0 +1,18 @@
+"""Benchmark-harness hooks: flush regenerated tables to the terminal.
+
+pytest captures stdout from passing tests, so every table/figure a
+benchmark regenerates is queued by :mod:`benchmarks._output` and printed
+here, after the timing summary, where output reaches the real terminal
+(and any ``tee``).
+"""
+
+import benchmarks._output as _output
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Print every queued table/figure after the benchmark run."""
+    if not _output.EMITTED:
+        return
+    terminalreporter.section("regenerated tables and figures")
+    for banner in _output.EMITTED:
+        terminalreporter.write_line(banner)

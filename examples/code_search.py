@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Deriving a SEC-2bEC code with the genetic search (Section 6.1).
+
+The paper's Equation-3 matrix came from a genetic algorithm that minimizes
+how many ordinary (non-aligned) double-bit errors alias an aligned-pair
+syndrome — every alias is a potential miscorrection, i.e. SDC.  This
+example runs the search, validates the structural guarantees of the best
+code found, prints it in the paper's Crockford-Base32 format, and compares
+it against Equation 3.
+
+Run:  python examples/code_search.py
+"""
+
+from repro.codes.base32 import encode_h_matrix
+from repro.codes.genetic import miscorrection_count, search_sec2bec
+from repro.codes.sec2bec import (
+    PAPER_H_ROWS_BASE32,
+    SEC_2BEC_72_64,
+    adjacent_pairs,
+    validate_sec2bec,
+)
+from repro.gf.gf2 import pack_bits
+
+
+def main() -> None:
+    print("Searching for a (72, 64) SEC-2bEC code (GA, seeded)...")
+    result = search_sec2bec(population=30, generations=25, seed=20211018)
+
+    print(f"  generations run        : {result.generations_run}")
+    print(f"  non-aligned 2b aliases : {result.miscorrections} / 2,520")
+
+    table = validate_sec2bec(result.code, adjacent_pairs())
+    print(f"  structural validation  : OK "
+          f"({len(table.pairs)} unique pair syndromes, "
+          f"SEC-DED fallback preserved)")
+
+    print("\nBest H matrix found (Crockford Base32, as the paper prints it):")
+    for row in encode_h_matrix(result.code.h):
+        print(f"  {row}")
+
+    paper_aliases = miscorrection_count(pack_bits(SEC_2BEC_72_64.h.T))
+    print(f"\nPaper's Equation 3 for comparison "
+          f"({paper_aliases} aliases):")
+    for row in PAPER_H_ROWS_BASE32:
+        print(f"  {row}")
+
+    gap = result.miscorrections / paper_aliases - 1.0
+    print(f"\nOur quick search lands within {gap:+.0%} of the published "
+          f"matrix; longer runs close the gap further.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a 32B memory entry with the paper's ECC schemes.
+
+Encodes data into a 36B HBM2 memory entry, injects the fault patterns the
+paper characterizes (single bit, interface pin, mat-local byte), and shows
+how the baseline SEC-DED, DuetECC and TrioECC respond to each.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import DecodeStatus, get_scheme
+from repro.core.layout import bits_of_byte, bits_of_pin
+
+
+def describe(result, data) -> str:
+    if result.status is DecodeStatus.DETECTED:
+        return "DUE (entry discarded)"
+    if np.array_equal(result.data, data):
+        if result.status is DecodeStatus.CLEAN:
+            return "CLEAN"
+        flipped = len(result.corrected_bits)
+        return f"DCE (corrected {flipped} bit{'s' if flipped != 1 else ''})"
+    return "SDC (silent corruption!)"
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, 256, dtype=np.uint8)  # 32B of payload
+
+    faults = {
+        "no error": [],
+        "single bit (cell strike)": [100],
+        "pin fault (cracked microbump)": [int(b) for b in bits_of_pin(17)],
+        "byte error (mat-local logic fault)": [int(b) for b in bits_of_byte(11)],
+    }
+
+    schemes = [get_scheme(name) for name in ("ni-secded", "duet", "trio")]
+
+    print("Decoding a corrupted 36B HBM2 memory entry (32B data + 4B ECC)\n")
+    header = f"{'fault':38s}" + "".join(f"{s.name:>26s}" for s in schemes)
+    print(header)
+    print("-" * len(header))
+
+    for fault_name, positions in faults.items():
+        row = f"{fault_name:38s}"
+        for scheme in schemes:
+            entry = scheme.encode(data)
+            for position in positions:
+                entry[position] ^= 1
+            row += f"{describe(scheme.decode(entry), data):>26s}"
+        print(row)
+
+    print(
+        "\nTrioECC corrects the mat-local byte error that SEC-DED silently "
+        "corrupts or\nmis-handles — the paper's central claim, in one table."
+    )
+
+
+if __name__ == "__main__":
+    main()

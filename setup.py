@@ -1,0 +1,5 @@
+"""Shim for environments whose setuptools cannot build PEP-517 editable wheels."""
+
+from setuptools import setup
+
+setup()

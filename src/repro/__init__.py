@@ -1,0 +1,65 @@
+"""repro — reproduction of "Characterizing and Mitigating Soft Errors in
+GPU DRAM" (Sullivan et al., MICRO 2021).
+
+The package has two halves, mirroring the paper:
+
+* **Characterization** (:mod:`repro.dram`, :mod:`repro.beam`) — a simulated
+  32GB HBM2 GPU memory bombarded by a neutron-beam model, the DRAM
+  microbenchmark, displacement-damage (intermittent error) physics, and the
+  post-processing pipeline that filters intermittents and derives the
+  soft-error patterns of Table 1 / Figures 3-5.
+* **Mitigation** (:mod:`repro.core`, :mod:`repro.codes`, :mod:`repro.gf`,
+  :mod:`repro.errormodel`, :mod:`repro.hardware`, :mod:`repro.system`) —
+  the nine evaluated ECC organizations (SEC-DED baselines, DuetECC,
+  TrioECC, interleaved Reed-Solomon SSC, and SSC-DSD+), the Monte Carlo
+  resilience evaluation of Table 2 / Figure 8, the gate-level cost model of
+  Table 3, and the HPC / automotive system models of Figure 9 / Section 7.3.
+
+Quick start::
+
+    import numpy as np
+    from repro import get_scheme, DecodeStatus
+
+    trio = get_scheme("trio")
+    data = np.random.default_rng(0).integers(0, 2, 256, dtype=np.uint8)
+    entry = trio.encode(data)          # 32B data -> 36B memory entry
+    entry[5] ^= 1                      # a soft error on pin 5, beat 0
+    result = trio.decode(entry)
+    assert result.status is DecodeStatus.CORRECTED
+    assert np.array_equal(result.data, data)
+"""
+
+from repro.core import (
+    SCHEME_NAMES,
+    BatchDecode,
+    DecodeResult,
+    DecodeStatus,
+    ECCScheme,
+    ReconfigurableDuetTrio,
+    all_schemes,
+    get_scheme,
+)
+from repro.errormodel import (
+    TABLE1_PROBABILITIES,
+    ErrorPattern,
+    evaluate_scheme,
+    weighted_outcomes,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SCHEME_NAMES",
+    "BatchDecode",
+    "DecodeResult",
+    "DecodeStatus",
+    "ECCScheme",
+    "ReconfigurableDuetTrio",
+    "all_schemes",
+    "get_scheme",
+    "TABLE1_PROBABILITIES",
+    "ErrorPattern",
+    "evaluate_scheme",
+    "weighted_outcomes",
+    "__version__",
+]

@@ -1,0 +1,28 @@
+"""Curve fitting, historical data, and table rendering for the harness."""
+
+from repro.analysis.fitting import (
+    ExponentialFit,
+    LinearFit,
+    NormalCdfFit,
+    fit_exponential,
+    fit_linear,
+    fit_retention_normal,
+)
+from repro.analysis.historical import Figure1Data, historical_trends
+from repro.analysis.report import generate_report
+from repro.analysis.tables import format_percent, format_series, format_table
+
+__all__ = [
+    "ExponentialFit",
+    "LinearFit",
+    "NormalCdfFit",
+    "fit_exponential",
+    "fit_linear",
+    "fit_retention_normal",
+    "Figure1Data",
+    "historical_trends",
+    "generate_report",
+    "format_percent",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,132 @@
+"""Regression utilities used by the characterization figures.
+
+* :func:`fit_linear` — least-squares line with R² (the Figure 3c weak-cell
+  accumulation fit, R² = 0.97 in the paper).
+* :func:`fit_retention_normal` — non-linear least squares of a normal CDF to
+  weak-cell counts versus refresh period (Figure 3b), recovering the
+  retention-time distribution (mean, sigma, population).
+* :func:`fit_exponential` — exponential regression on positive data
+  (Figure 1's historical trend lines, straight lines on a log axis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import curve_fit
+from scipy.stats import norm
+
+__all__ = ["LinearFit", "NormalCdfFit", "ExponentialFit",
+           "fit_linear", "fit_retention_normal", "fit_exponential"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``y ≈ slope·x + intercept`` with coefficient of determination."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+
+    def predict(self, x):
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def _r_squared(y: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((y - predicted) ** 2))
+    total = float(np.sum((y - y.mean()) ** 2))
+    scale = float(np.sum(y**2)) or 1.0
+    if total <= 1e-12 * scale:
+        # Constant data: a perfect fit iff the residual is also ~zero.
+        return 1.0 if residual <= 1e-12 * scale else 0.0
+    return 1.0 - residual / total
+
+
+def fit_linear(x, y) -> LinearFit:
+    """Ordinary least-squares line fit."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if x.size != y.size or x.size < 2:
+        raise ValueError("need at least two matched points")
+    slope, intercept = np.polyfit(x, y, 1)
+    fit = LinearFit(float(slope), float(intercept), 0.0)
+    return LinearFit(fit.slope, fit.intercept, _r_squared(y, fit.predict(x)))
+
+
+@dataclass(frozen=True)
+class NormalCdfFit:
+    """Weak-cell count model ``count(T) = population · Φ((T − mean)/sigma)``."""
+
+    mean_s: float
+    sigma_s: float
+    population: float
+    r_squared: float
+
+    def predict(self, refresh_periods_s):
+        periods = np.asarray(refresh_periods_s, dtype=float)
+        return self.population * norm.cdf((periods - self.mean_s) / self.sigma_s)
+
+    def density(self, retention_s):
+        """The fitted retention-time density (the Figure 3b curve)."""
+        retention = np.asarray(retention_s, dtype=float)
+        return self.population * norm.pdf(retention, self.mean_s, self.sigma_s)
+
+
+def fit_retention_normal(refresh_periods_s, weak_cell_counts) -> NormalCdfFit:
+    """Fit the normal-CDF retention model to measured weak-cell counts."""
+    periods = np.asarray(refresh_periods_s, dtype=float)
+    counts = np.asarray(weak_cell_counts, dtype=float)
+    if periods.size != counts.size or periods.size < 3:
+        raise ValueError("need at least three matched points")
+
+    def model(t, mean, sigma, population):
+        return population * norm.cdf((t - mean) / sigma)
+
+    initial = (float(periods.mean()), float(periods.std() or periods.mean() / 2),
+               float(counts.max() * 1.2))
+    params, _ = curve_fit(
+        model, periods, counts, p0=initial,
+        bounds=([0.0, 1e-6, 1.0], [np.inf, np.inf, np.inf]), maxfev=20000,
+    )
+    mean, sigma, population = (float(p) for p in params)
+    fit = NormalCdfFit(mean, sigma, population, 0.0)
+    return NormalCdfFit(mean, sigma, population,
+                        _r_squared(counts, fit.predict(periods)))
+
+
+@dataclass(frozen=True)
+class ExponentialFit:
+    """``y ≈ exp(rate · x + log_scale)`` — a line in log-y space.
+
+    The scale is kept in log space so that fits over large-offset x values
+    (e.g. calendar years) never overflow.
+    """
+
+    rate: float
+    log_scale: float
+    r_squared: float  #: computed on log(y)
+
+    @property
+    def scale(self) -> float:
+        """The extrapolated value at x = 0 (may overflow for year axes)."""
+        return float(np.exp(self.log_scale))
+
+    def predict(self, x):
+        return np.exp(self.rate * np.asarray(x, dtype=float) + self.log_scale)
+
+    def doubling_interval(self) -> float:
+        """The x-interval over which y doubles (negative if decaying)."""
+        return float(np.log(2.0) / self.rate)
+
+
+def fit_exponential(x, y) -> ExponentialFit:
+    """Exponential regression by least squares on log(y); y must be > 0."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if np.any(y <= 0):
+        raise ValueError("exponential fit requires positive y values")
+    line = fit_linear(x, np.log(y))
+    return ExponentialFit(
+        rate=line.slope, log_scale=line.intercept, r_squared=line.r_squared,
+    )

@@ -1,0 +1,125 @@
+"""Historical DRAM soft-error trends — the data behind Figure 1.
+
+Figure 1 overlays three things over DRAM process generations:
+
+1. historical per-chip neutron-beam error rates (taken by the paper from
+   Slayman's RAMS 2011 survey) — falling exponentially;
+2. DRAM chip capacities — rising exponentially but more slowly than the
+   error rate falls; and
+3. the paper's own measured HBM2 point (total rate, and the multi-bit rate
+   a factor of ~3 lower), landing below the historical extrapolation, with
+   a bracketed band where non-bitcell (logic) upset rates have hovered for
+   two decades.
+
+The numeric values below are *approximate digitizations* in arbitrary
+relative units (the published figure's absolute axis is unlabeled FIT-like
+units); what matters for reproduction is the trend-line arithmetic:
+exponential fits whose decay outpaces the capacity growth, and where the
+measured HBM2 overlay falls relative to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+from repro.analysis.fitting import ExponentialFit, fit_exponential
+
+__all__ = [
+    "HISTORICAL_ERROR_RATES",
+    "HISTORICAL_CAPACITIES_MBIT",
+    "HBM2_MEASURED",
+    "NON_BITCELL_BAND",
+    "historical_trends",
+    "Figure1Data",
+]
+
+#: (year, per-chip soft error rate, arbitrary units) — beam data for
+#: successive DRAM generations, falling roughly 10× per decade.
+HISTORICAL_ERROR_RATES: tuple[tuple[int, float], ...] = (
+    (1998, 1500.0),
+    (2000, 800.0),
+    (2002, 400.0),
+    (2004, 200.0),
+    (2006, 100.0),
+    (2008, 48.0),
+    (2010, 23.0),
+    (2012, 11.0),
+    (2014, 5.5),
+)
+
+#: (year, chip capacity in Mbit) — vendor-reported device capacities.
+HISTORICAL_CAPACITIES_MBIT: tuple[tuple[int, float], ...] = (
+    (1998, 64.0),
+    (2000, 128.0),
+    (2002, 256.0),
+    (2004, 512.0),
+    (2006, 1024.0),
+    (2008, 2048.0),
+    (2010, 2048.0),
+    (2012, 4096.0),
+    (2014, 8192.0),
+)
+
+#: The paper's measured HBM2 overlay (total, multi-bit), same units, 2020.
+#: ~31.5% of SEUs affect multiple bits, so the multi-bit rate is about a
+#: third of the total.
+HBM2_MEASURED: tuple[int, float, float] = (2020, 3.2, 1.0)
+
+#: Borucki et al.: non-bitcell upsets stay within a two-order band.
+NON_BITCELL_BAND: tuple[float, float] = (1.0, 100.0)
+
+
+@dataclass(frozen=True)
+class Figure1Data:
+    """Everything needed to redraw Figure 1."""
+
+    error_rate_fit: ExponentialFit
+    capacity_fit: ExponentialFit
+    error_rate_points: tuple[tuple[int, float], ...]
+    capacity_points: tuple[tuple[int, float], ...]
+    hbm2_point: tuple[int, float, float]
+    non_bitcell_band: tuple[float, float]
+
+    @property
+    def rate_halving_years(self) -> float:
+        """Years for the per-chip error rate to halve."""
+        return -self.error_rate_fit.doubling_interval()
+
+    @property
+    def capacity_doubling_years(self) -> float:
+        return self.capacity_fit.doubling_interval()
+
+    def rate_outpaces_capacity(self) -> bool:
+        """The paper's claim: the error-rate decrease outpaces the capacity
+        increase (so per-bit rates fall even as chips grow)."""
+        return -self.error_rate_fit.rate > self.capacity_fit.rate
+
+    def hbm2_within_expectations(self) -> bool:
+        """The paper's reading of Figure 1: the HBM2 total rate is low
+        (below every historical measurement) while its multi-bit rate sits
+        inside the flat non-bitcell band — bitcell errors kept scaling down,
+        logic errors did not."""
+        _, total_rate, multibit_rate = self.hbm2_point
+        last_measured = self.error_rate_points[-1][1]
+        low_band, high_band = self.non_bitcell_band
+        return (
+            total_rate < last_measured
+            and low_band <= multibit_rate <= high_band
+        )
+
+
+def historical_trends() -> Figure1Data:
+    """Fit the Figure-1 exponential regressions and package the overlays."""
+    rate_years = [year for year, _ in HISTORICAL_ERROR_RATES]
+    rates = [rate for _, rate in HISTORICAL_ERROR_RATES]
+    capacity_years = [year for year, _ in HISTORICAL_CAPACITIES_MBIT]
+    capacities = [capacity for _, capacity in HISTORICAL_CAPACITIES_MBIT]
+    return Figure1Data(
+        error_rate_fit=fit_exponential(rate_years, rates),
+        capacity_fit=fit_exponential(capacity_years, capacities),
+        error_rate_points=HISTORICAL_ERROR_RATES,
+        capacity_points=HISTORICAL_CAPACITIES_MBIT,
+        hbm2_point=HBM2_MEASURED,
+        non_bitcell_band=NON_BITCELL_BAND,
+    )

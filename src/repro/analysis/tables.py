@@ -1,0 +1,49 @@
+"""Plain-text table and series rendering for the benchmark harness.
+
+Every benchmark regenerates a table or figure from the paper; these helpers
+print them in a uniform, diff-friendly ASCII format so the harness output
+can be compared against the published rows at a glance.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["format_table", "format_series", "format_percent"]
+
+
+def format_percent(value: float, digits: int = 4) -> str:
+    """A percentage with sensible precision for very small values."""
+    if value == 0.0:
+        return "0"
+    percent = value * 100.0
+    if percent >= 0.01:
+        return f"{percent:.{min(digits, 2)}f}%"
+    return f"{percent:.{digits}g}%"
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render a column-aligned ASCII table."""
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [
+        max(len(header), *(len(row[column]) for row in cells)) if cells else len(header)
+        for column, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(value.ljust(width) for value, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[object], ys: Sequence[object],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render an (x, y) series, one point per line — a textual figure."""
+    lines = [f"{name}  ({x_label} -> {y_label})"]
+    for x, y in zip(xs, ys):
+        lines.append(f"  {x!s:>12}  {y!s}")
+    return "\n".join(lines)

@@ -1,0 +1,51 @@
+"""AN arithmetic codes for the microbenchmark's third data pattern.
+
+An AN code multiplies the datum by a constant ``A``; any codeword that is
+not a multiple of ``A`` reveals corruption.  The paper writes "an AN-encoded
+data value to each 8B word, representing the index of that word in the
+virtual memory space × 2^32 − 1" — so ``A = 2^32 − 1`` and the payload is
+the word index.  This yields codewords with a realistic mix of 1s and 0s
+(unlike the all-0/all-1 and checkerboard patterns) while remaining
+self-checking.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["AN_CONSTANT", "an_encode", "an_decode", "an_check", "an_pattern_words"]
+
+#: The paper's multiplier: 2^32 - 1.
+AN_CONSTANT = (1 << 32) - 1
+
+_WORD_MASK = (1 << 64) - 1
+
+
+def an_encode(index: int) -> int:
+    """64-bit AN codeword for a word index."""
+    return (index * AN_CONSTANT) & _WORD_MASK
+
+
+def an_check(word: int) -> bool:
+    """True iff ``word`` is a valid (uncorrupted) codeword.
+
+    For every word index a 32GB device can hold (below 2^32), the product
+    ``index × A`` fits in 64 bits without wrapping, so the check is exact.
+    """
+    return word % AN_CONSTANT == 0
+
+
+def an_decode(word: int) -> int:
+    """Recover the index from a valid codeword (raises on corruption)."""
+    if not an_check(word):
+        raise ValueError(f"{word:#x} is not a multiple of A; data corrupted")
+    return word // AN_CONSTANT
+
+
+def an_pattern_words(entry_index: int, words_per_entry: int = 4) -> np.ndarray:
+    """The four 64-bit AN codewords stored in one 32B memory entry."""
+    base = entry_index * words_per_entry
+    return np.array(
+        [an_encode(base + offset) for offset in range(words_per_entry)],
+        dtype=np.uint64,
+    )

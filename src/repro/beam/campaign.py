@@ -1,0 +1,171 @@
+"""Beam-campaign driver: the full closed loop of Section 3.
+
+A campaign ties together the simulated GPU memory, the ChipIR flux model,
+the displacement-damage model and the SEU event generator, then runs the
+DRAM microbenchmark under irradiation.  The output is exactly what a real
+campaign produces — time-stamped mismatch records — plus the ground truth
+(injected events and damaged cells) that lets the test-suite validate the
+post-processing pipeline end to end.
+
+Also provided are the two intermittent-error experiments of Section 4:
+
+* :func:`refresh_sweep` — take a damaged GPU *out* of the beam and count
+  observable weak cells while modulating the DRAM refresh period
+  (Figure 3a/3b); and
+* accumulation tracking inside :class:`BeamCampaign` — the cumulative count
+  of intermittently-classified cells versus fluence (Figure 3c).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.beam.displacement import DamageParameters, DisplacementDamageModel
+from repro.beam.events import EventParameters, SoftErrorEvent, SoftErrorEventGenerator
+from repro.beam.flux import CHIPIR_FLUX, FluenceClock
+from repro.beam.microbenchmark import (
+    DataPattern,
+    Microbenchmark,
+    MismatchRecord,
+    STANDARD_PATTERNS,
+)
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.refresh import RefreshConfig
+
+__all__ = ["CampaignConfig", "CampaignResult", "BeamCampaign", "refresh_sweep"]
+
+_DATA_BITS = 256
+_ENTRY_BITS = 288
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one beam-testing campaign."""
+
+    gpu_capacity_gb: int = 32
+    flux: float = CHIPIR_FLUX
+    runs: int = 6  #: microbenchmark runs (patterns rotate per run)
+    refresh_period_s: float = 16e-3
+    seed: int = 2021
+    event_parameters: EventParameters = field(default_factory=EventParameters)
+    damage_parameters: DamageParameters = field(default_factory=DamageParameters)
+    loop_time_s: float = 0.05
+    write_cycles: int = 10
+    reads_per_write: int = 20
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced, observations and ground truth."""
+
+    records: list[MismatchRecord]
+    events: list[SoftErrorEvent]  #: ground-truth injected SEUs
+    clock: FluenceClock
+    device: SimulatedHBM2
+    damage: DisplacementDamageModel
+    #: (fluence, cumulative weak-cell count) samples for Figure 3c
+    accumulation_curve: list[tuple[float, int]]
+
+    @property
+    def weak_cell_count(self) -> int:
+        return len(self.damage.damaged_cells)
+
+    def fit_per_gbit(self) -> float:
+        """Terrestrial FIT per Gbit derived from this campaign.
+
+        Converts the observed SEU count through the fluence clock's
+        acceleration factor and the device capacity — the calculation that
+        turns a beam campaign into the 12.51 FIT/Gbit-style rates the
+        system models of :mod:`repro.system` consume.
+        """
+        total_fit = self.clock.events_to_fit(len(self.events))
+        gbits = self.device.geometry.data_bytes_total * 8 / 1e9
+        return total_fit / gbits
+
+
+class BeamCampaign:
+    """Run the microbenchmark on a simulated GPU inside the beam."""
+
+    def __init__(self, config: CampaignConfig | None = None) -> None:
+        self.config = config or CampaignConfig()
+        geometry = HBM2Geometry.for_gpu(self.config.gpu_capacity_gb)
+        self.device = SimulatedHBM2(
+            geometry, RefreshConfig(self.config.refresh_period_s)
+        )
+        self.clock = FluenceClock(flux=self.config.flux)
+        self.damage = DisplacementDamageModel(
+            geometry, self.config.damage_parameters, seed=self.config.seed
+        )
+        self.events = SoftErrorEventGenerator(
+            geometry, self.config.event_parameters, seed=self.config.seed + 1
+        )
+        self._event_log: list[SoftErrorEvent] = []
+        self._accumulation: list[tuple[float, int]] = []
+
+    # -- environment stepping -----------------------------------------------
+    def _environment(self, dt_s: float) -> None:
+        """Advance the world while the benchmark runs one loop step."""
+        step_fluence = self.clock.advance(dt_s)
+        if step_fluence > 0.0:
+            for cell in self.damage.accumulate(step_fluence):
+                self.device.install_weak_cell(cell)
+            for event in self.events.events_in(dt_s, self.clock.elapsed_s - dt_s):
+                self._apply_event(event)
+        self._accumulation.append(
+            (self.clock.fluence, len(self.damage.damaged_cells))
+        )
+
+    def _apply_event(self, event: SoftErrorEvent) -> None:
+        self._event_log.append(event)
+        for entry_index, positions in event.flips.items():
+            flips = np.zeros(_ENTRY_BITS, dtype=np.uint8)
+            flips[positions] = 1
+            self.device.inject_upset(entry_index, flips)
+
+    # -- campaign ------------------------------------------------------------
+    def run(self, patterns: list[DataPattern] | None = None) -> CampaignResult:
+        """Run ``config.runs`` microbenchmark runs, rotating data patterns."""
+        patterns = patterns or STANDARD_PATTERNS()
+        benchmark = Microbenchmark(
+            self.device,
+            write_cycles=self.config.write_cycles,
+            reads_per_write=self.config.reads_per_write,
+            loop_time_s=self.config.loop_time_s,
+        )
+        records: list[MismatchRecord] = []
+        for run_index in range(self.config.runs):
+            pattern = patterns[run_index % len(patterns)]
+            records.extend(
+                benchmark.run(
+                    pattern,
+                    run_index=run_index,
+                    start_time_s=self.clock.elapsed_s,
+                    environment=self._environment,
+                )
+            )
+        return CampaignResult(
+            records=records,
+            events=list(self._event_log),
+            clock=self.clock,
+            device=self.device,
+            damage=self.damage,
+            accumulation_curve=list(self._accumulation),
+        )
+
+
+def refresh_sweep(
+    damage: DisplacementDamageModel,
+    periods_s: list[float],
+) -> dict[float, int]:
+    """The Figure 3a experiment: observable weak cells per refresh period.
+
+    Run *outside* the beam on an already-damaged model (the paper pulls one
+    GPU out of the beam and modulates refresh through a modified BIOS).
+    """
+    return {
+        period: damage.observable_count(RefreshConfig(period))
+        for period in periods_s
+    }

@@ -1,0 +1,296 @@
+"""Soft-error (SEU) event generator for the simulated beam campaign.
+
+The generative model encodes the paper's Section-5 findings; the analysis
+pipeline (:mod:`repro.beam.postprocess`) then *re-derives* the published
+statistics from the simulated mismatch logs, exercising the same
+classification code a real campaign would:
+
+* events arrive as a Poisson process (mean-time-to-event is seconds in the
+  beam while a read/write loop takes milliseconds, so events land in
+  distinct loop iterations);
+* event breadth/severity classes follow Figure 4a — SBSE 65%, MBME 28%,
+  with the small remainder split between SBME and MBSE;
+* MBME breadth is a long-tailed (truncated power-law) distribution reaching
+  thousands of 32B entries (Figure 4b), with affected entries contiguous in
+  one subarray — the locality attributed to DRAM logic faults;
+* multi-bit errors are byte-aligned with probability 74.6% (Figure 4c): the
+  same aligned byte of every affected 64b word, the footprint of a
+  mat-local fault, usually touching one word per entry; non-byte-aligned
+  errors usually corrupt all four words of an entry;
+* bits-per-word severity is binomial ("random corruption"), except for an
+  ~15% tendency to invert *every* bit of the affected byte/word
+  (Figure 5's anomaly).
+
+Flips are expressed over the 256 data bits of each entry (the
+ECC-disabled microbenchmark can only observe data), using the *logical*
+layout: word ``w`` occupies bits ``64w..64w+63``, byte ``b`` of a word its
+bits ``8b..8b+7``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.dram.geometry import HBM2Geometry
+
+__all__ = [
+    "EventClass",
+    "EventParameters",
+    "SoftErrorEvent",
+    "SoftErrorEventGenerator",
+    "WORDS_PER_ENTRY",
+    "BITS_PER_WORD",
+]
+
+WORDS_PER_ENTRY = 4
+BITS_PER_WORD = 64
+
+
+class EventClass(Enum):
+    """Figure 4a's breadth/severity classes."""
+
+    SBSE = "single-bit, single-entry"
+    SBME = "single-bit, multiple-entry"
+    MBSE = "multiple-bit, single-entry"
+    MBME = "multiple-bit, multiple-entry"
+
+
+@dataclass(frozen=True)
+class EventParameters:
+    """Tunable knobs of the generative model, defaulted to the paper."""
+
+    #: mean time between SEU events with the GPU in the beam, seconds
+    mean_time_to_event_s: float = 20.0
+    #: Figure 4a class mixture (SBSE/SBME/MBSE/MBME)
+    class_probabilities: tuple[float, float, float, float] = (0.65, 0.02, 0.05, 0.28)
+    #: fraction of multi-bit errors confined to one aligned byte per word
+    byte_aligned_fraction: float = 0.746
+    #: fraction of affected bytes/words that invert entirely (Figure 5)
+    inversion_fraction: float = 0.15
+    #: words corrupted per entry for byte-aligned multi-bit errors
+    byte_aligned_words_dist: tuple[float, float, float, float] = (0.88, 0.10, 0.015, 0.005)
+    #: words corrupted per entry for non-byte-aligned multi-bit errors
+    non_aligned_words_dist: tuple[float, float, float, float] = (0.25, 0.03, 0.02, 0.70)
+    #: fraction of non-byte-aligned words with only 2-4 scattered flips
+    #: (the source of Table 1's rare "2 Bits"/"3 Bits" patterns)
+    sparse_severity_fraction: float = 0.10
+    #: fraction of multi-bit single-entry faults hitting one interface pin
+    #: (the same within-word bit across several beats; Table 1's "1 Pin")
+    pin_fault_fraction: float = 0.04
+    #: power-law exponent and cap of the MBME breadth distribution
+    mbme_breadth_alpha: float = 1.05
+    mbme_breadth_max: int = 6000
+    #: breadth distribution of the rarer SBME events
+    sbme_breadth_alpha: float = 1.6
+    sbme_breadth_max: int = 64
+
+    def __post_init__(self) -> None:
+        if abs(sum(self.class_probabilities) - 1.0) > 1e-9:
+            raise ValueError("class probabilities must sum to 1")
+        for dist in (self.byte_aligned_words_dist, self.non_aligned_words_dist):
+            if abs(sum(dist) - 1.0) > 1e-9:
+                raise ValueError("words-per-entry distributions must sum to 1")
+
+
+@dataclass(frozen=True)
+class SoftErrorEvent:
+    """One SEU: a set of per-entry data-bit flip positions."""
+
+    time_s: float
+    event_class: EventClass
+    flips: dict[int, np.ndarray]  #: entry index -> sorted bit positions (0-255)
+
+    @property
+    def breadth(self) -> int:
+        """Number of 32B entries affected."""
+        return len(self.flips)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(positions.size for positions in self.flips.values())
+
+
+class SoftErrorEventGenerator:
+    """Draws SEU events according to :class:`EventParameters`."""
+
+    def __init__(
+        self,
+        geometry: HBM2Geometry | None = None,
+        parameters: EventParameters | None = None,
+        *,
+        seed: int = 7,
+    ) -> None:
+        self.geometry = geometry or HBM2Geometry.for_gpu(32)
+        self.parameters = parameters or EventParameters()
+        self._rng = np.random.default_rng(seed)
+
+    # -- arrival process ----------------------------------------------------
+    def events_in(self, duration_s: float, start_time_s: float = 0.0,
+                  utilization: float = 1.0) -> list[SoftErrorEvent]:
+        """Poisson arrivals over an in-beam interval.
+
+        ``utilization`` models the Section-5 DRAM-utilization sweep: narrow
+        array errors (SBSE/SBME — direct bitcell strikes) accrue with
+        exposure *time*, while broad-and-severe logic errors (MBSE/MBME —
+        strikes in the access path) only manifest on memory *accesses*, so
+        their rate scales with the benchmark's utilization.  The default
+        class mixture corresponds to full utilization.
+        """
+        if not 0.0 <= utilization <= 1.0:
+            raise ValueError("utilization must be in [0, 1]")
+        base = self.parameters.class_probabilities
+        array_rate = (base[0] + base[1]) / self.parameters.mean_time_to_event_s
+        logic_rate = (
+            (base[2] + base[3]) * utilization
+            / self.parameters.mean_time_to_event_s
+        )
+        total_rate = array_rate + logic_rate
+        if total_rate <= 0.0:
+            return []
+        probabilities = (
+            base[0] / (base[0] + base[1]) * array_rate / total_rate,
+            base[1] / (base[0] + base[1]) * array_rate / total_rate,
+            (base[2] / (base[2] + base[3]) * logic_rate / total_rate
+             if logic_rate else 0.0),
+            (base[3] / (base[2] + base[3]) * logic_rate / total_rate
+             if logic_rate else 0.0),
+        )
+        events: list[SoftErrorEvent] = []
+        clock = start_time_s
+        while True:
+            clock += float(self._rng.exponential(1.0 / total_rate))
+            if clock >= start_time_s + duration_s:
+                return events
+            events.append(self.generate_event(clock, class_probabilities=probabilities))
+
+    # -- event construction ----------------------------------------------------
+    def generate_event(self, time_s: float,
+                       class_probabilities: tuple[float, ...] | None = None
+                       ) -> SoftErrorEvent:
+        """Draw one event; an explicit class mixture overrides the default
+        (used by the utilization-scaled arrival process)."""
+        params = self.parameters
+        draw = self._rng.choice(
+            4, p=class_probabilities or params.class_probabilities
+        )
+        event_class = (EventClass.SBSE, EventClass.SBME,
+                       EventClass.MBSE, EventClass.MBME)[draw]
+        if event_class is EventClass.SBSE:
+            flips = self._single_bit_flips(breadth=1)
+        elif event_class is EventClass.SBME:
+            breadth = self._power_law_breadth(
+                params.sbme_breadth_alpha, params.sbme_breadth_max
+            )
+            flips = self._single_bit_flips(breadth=breadth)
+        elif event_class is EventClass.MBSE:
+            flips = self._multi_bit_flips(breadth=1)
+        else:
+            breadth = self._power_law_breadth(
+                params.mbme_breadth_alpha, params.mbme_breadth_max
+            )
+            flips = self._multi_bit_flips(breadth=breadth)
+        return SoftErrorEvent(time_s=time_s, event_class=event_class, flips=flips)
+
+    # -- helpers -----------------------------------------------------------------
+    def _power_law_breadth(self, alpha: float, cap: int) -> int:
+        """Truncated discrete power law starting at 2 entries."""
+        uniform = self._rng.random()
+        breadth = int(2 * (1.0 - uniform) ** (-1.0 / alpha))
+        return int(min(max(breadth, 2), cap))
+
+    def _contiguous_entries(self, breadth: int) -> np.ndarray:
+        """A run of consecutive entries inside one bank.
+
+        Section 5 attributes multi-entry errors to faults in DRAM logic
+        structures (row decoders, column muxes, sense amps), which are
+        bank-local: a single strike never corrupts entries in two banks.
+        Runs are clamped to the bank holding their random starting point.
+        """
+        per_bank = self.geometry.entries_per_bank
+        breadth = min(breadth, per_bank)
+        bank_start = (
+            int(self._rng.integers(self.geometry.total_entries)) // per_bank
+        ) * per_bank
+        offset = int(self._rng.integers(per_bank - breadth + 1))
+        base = bank_start + offset
+        return np.arange(base, base + breadth)
+
+    def _single_bit_flips(self, breadth: int) -> dict[int, np.ndarray]:
+        """One flipped bit per entry, the same cell column for SBME."""
+        bit = int(self._rng.integers(WORDS_PER_ENTRY * BITS_PER_WORD))
+        if breadth == 1:
+            entry = int(self._rng.integers(self.geometry.total_entries))
+            return {entry: np.array([bit], dtype=np.int64)}
+        entries = self._contiguous_entries(breadth)
+        return {int(entry): np.array([bit], dtype=np.int64) for entry in entries}
+
+    def _pin_fault_flips(self) -> dict[int, np.ndarray]:
+        """A transient interface-pin fault: the same within-word bit flipped
+        in 2-4 of one entry's words (the bit rides the same wire each beat)."""
+        bit = int(self._rng.integers(BITS_PER_WORD))
+        num_words = int(self._rng.integers(2, WORDS_PER_ENTRY + 1))
+        words = self._rng.choice(WORDS_PER_ENTRY, size=num_words, replace=False)
+        entry = int(self._rng.integers(self.geometry.total_entries))
+        positions = sorted(int(word) * BITS_PER_WORD + bit for word in words)
+        return {entry: np.array(positions, dtype=np.int64)}
+
+    def _multi_bit_flips(self, breadth: int) -> dict[int, np.ndarray]:
+        params = self.parameters
+        if breadth == 1 and self._rng.random() < params.pin_fault_fraction:
+            return self._pin_fault_flips()
+        byte_aligned = self._rng.random() < params.byte_aligned_fraction
+        if byte_aligned:
+            # One mat-local fault: the same aligned byte of every word.
+            byte_column = int(self._rng.integers(BITS_PER_WORD // 8))
+            words_dist = params.byte_aligned_words_dist
+        else:
+            byte_column = -1
+            words_dist = params.non_aligned_words_dist
+
+        if breadth == 1:
+            entries = np.array(
+                [self._rng.integers(self.geometry.total_entries)], dtype=np.int64
+            )
+        else:
+            entries = self._contiguous_entries(breadth)
+
+        flips: dict[int, np.ndarray] = {}
+        for entry in entries:
+            num_words = 1 + int(self._rng.choice(WORDS_PER_ENTRY, p=words_dist))
+            words = self._rng.choice(WORDS_PER_ENTRY, size=num_words, replace=False)
+            positions: list[int] = []
+            for word in words:
+                # Multi-bit events corrupt at least 2 bits per affected word
+                # (Figure 5's severity distributions start at 2).
+                positions.extend(self._word_flips(int(word), byte_column, minimum=2))
+            flips[int(entry)] = np.array(sorted(set(positions)), dtype=np.int64)
+        return flips
+
+    def _word_flips(self, word: int, byte_column: int, minimum: int = 1
+                    ) -> list[int]:
+        """Flipped bit positions within one 64b word.
+
+        ``byte_column >= 0`` confines flips to that aligned byte (mat-local
+        fault); otherwise they spread over the whole word.  Severity is
+        binomial with an ``inversion_fraction`` chance of flipping
+        everything.
+        """
+        params = self.parameters
+        width = 8 if byte_column >= 0 else BITS_PER_WORD
+        if self._rng.random() < params.inversion_fraction:
+            count = width
+        elif (
+            byte_column < 0
+            and self._rng.random() < params.sparse_severity_fraction
+        ):
+            count = int(self._rng.integers(2, 5))
+        else:
+            count = 0
+            while count < minimum:
+                count = int(self._rng.binomial(width, 0.5))
+        offsets = self._rng.choice(width, size=min(count, width), replace=False)
+        base = word * BITS_PER_WORD + (byte_column * 8 if byte_column >= 0 else 0)
+        return [base + int(offset) for offset in offsets]

@@ -1,0 +1,80 @@
+"""Neutron flux and fluence accounting (Section 3).
+
+The ChipIR beamline delivers a terrestrial-like neutron spectrum at vastly
+accelerated flux.  The constants below are the paper's:
+
+* average beam flux during the DRAM experiments: 9.8e5 neutrons/cm²/s;
+* reference terrestrial flux: 14 neutrons/cm²/hour (sea level, NYC, JESD89A);
+* hence an acceleration factor of ~2.52e8.
+
+:class:`FluenceClock` tracks elapsed beam time and cumulative fluence, and
+converts accelerated observations into terrestrial-equivalent rates (the
+conversion behind Figure 1's HBM2 overlay point and the FIT rates used by
+:mod:`repro.system`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "CHIPIR_FLUX",
+    "TERRESTRIAL_FLUX",
+    "acceleration_factor",
+    "FluenceClock",
+]
+
+#: ChipIR average flux during the DRAM experiments, neutrons/cm²/second.
+CHIPIR_FLUX = 9.8e5
+
+#: Reference terrestrial flux (JESD89A, New York City sea level),
+#: neutrons/cm²/second (14 per hour).
+TERRESTRIAL_FLUX = 14.0 / 3600.0
+
+_HOURS_PER_BILLION = 1e9  # FIT = failures per 1e9 device-hours
+
+
+def acceleration_factor(beam_flux: float = CHIPIR_FLUX,
+                        terrestrial_flux: float = TERRESTRIAL_FLUX) -> float:
+    """How much faster errors accrue in the beam than in the field."""
+    return beam_flux / terrestrial_flux
+
+
+@dataclass
+class FluenceClock:
+    """Beam-time and cumulative-fluence bookkeeping for one campaign."""
+
+    flux: float = CHIPIR_FLUX
+    elapsed_s: float = 0.0
+    fluence: float = 0.0  #: neutrons/cm² accumulated so far
+    in_beam: bool = True
+
+    def advance(self, seconds: float) -> float:
+        """Advance time; fluence only accrues while in the beam.
+
+        Returns the fluence accumulated during this step.
+        """
+        if seconds < 0:
+            raise ValueError("time cannot run backwards")
+        self.elapsed_s += seconds
+        step_fluence = self.flux * seconds if self.in_beam else 0.0
+        self.fluence += step_fluence
+        return step_fluence
+
+    def remove_from_beam(self) -> None:
+        """Model pulling the GPU out of the beam (annealing experiments)."""
+        self.in_beam = False
+
+    def return_to_beam(self) -> None:
+        self.in_beam = True
+
+    def terrestrial_equivalent_hours(self) -> float:
+        """Field hours represented by the fluence accumulated so far."""
+        return self.fluence / TERRESTRIAL_FLUX / 3600.0
+
+    def events_to_fit(self, events: int, devices: int = 1) -> float:
+        """Convert an event count into a terrestrial FIT rate per device."""
+        hours = self.terrestrial_equivalent_hours() * devices
+        if hours == 0:
+            raise ZeroDivisionError("no fluence accumulated")
+        return events / hours * _HOURS_PER_BILLION

@@ -1,0 +1,186 @@
+"""The DRAM microbenchmark (Section 3, "Accelerator DRAM Beam Testing").
+
+The benchmark writes a known pattern to every memory entry and reads the
+whole device back repeatedly, logging every mismatch with a timestamp:
+
+* the outer **write** loop runs 10 times per run, alternating between the
+  pattern and its bitwise inverse (to expose unidirectional retention
+  errors in both stored polarities);
+* the inner **read** loop scans the device 20 times per write.
+
+Three data patterns are modelled, as in the paper: all-0s/all-1s, a
+pseudo-checkerboard (0x55… / 0xAA… words), and AN-encoded word indices
+(:mod:`repro.beam.ancode`).  GPU DRAM ECC is disabled — the benchmark
+observes the raw 32B data payload, so mismatch positions are *data* bit
+offsets 0-255.
+
+The ``environment`` callback is invoked with the elapsed wall-clock time of
+each loop step; the campaign driver uses it to advance beam fluence, deposit
+displacement damage and inject SEU events between scans.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beam.ancode import an_pattern_words
+from repro.dram.device import SimulatedHBM2
+
+__all__ = [
+    "DataPattern",
+    "UniformPattern",
+    "CheckerboardPattern",
+    "ANPattern",
+    "MismatchRecord",
+    "Microbenchmark",
+    "STANDARD_PATTERNS",
+]
+
+_DATA_BITS = 256
+_ENTRY_BITS = 288
+
+
+class DataPattern(ABC):
+    """A data background written to (and expected back from) the device."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def data_bits(self, entry_index: int) -> np.ndarray:
+        """The 256 data bits of one entry (non-inverted polarity)."""
+
+    def entry_fn(self, inverted: bool) -> Callable[[int], np.ndarray]:
+        """A device-compatible pattern function (288 bits, ECC region zero)."""
+
+        def pattern(entry_index: int) -> np.ndarray:
+            bits = np.zeros(_ENTRY_BITS, dtype=np.uint8)
+            data = self.data_bits(entry_index)
+            bits[:_DATA_BITS] = (data ^ 1) if inverted else data
+            return bits
+
+        return pattern
+
+
+class UniformPattern(DataPattern):
+    """All-0s (or all-1s) — the paper's first pattern."""
+
+    def __init__(self, ones: bool = False) -> None:
+        self.ones = ones
+        self.name = "all1" if ones else "all0"
+
+    def data_bits(self, entry_index: int) -> np.ndarray:
+        value = 1 if self.ones else 0
+        return np.full(_DATA_BITS, value, dtype=np.uint8)
+
+
+class CheckerboardPattern(DataPattern):
+    """Pseudo-checkerboard: alternating 0x55…/0xAA… 64b words."""
+
+    name = "checkerboard"
+
+    def data_bits(self, entry_index: int) -> np.ndarray:
+        bits = np.zeros(_DATA_BITS, dtype=np.uint8)
+        for word in range(4):
+            phase = (entry_index + word) % 2
+            # 0x55...: even bits set; 0xAA...: odd bits set.
+            bits[64 * word + phase : 64 * (word + 1) : 2] = 1
+        return bits
+
+
+class ANPattern(DataPattern):
+    """AN-encoded word indices — a realistic mix of 1s and 0s per codeword."""
+
+    name = "an-encoded"
+
+    def data_bits(self, entry_index: int) -> np.ndarray:
+        words = an_pattern_words(entry_index)
+        bits = np.zeros(_DATA_BITS, dtype=np.uint8)
+        for word_index, value in enumerate(int(w) for w in words):
+            for bit in range(64):
+                bits[64 * word_index + bit] = (value >> bit) & 1
+        return bits
+
+
+def STANDARD_PATTERNS() -> list[DataPattern]:
+    """The paper's three pattern families."""
+    return [UniformPattern(ones=False), CheckerboardPattern(), ANPattern()]
+
+
+@dataclass(frozen=True)
+class MismatchRecord:
+    """One time-stamped erroneous entry, as logged to pinned host memory."""
+
+    time_s: float
+    run: int
+    pattern: str
+    write_cycle: int
+    read_pass: int
+    inverted: bool
+    entry_index: int
+    bit_positions: tuple[int, ...]  #: data-bit offsets, 0-255
+
+
+class Microbenchmark:
+    """Write/read-loop driver over a :class:`SimulatedHBM2` device."""
+
+    def __init__(
+        self,
+        device: SimulatedHBM2,
+        *,
+        write_cycles: int = 10,
+        reads_per_write: int = 20,
+        loop_time_s: float = 0.05,
+    ) -> None:
+        self.device = device
+        self.write_cycles = write_cycles
+        self.reads_per_write = reads_per_write
+        self.loop_time_s = loop_time_s
+
+    def run(
+        self,
+        pattern: DataPattern,
+        *,
+        run_index: int = 0,
+        start_time_s: float = 0.0,
+        environment: Callable[[float], None] | None = None,
+    ) -> list[MismatchRecord]:
+        """Execute one full run (10 writes × 20 reads) and log mismatches."""
+        records: list[MismatchRecord] = []
+        clock = start_time_s
+
+        for cycle in range(self.write_cycles):
+            inverted = cycle % 2 == 1
+            expected = pattern.entry_fn(inverted)
+            self.device.write_all(expected)
+            if environment is not None:
+                environment(self.loop_time_s)
+            clock += self.loop_time_s
+
+            for read_pass in range(self.reads_per_write):
+                for mismatch in self.device.scan_mismatches(expected):
+                    data_positions = tuple(
+                        bit for bit in mismatch.bit_positions if bit < _DATA_BITS
+                    )
+                    if not data_positions:
+                        continue
+                    records.append(
+                        MismatchRecord(
+                            time_s=clock,
+                            run=run_index,
+                            pattern=pattern.name,
+                            write_cycle=cycle,
+                            read_pass=read_pass,
+                            inverted=inverted,
+                            entry_index=mismatch.entry_index,
+                            bit_positions=data_positions,
+                        )
+                    )
+                if environment is not None:
+                    environment(self.loop_time_s)
+                clock += self.loop_time_s
+
+        return records

@@ -1,0 +1,295 @@
+"""Post-processing of beam-campaign logs (Sections 4 and 5).
+
+This is the analysis half of the methodology — the code a real campaign
+would run over its mismatch logs:
+
+1. **Intermittent-error filtering.**  Displacement-damaged cells produce
+   isolated single-bit errors that *recur across write cycles* (a soft
+   error is cleared by the next write; a weak cell leaks again).  Any entry
+   with errors in two or more distinct write cycles is classified as
+   damaged and every record it produced is excluded.  The paper notes the
+   filter is safe because weak cells are so sparse (roughly a thousand in
+   32GB) that overlap with a broad soft error is vanishingly unlikely.
+2. **Event grouping.**  Mean-time-to-event is seconds while a read pass
+   takes milliseconds, so all first-observations sharing one (run, write
+   cycle, read pass) belong to one SEU.
+3. **Statistics.**  Breadth/severity classes (Figure 4a), MBME breadth
+   histogram (Figure 4b), byte-alignment and words-per-entry (Figure 4c),
+   bits-per-word severity (Figure 5), and the Table-1 pattern probabilities
+   via :func:`repro.errormodel.classify.classify_error`.
+
+Observed flips are data-bit offsets (0-255); for Table-1 classification
+they are mapped onto transmitted coordinates using the non-interleaved
+layout (data bit ``d`` rides pin ``d % 64`` in beat ``d // 64``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.beam.events import BITS_PER_WORD, WORDS_PER_ENTRY, EventClass
+from repro.beam.microbenchmark import MismatchRecord
+from repro.core.layout import ENTRY_BITS, NUM_PINS
+from repro.errormodel.classify import classify_error
+from repro.errormodel.patterns import ErrorPattern
+
+__all__ = [
+    "FilterResult",
+    "filter_intermittent",
+    "ObservedEvent",
+    "group_events",
+    "breadth_class_fractions",
+    "mbme_breadth_histogram",
+    "byte_alignment_stats",
+    "bits_per_word_histogram",
+    "derive_table1",
+]
+
+
+# --------------------------------------------------------------------------
+# 1. Intermittent-error filtering
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FilterResult:
+    """Soft-error records, intermittent records, and damaged entry set."""
+
+    soft_records: list[MismatchRecord]
+    intermittent_records: list[MismatchRecord]
+    damaged_entries: frozenset[int]
+
+
+def filter_intermittent(records: list[MismatchRecord],
+                        min_cycles: int = 2) -> FilterResult:
+    """Split records into soft errors and displacement-damage artifacts.
+
+    An entry observed erroneous in ``min_cycles`` or more distinct write
+    cycles (across all runs and patterns) is damaged; all its records are
+    intermittent.
+    """
+    cycles_seen: dict[int, set[tuple[int, int]]] = defaultdict(set)
+    for record in records:
+        cycles_seen[record.entry_index].add((record.run, record.write_cycle))
+    damaged = frozenset(
+        entry for entry, cycles in cycles_seen.items() if len(cycles) >= min_cycles
+    )
+    soft = [r for r in records if r.entry_index not in damaged]
+    intermittent = [r for r in records if r.entry_index in damaged]
+    return FilterResult(soft, intermittent, damaged)
+
+
+# --------------------------------------------------------------------------
+# 2. Event grouping
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ObservedEvent:
+    """One reconstructed SEU: per-entry data-bit flip positions."""
+
+    run: int
+    write_cycle: int
+    read_pass: int
+    flips: dict[int, tuple[int, ...]]
+
+    @property
+    def breadth(self) -> int:
+        return len(self.flips)
+
+    @property
+    def total_bits(self) -> int:
+        return sum(len(positions) for positions in self.flips.values())
+
+    def event_class(self) -> EventClass:
+        """Figure 4a breadth/severity class."""
+        multi_entry = self.breadth > 1
+        multi_bit = any(len(positions) > 1 for positions in self.flips.values())
+        if multi_bit:
+            return EventClass.MBME if multi_entry else EventClass.MBSE
+        return EventClass.SBME if multi_entry else EventClass.SBSE
+
+    # -- severity helpers ---------------------------------------------------
+    def words_of(self, positions: tuple[int, ...]) -> dict[int, list[int]]:
+        """Group one entry's flips by 64b word (word -> within-word bits)."""
+        grouped: dict[int, list[int]] = defaultdict(list)
+        for position in positions:
+            grouped[position // BITS_PER_WORD].append(position % BITS_PER_WORD)
+        return dict(grouped)
+
+    def is_byte_aligned(self) -> bool:
+        """True when every affected word's flips share one aligned byte."""
+        for positions in self.flips.values():
+            for bits in self.words_of(positions).values():
+                if len({bit // 8 for bit in bits}) != 1:
+                    return False
+        return True
+
+
+def group_events(soft_records: list[MismatchRecord]) -> list[ObservedEvent]:
+    """Reconstruct SEU events from filtered mismatch records.
+
+    Soft errors persist until the next write, so the same corruption is
+    re-observed on every later read pass of its write cycle; only the
+    *first* observation of each (entry, cycle) carries timing information,
+    and first-observations sharing a read pass form one event.
+    """
+    first_seen: dict[tuple[int, int, int], MismatchRecord] = {}
+    for record in sorted(soft_records, key=lambda r: r.time_s):
+        key = (record.run, record.write_cycle, record.entry_index)
+        if key not in first_seen:
+            first_seen[key] = record
+
+    grouped: dict[tuple[int, int, int], dict[int, tuple[int, ...]]] = defaultdict(dict)
+    for record in first_seen.values():
+        event_key = (record.run, record.write_cycle, record.read_pass)
+        grouped[event_key][record.entry_index] = record.bit_positions
+
+    return [
+        ObservedEvent(run=run, write_cycle=cycle, read_pass=read_pass, flips=flips)
+        for (run, cycle, read_pass), flips in sorted(grouped.items())
+    ]
+
+
+# --------------------------------------------------------------------------
+# 3. Statistics — Figures 4 and 5, Table 1
+# --------------------------------------------------------------------------
+
+def events_from_truth(true_events) -> list[ObservedEvent]:
+    """Convert ground-truth :class:`~repro.beam.events.SoftErrorEvent`
+    objects into :class:`ObservedEvent` records.
+
+    For statistics-scale runs (thousands of events for Figure 4/5 and
+    Table 1) driving the full device/microbenchmark loop adds nothing but
+    time; the conversion lets the analysis functions below run directly on
+    generator output.  The full observation path (device, scanning,
+    intermittent filtering, event grouping) is exercised by smaller
+    campaigns in the test-suite.
+    """
+    observed = []
+    for index, event in enumerate(true_events):
+        observed.append(
+            ObservedEvent(
+                run=0,
+                write_cycle=0,
+                read_pass=index,
+                flips={
+                    entry: tuple(int(b) for b in positions)
+                    for entry, positions in event.flips.items()
+                },
+            )
+        )
+    return observed
+
+
+def breadth_class_fractions(events: list[ObservedEvent]) -> dict[EventClass, float]:
+    """Figure 4a: the SBSE/SBME/MBSE/MBME mixture."""
+    if not events:
+        raise ValueError("no events to classify")
+    counts = Counter(event.event_class() for event in events)
+    return {klass: counts.get(klass, 0) / len(events) for klass in EventClass}
+
+
+def mbme_breadth_histogram(events: list[ObservedEvent]) -> dict[str, int]:
+    """Figure 4b: MBME breadth in exponentially-sized bins."""
+    histogram: dict[str, int] = {}
+    edges = [2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+    labels = [f"{low}-{high - 1}" for low, high in zip(edges[:-1], edges[1:])]
+    counts = [0] * len(labels)
+    for event in events:
+        if event.event_class() is not EventClass.MBME:
+            continue
+        for index, (low, high) in enumerate(zip(edges[:-1], edges[1:])):
+            if low <= event.breadth < high:
+                counts[index] += 1
+                break
+    for label, count in zip(labels, counts):
+        histogram[label] = count
+    return histogram
+
+
+def byte_alignment_stats(events: list[ObservedEvent]) -> dict[str, float]:
+    """Figure 4c: byte-aligned fraction and words-affected-per-entry."""
+    multi_bit = [
+        event
+        for event in events
+        if event.event_class() in (EventClass.MBSE, EventClass.MBME)
+    ]
+    if not multi_bit:
+        raise ValueError("no multi-bit events observed")
+    aligned = [event for event in multi_bit if event.is_byte_aligned()]
+
+    def words_histogram(subset: list[ObservedEvent]) -> dict[int, float]:
+        counts: Counter[int] = Counter()
+        total = 0
+        for event in subset:
+            for positions in event.flips.values():
+                counts[len(event.words_of(positions))] += 1
+                total += 1
+        return {
+            words: counts.get(words, 0) / total
+            for words in range(1, WORDS_PER_ENTRY + 1)
+        }
+
+    non_aligned = [event for event in multi_bit if not event.is_byte_aligned()]
+    stats: dict[str, float] = {
+        "byte_aligned_fraction": len(aligned) / len(multi_bit),
+    }
+    if aligned:
+        for words, fraction in words_histogram(aligned).items():
+            stats[f"aligned_words_{words}"] = fraction
+    if non_aligned:
+        for words, fraction in words_histogram(non_aligned).items():
+            stats[f"non_aligned_words_{words}"] = fraction
+    return stats
+
+
+def bits_per_word_histogram(events: list[ObservedEvent], *,
+                            byte_aligned: bool) -> dict[int, float]:
+    """Figure 5: bits flipped per erroneous 64b word, multi-bit events only."""
+    counts: Counter[int] = Counter()
+    total = 0
+    for event in events:
+        if event.event_class() not in (EventClass.MBSE, EventClass.MBME):
+            continue
+        if event.is_byte_aligned() != byte_aligned:
+            continue
+        for positions in event.flips.values():
+            for bits in event.words_of(positions).values():
+                counts[len(bits)] += 1
+                total += 1
+    if total == 0:
+        return {}
+    return {severity: count / total for severity, count in sorted(counts.items())}
+
+
+def _data_flips_to_entry_error(positions: tuple[int, ...]) -> np.ndarray:
+    """Map data-bit offsets (0-255) to a 288-bit transmitted error vector
+    using the non-interleaved layout: data bit d -> beat d//64, pin d%64."""
+    error = np.zeros(ENTRY_BITS, dtype=np.uint8)
+    for position in positions:
+        beat, pin = divmod(position, BITS_PER_WORD)
+        error[beat * NUM_PINS + pin] = 1
+    return error
+
+
+def derive_table1(events: list[ObservedEvent]) -> dict[ErrorPattern, float]:
+    """Table 1: per-event pattern probabilities.
+
+    Figure 8 weights outcomes "given a random single event", so each event
+    contributes total weight 1; a broad event whose entries show a mix of
+    per-entry patterns spreads its weight across them.  (Weighting per
+    *entry* instead would let a single thousand-entry MBME event dominate
+    the distribution.)
+    """
+    weights: dict[ErrorPattern, float] = {pattern: 0.0 for pattern in ErrorPattern}
+    if not events:
+        raise ValueError("no events to classify")
+    for event in events:
+        share = 1.0 / event.breadth
+        for positions in event.flips.values():
+            pattern = classify_error(_data_flips_to_entry_error(positions))
+            weights[pattern] += share
+    total = sum(weights.values())
+    return {pattern: weight / total for pattern, weight in weights.items()}

@@ -1,0 +1,270 @@
+"""Command-line interface: ``python -m repro <command>`` (or ``repro``).
+
+Gives shell access to the main workflows of the library:
+
+``schemes``     list every available ECC organization
+``evaluate``    per-pattern and Table-1-weighted outcomes for one scheme
+``fig8``        the Figure-8 comparison across all nine organizations
+``hardware``    Table-3 encoder/decoder synthesis estimates
+``campaign``    run a simulated beam campaign and derive the error patterns
+``system``      exascale MTTI/MTTF and the ISO 26262 automotive assessment
+``search``      run the genetic SEC-2bEC code search and print the H matrix
+``report``      generate the full reproduction report as Markdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.analysis.tables import format_percent, format_table
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Characterizing and Mitigating Soft "
+                    "Errors in GPU DRAM' (MICRO 2021).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("schemes", help="list available ECC organizations")
+
+    evaluate = sub.add_parser("evaluate", help="evaluate one ECC scheme")
+    evaluate.add_argument("scheme", help="registry name, e.g. trio")
+    evaluate.add_argument("--samples", type=int, default=20_000,
+                          help="Monte Carlo samples per sampled pattern")
+    evaluate.add_argument("--seed", type=int, default=1234)
+
+    fig8 = sub.add_parser("fig8", help="Figure-8 comparison of all schemes")
+    fig8.add_argument("--samples", type=int, default=20_000)
+    fig8.add_argument("--seed", type=int, default=1234)
+
+    sub.add_parser("hardware", help="Table-3 synthesis estimates")
+
+    campaign = sub.add_parser("campaign", help="run a simulated beam campaign")
+    campaign.add_argument("--runs", type=int, default=3)
+    campaign.add_argument("--seed", type=int, default=2021)
+    campaign.add_argument("--events", type=int, default=3000,
+                          help="generator-truth events for the statistics")
+
+    system = sub.add_parser("system", help="HPC and automotive system models")
+    system.add_argument("--scheme", default="trio")
+    system.add_argument("--samples", type=int, default=20_000)
+    system.add_argument("--exaflops", type=float, nargs="+",
+                        default=[0.5, 1.0, 2.0])
+
+    report = sub.add_parser("report", help="full reproduction report (Markdown)")
+    report.add_argument("-o", "--output", default=None,
+                        help="write to a file instead of stdout")
+    report.add_argument("--samples", type=int, default=20_000)
+    report.add_argument("--seed", type=int, default=20211018)
+
+    search = sub.add_parser("search", help="genetic SEC-2bEC code search")
+    search.add_argument("--population", type=int, default=24)
+    search.add_argument("--generations", type=int, default=40)
+    search.add_argument("--seed", type=int, default=2021)
+    return parser
+
+
+# ---------------------------------------------------------------------------
+# Subcommand implementations
+# ---------------------------------------------------------------------------
+
+def _cmd_schemes() -> None:
+    from repro.core import all_schemes
+    from repro.core.registry import EXTENSION_SCHEME_NAMES, get_scheme
+
+    rows = [
+        [scheme.name, scheme.label, "yes" if scheme.corrects_pins else "no"]
+        for scheme in all_schemes()
+    ]
+    for name in EXTENSION_SCHEME_NAMES:
+        scheme = get_scheme(name)
+        rows.append([scheme.name, scheme.label + " [extension]",
+                     "yes" if scheme.corrects_pins else "no"])
+    print(format_table(["name", "organization", "pin correction"], rows))
+
+
+def _cmd_evaluate(args) -> None:
+    from repro.core import get_scheme
+    from repro.errormodel import evaluate_scheme, weighted_outcomes
+
+    scheme = get_scheme(args.scheme)
+    per_pattern = evaluate_scheme(scheme, samples=args.samples, seed=args.seed)
+    rows = [
+        [pattern.value, outcome.events,
+         f"{outcome.dce:.4%}", f"{outcome.due:.4%}",
+         format_percent(outcome.sdc),
+         "exhaustive" if outcome.exhaustive else "sampled"]
+        for pattern, outcome in per_pattern.items()
+    ]
+    print(format_table(
+        ["pattern", "events", "corrected", "DUE", "SDC", "method"],
+        rows, title=f"{scheme.label} — per-pattern outcomes",
+    ))
+    outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
+    print(
+        f"\nTable-1 weighted: corrected {outcome.correct:.2%}, "
+        f"DUE {outcome.detect:.2%}, SDC {format_percent(outcome.sdc)}"
+    )
+
+
+def _cmd_fig8(args) -> None:
+    from repro.core import all_schemes
+    from repro.errormodel import weighted_outcomes
+
+    rows = []
+    for scheme in all_schemes():
+        outcome = weighted_outcomes(scheme, samples=args.samples,
+                                    seed=args.seed)
+        rows.append([
+            scheme.label, f"{outcome.correct:.2%}",
+            f"{outcome.detect:.2%}", format_percent(outcome.sdc),
+        ])
+    print(format_table(["scheme", "corrected", "DUE", "SDC"], rows,
+                       title="Figure 8 — Table-1-weighted outcomes"))
+
+
+def _cmd_hardware() -> None:
+    from repro.hardware.synth import table3_rows
+
+    encoders, decoders = table3_rows()
+    for title, rows in (("Encoders", encoders), ("Decoders", decoders)):
+        baseline = rows[0]
+        rendered = []
+        for row in rows:
+            for label, stats, base in (("Perf.", row.perf, baseline.perf),
+                                       ("Eff.", row.eff, baseline.eff)):
+                rendered.append([
+                    row.name, label, f"{stats.area:,.0f}",
+                    f"{stats.area_overhead(base):+.1%}",
+                    f"{stats.delay_ns:.3f}",
+                ])
+        print(format_table(
+            ["circuit", "point", "area (AND2)", "vs SEC-DED", "delay (ns)"],
+            rendered, title=f"Table 3 — {title}",
+        ))
+        print()
+
+
+def _cmd_campaign(args) -> None:
+    from repro.beam import (
+        BeamCampaign,
+        CampaignConfig,
+        DamageParameters,
+        EventParameters,
+        SoftErrorEventGenerator,
+        breadth_class_fractions,
+        derive_table1,
+        filter_intermittent,
+        group_events,
+    )
+    from repro.beam.postprocess import events_from_truth
+
+    config = CampaignConfig(
+        runs=args.runs, write_cycles=6, reads_per_write=3, loop_time_s=2.0,
+        seed=args.seed,
+        event_parameters=EventParameters(mean_time_to_event_s=8.0),
+        damage_parameters=DamageParameters(leaky_pool=100,
+                                           saturation_fluence=3e8),
+    )
+    result = BeamCampaign(config).run()
+    filtered = filter_intermittent(result.records)
+    observed = group_events(filtered.soft_records)
+    print(f"beam time {result.clock.elapsed_s:,.0f}s | "
+          f"{len(result.events)} injected events | "
+          f"{len(observed)} observed | "
+          f"{len(filtered.damaged_entries)} damaged entries filtered")
+
+    generator = SoftErrorEventGenerator(seed=args.seed)
+    observed += events_from_truth(
+        [generator.generate_event(20.0 * i) for i in range(args.events)]
+    )
+    print("\nEvent classes (Figure 4a):")
+    for klass, fraction in breadth_class_fractions(observed).items():
+        print(f"  {klass.name}: {fraction:.1%}")
+    print("\nDerived Table 1:")
+    for pattern, probability in derive_table1(observed).items():
+        print(f"  {pattern.value:8s}: {probability:.2%}")
+
+
+def _cmd_system(args) -> None:
+    from repro.core import get_scheme
+    from repro.errormodel import weighted_outcomes
+    from repro.system import ExascaleSystem, assess_scheme
+
+    outcome = weighted_outcomes(get_scheme(args.scheme), samples=args.samples)
+    system = ExascaleSystem()
+    rows = []
+    for exaflops in args.exaflops:
+        point = system.point(exaflops, outcome)
+        rows.append([
+            f"{exaflops:.2f}", f"{point.gpus:,}",
+            f"{point.mtti_hours:.1f}", f"{point.mttf_months:,.1f}",
+        ])
+    print(format_table(
+        ["exaflops", "GPUs", "MTTI (h)", "MTTF (months)"],
+        rows, title=f"{args.scheme} at exascale (Figure 9)",
+    ))
+    assessment = assess_scheme(outcome)
+    verdict = "PASS" if assessment.meets_iso26262 else "FAIL"
+    print(f"\nAutomotive (§7.3): {assessment.sdc_fit:.3g} SDC FIT/GPU "
+          f"-> ISO 26262 {verdict}; fleet: "
+          f"{assessment.fleet_sdc_per_day:.3g} SDC/day, "
+          f"{assessment.fleet_due_cars_per_day:,.0f} DUE cars/day")
+
+
+def _cmd_report(args) -> None:
+    from repro.analysis.report import generate_report
+
+    markdown = generate_report(samples=args.samples, seed=args.seed)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(markdown)
+        print(f"report written to {args.output}")
+    else:
+        print(markdown)
+
+
+def _cmd_search(args) -> None:
+    from repro.codes.base32 import encode_h_matrix
+    from repro.codes.genetic import search_sec2bec
+
+    result = search_sec2bec(population=args.population,
+                            generations=args.generations, seed=args.seed)
+    print(f"best SEC-2bEC code after {result.generations_run} generations: "
+          f"{result.miscorrections} non-aligned 2b aliases "
+          f"(paper's Equation 3: 553)")
+    print("H matrix (Crockford Base32, one row per line):")
+    for row in encode_h_matrix(result.code.h):
+        print(f"  {row}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "schemes":
+        _cmd_schemes()
+    elif args.command == "evaluate":
+        _cmd_evaluate(args)
+    elif args.command == "fig8":
+        _cmd_fig8(args)
+    elif args.command == "hardware":
+        _cmd_hardware()
+    elif args.command == "campaign":
+        _cmd_campaign(args)
+    elif args.command == "system":
+        _cmd_system(args)
+    elif args.command == "report":
+        _cmd_report(args)
+    elif args.command == "search":
+        _cmd_search(args)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

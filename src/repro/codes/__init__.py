@@ -1,0 +1,39 @@
+"""Code-construction substrate: binary linear codes and Reed-Solomon codes."""
+
+from repro.codes.base32 import b32_decode_int, b32_encode_int, decode_h_matrix, encode_h_matrix
+from repro.codes.genetic import search_sec2bec
+from repro.codes.hsiao import HSIAO_72_64, hsiao_code, hsiao_h_matrix
+from repro.codes.linear import BinaryLinearCode, PairTable
+from repro.codes.reed_solomon import ReedSolomonCode, RSDecodeResult, RSDecodeStatus
+from repro.codes.sec2bec import (
+    PAPER_H_ROWS_BASE32,
+    SEC_2BEC_72_64,
+    adjacent_pairs,
+    interleave_column_permutation,
+    paper_pair_table,
+    stride4_pairs,
+    validate_sec2bec,
+)
+
+__all__ = [
+    "b32_decode_int",
+    "b32_encode_int",
+    "decode_h_matrix",
+    "encode_h_matrix",
+    "search_sec2bec",
+    "HSIAO_72_64",
+    "hsiao_code",
+    "hsiao_h_matrix",
+    "BinaryLinearCode",
+    "PairTable",
+    "ReedSolomonCode",
+    "RSDecodeResult",
+    "RSDecodeStatus",
+    "PAPER_H_ROWS_BASE32",
+    "SEC_2BEC_72_64",
+    "adjacent_pairs",
+    "interleave_column_permutation",
+    "paper_pair_table",
+    "stride4_pairs",
+    "validate_sec2bec",
+]

@@ -1,0 +1,77 @@
+"""Crockford Base32 codec for parity-check matrices.
+
+The paper publishes its SEC-2bEC H-matrix (Equation 3) with each row printed
+as a Crockford Base32 string, most-significant character first.  This module
+round-trips that representation so the embedded matrix in
+:mod:`repro.codes.sec2bec` is byte-identical to the paper's, and so newly
+searched codes (:mod:`repro.codes.genetic`) can be printed the same way.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.gf2 import bits_from_int, int_from_bits
+
+__all__ = [
+    "CROCKFORD_ALPHABET",
+    "b32_decode_int",
+    "b32_encode_int",
+    "decode_h_matrix",
+    "encode_h_matrix",
+]
+
+#: Crockford's alphabet: digits then letters, excluding I, L, O and U.
+CROCKFORD_ALPHABET = "0123456789ABCDEFGHJKMNPQRSTVWXYZ"
+
+_DECODE_MAP = {char: index for index, char in enumerate(CROCKFORD_ALPHABET)}
+# Crockford decoding treats easily-confused letters as their digit lookalikes.
+_DECODE_MAP.update({"O": 0, "I": 1, "L": 1})
+
+
+def b32_decode_int(text: str) -> int:
+    """Decode a Crockford Base32 string (MSB character first) to an int."""
+    value = 0
+    for char in text.strip().upper():
+        if char == "-":
+            continue  # Crockford permits cosmetic hyphens
+        if char not in _DECODE_MAP:
+            raise ValueError(f"invalid Crockford Base32 character: {char!r}")
+        value = value * 32 + _DECODE_MAP[char]
+    return value
+
+
+def b32_encode_int(value: int, length: int) -> str:
+    """Encode an int as ``length`` Crockford Base32 characters."""
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> (5 * length):
+        raise ValueError(f"value does not fit in {length} base32 characters")
+    chars = []
+    for _ in range(length):
+        chars.append(CROCKFORD_ALPHABET[value & 31])
+        value >>= 5
+    return "".join(reversed(chars))
+
+
+def decode_h_matrix(rows: list[str], num_cols: int) -> np.ndarray:
+    """Decode Base32 row strings into an (R, num_cols) GF(2) matrix.
+
+    Bit 0 of each decoded integer is the *last* (rightmost) column, matching
+    how the paper prints rows left-to-right from column 0.
+    """
+    matrix = np.zeros((len(rows), num_cols), dtype=np.uint8)
+    for row_index, text in enumerate(rows):
+        value = b32_decode_int(text)
+        matrix[row_index] = bits_from_int(value, num_cols, msb_first=True)
+    return matrix
+
+
+def encode_h_matrix(matrix: np.ndarray) -> list[str]:
+    """Inverse of :func:`decode_h_matrix` (rows padded to whole characters)."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    num_cols = matrix.shape[1]
+    length = -(-num_cols // 5)  # ceil division: 5 bits per character
+    return [
+        b32_encode_int(int_from_bits(row, msb_first=True), length) for row in matrix
+    ]

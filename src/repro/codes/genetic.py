@@ -1,0 +1,181 @@
+"""Genetic search for SEC-2bEC parity-check matrices.
+
+The paper derives its (72, 64) SEC-2bEC code "using a genetic algorithm",
+optimized so that non-aligned 2-bit errors rarely alias an aligned-pair
+syndrome (a ~20% miscorrection-risk reduction over the prior
+SEC-DED-DAEC construction it cites).  This module reproduces that search so
+new codes with the same structural guarantees can be generated:
+
+* every column is a distinct, non-zero, odd-weight R-bit vector (SEC-DED
+  behaviour when 2-bit correction is disabled),
+* the 36 aligned-pair syndromes are mutually distinct (and, because they
+  have even weight, automatically distinct from the odd single-bit
+  syndromes), and
+* the last R columns are the identity block, keeping the check bits at
+  positions 64-71 like both the Hsiao baseline and the paper's matrix.
+
+Fitness is the number of *non-aligned* double-bit errors whose syndrome
+collides with an aligned-pair syndrome — each such collision is a potential
+miscorrection, i.e. an SDC.  The search is deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.codes.linear import BinaryLinearCode
+from repro.codes.sec2bec import adjacent_pairs, validate_sec2bec
+
+__all__ = ["GeneticSearchResult", "search_sec2bec", "miscorrection_count"]
+
+
+def _odd_weight_values(num_rows: int) -> np.ndarray:
+    """All odd-weight column values on ``num_rows`` bits, excluding weight 1
+    (reserved for the identity block)."""
+    values = np.arange(1, 1 << num_rows, dtype=np.int64)
+    weights = np.array([bin(v).count("1") for v in values.tolist()])
+    return values[(weights % 2 == 1) & (weights > 1)]
+
+
+def _columns_valid(columns: np.ndarray) -> bool:
+    """Distinct columns and distinct aligned-pair syndromes (full codeword,
+    identity block included — the check-bit pairs also form 2b symbols)."""
+    if len(set(columns.tolist())) != columns.size:
+        return False
+    pair_syn = columns[0::2] ^ columns[1::2]
+    return len(set(pair_syn.tolist())) == pair_syn.size
+
+
+def miscorrection_count(columns: np.ndarray) -> int:
+    """Number of non-aligned double-bit errors aliasing an aligned pair.
+
+    ``columns`` is the full length-N integer column vector (identity block
+    included).  This is the quantity the paper's GA minimizes.
+    """
+    n = columns.size
+    pair_syndromes = set((columns[0::2] ^ columns[1::2]).tolist())
+    xors = columns[:, None] ^ columns[None, :]
+    upper = np.triu_indices(n, k=1)
+    count = 0
+    for i, j in zip(*upper):
+        if j == i + 1 and i % 2 == 0:
+            continue  # aligned pair — correctable by design
+        if int(xors[i, j]) in pair_syndromes:
+            count += 1
+    return count
+
+
+@dataclass(frozen=True)
+class GeneticSearchResult:
+    """Outcome of a genetic SEC-2bEC search."""
+
+    code: BinaryLinearCode
+    miscorrections: int
+    generations_run: int
+
+
+def _random_genome(rng: np.random.Generator, pool: np.ndarray,
+                   num_data: int, num_rows: int) -> np.ndarray:
+    """A random valid data-column arrangement (identity block appended later)."""
+    while True:
+        genome = rng.choice(pool, size=num_data, replace=False)
+        if _columns_valid(_with_identity(genome, num_rows)):
+            return genome
+
+
+def _with_identity(genome: np.ndarray, num_rows: int) -> np.ndarray:
+    identity = np.array([1 << row for row in range(num_rows)], dtype=np.int64)
+    return np.concatenate([genome, identity])
+
+
+def _fitness(genome: np.ndarray, num_rows: int) -> int:
+    return miscorrection_count(_with_identity(genome, num_rows))
+
+
+def _mutate(rng: np.random.Generator, genome: np.ndarray,
+            pool: np.ndarray) -> np.ndarray:
+    """Replace one column with an unused pool value, or swap two positions."""
+    child = genome.copy()
+    if rng.random() < 0.5:
+        unused = np.setdiff1d(pool, child, assume_unique=False)
+        child[rng.integers(child.size)] = rng.choice(unused)
+    else:
+        a, b = rng.choice(child.size, size=2, replace=False)
+        child[a], child[b] = child[b], child[a]
+    return child
+
+
+def _crossover(rng: np.random.Generator, mother: np.ndarray,
+               father: np.ndarray) -> np.ndarray:
+    """Pair-granular one-point crossover with duplicate repair."""
+    num_pairs = mother.size // 2
+    cut = int(rng.integers(1, num_pairs))
+    child = np.concatenate([mother[: 2 * cut], father[2 * cut :]])
+    # Repair duplicates introduced by mixing parents.
+    seen: set[int] = set()
+    duplicates = []
+    for index, value in enumerate(child.tolist()):
+        if value in seen:
+            duplicates.append(index)
+        seen.add(value)
+    if duplicates:
+        replacements = np.setdiff1d(np.union1d(mother, father), child)
+        extra = np.setdiff1d(mother, child)
+        pool = np.union1d(replacements, extra)
+        for index, value in zip(duplicates, pool[: len(duplicates)]):
+            child[index] = value
+    return child
+
+
+def search_sec2bec(
+    *,
+    num_rows: int = 8,
+    num_data: int = 64,
+    population: int = 24,
+    generations: int = 40,
+    seed: int = 2021,
+) -> GeneticSearchResult:
+    """Run the genetic search and return the best valid code found.
+
+    The defaults are sized to run in seconds; the resulting codes satisfy
+    every structural SEC-2bEC property (enforced by
+    :func:`repro.codes.sec2bec.validate_sec2bec` before returning), with
+    miscorrection counts approaching the paper's published matrix when run
+    for more generations.
+    """
+    rng = np.random.default_rng(seed)
+    pool = _odd_weight_values(num_rows)
+    genomes = [_random_genome(rng, pool, num_data, num_rows) for _ in range(population)]
+    scores = [_fitness(genome, num_rows) for genome in genomes]
+
+    for generation in range(generations):
+        order = np.argsort(scores)
+        elite = [genomes[i] for i in order[: max(2, population // 4)]]
+        next_generation = list(elite)
+        while len(next_generation) < population:
+            mother, father = (
+                elite[int(rng.integers(len(elite)))] for _ in range(2)
+            )
+            child = _crossover(rng, mother, father)
+            if rng.random() < 0.8:
+                child = _mutate(rng, child, pool)
+            if _columns_valid(_with_identity(child, num_rows)):
+                next_generation.append(child)
+        genomes = next_generation
+        scores = [_fitness(genome, num_rows) for genome in genomes]
+
+    best_index = int(np.argmin(scores))
+    columns = _with_identity(genomes[best_index], num_rows)
+    h_matrix = np.zeros((num_rows, columns.size), dtype=np.uint8)
+    for position, value in enumerate(columns.tolist()):
+        for row in range(num_rows):
+            h_matrix[row, position] = (value >> row) & 1
+    code = BinaryLinearCode(h_matrix, name=f"ga-sec-2bec({columns.size},{num_data})")
+    validate_sec2bec(code, adjacent_pairs(columns.size))
+    return GeneticSearchResult(
+        code=code,
+        miscorrections=int(scores[best_index]),
+        generations_run=generations,
+    )

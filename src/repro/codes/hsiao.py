@@ -1,0 +1,96 @@
+"""Hsiao minimum-odd-weight-column SEC-DED codes.
+
+The paper's binary baseline is the "(72, 64) SEC-DED version 1" Hsiao code:
+every H column has odd weight (so any double-bit error produces an
+even-weight syndrome, which cannot alias a column — DED comes for free) and
+row weights are balanced to minimize the widest XOR tree in the encoder.
+
+The construction below is deterministic: it takes the 8 weight-1 columns for
+the check bits, all 56 weight-3 columns, and completes the 64 data columns
+with 8 weight-5 columns chosen greedily to keep row weights balanced —
+Hsiao's published selection criterion.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.codes.linear import BinaryLinearCode
+
+__all__ = ["hsiao_h_matrix", "hsiao_code", "HSIAO_72_64"]
+
+
+def _columns_of_weight(num_rows: int, weight: int) -> list[int]:
+    """All ``num_rows``-bit column values of the given Hamming weight."""
+    columns = []
+    for rows in combinations(range(num_rows), weight):
+        value = 0
+        for row in rows:
+            value |= 1 << row
+        columns.append(value)
+    return columns
+
+
+def hsiao_h_matrix(num_check: int = 8, num_data: int = 64) -> np.ndarray:
+    """Construct an (num_check, num_data + num_check) Hsiao H-matrix.
+
+    Data columns occupy positions ``0..num_data-1`` and the weight-1 check
+    columns occupy the last ``num_check`` positions (matching the layout of
+    the paper's SEC-2bEC matrix, whose identity block also sits at columns
+    64-71).
+    """
+    data_columns: list[int] = []
+    row_weights = np.zeros(num_check, dtype=np.int64)
+
+    def add(column: int) -> None:
+        data_columns.append(column)
+        for row in range(num_check):
+            if (column >> row) & 1:
+                row_weights[row] += 1
+
+    remaining = num_data
+    for weight in range(3, num_check + 1, 2):
+        candidates = _columns_of_weight(num_check, weight)
+        if len(candidates) <= remaining:
+            for column in candidates:
+                add(column)
+            remaining -= len(candidates)
+            continue
+        # Partial tier: choose columns greedily so row weights stay balanced.
+        available = set(candidates)
+        for _ in range(remaining):
+            best = min(
+                sorted(available),
+                key=lambda col: (
+                    sum(int(row_weights[row]) for row in range(num_check)
+                        if (col >> row) & 1),
+                    col,
+                ),
+            )
+            available.remove(best)
+            add(best)
+        remaining = 0
+        break
+    if remaining:
+        raise ValueError("not enough odd-weight columns for requested size")
+
+    check_columns = [1 << row for row in range(num_check)]
+    all_columns = data_columns + check_columns
+    matrix = np.zeros((num_check, len(all_columns)), dtype=np.uint8)
+    for position, column in enumerate(all_columns):
+        for row in range(num_check):
+            matrix[row, position] = (column >> row) & 1
+    return matrix
+
+
+def hsiao_code(num_check: int = 8, num_data: int = 64) -> BinaryLinearCode:
+    """The Hsiao SEC-DED code as a :class:`BinaryLinearCode`."""
+    return BinaryLinearCode(
+        hsiao_h_matrix(num_check, num_data), name=f"hsiao({num_data + num_check},{num_data})"
+    )
+
+
+#: The paper's baseline (72, 64) SEC-DED code.
+HSIAO_72_64 = hsiao_code()

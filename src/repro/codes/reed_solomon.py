@@ -1,0 +1,251 @@
+"""Reed-Solomon codes over GF(2^8) for the paper's symbol-based organizations.
+
+Three decoders are provided, mirroring Section 6.2:
+
+* :meth:`ReedSolomonCode.decode_one_shot_ssc` — the single-cycle decoder of
+  Figure 7c for (18, 16) SSC codewords: the error location is the discrete-log
+  quotient of the two syndromes (``DLogα`` + end-around-carry subtract).
+* :meth:`ReedSolomonCode.decode_dsd_plus` — SSC-DSD+ for a (36, 32) codeword
+  with four check symbols: three independent one-shot locators (one per
+  adjacent syndrome pair) must agree before correction is allowed, giving
+  single-symbol correction, full double-symbol detection and
+  nearly-complete triple-symbol detection without solving the error-locator
+  polynomial.
+* :meth:`ReedSolomonCode.decode_algebraic` — textbook Berlekamp-Massey +
+  Chien + Forney decoding, used to model the DSC and SSC-TSD organizations
+  the paper rejects for their >= 8-cycle iterative decoders, and as a
+  cross-check oracle in tests.
+
+Symbol ``j`` of a codeword has locator ``α^j``; syndromes are
+``S_m = Σ_j c_j · α^{j·m}`` and a valid codeword has all syndromes zero.
+
+Batch (vectorized) syndrome/decode paths used by the Monte Carlo harness live
+in :mod:`repro.core.rs_ssc` and :mod:`repro.core.ssc_dsd`; this module is the
+scalar reference implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.gf.gf256 import ORDER, dlog, gf_div, gf_inv, gf_mul, gf_pow_generator
+from repro.gf.polynomial import Poly
+
+__all__ = ["RSDecodeStatus", "RSDecodeResult", "ReedSolomonCode"]
+
+
+class RSDecodeStatus(Enum):
+    """Decoder-visible result of a Reed-Solomon decode."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"
+    DETECTED = "detected"  # detected-yet-uncorrectable (DUE)
+
+
+@dataclass(frozen=True)
+class RSDecodeResult:
+    """Outcome of decoding one codeword.
+
+    ``codeword`` is the post-correction word (valid for CLEAN/CORRECTED);
+    ``error_locations``/``error_values`` describe the applied correction.
+    """
+
+    status: RSDecodeStatus
+    codeword: np.ndarray | None
+    error_locations: tuple[int, ...] = ()
+    error_values: tuple[int, ...] = ()
+
+
+class ReedSolomonCode:
+    """An (n, k) Reed-Solomon code over GF(2^8) with ``r = n - k`` checks."""
+
+    def __init__(self, n: int, k: int, name: str | None = None) -> None:
+        if not 0 < k < n <= ORDER:
+            raise ValueError("require 0 < k < n <= 255")
+        self.n = n
+        self.k = k
+        self.r = n - k
+        self.name = name or f"rs({n},{k})"
+        self.generator = Poly.rs_generator(self.r)
+        #: locator_powers[m, j] = α^(j*m); syndrome m is the GF dot product
+        #: of the codeword with row m.
+        self.locator_powers = gf_pow_generator(
+            np.outer(np.arange(self.r), np.arange(n)) % ORDER
+        ).astype(np.uint8)
+        self.locator_powers[np.outer(np.arange(self.r), np.arange(n)) % ORDER == 0] = 1
+        # α^0 == 1 for every (m=0, j) and (m, j=0) entry.
+
+    # -- encode ---------------------------------------------------------------
+    def encode(self, data_symbols: np.ndarray) -> np.ndarray:
+        """Systematic encode: data in positions ``r..n-1``, checks in ``0..r-1``.
+
+        The message polynomial is shifted up by ``x^r`` and the checks are the
+        long-division remainder, so every codeword is a multiple of the
+        generator polynomial (all syndromes zero).
+        """
+        data_symbols = np.asarray(data_symbols, dtype=np.uint8).reshape(-1)
+        if data_symbols.size != self.k:
+            raise ValueError(f"expected {self.k} data symbols, got {data_symbols.size}")
+        message = Poly(data_symbols).shift(self.r)
+        parity = message % self.generator
+        codeword = np.zeros(self.n, dtype=np.uint8)
+        codeword[self.r :] = data_symbols
+        for power in range(min(self.r, parity.degree + 1)):
+            codeword[power] = parity[power]
+        return codeword
+
+    def extract_data(self, codeword: np.ndarray) -> np.ndarray:
+        """Data symbols of a systematic codeword."""
+        return np.asarray(codeword, dtype=np.uint8)[self.r :].copy()
+
+    # -- syndromes --------------------------------------------------------------
+    def syndromes(self, received: np.ndarray) -> np.ndarray:
+        """The ``r`` syndromes of a received word."""
+        received = np.asarray(received, dtype=np.uint8).reshape(-1)
+        if received.size != self.n:
+            raise ValueError(f"expected {self.n} symbols")
+        products = gf_mul(self.locator_powers, received[None, :])
+        return np.bitwise_xor.reduce(products, axis=1).astype(np.uint8)
+
+    def is_codeword(self, received: np.ndarray) -> bool:
+        return bool(np.all(self.syndromes(received) == 0))
+
+    # -- one-shot decoders ----------------------------------------------------
+    def decode_one_shot_ssc(self, received: np.ndarray) -> RSDecodeResult:
+        """Single-symbol-correct decode with two syndromes (Figure 7c).
+
+        For a single error of value ``v`` at position ``j``: ``S0 = v`` and
+        ``S1 = v·α^j``, so ``j = dlog(S1) - dlog(S0) (mod 255)`` — computed in
+        hardware by the DLogα tables feeding an end-around-carry subtractor.
+        """
+        if self.r != 2:
+            raise ValueError("one-shot SSC requires exactly 2 check symbols")
+        received = np.asarray(received, dtype=np.uint8).copy()
+        s0, s1 = (int(s) for s in self.syndromes(received))
+        if s0 == 0 and s1 == 0:
+            return RSDecodeResult(RSDecodeStatus.CLEAN, received)
+        if s0 == 0 or s1 == 0:
+            # A single error makes both syndromes non-zero; this must be a
+            # multi-symbol error.
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        location = (dlog(s1) - dlog(s0)) % ORDER
+        if location >= self.n:
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        received[location] ^= s0
+        return RSDecodeResult(
+            RSDecodeStatus.CORRECTED, received, (location,), (s0,)
+        )
+
+    def decode_dsd_plus(self, received: np.ndarray) -> RSDecodeResult:
+        """SSC-DSD+ decode with four check symbols.
+
+        Each adjacent syndrome pair ``(S_m, S_{m+1})`` yields an independent
+        single-error location estimate; correction proceeds only when all
+        three agree and point inside the codeword.  Any disagreement — which
+        every double error and almost every triple error produces — raises a
+        DUE instead, the "conceptually similar to the correction sanity
+        check" behaviour of Section 6.3.
+        """
+        if self.r != 4:
+            raise ValueError("SSC-DSD+ requires exactly 4 check symbols")
+        received = np.asarray(received, dtype=np.uint8).copy()
+        syn = [int(s) for s in self.syndromes(received)]
+        if all(s == 0 for s in syn):
+            return RSDecodeResult(RSDecodeStatus.CLEAN, received)
+        if any(s == 0 for s in syn):
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        locations = {
+            (dlog(syn[m + 1]) - dlog(syn[m])) % ORDER for m in range(3)
+        }
+        if len(locations) != 1:
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        location = locations.pop()
+        if location >= self.n:
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        received[location] ^= syn[0]
+        return RSDecodeResult(
+            RSDecodeStatus.CORRECTED, received, (location,), (syn[0],)
+        )
+
+    # -- algebraic decoder -------------------------------------------------------
+    def decode_algebraic(self, received: np.ndarray,
+                         max_errors: int | None = None) -> RSDecodeResult:
+        """Berlekamp-Massey + Chien + Forney decode up to ``max_errors`` symbols.
+
+        ``max_errors`` defaults to ``r // 2`` (DSC for r=4).  Setting
+        ``max_errors=1`` with ``r=4`` models SSC-TSD: correct one symbol,
+        detect up to three.  This is the iterative, >= 8-cycle style of
+        decoder the paper deems too slow for GPU DRAM.
+        """
+        received = np.asarray(received, dtype=np.uint8).copy()
+        budget = self.r // 2 if max_errors is None else max_errors
+        syndrome_poly = Poly(self.syndromes(received))
+        if syndrome_poly.is_zero():
+            return RSDecodeResult(RSDecodeStatus.CLEAN, received)
+
+        locator = _berlekamp_massey(self.syndromes(received))
+        num_errors = locator.degree
+        if num_errors == 0 or num_errors > budget:
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+
+        # Chien search: roots of the locator are the inverse error locators.
+        locations = []
+        for position in range(self.n):
+            inverse_locator = gf_pow_generator(-position)
+            if locator.eval(inverse_locator) == 0:
+                locations.append(position)
+        if len(locations) != num_errors:
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+
+        # Forney's formula with the evaluator Ω = S·Λ mod x^r.  With the
+        # first consecutive generator root at α^0 the error value carries an
+        # extra X_j factor: e_j = X_j · Ω(X_j^{-1}) / Λ'(X_j^{-1}).
+        evaluator = (syndrome_poly * locator) % Poly.monomial(self.r)
+        locator_odd = locator.derivative()
+        values = []
+        for position in locations:
+            inverse_locator = gf_pow_generator(-position)
+            denominator = locator_odd.eval(inverse_locator)
+            if denominator == 0:
+                return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+            value = gf_mul(
+                gf_pow_generator(position),
+                gf_div(evaluator.eval(inverse_locator), denominator),
+            )
+            values.append(int(value))
+
+        for position, value in zip(locations, values):
+            received[position] ^= value
+        if not self.is_codeword(received):
+            return RSDecodeResult(RSDecodeStatus.DETECTED, None)
+        return RSDecodeResult(
+            RSDecodeStatus.CORRECTED, received, tuple(locations), tuple(values)
+        )
+
+
+def _berlekamp_massey(syndromes: np.ndarray) -> Poly:
+    """Error-locator polynomial Λ(x) from the syndrome sequence."""
+    locator = Poly.one()
+    previous = Poly.one()
+    shift = 1
+    errors = 0
+    for step, syndrome in enumerate(int(s) for s in syndromes):
+        # Discrepancy: S_step + Σ_i Λ_i · S_{step-i}.
+        discrepancy = syndrome
+        for i in range(1, errors + 1):
+            discrepancy ^= gf_mul(locator[i], int(syndromes[step - i]))
+        if discrepancy == 0:
+            shift += 1
+        elif 2 * errors <= step:
+            old_locator = locator
+            locator = locator + previous.shift(shift).scale(discrepancy)
+            previous = old_locator.scale(gf_inv(discrepancy))
+            errors = step + 1 - errors
+            shift = 1
+        else:
+            locator = locator + previous.shift(shift).scale(discrepancy)
+            shift += 1
+    return locator

@@ -1,0 +1,34 @@
+"""The paper's contribution: tailored ECC organizations for GPU HBM2."""
+
+from repro.core.binary import BinaryEntryScheme
+from repro.core.duet_trio import ReconfigurableDuetTrio
+from repro.core.interleave import deinterleave, interleave
+from repro.core.layout import DATA_BITS, ECC_BITS, ENTRY_BITS, NUM_BEATS, NUM_PINS
+from repro.core.registry import SCHEME_NAMES, all_schemes, get_scheme
+from repro.core.rs_ssc import InterleavedSSCScheme
+from repro.core.sanity_check import csc_violation, csc_violation_batch
+from repro.core.scheme import BatchDecode, DecodeResult, DecodeStatus, ECCScheme
+from repro.core.ssc_dsd import SSCDSDPlusScheme
+
+__all__ = [
+    "BinaryEntryScheme",
+    "ReconfigurableDuetTrio",
+    "InterleavedSSCScheme",
+    "SSCDSDPlusScheme",
+    "interleave",
+    "deinterleave",
+    "DATA_BITS",
+    "ECC_BITS",
+    "ENTRY_BITS",
+    "NUM_BEATS",
+    "NUM_PINS",
+    "SCHEME_NAMES",
+    "all_schemes",
+    "get_scheme",
+    "csc_violation",
+    "csc_violation_batch",
+    "BatchDecode",
+    "DecodeResult",
+    "DecodeStatus",
+    "ECCScheme",
+]

@@ -1,0 +1,197 @@
+"""Binary (bit- and 2b-symbol-correcting) entry schemes.
+
+One parametric class covers the paper's six binary organizations:
+
+=====================  ==========  ============  ===========  =====
+Organization           base code   interleaved   2b symbols   CSC
+=====================  ==========  ============  ===========  =====
+NI:SEC-DED (baseline)  Hsiao       no            —            no
+I:SEC-DED              Hsiao       yes           —            no
+DuetECC                Hsiao       yes           —            yes
+NI:SEC-2bEC            Eq. 3       no            adjacent     no
+I:SEC-2bEC             Eq. 3       yes           stride-4     no
+TrioECC                Eq. 3       yes           stride-4     yes
+=====================  ==========  ============  ===========  =====
+
+Each memory entry holds four 72-bit codewords.  In the non-interleaved
+layout codeword ``c`` *is* beat ``c``; in the interleaved layout the
+codewords are spread by Equation 1 (:mod:`repro.core.interleave`).  For the
+interleaved SEC-2bEC the printed H-matrix is column-swizzled so its
+bit-adjacent symbols line up with the stride-4 bit pairs that a transmitted
+byte error produces in each codeword (Section 6.1, "we swizzle the H
+matrix").
+
+Decoding per codeword follows the hardware of Figure 7b: a zero syndrome
+passes through; a syndrome matching an H column corrects that bit; with 2b
+correction enabled, a syndrome matching an aligned-pair XOR corrects the
+pair; anything else is a codeword DUE which discards the whole entry.  The
+optional correction sanity check then cross-examines the corrected bit
+locations of all four codewords (:mod:`repro.core.sanity_check`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.codes.linear import BinaryLinearCode, PairTable
+from repro.core.interleave import deinterleave_permutation
+from repro.core.layout import ENTRY_BITS, NUM_BEATS, NUM_PINS
+from repro.core.sanity_check import csc_violation, csc_violation_batch
+from repro.core.scheme import BatchDecode, DecodeResult, DecodeStatus, ECCScheme
+from repro.gf.gf2 import pack_bits, syndromes_batch
+
+__all__ = ["BinaryEntryScheme"]
+
+_NUM_CODEWORDS = NUM_BEATS  # four 72-bit codewords per 288-bit entry
+_CW_BITS = NUM_PINS  # 72
+
+
+class BinaryEntryScheme(ECCScheme):
+    """A four-codeword binary ECC organization over one memory entry."""
+
+    def __init__(
+        self,
+        code: BinaryLinearCode,
+        *,
+        interleaved: bool,
+        pair_table: PairTable | None = None,
+        csc: bool = False,
+        name: str,
+        label: str,
+    ) -> None:
+        if code.n != _CW_BITS:
+            raise ValueError(f"expected a {_CW_BITS}-bit codeword code")
+        self.code = code
+        self.interleaved = interleaved
+        self.pair_table = pair_table
+        self.csc = csc
+        self.name = name
+        self.label = label
+        self.corrects_pins = True
+
+        #: trans_index[c, off] — transmitted bit carrying codeword c, offset off
+        ni_positions = np.arange(ENTRY_BITS, dtype=np.int64).reshape(
+            _NUM_CODEWORDS, _CW_BITS
+        )
+        if interleaved:
+            self.trans_index = deinterleave_permutation()[ni_positions]
+        else:
+            self.trans_index = ni_positions
+        self._gather = self.trans_index.reshape(-1)
+
+        #: transmitted indices of the 256 data bits, in user order
+        self.data_index = np.concatenate(
+            [self.trans_index[c, code.data_positions] for c in range(_NUM_CODEWORDS)]
+        )
+
+        if pair_table is not None:
+            self._pair_low = np.array(
+                [pair[0] for pair in pair_table.pairs], dtype=np.int64
+            )
+            self._pair_high = np.array(
+                [pair[1] for pair in pair_table.pairs], dtype=np.int64
+            )
+
+    # -- encode ---------------------------------------------------------------
+    def encode(self, data_bits: np.ndarray) -> np.ndarray:
+        data_bits = self._check_data(data_bits)
+        entry = np.zeros(ENTRY_BITS, dtype=np.uint8)
+        for cw in range(_NUM_CODEWORDS):
+            codeword = self.code.encode(data_bits[64 * cw : 64 * (cw + 1)])
+            entry[self.trans_index[cw]] = codeword
+        return entry
+
+    # -- shared syndrome-to-correction logic -----------------------------------
+    def _corrections(self, packed_syndromes: np.ndarray
+                     ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Map per-codeword packed syndromes to correction offsets.
+
+        ``packed_syndromes`` has shape (B, 4).  Returns ``(offsets, cw_due,
+        cw_corrects)`` where ``offsets`` is (B, 4, 2) within-codeword bit
+        offsets with -1 sentinels.
+        """
+        syn = packed_syndromes
+        batch = syn.shape[0]
+        offsets = np.full((batch, _NUM_CODEWORDS, 2), -1, dtype=np.int64)
+
+        single = self.code.syndrome_to_bit[syn]  # (B, 4); -1 = no column match
+        has_single = single >= 0
+        offsets[..., 0] = np.where(has_single, single, -1)
+
+        if self.pair_table is not None:
+            pair = self.pair_table.syndrome_to_pair[syn]
+            has_pair = (pair >= 0) & ~has_single
+            offsets[..., 0] = np.where(has_pair, self._pair_low[pair], offsets[..., 0])
+            offsets[..., 1] = np.where(has_pair, self._pair_high[pair], -1)
+            matched = has_single | has_pair
+        else:
+            matched = has_single
+
+        cw_due = (syn != 0) & ~matched
+        cw_corrects = (syn != 0) & matched
+        return offsets, cw_due, cw_corrects
+
+    # -- scalar decode -----------------------------------------------------------
+    def decode(self, entry_bits: np.ndarray) -> DecodeResult:
+        entry_bits = self._check_entry(entry_bits)
+        cw_bits = entry_bits[self._gather].reshape(_NUM_CODEWORDS, _CW_BITS)
+        packed = pack_bits(syndromes_batch(self.code.h, cw_bits))[None, :]
+        offsets, cw_due, cw_corrects = self._corrections(packed)
+
+        if bool(cw_due.any()):
+            return DecodeResult(DecodeStatus.DETECTED, None)
+
+        corrected_bits: list[int] = []
+        for cw in range(_NUM_CODEWORDS):
+            for slot in range(2):
+                offset = int(offsets[0, cw, slot])
+                if offset >= 0:
+                    corrected_bits.append(int(self.trans_index[cw, offset]))
+
+        codewords_correcting = int(cw_corrects.sum())
+        if self.csc and csc_violation(corrected_bits, codewords_correcting):
+            return DecodeResult(DecodeStatus.DETECTED, None)
+
+        corrected = entry_bits.copy()
+        for position in corrected_bits:
+            corrected[position] ^= 1
+        data = corrected[self.data_index].copy()
+        status = DecodeStatus.CORRECTED if corrected_bits else DecodeStatus.CLEAN
+        return DecodeResult(status, data, tuple(corrected_bits))
+
+    # -- batch decode -----------------------------------------------------------
+    def decode_batch_errors(self, errors: np.ndarray) -> BatchDecode:
+        errors = self._check_errors(errors)
+        batch = errors.shape[0]
+        cw_bits = errors[:, self._gather].reshape(batch * _NUM_CODEWORDS, _CW_BITS)
+        packed = pack_bits(syndromes_batch(self.code.h, cw_bits)).reshape(
+            batch, _NUM_CODEWORDS
+        )
+        offsets, cw_due, cw_corrects = self._corrections(packed)
+
+        # Transmitted positions of every correction slot, -1 preserved.
+        positions = np.where(
+            offsets >= 0,
+            np.take_along_axis(
+                np.broadcast_to(self.trans_index, (batch, _NUM_CODEWORDS, _CW_BITS)),
+                np.maximum(offsets, 0),
+                axis=2,
+            ),
+            -1,
+        ).reshape(batch, _NUM_CODEWORDS * 2)
+
+        due = cw_due.any(axis=1)
+        codewords_correcting = cw_corrects.sum(axis=1)
+        if self.csc:
+            due |= csc_violation_batch(positions, codewords_correcting)
+
+        residual = errors.copy()
+        rows = np.arange(batch)
+        for slot in range(positions.shape[1]):
+            pos = positions[:, slot]
+            mask = pos >= 0
+            residual[rows[mask], pos[mask]] ^= 1
+
+        residual_data = residual[:, self.data_index].any(axis=1)
+        corrected = (codewords_correcting > 0) & ~due
+        return BatchDecode(due=due, residual_data=residual_data, corrected=corrected)

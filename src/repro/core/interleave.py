@@ -1,0 +1,71 @@
+"""Logical codeword interleaving (Equations 1 and 2 of the paper).
+
+The four 72-bit codewords of a memory entry are spread across the 288
+transmitted bits by the modular swizzle
+
+    ``I_bits[i] = NI_bits[(i * 73) mod 288]``
+
+Because ``gcd(73, 288) = 1`` this is a permutation, and because
+``73 ≡ 1 (mod 72)`` with ``73 · 72 ≡ 72 (mod 288)`` it has the two
+properties the paper relies on:
+
+* a **byte** error (8 consecutive transmitted bits in one beat) lands in
+  every codeword as exactly two bits, four positions apart and aligned to an
+  8-bit boundary — the stride-4 "2b symbols" of TrioECC; and
+* a **pin** error (the same pin across the four beats) lands as one bit per
+  codeword at the *same* codeword offset — the per-beat rotation
+  ("checkerboard") that preserves single-pin correction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import ENTRY_BITS
+
+__all__ = [
+    "INTERLEAVE_STEP",
+    "interleave_permutation",
+    "deinterleave_permutation",
+    "interleave",
+    "deinterleave",
+]
+
+#: The codeword length plus one — coprime with the 288-bit entry.
+INTERLEAVE_STEP = 73
+
+_STEP_INVERSE = pow(INTERLEAVE_STEP, -1, ENTRY_BITS)  # 217
+
+
+def interleave_permutation() -> np.ndarray:
+    """``perm[i]`` = non-interleaved index transmitted as bit ``i`` (Eq. 1)."""
+    return (np.arange(ENTRY_BITS, dtype=np.int64) * INTERLEAVE_STEP) % ENTRY_BITS
+
+
+def deinterleave_permutation() -> np.ndarray:
+    """``perm[n]`` = transmitted index carrying non-interleaved bit ``n`` (Eq. 2)."""
+    return (np.arange(ENTRY_BITS, dtype=np.int64) * _STEP_INVERSE) % ENTRY_BITS
+
+
+_INTERLEAVE = interleave_permutation()
+_DEINTERLEAVE = deinterleave_permutation()
+
+
+def interleave(ni_bits: np.ndarray) -> np.ndarray:
+    """Swizzle a non-interleaved 288-bit entry into transmission order.
+
+    Works on the trailing axis, so batches of entries pass through unchanged
+    in shape.
+    """
+    ni_bits = np.asarray(ni_bits)
+    if ni_bits.shape[-1] != ENTRY_BITS:
+        raise ValueError(f"expected trailing axis of {ENTRY_BITS} bits")
+    return ni_bits[..., _INTERLEAVE]
+
+
+def deinterleave(i_bits: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`interleave`."""
+    i_bits = np.asarray(i_bits)
+    if i_bits.shape[-1] != ENTRY_BITS:
+        raise ValueError(f"expected trailing axis of {ENTRY_BITS} bits")
+    return i_bits[..., _DEINTERLEAVE]

@@ -1,0 +1,85 @@
+"""Physical layout of an HBM2 memory entry.
+
+A GPU memory entry is 32B of data plus 4B of ECC, fetched as four 72-bit
+DRAM *beats* over 72 pins (64 data + 8 ECC pins per beat in the
+non-interleaved layout).  Throughout :mod:`repro.core` and
+:mod:`repro.errormodel` an entry is a flat vector of 288 *transmitted* bits
+in beat-major order:
+
+    transmitted bit ``i``  ⇔  beat ``i // 72``, pin ``i % 72``
+
+Derived coordinates:
+
+* **pin** — one of 72 wires; a pin error spans all four beats of that wire.
+* **byte** — 8 adjacent pins within one beat; 9 byte columns × 4 beats give
+  36 byte positions per entry.  Beam testing shows most multi-bit soft
+  errors are confined to one such byte (Section 5).
+* **beat** — one 72-bit burst.
+* **word** — the 64 data bits + 8 check bits moving in one beat of the
+  non-interleaved layout (the paper's "64b word" granularity).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "DATA_BITS",
+    "ECC_BITS",
+    "ENTRY_BITS",
+    "NUM_BEATS",
+    "NUM_PINS",
+    "BITS_PER_BYTE",
+    "BYTES_PER_BEAT",
+    "NUM_BYTES",
+    "DATA_BYTES",
+    "pin_of",
+    "beat_of",
+    "byte_of",
+    "bits_of_pin",
+    "bits_of_byte",
+    "bits_of_beat",
+]
+
+DATA_BITS = 256  #: 32B of data per entry
+ECC_BITS = 32  #: 4B of ECC per entry (12.5% redundancy)
+ENTRY_BITS = DATA_BITS + ECC_BITS  #: 288 transmitted bits
+NUM_BEATS = 4
+NUM_PINS = ENTRY_BITS // NUM_BEATS  # 72
+BITS_PER_BYTE = 8
+BYTES_PER_BEAT = NUM_PINS // BITS_PER_BYTE  # 9
+NUM_BYTES = BYTES_PER_BEAT * NUM_BEATS  # 36 byte positions per entry
+DATA_BYTES = DATA_BITS // BITS_PER_BYTE  # 32
+
+
+def pin_of(index):
+    """Pin (0-71) carrying transmitted bit ``index``.  Vectorized."""
+    return np.asarray(index) % NUM_PINS
+
+
+def beat_of(index):
+    """Beat (0-3) carrying transmitted bit ``index``.  Vectorized."""
+    return np.asarray(index) // NUM_PINS
+
+
+def byte_of(index):
+    """Byte position (0-35) of transmitted bit ``index``: 9 per beat."""
+    index = np.asarray(index)
+    return (index // NUM_PINS) * BYTES_PER_BEAT + (index % NUM_PINS) // BITS_PER_BYTE
+
+
+def bits_of_pin(pin: int) -> np.ndarray:
+    """The four transmitted bit indices on one pin."""
+    return pin + NUM_PINS * np.arange(NUM_BEATS)
+
+
+def bits_of_byte(byte_position: int) -> np.ndarray:
+    """The eight transmitted bit indices of one byte position (0-35)."""
+    beat, column = divmod(byte_position, BYTES_PER_BEAT)
+    start = beat * NUM_PINS + column * BITS_PER_BYTE
+    return start + np.arange(BITS_PER_BYTE)
+
+
+def bits_of_beat(beat: int) -> np.ndarray:
+    """The 72 transmitted bit indices of one beat."""
+    return beat * NUM_PINS + np.arange(NUM_PINS)

@@ -1,0 +1,155 @@
+"""Factory registry for the nine evaluated ECC organizations.
+
+Names and labels follow the paper's Table 2:
+
+=============  =================  =======================================
+name           label              notes
+=============  =================  =======================================
+ni-secded      NI:SEC-DED         the GPU baseline (Hsiao 72,64 per beat)
+i-secded       I:SEC-DED          + logical interleaving
+duet           I:SEC-DED+CSC      **DuetECC**
+ni-sec2bec     NI:SEC-2bEC        Equation-3 code, bit-adjacent symbols
+i-sec2bec      I:SEC-2bEC         swizzled stride-4 symbols
+trio           I:SEC-2bEC+CSC     **TrioECC**
+i-ssc          I:SSC              two (18,16) RS codewords, checkerboard
+i-ssc-csc      I:SSC+CSC          + correction sanity check
+ssc-dsd+       SSC-DSD+           one (36,32) RS codeword, no pin correct
+=============  =================  =======================================
+
+Schemes are constructed lazily and cached — the SEC-2bEC pair tables and
+RS locator tables are built once per process.
+"""
+
+from __future__ import annotations
+
+from functools import cache
+
+from repro.codes.hsiao import hsiao_code
+from repro.codes.sec2bec import (
+    SEC_2BEC_72_64,
+    interleave_column_permutation,
+    paper_pair_table,
+    stride4_pairs,
+)
+from repro.core.binary import BinaryEntryScheme
+from repro.core.rs_ssc import InterleavedSSCScheme
+from repro.core.scheme import ECCScheme
+from repro.core.ssc_dsd import SSCDSDPlusScheme
+
+__all__ = [
+    "SCHEME_NAMES",
+    "EXTENSION_SCHEME_NAMES",
+    "get_scheme",
+    "all_schemes",
+    "binary_scheme_names",
+]
+
+#: Table-2 order.
+SCHEME_NAMES = (
+    "ni-secded",
+    "i-secded",
+    "duet",
+    "ni-sec2bec",
+    "i-sec2bec",
+    "trio",
+    "i-ssc",
+    "i-ssc-csc",
+    "ssc-dsd+",
+)
+
+#: The Section-6.2 organizations the paper describes but rejects for their
+#: multi-cycle iterative decoders; available for ablation studies.
+EXTENSION_SCHEME_NAMES = ("dsc", "ssc-tsd")
+
+#: Aliases accepted by :func:`get_scheme`.
+_ALIASES = {
+    "secded": "ni-secded",
+    "duetecc": "duet",
+    "i-secded-csc": "duet",
+    "trioecc": "trio",
+    "i-sec2bec-csc": "trio",
+    "ssc-dsd": "ssc-dsd+",
+    "sscdsd+": "ssc-dsd+",
+}
+
+
+@cache
+def _swizzled_sec2bec():
+    """The Equation-3 code with columns permuted for stride-4 symbols."""
+    code = SEC_2BEC_72_64.column_permuted(
+        interleave_column_permutation(), name="sec-2bec(72,64)/swizzled"
+    )
+    return code, code.build_pair_table(stride4_pairs())
+
+
+@cache
+def get_scheme(name: str) -> ECCScheme:
+    """Construct (and cache) an ECC scheme by registry name or alias."""
+    name = _ALIASES.get(name.lower(), name.lower())
+    if name == "ni-secded":
+        return BinaryEntryScheme(
+            hsiao_code(), interleaved=False, name=name, label="NI:SEC-DED"
+        )
+    if name == "i-secded":
+        return BinaryEntryScheme(
+            hsiao_code(), interleaved=True, name=name, label="I:SEC-DED"
+        )
+    if name == "duet":
+        return BinaryEntryScheme(
+            hsiao_code(),
+            interleaved=True,
+            csc=True,
+            name=name,
+            label="I:SEC-DED+CSC (DuetECC)",
+        )
+    if name == "ni-sec2bec":
+        return BinaryEntryScheme(
+            SEC_2BEC_72_64,
+            interleaved=False,
+            pair_table=paper_pair_table(),
+            name=name,
+            label="NI:SEC-2bEC",
+        )
+    if name == "i-sec2bec":
+        code, pairs = _swizzled_sec2bec()
+        return BinaryEntryScheme(
+            code, interleaved=True, pair_table=pairs, name=name, label="I:SEC-2bEC"
+        )
+    if name == "trio":
+        code, pairs = _swizzled_sec2bec()
+        return BinaryEntryScheme(
+            code,
+            interleaved=True,
+            pair_table=pairs,
+            csc=True,
+            name=name,
+            label="I:SEC-2bEC+CSC (TrioECC)",
+        )
+    if name == "i-ssc":
+        return InterleavedSSCScheme(csc=False)
+    if name == "i-ssc-csc":
+        return InterleavedSSCScheme(csc=True)
+    if name == "ssc-dsd+":
+        return SSCDSDPlusScheme()
+    if name == "dsc":
+        from repro.core.algebraic_schemes import DSCScheme
+
+        return DSCScheme()
+    if name == "ssc-tsd":
+        from repro.core.algebraic_schemes import SSCTSDScheme
+
+        return SSCTSDScheme()
+    raise KeyError(
+        f"unknown ECC scheme: {name!r} "
+        f"(known: {SCHEME_NAMES + EXTENSION_SCHEME_NAMES})"
+    )
+
+
+def all_schemes() -> list[ECCScheme]:
+    """All nine organizations in Table-2 order."""
+    return [get_scheme(name) for name in SCHEME_NAMES]
+
+
+def binary_scheme_names() -> tuple[str, ...]:
+    """The six binary organizations (Section 6.1)."""
+    return SCHEME_NAMES[:6]

@@ -1,0 +1,29 @@
+"""Simulated HBM2 DRAM substrate."""
+
+from repro.dram.controller import (
+    ProtectedMemory,
+    RasCounters,
+    UncorrectableError,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+from repro.dram.device import Mismatch, PatternFn, SimulatedHBM2
+from repro.dram.geometry import BitAddress, EntryAddress, HBM2Geometry
+from repro.dram.refresh import DEFAULT_REFRESH_PERIOD_S, RefreshConfig, WeakCell
+
+__all__ = [
+    "ProtectedMemory",
+    "RasCounters",
+    "UncorrectableError",
+    "bits_to_bytes",
+    "bytes_to_bits",
+    "Mismatch",
+    "PatternFn",
+    "SimulatedHBM2",
+    "BitAddress",
+    "EntryAddress",
+    "HBM2Geometry",
+    "DEFAULT_REFRESH_PERIOD_S",
+    "RefreshConfig",
+    "WeakCell",
+]

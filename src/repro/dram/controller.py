@@ -1,0 +1,148 @@
+"""A protected-memory controller: the deployment-facing facade.
+
+Ties an ECC organization (:mod:`repro.core`) to the simulated HBM2 device
+(:mod:`repro.dram.device`) the way a GPU memory controller would:
+
+* writes take 32-byte payloads, encode them, and store the 36B entry;
+* reads decode, deliver corrected payloads, and raise
+  :class:`UncorrectableError` on a DUE;
+* every outcome is tallied in driver-style RAS counters (corrected errors,
+  DUEs, scrub passes), the statistics a fleet operator actually monitors;
+* :meth:`ProtectedMemory.scrub` sweeps the device, rewriting every entry
+  whose stored bits no longer form a valid codeword — bounding soft-error
+  accumulation exactly like the background scrubber modelled in
+  :mod:`repro.system.scrubbing`.
+
+The controller is also the bridge for end-to-end field simulation: inject
+:class:`~repro.beam.events.SoftErrorEvent` flips into the device, keep
+reading, and the counters reproduce the analytic DCE/DUE/SDC split of
+Figure 8 (see ``tests/test_field_simulation.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.layout import DATA_BITS
+from repro.core.scheme import DecodeStatus, ECCScheme
+from repro.dram.device import SimulatedHBM2
+
+__all__ = [
+    "UncorrectableError",
+    "RasCounters",
+    "ProtectedMemory",
+    "bytes_to_bits",
+    "bits_to_bytes",
+]
+
+
+def bytes_to_bits(payload: bytes) -> np.ndarray:
+    """Expand a 32-byte payload into 256 data bits (LSB-first per byte)."""
+    if len(payload) != DATA_BITS // 8:
+        raise ValueError(f"payload must be {DATA_BITS // 8} bytes")
+    raw = np.frombuffer(payload, dtype=np.uint8)
+    return np.unpackbits(raw, bitorder="little")
+
+
+def bits_to_bytes(bits: np.ndarray) -> bytes:
+    """Inverse of :func:`bytes_to_bits`."""
+    bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+    if bits.size != DATA_BITS:
+        raise ValueError(f"expected {DATA_BITS} bits")
+    return np.packbits(bits, bitorder="little").tobytes()
+
+
+class UncorrectableError(Exception):
+    """Raised when a read hits a detected-uncorrectable error (DUE).
+
+    Real GPUs poison the destination and interrupt the context; callers of
+    the simulated controller get this exception instead.
+    """
+
+    def __init__(self, entry_index: int) -> None:
+        super().__init__(f"uncorrectable memory error at entry {entry_index}")
+        self.entry_index = entry_index
+
+
+@dataclass
+class RasCounters:
+    """Driver-style reliability/availability/serviceability counters."""
+
+    reads: int = 0
+    writes: int = 0
+    corrected_errors: int = 0  #: DCE events (ECC fixed the data)
+    uncorrectable_errors: int = 0  #: DUE events (entry discarded)
+    scrub_passes: int = 0
+    scrub_corrections: int = 0  #: entries rewritten by the scrubber
+
+    def snapshot(self) -> dict[str, int]:
+        """A plain-dict view (what a monitoring agent would export)."""
+        return {
+            "reads": self.reads,
+            "writes": self.writes,
+            "corrected_errors": self.corrected_errors,
+            "uncorrectable_errors": self.uncorrectable_errors,
+            "scrub_passes": self.scrub_passes,
+            "scrub_corrections": self.scrub_corrections,
+        }
+
+
+class ProtectedMemory:
+    """ECC-protected view of a simulated HBM2 device."""
+
+    def __init__(self, device: SimulatedHBM2, scheme: ECCScheme) -> None:
+        self.device = device
+        self.scheme = scheme
+        self.counters = RasCounters()
+
+    # -- data path -----------------------------------------------------------
+    def write(self, entry_index: int, payload: bytes) -> None:
+        """Encode and store one 32B payload."""
+        self.device.write_entry(entry_index, self.scheme.encode(
+            bytes_to_bits(payload)
+        ))
+        self.counters.writes += 1
+
+    def write_bits(self, entry_index: int, data_bits: np.ndarray) -> None:
+        """Bit-level variant of :meth:`write`."""
+        self.device.write_entry(entry_index, self.scheme.encode(data_bits))
+        self.counters.writes += 1
+
+    def read(self, entry_index: int) -> bytes:
+        """Decode one entry; raises :class:`UncorrectableError` on a DUE."""
+        return bits_to_bytes(self.read_bits(entry_index))
+
+    def read_bits(self, entry_index: int) -> np.ndarray:
+        """Bit-level variant of :meth:`read`."""
+        result = self.scheme.decode(self.device.read_entry(entry_index))
+        self.counters.reads += 1
+        if result.status is DecodeStatus.DETECTED:
+            self.counters.uncorrectable_errors += 1
+            raise UncorrectableError(entry_index)
+        if result.status is DecodeStatus.CORRECTED:
+            self.counters.corrected_errors += 1
+        return result.data
+
+    # -- maintenance -----------------------------------------------------------
+    def scrub(self) -> tuple[int, int]:
+        """Sweep all fault sites; rewrite entries whose stored bits decode
+        with a correction.  Returns ``(corrected, uncorrectable)`` counts.
+
+        Entries that decode cleanly are left alone; DUE entries are left
+        in place for diagnosis (a real scrubber would retire the page).
+        """
+        corrected = uncorrectable = 0
+        for entry_index in sorted(self.device._fault_sites()):
+            result = self.scheme.decode(self.device.read_entry(entry_index))
+            if result.status is DecodeStatus.DETECTED:
+                uncorrectable += 1
+            elif result.status is DecodeStatus.CORRECTED:
+                self.device.write_entry(
+                    entry_index, self.scheme.encode(result.data)
+                )
+                corrected += 1
+        self.counters.scrub_passes += 1
+        self.counters.scrub_corrections += corrected
+        return corrected, uncorrectable

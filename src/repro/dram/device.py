@@ -1,0 +1,166 @@
+"""A simulated multi-gigabyte HBM2 device.
+
+Storing 32GB of cell state is neither possible nor necessary: the beam
+experiments only ever observe *differences* from the pattern the
+microbenchmark wrote.  The device therefore keeps
+
+* a **background pattern** — a function from entry index to the 288
+  transmitted bits last written over the whole device (bulk writes are
+  O(1)),
+* an **overlay** of explicitly written entries (sparse),
+* an **upset overlay** of persistent bit flips deposited by soft-error
+  events (sparse; cleared by the next write, like a real soft error), and
+* a set of **weak cells** installed by the displacement-damage model,
+  whose misreads depend on the refresh period.
+
+Reads reconstruct ``pattern ⊕ upsets ⊕ leaks`` on demand, and
+:meth:`SimulatedHBM2.scan_mismatches` visits only the sparse fault sites, so
+a full-device read pass costs O(#faults) rather than O(capacity) — the
+trick that makes a multi-hour beam campaign simulable in seconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.refresh import RefreshConfig, WeakCell
+
+__all__ = ["PatternFn", "SimulatedHBM2", "Mismatch"]
+
+#: A background data pattern: entry index -> 288 transmitted bits.
+PatternFn = Callable[[int], np.ndarray]
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One erroneous entry observed by a read pass."""
+
+    entry_index: int
+    bit_positions: tuple[int, ...]
+
+
+class SimulatedHBM2:
+    """Sparse-state simulation of a whole GPU's HBM2 memory."""
+
+    def __init__(
+        self,
+        geometry: HBM2Geometry | None = None,
+        refresh: RefreshConfig | None = None,
+    ) -> None:
+        self.geometry = geometry or HBM2Geometry.for_gpu(32)
+        self.refresh = refresh or RefreshConfig()
+        self._background: PatternFn = lambda index: np.zeros(
+            self.geometry.entry_bits, dtype=np.uint8
+        )
+        self._written: dict[int, np.ndarray] = {}
+        self._upsets: dict[int, np.ndarray] = {}
+        # Weak cells indexed by entry so reads touch only that entry's cells.
+        self._weak_cells: dict[int, dict[int, WeakCell]] = {}
+
+    # -- configuration ---------------------------------------------------------
+    def set_refresh(self, refresh: RefreshConfig) -> None:
+        """Change the refresh period (the paper's modified-BIOS experiment)."""
+        self.refresh = refresh
+
+    def install_weak_cell(self, cell: WeakCell) -> None:
+        """Register a displacement-damaged cell."""
+        self._check_index(cell.entry_index)
+        self._weak_cells.setdefault(cell.entry_index, {})[cell.bit] = cell
+
+    def remove_weak_cell(self, entry_index: int, bit: int) -> None:
+        per_entry = self._weak_cells.get(entry_index)
+        if per_entry is not None:
+            per_entry.pop(bit, None)
+            if not per_entry:
+                del self._weak_cells[entry_index]
+
+    @property
+    def weak_cells(self) -> list[WeakCell]:
+        return [cell for cells in self._weak_cells.values() for cell in cells.values()]
+
+    # -- writes ---------------------------------------------------------------
+    def write_all(self, pattern: PatternFn) -> None:
+        """Bulk write: the microbenchmark's "write a known pattern to every
+        memory entry".  Clears all explicit writes and pending upsets."""
+        self._background = pattern
+        self._written.clear()
+        self._upsets.clear()
+
+    def write_entry(self, entry_index: int, bits: np.ndarray) -> None:
+        """Targeted write; clears any upset pending on the entry."""
+        self._check_index(entry_index)
+        bits = np.asarray(bits, dtype=np.uint8).reshape(-1)
+        if bits.size != self.geometry.entry_bits:
+            raise ValueError(f"expected {self.geometry.entry_bits} bits")
+        self._written[entry_index] = bits.copy()
+        self._upsets.pop(entry_index, None)
+
+    # -- faults -----------------------------------------------------------------
+    def inject_upset(self, entry_index: int, flip_bits: np.ndarray) -> None:
+        """XOR a soft-error flip pattern into an entry (persists until the
+        next write of that entry)."""
+        self._check_index(entry_index)
+        flips = np.asarray(flip_bits, dtype=np.uint8).reshape(-1)
+        if flips.size != self.geometry.entry_bits:
+            raise ValueError(f"expected {self.geometry.entry_bits} bits")
+        if not flips.any():
+            return
+        current = self._upsets.get(entry_index)
+        combined = flips if current is None else current ^ flips
+        if combined.any():
+            self._upsets[entry_index] = combined
+        else:
+            self._upsets.pop(entry_index, None)
+
+    # -- reads -----------------------------------------------------------------
+    def stored_bits(self, entry_index: int) -> np.ndarray:
+        """The value the cells *hold* (writes + upsets, before leakage)."""
+        self._check_index(entry_index)
+        base = self._written.get(entry_index)
+        if base is None:
+            base = np.asarray(self._background(entry_index), dtype=np.uint8)
+        bits = base.copy()
+        upset = self._upsets.get(entry_index)
+        if upset is not None:
+            bits ^= upset
+        return bits
+
+    def read_entry(self, entry_index: int) -> np.ndarray:
+        """The value a read returns: stored bits plus retention leakage."""
+        bits = self.stored_bits(entry_index)
+        for bit, cell in self._weak_cells.get(entry_index, {}).items():
+            if cell.corrupts(int(bits[bit]), self.refresh):
+                bits[bit] ^= 1
+        return bits
+
+    # -- efficient full-device scan ------------------------------------------------
+    def _fault_sites(self) -> set[int]:
+        sites = set(self._upsets)
+        sites.update(self._written)
+        sites.update(self._weak_cells)
+        return sites
+
+    def scan_mismatches(self, expected: PatternFn) -> Iterator[Mismatch]:
+        """Compare every entry against ``expected``, visiting only fault
+        sites.  Entries that hold the unmodified background pattern can only
+        mismatch if ``expected`` differs from the background — callers pass
+        the same pattern object they wrote, so those entries are skipped."""
+        for entry_index in sorted(self._fault_sites()):
+            observed = self.read_entry(entry_index)
+            wanted = np.asarray(expected(entry_index), dtype=np.uint8)
+            difference = np.nonzero(observed ^ wanted)[0]
+            if difference.size:
+                yield Mismatch(entry_index, tuple(int(b) for b in difference))
+
+    # -- bookkeeping -----------------------------------------------------------
+    def _check_index(self, entry_index: int) -> None:
+        if not 0 <= entry_index < self.geometry.total_entries:
+            raise ValueError(f"entry index {entry_index} out of range")
+
+    @property
+    def upset_entries(self) -> int:
+        return len(self._upsets)

@@ -1,0 +1,141 @@
+"""HBM2 address geometry (Section 2.4).
+
+The hierarchy modelled, from the top:
+
+* a GPU carries several HBM2 **stacks** (a 32GB V100 has eight 4GB stacks);
+* each stack has eight 512MB **channels** with private pins;
+* each channel has 16 **banks**;
+* each bank has 32 **subarrays**, each with its own 2KB row buffer;
+* each subarray has 36 **mats** (32 data + 4 ECC in this model), each a
+  512 × 512 bit-cell array contributing an 8-bit slice of every access;
+* a row activation selects one of 512 **rows**; reads then fetch one of 64
+  32B **columns** (a *memory entry*) from the row buffer.
+
+Every 32B read draws its data from a single subarray, and each byte of the
+36B entry (data + ECC) comes from its own mat — the physical origin of the
+byte-aligned multi-bit error pattern.
+
+Addresses are decomposed entry-major:  ``entry_index`` counts 32B entries
+from 0; the split is (stack, channel, bank, subarray, row, column) from
+most to least significant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HBM2Geometry", "EntryAddress", "BitAddress"]
+
+
+@dataclass(frozen=True, order=True)
+class EntryAddress:
+    """Hierarchical address of one 32B memory entry."""
+
+    stack: int
+    channel: int
+    bank: int
+    subarray: int
+    row: int
+    column: int
+
+
+@dataclass(frozen=True, order=True)
+class BitAddress:
+    """A single DRAM bit cell: an entry plus a bit offset (0-287).
+
+    ``mat`` is the mat serving the bit — byte granularity within the entry.
+    """
+
+    entry: EntryAddress
+    bit: int
+
+    @property
+    def mat(self) -> int:
+        return self.bit // 8
+
+
+@dataclass(frozen=True)
+class HBM2Geometry:
+    """Sizes of every level of the hierarchy, with conversion helpers."""
+
+    num_stacks: int = 8  #: 8 stacks × 4GB = a 32GB V100-class GPU
+    channels_per_stack: int = 8
+    banks_per_channel: int = 16
+    subarrays_per_bank: int = 32
+    rows_per_subarray: int = 512  #: mat height
+    columns_per_row: int = 64  #: 2KB row buffer / 32B entries
+    entry_bytes: int = 32  #: data payload per entry
+    ecc_bytes: int = 4
+
+    # -- capacities -------------------------------------------------------
+    @property
+    def entries_per_subarray(self) -> int:
+        return self.rows_per_subarray * self.columns_per_row
+
+    @property
+    def entries_per_bank(self) -> int:
+        return self.entries_per_subarray * self.subarrays_per_bank
+
+    @property
+    def entries_per_channel(self) -> int:
+        return self.entries_per_bank * self.banks_per_channel
+
+    @property
+    def entries_per_stack(self) -> int:
+        return self.entries_per_channel * self.channels_per_stack
+
+    @property
+    def total_entries(self) -> int:
+        return self.entries_per_stack * self.num_stacks
+
+    @property
+    def data_bytes_total(self) -> int:
+        """Usable capacity in bytes (ECC excluded)."""
+        return self.total_entries * self.entry_bytes
+
+    @property
+    def data_gigabytes(self) -> float:
+        return self.data_bytes_total / 2**30
+
+    @property
+    def channel_bytes(self) -> int:
+        return self.entries_per_channel * self.entry_bytes
+
+    @property
+    def entry_bits(self) -> int:
+        """Transmitted bits per entry, ECC included."""
+        return (self.entry_bytes + self.ecc_bytes) * 8
+
+    # -- address conversion -------------------------------------------------
+    def decompose(self, entry_index: int) -> EntryAddress:
+        """Split a flat entry index into its hierarchical address."""
+        if not 0 <= entry_index < self.total_entries:
+            raise ValueError(f"entry index {entry_index} out of range")
+        index, column = divmod(entry_index, self.columns_per_row)
+        index, row = divmod(index, self.rows_per_subarray)
+        index, subarray = divmod(index, self.subarrays_per_bank)
+        index, bank = divmod(index, self.banks_per_channel)
+        stack, channel = divmod(index, self.channels_per_stack)
+        return EntryAddress(stack, channel, bank, subarray, row, column)
+
+    def compose(self, address: EntryAddress) -> int:
+        """Inverse of :func:`decompose`."""
+        index = address.stack
+        index = index * self.channels_per_stack + address.channel
+        index = index * self.banks_per_channel + address.bank
+        index = index * self.subarrays_per_bank + address.subarray
+        index = index * self.rows_per_subarray + address.row
+        index = index * self.columns_per_row + address.column
+        return index
+
+    def same_subarray(self, first: int, second: int) -> bool:
+        """True when two entries share a subarray (hence a row buffer)."""
+        per = self.entries_per_subarray
+        return first // per == second // per
+
+    @staticmethod
+    def for_gpu(capacity_gb: int = 32) -> "HBM2Geometry":
+        """Geometry for a GPU with the given HBM2 capacity (multiple of 4GB)."""
+        if capacity_gb % 4 != 0:
+            raise ValueError("capacity must be a whole number of 4GB stacks")
+        return HBM2Geometry(num_stacks=capacity_gb // 4)

@@ -1,0 +1,67 @@
+"""DRAM refresh and cell-retention model.
+
+A DRAM cell holds charge that leaks away; it must be refreshed within its
+*retention time* or the stored value decays toward the cell's discharge
+state.  Healthy HBM2 cells retain data far longer than the default 16ms
+refresh period; displacement-damaged cells can have retention reduced by
+orders of magnitude (Section 4), which is what makes them observable as
+"weak" cells when the refresh period exceeds their retention.
+
+The model here is intentionally simple and matches what the paper's
+experiments can observe:
+
+* a cell with ``retention >= refresh_period`` never leaks;
+* a cell with ``retention < refresh_period`` leaks before its next refresh,
+  reading as its discharge value whenever the stored value differs.
+
+Leak direction is per-cell: 99.8% of damaged cells discharge 1 → 0 (the
+paper's measurement for this memory, suggesting true-cell storage) and the
+remainder 0 → 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RefreshConfig", "WeakCell", "DEFAULT_REFRESH_PERIOD_S"]
+
+#: The HBM2 default: 16 ms.
+DEFAULT_REFRESH_PERIOD_S = 16e-3
+
+
+@dataclass(frozen=True)
+class RefreshConfig:
+    """Refresh-rate setting of the (BIOS-modifiable) memory controller."""
+
+    period_s: float = DEFAULT_REFRESH_PERIOD_S
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("refresh period must be positive")
+
+    @property
+    def period_ms(self) -> float:
+        return self.period_s * 1e3
+
+
+@dataclass(frozen=True)
+class WeakCell:
+    """A displacement-damaged cell.
+
+    ``bit_address`` is (entry_index, bit offset 0-287); ``retention_s`` is
+    the degraded retention time; ``leaks_to`` is the logical value the cell
+    decays toward (0 for the dominant 1 → 0 direction).
+    """
+
+    entry_index: int
+    bit: int
+    retention_s: float
+    leaks_to: int = 0
+
+    def leaks_under(self, refresh: RefreshConfig) -> bool:
+        """True when this cell is observable at the given refresh period."""
+        return self.retention_s < refresh.period_s
+
+    def corrupts(self, stored_bit: int, refresh: RefreshConfig) -> bool:
+        """True when a read returns the wrong value for ``stored_bit``."""
+        return self.leaks_under(refresh) and stored_bit != self.leaks_to

@@ -1,0 +1,34 @@
+"""Analytical soft-error model and resilience evaluation harness."""
+
+from repro.errormodel.classify import classify_error, classify_errors_batch
+from repro.errormodel.montecarlo import (
+    PatternOutcome,
+    SchemeOutcome,
+    evaluate_pattern,
+    evaluate_scheme,
+    sdc_risk_table,
+    weighted_outcomes,
+)
+from repro.errormodel.patterns import (
+    PATTERN_BIT_RANGES,
+    TABLE1_PROBABILITIES,
+    ErrorPattern,
+)
+from repro.errormodel.permanent import evaluate_with_stuck_pin
+from repro.errormodel.sampling import sample_pattern
+
+__all__ = [
+    "classify_error",
+    "classify_errors_batch",
+    "PatternOutcome",
+    "SchemeOutcome",
+    "evaluate_pattern",
+    "evaluate_scheme",
+    "sdc_risk_table",
+    "weighted_outcomes",
+    "PATTERN_BIT_RANGES",
+    "TABLE1_PROBABILITIES",
+    "ErrorPattern",
+    "sample_pattern",
+    "evaluate_with_stuck_pin",
+]

@@ -1,0 +1,80 @@
+"""Classify error vectors into the Table-1 patterns.
+
+Implements the paper's priority rule: "patterns are sorted in increasing ECC
+difficulty for correction, and priority is given to less-difficult errors
+whenever multiple patterns fit".  Both a scalar and a vectorized batch
+classifier are provided; the samplers in :mod:`repro.errormodel.sampling`
+use the batch version for rejection sampling, and the beam-campaign
+analysis uses the scalar version on observed corruption records.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.layout import ENTRY_BITS, byte_of, beat_of, pin_of
+from repro.errormodel.patterns import ErrorPattern
+
+__all__ = ["classify_error", "classify_errors_batch"]
+
+
+def classify_error(error_bits: np.ndarray) -> ErrorPattern:
+    """Pattern of one non-zero 288-bit error vector."""
+    error_bits = np.asarray(error_bits, dtype=np.uint8).reshape(-1)
+    if error_bits.size != ENTRY_BITS:
+        raise ValueError(f"expected {ENTRY_BITS} bits")
+    positions = np.nonzero(error_bits)[0]
+    if positions.size == 0:
+        raise ValueError("cannot classify an all-zero error")
+
+    if positions.size == 1:
+        return ErrorPattern.BIT
+    if np.all(pin_of(positions) == pin_of(positions[0])):
+        return ErrorPattern.PIN
+    if np.all(byte_of(positions) == byte_of(positions[0])):
+        return ErrorPattern.BYTE
+    if positions.size == 2:
+        return ErrorPattern.DOUBLE_BIT
+    if positions.size == 3:
+        return ErrorPattern.TRIPLE_BIT
+    if np.all(beat_of(positions) == beat_of(positions[0])):
+        return ErrorPattern.BEAT
+    return ErrorPattern.ENTRY
+
+
+def classify_errors_batch(errors: np.ndarray) -> np.ndarray:
+    """Patterns of a ``(B, 288)`` error batch, as an object array of
+    :class:`ErrorPattern` (rows of weight zero raise)."""
+    errors = np.asarray(errors, dtype=np.uint8)
+    if errors.ndim != 2 or errors.shape[1] != ENTRY_BITS:
+        raise ValueError(f"expected a (B, {ENTRY_BITS}) batch")
+    weights = errors.sum(axis=1, dtype=np.int64)
+    if np.any(weights == 0):
+        raise ValueError("cannot classify all-zero errors")
+
+    indices = np.arange(ENTRY_BITS)
+    pins = pin_of(indices)
+    bytes_ = byte_of(indices)
+    beats = beat_of(indices)
+
+    def _single_group(group_ids: np.ndarray) -> np.ndarray:
+        """True where all flipped bits of a row share one group id."""
+        num_groups = int(group_ids.max()) + 1
+        group_onehot = np.zeros((ENTRY_BITS, num_groups), dtype=np.int64)
+        group_onehot[indices, group_ids] = 1
+        per_group = errors.astype(np.int64) @ group_onehot
+        return (per_group > 0).sum(axis=1) == 1
+
+    one_pin = _single_group(pins)
+    one_byte = _single_group(bytes_)
+    one_beat = _single_group(beats)
+
+    result = np.empty(errors.shape[0], dtype=object)
+    result[:] = ErrorPattern.ENTRY
+    result[one_beat] = ErrorPattern.BEAT
+    result[(weights == 3) & ~one_pin & ~one_byte] = ErrorPattern.TRIPLE_BIT
+    result[(weights == 2) & ~one_pin & ~one_byte] = ErrorPattern.DOUBLE_BIT
+    result[one_byte & (weights >= 2)] = ErrorPattern.BYTE
+    result[one_pin & (weights >= 2)] = ErrorPattern.PIN
+    result[weights == 1] = ErrorPattern.BIT
+    return result

@@ -1,0 +1,60 @@
+"""The paper's analytical soft-error model (Table 1).
+
+Beam testing shows seven recurring corruption patterns inside a 32B+4B
+memory entry.  Table 1 assigns each a probability; patterns are ordered by
+increasing ECC difficulty, and when several patterns fit one observed error
+the *less difficult* one wins (e.g. two erroneous bits inside one byte is a
+"1 Byte" error, not a "2 Bits" error — see
+:func:`repro.errormodel.classify.classify_error`).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+__all__ = ["ErrorPattern", "TABLE1_PROBABILITIES", "PATTERN_BIT_RANGES"]
+
+
+class ErrorPattern(Enum):
+    """The seven Table-1 patterns, in increasing ECC difficulty."""
+
+    BIT = "1 Bit"  #: one flipped bit anywhere in the entry
+    PIN = "1 Pin"  #: 2-4 flipped bits on a single pin (across beats)
+    BYTE = "1 Byte"  #: 2-8 flipped bits within one aligned byte of one beat
+    DOUBLE_BIT = "2 Bits"  #: 2 flipped bits not sharing a pin or byte
+    TRIPLE_BIT = "3 Bits"  #: 3 flipped bits not confined to a pin or byte
+    BEAT = "1 Beat"  #: >=4 flipped bits confined to one 72-bit beat
+    ENTRY = "1 Entry"  #: flipped bits spanning multiple beats
+
+    @property
+    def difficulty(self) -> int:
+        """Rank used for the priority rule (lower = easier to handle)."""
+        return _DIFFICULTY[self]
+
+
+_DIFFICULTY = {pattern: rank for rank, pattern in enumerate(ErrorPattern)}
+
+#: Table 1 — soft error pattern probabilities measured in the beam.
+TABLE1_PROBABILITIES: dict[ErrorPattern, float] = {
+    ErrorPattern.BIT: 0.7398,
+    ErrorPattern.PIN: 0.0019,
+    ErrorPattern.BYTE: 0.2256,
+    ErrorPattern.DOUBLE_BIT: 0.0011,
+    ErrorPattern.TRIPLE_BIT: 0.0003,
+    ErrorPattern.BEAT: 0.0090,
+    ErrorPattern.ENTRY: 0.0223,
+}
+
+#: Table 1's "Bits" column — the affected-bit range of each pattern.
+PATTERN_BIT_RANGES: dict[ErrorPattern, tuple[int, int]] = {
+    ErrorPattern.BIT: (1, 1),
+    ErrorPattern.PIN: (2, 4),
+    ErrorPattern.BYTE: (2, 8),
+    ErrorPattern.DOUBLE_BIT: (2, 2),
+    ErrorPattern.TRIPLE_BIT: (3, 3),
+    ErrorPattern.BEAT: (4, 64),
+    ErrorPattern.ENTRY: (4, 256),
+}
+
+if abs(sum(TABLE1_PROBABILITIES.values()) - 1.0) > 1e-9:
+    raise AssertionError("Table 1 probabilities must sum to 1")

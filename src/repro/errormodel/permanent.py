@@ -1,0 +1,114 @@
+"""Degraded operation: soft errors on top of a permanent pin fault.
+
+Section 2.5 motivates single-pin correction as *graceful degradation*: a
+cracked microbump or marginal joint can appear weeks after deployment, and
+a pin-correcting ECC lets the GPU keep running until a scheduled
+replacement.  The paper preserves pin correction in every organization
+except SSC-DSD+ but never quantifies what operating with a dead pin costs;
+this module does.
+
+A permanent pin fault is modelled as data-dependent corruption of one wire:
+on every access, each of the four beats' bits on that pin is wrong with
+probability 1/2 (a stuck-at value disagrees with half the transmitted
+values).  The evaluator superimposes that corruption on the usual Table-1
+soft-error stream and reports outcome probabilities for the degraded
+device, including the fraction of *fault-free* accesses (no soft error at
+all) that still end in a DUE — the availability loss that forces immediate
+replacement when pin correction is missing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.layout import ENTRY_BITS, NUM_BEATS, NUM_PINS, bits_of_pin
+from repro.core.scheme import ECCScheme
+from repro.errormodel.patterns import TABLE1_PROBABILITIES, ErrorPattern
+from repro.errormodel.sampling import sample_pattern
+
+__all__ = ["DegradedOutcome", "sample_stuck_pin_flips", "evaluate_with_stuck_pin"]
+
+
+@dataclass(frozen=True)
+class DegradedOutcome:
+    """Outcomes for a device with one permanently faulty pin."""
+
+    scheme: str
+    pin: int
+    #: outcome mix for accesses that also suffer a Table-1 soft error
+    correct_with_soft_error: float
+    due_with_soft_error: float
+    sdc_with_soft_error: float
+    #: DUE probability for ordinary accesses (pin fault only) — the
+    #: availability loss of running degraded
+    due_without_soft_error: float
+
+    @property
+    def survives_degraded(self) -> bool:
+        """Usable in the field: clean accesses almost never interrupt."""
+        return self.due_without_soft_error < 0.01
+
+
+def sample_stuck_pin_flips(pin: int, count: int,
+                           rng: np.random.Generator) -> np.ndarray:
+    """Flip patterns a stuck pin inflicts on ``count`` random accesses.
+
+    Each of the pin's four beat-bits disagrees with the stuck value with
+    probability 1/2, independently per access.
+    """
+    if not 0 <= pin < NUM_PINS:
+        raise ValueError(f"pin must be in [0, {NUM_PINS})")
+    flips = np.zeros((count, ENTRY_BITS), dtype=np.uint8)
+    mask = rng.integers(0, 2, size=(count, NUM_BEATS), dtype=np.uint8)
+    flips[:, bits_of_pin(pin)] = mask
+    return flips
+
+
+def evaluate_with_stuck_pin(
+    scheme: ECCScheme,
+    *,
+    pin: int = 17,
+    samples: int = 50_000,
+    probabilities: dict[ErrorPattern, float] | None = None,
+    seed: int = 1234,
+) -> DegradedOutcome:
+    """Outcome probabilities for a device operating with one dead pin."""
+    probabilities = probabilities or TABLE1_PROBABILITIES
+    rng = np.random.default_rng(seed)
+
+    # Availability: accesses with no soft error, only the pin corruption.
+    clean_flips = sample_stuck_pin_flips(pin, samples, rng)
+    nonzero = clean_flips.any(axis=1)
+    clean_batch = scheme.decode_batch_errors(clean_flips[nonzero])
+    due_clean = float(clean_batch.due.mean()) * float(nonzero.mean())
+
+    # Resilience: a Table-1 soft error lands on the degraded device.
+    patterns = list(probabilities)
+    weights = np.array([probabilities[p] for p in patterns])
+    counts = rng.multinomial(samples, weights / weights.sum())
+    correct = due = sdc = 0
+    total = 0
+    for pattern, count in zip(patterns, counts):
+        if count == 0:
+            continue
+        soft = sample_pattern(pattern, int(count), rng)
+        combined = soft ^ sample_stuck_pin_flips(pin, int(count), rng)
+        live = combined.any(axis=1)
+        if not live.any():
+            continue
+        batch = scheme.decode_batch_errors(combined[live])
+        due += int(batch.due.sum())
+        sdc += int(batch.sdc().sum())
+        correct += int(live.sum()) - int(batch.due.sum()) - int(batch.sdc().sum())
+        total += int(live.sum())
+
+    return DegradedOutcome(
+        scheme=scheme.name,
+        pin=pin,
+        correct_with_soft_error=correct / total,
+        due_with_soft_error=due / total,
+        sdc_with_soft_error=sdc / total,
+        due_without_soft_error=due_clean,
+    )

@@ -1,0 +1,45 @@
+"""Galois-field substrate: GF(2) linear algebra and GF(2^8) arithmetic."""
+
+from repro.gf.gf2 import (
+    bits_from_int,
+    gf2_inverse,
+    gf2_matmul,
+    gf2_rank,
+    gf2_row_reduce,
+    int_from_bits,
+    pack_bits,
+    syndromes_batch,
+    unpack_bits,
+)
+from repro.gf.gf256 import (
+    GENERATOR,
+    PRIMITIVE_POLY,
+    dlog,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    gf_pow_generator,
+)
+from repro.gf.polynomial import Poly
+
+__all__ = [
+    "bits_from_int",
+    "int_from_bits",
+    "pack_bits",
+    "unpack_bits",
+    "gf2_matmul",
+    "gf2_rank",
+    "gf2_row_reduce",
+    "gf2_inverse",
+    "syndromes_batch",
+    "PRIMITIVE_POLY",
+    "GENERATOR",
+    "gf_mul",
+    "gf_div",
+    "gf_inv",
+    "gf_pow",
+    "gf_pow_generator",
+    "dlog",
+    "Poly",
+]

@@ -1,0 +1,183 @@
+"""Linear algebra over GF(2).
+
+Bit vectors and matrices are represented as :class:`numpy.ndarray` objects of
+dtype ``uint8`` containing only 0s and 1s.  A parity-check matrix ``H`` has
+shape ``(R, N)`` — ``R`` check equations over ``N`` code bits — and the
+syndrome of an error vector ``e`` is ``H @ e (mod 2)``.
+
+All routines are pure functions; none mutate their arguments.  Batch variants
+accept a 2-D array whose *rows* are vectors and are fully vectorized, which is
+what makes the Monte Carlo evaluation in :mod:`repro.errormodel` practical in
+pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "bits_from_int",
+    "int_from_bits",
+    "pack_bits",
+    "unpack_bits",
+    "gf2_matmul",
+    "gf2_mat_vec",
+    "syndromes_of",
+    "syndromes_batch",
+    "pack_syndromes",
+    "column_weights",
+    "row_weights",
+    "gf2_rank",
+    "gf2_row_reduce",
+    "gf2_inverse",
+    "gf2_solve",
+]
+
+
+def bits_from_int(value: int, width: int, *, msb_first: bool = False) -> np.ndarray:
+    """Expand a non-negative integer into a bit vector of ``width`` bits.
+
+    With ``msb_first=False`` (the default) ``bits[i]`` is the coefficient of
+    ``2**i``; with ``msb_first=True`` the vector is reversed, matching the
+    left-to-right order in which the paper prints H-matrix rows.
+    """
+    if value < 0:
+        raise ValueError("value must be non-negative")
+    if value >> width:
+        raise ValueError(f"value {value:#x} does not fit in {width} bits")
+    bits = np.array([(value >> i) & 1 for i in range(width)], dtype=np.uint8)
+    if msb_first:
+        bits = bits[::-1].copy()
+    return bits
+
+
+def int_from_bits(bits: np.ndarray, *, msb_first: bool = False) -> int:
+    """Inverse of :func:`bits_from_int`."""
+    seq = np.asarray(bits, dtype=np.uint8)
+    if msb_first:
+        seq = seq[::-1]
+    value = 0
+    for i, bit in enumerate(seq.tolist()):
+        if bit:
+            value |= 1 << i
+    return value
+
+
+def pack_bits(bits: np.ndarray) -> np.ndarray:
+    """Pack the trailing axis of a 0/1 array into little-endian integers.
+
+    The trailing axis must have at most 63 bits.  Returns an ``int64`` array
+    with the trailing axis removed.  Used to turn per-sample syndromes into
+    dictionary-lookup keys.
+    """
+    bits = np.asarray(bits)
+    width = bits.shape[-1]
+    if width > 63:
+        raise ValueError("pack_bits supports at most 63 bits")
+    weights = (np.int64(1) << np.arange(width, dtype=np.int64))
+    return bits.astype(np.int64) @ weights
+
+
+def unpack_bits(values: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_bits` — expand integers into 0/1 ``uint8`` bits."""
+    values = np.asarray(values, dtype=np.int64)
+    shifts = np.arange(width, dtype=np.int64)
+    return ((values[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Matrix product over GF(2) (i.e. ordinary product reduced mod 2)."""
+    prod = np.asarray(a, dtype=np.int32) @ np.asarray(b, dtype=np.int32)
+    return (prod & 1).astype(np.uint8)
+
+
+def gf2_mat_vec(matrix: np.ndarray, vector: np.ndarray) -> np.ndarray:
+    """Matrix–vector product over GF(2)."""
+    return gf2_matmul(matrix, np.asarray(vector).reshape(-1))
+
+
+def syndromes_of(h_matrix: np.ndarray, error: np.ndarray) -> np.ndarray:
+    """Syndrome ``H @ e`` of a single error vector, as a length-R bit vector."""
+    return gf2_mat_vec(h_matrix, error)
+
+
+def syndromes_batch(h_matrix: np.ndarray, errors: np.ndarray) -> np.ndarray:
+    """Syndromes of a batch of error vectors.
+
+    ``errors`` has shape ``(n, N)``; the result has shape ``(n, R)``.  The
+    accumulation is done in ``int16`` (row sums never exceed N ≤ 32767), which
+    keeps the intermediate small for large batches.
+    """
+    errors = np.asarray(errors, dtype=np.int16)
+    prod = errors @ np.asarray(h_matrix, dtype=np.int16).T
+    return (prod & 1).astype(np.uint8)
+
+
+def pack_syndromes(h_matrix: np.ndarray, errors: np.ndarray) -> np.ndarray:
+    """Batch syndromes packed into integers (see :func:`pack_bits`)."""
+    return pack_bits(syndromes_batch(h_matrix, errors))
+
+
+def column_weights(matrix: np.ndarray) -> np.ndarray:
+    """Hamming weight of each column."""
+    return np.asarray(matrix, dtype=np.int64).sum(axis=0)
+
+
+def row_weights(matrix: np.ndarray) -> np.ndarray:
+    """Hamming weight of each row."""
+    return np.asarray(matrix, dtype=np.int64).sum(axis=1)
+
+
+def gf2_row_reduce(matrix: np.ndarray) -> tuple[np.ndarray, list[int]]:
+    """Reduced row-echelon form over GF(2).
+
+    Returns ``(rref, pivot_columns)``.  The input is not modified.
+    """
+    work = np.asarray(matrix, dtype=np.uint8).copy()
+    rows, cols = work.shape
+    pivots: list[int] = []
+    row = 0
+    for col in range(cols):
+        if row >= rows:
+            break
+        pivot_rows = np.nonzero(work[row:, col])[0]
+        if pivot_rows.size == 0:
+            continue
+        pivot = row + int(pivot_rows[0])
+        if pivot != row:
+            work[[row, pivot]] = work[[pivot, row]]
+        # Eliminate this column from every other row.
+        others = np.nonzero(work[:, col])[0]
+        for other in others:
+            if other != row:
+                work[other] ^= work[row]
+        pivots.append(col)
+        row += 1
+    return work, pivots
+
+
+def gf2_rank(matrix: np.ndarray) -> int:
+    """Rank of a matrix over GF(2)."""
+    _, pivots = gf2_row_reduce(matrix)
+    return len(pivots)
+
+
+def gf2_inverse(matrix: np.ndarray) -> np.ndarray:
+    """Inverse of a square matrix over GF(2).
+
+    Raises :class:`ValueError` if the matrix is singular.
+    """
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    size = matrix.shape[0]
+    if matrix.shape != (size, size):
+        raise ValueError("matrix must be square")
+    augmented = np.concatenate([matrix, np.eye(size, dtype=np.uint8)], axis=1)
+    rref, pivots = gf2_row_reduce(augmented)
+    if pivots[:size] != list(range(size)):
+        raise ValueError("matrix is singular over GF(2)")
+    return rref[:, size:].copy()
+
+
+def gf2_solve(matrix: np.ndarray, rhs: np.ndarray) -> np.ndarray:
+    """Solve ``matrix @ x = rhs`` over GF(2) for square invertible ``matrix``."""
+    return gf2_mat_vec(gf2_inverse(matrix), rhs)

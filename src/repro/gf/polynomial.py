@@ -1,0 +1,188 @@
+"""Polynomials over GF(2^8).
+
+Used by the algebraic Reed-Solomon decoders in
+:mod:`repro.codes.reed_solomon` (generator-polynomial construction,
+Berlekamp-Massey error-locator synthesis, and Chien-style root search).
+
+Coefficients are stored ascending — ``coeffs[i]`` multiplies ``x**i`` — as a
+numpy ``uint8`` array with no trailing zeros (the zero polynomial is the empty
+array, with degree -1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gf.gf256 import EXP_TABLE, ORDER, gf_inv, gf_mul
+
+__all__ = ["Poly"]
+
+
+def _trim(coeffs: np.ndarray) -> np.ndarray:
+    nonzero = np.nonzero(coeffs)[0]
+    if nonzero.size == 0:
+        return np.zeros(0, dtype=np.uint8)
+    return coeffs[: int(nonzero[-1]) + 1].astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class Poly:
+    """An immutable polynomial over GF(2^8)."""
+
+    coeffs: np.ndarray
+
+    def __init__(self, coeffs) -> None:
+        object.__setattr__(self, "coeffs", _trim(np.asarray(coeffs, dtype=np.uint8)))
+
+    # -- constructors ------------------------------------------------------
+    @staticmethod
+    def zero() -> "Poly":
+        return Poly([])
+
+    @staticmethod
+    def one() -> "Poly":
+        return Poly([1])
+
+    @staticmethod
+    def x() -> "Poly":
+        return Poly([0, 1])
+
+    @staticmethod
+    def monomial(degree: int, coeff: int = 1) -> "Poly":
+        coeffs = np.zeros(degree + 1, dtype=np.uint8)
+        coeffs[degree] = coeff
+        return Poly(coeffs)
+
+    # -- structure ---------------------------------------------------------
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; -1 for the zero polynomial."""
+        return len(self.coeffs) - 1
+
+    def is_zero(self) -> bool:
+        return len(self.coeffs) == 0
+
+    def __getitem__(self, power: int) -> int:
+        if 0 <= power < len(self.coeffs):
+            return int(self.coeffs[power])
+        return 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Poly):
+            return NotImplemented
+        return self.coeffs.shape == other.coeffs.shape and bool(
+            np.all(self.coeffs == other.coeffs)
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.coeffs.tobytes())
+
+    def __repr__(self) -> str:
+        if self.is_zero():
+            return "Poly(0)"
+        terms = [
+            f"{coeff:#04x}·x^{power}" if power else f"{coeff:#04x}"
+            for power, coeff in enumerate(self.coeffs.tolist())
+            if coeff
+        ]
+        return f"Poly({' + '.join(terms)})"
+
+    # -- ring operations ---------------------------------------------------
+    def __add__(self, other: "Poly") -> "Poly":
+        width = max(len(self.coeffs), len(other.coeffs))
+        total = np.zeros(width, dtype=np.uint8)
+        total[: len(self.coeffs)] ^= self.coeffs
+        total[: len(other.coeffs)] ^= other.coeffs
+        return Poly(total)
+
+    # Characteristic 2: subtraction is addition.
+    __sub__ = __add__
+
+    def __mul__(self, other: "Poly") -> "Poly":
+        if self.is_zero() or other.is_zero():
+            return Poly.zero()
+        product = np.zeros(self.degree + other.degree + 1, dtype=np.uint8)
+        for power, coeff in enumerate(self.coeffs.tolist()):
+            if coeff:
+                product[power : power + len(other.coeffs)] ^= gf_mul(
+                    coeff, other.coeffs
+                )
+        return Poly(product)
+
+    def scale(self, scalar: int) -> "Poly":
+        """Multiply every coefficient by a field scalar."""
+        if scalar == 0:
+            return Poly.zero()
+        return Poly(gf_mul(self.coeffs, np.uint8(scalar)))
+
+    def shift(self, places: int) -> "Poly":
+        """Multiply by ``x**places``."""
+        if self.is_zero():
+            return self
+        return Poly(np.concatenate([np.zeros(places, dtype=np.uint8), self.coeffs]))
+
+    def divmod(self, divisor: "Poly") -> tuple["Poly", "Poly"]:
+        """Quotient and remainder of polynomial long division."""
+        if divisor.is_zero():
+            raise ZeroDivisionError("polynomial division by zero")
+        remainder = self.coeffs.copy()
+        quotient = np.zeros(max(self.degree - divisor.degree + 1, 0), dtype=np.uint8)
+        lead_inv = gf_inv(int(divisor.coeffs[-1]))
+        for power in range(self.degree - divisor.degree, -1, -1):
+            top = int(remainder[power + divisor.degree]) if remainder.size else 0
+            if top == 0:
+                continue
+            factor = gf_mul(top, lead_inv)
+            quotient[power] = factor
+            remainder[power : power + len(divisor.coeffs)] ^= gf_mul(
+                np.uint8(factor), divisor.coeffs
+            )
+        return Poly(quotient), Poly(remainder)
+
+    def __mod__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[1]
+
+    def __floordiv__(self, divisor: "Poly") -> "Poly":
+        return self.divmod(divisor)[0]
+
+    # -- evaluation --------------------------------------------------------
+    def eval(self, points):
+        """Evaluate at one or many field points via Horner's rule."""
+        points_arr = np.asarray(points, dtype=np.uint8)
+        result = np.zeros_like(points_arr)
+        for coeff in self.coeffs[::-1].tolist():
+            result = gf_mul(result, points_arr) ^ np.uint8(coeff)
+        if np.isscalar(points):
+            return int(result)
+        return result
+
+    def roots(self) -> list[int]:
+        """All roots in GF(2^8), by exhaustive (Chien-style) search."""
+        candidates = np.arange(256, dtype=np.uint8)
+        values = self.eval(candidates)
+        return [int(c) for c in candidates[values == 0]]
+
+    def derivative(self) -> "Poly":
+        """Formal derivative; in characteristic 2, even-power terms vanish."""
+        if self.degree < 1:
+            return Poly.zero()
+        deriv = self.coeffs[1:].copy()
+        deriv[1::2] = 0  # coefficient i+1 scaled by (i+1) mod 2
+        return Poly(deriv)
+
+    @staticmethod
+    def from_roots(roots: list[int]) -> "Poly":
+        """The monic polynomial ∏ (x - r) over the given roots."""
+        result = Poly.one()
+        for root in roots:
+            result = result * Poly([root, 1])  # (x + r) == (x - r) in char 2
+        return result
+
+    @staticmethod
+    def rs_generator(num_check: int, first_root: int = 0) -> "Poly":
+        """Reed-Solomon generator polynomial ∏_{i} (x - α^{first_root+i})."""
+        return Poly.from_roots(
+            [int(EXP_TABLE[(first_root + i) % ORDER]) for i in range(num_check)]
+        )

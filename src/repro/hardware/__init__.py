@@ -1,0 +1,27 @@
+"""Gate-level hardware cost estimation (Table 3)."""
+
+from repro.hardware.circuit import Circuit, CircuitStats
+from repro.hardware.gates import GATE_SPECS, GateKind
+from repro.hardware.synth import (
+    Table3Row,
+    binary_decoder,
+    binary_encoder,
+    rs_encoder,
+    rs_ssc_decoder,
+    ssc_dsd_decoder,
+    table3_rows,
+)
+
+__all__ = [
+    "Circuit",
+    "CircuitStats",
+    "GATE_SPECS",
+    "GateKind",
+    "Table3Row",
+    "binary_decoder",
+    "binary_encoder",
+    "rs_encoder",
+    "rs_ssc_decoder",
+    "ssc_dsd_decoder",
+    "table3_rows",
+]

@@ -1,0 +1,273 @@
+"""Combinational netlists with area and static-timing estimation.
+
+A :class:`Circuit` is a DAG of primitive gates (:mod:`repro.hardware.gates`).
+Area is the sum of cell areas in AND2 equivalents; delay is the longest
+register-to-register combinational path (static timing over the DAG), the
+two quantities Table 3 reports.
+
+The builder offers the reduction trees every ECC circuit is made of, in two
+styles reflecting Table 3's "Perf." and "Eff." design points:
+
+* ``balanced=True`` — minimum-depth balanced trees (the performant point);
+* ``balanced=False`` — linear chains, which synthesis produces when it
+  trades delay slack for area/power in the area-time-efficient point.
+
+:meth:`Circuit.share` provides greedy common-subexpression elimination for
+the efficient design points: identical (kind, fanin) gates are merged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware.gates import GATE_SPECS, ROM_AREA_PER_BIT, ROM_DELAY_NS, GateKind
+
+__all__ = ["Circuit", "CircuitStats"]
+
+
+@dataclass(frozen=True)
+class CircuitStats:
+    """Synthesis summary of one circuit (a Table 3 cell pair)."""
+
+    name: str
+    area: float
+    delay_ns: float
+    gate_count: int
+
+    def area_overhead(self, baseline: "CircuitStats") -> float:
+        return self.area / baseline.area - 1.0
+
+    def delay_overhead(self, baseline: "CircuitStats") -> float:
+        return self.delay_ns / baseline.delay_ns - 1.0
+
+
+@dataclass
+class _Node:
+    kind: GateKind
+    fanin: tuple[int, ...]
+    area: float
+    delay_ns: float
+    #: ROM blocks carry their contents; ROM taps carry their bit index.
+    payload: object = None
+
+
+class Circuit:
+    """A gate-level netlist under construction.
+
+    ``area_scale``/``delay_scale`` model cell sizing: an area-time-efficient
+    synthesis run relaxes timing and maps to smaller, slower drive strengths
+    (scales < 1 area, > 1 delay), while a performance-constrained run does
+    the opposite.  They apply uniformly to every gate added.
+    """
+
+    def __init__(self, name: str, *, area_scale: float = 1.0,
+                 delay_scale: float = 1.0) -> None:
+        self.name = name
+        self.area_scale = area_scale
+        self.delay_scale = delay_scale
+        self._nodes: list[_Node] = []
+        self._share_cache: dict[tuple[GateKind, tuple[int, ...]], int] = {}
+        self._sharing = False
+        self.outputs: dict[str, int] = {}
+
+    # -- construction -----------------------------------------------------
+    def enable_sharing(self, enabled: bool = True) -> None:
+        """Merge structurally identical gates (the "Eff." design points)."""
+        self._sharing = enabled
+
+    def add_input(self, count: int = 1) -> list[int]:
+        """Add primary inputs; returns their node ids."""
+        ids = []
+        for _ in range(count):
+            self._nodes.append(_Node(GateKind.INPUT, (), 0.0, 0.0))
+            ids.append(len(self._nodes) - 1)
+        return ids
+
+    def const(self, value: int) -> int:
+        kind = GateKind.CONST1 if value else GateKind.CONST0
+        return self._add(kind, ())
+
+    def gate(self, kind: GateKind, *fanin: int) -> int:
+        """Add one primitive gate."""
+        spec = GATE_SPECS[kind]
+        if spec.fanin and len(fanin) != spec.fanin:
+            raise ValueError(f"{kind.value} takes {spec.fanin} inputs")
+        return self._add(kind, tuple(fanin))
+
+    def rom(self, address_bits: list[int], data_width: int,
+            contents: list[int] | None = None) -> list[int]:
+        """A combinational lookup table (e.g. the DLogα block).
+
+        Modelled as one block whose area scales with the stored bit count;
+        returns one node per output bit (all share the block's delay).
+        ``contents`` (one word per address, LSB-first address bits) makes
+        the block functionally simulable by :meth:`evaluate`.
+        """
+        words = 1 << len(address_bits)
+        if contents is not None and len(contents) != words:
+            raise ValueError(f"ROM contents must have {words} words")
+        area = words * data_width * ROM_AREA_PER_BIT
+        block = self._add_raw(
+            GateKind.ROM, tuple(address_bits), area, ROM_DELAY_NS,
+            payload=tuple(contents) if contents is not None else None,
+        )
+        # Output bits are free taps on the block.
+        return [
+            self._add_raw(GateKind.ROM, (block,), 0.0, 0.0, payload=bit)
+            for bit in range(data_width)
+        ]
+
+    def _add(self, kind: GateKind, fanin: tuple[int, ...]) -> int:
+        if self._sharing:
+            key = (kind, fanin)
+            cached = self._share_cache.get(key)
+            if cached is not None:
+                return cached
+        spec = GATE_SPECS[kind]
+        node_id = self._add_raw(kind, fanin, spec.area, spec.delay_ns)
+        if self._sharing:
+            self._share_cache[(kind, fanin)] = node_id
+        return node_id
+
+    def _add_raw(self, kind: GateKind, fanin: tuple[int, ...],
+                 area: float, delay_ns: float, payload: object = None) -> int:
+        self._nodes.append(
+            _Node(kind, fanin, area * self.area_scale,
+                  delay_ns * self.delay_scale, payload)
+        )
+        return len(self._nodes) - 1
+
+    def mark_output(self, name: str, node: int) -> None:
+        self.outputs[name] = node
+
+    # -- reduction trees ---------------------------------------------------
+    def tree(self, kind: GateKind, nodes: list[int], *,
+             balanced: bool = True) -> int:
+        """Reduce a list of signals with a 2-input gate tree."""
+        if not nodes:
+            raise ValueError("cannot reduce an empty signal list")
+        work = list(nodes)
+        if balanced:
+            while len(work) > 1:
+                nxt = []
+                for i in range(0, len(work) - 1, 2):
+                    nxt.append(self.gate(kind, work[i], work[i + 1]))
+                if len(work) % 2:
+                    nxt.append(work[-1])
+                work = nxt
+            return work[0]
+        accumulator = work[0]
+        for node in work[1:]:
+            accumulator = self.gate(kind, accumulator, node)
+        return accumulator
+
+    def xor_tree(self, nodes: list[int], *, balanced: bool = True) -> int:
+        return self.tree(GateKind.XOR2, nodes, balanced=balanced)
+
+    def and_tree(self, nodes: list[int], *, balanced: bool = True) -> int:
+        return self.tree(GateKind.AND2, nodes, balanced=balanced)
+
+    def or_tree(self, nodes: list[int], *, balanced: bool = True) -> int:
+        return self.tree(GateKind.OR2, nodes, balanced=balanced)
+
+    def match_constant(self, bits: list[int], constant: int, *,
+                       balanced: bool = True) -> int:
+        """A comparator asserting ``bits == constant`` — the HCM circuit."""
+        terms = []
+        for position, bit in enumerate(bits):
+            if (constant >> position) & 1:
+                terms.append(bit)
+            else:
+                terms.append(self.gate(GateKind.NOT, bit))
+        return self.and_tree(terms, balanced=balanced)
+
+    # -- analysis -----------------------------------------------------------
+    def area(self) -> float:
+        return sum(node.area for node in self._nodes)
+
+    def gate_count(self) -> int:
+        return sum(
+            1
+            for node in self._nodes
+            if node.kind not in (GateKind.INPUT, GateKind.CONST0, GateKind.CONST1)
+            and node.area > 0
+        )
+
+    def delay_ns(self) -> float:
+        """Critical-path delay to any marked output (static timing)."""
+        arrival = [0.0] * len(self._nodes)
+        for index, node in enumerate(self._nodes):
+            latest_input = max((arrival[f] for f in node.fanin), default=0.0)
+            arrival[index] = latest_input + node.delay_ns
+        if self.outputs:
+            return max(arrival[node] for node in self.outputs.values())
+        return max(arrival, default=0.0)
+
+    def evaluate(self, input_values: list[int]) -> dict[str, int]:
+        """Functionally simulate the netlist.
+
+        ``input_values`` are the primary-input bits in creation order.  The
+        return value maps each marked output to 0/1.  Supports every gate
+        except ROM blocks (whose contents live in the real decoders'
+        tables, not the netlist) — so the binary encoders/decoders are
+        fully simulable, which the test-suite uses to prove the cost model
+        builds *working* ECC logic, not just plausible gate counts.
+        """
+        num_inputs = sum(1 for node in self._nodes if node.kind is GateKind.INPUT)
+        if len(input_values) != num_inputs:
+            raise ValueError(
+                f"expected {num_inputs} input bits, got {len(input_values)}"
+            )
+        values: list[int] = [0] * len(self._nodes)
+        input_cursor = 0
+        for index, node in enumerate(self._nodes):
+            kind = node.kind
+            if kind is GateKind.INPUT:
+                values[index] = int(input_values[input_cursor]) & 1
+                input_cursor += 1
+            elif kind is GateKind.CONST0:
+                values[index] = 0
+            elif kind is GateKind.CONST1:
+                values[index] = 1
+            elif kind is GateKind.NOT:
+                values[index] = values[node.fanin[0]] ^ 1
+            elif kind is GateKind.AND2:
+                values[index] = values[node.fanin[0]] & values[node.fanin[1]]
+            elif kind is GateKind.OR2:
+                values[index] = values[node.fanin[0]] | values[node.fanin[1]]
+            elif kind is GateKind.NAND2:
+                values[index] = (values[node.fanin[0]] & values[node.fanin[1]]) ^ 1
+            elif kind is GateKind.NOR2:
+                values[index] = (values[node.fanin[0]] | values[node.fanin[1]]) ^ 1
+            elif kind is GateKind.XOR2:
+                values[index] = values[node.fanin[0]] ^ values[node.fanin[1]]
+            elif kind is GateKind.XNOR2:
+                values[index] = values[node.fanin[0]] ^ values[node.fanin[1]] ^ 1
+            elif kind is GateKind.MUX2:
+                select, low, high = node.fanin
+                values[index] = values[high] if values[select] else values[low]
+            elif kind is GateKind.ROM:
+                if node.fanin and isinstance(node.payload, int):
+                    # A tap: extract one bit of the block's looked-up word.
+                    values[index] = (values[node.fanin[0]] >> node.payload) & 1
+                elif isinstance(node.payload, tuple):
+                    address = 0
+                    for bit, source in enumerate(node.fanin):
+                        address |= values[source] << bit
+                    values[index] = int(node.payload[address])
+                else:
+                    raise NotImplementedError(
+                        "ROM block was built without contents; pass "
+                        "`contents=` to Circuit.rom to simulate it"
+                    )
+            else:  # pragma: no cover - exhaustive over GateKind
+                raise NotImplementedError(f"cannot evaluate {kind}")
+        return {name: values[node] for name, node in self.outputs.items()}
+
+    def stats(self) -> CircuitStats:
+        return CircuitStats(
+            name=self.name,
+            area=self.area(),
+            delay_ns=self.delay_ns(),
+            gate_count=self.gate_count(),
+        )

@@ -1,0 +1,68 @@
+"""Standard-cell gate models for the synthesis estimator.
+
+The paper reports Table 3 in technology-independent units: circuit area as
+the equivalent AND2-gate count and delay in nanoseconds from a 16nm
+standard-cell library.  The constants below are representative relative
+weights for such a library (an XOR2 cell is roughly twice the area and
+delay of an AND2; an inverter half).  Absolute numbers will differ from
+Synopsys results, but the *relative* cost of the decoder structures — XOR
+trees, H-column-match comparators, GF(2^8) multipliers, discrete-log ROMs —
+is preserved, which is what Table 3's comparisons rest on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+__all__ = ["GateKind", "GATE_SPECS", "GateSpec", "ROM_AREA_PER_BIT", "ROM_DELAY_NS"]
+
+
+class GateKind(Enum):
+    """Primitive cells available to the netlist builder."""
+
+    INPUT = "input"
+    CONST0 = "const0"
+    CONST1 = "const1"
+    NOT = "not"
+    AND2 = "and2"
+    OR2 = "or2"
+    NAND2 = "nand2"
+    NOR2 = "nor2"
+    XOR2 = "xor2"
+    XNOR2 = "xnor2"
+    MUX2 = "mux2"
+    ROM = "rom"  #: lookup table; area set per instance
+
+
+@dataclass(frozen=True)
+class GateSpec:
+    """Area (AND2 equivalents) and propagation delay (ns) of one cell."""
+
+    area: float
+    delay_ns: float
+    fanin: int
+
+
+GATE_SPECS: dict[GateKind, GateSpec] = {
+    GateKind.INPUT: GateSpec(0.0, 0.0, 0),
+    GateKind.CONST0: GateSpec(0.0, 0.0, 0),
+    GateKind.CONST1: GateSpec(0.0, 0.0, 0),
+    GateKind.NOT: GateSpec(0.5, 0.006, 1),
+    GateKind.AND2: GateSpec(1.0, 0.012, 2),
+    GateKind.OR2: GateSpec(1.0, 0.012, 2),
+    GateKind.NAND2: GateSpec(0.8, 0.010, 2),
+    GateKind.NOR2: GateSpec(0.8, 0.010, 2),
+    GateKind.XOR2: GateSpec(2.2, 0.024, 2),
+    GateKind.XNOR2: GateSpec(2.2, 0.024, 2),
+    GateKind.MUX2: GateSpec(2.0, 0.020, 3),
+    # ROM is sized per instance; spec here is unused for area.
+    GateKind.ROM: GateSpec(0.0, 0.080, 0),
+}
+
+#: Synthesized-ROM density: AND2 equivalents per stored bit (after
+#: minimization, a random 256×8 table costs roughly a third of a gate/bit).
+ROM_AREA_PER_BIT = 0.35
+
+#: Access delay of a combinational ROM/LUT block, ns.
+ROM_DELAY_NS = 0.080

@@ -1,0 +1,64 @@
+"""XOR-network helpers shared by the encoder/decoder generators.
+
+Binary ECC hardware is dominated by XOR networks: encoders are XOR trees
+over the H-matrix rows, syndrome generators are the same trees over the
+received word, and GF(2^8) constant multipliers are 8×8 XOR matrices.  The
+helpers here build those networks on a :class:`~repro.hardware.circuit.Circuit`
+from the actual matrices used by the schemes, so the estimated areas track
+the real code structure (e.g. Hsiao's balanced row weights directly shrink
+the widest tree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gf.gf256 import gf_mul
+from repro.hardware.circuit import Circuit
+
+__all__ = ["xor_rows", "gf_const_mult_matrix", "gf_const_mult", "xor_combine_bytes"]
+
+
+def xor_rows(circuit: Circuit, matrix: np.ndarray, inputs: list[int], *,
+             balanced: bool = True) -> list[int]:
+    """One XOR tree per matrix row: output r = ⊕ of inputs where row r is 1."""
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    outputs = []
+    for row in matrix:
+        taps = [inputs[i] for i in np.nonzero(row)[0]]
+        if not taps:
+            outputs.append(circuit.const(0))
+        else:
+            outputs.append(circuit.xor_tree(taps, balanced=balanced))
+    return outputs
+
+
+def gf_const_mult_matrix(constant: int) -> np.ndarray:
+    """The 8×8 GF(2) matrix of multiplication by a GF(2^8) constant.
+
+    Column j is ``constant · x^j``; the multiplier hardware is one XOR tree
+    per output bit over this matrix.
+    """
+    matrix = np.zeros((8, 8), dtype=np.uint8)
+    for j in range(8):
+        product = gf_mul(constant, 1 << j)
+        for i in range(8):
+            matrix[i, j] = (product >> i) & 1
+    return matrix
+
+
+def gf_const_mult(circuit: Circuit, constant: int, byte_bits: list[int], *,
+                  balanced: bool = True) -> list[int]:
+    """Instantiate a constant GF(2^8) multiplier on 8 input bits."""
+    matrix = gf_const_mult_matrix(constant)
+    return xor_rows(circuit, matrix, byte_bits, balanced=balanced)
+
+
+def xor_combine_bytes(circuit: Circuit, byte_groups: list[list[int]], *,
+                      balanced: bool = True) -> list[int]:
+    """Bitwise XOR of several 8-bit buses (syndrome accumulation)."""
+    width = len(byte_groups[0])
+    return [
+        circuit.xor_tree([group[bit] for group in byte_groups], balanced=balanced)
+        for bit in range(width)
+    ]

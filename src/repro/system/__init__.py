@@ -1,0 +1,24 @@
+"""System-level resilience and availability models (Section 7.3)."""
+
+from repro.system.automotive import (
+    ISO26262_SDC_FIT_LIMIT,
+    AutomotiveAssessment,
+    FleetModel,
+    assess_scheme,
+)
+from repro.system.fit import GpuMemoryModel, RateSplit
+from repro.system.scrubbing import ScrubbingModel
+from repro.system.hpc import ExascaleSystem, Figure9Point, figure9_series
+
+__all__ = [
+    "ISO26262_SDC_FIT_LIMIT",
+    "AutomotiveAssessment",
+    "FleetModel",
+    "assess_scheme",
+    "GpuMemoryModel",
+    "RateSplit",
+    "ScrubbingModel",
+    "ExascaleSystem",
+    "Figure9Point",
+    "figure9_series",
+]

@@ -1,0 +1,80 @@
+"""Autonomous-vehicle safety analysis — Section 7.3.
+
+Two analyses from the paper:
+
+* **ISO 26262** — the highest automotive safety level (ASIL D) requires at
+  most 10 FIT of silent data corruption.  With 12.51 FIT/Gbit of raw HBM2
+  events on a 320 Gbit A100, SEC-DED's ~5.4% SDC probability yields ~216
+  FIT — failing the standard — while TrioECC (~0.29 FIT) and DuetECC
+  (~0.045 FIT) pass comfortably.
+* **Fleet exposure** — 225.8 million U.S. drivers averaging 51 minutes per
+  day is 1.92e8 driving hours/day.  With one GPU per (hypothetically
+  autonomous) car, the per-event outcome probabilities convert directly
+  into expected SDC events on the road per day and into how many cars per
+  day need soft-error-related recovery after a DUE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errormodel.montecarlo import SchemeOutcome
+from repro.system.fit import HOURS_PER_BILLION, GpuMemoryModel
+
+__all__ = ["ISO26262_SDC_FIT_LIMIT", "FleetModel", "AutomotiveAssessment",
+           "assess_scheme"]
+
+#: Maximum SDC rate for the highest ISO 26262 safety level, FIT.
+ISO26262_SDC_FIT_LIMIT = 10.0
+
+
+@dataclass(frozen=True)
+class FleetModel:
+    """The national driving-exposure model used in Section 7.3."""
+
+    drivers: float = 225.8e6
+    minutes_per_day: float = 51.0
+
+    @property
+    def driving_hours_per_day(self) -> float:
+        return self.drivers * self.minutes_per_day / 60.0
+
+
+@dataclass(frozen=True)
+class AutomotiveAssessment:
+    """Per-scheme safety numbers for one GPU per vehicle."""
+
+    scheme: str
+    sdc_fit: float
+    due_fit: float
+    meets_iso26262: bool
+    fleet_sdc_per_day: float
+    fleet_due_cars_per_day: float
+
+    @property
+    def days_between_fleet_sdc(self) -> float:
+        if self.fleet_sdc_per_day <= 0:
+            return float("inf")
+        return 1.0 / self.fleet_sdc_per_day
+
+
+def assess_scheme(
+    outcome: SchemeOutcome,
+    *,
+    gpu: GpuMemoryModel | None = None,
+    fleet: FleetModel | None = None,
+) -> AutomotiveAssessment:
+    """Evaluate one ECC organization against ISO 26262 and the fleet model."""
+    gpu = gpu or GpuMemoryModel()
+    fleet = fleet or FleetModel()
+    split = gpu.split(outcome.correct, outcome.detect, outcome.sdc)
+    events_per_hour = split.raw / HOURS_PER_BILLION
+    fleet_events_per_day = events_per_hour * fleet.driving_hours_per_day
+    return AutomotiveAssessment(
+        scheme=outcome.scheme,
+        sdc_fit=split.sdc,
+        due_fit=split.due,
+        meets_iso26262=split.sdc <= ISO26262_SDC_FIT_LIMIT,
+        fleet_sdc_per_day=fleet_events_per_day * outcome.sdc,
+        fleet_due_cars_per_day=fleet_events_per_day * outcome.detect,
+    )

@@ -1,0 +1,65 @@
+"""FIT-rate arithmetic shared by the HPC and automotive models (Section 7.3).
+
+A FIT is one failure per 10^9 device-hours.  The paper's calibration:
+
+* raw HBM2 soft-error rate of **12.51 FIT/Gbit** (inspired by the GDDR5
+  rates observed on the Titan supercomputer);
+* an NVIDIA A100 GPU with 40GB (320 Gbit) of HBM2, hence ~4,003 raw
+  FIT/GPU — which under SEC-DED's ~5.4% per-event SDC probability yields
+  the paper's 216 FIT of SDC per GPU.
+
+Given any ECC scheme's per-event outcome probabilities (Figure 8), the raw
+event rate splits into corrected/DUE/SDC rates; everything in
+:mod:`repro.system.hpc` and :mod:`repro.system.automotive` is built on this
+split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["HOURS_PER_BILLION", "GpuMemoryModel", "RateSplit"]
+
+HOURS_PER_BILLION = 1e9
+
+
+@dataclass(frozen=True)
+class RateSplit:
+    """Event-rate decomposition for one GPU under one ECC scheme (FIT)."""
+
+    raw: float
+    corrected: float
+    due: float
+    sdc: float
+
+    def mtbf_hours(self, rate_fit: float) -> float:
+        """Mean time between failures for any of the component rates."""
+        if rate_fit <= 0:
+            return float("inf")
+        return HOURS_PER_BILLION / rate_fit
+
+
+@dataclass(frozen=True)
+class GpuMemoryModel:
+    """Raw soft-error rate of one GPU's HBM2."""
+
+    fit_per_gbit: float = 12.51
+    memory_gbit: float = 320.0  #: A100: 40 GB of HBM2
+
+    @property
+    def raw_fit(self) -> float:
+        """Raw SEU event rate per GPU, in FIT."""
+        return self.fit_per_gbit * self.memory_gbit
+
+    def split(self, correct_probability: float, due_probability: float,
+              sdc_probability: float) -> RateSplit:
+        """Split the raw event rate by a scheme's per-event outcomes."""
+        total = correct_probability + due_probability + sdc_probability
+        if not 0.999 <= total <= 1.001:
+            raise ValueError("outcome probabilities must sum to 1")
+        return RateSplit(
+            raw=self.raw_fit,
+            corrected=self.raw_fit * correct_probability,
+            due=self.raw_fit * due_probability,
+            sdc=self.raw_fit * sdc_probability,
+        )

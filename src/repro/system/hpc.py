@@ -1,0 +1,80 @@
+"""Exascale supercomputer failure rates — Figure 9.
+
+The paper plots, for 0.5-2 exaflop machines built from A100-class GPUs,
+
+* **MTTI** (mean time to interrupt): one DUE anywhere crashes a job; and
+* **MTTF** (mean time to failure): one SDC anywhere silently corrupts it.
+
+The GPU count per exaflop is not stated explicitly; we solved it from the
+published curve endpoints — Duet's 6.3 h MTTI, Trio's 37.6 h MTTI and
+SEC-DED's 22.5 h SDC period, all at 0.5 EF, agree on ~409,600 GPUs per
+exaflop (~2.4 sustained TFLOP/s per GPU).  With that single constant and
+the 12.51 FIT/Gbit raw rate, every Figure 9 endpoint and the "SDC every
+22.5 hours" prose number follow from the per-event outcome probabilities of
+Figure 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+from repro.errormodel.montecarlo import SchemeOutcome
+from repro.system.fit import HOURS_PER_BILLION, GpuMemoryModel
+
+__all__ = ["ExascaleSystem", "Figure9Point", "figure9_series"]
+
+#: Solved from the paper's Figure 9 endpoints (see module docstring).
+GPUS_PER_EXAFLOP = 409_600
+
+
+@dataclass(frozen=True)
+class Figure9Point:
+    """System failure rates at one machine scale."""
+
+    exaflops: float
+    gpus: int
+    mtti_hours: float
+    mttf_hours: float
+
+    @property
+    def mttf_months(self) -> float:
+        return self.mttf_hours / (30.44 * 24.0)
+
+
+@dataclass(frozen=True)
+class ExascaleSystem:
+    """A GPU supercomputer whose failure rates scale with GPU count."""
+
+    gpu: GpuMemoryModel = field(default_factory=GpuMemoryModel)
+    gpus_per_exaflop: int = GPUS_PER_EXAFLOP
+
+    def gpu_count(self, exaflops: float) -> int:
+        return int(round(self.gpus_per_exaflop * exaflops))
+
+    def point(self, exaflops: float, outcome: SchemeOutcome) -> Figure9Point:
+        """MTTI/MTTF for one scheme at one machine scale."""
+        gpus = self.gpu_count(exaflops)
+        split = self.gpu.split(outcome.correct, outcome.detect, outcome.sdc)
+        due_rate = split.due * gpus  # FIT summed over the machine
+        sdc_rate = split.sdc * gpus
+        return Figure9Point(
+            exaflops=exaflops,
+            gpus=gpus,
+            mtti_hours=(HOURS_PER_BILLION / due_rate) if due_rate > 0 else float("inf"),
+            mttf_hours=(HOURS_PER_BILLION / sdc_rate) if sdc_rate > 0 else float("inf"),
+        )
+
+
+def figure9_series(
+    outcomes: dict[str, SchemeOutcome],
+    *,
+    exaflops: tuple[float, ...] = (0.5, 0.75, 1.0, 1.5, 2.0),
+    system: ExascaleSystem | None = None,
+) -> dict[str, list[Figure9Point]]:
+    """Both Figure 9 panels for any set of evaluated schemes."""
+    system = system or ExascaleSystem()
+    return {
+        name: [system.point(ef, outcome) for ef in exaflops]
+        for name, outcome in outcomes.items()
+    }

@@ -1,0 +1,90 @@
+"""Tests for the regression utilities."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.fitting import (
+    fit_exponential,
+    fit_linear,
+    fit_retention_normal,
+)
+
+
+class TestLinearFit:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = fit_linear(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_noisy_line_r_squared(self):
+        rng = np.random.default_rng(0)
+        x = np.arange(50.0)
+        y = 2.0 * x + rng.normal(0, 1.0, 50)
+        fit = fit_linear(x, y)
+        assert 0.95 < fit.r_squared <= 1.0
+
+    def test_predict(self):
+        fit = fit_linear([0.0, 1.0], [1.0, 3.0])
+        assert fit.predict(2.0) == pytest.approx(5.0)
+
+    def test_requires_two_points(self):
+        with pytest.raises(ValueError):
+            fit_linear([1.0], [1.0])
+
+    def test_constant_data(self):
+        fit = fit_linear([0.0, 1.0, 2.0], [5.0, 5.0, 5.0])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r_squared == pytest.approx(1.0)
+
+
+class TestNormalCdfFit:
+    def test_recovers_synthetic_parameters(self):
+        from scipy.stats import norm
+
+        mean, sigma, population = 20e-3, 10e-3, 2700.0
+        periods = np.array([4, 8, 12, 16, 24, 32, 48, 64]) * 1e-3
+        counts = population * norm.cdf((periods - mean) / sigma)
+        fit = fit_retention_normal(periods, counts)
+        assert fit.mean_s == pytest.approx(mean, rel=0.02)
+        assert fit.sigma_s == pytest.approx(sigma, rel=0.02)
+        assert fit.population == pytest.approx(population, rel=0.02)
+        assert fit.r_squared > 0.999
+
+    def test_predict_monotone(self):
+        periods = np.array([8, 16, 32, 48]) * 1e-3
+        counts = np.array([294, 1000, 2300, 2589], dtype=float)
+        fit = fit_retention_normal(periods, counts)
+        predictions = fit.predict(np.array([4, 8, 16, 32, 64]) * 1e-3)
+        assert np.all(np.diff(predictions) > 0)
+
+    def test_density_integrates_to_population(self):
+        periods = np.array([8, 16, 32, 48]) * 1e-3
+        counts = np.array([294, 1000, 2300, 2589], dtype=float)
+        fit = fit_retention_normal(periods, counts)
+        grid = np.linspace(-0.2, 0.3, 20000)
+        integral = np.trapezoid(fit.density(grid), grid)
+        assert integral == pytest.approx(fit.population, rel=0.01)
+
+    def test_requires_three_points(self):
+        with pytest.raises(ValueError):
+            fit_retention_normal([1.0, 2.0], [1.0, 2.0])
+
+
+class TestExponentialFit:
+    def test_recovers_decay(self):
+        x = np.arange(2000, 2020, dtype=float)
+        y = 100.0 * np.exp(-0.2 * (x - 2000))
+        fit = fit_exponential(x - 2000, y)
+        assert fit.rate == pytest.approx(-0.2, rel=1e-6)
+        assert fit.scale == pytest.approx(100.0, rel=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_doubling_interval(self):
+        fit = fit_exponential([0.0, 1.0, 2.0], [1.0, 2.0, 4.0])
+        assert fit.doubling_interval() == pytest.approx(1.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            fit_exponential([0.0, 1.0], [1.0, 0.0])

@@ -1,0 +1,64 @@
+"""Tests for the Figure-1 historical trend analysis."""
+
+import pytest
+
+from repro.analysis.historical import (
+    HBM2_MEASURED,
+    HISTORICAL_CAPACITIES_MBIT,
+    HISTORICAL_ERROR_RATES,
+    NON_BITCELL_BAND,
+    historical_trends,
+)
+
+
+@pytest.fixture(scope="module")
+def trends():
+    return historical_trends()
+
+
+class TestData:
+    def test_error_rates_fall(self):
+        rates = [rate for _, rate in HISTORICAL_ERROR_RATES]
+        assert rates == sorted(rates, reverse=True)
+
+    def test_capacities_rise(self):
+        capacities = [c for _, c in HISTORICAL_CAPACITIES_MBIT]
+        assert capacities == sorted(capacities)
+
+    def test_hbm2_overlay_has_multibit_component(self):
+        _, total, multibit = HBM2_MEASURED
+        assert 0 < multibit < total
+
+    def test_non_bitcell_band_two_orders(self):
+        low, high = NON_BITCELL_BAND
+        assert high / low == pytest.approx(100.0)
+
+
+class TestTrends:
+    def test_rate_fit_decays(self, trends):
+        assert trends.error_rate_fit.rate < 0
+
+    def test_capacity_fit_grows(self, trends):
+        assert trends.capacity_fit.rate > 0
+
+    def test_fits_are_tight(self, trends):
+        assert trends.error_rate_fit.r_squared > 0.98
+        assert trends.capacity_fit.r_squared > 0.95
+
+    def test_paper_claim_rate_outpaces_capacity(self, trends):
+        """Figure 1: "a decrease in the per-chip DRAM failure rate that
+        outpaces the increase in DRAM capacities"."""
+        assert trends.rate_outpaces_capacity()
+
+    def test_hbm2_within_expectations(self, trends):
+        assert trends.hbm2_within_expectations()
+
+    def test_hbm2_multibit_within_non_bitcell_band(self, trends):
+        low, high = trends.non_bitcell_band
+        _, _, multibit = trends.hbm2_point
+        assert low <= multibit <= high
+
+    def test_characteristic_intervals(self, trends):
+        # Error rate halves every ~1.5-2 years; capacity doubles ~2 years.
+        assert 1.0 < trends.rate_halving_years < 3.0
+        assert 1.0 < trends.capacity_doubling_years < 3.5

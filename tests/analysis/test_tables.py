@@ -1,0 +1,60 @@
+"""Tests for the ASCII table/series renderers."""
+
+from repro.analysis.tables import format_percent, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "value"], [["a", 1], ["long-name", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "long-name" in lines[3]
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestFormatSeries:
+    def test_points_rendered(self):
+        text = format_series("MTTI", [0.5, 1.0], [6.3, 3.1],
+                             x_label="EF", y_label="hours")
+        assert "EF -> hours" in text
+        assert "6.3" in text
+        assert len(text.splitlines()) == 3
+
+
+class TestFormatPercent:
+    def test_zero(self):
+        assert format_percent(0.0) == "0"
+
+    def test_ordinary_value(self):
+        assert format_percent(0.054) == "5.40%"
+
+    def test_tiny_value_keeps_precision(self):
+        rendered = format_percent(1.3e-7)
+        assert "%" in rendered
+        assert "1.3e-05" in rendered
+
+
+class TestReportGenerator:
+    def test_generate_report_sections(self):
+        from repro.analysis.report import generate_report
+
+        markdown = generate_report(samples=300, campaign_events=300)
+        for section in ("## Table 1", "## Table 2", "## Figure 8",
+                        "## Table 3", "## Figure 9", "## Section 7.3"):
+            assert section in markdown
+
+    def test_report_is_valid_markdown_tables(self):
+        from repro.analysis.report import generate_report
+
+        markdown = generate_report(samples=300, campaign_events=300)
+        for line in markdown.splitlines():
+            if line.startswith("|"):
+                assert line.count("|") >= 3

@@ -1,0 +1,58 @@
+"""Tests for the AN-encoded data pattern."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.beam.ancode import AN_CONSTANT, an_check, an_decode, an_encode, an_pattern_words
+
+
+class TestANCode:
+    def test_constant_is_2_32_minus_1(self):
+        assert AN_CONSTANT == 2**32 - 1
+
+    def test_encode_zero(self):
+        assert an_encode(0) == 0
+        assert an_check(0)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_roundtrip(self, index):
+        word = an_encode(index)
+        assert an_check(word)
+        assert an_decode(word) == index
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.integers(min_value=0, max_value=63))
+    def test_single_bit_corruption_detected(self, index, bit):
+        word = an_encode(index) ^ (1 << bit)
+        assert not an_check(word)
+
+    def test_decode_rejects_corruption(self):
+        with pytest.raises(ValueError):
+            an_decode(an_encode(7) ^ 1)
+
+    def test_words_fit_64_bits(self):
+        # Largest word index on a 32GB device: 4 words x 2^30 entries.
+        largest = an_encode(4 * 2**30 - 1)
+        assert largest < 2**64
+        assert an_check(largest)
+
+
+class TestPatternWords:
+    def test_four_words_per_entry(self):
+        words = an_pattern_words(123)
+        assert words.shape == (4,)
+        for offset, word in enumerate(int(w) for w in words):
+            assert an_decode(word) == 123 * 4 + offset
+
+    def test_distinct_across_entries(self):
+        assert set(an_pattern_words(0).tolist()).isdisjoint(
+            an_pattern_words(1).tolist()
+        )
+
+    def test_mixed_bit_density(self):
+        # The point of the AN pattern: codewords are neither all-0 nor
+        # sparse; check a typical word has a healthy mix of 1s.
+        word = int(an_pattern_words(10_000_000)[2])
+        ones = bin(word).count("1")
+        assert 8 < ones < 56

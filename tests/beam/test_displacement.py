@@ -1,0 +1,128 @@
+"""Tests for the displacement-damage (intermittent error) model."""
+
+import numpy as np
+import pytest
+
+from repro.beam.displacement import DamageParameters, DisplacementDamageModel
+from repro.dram.refresh import RefreshConfig
+
+
+def _model(seed=1, **overrides):
+    params = DamageParameters(**overrides) if overrides else DamageParameters()
+    return DisplacementDamageModel(parameters=params, seed=seed)
+
+
+class TestAccumulation:
+    def test_no_fluence_no_damage(self):
+        model = _model()
+        assert model.accumulate(0.0) == []
+        assert len(model.damaged_cells) == 0
+
+    def test_negative_fluence_rejected(self):
+        with pytest.raises(ValueError):
+            _model().accumulate(-1.0)
+
+    def test_linear_early_regime(self):
+        # Figure 3c: counts grow linearly with fluence before saturation.
+        model = _model(seed=2)
+        counts = []
+        for _ in range(10):
+            model.accumulate(model.parameters.saturation_fluence / 100)
+            counts.append(len(model.damaged_cells))
+        from repro.analysis.fitting import fit_linear
+
+        fit = fit_linear(np.arange(1, 11, dtype=float), np.array(counts, dtype=float))
+        assert fit.r_squared > 0.9
+
+    def test_saturates_at_leaky_pool(self):
+        model = _model(seed=3, leaky_pool=100, saturation_fluence=1e6)
+        for _ in range(50):
+            model.accumulate(1e6)
+        assert len(model.damaged_cells) <= 100
+        assert len(model.damaged_cells) > 80  # essentially exhausted
+
+    def test_expected_damage_formula(self):
+        model = _model()
+        pool = model.parameters.leaky_pool
+        sat = model.parameters.saturation_fluence
+        assert model.expected_damaged(0.0) == 0.0
+        assert model.expected_damaged(sat) == pytest.approx(pool * (1 - np.exp(-1)))
+
+    def test_deterministic_per_seed(self):
+        first = _model(seed=9)
+        second = _model(seed=9)
+        first.accumulate(1e9)
+        second.accumulate(1e9)
+        assert len(first.damaged_cells) == len(second.damaged_cells)
+
+
+class TestRetentionDistribution:
+    def test_counts_increase_with_refresh_period(self):
+        model = _model(seed=4)
+        model.accumulate(1e10)  # saturate
+        counts = [
+            model.observable_count(RefreshConfig(period))
+            for period in (8e-3, 16e-3, 48e-3)
+        ]
+        assert counts[0] < counts[1] < counts[2]
+
+    def test_paper_count_ratios(self):
+        # Paper: ~294 cells at 8 ms, ~1,000 at 16 ms, ~2,589 at 48 ms —
+        # i.e. roughly 11%/37%/96% of the damaged population.
+        model = _model(seed=5)
+        model.accumulate(1e11)
+        total = len(model.damaged_cells)
+        at_8 = model.observable_count(RefreshConfig(8e-3)) / total
+        at_16 = model.observable_count(RefreshConfig(16e-3)) / total
+        at_48 = model.observable_count(RefreshConfig(48e-3)) / total
+        assert 0.05 < at_8 < 0.20
+        assert 0.25 < at_16 < 0.50
+        assert at_48 > 0.90
+
+    def test_predicted_matches_observed(self):
+        model = _model(seed=6)
+        model.accumulate(1e11)
+        for period in (8e-3, 16e-3, 32e-3):
+            observed = model.observable_count(RefreshConfig(period))
+            predicted = model.predicted_observable(RefreshConfig(period))
+            assert observed == pytest.approx(predicted, rel=0.25)
+
+    def test_direction_mostly_one_to_zero(self):
+        model = _model(seed=7)
+        model.accumulate(1e11)
+        cells = model.damaged_cells
+        one_to_zero = sum(1 for cell in cells if cell.leaks_to == 0)
+        assert one_to_zero / len(cells) > 0.98
+
+
+class TestAnnealing:
+    def test_annealing_reduces_observable_counts(self):
+        model = _model(seed=8)
+        model.accumulate(1e11)
+        before = model.observable_count(RefreshConfig(8e-3))
+        model.anneal(3.5 * 3600)
+        after = model.observable_count(RefreshConfig(8e-3))
+        assert after < before
+
+    def test_short_periods_shrink_relatively_more(self):
+        # Paper: -26% at 8 ms vs only -2.5% at 48 ms after ~3.5 h.
+        model = _model(seed=9)
+        model.accumulate(1e11)
+        before_8 = model.observable_count(RefreshConfig(8e-3))
+        before_48 = model.observable_count(RefreshConfig(48e-3))
+        model.anneal(3.5 * 3600)
+        after_8 = model.observable_count(RefreshConfig(8e-3))
+        after_48 = model.observable_count(RefreshConfig(48e-3))
+        drop_8 = 1 - after_8 / before_8
+        drop_48 = 1 - after_48 / before_48
+        assert drop_8 > drop_48
+
+    def test_annealing_bounded(self):
+        model = _model(seed=10)
+        model.accumulate(1e10)
+        model.anneal(1e9)  # essentially forever
+        assert model._anneal_shift <= model.parameters.anneal_shift_s + 1e-12
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            _model().anneal(-1.0)

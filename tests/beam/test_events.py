@@ -1,0 +1,190 @@
+"""Tests for the SEU event generator."""
+
+import numpy as np
+import pytest
+
+from repro.beam.events import (
+    BITS_PER_WORD,
+    EventClass,
+    EventParameters,
+    SoftErrorEventGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return SoftErrorEventGenerator(seed=1)
+
+
+def _events(generator, count=2000):
+    return [generator.generate_event(float(i)) for i in range(count)]
+
+
+class TestParameters:
+    def test_class_probabilities_validated(self):
+        with pytest.raises(ValueError):
+            EventParameters(class_probabilities=(0.5, 0.5, 0.5, 0.5))
+
+    def test_words_dists_validated(self):
+        with pytest.raises(ValueError):
+            EventParameters(byte_aligned_words_dist=(1.0, 1.0, 0.0, 0.0))
+
+    def test_defaults_match_figure_4a(self):
+        params = EventParameters()
+        assert params.class_probabilities[0] == 0.65  # SBSE
+        assert params.class_probabilities[3] == 0.28  # MBME
+        assert params.byte_aligned_fraction == 0.746
+
+
+class TestEventStructure:
+    def test_flips_in_data_range(self, generator):
+        for event in _events(generator, 300):
+            for positions in event.flips.values():
+                assert positions.min() >= 0
+                assert positions.max() < 256
+
+    def test_flips_sorted_unique(self, generator):
+        for event in _events(generator, 300):
+            for positions in event.flips.values():
+                as_list = positions.tolist()
+                assert as_list == sorted(set(as_list))
+
+    def test_sbse_is_one_bit_one_entry(self):
+        generator = SoftErrorEventGenerator(seed=2)
+        for _ in range(200):
+            event = generator.generate_event(0.0)
+            if event.event_class is EventClass.SBSE:
+                assert event.breadth == 1
+                assert event.total_bits == 1
+
+    def test_sbme_same_bit_across_entries(self):
+        generator = SoftErrorEventGenerator(seed=3)
+        seen = 0
+        for _ in range(3000):
+            event = generator.generate_event(0.0)
+            if event.event_class is EventClass.SBME:
+                seen += 1
+                bits = {tuple(p.tolist()) for p in event.flips.values()}
+                assert len(bits) == 1  # the same cell column everywhere
+                assert event.breadth >= 2
+        assert seen > 5
+
+    def test_mbme_entries_contiguous(self):
+        generator = SoftErrorEventGenerator(seed=4)
+        for _ in range(500):
+            event = generator.generate_event(0.0)
+            if event.event_class is EventClass.MBME:
+                entries = sorted(event.flips)
+                assert entries == list(range(entries[0], entries[0] + len(entries)))
+
+    def test_multi_entry_events_bank_local(self):
+        """Logic faults are confined to one bank (Section 5's attribution)."""
+        from repro.dram.geometry import HBM2Geometry
+
+        geometry = HBM2Geometry.for_gpu(32)
+        generator = SoftErrorEventGenerator(geometry, seed=12)
+        per_bank = geometry.entries_per_bank
+        for _ in range(400):
+            event = generator.generate_event(0.0)
+            if event.breadth > 1:
+                banks = {entry // per_bank for entry in event.flips}
+                assert len(banks) == 1
+
+    def test_byte_aligned_events_confined_to_byte_columns(self):
+        params = EventParameters(byte_aligned_fraction=1.0,
+                                 pin_fault_fraction=0.0,
+                                 inversion_fraction=0.0)
+        generator = SoftErrorEventGenerator(parameters=params, seed=5)
+        for _ in range(300):
+            event = generator.generate_event(0.0)
+            if event.event_class not in (EventClass.MBSE, EventClass.MBME):
+                continue
+            for positions in event.flips.values():
+                byte_columns = {(int(p) % BITS_PER_WORD) // 8 for p in positions}
+                assert len(byte_columns) == 1  # one mat per event
+
+
+class TestStatistics:
+    def test_class_mixture_close_to_figure_4a(self, generator):
+        events = _events(generator, 4000)
+        counts = {klass: 0 for klass in EventClass}
+        for event in events:
+            counts[event.event_class] += 1
+        assert counts[EventClass.SBSE] / 4000 == pytest.approx(0.65, abs=0.03)
+        assert counts[EventClass.MBME] / 4000 == pytest.approx(0.28, abs=0.03)
+
+    def test_breadth_long_tailed(self, generator):
+        events = _events(generator, 4000)
+        breadths = [e.breadth for e in events if e.event_class is EventClass.MBME]
+        assert max(breadths) > 100  # tail reaches broad events
+        assert min(breadths) >= 2
+        assert max(breadths) <= 6000
+
+    def test_poisson_arrivals_within_window(self):
+        generator = SoftErrorEventGenerator(
+            parameters=EventParameters(mean_time_to_event_s=1.0), seed=6
+        )
+        events = generator.events_in(100.0, start_time_s=50.0)
+        assert len(events) > 50
+        for event in events:
+            assert 50.0 <= event.time_s < 150.0
+
+    def test_pin_faults_exist(self):
+        params = EventParameters(pin_fault_fraction=1.0,
+                                 class_probabilities=(0.0, 0.0, 1.0, 0.0))
+        generator = SoftErrorEventGenerator(parameters=params, seed=7)
+        event = generator.generate_event(0.0)
+        positions = next(iter(event.flips.values()))
+        within_word = {int(p) % BITS_PER_WORD for p in positions}
+        assert len(within_word) == 1  # same wire every beat
+        assert 2 <= positions.size <= 4
+
+    def test_determinism(self):
+        first = SoftErrorEventGenerator(seed=11).generate_event(0.0)
+        second = SoftErrorEventGenerator(seed=11).generate_event(0.0)
+        assert first.event_class == second.event_class
+        assert sorted(first.flips) == sorted(second.flips)
+
+
+class TestUtilizationScaling:
+    """Section 5's utilization experiment: logic errors follow accesses,
+    array errors follow exposure time."""
+
+    @staticmethod
+    def _counts(utilization, seed=30, duration=30_000.0):
+        generator = SoftErrorEventGenerator(seed=seed)
+        events = generator.events_in(duration, utilization=utilization)
+        multi = sum(
+            1 for event in events
+            if event.event_class in (EventClass.MBSE, EventClass.MBME)
+        )
+        return len(events) - multi, multi
+
+    def test_zero_utilization_has_no_logic_errors(self):
+        single, multi = self._counts(0.0)
+        assert multi == 0
+        assert single > 100
+
+    def test_array_rate_independent_of_utilization(self):
+        low_single, _ = self._counts(0.1, seed=31)
+        high_single, _ = self._counts(1.0, seed=32)
+        assert abs(low_single - high_single) / high_single < 0.15
+
+    def test_logic_rate_scales_with_utilization(self):
+        _, low_multi = self._counts(0.25, seed=33)
+        _, high_multi = self._counts(1.0, seed=34)
+        assert 2.5 < high_multi / low_multi < 6.0  # ~4x expected
+
+    def test_invalid_utilization_rejected(self):
+        generator = SoftErrorEventGenerator(seed=35)
+        with pytest.raises(ValueError):
+            generator.events_in(10.0, utilization=1.5)
+
+    def test_default_matches_full_utilization_mixture(self):
+        generator = SoftErrorEventGenerator(seed=36)
+        events = generator.events_in(50_000.0, utilization=1.0)
+        multi = sum(
+            1 for event in events
+            if event.event_class in (EventClass.MBSE, EventClass.MBME)
+        )
+        assert multi / len(events) == pytest.approx(0.33, abs=0.04)

@@ -1,0 +1,70 @@
+"""Tests for flux/fluence accounting."""
+
+import pytest
+
+from repro.beam.flux import (
+    CHIPIR_FLUX,
+    TERRESTRIAL_FLUX,
+    FluenceClock,
+    acceleration_factor,
+)
+
+
+class TestConstants:
+    def test_paper_flux(self):
+        assert CHIPIR_FLUX == 9.8e5
+
+    def test_terrestrial_reference(self):
+        assert TERRESTRIAL_FLUX * 3600 == pytest.approx(14.0)
+
+    def test_acceleration_factor_matches_paper(self):
+        # Section 3: "an acceleration factor of 2.52e8".
+        assert acceleration_factor() == pytest.approx(2.52e8, rel=0.001)
+
+
+class TestFluenceClock:
+    def test_fluence_accrues_in_beam(self):
+        clock = FluenceClock()
+        step = clock.advance(10.0)
+        assert step == pytest.approx(9.8e6)
+        assert clock.fluence == pytest.approx(9.8e6)
+        assert clock.elapsed_s == 10.0
+
+    def test_no_fluence_out_of_beam(self):
+        clock = FluenceClock()
+        clock.advance(5.0)
+        clock.remove_from_beam()
+        step = clock.advance(100.0)
+        assert step == 0.0
+        assert clock.elapsed_s == 105.0
+        assert clock.fluence == pytest.approx(5 * 9.8e5)
+
+    def test_return_to_beam(self):
+        clock = FluenceClock()
+        clock.remove_from_beam()
+        clock.advance(10.0)
+        clock.return_to_beam()
+        clock.advance(1.0)
+        assert clock.fluence == pytest.approx(9.8e5)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FluenceClock().advance(-1.0)
+
+    def test_terrestrial_equivalent(self):
+        clock = FluenceClock()
+        clock.advance(1.0)  # one beam second
+        # One beam-second is ~2.52e8 terrestrial seconds = ~7e4 hours.
+        assert clock.terrestrial_equivalent_hours() == pytest.approx(
+            2.52e8 / 3600, rel=0.001
+        )
+
+    def test_events_to_fit(self):
+        clock = FluenceClock()
+        clock.advance(3600.0)  # one beam hour
+        hours = clock.terrestrial_equivalent_hours()
+        assert clock.events_to_fit(5) == pytest.approx(5 / hours * 1e9)
+
+    def test_events_to_fit_requires_fluence(self):
+        with pytest.raises(ZeroDivisionError):
+            FluenceClock().events_to_fit(1)

@@ -1,0 +1,136 @@
+"""Tests for the DRAM microbenchmark and data patterns."""
+
+import numpy as np
+import pytest
+
+from repro.beam.ancode import an_check
+from repro.beam.microbenchmark import (
+    ANPattern,
+    CheckerboardPattern,
+    Microbenchmark,
+    STANDARD_PATTERNS,
+    UniformPattern,
+)
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+
+
+class TestPatterns:
+    def test_standard_pattern_names(self):
+        names = {pattern.name for pattern in STANDARD_PATTERNS()}
+        assert names == {"all0", "checkerboard", "an-encoded"}
+
+    def test_uniform_patterns(self):
+        assert not UniformPattern(ones=False).data_bits(0).any()
+        assert UniformPattern(ones=True).data_bits(5).all()
+
+    def test_inverse_polarity(self):
+        pattern = UniformPattern(ones=False)
+        normal = pattern.entry_fn(inverted=False)(0)
+        inverted = pattern.entry_fn(inverted=True)(0)
+        assert not normal[:256].any()
+        assert inverted[:256].all()
+        # The ECC region is untouched in both polarities.
+        assert not normal[256:].any()
+        assert not inverted[256:].any()
+
+    def test_checkerboard_alternates(self):
+        bits = CheckerboardPattern().data_bits(0)
+        word0 = bits[:64]
+        word1 = bits[64:128]
+        assert word0[0::2].all() and not word0[1::2].any()  # 0x55...
+        assert word1[1::2].all() and not word1[0::2].any()  # 0xAA...
+
+    def test_checkerboard_half_density(self):
+        assert CheckerboardPattern().data_bits(9).sum() == 128
+
+    def test_an_pattern_words_are_codewords(self):
+        bits = ANPattern().data_bits(12345)
+        for word in range(4):
+            value = 0
+            for bit in range(64):
+                value |= int(bits[64 * word + bit]) << bit
+            assert an_check(value)
+
+
+class TestMicrobenchmark:
+    def _device(self):
+        return SimulatedHBM2(HBM2Geometry.for_gpu(32))
+
+    def test_clean_run_produces_no_records(self):
+        bench = Microbenchmark(self._device(), write_cycles=2, reads_per_write=2)
+        assert bench.run(UniformPattern()) == []
+
+    def test_detects_injected_upset(self):
+        device = self._device()
+        bench = Microbenchmark(device, write_cycles=1, reads_per_write=3)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[[10, 11]] = 1
+
+        def environment(dt):
+            # Inject once, after the write completes.
+            if not environment.done:
+                device.inject_upset(77, flips)
+                environment.done = True
+
+        environment.done = False
+        records = bench.run(UniformPattern(), environment=environment)
+        assert len(records) == 3  # persists across all read passes
+        assert all(r.entry_index == 77 for r in records)
+        assert records[0].bit_positions == (10, 11)
+
+    def test_next_write_clears_soft_error(self):
+        device = self._device()
+        bench = Microbenchmark(device, write_cycles=2, reads_per_write=2)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[10] = 1
+        state = {"injected": False}
+
+        def environment(dt):
+            if not state["injected"]:
+                device.inject_upset(5, flips)
+                state["injected"] = True
+
+        records = bench.run(UniformPattern(), environment=environment)
+        cycles = {record.write_cycle for record in records}
+        assert cycles == {0}  # gone after the cycle-1 write
+
+    def test_ecc_region_flips_invisible(self):
+        device = self._device()
+        bench = Microbenchmark(device, write_cycles=1, reads_per_write=1)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[270] = 1  # inside the 4B ECC region
+
+        def environment(dt):
+            device.inject_upset(3, flips)
+
+        assert bench.run(UniformPattern(), environment=environment) == []
+
+    def test_record_metadata(self):
+        device = self._device()
+        bench = Microbenchmark(device, write_cycles=1, reads_per_write=1,
+                               loop_time_s=0.5)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[0] = 1
+
+        def environment(dt):
+            device.inject_upset(9, flips)
+
+        records = bench.run(CheckerboardPattern(), run_index=4,
+                            start_time_s=100.0, environment=environment)
+        record = records[0]
+        assert record.run == 4
+        assert record.pattern == "checkerboard"
+        assert record.time_s >= 100.0
+        assert not record.inverted
+
+    def test_weak_cell_recurs_across_cycles(self):
+        from repro.dram.refresh import WeakCell
+
+        device = self._device()
+        device.install_weak_cell(WeakCell(50, 7, retention_s=1e-3, leaks_to=1))
+        bench = Microbenchmark(device, write_cycles=4, reads_per_write=2)
+        records = bench.run(UniformPattern())
+        cycles = {record.write_cycle for record in records}
+        # A 0->1 leaking cell corrupts the non-inverted (all-0) cycles.
+        assert cycles == {0, 2}

@@ -1,0 +1,160 @@
+"""Tests for intermittent filtering, event grouping and statistics."""
+
+import numpy as np
+import pytest
+
+from repro.beam.events import EventClass, EventParameters, SoftErrorEventGenerator
+from repro.beam.microbenchmark import MismatchRecord
+from repro.beam.postprocess import (
+    ObservedEvent,
+    bits_per_word_histogram,
+    breadth_class_fractions,
+    byte_alignment_stats,
+    derive_table1,
+    events_from_truth,
+    filter_intermittent,
+    group_events,
+    mbme_breadth_histogram,
+)
+from repro.errormodel.patterns import ErrorPattern
+
+
+def _record(entry, cycle, read_pass=0, run=0, bits=(0,), time=None):
+    return MismatchRecord(
+        time_s=time if time is not None else float(cycle * 100 + read_pass),
+        run=run,
+        pattern="all0",
+        write_cycle=cycle,
+        read_pass=read_pass,
+        inverted=cycle % 2 == 1,
+        entry_index=entry,
+        bit_positions=tuple(bits),
+    )
+
+
+class TestIntermittentFilter:
+    def test_recurring_entry_is_damaged(self):
+        records = [
+            _record(5, cycle=0), _record(5, cycle=2), _record(5, cycle=4),
+            _record(9, cycle=1, bits=(3, 4)),
+        ]
+        result = filter_intermittent(records)
+        assert result.damaged_entries == {5}
+        assert [r.entry_index for r in result.soft_records] == [9]
+        assert len(result.intermittent_records) == 3
+
+    def test_soft_error_persisting_within_cycle_not_damaged(self):
+        # Same cycle, many read passes: one write cycle only -> soft.
+        records = [_record(5, cycle=1, read_pass=p) for p in range(10)]
+        result = filter_intermittent(records)
+        assert result.damaged_entries == frozenset()
+        assert len(result.soft_records) == 10
+
+    def test_cross_run_recurrence_is_damaged(self):
+        records = [_record(5, cycle=0, run=0), _record(5, cycle=0, run=1)]
+        result = filter_intermittent(records)
+        assert result.damaged_entries == {5}
+
+    def test_threshold_configurable(self):
+        records = [_record(5, cycle=0), _record(5, cycle=1)]
+        strict = filter_intermittent(records, min_cycles=3)
+        assert strict.damaged_entries == frozenset()
+
+
+class TestEventGrouping:
+    def test_groups_by_first_observation(self):
+        records = [
+            _record(1, cycle=0, read_pass=2, bits=(0,)),
+            _record(2, cycle=0, read_pass=2, bits=(1,)),
+            # re-observations of entry 1 in later passes:
+            _record(1, cycle=0, read_pass=3, bits=(0,)),
+            _record(1, cycle=0, read_pass=4, bits=(0,)),
+            # a separate event in another pass:
+            _record(3, cycle=0, read_pass=7, bits=(5, 6)),
+        ]
+        events = group_events(records)
+        assert len(events) == 2
+        first, second = events
+        assert set(first.flips) == {1, 2}
+        assert second.flips == {3: (5, 6)}
+
+    def test_event_class_derivation(self):
+        sbse = ObservedEvent(0, 0, 0, {1: (5,)})
+        sbme = ObservedEvent(0, 0, 0, {1: (5,), 2: (5,)})
+        mbse = ObservedEvent(0, 0, 0, {1: (5, 6)})
+        mbme = ObservedEvent(0, 0, 0, {1: (5, 6), 2: (5, 6)})
+        assert sbse.event_class() is EventClass.SBSE
+        assert sbme.event_class() is EventClass.SBME
+        assert mbse.event_class() is EventClass.MBSE
+        assert mbme.event_class() is EventClass.MBME
+
+    def test_byte_alignment_detection(self):
+        aligned = ObservedEvent(0, 0, 0, {1: (8, 9, 15)})  # byte 1 of word 0
+        crossing = ObservedEvent(0, 0, 0, {1: (7, 8)})  # spans bytes 0 and 1
+        assert aligned.is_byte_aligned()
+        assert not crossing.is_byte_aligned()
+
+    def test_multi_word_byte_alignment(self):
+        # Byte 2 of word 0 and byte 5 of word 2: aligned per word.
+        event = ObservedEvent(0, 0, 0, {1: (16, 17, 128 + 40, 128 + 41)})
+        assert event.is_byte_aligned()
+
+
+class TestStatistics:
+    @pytest.fixture(scope="class")
+    def observed(self):
+        generator = SoftErrorEventGenerator(seed=20)
+        return events_from_truth(
+            [generator.generate_event(float(i)) for i in range(3000)]
+        )
+
+    def test_class_fractions_match_generator(self, observed):
+        fractions = breadth_class_fractions(observed)
+        assert fractions[EventClass.SBSE] == pytest.approx(0.65, abs=0.04)
+        assert fractions[EventClass.MBME] == pytest.approx(0.28, abs=0.04)
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_byte_alignment_near_paper(self, observed):
+        stats = byte_alignment_stats(observed)
+        assert stats["byte_aligned_fraction"] == pytest.approx(0.746, abs=0.06)
+
+    def test_words_per_entry_shape(self, observed):
+        stats = byte_alignment_stats(observed)
+        # Byte-aligned errors: mostly 1 word; non-aligned: mostly 4 words.
+        assert stats["aligned_words_1"] > 0.7
+        assert stats["non_aligned_words_4"] > 0.5
+
+    def test_bits_per_word_histograms(self, observed):
+        aligned = bits_per_word_histogram(observed, byte_aligned=True)
+        assert max(aligned) <= 8
+        assert abs(sum(aligned.values()) - 1.0) < 1e-9
+        # The ~15% inversion anomaly shows as a bump at exactly 8 bits.
+        assert aligned[8] > 0.08
+        non_aligned = bits_per_word_histogram(observed, byte_aligned=False)
+        assert max(non_aligned) > 8
+
+    def test_mbme_breadth_histogram(self, observed):
+        histogram = mbme_breadth_histogram(observed)
+        assert histogram["2-3"] > histogram["16-31"]
+        total = sum(histogram.values())
+        mbme = sum(
+            1 for e in observed if e.event_class() is EventClass.MBME
+        )
+        assert total == mbme
+
+    def test_table1_derivation(self, observed):
+        table = derive_table1(observed)
+        assert abs(sum(table.values()) - 1.0) < 1e-9
+        assert table[ErrorPattern.BIT] > 0.5
+        assert table[ErrorPattern.BYTE] > 0.1
+        assert table[ErrorPattern.BIT] > table[ErrorPattern.BYTE]
+
+    def test_empty_inputs_raise(self):
+        with pytest.raises(ValueError):
+            breadth_class_fractions([])
+        with pytest.raises(ValueError):
+            derive_table1([])
+        with pytest.raises(ValueError):
+            byte_alignment_stats(
+                [ObservedEvent(0, 0, 0, {1: (5,)})]  # no multi-bit events
+            )

@@ -1,0 +1,80 @@
+"""Tests for the Crockford Base32 H-matrix codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.codes.base32 import (
+    CROCKFORD_ALPHABET,
+    b32_decode_int,
+    b32_encode_int,
+    decode_h_matrix,
+    encode_h_matrix,
+)
+from repro.codes.sec2bec import PAPER_H_ROWS_BASE32
+
+
+class TestAlphabet:
+    def test_length(self):
+        assert len(CROCKFORD_ALPHABET) == 32
+
+    def test_excludes_confusable_letters(self):
+        for excluded in "ILOU":
+            assert excluded not in CROCKFORD_ALPHABET
+
+
+class TestDecode:
+    def test_digits(self):
+        assert b32_decode_int("0") == 0
+        assert b32_decode_int("10") == 32
+        assert b32_decode_int("Z") == 31
+
+    def test_case_insensitive(self):
+        assert b32_decode_int("z") == 31
+
+    def test_confusable_aliases(self):
+        assert b32_decode_int("O") == 0
+        assert b32_decode_int("I") == 1
+        assert b32_decode_int("L") == 1
+
+    def test_hyphens_ignored(self):
+        assert b32_decode_int("1-0") == 32
+
+    def test_invalid_character(self):
+        with pytest.raises(ValueError):
+            b32_decode_int("U")
+
+
+class TestEncode:
+    def test_simple(self):
+        assert b32_encode_int(32, 2) == "10"
+        assert b32_encode_int(0, 3) == "000"
+
+    def test_overflow(self):
+        with pytest.raises(ValueError):
+            b32_encode_int(32, 1)
+
+    def test_negative(self):
+        with pytest.raises(ValueError):
+            b32_encode_int(-1, 4)
+
+    @given(st.integers(min_value=0, max_value=2**75 - 1))
+    def test_roundtrip(self, value):
+        assert b32_decode_int(b32_encode_int(value, 15)) == value
+
+
+class TestMatrixCodec:
+    def test_paper_rows_fit_72_bits(self):
+        matrix = decode_h_matrix(PAPER_H_ROWS_BASE32, num_cols=72)
+        assert matrix.shape == (8, 72)
+
+    def test_matrix_roundtrip(self):
+        matrix = decode_h_matrix(PAPER_H_ROWS_BASE32, num_cols=72)
+        encoded = encode_h_matrix(matrix)
+        assert np.array_equal(decode_h_matrix(encoded, num_cols=72), matrix)
+
+    def test_msb_first_convention(self):
+        # "1000...0" in base32 for an 8-bit row: value 128 -> bit 0 (leftmost).
+        matrix = decode_h_matrix([b32_encode_int(128, 2)], num_cols=8)
+        assert matrix[0].tolist() == [1, 0, 0, 0, 0, 0, 0, 0]

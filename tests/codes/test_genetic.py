@@ -1,0 +1,61 @@
+"""Tests for the genetic SEC-2bEC code search."""
+
+import numpy as np
+import pytest
+
+from repro.codes.genetic import miscorrection_count, search_sec2bec
+from repro.codes.sec2bec import SEC_2BEC_72_64, adjacent_pairs, validate_sec2bec
+from repro.gf.gf2 import pack_bits
+
+
+def _tiny_search(seed=2021):
+    return search_sec2bec(population=8, generations=3, seed=seed)
+
+
+class TestSearch:
+    def test_returns_valid_code(self):
+        result = _tiny_search()
+        table = validate_sec2bec(result.code, adjacent_pairs())
+        assert len(table.pairs) == 36
+
+    def test_code_dimensions(self):
+        result = _tiny_search()
+        assert (result.code.n, result.code.k) == (72, 64)
+
+    def test_identity_block_preserved(self):
+        result = _tiny_search()
+        assert result.code.check_positions.tolist() == list(range(64, 72))
+
+    def test_deterministic_for_seed(self):
+        first = _tiny_search(seed=99)
+        second = _tiny_search(seed=99)
+        assert np.array_equal(first.code.h, second.code.h)
+        assert first.miscorrections == second.miscorrections
+
+    def test_different_seeds_differ(self):
+        first = _tiny_search(seed=1)
+        second = _tiny_search(seed=2)
+        assert not np.array_equal(first.code.h, second.code.h)
+
+    def test_fitness_matches_reported(self):
+        result = _tiny_search()
+        columns = pack_bits(result.code.h.T)
+        assert miscorrection_count(columns) == result.miscorrections
+
+    def test_longer_search_does_not_regress(self):
+        quick = search_sec2bec(population=8, generations=1, seed=5)
+        longer = search_sec2bec(population=8, generations=6, seed=5)
+        assert longer.miscorrections <= quick.miscorrections
+
+
+class TestMiscorrectionCount:
+    def test_paper_matrix_count(self):
+        # A fixed regression value for the published Equation-3 matrix.
+        columns = pack_bits(SEC_2BEC_72_64.h.T)
+        assert miscorrection_count(columns) == 553
+
+    def test_ga_codes_in_same_ballpark(self):
+        result = search_sec2bec(population=16, generations=10, seed=3)
+        # The non-aligned double-bit space has 2,520 patterns; a valid code
+        # should alias well under half of them.
+        assert result.miscorrections < 1200

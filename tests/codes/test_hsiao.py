@@ -1,0 +1,78 @@
+"""Tests for the Hsiao minimum-odd-weight SEC-DED construction."""
+
+import numpy as np
+import pytest
+
+from repro.codes.hsiao import HSIAO_72_64, hsiao_code, hsiao_h_matrix
+
+
+class TestStructure:
+    def test_shape(self):
+        assert hsiao_h_matrix().shape == (8, 72)
+
+    def test_all_columns_distinct(self):
+        matrix = hsiao_h_matrix()
+        columns = {tuple(matrix[:, i]) for i in range(72)}
+        assert len(columns) == 72
+
+    def test_all_columns_odd_weight(self):
+        weights = hsiao_h_matrix().sum(axis=0)
+        assert np.all(weights % 2 == 1)
+
+    def test_uses_all_weight3_columns(self):
+        weights = hsiao_h_matrix().sum(axis=0)
+        assert int((weights == 3).sum()) == 56  # C(8,3)
+
+    def test_completes_with_weight5(self):
+        weights = hsiao_h_matrix().sum(axis=0)
+        assert int((weights == 5).sum()) == 8
+
+    def test_identity_block_at_tail(self):
+        matrix = hsiao_h_matrix()
+        assert np.array_equal(matrix[:, 64:], np.eye(8, dtype=np.uint8))
+
+    def test_row_weights_balanced(self):
+        # Hsiao's criterion: data-column row weights within a small spread.
+        row_weights = hsiao_h_matrix()[:, :64].sum(axis=1)
+        assert row_weights.max() - row_weights.min() <= 2
+
+    def test_deterministic(self):
+        assert np.array_equal(hsiao_h_matrix(), hsiao_h_matrix())
+
+
+class TestCodeProperties:
+    def test_sec_ded(self):
+        assert HSIAO_72_64.columns_distinct_nonzero()
+        assert HSIAO_72_64.detects_all_double_errors()
+
+    def test_corrects_every_single_bit_error(self):
+        code = hsiao_code()
+        data = np.random.default_rng(0).integers(0, 2, 64, dtype=np.uint8)
+        cw = code.encode(data)
+        for position in range(72):
+            received = cw.copy()
+            received[position] ^= 1
+            syndrome = code.syndrome(received)
+            assert code.syndrome_to_bit[syndrome] == position
+
+    def test_double_errors_never_alias_singles(self):
+        code = hsiao_code()
+        singles = set(code.column_syndromes.tolist())
+        rng = np.random.default_rng(1)
+        for _ in range(500):
+            i, j = rng.choice(72, size=2, replace=False)
+            doubled = int(code.column_syndromes[i] ^ code.column_syndromes[j])
+            assert doubled not in singles
+            assert doubled != 0
+
+
+class TestOtherGeometries:
+    def test_insufficient_columns_raises(self):
+        with pytest.raises(ValueError):
+            hsiao_h_matrix(num_check=4, num_data=64)  # only 7 odd cols exist
+
+    @pytest.mark.parametrize("checks,data", [(6, 16), (7, 32), (8, 64)])
+    def test_standard_geometries(self, checks, data):
+        code = hsiao_code(num_check=checks, num_data=data)
+        assert code.columns_distinct_nonzero()
+        assert code.columns_all_odd_weight()

@@ -1,0 +1,154 @@
+"""Tests for the generic binary linear code machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.hsiao import HSIAO_72_64, hsiao_h_matrix
+from repro.codes.linear import BinaryLinearCode
+
+data_vectors = st.lists(
+    st.integers(min_value=0, max_value=1), min_size=64, max_size=64
+).map(lambda bits: np.array(bits, dtype=np.uint8))
+
+
+@pytest.fixture(scope="module")
+def code():
+    return HSIAO_72_64
+
+
+class TestConstruction:
+    def test_dimensions(self, code):
+        assert (code.n, code.k, code.r) == (72, 64, 8)
+
+    def test_check_positions_are_unit_columns(self, code):
+        for position in code.check_positions:
+            assert code.h[:, position].sum() == 1
+
+    def test_data_and_check_partition(self, code):
+        together = sorted(
+            code.data_positions.tolist() + code.check_positions.tolist()
+        )
+        assert together == list(range(72))
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            BinaryLinearCode(np.zeros(8, dtype=np.uint8))
+
+    def test_rejects_rank_deficient(self):
+        h = np.zeros((8, 72), dtype=np.uint8)
+        h[0, :] = 1
+        with pytest.raises(ValueError):
+            BinaryLinearCode(h)
+
+    def test_rejects_wide_syndromes(self):
+        with pytest.raises(ValueError):
+            BinaryLinearCode(np.eye(63, dtype=np.uint8))
+
+
+class TestEncode:
+    @given(data_vectors)
+    @settings(max_examples=30)
+    def test_codewords_have_zero_syndrome(self, data):
+        cw = HSIAO_72_64.encode(data)
+        assert HSIAO_72_64.syndrome(cw) == 0
+
+    @given(data_vectors)
+    @settings(max_examples=30)
+    def test_data_extraction_roundtrip(self, data):
+        cw = HSIAO_72_64.encode(data)
+        assert np.array_equal(HSIAO_72_64.extract_data(cw), data)
+
+    def test_wrong_length_raises(self, code):
+        with pytest.raises(ValueError):
+            code.encode(np.zeros(63, dtype=np.uint8))
+
+    def test_linearity(self, code):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 64, dtype=np.uint8)
+        b = rng.integers(0, 2, 64, dtype=np.uint8)
+        assert np.array_equal(
+            code.encode(a) ^ code.encode(b), code.encode(a ^ b)
+        )
+
+
+class TestSyndromes:
+    def test_single_bit_error_yields_column(self, code):
+        cw = code.encode(np.zeros(64, dtype=np.uint8))
+        for position in (0, 17, 63, 64, 71):
+            received = cw.copy()
+            received[position] ^= 1
+            assert code.syndrome(received) == int(code.column_syndromes[position])
+
+    def test_syndrome_to_bit_table(self, code):
+        for position in range(code.n):
+            syndrome = int(code.column_syndromes[position])
+            assert code.syndrome_to_bit[syndrome] == position
+
+    def test_zero_syndrome_has_no_match(self, code):
+        assert code.syndrome_to_bit[0] == -1
+
+    def test_batch_packed(self, code):
+        rng = np.random.default_rng(2)
+        words = rng.integers(0, 2, (20, 72), dtype=np.uint8)
+        packed = code.syndromes_packed(words)
+        for i in range(20):
+            assert int(packed[i]) == code.syndrome(words[i])
+
+
+class TestProperties:
+    def test_hsiao_is_sec(self, code):
+        assert code.columns_distinct_nonzero()
+
+    def test_hsiao_is_odd_weight(self, code):
+        assert code.columns_all_odd_weight()
+
+    def test_hsiao_detects_doubles(self, code):
+        assert code.detects_all_double_errors()
+
+    def test_even_weight_code_fails_ded_check(self):
+        # A (7,4) Hamming code has even-weight columns -> not DED.
+        h = np.array(
+            [[1, 0, 1, 0, 1, 0, 1],
+             [0, 1, 1, 0, 0, 1, 1],
+             [0, 0, 0, 1, 1, 1, 1]], dtype=np.uint8)
+        code = BinaryLinearCode(h)
+        assert code.columns_distinct_nonzero()
+        assert not code.detects_all_double_errors()
+
+
+class TestPairTable:
+    def test_colliding_pairs_rejected(self, code):
+        # In the Hsiao code adjacent-pair syndromes are NOT all unique.
+        with pytest.raises(ValueError):
+            code.build_pair_table([(2 * t, 2 * t + 1) for t in range(36)])
+
+    def test_pair_aliasing_single_rejected(self):
+        # Construct a tiny code where a pair equals a single column.
+        h = np.array([[1, 0, 1, 1], [0, 1, 1, 0]], dtype=np.uint8)
+        code = BinaryLinearCode(h)
+        with pytest.raises(ValueError):
+            code.build_pair_table([(0, 1)])  # e0^e1 = column 2
+
+
+class TestColumnPermutation:
+    def test_permuted_code_syndromes(self, code):
+        perm = np.arange(72)[::-1].copy()
+        permuted = code.column_permuted(perm)
+        assert np.array_equal(
+            permuted.column_syndromes, code.column_syndromes[::-1]
+        )
+
+    def test_invalid_permutation_rejected(self, code):
+        with pytest.raises(ValueError):
+            code.column_permuted(np.zeros(72, dtype=np.int64))
+
+
+class TestSmallerGeometries:
+    def test_hsiao_22_16(self):
+        code = BinaryLinearCode(hsiao_h_matrix(num_check=6, num_data=16))
+        assert (code.n, code.k) == (22, 16)
+        assert code.columns_all_odd_weight()
+        data = np.arange(16, dtype=np.uint8) % 2
+        assert code.syndrome(code.encode(data)) == 0

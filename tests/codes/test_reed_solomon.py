@@ -1,0 +1,193 @@
+"""Tests for the Reed-Solomon encoder and the three decoder styles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.codes.reed_solomon import ReedSolomonCode, RSDecodeStatus
+
+
+@pytest.fixture(scope="module")
+def rs18():
+    return ReedSolomonCode(18, 16)
+
+
+@pytest.fixture(scope="module")
+def rs36():
+    return ReedSolomonCode(36, 32)
+
+
+def _corrupt(rng, codeword, count):
+    received = codeword.copy()
+    positions = rng.choice(codeword.size, size=count, replace=False)
+    for position in positions:
+        received[position] ^= rng.integers(1, 256)
+    return received
+
+
+class TestConstruction:
+    def test_dimensions(self, rs18, rs36):
+        assert (rs18.n, rs18.k, rs18.r) == (18, 16, 2)
+        assert (rs36.n, rs36.k, rs36.r) == (36, 32, 4)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ReedSolomonCode(10, 10)
+        with pytest.raises(ValueError):
+            ReedSolomonCode(300, 200)
+
+    def test_generator_degree(self, rs36):
+        assert rs36.generator.degree == 4
+
+
+class TestEncode:
+    def test_codeword_has_zero_syndromes(self, rs18):
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        assert rs18.is_codeword(rs18.encode(data))
+
+    def test_systematic_placement(self, rs18):
+        data = np.arange(16, dtype=np.uint8)
+        cw = rs18.encode(data)
+        assert np.array_equal(rs18.extract_data(cw), data)
+
+    def test_linearity(self, rs36):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 32, dtype=np.uint8)
+        b = rng.integers(0, 256, 32, dtype=np.uint8)
+        assert np.array_equal(rs36.encode(a) ^ rs36.encode(b), rs36.encode(a ^ b))
+
+    def test_wrong_length(self, rs18):
+        with pytest.raises(ValueError):
+            rs18.encode(np.zeros(15, dtype=np.uint8))
+
+    def test_syndromes_length_check(self, rs18):
+        with pytest.raises(ValueError):
+            rs18.syndromes(np.zeros(17, dtype=np.uint8))
+
+
+class TestOneShotSSC:
+    def test_clean(self, rs18):
+        cw = rs18.encode(np.zeros(16, dtype=np.uint8))
+        assert rs18.decode_one_shot_ssc(cw).status is RSDecodeStatus.CLEAN
+
+    def test_corrects_every_single_symbol_error(self, rs18):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        cw = rs18.encode(data)
+        for position in range(18):
+            for value in (1, 0x80, 0xFF):
+                received = cw.copy()
+                received[position] ^= value
+                result = rs18.decode_one_shot_ssc(received)
+                assert result.status is RSDecodeStatus.CORRECTED
+                assert np.array_equal(result.codeword, cw)
+                assert result.error_locations == (position,)
+                assert result.error_values == (value,)
+
+    def test_requires_two_check_symbols(self, rs36):
+        with pytest.raises(ValueError):
+            rs36.decode_one_shot_ssc(np.zeros(36, dtype=np.uint8))
+
+    def test_double_errors_not_silently_wrong_often(self, rs18):
+        # SSC has no guaranteed double detection; but many double errors
+        # point outside the codeword (255 locators vs n=18) and raise a DUE.
+        rng = np.random.default_rng(3)
+        cw = rs18.encode(rng.integers(0, 256, 16, dtype=np.uint8))
+        detected = 0
+        for _ in range(300):
+            result = rs18.decode_one_shot_ssc(_corrupt(rng, cw, 2))
+            if result.status is RSDecodeStatus.DETECTED:
+                detected += 1
+        assert detected > 250  # most doubles land outside [0, 18)
+
+
+class TestDSDPlus:
+    def test_clean(self, rs36):
+        cw = rs36.encode(np.zeros(32, dtype=np.uint8))
+        assert rs36.decode_dsd_plus(cw).status is RSDecodeStatus.CLEAN
+
+    def test_corrects_all_single_symbol_errors(self, rs36):
+        rng = np.random.default_rng(4)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        for position in range(36):
+            received = cw.copy()
+            received[position] ^= 0x5A
+            result = rs36.decode_dsd_plus(received)
+            assert result.status is RSDecodeStatus.CORRECTED
+            assert np.array_equal(result.codeword, cw)
+
+    def test_detects_all_double_symbol_errors_sampled(self, rs36):
+        rng = np.random.default_rng(5)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        for _ in range(500):
+            result = rs36.decode_dsd_plus(_corrupt(rng, cw, 2))
+            assert result.status is RSDecodeStatus.DETECTED
+
+    def test_detects_nearly_all_triples(self, rs36):
+        rng = np.random.default_rng(6)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        sdc = sum(
+            1 for _ in range(400)
+            if rs36.decode_dsd_plus(_corrupt(rng, cw, 3)).status
+            is RSDecodeStatus.CORRECTED
+        )
+        assert sdc == 0  # >99.999964% triple detection
+
+    def test_requires_four_check_symbols(self, rs18):
+        with pytest.raises(ValueError):
+            rs18.decode_dsd_plus(np.zeros(18, dtype=np.uint8))
+
+
+class TestAlgebraic:
+    def test_dsc_corrects_double_errors(self, rs36):
+        rng = np.random.default_rng(7)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        for _ in range(100):
+            result = rs36.decode_algebraic(_corrupt(rng, cw, 2))
+            assert result.status is RSDecodeStatus.CORRECTED
+            assert np.array_equal(result.codeword, cw)
+
+    def test_dsc_detects_triples_mostly(self, rs36):
+        rng = np.random.default_rng(8)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        outcomes = [
+            rs36.decode_algebraic(_corrupt(rng, cw, 3)).status for _ in range(100)
+        ]
+        assert outcomes.count(RSDecodeStatus.DETECTED) >= 95
+
+    def test_ssc_tsd_mode(self, rs36):
+        # max_errors=1 models SSC-TSD: corrects 1, detects up to 3.
+        rng = np.random.default_rng(9)
+        cw = rs36.encode(rng.integers(0, 256, 32, dtype=np.uint8))
+        single = _corrupt(rng, cw, 1)
+        assert rs36.decode_algebraic(single, max_errors=1).status is (
+            RSDecodeStatus.CORRECTED
+        )
+        for count in (2, 3):
+            for _ in range(150):
+                result = rs36.decode_algebraic(_corrupt(rng, cw, count),
+                                               max_errors=1)
+                assert result.status is RSDecodeStatus.DETECTED
+
+    def test_agrees_with_one_shot_on_singles(self, rs18):
+        rng = np.random.default_rng(10)
+        cw = rs18.encode(rng.integers(0, 256, 16, dtype=np.uint8))
+        for _ in range(50):
+            received = _corrupt(rng, cw, 1)
+            one_shot = rs18.decode_one_shot_ssc(received)
+            algebraic = rs18.decode_algebraic(received)
+            assert one_shot.status == algebraic.status
+            assert np.array_equal(one_shot.codeword, algebraic.codeword)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=25)
+    def test_random_double_corruption_roundtrip(self, seed):
+        rs = ReedSolomonCode(36, 32)
+        rng = np.random.default_rng(seed)
+        data = rng.integers(0, 256, 32, dtype=np.uint8)
+        cw = rs.encode(data)
+        result = rs.decode_algebraic(_corrupt(rng, cw, 2))
+        assert result.status is RSDecodeStatus.CORRECTED
+        assert np.array_equal(rs.extract_data(result.codeword), data)

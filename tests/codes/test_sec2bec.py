@@ -1,0 +1,119 @@
+"""Tests for the paper's Equation-3 SEC-2bEC code."""
+
+import numpy as np
+import pytest
+
+from repro.codes.base32 import encode_h_matrix
+from repro.codes.linear import BinaryLinearCode
+from repro.codes.sec2bec import (
+    PAPER_H_ROWS_BASE32,
+    SEC_2BEC_72_64,
+    adjacent_pairs,
+    interleave_column_permutation,
+    paper_pair_table,
+    stride4_pairs,
+    validate_sec2bec,
+)
+from repro.gf.gf2 import pack_bits
+
+
+class TestPaperMatrix:
+    def test_embeds_eight_rows(self):
+        assert len(PAPER_H_ROWS_BASE32) == 8
+
+    def test_roundtrips_to_paper_strings(self):
+        assert encode_h_matrix(SEC_2BEC_72_64.h) == PAPER_H_ROWS_BASE32
+
+    def test_check_bits_at_64_71(self):
+        assert SEC_2BEC_72_64.check_positions.tolist() == list(range(64, 72))
+
+    def test_single_error_correction(self):
+        assert SEC_2BEC_72_64.columns_distinct_nonzero()
+
+    def test_sec_ded_fallback(self):
+        # "constrained to operate as a SEC-DED code if 2b symbol correction
+        # is not attempted" — odd-weight columns guarantee it.
+        assert SEC_2BEC_72_64.columns_all_odd_weight()
+        assert SEC_2BEC_72_64.detects_all_double_errors()
+
+    def test_aligned_pair_syndromes_unique(self):
+        table = paper_pair_table()
+        syndromes = [
+            int(SEC_2BEC_72_64.column_syndromes[low]
+                ^ SEC_2BEC_72_64.column_syndromes[high])
+            for low, high in table.pairs
+        ]
+        assert len(set(syndromes)) == 36
+
+    def test_pair_syndromes_disjoint_from_singles(self):
+        singles = set(SEC_2BEC_72_64.column_syndromes.tolist())
+        table = paper_pair_table()
+        for low, high in table.pairs:
+            pair = int(SEC_2BEC_72_64.column_syndromes[low]
+                       ^ SEC_2BEC_72_64.column_syndromes[high])
+            assert pair not in singles
+
+    def test_corrects_all_aligned_pairs(self):
+        code = SEC_2BEC_72_64
+        table = paper_pair_table()
+        cw = code.encode(np.zeros(64, dtype=np.uint8))
+        for index, (low, high) in enumerate(table.pairs):
+            received = cw.copy()
+            received[low] ^= 1
+            received[high] ^= 1
+            syndrome = code.syndrome(received)
+            assert table.syndrome_to_pair[syndrome] == index
+
+
+class TestPairHelpers:
+    def test_adjacent_pairs_partition(self):
+        covered = sorted(bit for pair in adjacent_pairs() for bit in pair)
+        assert covered == list(range(72))
+
+    def test_stride4_pairs_partition(self):
+        covered = sorted(bit for pair in stride4_pairs() for bit in pair)
+        assert covered == list(range(72))
+
+    def test_stride4_pairs_are_stride4(self):
+        for low, high in stride4_pairs():
+            assert high - low == 4
+
+
+class TestInterleavePermutation:
+    def test_is_permutation(self):
+        perm = interleave_column_permutation()
+        assert sorted(perm.tolist()) == list(range(72))
+
+    def test_maps_stride4_to_adjacent(self):
+        perm = interleave_column_permutation()
+        for low, high in stride4_pairs():
+            assert perm[high] - perm[low] == 1
+            assert perm[low] % 2 == 0
+
+    def test_swizzled_code_validates(self):
+        swizzled = SEC_2BEC_72_64.column_permuted(interleave_column_permutation())
+        table = validate_sec2bec(swizzled, stride4_pairs())
+        assert len(table.pairs) == 36
+
+    def test_swizzled_check_bits_stay_in_check_byte(self):
+        swizzled = SEC_2BEC_72_64.column_permuted(interleave_column_permutation())
+        assert sorted(swizzled.check_positions.tolist()) == list(range(64, 72))
+
+
+class TestValidation:
+    def test_rejects_even_weight_columns(self):
+        h = np.eye(8, dtype=np.uint8)
+        h = np.concatenate([h, h ^ 1], axis=1)[:, :16]
+        code_h = np.concatenate(
+            [h, np.roll(np.eye(8, dtype=np.uint8), 1, axis=0)], axis=1
+        )
+        # Build something full-rank but with even-weight columns present.
+        code = BinaryLinearCode(np.concatenate(
+            [np.eye(8, dtype=np.uint8),
+             np.ones((8, 2), dtype=np.uint8)], axis=1))
+        with pytest.raises(ValueError):
+            validate_sec2bec(code, [(0, 1), (2, 3), (4, 5), (6, 7), (8, 9)])
+
+    def test_rejects_non_partition(self):
+        with pytest.raises(ValueError):
+            validate_sec2bec(SEC_2BEC_72_64, [(0, 1)] * 36)

@@ -1,0 +1,158 @@
+"""Tests for the rejected Section-6.2 organizations (DSC, SSC-TSD)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodeStatus, get_scheme
+from repro.core.algebraic_schemes import DECODER_CYCLES, DSCScheme, SSCTSDScheme
+from repro.core.layout import ENTRY_BITS, bits_of_byte, bits_of_pin
+from repro.core.registry import EXTENSION_SCHEME_NAMES
+
+
+@pytest.fixture(scope="module")
+def data():
+    return np.random.default_rng(0).integers(0, 2, 256, dtype=np.uint8)
+
+
+def _outcome(scheme, entry, data, positions):
+    received = entry.copy()
+    for position in positions:
+        received[position] ^= 1
+    result = scheme.decode(received)
+    if result.status is DecodeStatus.DETECTED:
+        return "DUE"
+    return "DCE" if np.array_equal(result.data, data) else "SDC"
+
+
+class TestRegistry:
+    def test_extension_names(self):
+        assert EXTENSION_SCHEME_NAMES == ("dsc", "ssc-tsd")
+        assert isinstance(get_scheme("dsc"), DSCScheme)
+        assert isinstance(get_scheme("ssc-tsd"), SSCTSDScheme)
+
+    def test_decoder_cycle_tags(self):
+        # The paper's latency argument: iterative decode needs >= 8 cycles.
+        assert DECODER_CYCLES["ssc-dsd+"] == 1
+        assert get_scheme("dsc").decoder_cycles >= 8
+        assert get_scheme("ssc-tsd").decoder_cycles >= 8
+
+    def test_no_pin_correction(self):
+        assert not get_scheme("dsc").corrects_pins
+        assert not get_scheme("ssc-tsd").corrects_pins
+
+
+class TestDSC:
+    def test_roundtrip(self, data):
+        scheme = get_scheme("dsc")
+        result = scheme.decode(scheme.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_corrects_all_single_byte_errors(self, data):
+        scheme = get_scheme("dsc")
+        entry = scheme.encode(data)
+        for byte in range(0, 36, 4):
+            positions = [int(b) for b in bits_of_byte(byte)]
+            assert _outcome(scheme, entry, data, positions) == "DCE", byte
+
+    def test_corrects_double_byte_errors(self, data):
+        """The capability that distinguishes DSC from every single-tier
+        scheme the paper keeps."""
+        scheme = get_scheme("dsc")
+        entry = scheme.encode(data)
+        rng = np.random.default_rng(1)
+        for _ in range(60):
+            first, second = rng.choice(36, size=2, replace=False)
+            positions = [int(b) for b in bits_of_byte(int(first))]
+            positions += [
+                int(b) for b in bits_of_byte(int(second))[: int(rng.integers(1, 9))]
+            ]
+            assert _outcome(scheme, entry, data, positions) == "DCE"
+
+    def test_dsd_detects_what_dsc_corrects(self, data):
+        dsd = get_scheme("ssc-dsd+")
+        dsc = get_scheme("dsc")
+        positions = [int(b) for b in bits_of_byte(2)] + [int(bits_of_byte(20)[0])]
+        assert _outcome(dsd, dsd.encode(data), data, positions) == "DUE"
+        assert _outcome(dsc, dsc.encode(data), data, positions) == "DCE"
+
+    def test_pin_errors_detected(self, data):
+        scheme = get_scheme("dsc")
+        entry = scheme.encode(data)
+        for pin in (0, 40, 71):
+            positions = [int(b) for b in bits_of_pin(pin)]
+            outcome = _outcome(scheme, entry, data, positions)
+            # A pin fault spans four symbols: beyond t=2, it must not be
+            # silently miscorrected.
+            assert outcome == "DUE", pin
+
+    def test_triple_symbol_errors_mostly_detected(self, data):
+        scheme = get_scheme("dsc")
+        entry = scheme.encode(data)
+        rng = np.random.default_rng(2)
+        outcomes = []
+        for _ in range(100):
+            bytes_ = rng.choice(36, size=3, replace=False)
+            positions = [int(bits_of_byte(int(b))[rng.integers(8)]) for b in bytes_]
+            outcomes.append(_outcome(scheme, entry, data, positions))
+        assert outcomes.count("SDC") < 10  # DSC has *some* triple risk
+
+    def test_batch_matches_scalar(self, data):
+        scheme = get_scheme("dsc")
+        entry = scheme.encode(data)
+        rng = np.random.default_rng(3)
+        errors = (rng.random((300, ENTRY_BITS)) < 0.015).astype(np.uint8)
+        batch = scheme.decode_batch_errors(errors)
+        for row in range(300):
+            if not errors[row].any():
+                continue
+            result = scheme.decode(entry ^ errors[row])
+            scalar_due = result.status is DecodeStatus.DETECTED
+            assert bool(batch.due[row]) == scalar_due, row
+            if not scalar_due:
+                scalar_sdc = not np.array_equal(result.data, data)
+                assert bool(batch.sdc()[row]) == scalar_sdc, row
+
+    def test_higher_sdc_than_dsd_on_entry_errors(self):
+        """Aggressive correction costs detection — the Duet/Trio trade-off
+        repeated at symbol granularity."""
+        from repro.errormodel.sampling import sample_entry_errors
+
+        rng = np.random.default_rng(4)
+        errors = sample_entry_errors(4000, rng)
+        dsc = get_scheme("dsc").decode_batch_errors(errors)
+        dsd = get_scheme("ssc-dsd+").decode_batch_errors(errors)
+        assert int(dsc.sdc().sum()) >= int(dsd.sdc().sum())
+
+
+class TestSSCTSDEquivalence:
+    """The DSD+ agreement rule *is* bounded-distance-1 decoding: for a
+    distance-5 code the two organizations behave identically."""
+
+    def test_batch_equivalence_random_errors(self):
+        rng = np.random.default_rng(5)
+        errors = (rng.random((500, ENTRY_BITS)) < 0.03).astype(np.uint8)
+        tsd = get_scheme("ssc-tsd").decode_batch_errors(errors)
+        dsd = get_scheme("ssc-dsd+").decode_batch_errors(errors)
+        assert np.array_equal(tsd.due, dsd.due)
+        assert np.array_equal(tsd.residual_data, dsd.residual_data)
+        assert np.array_equal(tsd.corrected, dsd.corrected)
+
+    def test_scalar_equivalence_on_byte_errors(self, data):
+        tsd = get_scheme("ssc-tsd")
+        dsd = get_scheme("ssc-dsd+")
+        entry = tsd.encode(data)
+        assert np.array_equal(entry, dsd.encode(data))
+        for byte in range(0, 36, 6):
+            positions = [int(b) for b in bits_of_byte(byte)]
+            assert (_outcome(tsd, entry, data, positions)
+                    == _outcome(dsd, entry, data, positions) == "DCE")
+
+    def test_guaranteed_triple_detection(self, data):
+        scheme = get_scheme("ssc-tsd")
+        entry = scheme.encode(data)
+        rng = np.random.default_rng(6)
+        for _ in range(300):
+            bytes_ = rng.choice(36, size=3, replace=False)
+            positions = [int(bits_of_byte(int(b))[rng.integers(8)]) for b in bytes_]
+            assert _outcome(scheme, entry, data, positions) == "DUE"

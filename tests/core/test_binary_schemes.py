@@ -1,0 +1,175 @@
+"""Coverage guarantees of the binary organizations (Section 6.1).
+
+These tests pin down the paper's qualitative claims exactly:
+
+* NI:SEC-DED corrects bits and pins opportunistically but silently corrupts
+  a sizeable fraction of byte errors (the paper's 23-29%);
+* interleaving alone gives half-byte correction and single-byte detection;
+* DuetECC detects 100% of byte errors with zero byte-error SDC;
+* TrioECC corrects 100% of byte errors;
+* every binary organization preserves single-pin correction.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodeStatus, get_scheme
+from repro.core.layout import ENTRY_BITS, bits_of_byte, bits_of_pin
+
+
+def _outcome(scheme, entry, data, positions):
+    received = entry.copy()
+    for position in positions:
+        received[position] ^= 1
+    result = scheme.decode(received)
+    if result.status is DecodeStatus.DETECTED:
+        return "DUE"
+    return "DCE" if np.array_equal(result.data, data) else "SDC"
+
+
+def _byte_error_outcomes(scheme, byte_positions=(0, 5, 18, 35), masks=None):
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, 256, dtype=np.uint8)
+    entry = scheme.encode(data)
+    masks = masks or [m for m in range(256) if bin(m).count("1") >= 2]
+    counts = {"DCE": 0, "DUE": 0, "SDC": 0}
+    for byte in byte_positions:
+        bits = bits_of_byte(byte)
+        for mask in masks:
+            positions = [int(bits[b]) for b in range(8) if (mask >> b) & 1]
+            counts[_outcome(scheme, entry, data, positions)] += 1
+    return counts
+
+
+def _pin_error_outcomes(scheme, pins=(0, 33, 71)):
+    rng = np.random.default_rng(1)
+    data = rng.integers(0, 2, 256, dtype=np.uint8)
+    entry = scheme.encode(data)
+    counts = {"DCE": 0, "DUE": 0, "SDC": 0}
+    for pin in pins:
+        bits = bits_of_pin(pin)
+        for mask in range(1, 16):
+            if bin(mask).count("1") < 2:
+                continue
+            positions = [int(bits[b]) for b in range(4) if (mask >> b) & 1]
+            counts[_outcome(scheme, entry, data, positions)] += 1
+    return counts
+
+
+class TestSecDedBaseline:
+    def test_byte_errors_never_corrected(self):
+        counts = _byte_error_outcomes(get_scheme("ni-secded"))
+        assert counts["DCE"] == 0
+
+    def test_byte_error_sdc_near_paper_range(self):
+        counts = _byte_error_outcomes(get_scheme("ni-secded"))
+        total = sum(counts.values())
+        sdc_fraction = counts["SDC"] / total
+        # The paper reports 23-29% of byte/beat errors neither corrected
+        # nor detected; our Hsiao instance lands close by.
+        assert 0.15 < sdc_fraction < 0.40
+
+    def test_pin_errors_all_corrected(self):
+        counts = _pin_error_outcomes(get_scheme("ni-secded"))
+        assert counts["DUE"] == 0 and counts["SDC"] == 0
+
+
+class TestInterleavedSecDed:
+    def test_byte_errors_zero_sdc(self):
+        counts = _byte_error_outcomes(get_scheme("i-secded"))
+        assert counts["SDC"] == 0
+
+    def test_half_byte_errors_corrected(self):
+        # Errors confined to <= 1 bit per codeword (any mask with at most
+        # one bit in each stride-4 residue class) are corrected.
+        scheme = get_scheme("i-secded")
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        entry = scheme.encode(data)
+        bits = bits_of_byte(3)
+        for mask in (0b00010001, 0b00100001, 0b1111, 0b11110000):
+            positions = [int(bits[b]) for b in range(8) if (mask >> b) & 1]
+            # each codeword sees at most one of the pair bits only for
+            # masks with <= 1 bit per (b mod 4) class:
+            classes = {}
+            for b in range(8):
+                if (mask >> b) & 1:
+                    classes.setdefault(b % 4, []).append(b)
+            expected = (
+                "DCE" if all(len(v) == 1 for v in classes.values()) else None
+            )
+            outcome = _outcome(scheme, entry, data, positions)
+            if expected:
+                assert outcome == expected, (mask, outcome)
+
+    def test_whole_byte_detected(self):
+        scheme = get_scheme("i-secded")
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        entry = scheme.encode(data)
+        positions = [int(b) for b in bits_of_byte(7)]
+        assert _outcome(scheme, entry, data, positions) == "DUE"
+
+
+class TestDuetECC:
+    def test_all_byte_errors_detected_or_corrected(self):
+        counts = _byte_error_outcomes(get_scheme("duet"))
+        assert counts["SDC"] == 0
+
+    def test_byte_detection_strength(self):
+        counts = _byte_error_outcomes(get_scheme("duet"))
+        assert counts["DUE"] > 0  # full bytes cannot be corrected
+
+    def test_pin_errors_corrected(self):
+        counts = _pin_error_outcomes(get_scheme("duet"))
+        assert counts["DCE"] == sum(counts.values())
+
+
+class TestTrioECC:
+    def test_all_byte_errors_corrected(self):
+        counts = _byte_error_outcomes(get_scheme("trio"))
+        assert counts["DCE"] == sum(counts.values())
+
+    def test_pin_errors_corrected(self):
+        counts = _pin_error_outcomes(get_scheme("trio"))
+        assert counts["DCE"] == sum(counts.values())
+
+    def test_exhaustive_all_36_bytes_corrected(self):
+        scheme = get_scheme("trio")
+        rng = np.random.default_rng(4)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        entry = scheme.encode(data)
+        for byte in range(36):
+            positions = [int(b) for b in bits_of_byte(byte)]
+            assert _outcome(scheme, entry, data, positions) == "DCE", byte
+
+
+class TestNonInterleavedSec2bEC:
+    def test_adjacent_pair_errors_corrected(self):
+        scheme = get_scheme("ni-sec2bec")
+        rng = np.random.default_rng(5)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        entry = scheme.encode(data)
+        # Adjacent aligned pairs within one beat are that layout's symbols.
+        for start in (0, 10, 70, 100):
+            base = (start // 2) * 2
+            positions = [base, base + 1]
+            assert _outcome(scheme, entry, data, positions) == "DCE", base
+
+    def test_full_byte_errors_not_corrected(self):
+        counts = _byte_error_outcomes(get_scheme("ni-sec2bec"),
+                                      masks=[0xFF])
+        assert counts["DCE"] == 0
+
+
+class TestCrossSchemeOrdering:
+    def test_trio_reduces_uncorrectable_vs_secded(self):
+        secded = _byte_error_outcomes(get_scheme("ni-secded"))
+        trio = _byte_error_outcomes(get_scheme("trio"))
+        assert trio["DUE"] + trio["SDC"] < secded["DUE"] + secded["SDC"]
+
+    def test_duet_trades_correction_for_detection(self):
+        duet = _byte_error_outcomes(get_scheme("duet"))
+        trio = _byte_error_outcomes(get_scheme("trio"))
+        assert duet["DUE"] > trio["DUE"]
+        assert duet["DCE"] < trio["DCE"]

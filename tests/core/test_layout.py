@@ -1,0 +1,101 @@
+"""Tests for the transmitted-bit coordinate system."""
+
+import numpy as np
+import pytest
+
+from repro.core.layout import (
+    BITS_PER_BYTE,
+    BYTES_PER_BEAT,
+    DATA_BITS,
+    ECC_BITS,
+    ENTRY_BITS,
+    NUM_BEATS,
+    NUM_BYTES,
+    NUM_PINS,
+    beat_of,
+    bits_of_beat,
+    bits_of_byte,
+    bits_of_pin,
+    byte_of,
+    pin_of,
+)
+
+
+class TestConstants:
+    def test_entry_is_36_bytes(self):
+        assert DATA_BITS == 256
+        assert ECC_BITS == 32
+        assert ENTRY_BITS == 288
+
+    def test_redundancy_is_12_5_percent(self):
+        assert ECC_BITS / DATA_BITS == 0.125
+
+    def test_pins_and_beats(self):
+        assert NUM_PINS == 72
+        assert NUM_BEATS == 4
+        assert NUM_PINS * NUM_BEATS == ENTRY_BITS
+
+    def test_byte_geometry(self):
+        assert BYTES_PER_BEAT == 9
+        assert NUM_BYTES == 36
+
+
+class TestCoordinates:
+    def test_pin_of(self):
+        assert pin_of(0) == 0
+        assert pin_of(71) == 71
+        assert pin_of(72) == 0
+        assert pin_of(287) == 71
+
+    def test_beat_of(self):
+        assert beat_of(0) == 0
+        assert beat_of(71) == 0
+        assert beat_of(72) == 1
+        assert beat_of(287) == 3
+
+    def test_byte_of(self):
+        assert byte_of(0) == 0
+        assert byte_of(7) == 0
+        assert byte_of(8) == 1
+        assert byte_of(71) == 8
+        assert byte_of(72) == 9  # second beat starts byte 9
+        assert byte_of(287) == 35
+
+    def test_vectorized(self):
+        indices = np.arange(ENTRY_BITS)
+        assert pin_of(indices).shape == (ENTRY_BITS,)
+        assert int(byte_of(indices).max()) == NUM_BYTES - 1
+
+
+class TestGroupExpansion:
+    def test_bits_of_pin(self):
+        assert bits_of_pin(5).tolist() == [5, 77, 149, 221]
+
+    def test_bits_of_byte(self):
+        assert bits_of_byte(0).tolist() == list(range(8))
+        assert bits_of_byte(9).tolist() == list(range(72, 80))
+
+    def test_bits_of_beat(self):
+        assert bits_of_beat(1).tolist() == list(range(72, 144))
+
+    def test_pin_expansion_consistent_with_pin_of(self):
+        for pin in (0, 13, 71):
+            for index in bits_of_pin(pin):
+                assert pin_of(int(index)) == pin
+
+    def test_byte_expansion_consistent_with_byte_of(self):
+        for byte in (0, 17, 35):
+            for index in bits_of_byte(byte):
+                assert byte_of(int(index)) == byte
+
+    def test_bytes_partition_entry(self):
+        seen = sorted(
+            int(i) for byte in range(NUM_BYTES) for i in bits_of_byte(byte)
+        )
+        assert seen == list(range(ENTRY_BITS))
+
+    def test_pins_partition_entry(self):
+        seen = sorted(
+            int(i) for pin in range(NUM_PINS) for i in bits_of_pin(pin)
+        )
+        assert seen == list(range(ENTRY_BITS))

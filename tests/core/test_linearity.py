@@ -1,0 +1,98 @@
+"""Linearity properties underpinning the Monte Carlo methodology.
+
+The batch evaluator injects error patterns over the *all-zero* codeword and
+trusts that outcomes are codeword-independent.  That holds because every
+scheme is built from linear codes; these tests verify it empirically for
+each organization — if a future scheme broke linearity, the Table 2 /
+Figure 8 numbers would silently stop meaning what they claim.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SCHEME_NAMES, DecodeStatus, get_scheme
+from repro.core.layout import DATA_BITS, ENTRY_BITS
+from repro.core.registry import EXTENSION_SCHEME_NAMES
+
+ALL = list(SCHEME_NAMES) + list(EXTENSION_SCHEME_NAMES)
+
+
+def _classify(scheme, entry, data):
+    result = scheme.decode(entry)
+    if result.status is DecodeStatus.DETECTED:
+        return "DUE"
+    return "DCE" if np.array_equal(result.data, data) else "SDC"
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_encoder_linearity(name):
+    scheme = get_scheme(name)
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+    b = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+    assert np.array_equal(
+        scheme.encode(a) ^ scheme.encode(b), scheme.encode(a ^ b)
+    )
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_outcome_is_codeword_independent(name):
+    """The same error pattern yields the same outcome over any codeword."""
+    scheme = get_scheme(name)
+    rng = np.random.default_rng(1)
+    datasets = [
+        np.zeros(DATA_BITS, dtype=np.uint8),
+        np.ones(DATA_BITS, dtype=np.uint8),
+        rng.integers(0, 2, DATA_BITS, dtype=np.uint8),
+    ]
+    for _ in range(40):
+        error = (rng.random(ENTRY_BITS) < 0.02).astype(np.uint8)
+        if not error.any():
+            continue
+        outcomes = {
+            _classify(scheme, scheme.encode(data) ^ error, data)
+            for data in datasets
+        }
+        assert len(outcomes) == 1, (name, np.nonzero(error)[0])
+
+
+@pytest.mark.parametrize("name", ALL)
+def test_corrected_bits_are_codeword_independent(name):
+    scheme = get_scheme(name)
+    rng = np.random.default_rng(2)
+    data_a = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+    data_b = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+    for position in rng.choice(ENTRY_BITS, size=10, replace=False):
+        error = np.zeros(ENTRY_BITS, dtype=np.uint8)
+        error[position] = 1
+        result_a = scheme.decode(scheme.encode(data_a) ^ error)
+        result_b = scheme.decode(scheme.encode(data_b) ^ error)
+        assert result_a.corrected_bits == result_b.corrected_bits
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.sampled_from(ALL),
+    st.lists(st.integers(min_value=0, max_value=ENTRY_BITS - 1),
+             min_size=1, max_size=6, unique=True),
+    st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_property_batch_matches_scalar_over_random_codewords(
+    name, positions, seed
+):
+    """End-to-end property: batch-over-zero == scalar-over-random-codeword."""
+    scheme = get_scheme(name)
+    error = np.zeros(ENTRY_BITS, dtype=np.uint8)
+    error[positions] = 1
+    batch = scheme.decode_batch_errors(error[None, :])
+
+    data = np.random.default_rng(seed).integers(0, 2, DATA_BITS, dtype=np.uint8)
+    outcome = _classify(scheme, scheme.encode(data) ^ error, data)
+    if outcome == "DUE":
+        assert bool(batch.due[0])
+    elif outcome == "SDC":
+        assert bool(batch.sdc()[0])
+    else:
+        assert bool(batch.dce()[0])

@@ -1,0 +1,137 @@
+"""Coverage guarantees of the symbol-based organizations (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodeStatus, get_scheme
+from repro.core.layout import bits_of_byte, bits_of_pin
+from repro.core.rs_ssc import _build_layout
+
+
+def _outcome(scheme, entry, data, positions):
+    received = entry.copy()
+    for position in positions:
+        received[position] ^= 1
+    result = scheme.decode(received)
+    if result.status is DecodeStatus.DETECTED:
+        return "DUE"
+    return "DCE" if np.array_equal(result.data, data) else "SDC"
+
+
+@pytest.fixture(scope="module")
+def prepared():
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, 2, 256, dtype=np.uint8)
+    return data
+
+
+class TestSymbolLayout:
+    def test_checkerboard_partition(self):
+        layout = _build_layout()
+        seen = sorted(int(b) for cw in layout for sym in cw for b in sym)
+        assert seen == list(range(288))
+
+    def test_byte_error_straddles_codewords(self):
+        layout = _build_layout()
+        position_to_codeword = {}
+        for cw in range(2):
+            for sym in range(18):
+                for bit in layout[cw, sym]:
+                    position_to_codeword[int(bit)] = cw
+        for byte in range(36):
+            codewords = {position_to_codeword[int(b)] for b in bits_of_byte(byte)}
+            assert codewords == {0, 1}, byte
+
+    def test_pin_error_straddles_codewords(self):
+        layout = _build_layout()
+        position_to_codeword = {}
+        for cw in range(2):
+            for sym in range(18):
+                for bit in layout[cw, sym]:
+                    position_to_codeword[int(bit)] = cw
+        for pin in range(72):
+            codewords = {position_to_codeword[int(b)] for b in bits_of_pin(pin)}
+            assert codewords == {0, 1}, pin
+
+    def test_symbol_is_4pin_2beat(self):
+        layout = _build_layout()
+        for cw in range(2):
+            for sym in range(18):
+                bits = layout[cw, sym]
+                pins = {int(b) % 72 for b in bits}
+                beats = {int(b) // 72 for b in bits}
+                assert len(pins) == 4
+                assert len(beats) == 2
+
+
+@pytest.mark.parametrize("name", ["i-ssc", "i-ssc-csc"])
+class TestInterleavedSSC:
+    def test_all_byte_errors_corrected(self, name, prepared):
+        scheme = get_scheme(name)
+        entry = scheme.encode(prepared)
+        for byte in range(0, 36, 5):
+            positions = [int(b) for b in bits_of_byte(byte)]
+            assert _outcome(scheme, entry, prepared, positions) == "DCE", byte
+
+    def test_all_pin_errors_corrected(self, name, prepared):
+        scheme = get_scheme(name)
+        entry = scheme.encode(prepared)
+        for pin in range(0, 72, 7):
+            positions = [int(b) for b in bits_of_pin(pin)]
+            assert _outcome(scheme, entry, prepared, positions) == "DCE", pin
+
+    def test_partial_byte_errors_corrected(self, name, prepared):
+        scheme = get_scheme(name)
+        entry = scheme.encode(prepared)
+        bits = bits_of_byte(11)
+        for mask in (0b11, 0b1010, 0b1111111):
+            positions = [int(bits[b]) for b in range(8) if (mask >> b) & 1]
+            assert _outcome(scheme, entry, prepared, positions) == "DCE"
+
+
+class TestSSCvsCSC:
+    def test_csc_reduces_sdc_on_beat_errors(self, prepared):
+        plain = get_scheme("i-ssc")
+        checked = get_scheme("i-ssc-csc")
+        rng = np.random.default_rng(1)
+        from repro.errormodel.sampling import sample_beat_errors
+
+        errors = sample_beat_errors(3000, rng)
+        plain_sdc = int(plain.decode_batch_errors(errors).sdc().sum())
+        checked_sdc = int(checked.decode_batch_errors(errors).sdc().sum())
+        assert checked_sdc <= plain_sdc
+
+
+class TestSSCDSDPlus:
+    def test_all_byte_errors_corrected(self, prepared):
+        scheme = get_scheme("ssc-dsd+")
+        entry = scheme.encode(prepared)
+        for byte in range(36):
+            positions = [int(b) for b in bits_of_byte(byte)]
+            assert _outcome(scheme, entry, prepared, positions) == "DCE", byte
+
+    def test_pin_errors_detected_not_corrected(self, prepared):
+        scheme = get_scheme("ssc-dsd+")
+        entry = scheme.encode(prepared)
+        for pin in range(0, 72, 5):
+            positions = [int(b) for b in bits_of_pin(pin)]
+            assert _outcome(scheme, entry, prepared, positions) == "DUE", pin
+
+    def test_double_byte_errors_detected(self, prepared):
+        scheme = get_scheme("ssc-dsd+")
+        entry = scheme.encode(prepared)
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            first, second = rng.choice(36, size=2, replace=False)
+            positions = [int(b) for b in bits_of_byte(int(first))]
+            positions += [int(bits_of_byte(int(second))[rng.integers(8)])]
+            assert _outcome(scheme, entry, prepared, positions) == "DUE"
+
+    def test_lowest_entry_error_sdc(self, prepared):
+        from repro.errormodel.sampling import sample_entry_errors
+
+        rng = np.random.default_rng(3)
+        errors = sample_entry_errors(5000, rng)
+        dsd = get_scheme("ssc-dsd+").decode_batch_errors(errors)
+        trio = get_scheme("trio").decode_batch_errors(errors)
+        assert int(dsd.sdc().sum()) <= int(trio.sdc().sum())

@@ -1,0 +1,79 @@
+"""Tests for the correction sanity check."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import ENTRY_BITS, bits_of_byte, bits_of_pin
+from repro.core.sanity_check import csc_violation, csc_violation_batch
+
+
+class TestScalar:
+    def test_single_codeword_never_violates(self):
+        assert not csc_violation([0, 100, 200], codewords_correcting=1)
+
+    def test_same_byte_allowed(self):
+        positions = [int(b) for b in bits_of_byte(4)[:3]]
+        assert not csc_violation(positions, codewords_correcting=3)
+
+    def test_same_pin_allowed(self):
+        positions = [int(b) for b in bits_of_pin(10)]
+        assert not csc_violation(positions, codewords_correcting=4)
+
+    def test_scattered_corrections_violate(self):
+        assert csc_violation([0, 100], codewords_correcting=2)
+
+    def test_same_pin_across_beats_allowed(self):
+        # bits 0 and 72 ride pin 0 in beats 0 and 1 — a pin fault.
+        assert not csc_violation([0, 72], codewords_correcting=2)
+
+    def test_different_pin_and_byte_across_beats_violates(self):
+        # bit 0 (pin 0, byte 0) vs bit 81 (pin 9, byte 10): nothing shared.
+        assert csc_violation([0, 81], codewords_correcting=2)
+
+    def test_no_corrections(self):
+        assert not csc_violation([], codewords_correcting=0)
+
+
+class TestBatch:
+    def test_matches_scalar_on_constructed_cases(self):
+        cases = [
+            ([0, 1, 2, 3], 4),
+            ([0, 72, 144, 216], 4),  # one pin
+            ([0, 100, -1, -1], 2),
+            ([5, -1, -1, -1], 1),
+            ([-1, -1, -1, -1], 0),
+        ]
+        positions = np.array([c[0] for c in cases], dtype=np.int64)
+        counts = np.array([c[1] for c in cases], dtype=np.int64)
+        batch = csc_violation_batch(positions, counts)
+        for row, (pos, count) in enumerate(cases):
+            valid = [p for p in pos if p >= 0]
+            assert batch[row] == csc_violation(valid, count), row
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.lists(st.integers(min_value=0, max_value=ENTRY_BITS - 1),
+                         min_size=0, max_size=8),
+                st.integers(min_value=0, max_value=4),
+            ),
+            min_size=1,
+            max_size=20,
+        )
+    )
+    @settings(max_examples=50)
+    def test_batch_equals_scalar(self, cases):
+        width = 8
+        positions = np.full((len(cases), width), -1, dtype=np.int64)
+        counts = np.zeros(len(cases), dtype=np.int64)
+        for row, (pos, count) in enumerate(cases):
+            positions[row, : len(pos)] = pos
+            counts[row] = count
+        batch = csc_violation_batch(positions, counts)
+        for row, (pos, count) in enumerate(cases):
+            assert bool(batch[row]) == csc_violation(pos, count)
+
+    def test_sentinel_slots_ignored(self):
+        positions = np.array([[3, -1, 3, -1]], dtype=np.int64)
+        assert not csc_violation_batch(positions, np.array([2]))[0]

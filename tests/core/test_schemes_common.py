@@ -1,0 +1,156 @@
+"""Behaviour every ECC organization must share.
+
+Parametrized over all nine Table-2 schemes: encode/decode roundtrips,
+single-bit correction everywhere, input validation, and — crucially — exact
+agreement between the scalar reference decoder and the vectorized batch
+decoder used by the Monte Carlo harness.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SCHEME_NAMES, DecodeStatus, all_schemes, get_scheme
+from repro.core.layout import DATA_BITS, ENTRY_BITS
+
+ALL = list(SCHEME_NAMES)
+
+
+def _scheme(name):
+    return get_scheme(name)
+
+
+def _random_data(seed=0):
+    return np.random.default_rng(seed).integers(0, 2, DATA_BITS, dtype=np.uint8)
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestRoundtrip:
+    def test_clean_roundtrip(self, name):
+        scheme = _scheme(name)
+        data = _random_data()
+        result = scheme.decode(scheme.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    def test_encoding_deterministic(self, name):
+        scheme = _scheme(name)
+        data = _random_data(3)
+        assert np.array_equal(scheme.encode(data), scheme.encode(data))
+
+    def test_every_single_bit_error_corrected(self, name):
+        scheme = _scheme(name)
+        data = _random_data(1)
+        entry = scheme.encode(data)
+        for position in range(0, ENTRY_BITS, 7):  # stride keeps it fast
+            received = entry.copy()
+            received[position] ^= 1
+            result = scheme.decode(received)
+            assert result.status is DecodeStatus.CORRECTED, position
+            assert np.array_equal(result.data, data), position
+            assert position in result.corrected_bits
+
+    def test_roundtrip_helper(self, name):
+        scheme = _scheme(name)
+        data = _random_data(2)
+        error = np.zeros(ENTRY_BITS, dtype=np.uint8)
+        error[13] = 1
+        result = scheme.roundtrip(data, error)
+        assert result.status is DecodeStatus.CORRECTED
+
+    def test_encode_rejects_wrong_length(self, name):
+        with pytest.raises(ValueError):
+            _scheme(name).encode(np.zeros(100, dtype=np.uint8))
+
+    def test_decode_rejects_wrong_length(self, name):
+        with pytest.raises(ValueError):
+            _scheme(name).decode(np.zeros(100, dtype=np.uint8))
+
+    def test_batch_rejects_wrong_shape(self, name):
+        with pytest.raises(ValueError):
+            _scheme(name).decode_batch_errors(np.zeros((4, 100), dtype=np.uint8))
+
+
+@pytest.mark.parametrize("name", ALL)
+class TestBatchAgainstScalar:
+    """The batch decoder (zero codeword + error) must agree with the scalar
+    decoder (real codeword + error) for every scheme — linearity in action.
+    """
+
+    def test_agreement_on_random_errors(self, name):
+        scheme = _scheme(name)
+        rng = np.random.default_rng(42)
+        data = _random_data(7)
+        entry = scheme.encode(data)
+
+        errors = (rng.random((200, ENTRY_BITS)) < 0.01).astype(np.uint8)
+        errors[0, :] = 0
+        errors[0, 5] = 1  # guarantee at least one single-bit case
+        batch = scheme.decode_batch_errors(errors)
+
+        for row in range(errors.shape[0]):
+            if not errors[row].any():
+                continue
+            result = scheme.decode(entry ^ errors[row])
+            scalar_due = result.status is DecodeStatus.DETECTED
+            assert bool(batch.due[row]) == scalar_due, row
+            if not scalar_due:
+                scalar_sdc = not np.array_equal(result.data, data)
+                assert bool(batch.sdc()[row]) == scalar_sdc, row
+
+    def test_zero_error_batch_is_clean(self, name):
+        scheme = _scheme(name)
+        batch = scheme.decode_batch_errors(np.zeros((3, ENTRY_BITS), dtype=np.uint8))
+        assert not batch.due.any()
+        assert not batch.residual_data.any()
+        assert not batch.corrected.any()
+
+    def test_outcome_partition(self, name):
+        scheme = _scheme(name)
+        rng = np.random.default_rng(9)
+        errors = (rng.random((100, ENTRY_BITS)) < 0.02).astype(np.uint8)
+        batch = scheme.decode_batch_errors(errors)
+        # Every sample is exactly one of DCE / DUE / SDC.
+        total = batch.dce().astype(int) + batch.due.astype(int) + batch.sdc().astype(int)
+        assert np.all(total == 1)
+
+
+class TestRegistry:
+    def test_all_schemes_order(self):
+        names = [scheme.name for scheme in all_schemes()]
+        assert names == list(SCHEME_NAMES)
+
+    def test_aliases(self):
+        assert get_scheme("DuetECC").name == "duet"
+        assert get_scheme("trioecc").name == "trio"
+        assert get_scheme("SECDED").name == "ni-secded"
+
+    def test_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            get_scheme("hamming")
+
+    def test_caching(self):
+        assert get_scheme("trio") is get_scheme("trio")
+
+    def test_pin_correction_flags(self):
+        for scheme in all_schemes():
+            expected = scheme.name != "ssc-dsd+"
+            assert scheme.corrects_pins == expected, scheme.name
+
+    def test_labels_match_paper(self):
+        assert get_scheme("ni-secded").label == "NI:SEC-DED"
+        assert "DuetECC" in get_scheme("duet").label
+        assert "TrioECC" in get_scheme("trio").label
+        assert get_scheme("ssc-dsd+").label == "SSC-DSD+"
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.sampled_from(ALL))
+def test_random_data_roundtrips(seed, name):
+    scheme = get_scheme(name)
+    data = np.random.default_rng(seed).integers(0, 2, DATA_BITS, dtype=np.uint8)
+    result = scheme.decode(scheme.encode(data))
+    assert result.status is DecodeStatus.CLEAN
+    assert np.array_equal(result.data, data)

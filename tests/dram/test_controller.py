@@ -1,0 +1,122 @@
+"""Tests for the protected-memory controller."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheme
+from repro.dram.controller import (
+    ProtectedMemory,
+    UncorrectableError,
+    bits_to_bytes,
+    bytes_to_bits,
+)
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+
+
+@pytest.fixture
+def memory():
+    device = SimulatedHBM2(HBM2Geometry.for_gpu(32))
+    return ProtectedMemory(device, get_scheme("trio"))
+
+
+PAYLOAD = bytes(range(32))
+
+
+class TestByteConversion:
+    def test_roundtrip(self):
+        assert bits_to_bytes(bytes_to_bits(PAYLOAD)) == PAYLOAD
+
+    def test_wrong_payload_size(self):
+        with pytest.raises(ValueError):
+            bytes_to_bits(b"short")
+
+    def test_wrong_bit_count(self):
+        with pytest.raises(ValueError):
+            bits_to_bytes(np.zeros(100, dtype=np.uint8))
+
+    def test_bit_order_lsb_first(self):
+        bits = bytes_to_bits(bytes([1]) + bytes(31))
+        assert bits[0] == 1 and not bits[1:8].any()
+
+
+class TestDataPath:
+    def test_write_read_roundtrip(self, memory):
+        memory.write(42, PAYLOAD)
+        assert memory.read(42) == PAYLOAD
+        assert memory.counters.reads == 1
+        assert memory.counters.writes == 1
+        assert memory.counters.corrected_errors == 0
+
+    def test_corrected_read_counts(self, memory):
+        memory.write(42, PAYLOAD)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[5] = 1
+        memory.device.inject_upset(42, flips)
+        assert memory.read(42) == PAYLOAD
+        assert memory.counters.corrected_errors == 1
+
+    def test_due_raises_and_counts(self, memory):
+        memory.write(42, PAYLOAD)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[[0, 100, 200]] = 1  # 3 scattered bits: DUE under TrioECC+CSC
+        memory.device.inject_upset(42, flips)
+        with pytest.raises(UncorrectableError) as excinfo:
+            memory.read(42)
+        assert excinfo.value.entry_index == 42
+        assert memory.counters.uncorrectable_errors == 1
+
+    def test_byte_error_corrected_transparently(self, memory):
+        memory.write(7, PAYLOAD)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[80:88] = 1
+        memory.device.inject_upset(7, flips)
+        assert memory.read(7) == PAYLOAD
+
+    def test_counters_snapshot(self, memory):
+        memory.write(1, PAYLOAD)
+        memory.read(1)
+        snapshot = memory.counters.snapshot()
+        assert snapshot["reads"] == 1 and snapshot["writes"] == 1
+
+
+class TestScrub:
+    def test_scrub_repairs_latent_errors(self, memory):
+        memory.write(10, PAYLOAD)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[3] = 1
+        memory.device.inject_upset(10, flips)
+
+        corrected, uncorrectable = memory.scrub()
+        assert corrected == 1 and uncorrectable == 0
+        # The upset is gone: a second flip in the same entry now corrects
+        # instead of accumulating into a double error.
+        flips2 = np.zeros(288, dtype=np.uint8)
+        flips2[150] = 1
+        memory.device.inject_upset(10, flips2)
+        assert memory.read(10) == PAYLOAD
+
+    def test_scrub_without_repair_accumulates(self):
+        device = SimulatedHBM2(HBM2Geometry.for_gpu(32))
+        memory = ProtectedMemory(device, get_scheme("ni-secded"))
+        memory.write(10, PAYLOAD)
+        # Two strikes landing in the same beat (= same SEC-DED codeword)
+        # with no scrub in between: a double error, uncorrectable.
+        for position in (3, 40):
+            flips = np.zeros(288, dtype=np.uint8)
+            flips[position] = 1
+            device.inject_upset(10, flips)
+        with pytest.raises(UncorrectableError):
+            memory.read(10)
+
+    def test_scrub_leaves_due_entries(self, memory):
+        memory.write(10, PAYLOAD)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[[0, 100, 200]] = 1
+        memory.device.inject_upset(10, flips)
+        corrected, uncorrectable = memory.scrub()
+        assert corrected == 0 and uncorrectable == 1
+
+    def test_scrub_counters(self, memory):
+        memory.scrub()
+        assert memory.counters.scrub_passes == 1

@@ -1,0 +1,144 @@
+"""Tests for the sparse simulated HBM2 device."""
+
+import numpy as np
+import pytest
+
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+from repro.dram.refresh import RefreshConfig, WeakCell
+
+
+def _zeros(entry_index):
+    return np.zeros(288, dtype=np.uint8)
+
+
+def _ones(entry_index):
+    return np.ones(288, dtype=np.uint8)
+
+
+@pytest.fixture
+def device():
+    return SimulatedHBM2(HBM2Geometry.for_gpu(32))
+
+
+class TestReadsAndWrites:
+    def test_default_background_is_zero(self, device):
+        assert not device.read_entry(12345).any()
+
+    def test_write_all_sets_background(self, device):
+        device.write_all(_ones)
+        assert device.read_entry(99).all()
+
+    def test_write_entry_overrides_background(self, device):
+        device.write_all(_ones)
+        bits = np.zeros(288, dtype=np.uint8)
+        bits[7] = 1
+        device.write_entry(5, bits)
+        assert np.array_equal(device.read_entry(5), bits)
+        assert device.read_entry(6).all()
+
+    def test_write_entry_validates(self, device):
+        with pytest.raises(ValueError):
+            device.write_entry(0, np.zeros(100, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            device.write_entry(2**40, np.zeros(288, dtype=np.uint8))
+
+
+class TestUpsets:
+    def test_upset_flips_bits(self, device):
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[[3, 200]] = 1
+        device.inject_upset(42, flips)
+        read = device.read_entry(42)
+        assert read[3] == 1 and read[200] == 1
+        assert read.sum() == 2
+
+    def test_upsets_compose_by_xor(self, device):
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[3] = 1
+        device.inject_upset(42, flips)
+        device.inject_upset(42, flips)  # cancels
+        assert not device.read_entry(42).any()
+        assert device.upset_entries == 0
+
+    def test_write_clears_upset(self, device):
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[3] = 1
+        device.inject_upset(42, flips)
+        device.write_entry(42, np.zeros(288, dtype=np.uint8))
+        assert not device.read_entry(42).any()
+
+    def test_write_all_clears_upsets(self, device):
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[3] = 1
+        device.inject_upset(42, flips)
+        device.write_all(_zeros)
+        assert device.upset_entries == 0
+
+    def test_zero_flip_ignored(self, device):
+        device.inject_upset(1, np.zeros(288, dtype=np.uint8))
+        assert device.upset_entries == 0
+
+
+class TestWeakCells:
+    def test_weak_cell_leaks_at_slow_refresh(self, device):
+        device.write_all(_ones)
+        device.install_weak_cell(WeakCell(10, 5, retention_s=8e-3))
+        device.set_refresh(RefreshConfig(16e-3))
+        assert device.read_entry(10)[5] == 0  # leaked 1 -> 0
+
+    def test_weak_cell_safe_at_fast_refresh(self, device):
+        device.write_all(_ones)
+        device.install_weak_cell(WeakCell(10, 5, retention_s=8e-3))
+        device.set_refresh(RefreshConfig(4e-3))
+        assert device.read_entry(10)[5] == 1
+
+    def test_leak_direction_matters(self, device):
+        # Cell leaking to 0 does not corrupt a stored 0.
+        device.install_weak_cell(WeakCell(10, 5, retention_s=1e-3))
+        assert device.read_entry(10)[5] == 0
+
+    def test_zero_to_one_leak(self, device):
+        device.install_weak_cell(WeakCell(10, 5, retention_s=1e-3, leaks_to=1))
+        assert device.read_entry(10)[5] == 1
+
+    def test_remove_weak_cell(self, device):
+        device.write_all(_ones)
+        device.install_weak_cell(WeakCell(10, 5, retention_s=1e-3))
+        device.remove_weak_cell(10, 5)
+        assert device.read_entry(10)[5] == 1
+        assert device.weak_cells == []
+
+
+class TestScan:
+    def test_scan_finds_only_real_mismatches(self, device):
+        device.write_all(_ones)
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[[1, 2]] = 1
+        device.inject_upset(7, flips)
+        device.install_weak_cell(WeakCell(9, 3, retention_s=1e-3))  # leaks
+        device.install_weak_cell(WeakCell(11, 4, retention_s=1.0))  # strong
+        mismatches = list(device.scan_mismatches(_ones))
+        found = {m.entry_index: m.bit_positions for m in mismatches}
+        assert found == {7: (1, 2), 9: (3,)}
+
+    def test_scan_clean_device_is_empty(self, device):
+        device.write_all(_ones)
+        assert list(device.scan_mismatches(_ones)) == []
+
+    def test_scan_visits_written_entries(self, device):
+        device.write_all(_zeros)
+        bits = np.zeros(288, dtype=np.uint8)
+        bits[0] = 1
+        device.write_entry(3, bits)
+        mismatches = list(device.scan_mismatches(_zeros))
+        assert mismatches[0].entry_index == 3
+
+    def test_scan_is_sparse(self, device):
+        # A 32GB device scan must not iterate a billion entries.
+        device.write_all(_zeros)
+        import time
+
+        start = time.time()
+        list(device.scan_mismatches(_zeros))
+        assert time.time() - start < 0.1

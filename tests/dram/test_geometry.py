@@ -1,0 +1,79 @@
+"""Tests for the HBM2 address hierarchy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.geometry import BitAddress, EntryAddress, HBM2Geometry
+
+
+@pytest.fixture(scope="module")
+def geometry():
+    return HBM2Geometry.for_gpu(32)
+
+
+class TestCapacities:
+    def test_paper_hierarchy_sizes(self, geometry):
+        # Section 2.4: 512MB channels, 16 banks, 32 subarrays, 2KB rows.
+        assert geometry.channel_bytes == 512 * 2**20
+        assert geometry.banks_per_channel == 16
+        assert geometry.subarrays_per_bank == 32
+        assert geometry.columns_per_row * geometry.entry_bytes == 2048
+
+    def test_total_capacity(self, geometry):
+        assert geometry.data_gigabytes == 32.0
+        assert geometry.total_entries == 2**30
+
+    def test_subarray_is_1mb(self, geometry):
+        assert geometry.entries_per_subarray * geometry.entry_bytes == 2**20
+
+    def test_entry_bits_include_ecc(self, geometry):
+        assert geometry.entry_bits == 288
+
+    def test_for_gpu_validation(self):
+        with pytest.raises(ValueError):
+            HBM2Geometry.for_gpu(6)
+
+    def test_16gb_variant(self):
+        assert HBM2Geometry.for_gpu(16).data_gigabytes == 16.0
+
+
+class TestAddressing:
+    def test_entry_zero(self, geometry):
+        address = geometry.decompose(0)
+        assert address == EntryAddress(0, 0, 0, 0, 0, 0)
+
+    def test_last_entry(self, geometry):
+        address = geometry.decompose(geometry.total_entries - 1)
+        assert address.stack == geometry.num_stacks - 1
+        assert address.column == geometry.columns_per_row - 1
+
+    def test_column_is_least_significant(self, geometry):
+        assert geometry.decompose(1).column == 1
+        assert geometry.decompose(geometry.columns_per_row).row == 1
+
+    def test_out_of_range(self, geometry):
+        with pytest.raises(ValueError):
+            geometry.decompose(geometry.total_entries)
+        with pytest.raises(ValueError):
+            geometry.decompose(-1)
+
+    @given(st.integers(min_value=0, max_value=2**30 - 1))
+    @settings(max_examples=100)
+    def test_compose_decompose_roundtrip(self, entry_index):
+        geometry = HBM2Geometry.for_gpu(32)
+        assert geometry.compose(geometry.decompose(entry_index)) == entry_index
+
+    def test_same_subarray(self, geometry):
+        per = geometry.entries_per_subarray
+        assert geometry.same_subarray(0, per - 1)
+        assert not geometry.same_subarray(0, per)
+
+
+class TestBitAddress:
+    def test_mat_is_byte_granular(self, geometry):
+        entry = geometry.decompose(0)
+        assert BitAddress(entry, 0).mat == 0
+        assert BitAddress(entry, 7).mat == 0
+        assert BitAddress(entry, 8).mat == 1
+        assert BitAddress(entry, 287).mat == 35

@@ -1,0 +1,39 @@
+"""Tests for refresh configuration and weak-cell semantics."""
+
+import pytest
+
+from repro.dram.refresh import DEFAULT_REFRESH_PERIOD_S, RefreshConfig, WeakCell
+
+
+class TestRefreshConfig:
+    def test_default_is_16ms(self):
+        assert DEFAULT_REFRESH_PERIOD_S == 16e-3
+        assert RefreshConfig().period_ms == 16.0
+
+    def test_positive_period_required(self):
+        with pytest.raises(ValueError):
+            RefreshConfig(period_s=0.0)
+        with pytest.raises(ValueError):
+            RefreshConfig(period_s=-1.0)
+
+
+class TestWeakCell:
+    def test_leaks_under_slower_refresh(self):
+        cell = WeakCell(0, 0, retention_s=10e-3)
+        assert cell.leaks_under(RefreshConfig(16e-3))
+        assert not cell.leaks_under(RefreshConfig(8e-3))
+
+    def test_boundary_is_exclusive(self):
+        cell = WeakCell(0, 0, retention_s=16e-3)
+        assert not cell.leaks_under(RefreshConfig(16e-3))
+
+    def test_corrupts_only_opposite_polarity(self):
+        cell = WeakCell(0, 0, retention_s=1e-3, leaks_to=0)
+        fast = RefreshConfig(0.5e-3)
+        slow = RefreshConfig(16e-3)
+        assert cell.corrupts(stored_bit=1, refresh=slow)
+        assert not cell.corrupts(stored_bit=0, refresh=slow)
+        assert not cell.corrupts(stored_bit=1, refresh=fast)
+
+    def test_default_direction_is_one_to_zero(self):
+        assert WeakCell(0, 0, retention_s=1e-3).leaks_to == 0

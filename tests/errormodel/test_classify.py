@@ -1,0 +1,114 @@
+"""Tests for error-pattern classification and the priority rule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.layout import ENTRY_BITS, bits_of_beat, bits_of_byte, bits_of_pin
+from repro.errormodel.classify import classify_error, classify_errors_batch
+from repro.errormodel.patterns import ErrorPattern
+
+
+def _error(positions):
+    error = np.zeros(ENTRY_BITS, dtype=np.uint8)
+    error[list(positions)] = 1
+    return error
+
+
+class TestScalarClassification:
+    def test_single_bit(self):
+        assert classify_error(_error([17])) is ErrorPattern.BIT
+
+    def test_pin(self):
+        bits = bits_of_pin(5)
+        assert classify_error(_error(bits[:2])) is ErrorPattern.PIN
+        assert classify_error(_error(bits)) is ErrorPattern.PIN
+
+    def test_byte(self):
+        bits = bits_of_byte(7)
+        assert classify_error(_error(bits[:2])) is ErrorPattern.BYTE
+        assert classify_error(_error(bits)) is ErrorPattern.BYTE
+
+    def test_double_bit(self):
+        assert classify_error(_error([0, 100])) is ErrorPattern.DOUBLE_BIT
+
+    def test_triple_bit(self):
+        assert classify_error(_error([0, 100, 200])) is ErrorPattern.TRIPLE_BIT
+
+    def test_beat(self):
+        bits = bits_of_beat(2)[::9][:5]  # 5 scattered bits within one beat
+        assert classify_error(_error(bits)) is ErrorPattern.BEAT
+
+    def test_entry(self):
+        assert classify_error(_error([0, 10, 80, 150, 220])) is ErrorPattern.ENTRY
+
+    def test_zero_error_rejected(self):
+        with pytest.raises(ValueError):
+            classify_error(np.zeros(ENTRY_BITS, dtype=np.uint8))
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ValueError):
+            classify_error(np.zeros(100, dtype=np.uint8))
+
+
+class TestPriorityRule:
+    """"Priority is given to less-difficult errors whenever multiple
+    patterns fit" — the paper's tie-breaking rule."""
+
+    def test_two_bits_in_byte_is_byte_not_double(self):
+        bits = bits_of_byte(3)
+        assert classify_error(_error([bits[0], bits[5]])) is ErrorPattern.BYTE
+
+    def test_two_bits_in_pin_is_pin_not_double(self):
+        bits = bits_of_pin(60)
+        assert classify_error(_error([bits[0], bits[3]])) is ErrorPattern.PIN
+
+    def test_three_bits_within_beat_is_triple_not_beat(self):
+        beat = bits_of_beat(1)
+        positions = [beat[0], beat[9], beat[20]]
+        assert classify_error(_error(positions)) is ErrorPattern.TRIPLE_BIT
+
+    def test_full_byte_is_byte_not_beat(self):
+        assert classify_error(_error(bits_of_byte(10))) is ErrorPattern.BYTE
+
+    def test_four_scattered_in_beat_is_beat(self):
+        beat = bits_of_beat(0)
+        positions = [beat[0], beat[9], beat[20], beat[33]]
+        assert classify_error(_error(positions)) is ErrorPattern.BEAT
+
+
+class TestBatchClassification:
+    def test_batch_matches_scalar_on_constructed(self):
+        cases = [
+            _error([5]),
+            _error(bits_of_pin(3)),
+            _error(bits_of_byte(20)),
+            _error([0, 100]),
+            _error([0, 100, 200]),
+            _error([0, 9, 20, 33]),
+            _error([0, 80, 160, 240]),
+        ]
+        batch = classify_errors_batch(np.stack(cases))
+        for row, case in enumerate(cases):
+            assert batch[row] is classify_error(case), row
+
+    @given(st.lists(
+        st.lists(st.integers(min_value=0, max_value=ENTRY_BITS - 1),
+                 min_size=1, max_size=12, unique=True),
+        min_size=1, max_size=25,
+    ))
+    @settings(max_examples=50, deadline=None)
+    def test_batch_equals_scalar(self, position_lists):
+        errors = np.stack([_error(p) for p in position_lists])
+        batch = classify_errors_batch(errors)
+        for row, positions in enumerate(position_lists):
+            assert batch[row] is classify_error(_error(positions))
+
+    def test_zero_rows_rejected(self):
+        with pytest.raises(ValueError):
+            classify_errors_batch(np.zeros((2, ENTRY_BITS), dtype=np.uint8))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            classify_errors_batch(np.ones((2, 100), dtype=np.uint8))

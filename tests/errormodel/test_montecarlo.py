@@ -1,0 +1,175 @@
+"""Tests for the Table 2 / Figure 8 evaluation harness."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheme
+from repro.errormodel.montecarlo import (
+    PatternOutcome,
+    evaluate_pattern,
+    evaluate_scheme,
+    sdc_risk_table,
+    weighted_outcomes,
+)
+from repro.errormodel.patterns import TABLE1_PROBABILITIES, ErrorPattern
+
+SAMPLES = 4000  # small but adequate for structural assertions
+
+
+@pytest.fixture(scope="module")
+def trio_outcomes():
+    return evaluate_scheme(get_scheme("trio"), samples=SAMPLES, seed=1)
+
+
+@pytest.fixture(scope="module")
+def secded_outcomes():
+    return evaluate_scheme(get_scheme("ni-secded"), samples=SAMPLES, seed=1)
+
+
+class TestGuaranteedCells:
+    """Table-2 cells that are exact guarantees ("C" or "D")."""
+
+    def test_everyone_corrects_single_bits(self, trio_outcomes, secded_outcomes):
+        assert trio_outcomes[ErrorPattern.BIT].dce == 1.0
+        assert secded_outcomes[ErrorPattern.BIT].dce == 1.0
+
+    def test_trio_corrects_bytes(self, trio_outcomes):
+        assert trio_outcomes[ErrorPattern.BYTE].dce == 1.0
+
+    def test_trio_corrects_pins(self, trio_outcomes):
+        assert trio_outcomes[ErrorPattern.PIN].dce == 1.0
+
+    def test_duet_zero_byte_sdc(self):
+        outcome = evaluate_pattern(get_scheme("duet"), ErrorPattern.BYTE)
+        assert outcome.sdc == 0.0
+
+    def test_secded_byte_sdc_positive(self, secded_outcomes):
+        assert secded_outcomes[ErrorPattern.BYTE].sdc > 0.2
+
+    def test_dsd_detects_pins(self):
+        outcome = evaluate_pattern(get_scheme("ssc-dsd+"), ErrorPattern.PIN)
+        assert outcome.due == 1.0
+
+    def test_dsd_detects_doubles_and_triples(self):
+        scheme = get_scheme("ssc-dsd+")
+        rng = np.random.default_rng(0)
+        double = evaluate_pattern(scheme, ErrorPattern.DOUBLE_BIT)
+        triple = evaluate_pattern(scheme, ErrorPattern.TRIPLE_BIT,
+                                  samples=SAMPLES, rng=rng)
+        assert double.sdc == 0.0
+        assert triple.sdc == 0.0
+
+
+class TestExhaustiveness:
+    def test_exhaustive_flags(self, trio_outcomes):
+        assert trio_outcomes[ErrorPattern.BIT].exhaustive
+        assert trio_outcomes[ErrorPattern.PIN].exhaustive
+        assert trio_outcomes[ErrorPattern.BYTE].exhaustive
+        assert trio_outcomes[ErrorPattern.DOUBLE_BIT].exhaustive
+        assert not trio_outcomes[ErrorPattern.BEAT].exhaustive
+        assert not trio_outcomes[ErrorPattern.ENTRY].exhaustive
+
+    def test_event_counts(self, trio_outcomes):
+        assert trio_outcomes[ErrorPattern.BIT].events == 288
+        assert trio_outcomes[ErrorPattern.PIN].events == 792
+        assert trio_outcomes[ErrorPattern.BYTE].events == 8892
+        assert trio_outcomes[ErrorPattern.BEAT].events == SAMPLES
+
+    def test_fractions_sum_to_one(self, trio_outcomes):
+        for outcome in trio_outcomes.values():
+            assert abs(outcome.dce + outcome.due + outcome.sdc - 1.0) < 1e-12
+
+    def test_confidence_zero_for_exhaustive(self, trio_outcomes):
+        assert trio_outcomes[ErrorPattern.BIT].sdc_confidence_99 == 0.0
+        assert trio_outcomes[ErrorPattern.BEAT].sdc_confidence_99 > 0.0
+
+
+class TestCells:
+    def test_cell_rendering(self):
+        corrected = PatternOutcome(ErrorPattern.BIT, 10, 1.0, 0.0, 0.0, True)
+        detected = PatternOutcome(ErrorPattern.BYTE, 10, 0.0, 1.0, 0.0, True)
+        risky = PatternOutcome(ErrorPattern.BEAT, 10, 0.5, 0.4, 0.1, False)
+        assert corrected.cell() == "C"
+        assert detected.cell() == "D"
+        assert "%" in risky.cell()
+
+
+class TestWeightedOutcomes:
+    def test_probabilities_sum_to_one(self, trio_outcomes):
+        outcome = weighted_outcomes(get_scheme("trio"),
+                                    per_pattern=trio_outcomes)
+        assert abs(outcome.correct + outcome.detect + outcome.sdc - 1.0) < 1e-9
+
+    def test_reuses_per_pattern(self, trio_outcomes):
+        outcome = weighted_outcomes(get_scheme("trio"),
+                                    per_pattern=trio_outcomes)
+        assert outcome.per_pattern is trio_outcomes
+
+    def test_paper_orderings(self, trio_outcomes, secded_outcomes):
+        trio = weighted_outcomes(get_scheme("trio"), per_pattern=trio_outcomes)
+        secded = weighted_outcomes(get_scheme("ni-secded"),
+                                   per_pattern=secded_outcomes)
+        # TrioECC corrects more, crashes less, corrupts far less.
+        assert trio.correct > secded.correct
+        assert trio.detect < secded.detect
+        assert trio.sdc < secded.sdc / 100
+
+    def test_secded_headline_numbers(self, secded_outcomes):
+        outcome = weighted_outcomes(get_scheme("ni-secded"),
+                                    per_pattern=secded_outcomes)
+        # Paper: ~74% corrected, ~20% detected, ~5.4% SDC.
+        assert 0.70 < outcome.correct < 0.78
+        assert 0.14 < outcome.detect < 0.26
+        assert 0.03 < outcome.sdc < 0.11
+
+    def test_custom_probabilities(self, trio_outcomes):
+        only_bits = {pattern: 0.0 for pattern in ErrorPattern}
+        only_bits[ErrorPattern.BIT] = 1.0
+        outcome = weighted_outcomes(get_scheme("trio"),
+                                    probabilities=only_bits,
+                                    per_pattern=trio_outcomes)
+        assert outcome.correct == 1.0
+
+    def test_uncorrectable_accessor(self, trio_outcomes):
+        outcome = weighted_outcomes(get_scheme("trio"),
+                                    per_pattern=trio_outcomes)
+        assert outcome.uncorrectable() == outcome.detect
+
+
+class TestTable2:
+    def test_table_structure(self):
+        schemes = [get_scheme("ni-secded"), get_scheme("trio")]
+        table = sdc_risk_table(schemes, samples=1000, seed=2)
+        assert set(table) == {"ni-secded", "trio"}
+        for outcomes in table.values():
+            assert set(outcomes) == set(ErrorPattern)
+
+    def test_determinism(self):
+        scheme = get_scheme("duet")
+        first = evaluate_scheme(scheme, samples=1000, seed=3)
+        second = evaluate_scheme(scheme, samples=1000, seed=3)
+        for pattern in ErrorPattern:
+            assert first[pattern].sdc == second[pattern].sdc
+
+
+class TestExhaustiveTriples:
+    def test_exhaustive_triples_agree_with_sampling(self):
+        """The full 3.7M-pattern 3-bit space, decoded exhaustively, must
+        agree with the sampled estimate within its confidence interval.
+        (This is the suite's one deliberately heavy test: ~15s.)"""
+        from repro.errormodel.sampling import count_triple_bit_errors
+
+        scheme = get_scheme("ni-secded")
+        exhaustive = evaluate_pattern(
+            scheme, ErrorPattern.TRIPLE_BIT, exhaustive_triples=True
+        )
+        assert exhaustive.exhaustive
+        assert exhaustive.events == count_triple_bit_errors()
+
+        sampled = evaluate_pattern(
+            scheme, ErrorPattern.TRIPLE_BIT, samples=30_000,
+            rng=np.random.default_rng(0),
+        )
+        margin = 3 * sampled.sdc_confidence_99 + 1e-3
+        assert abs(sampled.sdc - exhaustive.sdc) < margin
+        assert abs(sampled.due - exhaustive.due) < 0.02

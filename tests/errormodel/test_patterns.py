@@ -1,0 +1,37 @@
+"""Tests for the Table-1 pattern definitions."""
+
+from repro.errormodel.patterns import (
+    PATTERN_BIT_RANGES,
+    TABLE1_PROBABILITIES,
+    ErrorPattern,
+)
+
+
+class TestTable1:
+    def test_probabilities_sum_to_one(self):
+        assert abs(sum(TABLE1_PROBABILITIES.values()) - 1.0) < 1e-9
+
+    def test_paper_values(self):
+        assert TABLE1_PROBABILITIES[ErrorPattern.BIT] == 0.7398
+        assert TABLE1_PROBABILITIES[ErrorPattern.PIN] == 0.0019
+        assert TABLE1_PROBABILITIES[ErrorPattern.BYTE] == 0.2256
+        assert TABLE1_PROBABILITIES[ErrorPattern.DOUBLE_BIT] == 0.0011
+        assert TABLE1_PROBABILITIES[ErrorPattern.TRIPLE_BIT] == 0.0003
+        assert TABLE1_PROBABILITIES[ErrorPattern.BEAT] == 0.0090
+        assert TABLE1_PROBABILITIES[ErrorPattern.ENTRY] == 0.0223
+
+    def test_all_patterns_covered(self):
+        assert set(TABLE1_PROBABILITIES) == set(ErrorPattern)
+        assert set(PATTERN_BIT_RANGES) == set(ErrorPattern)
+
+    def test_difficulty_ordering(self):
+        ordered = sorted(ErrorPattern, key=lambda p: p.difficulty)
+        assert ordered == list(ErrorPattern)
+        assert ErrorPattern.BIT.difficulty < ErrorPattern.BYTE.difficulty
+        assert ErrorPattern.BEAT.difficulty < ErrorPattern.ENTRY.difficulty
+
+    def test_bit_ranges_match_paper(self):
+        assert PATTERN_BIT_RANGES[ErrorPattern.BIT] == (1, 1)
+        assert PATTERN_BIT_RANGES[ErrorPattern.PIN] == (2, 4)
+        assert PATTERN_BIT_RANGES[ErrorPattern.BYTE] == (2, 8)
+        assert PATTERN_BIT_RANGES[ErrorPattern.ENTRY] == (4, 256)

@@ -1,0 +1,77 @@
+"""Tests for degraded operation with a permanent pin fault."""
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheme
+from repro.core.layout import NUM_PINS, pin_of
+from repro.errormodel.permanent import (
+    evaluate_with_stuck_pin,
+    sample_stuck_pin_flips,
+)
+
+SAMPLES = 8000
+
+
+class TestStuckPinSampler:
+    def test_flips_confined_to_pin(self):
+        rng = np.random.default_rng(0)
+        flips = sample_stuck_pin_flips(13, 200, rng)
+        for row in flips:
+            positions = np.nonzero(row)[0]
+            assert np.all(pin_of(positions) == 13)
+
+    def test_half_density(self):
+        rng = np.random.default_rng(1)
+        flips = sample_stuck_pin_flips(5, 4000, rng)
+        assert flips.sum() / (4000 * 4) == pytest.approx(0.5, abs=0.03)
+
+    def test_invalid_pin(self):
+        rng = np.random.default_rng(2)
+        with pytest.raises(ValueError):
+            sample_stuck_pin_flips(NUM_PINS, 1, rng)
+
+
+class TestDegradedOperation:
+    def test_pin_correcting_schemes_survive(self):
+        for name in ("ni-secded", "duet", "trio", "i-ssc"):
+            outcome = evaluate_with_stuck_pin(
+                get_scheme(name), samples=SAMPLES, seed=3
+            )
+            assert outcome.due_without_soft_error == 0.0, name
+            assert outcome.survives_degraded, name
+
+    def test_ssc_dsd_cannot_run_degraded(self):
+        outcome = evaluate_with_stuck_pin(
+            get_scheme("ssc-dsd+"), samples=SAMPLES, seed=3
+        )
+        # A dead pin corrupts 2+ symbols on most accesses: constant DUEs.
+        assert outcome.due_without_soft_error > 0.5
+        assert not outcome.survives_degraded
+
+    def test_duet_stays_safe_under_degradation(self):
+        outcome = evaluate_with_stuck_pin(get_scheme("duet"),
+                                          samples=SAMPLES, seed=4)
+        assert outcome.sdc_with_soft_error < 0.002
+
+    def test_degradation_costs_correction(self):
+        """With a dead pin, concurrent soft errors mostly become DUEs —
+        the CSC refuses the now-misaligned correction constellations."""
+        healthy_like = evaluate_with_stuck_pin(get_scheme("trio"),
+                                               samples=SAMPLES, seed=5)
+        assert healthy_like.due_with_soft_error > 0.5
+
+    def test_outcome_fractions_sum(self):
+        outcome = evaluate_with_stuck_pin(get_scheme("trio"),
+                                          samples=SAMPLES, seed=6)
+        total = (outcome.correct_with_soft_error
+                 + outcome.due_with_soft_error
+                 + outcome.sdc_with_soft_error)
+        assert total == pytest.approx(1.0)
+
+    def test_deterministic(self):
+        first = evaluate_with_stuck_pin(get_scheme("duet"),
+                                        samples=2000, seed=7)
+        second = evaluate_with_stuck_pin(get_scheme("duet"),
+                                         samples=2000, seed=7)
+        assert first == second

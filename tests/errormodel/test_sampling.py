@@ -1,0 +1,137 @@
+"""Tests for exhaustive enumerators and random samplers."""
+
+import numpy as np
+import pytest
+
+from repro.errormodel.classify import classify_errors_batch
+from repro.errormodel.patterns import ErrorPattern
+from repro.errormodel.sampling import (
+    count_triple_bit_errors,
+    enumerate_bit_errors,
+    enumerate_byte_errors,
+    enumerate_double_bit_errors,
+    enumerate_pin_errors,
+    iter_triple_bit_errors,
+    pattern_space_size,
+    sample_beat_errors,
+    sample_entry_errors,
+    sample_pattern,
+    sample_triple_bit_errors,
+)
+
+
+class TestEnumerations:
+    def test_bit_space(self):
+        errors = enumerate_bit_errors()
+        assert errors.shape == (288, 288)
+        assert np.all(errors.sum(axis=1) == 1)
+
+    def test_pin_space(self):
+        errors = enumerate_pin_errors()
+        assert errors.shape[0] == 72 * 11  # 792
+        labels = classify_errors_batch(errors)
+        assert all(label is ErrorPattern.PIN for label in labels)
+
+    def test_byte_space(self):
+        errors = enumerate_byte_errors()
+        assert errors.shape[0] == 36 * 247  # 8892
+        labels = classify_errors_batch(errors[:500])
+        assert all(label is ErrorPattern.BYTE for label in labels)
+
+    def test_double_bit_space(self):
+        errors = enumerate_double_bit_errors()
+        assert errors.shape[0] == 39888
+        assert np.all(errors.sum(axis=1) == 2)
+        labels = classify_errors_batch(errors[::200])
+        assert all(label is ErrorPattern.DOUBLE_BIT for label in labels)
+
+    def test_double_bit_count_closed_form(self):
+        total = 288 * 287 // 2
+        same_pin = 72 * 6  # C(4,2) per pin
+        same_byte = 36 * 28  # C(8,2) per byte
+        assert enumerate_double_bit_errors().shape[0] == total - same_pin - same_byte
+
+    def test_no_duplicate_patterns(self):
+        errors = enumerate_pin_errors()
+        unique = {tuple(np.nonzero(row)[0].tolist()) for row in errors}
+        assert len(unique) == errors.shape[0]
+
+
+class TestTripleBits:
+    def test_count_closed_form(self):
+        expected = 288 * 287 * 286 // 6 - 72 * 4 - 36 * 56
+        assert count_triple_bit_errors() == expected
+
+    def test_iterator_blocks_valid(self):
+        chunk = next(iter_triple_bit_errors(chunk=2048))
+        assert chunk.shape[0] <= 2048 and chunk.shape[1] == 288
+        assert np.all(chunk.sum(axis=1) == 3)
+        labels = classify_errors_batch(chunk[::100])
+        assert all(label is ErrorPattern.TRIPLE_BIT for label in labels)
+
+    def test_iterator_total_matches_closed_form(self):
+        total = sum(block.shape[0] for block in iter_triple_bit_errors())
+        assert total == count_triple_bit_errors()
+
+    def test_iterator_triples_unique(self):
+        seen = set()
+        for block in iter_triple_bit_errors(chunk=100_000):
+            for row in block[:50]:  # spot-check each block's head
+                seen.add(tuple(np.nonzero(row)[0].tolist()))
+        assert len(seen) == len({tuple(sorted(t)) for t in seen})
+
+    def test_sampler(self):
+        rng = np.random.default_rng(0)
+        errors = sample_triple_bit_errors(500, rng)
+        assert errors.shape == (500, 288)
+        labels = classify_errors_batch(errors)
+        assert all(label is ErrorPattern.TRIPLE_BIT for label in labels)
+
+
+class TestRandomSamplers:
+    def test_beat_errors_classify_correctly(self):
+        rng = np.random.default_rng(1)
+        errors = sample_beat_errors(300, rng)
+        labels = classify_errors_batch(errors)
+        assert all(label is ErrorPattern.BEAT for label in labels)
+
+    def test_beat_errors_confined_to_one_beat(self):
+        rng = np.random.default_rng(2)
+        errors = sample_beat_errors(100, rng)
+        for row in errors:
+            beats = {int(i) // 72 for i in np.nonzero(row)[0]}
+            assert len(beats) == 1
+
+    def test_entry_errors_classify_correctly(self):
+        rng = np.random.default_rng(3)
+        errors = sample_entry_errors(300, rng)
+        labels = classify_errors_batch(errors)
+        assert all(label is ErrorPattern.ENTRY for label in labels)
+
+    def test_entry_errors_have_binomial_weight(self):
+        rng = np.random.default_rng(4)
+        weights = sample_entry_errors(500, rng).sum(axis=1)
+        assert 130 < weights.mean() < 158  # ~144 expected
+
+    def test_determinism(self):
+        first = sample_beat_errors(50, np.random.default_rng(7))
+        second = sample_beat_errors(50, np.random.default_rng(7))
+        assert np.array_equal(first, second)
+
+
+class TestDispatcher:
+    @pytest.mark.parametrize("pattern", list(ErrorPattern))
+    def test_sample_pattern_yields_requested_class(self, pattern):
+        rng = np.random.default_rng(5)
+        errors = sample_pattern(pattern, 64, rng)
+        assert errors.shape == (64, 288)
+        labels = classify_errors_batch(errors)
+        assert all(label is pattern for label in labels)
+
+    def test_space_sizes(self):
+        assert pattern_space_size(ErrorPattern.BIT) == 288
+        assert pattern_space_size(ErrorPattern.PIN) == 792
+        assert pattern_space_size(ErrorPattern.BYTE) == 8892
+        assert pattern_space_size(ErrorPattern.DOUBLE_BIT) == 39888
+        assert pattern_space_size(ErrorPattern.BEAT) is None
+        assert pattern_space_size(ErrorPattern.ENTRY) is None

@@ -1,0 +1,145 @@
+"""Field-axiom and table tests for GF(2^8) over the paper's polynomial."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.gf.gf256 import (
+    EXP_TABLE,
+    GENERATOR,
+    LOG_TABLE,
+    ORDER,
+    PRIMITIVE_POLY,
+    dlog,
+    gf_div,
+    gf_inv,
+    gf_mul,
+    gf_pow,
+    gf_pow_generator,
+    is_primitive,
+)
+
+elements = st.integers(min_value=0, max_value=255)
+nonzero = st.integers(min_value=1, max_value=255)
+
+
+class TestPolynomial:
+    def test_paper_polynomial_value(self):
+        # x^8 + x^6 + x^5 + x + 1
+        assert PRIMITIVE_POLY == 0b1_0110_0011
+
+    def test_paper_polynomial_is_primitive(self):
+        assert is_primitive(PRIMITIVE_POLY)
+
+    def test_reducible_polynomial_is_not_primitive(self):
+        # x^8 + 1 = (x+1)^8 over GF(2)
+        assert not is_primitive(0x101)
+
+    def test_irreducible_but_not_primitive(self):
+        # x^8+x^4+x^3+x+1 (AES polynomial) is irreducible but NOT primitive.
+        assert not is_primitive(0x11B)
+
+    def test_wrong_degree(self):
+        assert not is_primitive(0xB)  # degree 3
+
+
+class TestTables:
+    def test_exp_log_inverse(self):
+        for value in range(1, 256):
+            assert int(EXP_TABLE[LOG_TABLE[value]]) == value
+
+    def test_exp_cycle(self):
+        assert int(EXP_TABLE[0]) == 1
+        assert int(EXP_TABLE[ORDER]) == 1  # wrapped copy
+
+    def test_log_zero_sentinel(self):
+        assert LOG_TABLE[0] == -1
+        assert dlog(0) == -1
+
+    def test_generator_log(self):
+        assert dlog(GENERATOR) == 1
+
+
+class TestAxioms:
+    @given(elements, elements)
+    def test_commutative(self, a, b):
+        assert gf_mul(a, b) == gf_mul(b, a)
+
+    @given(elements, elements, elements)
+    def test_associative(self, a, b, c):
+        assert gf_mul(gf_mul(a, b), c) == gf_mul(a, gf_mul(b, c))
+
+    @given(elements, elements, elements)
+    def test_distributive(self, a, b, c):
+        assert gf_mul(a, b ^ c) == gf_mul(a, b) ^ gf_mul(a, c)
+
+    @given(elements)
+    def test_multiplicative_identity(self, a):
+        assert gf_mul(a, 1) == a
+
+    @given(elements)
+    def test_zero_annihilates(self, a):
+        assert gf_mul(a, 0) == 0
+
+    @given(nonzero)
+    def test_inverse(self, a):
+        assert gf_mul(a, gf_inv(a)) == 1
+
+    @given(nonzero, nonzero)
+    def test_division(self, a, b):
+        assert gf_mul(gf_div(a, b), b) == a
+
+
+class TestDivision:
+    def test_divide_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            gf_div(5, 0)
+
+    def test_zero_numerator(self):
+        assert gf_div(0, 17) == 0
+
+
+class TestPow:
+    def test_pow_zero_exponent(self):
+        assert gf_pow(0x53, 0) == 1
+        assert gf_pow(0, 0) == 1  # convention
+
+    def test_pow_matches_repeated_mul(self):
+        value = 1
+        for exponent in range(1, 20):
+            value = gf_mul(value, 0x1D)
+            assert gf_pow(0x1D, exponent) == value
+
+    def test_zero_base(self):
+        assert gf_pow(0, 5) == 0
+
+    def test_generator_order(self):
+        assert gf_pow(GENERATOR, ORDER) == 1
+        for exponent in range(1, ORDER):
+            assert gf_pow(GENERATOR, exponent) != 1 or exponent == 0
+
+    def test_pow_generator_negative(self):
+        assert gf_mul(gf_pow_generator(-3), gf_pow_generator(3)) == 1
+
+
+class TestVectorized:
+    def test_mul_array_matches_scalar(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, 200, dtype=np.uint8)
+        b = rng.integers(0, 256, 200, dtype=np.uint8)
+        products = gf_mul(a, b)
+        for i in range(200):
+            assert int(products[i]) == gf_mul(int(a[i]), int(b[i]))
+
+    def test_broadcasting(self):
+        a = np.arange(256, dtype=np.uint8)
+        doubled = gf_mul(a, np.uint8(2))
+        assert doubled.shape == (256,)
+        assert int(doubled[1]) == 2
+
+    def test_div_array(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 50, dtype=np.uint8)
+        b = rng.integers(1, 256, 50, dtype=np.uint8)
+        assert np.array_equal(gf_mul(gf_div(a, b), b), a)

@@ -1,0 +1,142 @@
+"""Tests for polynomials over GF(2^8)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gf.gf256 import EXP_TABLE, gf_mul
+from repro.gf.polynomial import Poly
+
+coeff_lists = st.lists(st.integers(min_value=0, max_value=255), max_size=12)
+
+
+def poly_strategy():
+    return coeff_lists.map(Poly)
+
+
+class TestStructure:
+    def test_zero(self):
+        assert Poly.zero().is_zero()
+        assert Poly.zero().degree == -1
+
+    def test_trailing_zeros_trimmed(self):
+        assert Poly([1, 2, 0, 0]).degree == 1
+
+    def test_one_and_x(self):
+        assert Poly.one().degree == 0
+        assert Poly.x().degree == 1
+        assert Poly.x()[1] == 1
+
+    def test_monomial(self):
+        p = Poly.monomial(5, 7)
+        assert p.degree == 5
+        assert p[5] == 7
+        assert p[4] == 0
+
+    def test_getitem_out_of_range(self):
+        assert Poly([1])[100] == 0
+
+    def test_equality_and_hash(self):
+        assert Poly([1, 2]) == Poly([1, 2, 0])
+        assert hash(Poly([1, 2])) == hash(Poly([1, 2, 0]))
+        assert Poly([1]) != Poly([2])
+
+    def test_repr(self):
+        assert "Poly" in repr(Poly([3, 0, 1]))
+        assert repr(Poly.zero()) == "Poly(0)"
+
+
+class TestRingOps:
+    @given(poly_strategy(), poly_strategy())
+    def test_addition_commutative(self, a, b):
+        assert a + b == b + a
+
+    @given(poly_strategy())
+    def test_addition_self_cancels(self, a):
+        assert (a + a).is_zero()  # characteristic 2
+
+    @given(poly_strategy(), poly_strategy(), poly_strategy())
+    @settings(max_examples=40)
+    def test_multiplication_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(poly_strategy(), poly_strategy())
+    @settings(max_examples=40)
+    def test_multiplication_commutative(self, a, b):
+        assert a * b == b * a
+
+    def test_degree_of_product(self):
+        a, b = Poly([1, 2, 3]), Poly([5, 7])
+        assert (a * b).degree == a.degree + b.degree
+
+    def test_scale(self):
+        p = Poly([1, 2, 4])
+        assert p.scale(0).is_zero()
+        assert p.scale(1) == p
+
+    def test_shift(self):
+        assert Poly([1, 2]).shift(2) == Poly([0, 0, 1, 2])
+
+
+class TestDivision:
+    @given(poly_strategy(), poly_strategy())
+    @settings(max_examples=60)
+    def test_divmod_invariant(self, a, b):
+        if b.is_zero():
+            return
+        quotient, remainder = a.divmod(b)
+        assert quotient * b + remainder == a
+        assert remainder.degree < b.degree
+
+    def test_divide_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Poly([1]).divmod(Poly.zero())
+
+    def test_mod_and_floordiv(self):
+        a, b = Poly([1, 0, 0, 1]), Poly([1, 1])
+        assert (a // b) * b + (a % b) == a
+
+
+class TestEvaluation:
+    def test_eval_constant(self):
+        assert Poly([7]).eval(123) == 7
+
+    def test_eval_batch_matches_scalar(self):
+        p = Poly([3, 1, 4, 1, 5])
+        points = np.arange(256, dtype=np.uint8)
+        values = p.eval(points)
+        for x in (0, 1, 2, 17, 255):
+            assert int(values[x]) == p.eval(x)
+
+    def test_from_roots_has_those_roots(self):
+        roots = [1, 2, 37, 200]
+        p = Poly.from_roots(roots)
+        assert p.degree == 4
+        for root in roots:
+            assert p.eval(root) == 0
+        assert sorted(p.roots()) == sorted(roots)
+
+    def test_derivative_char2(self):
+        # d/dx (c0 + c1 x + c2 x^2 + c3 x^3) = c1 + c3 x^2 in char 2
+        p = Poly([9, 8, 7, 6])
+        d = p.derivative()
+        assert d[0] == 8
+        assert d[1] == 0
+        assert d[2] == 6
+
+    def test_derivative_of_constant(self):
+        assert Poly([5]).derivative().is_zero()
+
+
+class TestRSGenerator:
+    @pytest.mark.parametrize("num_check", [1, 2, 4, 8])
+    def test_generator_degree_and_roots(self, num_check):
+        g = Poly.rs_generator(num_check)
+        assert g.degree == num_check
+        for power in range(num_check):
+            assert g.eval(int(EXP_TABLE[power])) == 0
+
+    def test_generator_is_monic(self):
+        g = Poly.rs_generator(4)
+        assert g[g.degree] == 1

@@ -1,0 +1,161 @@
+"""Tests for the gate-level netlist and timing/area estimation."""
+
+import pytest
+
+from repro.hardware.circuit import Circuit
+from repro.hardware.gates import GATE_SPECS, GateKind
+
+
+class TestBasics:
+    def test_inputs_are_free(self):
+        circuit = Circuit("c")
+        circuit.add_input(10)
+        assert circuit.area() == 0.0
+        assert circuit.gate_count() == 0
+
+    def test_single_gate_area_and_delay(self):
+        circuit = Circuit("c")
+        a, b = circuit.add_input(2)
+        out = circuit.gate(GateKind.XOR2, a, b)
+        circuit.mark_output("o", out)
+        spec = GATE_SPECS[GateKind.XOR2]
+        assert circuit.area() == spec.area
+        assert circuit.delay_ns() == spec.delay_ns
+        assert circuit.gate_count() == 1
+
+    def test_fanin_validation(self):
+        circuit = Circuit("c")
+        (a,) = circuit.add_input(1)
+        with pytest.raises(ValueError):
+            circuit.gate(GateKind.AND2, a)
+
+    def test_constants_are_free(self):
+        circuit = Circuit("c")
+        circuit.const(0)
+        circuit.const(1)
+        assert circuit.area() == 0.0
+
+
+class TestTrees:
+    def test_balanced_tree_depth(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(8)
+        out = circuit.xor_tree(inputs, balanced=True)
+        circuit.mark_output("o", out)
+        spec = GATE_SPECS[GateKind.XOR2]
+        assert circuit.delay_ns() == pytest.approx(3 * spec.delay_ns)
+        assert circuit.gate_count() == 7
+
+    def test_chain_tree_depth(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(8)
+        out = circuit.xor_tree(inputs, balanced=False)
+        circuit.mark_output("o", out)
+        spec = GATE_SPECS[GateKind.XOR2]
+        assert circuit.delay_ns() == pytest.approx(7 * spec.delay_ns)
+        assert circuit.gate_count() == 7  # same area, worse delay
+
+    def test_single_node_tree(self):
+        circuit = Circuit("c")
+        (a,) = circuit.add_input(1)
+        assert circuit.xor_tree([a]) == a
+
+    def test_empty_tree_rejected(self):
+        with pytest.raises(ValueError):
+            Circuit("c").xor_tree([])
+
+    def test_odd_width_tree(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(5)
+        circuit.mark_output("o", circuit.or_tree(inputs))
+        assert circuit.gate_count() == 4
+
+
+class TestMatchConstant:
+    def test_comparator_structure(self):
+        circuit = Circuit("c")
+        bits = circuit.add_input(8)
+        circuit.mark_output("o", circuit.match_constant(bits, 0b10110001))
+        # 8-input AND tree (7 gates) + inverters for the four 0 bits.
+        counts = {"and": 0, "not": 0}
+        assert circuit.gate_count() == 7 + 4
+
+    def test_all_ones_constant_needs_no_inverters(self):
+        circuit = Circuit("c")
+        bits = circuit.add_input(4)
+        circuit.mark_output("o", circuit.match_constant(bits, 0b1111))
+        assert circuit.gate_count() == 3
+
+
+class TestSharing:
+    def test_sharing_merges_identical_gates(self):
+        circuit = Circuit("c")
+        circuit.enable_sharing(True)
+        a, b = circuit.add_input(2)
+        first = circuit.gate(GateKind.AND2, a, b)
+        second = circuit.gate(GateKind.AND2, a, b)
+        assert first == second
+        assert circuit.gate_count() == 1
+
+    def test_without_sharing_gates_duplicate(self):
+        circuit = Circuit("c")
+        a, b = circuit.add_input(2)
+        assert circuit.gate(GateKind.AND2, a, b) != circuit.gate(GateKind.AND2, a, b)
+
+    def test_sharing_distinguishes_operand_order(self):
+        circuit = Circuit("c")
+        circuit.enable_sharing(True)
+        a, b = circuit.add_input(2)
+        assert circuit.gate(GateKind.AND2, a, b) != circuit.gate(GateKind.AND2, b, a)
+
+
+class TestScaling:
+    def test_area_and_delay_scales(self):
+        plain = Circuit("plain")
+        scaled = Circuit("scaled", area_scale=0.5, delay_scale=2.0)
+        for circuit in (plain, scaled):
+            a, b = circuit.add_input(2)
+            circuit.mark_output("o", circuit.gate(GateKind.XOR2, a, b))
+        assert scaled.area() == pytest.approx(plain.area() * 0.5)
+        assert scaled.delay_ns() == pytest.approx(plain.delay_ns() * 2.0)
+
+
+class TestRom:
+    def test_rom_area_scales_with_contents(self):
+        circuit = Circuit("c")
+        address = circuit.add_input(8)
+        outputs = circuit.rom(address, 8)
+        assert len(outputs) == 8
+        from repro.hardware.gates import ROM_AREA_PER_BIT
+
+        assert circuit.area() == pytest.approx(256 * 8 * ROM_AREA_PER_BIT)
+
+    def test_rom_delay(self):
+        from repro.hardware.gates import ROM_DELAY_NS
+
+        circuit = Circuit("c")
+        address = circuit.add_input(4)
+        outputs = circuit.rom(address, 2)
+        circuit.mark_output("o", outputs[0])
+        assert circuit.delay_ns() == pytest.approx(ROM_DELAY_NS)
+
+
+class TestStats:
+    def test_stats_snapshot(self):
+        circuit = Circuit("snap")
+        a, b = circuit.add_input(2)
+        circuit.mark_output("o", circuit.gate(GateKind.OR2, a, b))
+        stats = circuit.stats()
+        assert stats.name == "snap"
+        assert stats.area == circuit.area()
+        assert stats.gate_count == 1
+
+    def test_overhead_computation(self):
+        base = Circuit("base")
+        a, b = base.add_input(2)
+        base.mark_output("o", base.gate(GateKind.AND2, a, b))
+        bigger = Circuit("big")
+        a, b = bigger.add_input(2)
+        x = bigger.gate(GateKind.AND2, a, b)
+        bigger.mark_output("o", bigger.gate(GateKind.AND2, x, a))
+        assert bigger.stats().area_overhead(base.stats()) == pytest.approx(1.0)

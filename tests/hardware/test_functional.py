@@ -1,0 +1,288 @@
+"""Functional verification of the synthesized netlists.
+
+The Table-3 generators would be worthless as a cost model if the circuits
+they build didn't actually implement the codes.  These tests simulate the
+gate-level netlists and compare them against the reference software
+encoders/decoders bit for bit.
+"""
+
+import numpy as np
+import pytest
+
+from repro.codes.hsiao import hsiao_code
+from repro.codes.sec2bec import SEC_2BEC_72_64, paper_pair_table
+from repro.hardware.circuit import Circuit
+from repro.hardware.gates import GateKind
+from repro.hardware.synth import binary_decoder, binary_encoder
+
+
+class TestEvaluate:
+    def test_basic_gates(self):
+        circuit = Circuit("c")
+        a, b = circuit.add_input(2)
+        circuit.mark_output("and", circuit.gate(GateKind.AND2, a, b))
+        circuit.mark_output("xor", circuit.gate(GateKind.XOR2, a, b))
+        circuit.mark_output("nor", circuit.gate(GateKind.NOR2, a, b))
+        circuit.mark_output("not", circuit.gate(GateKind.NOT, a))
+        out = circuit.evaluate([1, 0])
+        assert out == {"and": 0, "xor": 1, "nor": 0, "not": 0}
+
+    def test_mux(self):
+        circuit = Circuit("c")
+        select, low, high = circuit.add_input(3)
+        circuit.mark_output("out", circuit.gate(GateKind.MUX2, select, low, high))
+        assert circuit.evaluate([0, 1, 0])["out"] == 1
+        assert circuit.evaluate([1, 1, 0])["out"] == 0
+
+    def test_input_count_checked(self):
+        circuit = Circuit("c")
+        circuit.add_input(2)
+        with pytest.raises(ValueError):
+            circuit.evaluate([1])
+
+    def test_rom_not_simulable(self):
+        circuit = Circuit("c")
+        address = circuit.add_input(2)
+        outputs = circuit.rom(address, 1)
+        circuit.mark_output("o", outputs[0])
+        with pytest.raises(NotImplementedError):
+            circuit.evaluate([0, 0])
+
+
+@pytest.mark.parametrize("code_factory", [hsiao_code, lambda: SEC_2BEC_72_64],
+                         ids=["hsiao", "sec2bec"])
+@pytest.mark.parametrize("efficient", [False, True], ids=["perf", "eff"])
+class TestEncoderNetlists:
+    def test_encoder_computes_real_check_bits(self, code_factory, efficient):
+        code = code_factory()
+        circuit = binary_encoder(code, copies=1, efficient=efficient,
+                                 name="enc")
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            data = rng.integers(0, 2, 64, dtype=np.uint8)
+            expected = code.encode(data)[code.check_positions]
+            outputs = circuit.evaluate(list(data))
+            produced = [outputs[f"cw0_check{row}"] for row in range(8)]
+            assert produced == expected.tolist()
+
+
+class TestDecoderNetlists:
+    @pytest.fixture(scope="class")
+    def decoder(self):
+        return binary_decoder(hsiao_code(), name="dec")
+
+    @staticmethod
+    def _entry_inputs(code, data_words, flip=None):
+        """Four codewords' received bits, in the decoder's input order."""
+        bits = []
+        for word in data_words:
+            bits.extend(code.encode(word).tolist())
+        if flip is not None:
+            bits[flip] ^= 1
+        return bits
+
+    def test_clean_entry(self, decoder):
+        code = hsiao_code()
+        rng = np.random.default_rng(1)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        outputs = decoder.evaluate(self._entry_inputs(code, words))
+        assert outputs["entry_due"] == 0
+        for cw in range(4):
+            produced = [outputs[f"cw{cw}_data{i}"] for i in range(64)]
+            assert produced == words[cw].tolist()
+
+    def test_single_bit_error_corrected_in_netlist(self, decoder):
+        code = hsiao_code()
+        rng = np.random.default_rng(2)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        for flip in (0, 63, 70, 72 + 5, 3 * 72 + 33):
+            outputs = decoder.evaluate(self._entry_inputs(code, words, flip))
+            assert outputs["entry_due"] == 0, flip
+            for cw in range(4):
+                produced = [outputs[f"cw{cw}_data{i}"] for i in range(64)]
+                assert produced == words[cw].tolist(), (flip, cw)
+
+    def test_double_bit_error_raises_due_in_netlist(self, decoder):
+        code = hsiao_code()
+        rng = np.random.default_rng(3)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        bits = self._entry_inputs(code, words)
+        bits[10] ^= 1
+        bits[40] ^= 1  # same codeword: double error
+        assert decoder.evaluate(bits)["entry_due"] == 1
+
+    def test_pair_hcm_corrects_aligned_double(self):
+        code = SEC_2BEC_72_64
+        decoder = binary_decoder(code, pair_table=paper_pair_table(),
+                                 name="trio-dec")
+        rng = np.random.default_rng(4)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        bits = TestDecoderNetlists._entry_inputs(code, words)
+        bits[20] ^= 1
+        bits[21] ^= 1  # aligned 2b symbol (20, 21) in codeword 0
+        outputs = decoder.evaluate(bits)
+        assert outputs["entry_due"] == 0
+        produced = [outputs[f"cw0_data{i}"] for i in range(64)]
+        assert produced == words[0].tolist()
+
+
+class TestRSNetlists:
+    """The Reed-Solomon netlists are functionally simulable too: ROMs carry
+    the DLog table, the EAC subtractor implements real mod-255 arithmetic,
+    and the location decoder resolves the ones'-complement double zero."""
+
+    @staticmethod
+    def _ssc_inputs(cw0, cw1):
+        bits = []
+        for codeword in (cw0, cw1):
+            for symbol in codeword:
+                bits.extend(((int(symbol) >> b) & 1) for b in range(8))
+        return bits
+
+    @staticmethod
+    def _dsd_inputs(codeword):
+        bits = []
+        for symbol in codeword:
+            bits.extend(((int(symbol) >> b) & 1) for b in range(8))
+        return bits
+
+    def test_ssc_netlist_clean(self):
+        from repro.codes.reed_solomon import ReedSolomonCode
+        from repro.hardware.synth import rs_ssc_decoder
+
+        rs = ReedSolomonCode(18, 16)
+        circuit = rs_ssc_decoder(name="f")
+        rng = np.random.default_rng(0)
+        data = [rng.integers(0, 256, 16, dtype=np.uint8) for _ in range(2)]
+        codewords = [rs.encode(d) for d in data]
+        outputs = circuit.evaluate(self._ssc_inputs(*codewords))
+        assert outputs["cw0_due"] == 0 and outputs["cw1_due"] == 0
+        for cw in range(2):
+            for j in range(16):
+                value = sum(
+                    outputs[f"cw{cw}_data{j * 8 + b}"] << b for b in range(8)
+                )
+                assert value == int(data[cw][j])
+
+    def test_ssc_netlist_corrects_single_symbols(self):
+        from repro.codes.reed_solomon import ReedSolomonCode
+        from repro.hardware.synth import rs_ssc_decoder
+
+        rs = ReedSolomonCode(18, 16)
+        circuit = rs_ssc_decoder(name="f")
+        rng = np.random.default_rng(1)
+        data = rng.integers(0, 256, 16, dtype=np.uint8)
+        clean = rs.encode(data)
+        other = rs.encode(np.zeros(16, dtype=np.uint8))
+        for position in (0, 1, 7, 17):  # includes the 0/255 aliasing case
+            for value in (1, 0xFF):
+                bad = clean.copy()
+                bad[position] ^= value
+                outputs = circuit.evaluate(self._ssc_inputs(bad, other))
+                assert outputs["cw0_due"] == 0, (position, value)
+                recovered = [
+                    sum(outputs[f"cw0_data{j * 8 + b}"] << b for b in range(8))
+                    for j in range(16)
+                ]
+                assert recovered == data.tolist(), (position, value)
+
+    def test_ssc_netlist_flags_out_of_range_locations(self):
+        from repro.codes.reed_solomon import ReedSolomonCode
+        from repro.hardware.synth import rs_ssc_decoder
+
+        rs = ReedSolomonCode(18, 16)
+        circuit = rs_ssc_decoder(name="f")
+        rng = np.random.default_rng(2)
+        cw = rs.encode(rng.integers(0, 256, 16, dtype=np.uint8))
+        other = rs.encode(np.zeros(16, dtype=np.uint8))
+        detected = 0
+        for _ in range(30):
+            bad = cw.copy()
+            p1, p2 = rng.choice(18, 2, replace=False)
+            bad[p1] ^= rng.integers(1, 256)
+            bad[p2] ^= rng.integers(1, 256)
+            outputs = circuit.evaluate(self._ssc_inputs(bad, other))
+            reference = rs.decode_one_shot_ssc(bad)
+            from repro.codes.reed_solomon import RSDecodeStatus
+
+            assert outputs["cw0_due"] == int(
+                reference.status is RSDecodeStatus.DETECTED
+            )
+            detected += outputs["cw0_due"]
+        assert detected > 20
+
+    def test_dsd_netlist_corrects_and_detects(self):
+        from repro.codes.reed_solomon import ReedSolomonCode
+        from repro.hardware.synth import ssc_dsd_decoder
+
+        rs = ReedSolomonCode(36, 32)
+        circuit = ssc_dsd_decoder(name="f")
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 256, 32, dtype=np.uint8)
+        clean = rs.encode(data)
+
+        outputs = circuit.evaluate(self._dsd_inputs(clean))
+        assert outputs["due"] == 0
+
+        for position in (0, 4, 35):
+            bad = clean.copy()
+            bad[position] ^= 0x3C
+            outputs = circuit.evaluate(self._dsd_inputs(bad))
+            assert outputs["due"] == 0, position
+            recovered = [
+                sum(outputs[f"data{j * 8 + b}"] << b for b in range(8))
+                for j in range(32)
+            ]
+            assert recovered == data.tolist(), position
+
+        for _ in range(20):  # double-symbol errors must raise the DUE
+            bad = clean.copy()
+            p1, p2 = rng.choice(36, 2, replace=False)
+            bad[p1] ^= rng.integers(1, 256)
+            bad[p2] ^= rng.integers(1, 256)
+            assert circuit.evaluate(self._dsd_inputs(bad))["due"] == 1
+
+
+class TestReconfigurableNetlist:
+    """Figure 7b's DuetECC/TrioECC enable signal, simulated in gates."""
+
+    @pytest.fixture(scope="class")
+    def decoder(self):
+        return binary_decoder(
+            SEC_2BEC_72_64, pair_table=paper_pair_table(), csc=True,
+            mode_input=True, name="reconfig-dec",
+        )
+
+    @staticmethod
+    def _inputs(mode, words, flips=()):
+        code = SEC_2BEC_72_64
+        bits = [mode]
+        for word in words:
+            bits.extend(code.encode(word).tolist())
+        for flip in flips:
+            bits[1 + flip] ^= 1
+        return bits
+
+    def test_mode_requires_pair_table(self):
+        with pytest.raises(ValueError):
+            binary_decoder(hsiao_code(), mode_input=True, name="bad")
+
+    def test_aligned_pair_error_follows_the_mode_pin(self, decoder):
+        rng = np.random.default_rng(0)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        flips = (20, 21)  # one aligned 2b symbol in codeword 0
+        # Trio mode (enable = 1): corrected.
+        outputs = decoder.evaluate(self._inputs(1, words, flips))
+        assert outputs["entry_due"] == 0
+        produced = [outputs[f"cw0_data{i}"] for i in range(64)]
+        assert produced == words[0].tolist()
+        # Duet mode (enable = 0): the same error raises a DUE.
+        outputs = decoder.evaluate(self._inputs(0, words, flips))
+        assert outputs["entry_due"] == 1
+
+    def test_single_bit_errors_unaffected_by_mode(self, decoder):
+        rng = np.random.default_rng(1)
+        words = [rng.integers(0, 2, 64, dtype=np.uint8) for _ in range(4)]
+        for mode in (0, 1):
+            outputs = decoder.evaluate(self._inputs(mode, words, (100,)))
+            assert outputs["entry_due"] == 0, mode

@@ -1,0 +1,75 @@
+"""Tests for XOR-network builders and GF(2^8) constant multipliers."""
+
+import numpy as np
+import pytest
+
+from repro.gf.gf256 import gf_mul
+from repro.hardware.circuit import Circuit
+from repro.hardware.xor_tree import (
+    gf_const_mult,
+    gf_const_mult_matrix,
+    xor_combine_bytes,
+    xor_rows,
+)
+
+
+class TestGfConstMultMatrix:
+    @pytest.mark.parametrize("constant", [1, 2, 3, 0x1D, 0x53, 0xFF])
+    def test_matrix_matches_field_multiplication(self, constant):
+        matrix = gf_const_mult_matrix(constant)
+        for value in (1, 2, 0x80, 0xA5, 0xFF):
+            bits = np.array([(value >> i) & 1 for i in range(8)], dtype=np.uint8)
+            product_bits = (matrix @ bits) % 2
+            product = 0
+            for i in range(8):
+                product |= int(product_bits[i]) << i
+            assert product == gf_mul(constant, value)
+
+    def test_identity_constant(self):
+        assert np.array_equal(gf_const_mult_matrix(1), np.eye(8, dtype=np.uint8))
+
+    def test_zero_constant_matrix(self):
+        assert not gf_const_mult_matrix(0).any()
+
+
+class TestXorRows:
+    def test_gate_count_matches_row_weights(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(8)
+        matrix = np.array(
+            [[1, 1, 1, 0, 0, 0, 0, 0],
+             [1, 0, 0, 0, 0, 0, 0, 1]], dtype=np.uint8)
+        xor_rows(circuit, matrix, inputs)
+        # Row weights 3 and 2 -> (3-1) + (2-1) = 3 XOR gates.
+        assert circuit.gate_count() == 3
+
+    def test_empty_row_becomes_constant(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(4)
+        outputs = xor_rows(circuit, np.zeros((1, 4), dtype=np.uint8), inputs)
+        assert len(outputs) == 1
+        assert circuit.gate_count() == 0
+
+    def test_weight1_row_is_a_wire(self):
+        circuit = Circuit("c")
+        inputs = circuit.add_input(4)
+        matrix = np.array([[0, 1, 0, 0]], dtype=np.uint8)
+        outputs = xor_rows(circuit, matrix, inputs)
+        assert outputs[0] == inputs[1]
+
+
+class TestByteHelpers:
+    def test_gf_const_mult_instantiates_xor_network(self):
+        circuit = Circuit("c")
+        byte = circuit.add_input(8)
+        outputs = gf_const_mult(circuit, 0x1D, byte)
+        assert len(outputs) == 8
+        assert circuit.gate_count() > 0
+
+    def test_xor_combine_bytes_width(self):
+        circuit = Circuit("c")
+        groups = [circuit.add_input(8) for _ in range(5)]
+        combined = xor_combine_bytes(circuit, groups)
+        assert len(combined) == 8
+        # Each output bit: XOR tree of 5 -> 4 gates; 8 bits -> 32 gates.
+        assert circuit.gate_count() == 32

@@ -1,0 +1,74 @@
+"""Tests for the autonomous-vehicle safety model (Section 7.3)."""
+
+import pytest
+
+from repro.errormodel.montecarlo import SchemeOutcome
+from repro.system.automotive import (
+    ISO26262_SDC_FIT_LIMIT,
+    FleetModel,
+    assess_scheme,
+)
+
+
+def _outcome(name, correct, detect, sdc):
+    return SchemeOutcome(
+        scheme=name, label=name, correct=correct, detect=detect, sdc=sdc,
+        per_pattern={},
+    )
+
+
+PAPER_SECDED = _outcome("secded", 0.7460, 0.2000, 0.0540)
+PAPER_DUET = _outcome("duet", 0.80599, 0.19400, 1.3e-5)
+PAPER_TRIO = _outcome("trio", 0.96992, 0.03000, 8.5e-5)
+
+
+class TestFleetModel:
+    def test_paper_driving_hours(self):
+        # 225.8M drivers x 51 min/day = 1.92e8 hours/day.
+        assert FleetModel().driving_hours_per_day == pytest.approx(1.92e8, rel=0.001)
+
+
+class TestISO26262:
+    def test_secded_fails(self):
+        assessment = assess_scheme(PAPER_SECDED)
+        assert not assessment.meets_iso26262
+        assert assessment.sdc_fit == pytest.approx(216, rel=0.01)
+
+    def test_trio_passes(self):
+        assessment = assess_scheme(PAPER_TRIO)
+        assert assessment.meets_iso26262
+        # Paper: ~0.29 FIT (we use its published Fig-8 probabilities).
+        assert assessment.sdc_fit == pytest.approx(0.34, rel=0.2)
+
+    def test_duet_passes_comfortably(self):
+        assessment = assess_scheme(PAPER_DUET)
+        assert assessment.meets_iso26262
+        assert assessment.sdc_fit < 0.1  # paper: 0.045 FIT
+
+    def test_limit_value(self):
+        assert ISO26262_SDC_FIT_LIMIT == 10.0
+
+
+class TestFleetExposure:
+    def test_secded_sdc_per_day_near_41(self):
+        assessment = assess_scheme(PAPER_SECDED)
+        assert assessment.fleet_sdc_per_day == pytest.approx(41.5, rel=0.05)
+
+    def test_duet_due_cars_near_148(self):
+        assessment = assess_scheme(PAPER_DUET)
+        assert assessment.fleet_due_cars_per_day == pytest.approx(148, rel=0.05)
+
+    def test_trio_due_cars_near_25(self):
+        assessment = assess_scheme(PAPER_TRIO)
+        assert assessment.fleet_due_cars_per_day == pytest.approx(25, rel=0.1)
+
+    def test_days_between_fleet_sdc(self):
+        trio = assess_scheme(PAPER_TRIO)
+        duet = assess_scheme(PAPER_DUET)
+        # Paper: one fleet SDC every ~18 days (Trio) / ~115 days (Duet).
+        assert trio.days_between_fleet_sdc == pytest.approx(15.3, rel=0.25)
+        assert duet.days_between_fleet_sdc > 80
+
+    def test_zero_sdc_gives_infinite_interval(self):
+        perfect = _outcome("perfect", 1.0, 0.0, 0.0)
+        assert assess_scheme(perfect).days_between_fleet_sdc == float("inf")

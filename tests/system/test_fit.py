@@ -1,0 +1,39 @@
+"""Tests for FIT arithmetic."""
+
+import pytest
+
+from repro.system.fit import GpuMemoryModel, RateSplit
+
+
+class TestGpuMemoryModel:
+    def test_paper_raw_rate(self):
+        # 12.51 FIT/Gbit x 320 Gbit (A100 40GB) = 4,003 FIT per GPU.
+        assert GpuMemoryModel().raw_fit == pytest.approx(4003.2)
+
+    def test_split_partitions_raw_rate(self):
+        split = GpuMemoryModel().split(0.74, 0.206, 0.054)
+        assert split.corrected + split.due + split.sdc == pytest.approx(split.raw)
+
+    def test_paper_secded_sdc_fit(self):
+        # The paper's 216 FIT: SEC-DED with 5.4% SDC probability.
+        split = GpuMemoryModel().split(0.74, 0.206, 0.054)
+        assert split.sdc == pytest.approx(216.2, rel=0.01)
+
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            GpuMemoryModel().split(0.5, 0.1, 0.1)
+
+    def test_custom_capacity(self):
+        v100 = GpuMemoryModel(memory_gbit=256.0)  # 32GB
+        assert v100.raw_fit == pytest.approx(12.51 * 256)
+
+
+class TestRateSplit:
+    def test_mtbf(self):
+        split = RateSplit(raw=1000.0, corrected=900.0, due=99.0, sdc=1.0)
+        assert split.mtbf_hours(split.sdc) == pytest.approx(1e9)
+        assert split.mtbf_hours(split.due) == pytest.approx(1e9 / 99)
+
+    def test_zero_rate_is_infinite(self):
+        split = RateSplit(raw=1.0, corrected=1.0, due=0.0, sdc=0.0)
+        assert split.mtbf_hours(split.sdc) == float("inf")

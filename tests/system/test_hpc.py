@@ -1,0 +1,96 @@
+"""Tests for the exascale HPC model against the paper's Figure 9 numbers.
+
+The per-event probabilities below are the paper's own Figure-8 values, so
+these tests check the *system model* against the published curve endpoints
+independent of our Monte Carlo results.
+"""
+
+import pytest
+
+from repro.errormodel.montecarlo import SchemeOutcome
+from repro.system.hpc import ExascaleSystem, figure9_series
+
+
+def _outcome(name, correct, detect, sdc):
+    return SchemeOutcome(
+        scheme=name, label=name, correct=correct, detect=detect, sdc=sdc,
+        per_pattern={},
+    )
+
+
+# Figure 8, as published: SEC-DED 74/20/5.4; Duet ~80.6/19.4/0.0013%;
+# Trio ~97/3/0.0085%.
+PAPER_SECDED = _outcome("secded", 0.7460, 0.2000, 0.0540)
+PAPER_DUET = _outcome("duet", 0.80599, 0.19400, 1.3e-5)
+PAPER_TRIO = _outcome("trio", 0.96992, 0.03000, 8.5e-5)
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ExascaleSystem()
+
+
+class TestFigure9Endpoints:
+    def test_duet_mtti_at_half_exaflop(self, system):
+        point = system.point(0.5, PAPER_DUET)
+        assert point.mtti_hours == pytest.approx(6.3, rel=0.05)
+
+    def test_duet_mtti_at_two_exaflops(self, system):
+        point = system.point(2.0, PAPER_DUET)
+        assert point.mtti_hours == pytest.approx(1.6, rel=0.05)
+
+    def test_trio_mtti_range(self, system):
+        low = system.point(2.0, PAPER_TRIO).mtti_hours
+        high = system.point(0.5, PAPER_TRIO).mtti_hours
+        assert low == pytest.approx(9.4, rel=0.1)
+        assert high == pytest.approx(37.6, rel=0.1)
+
+    def test_trio_mttf_in_months(self, system):
+        months_small = system.point(0.5, PAPER_TRIO).mttf_months
+        months_large = system.point(2.0, PAPER_TRIO).mttf_months
+        # Paper: 5.7-22.6 months.
+        assert months_large == pytest.approx(5.7, rel=0.15)
+        assert months_small == pytest.approx(22.6, rel=0.15)
+
+    def test_secded_sdc_every_22_hours(self, system):
+        point = system.point(0.5, PAPER_SECDED)
+        assert point.mttf_hours == pytest.approx(22.5, rel=0.05)
+
+    def test_duet_mttf_in_years(self, system):
+        point = system.point(0.5, PAPER_DUET)
+        assert point.mttf_hours / 8766 > 5  # "SDC period in years"
+
+
+class TestScaling:
+    def test_rates_scale_inversely_with_machine_size(self, system):
+        small = system.point(0.5, PAPER_TRIO)
+        large = system.point(2.0, PAPER_TRIO)
+        assert small.mtti_hours == pytest.approx(4 * large.mtti_hours, rel=0.01)
+        assert small.mttf_hours == pytest.approx(4 * large.mttf_hours, rel=0.01)
+
+    def test_gpu_count(self, system):
+        assert system.gpu_count(1.0) == 409_600
+        assert system.gpu_count(0.5) == 204_800
+
+    def test_infinite_mttf_for_perfect_scheme(self, system):
+        perfect = _outcome("perfect", 1.0, 0.0, 0.0)
+        point = system.point(1.0, perfect)
+        assert point.mtti_hours == float("inf")
+        assert point.mttf_hours == float("inf")
+
+
+class TestSeries:
+    def test_series_structure(self):
+        series = figure9_series(
+            {"duet": PAPER_DUET, "trio": PAPER_TRIO},
+            exaflops=(0.5, 1.0, 2.0),
+        )
+        assert set(series) == {"duet", "trio"}
+        assert [p.exaflops for p in series["duet"]] == [0.5, 1.0, 2.0]
+
+    def test_correction_sdc_tradeoff_visible(self):
+        # The paper's headline: Trio wins MTTI, Duet wins MTTF.
+        series = figure9_series({"duet": PAPER_DUET, "trio": PAPER_TRIO})
+        for duet_point, trio_point in zip(series["duet"], series["trio"]):
+            assert trio_point.mtti_hours > duet_point.mtti_hours
+            assert duet_point.mttf_hours > trio_point.mttf_hours

@@ -1,0 +1,74 @@
+"""Tests for the scrubbing / error-accumulation extension."""
+
+import pytest
+
+from repro.system.scrubbing import ScrubbingModel
+
+
+@pytest.fixture(scope="module")
+def model():
+    return ScrubbingModel()
+
+
+class TestRates:
+    def test_event_rate_from_fit(self, model):
+        # 4003 FIT -> ~4e-6 events per GPU-hour.
+        assert model.events_per_hour == pytest.approx(4.0032e-6, rel=1e-3)
+
+    def test_per_entry_rate_is_tiny(self, model):
+        assert model.per_entry_rate < 1e-13
+
+    def test_double_hits_quadratic_in_interval(self, model):
+        one = model.expected_double_hit_entries(1.0)
+        ten = model.expected_double_hit_entries(10.0)
+        assert ten / one == pytest.approx(100.0, rel=0.01)
+
+    def test_rate_linear_in_interval(self, model):
+        assert (model.double_hit_rate_per_hour(10.0)
+                / model.double_hit_rate_per_hour(1.0)
+                == pytest.approx(10.0, rel=0.01))
+
+    def test_invalid_interval(self, model):
+        with pytest.raises(ValueError):
+            model.expected_double_hit_entries(0.0)
+
+
+class TestRecommendations:
+    def test_recommended_interval_meets_target(self, model):
+        for target in (0.01, 1.0, 10.0):
+            interval = model.recommended_interval_hours(target)
+            assert model.accumulation_fit(interval) <= target * 1.0001
+
+    def test_interval_shrinks_with_stricter_target(self, model):
+        strict = model.recommended_interval_hours(0.01)
+        loose = model.recommended_interval_hours(10.0)
+        assert strict < loose
+
+    def test_terrestrial_rates_need_no_aggressive_scrubbing(self, model):
+        """At field rates, even a daily scrub keeps accumulation far below
+        1 FIT — why the per-event evaluation methodology is sound."""
+        assert model.accumulation_fit(24.0) < 1e-3
+
+    def test_invalid_target(self, model):
+        with pytest.raises(ValueError):
+            model.recommended_interval_hours(0.0)
+
+
+class TestScaling:
+    def test_broader_events_raise_risk(self):
+        narrow = ScrubbingModel(mean_entries_per_event=1.0)
+        broad = ScrubbingModel(mean_entries_per_event=10.0)
+        assert (broad.accumulation_fit(24.0)
+                > narrow.accumulation_fit(24.0))
+
+    def test_beam_acceleration_changes_the_story(self):
+        """In the beam (2.52e8x flux) accumulation *is* plausible — the
+        reason the microbenchmark rewrites memory every few seconds."""
+        from repro.system.fit import GpuMemoryModel
+
+        beam = ScrubbingModel(
+            gpu=GpuMemoryModel(fit_per_gbit=12.51 * 2.52e8)
+        )
+        # One hour in the beam without rewrites: accumulation is no longer
+        # negligible relative to a single-event FIT budget.
+        assert beam.accumulation_fit(1.0) > 1.0

@@ -1,0 +1,98 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_evaluate_defaults(self):
+        args = build_parser().parse_args(["evaluate", "trio"])
+        assert args.scheme == "trio"
+        assert args.samples == 20_000
+
+
+class TestCommands:
+    def test_schemes(self, capsys):
+        assert main(["schemes"]) == 0
+        out = capsys.readouterr().out
+        assert "TrioECC" in out
+        assert "SSC-DSD+" in out
+        assert "[extension]" in out
+
+    def test_evaluate(self, capsys):
+        assert main(["evaluate", "duet", "--samples", "500"]) == 0
+        out = capsys.readouterr().out
+        assert "per-pattern outcomes" in out
+        assert "exhaustive" in out
+        assert "Table-1 weighted" in out
+
+    def test_evaluate_alias(self, capsys):
+        assert main(["evaluate", "TrioECC", "--samples", "500"]) == 0
+        assert "TrioECC" in capsys.readouterr().out
+
+    def test_evaluate_unknown_scheme(self):
+        with pytest.raises(KeyError):
+            main(["evaluate", "nonsense"])
+
+    def test_fig8(self, capsys):
+        assert main(["fig8", "--samples", "300"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("%") > 20
+        assert "NI:SEC-DED" in out
+
+    def test_hardware(self, capsys):
+        assert main(["hardware"]) == 0
+        out = capsys.readouterr().out
+        assert "Encoders" in out and "Decoders" in out
+        assert "TrioECC" in out
+
+    def test_campaign(self, capsys):
+        assert main(["campaign", "--runs", "1", "--events", "200",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "Derived Table 1" in out
+        assert "SBSE" in out
+
+    def test_system(self, capsys):
+        assert main(["system", "--scheme", "trio", "--samples", "500",
+                     "--exaflops", "1.0"]) == 0
+        out = capsys.readouterr().out
+        assert "exascale" in out
+        assert "ISO 26262" in out
+
+    def test_search(self, capsys):
+        assert main(["search", "--population", "8", "--generations", "1",
+                     "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Base32" in out
+        assert "aliases" in out
+
+
+class TestReport:
+    def test_report_to_stdout(self, capsys):
+        from repro.cli import main
+
+        assert main(["report", "--samples", "300"]) == 0
+        out = capsys.readouterr().out
+        assert "# Reproduction report" in out
+        assert "## Table 2" in out
+        assert "## Figure 9" in out
+        assert "ISO 26262" in out
+
+    def test_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        target = tmp_path / "report.md"
+        assert main(["report", "--samples", "300", "-o", str(target)]) == 0
+        assert "report written" in capsys.readouterr().out
+        content = target.read_text()
+        assert "TrioECC" in content

@@ -1,0 +1,130 @@
+"""End-to-end integration tests spanning the whole pipeline.
+
+These mirror how the paper itself flows: beam campaign -> filtered error
+patterns -> error-model probabilities -> ECC evaluation -> system-level
+conclusions, plus the protected-memory round trip that a deployed GPU
+performs on every access.
+"""
+
+import numpy as np
+import pytest
+
+from repro.beam.campaign import BeamCampaign, CampaignConfig
+from repro.beam.displacement import DamageParameters
+from repro.beam.events import EventParameters, SoftErrorEventGenerator
+from repro.beam.postprocess import (
+    derive_table1,
+    events_from_truth,
+    filter_intermittent,
+    group_events,
+)
+from repro.core import DecodeStatus, get_scheme
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+from repro.errormodel.montecarlo import weighted_outcomes
+from repro.system.automotive import assess_scheme
+from repro.system.hpc import ExascaleSystem
+
+
+class TestProtectedMemoryRoundTrip:
+    """Store encoded entries in the simulated DRAM, corrupt them with real
+    generator events, and decode — the deployment data path."""
+
+    def test_trio_protects_device_contents(self):
+        geometry = HBM2Geometry.for_gpu(32)
+        device = SimulatedHBM2(geometry)
+        scheme = get_scheme("trio")
+        rng = np.random.default_rng(0)
+
+        payloads = {}
+        for entry_index in (7, 1_000_003, 2**29):
+            data = rng.integers(0, 2, 256, dtype=np.uint8)
+            payloads[entry_index] = data
+            device.write_entry(entry_index, scheme.encode(data))
+
+        # A mat-local byte error on one stored entry.
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[80:88] = 1  # byte 10: beat 1, pins 8-15
+        device.inject_upset(1_000_003, flips)
+
+        for entry_index, data in payloads.items():
+            result = scheme.decode(device.read_entry(entry_index))
+            assert result.status in (DecodeStatus.CLEAN, DecodeStatus.CORRECTED)
+            assert np.array_equal(result.data, data)
+
+    def test_secded_fails_where_trio_succeeds(self):
+        device = SimulatedHBM2(HBM2Geometry.for_gpu(32))
+        trio = get_scheme("trio")
+        secded = get_scheme("ni-secded")
+        data = np.random.default_rng(1).integers(0, 2, 256, dtype=np.uint8)
+
+        flips = np.zeros(288, dtype=np.uint8)
+        flips[8:16] = 1  # a full byte error
+
+        trio_result = trio.decode(trio.encode(data) ^ flips)
+        secded_result = secded.decode(secded.encode(data) ^ flips)
+        assert trio_result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(trio_result.data, data)
+        assert secded_result.status is DecodeStatus.DETECTED or not np.array_equal(
+            secded_result.data, data
+        )
+
+
+class TestCampaignToSystemPipeline:
+    def test_full_paper_pipeline(self):
+        # 1. Characterize: run a small beam campaign and derive patterns.
+        config = CampaignConfig(
+            runs=2, write_cycles=4, reads_per_write=3, loop_time_s=2.0,
+            seed=123,
+            event_parameters=EventParameters(mean_time_to_event_s=5.0),
+            damage_parameters=DamageParameters(leaky_pool=40,
+                                               saturation_fluence=2e8),
+        )
+        result = BeamCampaign(config).run()
+        filtered = filter_intermittent(result.records)
+        observed = group_events(filtered.soft_records)
+        assert observed, "campaign produced no observable events"
+
+        # Supplement with generator-truth events for stable statistics.
+        generator = SoftErrorEventGenerator(seed=5)
+        observed += events_from_truth(
+            [generator.generate_event(float(i)) for i in range(1500)]
+        )
+        probabilities = derive_table1(observed)
+        assert abs(sum(probabilities.values()) - 1.0) < 1e-9
+
+        # 2. Mitigate: evaluate ECC under the *derived* probabilities.
+        trio = weighted_outcomes(get_scheme("trio"), probabilities=probabilities,
+                                 samples=3000, seed=9)
+        secded = weighted_outcomes(get_scheme("ni-secded"),
+                                   probabilities=probabilities,
+                                   per_pattern=None, samples=3000, seed=9)
+        assert trio.sdc < secded.sdc / 50
+        assert trio.correct > secded.correct
+
+        # 3. Conclude at system level.
+        assessment = assess_scheme(trio)
+        assert assessment.meets_iso26262
+        point = ExascaleSystem().point(1.0, trio)
+        assert point.mtti_hours > ExascaleSystem().point(1.0, secded).mtti_hours
+
+
+class TestReconfigurableDeployment:
+    def test_per_context_code_switching(self):
+        """The Section 6.3 scenario: one decoder, detection-priority for one
+        context, correction-priority for another."""
+        from repro.core.duet_trio import ReconfigurableDuetTrio
+
+        decoder = ReconfigurableDuetTrio()
+        data = np.random.default_rng(2).integers(0, 2, 256, dtype=np.uint8)
+        entry = decoder.encode(data)
+        byte_error = np.zeros(288, dtype=np.uint8)
+        byte_error[144:152] = 1
+
+        decoder.mode = "duet"  # safety-critical context: prefer DUE
+        assert decoder.decode(entry ^ byte_error).status is DecodeStatus.DETECTED
+
+        decoder.mode = "trio"  # throughput context: prefer correction
+        result = decoder.decode(entry ^ byte_error)
+        assert result.status is DecodeStatus.CORRECTED
+        assert np.array_equal(result.data, data)
