@@ -1,0 +1,64 @@
+"""End-to-end Monte Carlo harness throughput (library performance).
+
+Tracks the injection->decode->label pipeline that produces Table 2 and
+Figure 8: per-cell events/second for representative schemes (surfacing the
+``PatternOutcome.elapsed_s`` counters), and the ``workers=`` fan-out of
+:func:`repro.errormodel.montecarlo.evaluate_scheme`, which must stay
+bit-identical to the serial run whatever the worker count.
+"""
+
+import time
+
+from benchmarks._output import emit
+from repro.core import get_scheme
+from repro.errormodel.montecarlo import evaluate_scheme
+from repro.errormodel.patterns import ErrorPattern
+
+SAMPLES = 20_000
+SEED = 20211018
+SCHEMES = ("ni-secded", "trio", "i-ssc-csc")
+
+
+def test_montecarlo_cell_throughput():
+    """Per-cell events/s across schemes; the binary schemes ride the LUTs."""
+    rows = [f"{'scheme':<12} {'pattern':<11} {'events':>9} {'events/s':>12}"]
+    total_events = 0
+    total_elapsed = 0.0
+    for name in SCHEMES:
+        scheme = get_scheme(name)
+        evaluate_scheme(scheme, samples=512, seed=SEED)  # warm every cache
+        outcomes = evaluate_scheme(scheme, samples=SAMPLES, seed=SEED)
+        for pattern in ErrorPattern:
+            outcome = outcomes[pattern]
+            rows.append(
+                f"{name:<12} {pattern.name:<11} {outcome.events:>9,} "
+                f"{outcome.events_per_second:>12,.0f}"
+            )
+            total_events += outcome.events
+            total_elapsed += outcome.elapsed_s
+    overall = total_events / total_elapsed
+    rows.append(f"{'overall':<12} {'':<11} {total_events:>9,} {overall:>12,.0f}")
+    emit("Throughput — Monte Carlo harness (per Table-2 cell)", "\n".join(rows))
+    # The harness needs ~1e5 events/s overall to reach paper-scale samples.
+    assert overall > 50_000
+
+
+def test_montecarlo_workers_bit_identical():
+    """The process-pool fan-out returns the exact serial outcomes."""
+    scheme = get_scheme("trio")
+
+    start = time.perf_counter()
+    serial = evaluate_scheme(scheme, samples=SAMPLES, seed=SEED)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fanned = evaluate_scheme(scheme, samples=SAMPLES, seed=SEED, workers=2)
+    fanned_s = time.perf_counter() - start
+
+    assert fanned == serial  # elapsed_s is excluded from equality
+    emit(
+        "Throughput — Monte Carlo workers fan-out (trio)",
+        f"workers=1 {serial_s:6.2f} s\n"
+        f"workers=2 {fanned_s:6.2f} s (bit-identical outcomes; speedup "
+        f"requires multi-core hardware)",
+    )

@@ -35,10 +35,17 @@ import numpy as np
 
 from repro.codes.linear import BinaryLinearCode, PairTable
 from repro.core.interleave import deinterleave_permutation
-from repro.core.layout import ENTRY_BITS, NUM_BEATS, NUM_PINS
+from repro.core.layout import ENTRY_BITS, ENTRY_BYTES, NUM_BEATS, NUM_PINS
 from repro.core.sanity_check import csc_violation, csc_violation_batch
 from repro.core.scheme import BatchDecode, DecodeResult, DecodeStatus, ECCScheme
-from repro.gf.gf2 import pack_bits, syndromes_batch
+from repro.gf.gf2 import (
+    bytes_from_rows,
+    bytes_from_words,
+    pack_bits,
+    syndrome_byte_table,
+    syndromes_batch,
+    syndromes_from_bytes,
+)
 
 __all__ = ["BinaryEntryScheme"]
 
@@ -91,6 +98,61 @@ class BinaryEntryScheme(ECCScheme):
             self._pair_high = np.array(
                 [pair[1] for pair in pair_table.pairs], dtype=np.int64
             )
+
+        # All four codeword syndromes must share one int64 for the packed
+        # fast path; wider codes fall back to the reference decoder.
+        self._packed_ok = _NUM_CODEWORDS * code.r <= 62
+        if self._packed_ok:
+            self._build_packed_tables()
+
+    # -- packed decode tables ---------------------------------------------------
+    def _build_packed_tables(self) -> None:
+        """Precompute the syndrome LUTs behind the packed fast path.
+
+        An entry-wide ``(4R, 288)`` parity check stacks each codeword's H on
+        its transmitted bit positions, so one byte-table gather yields all
+        four packed syndromes in disjoint R-bit lanes of a single int64.
+        Each lane then indexes per-syndrome tables: DUE flag, correction
+        flag, corrected transmitted positions (for the CSC), and the
+        byte-packed correction mask whose XOR with the received entry gives
+        the residual.
+        """
+        r = self.code.r
+        space = 1 << r
+        h_entry = np.zeros((_NUM_CODEWORDS * r, ENTRY_BITS), dtype=np.uint8)
+        for cw in range(_NUM_CODEWORDS):
+            h_entry[cw * r : (cw + 1) * r, self.trans_index[cw]] = self.code.h
+        self._entry_syndrome_table = syndrome_byte_table(h_entry)
+        self._syndrome_shifts = (r * np.arange(_NUM_CODEWORDS)).astype(np.int64)
+        self._syndrome_mask = np.int64(space - 1)
+
+        # Derive the per-syndrome actions from the same logic the reference
+        # decoder uses, over the whole syndrome space at once.
+        every = np.tile(np.arange(space, dtype=np.int64)[:, None],
+                        (1, _NUM_CODEWORDS))
+        offsets, cw_due, cw_corrects = self._corrections(every)
+        lut_offsets = offsets[:, 0, :].copy()  # (space, 2), codeword-agnostic
+        self._lut_due = cw_due[:, 0].copy()
+        self._lut_corrects = cw_corrects[:, 0].copy()
+
+        #: corrected transmitted positions per (codeword, syndrome, slot)
+        self._lut_positions = np.where(
+            lut_offsets[None, :, :] >= 0,
+            self.trans_index[:, np.maximum(lut_offsets, 0)],
+            -1,
+        )
+
+        corr_bits = np.zeros((_NUM_CODEWORDS, space, ENTRY_BITS), dtype=np.uint8)
+        for cw in range(_NUM_CODEWORDS):
+            for slot in range(2):
+                valid = np.nonzero(lut_offsets[:, slot] >= 0)[0]
+                corr_bits[cw, valid,
+                          self.trans_index[cw, lut_offsets[valid, slot]]] = 1
+        self._corr_byte_table = bytes_from_rows(corr_bits)
+
+        data_mask = np.zeros(ENTRY_BITS, dtype=np.uint8)
+        data_mask[self.data_index] = 1
+        self._data_mask_bytes = bytes_from_rows(data_mask)
 
     # -- encode ---------------------------------------------------------------
     def encode(self, data_bits: np.ndarray) -> np.ndarray:
@@ -159,8 +221,51 @@ class BinaryEntryScheme(ECCScheme):
         status = DecodeStatus.CORRECTED if corrected_bits else DecodeStatus.CLEAN
         return DecodeResult(status, data, tuple(corrected_bits))
 
-    # -- batch decode -----------------------------------------------------------
+    # -- batch decode (packed syndrome-LUT fast path) ---------------------------
     def decode_batch_errors(self, errors: np.ndarray) -> BatchDecode:
+        errors = self._check_errors(errors)
+        if not self._packed_ok:
+            return self.decode_batch_errors_reference(errors)
+        return self._decode_packed_bytes(bytes_from_rows(errors))
+
+    def decode_batch_packed(self, words: np.ndarray) -> BatchDecode:
+        words = self._check_packed(words)
+        if not self._packed_ok:
+            return super().decode_batch_packed(words)
+        return self._decode_packed_bytes(bytes_from_words(words, ENTRY_BYTES))
+
+    def _decode_packed_bytes(self, entry_bytes: np.ndarray) -> BatchDecode:
+        """Decode byte-packed error rows through the syndrome LUTs."""
+        combined = syndromes_from_bytes(self._entry_syndrome_table, entry_bytes)
+        syn = (combined[:, None] >> self._syndrome_shifts) & self._syndrome_mask
+
+        due = self._lut_due[syn].any(axis=1)
+        codewords_correcting = self._lut_corrects[syn].sum(axis=1)
+
+        if self.csc:
+            # The CSC only applies when at least two codewords correct.
+            applies = np.nonzero(codewords_correcting >= 2)[0]
+            if applies.size:
+                positions = np.concatenate(
+                    [self._lut_positions[cw][syn[applies, cw]]
+                     for cw in range(_NUM_CODEWORDS)],
+                    axis=1,
+                )
+                due[applies] |= csc_violation_batch(
+                    positions, codewords_correcting[applies]
+                )
+
+        correction = self._corr_byte_table[0, syn[:, 0]]
+        for cw in range(1, _NUM_CODEWORDS):
+            correction = correction ^ self._corr_byte_table[cw, syn[:, cw]]
+        residual = entry_bytes ^ correction
+        residual_data = ((residual & self._data_mask_bytes) != 0).any(axis=1)
+
+        corrected = (codewords_correcting > 0) & ~due
+        return BatchDecode(due=due, residual_data=residual_data, corrected=corrected)
+
+    # -- batch decode (unpacked reference — the oracle for the fast path) -------
+    def decode_batch_errors_reference(self, errors: np.ndarray) -> BatchDecode:
         errors = self._check_errors(errors)
         batch = errors.shape[0]
         cw_bits = errors[:, self._gather].reshape(batch * _NUM_CODEWORDS, _CW_BITS)

@@ -27,6 +27,8 @@ __all__ = [
     "DATA_BITS",
     "ECC_BITS",
     "ENTRY_BITS",
+    "ENTRY_BYTES",
+    "ENTRY_WORDS",
     "NUM_BEATS",
     "NUM_PINS",
     "BITS_PER_BYTE",
@@ -44,6 +46,8 @@ __all__ = [
 DATA_BITS = 256  #: 32B of data per entry
 ECC_BITS = 32  #: 4B of ECC per entry (12.5% redundancy)
 ENTRY_BITS = DATA_BITS + ECC_BITS  #: 288 transmitted bits
+ENTRY_BYTES = ENTRY_BITS // 8  #: 36 bytes in the byte-packed representation
+ENTRY_WORDS = -(-ENTRY_BITS // 64)  #: 5 uint64 words in the packed representation
 NUM_BEATS = 4
 NUM_PINS = ENTRY_BITS // NUM_BEATS  # 72
 BITS_PER_BYTE = 8

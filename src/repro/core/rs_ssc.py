@@ -93,10 +93,10 @@ class InterleavedSSCScheme(ECCScheme):
 
     def _scatter_symbols(self, entry: np.ndarray, codeword: int,
                          symbols: np.ndarray) -> None:
-        for j in range(_SYMBOLS_PER_CW):
-            value = int(symbols[j])
-            for bit in range(BITS_PER_BYTE):
-                entry[self.layout[codeword, j, bit]] = (value >> bit) & 1
+        """(18,) symbol values -> their 144 transmitted bits, one scatter."""
+        values = np.asarray(symbols, dtype=np.int64)
+        bits = ((values[:, None] >> np.arange(BITS_PER_BYTE)) & 1).astype(np.uint8)
+        entry[self.layout[codeword].reshape(-1)] = bits.reshape(-1)
 
     # -- encode ---------------------------------------------------------------
     def encode(self, data_bits: np.ndarray) -> np.ndarray:

@@ -25,7 +25,8 @@ from enum import Enum
 
 import numpy as np
 
-from repro.core.layout import DATA_BITS, ENTRY_BITS
+from repro.core.layout import DATA_BITS, ENTRY_BITS, ENTRY_WORDS
+from repro.gf.gf2 import unpack_rows
 
 __all__ = ["DecodeStatus", "DecodeResult", "BatchDecode", "ECCScheme"]
 
@@ -105,6 +106,17 @@ class ECCScheme(ABC):
     def decode_batch_errors(self, errors: np.ndarray) -> BatchDecode:
         """Decode a ``(B, 288)`` batch of error patterns (zero codeword)."""
 
+    def decode_batch_packed(self, words: np.ndarray) -> BatchDecode:
+        """Decode a ``(B, 5)`` uint64 bit-packed error batch (zero codeword).
+
+        The packed transport format of :func:`repro.gf.gf2.pack_rows`: bit
+        ``i`` of the entry sits in word ``i // 64`` at weight ``2**(i % 64)``.
+        Schemes with a native packed fast path override this; the default
+        unpacks and delegates to :meth:`decode_batch_errors`.
+        """
+        words = self._check_packed(words)
+        return self.decode_batch_errors(unpack_rows(words, ENTRY_BITS))
+
     # -- shared input validation -------------------------------------------
     @staticmethod
     def _check_data(data_bits: np.ndarray) -> np.ndarray:
@@ -128,6 +140,13 @@ class ECCScheme(ABC):
         if errors.ndim != 2 or errors.shape[1] != ENTRY_BITS:
             raise ValueError(f"expected a (B, {ENTRY_BITS}) error batch")
         return errors
+
+    @staticmethod
+    def _check_packed(words: np.ndarray) -> np.ndarray:
+        words = np.asarray(words, dtype=np.uint64)
+        if words.ndim != 2 or words.shape[1] != ENTRY_WORDS:
+            raise ValueError(f"expected a (B, {ENTRY_WORDS}) packed error batch")
+        return words
 
     def roundtrip(self, data_bits: np.ndarray,
                   error_bits: np.ndarray | None = None) -> DecodeResult:

@@ -16,11 +16,20 @@ exhaustive on request (``exhaustive_triples=True``) and otherwise sampled;
 beat/entry patterns are always sampled.  Each estimate carries a 99%
 Wilson-style confidence half-width so EXPERIMENTS.md can report precision,
 mirroring the paper's ±0.0003%/±0.00003% statements.
+
+Error batches travel bit-packed (uint64 words) end-to-end, so schemes with a
+packed syndrome-LUT fast path never touch unpacked bits.  Each Table-2 cell
+is seeded independently from ``np.random.SeedSequence(seed).spawn``, which
+makes :func:`evaluate_scheme` and :func:`sdc_risk_table` with ``workers=N``
+(a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out over cells)
+bit-identical to the serial ``workers=1`` run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -30,14 +39,14 @@ from repro.errormodel.patterns import (
     ErrorPattern,
 )
 from repro.errormodel.sampling import (
-    enumerate_bit_errors,
-    enumerate_byte_errors,
-    enumerate_double_bit_errors,
-    enumerate_pin_errors,
-    iter_triple_bit_errors,
-    sample_beat_errors,
-    sample_entry_errors,
-    sample_triple_bit_errors,
+    enumerate_bit_errors_packed,
+    enumerate_byte_errors_packed,
+    enumerate_double_bit_errors_packed,
+    enumerate_pin_errors_packed,
+    iter_triple_bit_errors_packed,
+    sample_beat_errors_packed,
+    sample_entry_errors_packed,
+    sample_triple_bit_errors_packed,
 )
 
 __all__ = [
@@ -65,6 +74,9 @@ class PatternOutcome:
     due: float
     sdc: float
     exhaustive: bool
+    #: wall-clock seconds spent generating + decoding this cell (not part of
+    #: the value — excluded from equality so timed runs still compare equal)
+    elapsed_s: float = field(default=0.0, compare=False)
 
     @property
     def sdc_confidence_99(self) -> float:
@@ -74,13 +86,23 @@ class PatternOutcome:
         variance = max(self.sdc * (1.0 - self.sdc), 1.0 / self.events)
         return _Z99 * float(np.sqrt(variance / self.events))
 
+    @property
+    def events_per_second(self) -> float:
+        """Injection throughput of this cell (0 when not timed)."""
+        if self.elapsed_s <= 0.0:
+            return 0.0
+        return self.events / self.elapsed_s
+
     def cell(self) -> str:
         """Table-2 style cell: "C" always corrected, "D" always detected,
-        otherwise the SDC percentage."""
-        if self.sdc == 0.0 and self.due == 0.0:
-            return "C"
+        "C/D" when events split between the two without any SDC, otherwise
+        the SDC percentage."""
         if self.sdc == 0.0:
-            return "D" if self.dce == 0.0 else f"{self.sdc:.4%}"
+            if self.due == 0.0:
+                return "C"
+            if self.dce == 0.0:
+                return "D"
+            return "C/D"
         return f"{self.sdc:.4%}"
 
 
@@ -103,11 +125,20 @@ class SchemeOutcome:
 
 def _decode_chunked(scheme: ECCScheme, errors: np.ndarray,
                     chunk: int = _CHUNK) -> tuple[int, int, int]:
-    """(dce, due, sdc) counts over an error batch, decoded chunk-wise."""
+    """(dce, due, sdc) counts over an error batch, decoded chunk-wise.
+
+    A ``uint64`` batch is treated as bit-packed words and decoded through
+    :meth:`ECCScheme.decode_batch_packed`; anything else goes through the
+    unpacked :meth:`ECCScheme.decode_batch_errors`.
+    """
+    packed = errors.dtype == np.uint64
     dce = due = sdc = 0
     for start in range(0, errors.shape[0], chunk):
         part = errors[start : start + chunk]
-        outcome = scheme.decode_batch_errors(part)
+        if packed:
+            outcome = scheme.decode_batch_packed(part)
+        else:
+            outcome = scheme.decode_batch_errors(part)
         due_part = int(outcome.due.sum())
         sdc_part = int(outcome.sdc().sum())
         due += due_part
@@ -124,22 +155,23 @@ def evaluate_pattern(
     rng: np.random.Generator | None = None,
     exhaustive_triples: bool = False,
 ) -> PatternOutcome:
-    """Evaluate one Table-2 cell."""
+    """Evaluate one Table-2 cell (timed; see ``PatternOutcome.elapsed_s``)."""
     rng = rng if rng is not None else np.random.default_rng(1234)
+    started = time.perf_counter()
 
     exhaustive = True
     if pattern is ErrorPattern.BIT:
-        dce, due, sdc = _decode_chunked(scheme, enumerate_bit_errors())
+        dce, due, sdc = _decode_chunked(scheme, enumerate_bit_errors_packed())
     elif pattern is ErrorPattern.PIN:
-        dce, due, sdc = _decode_chunked(scheme, enumerate_pin_errors())
+        dce, due, sdc = _decode_chunked(scheme, enumerate_pin_errors_packed())
     elif pattern is ErrorPattern.BYTE:
-        dce, due, sdc = _decode_chunked(scheme, enumerate_byte_errors())
+        dce, due, sdc = _decode_chunked(scheme, enumerate_byte_errors_packed())
     elif pattern is ErrorPattern.DOUBLE_BIT:
-        dce, due, sdc = _decode_chunked(scheme, enumerate_double_bit_errors())
+        dce, due, sdc = _decode_chunked(scheme, enumerate_double_bit_errors_packed())
     elif pattern is ErrorPattern.TRIPLE_BIT:
         if exhaustive_triples:
             dce = due = sdc = 0
-            for block in iter_triple_bit_errors():
+            for block in iter_triple_bit_errors_packed():
                 block_dce, block_due, block_sdc = _decode_chunked(scheme, block)
                 dce += block_dce
                 due += block_due
@@ -147,14 +179,18 @@ def evaluate_pattern(
         else:
             exhaustive = False
             dce, due, sdc = _decode_chunked(
-                scheme, sample_triple_bit_errors(samples, rng)
+                scheme, sample_triple_bit_errors_packed(samples, rng)
             )
     elif pattern is ErrorPattern.BEAT:
         exhaustive = False
-        dce, due, sdc = _decode_chunked(scheme, sample_beat_errors(samples, rng))
+        dce, due, sdc = _decode_chunked(
+            scheme, sample_beat_errors_packed(samples, rng)
+        )
     elif pattern is ErrorPattern.ENTRY:
         exhaustive = False
-        dce, due, sdc = _decode_chunked(scheme, sample_entry_errors(samples, rng))
+        dce, due, sdc = _decode_chunked(
+            scheme, sample_entry_errors_packed(samples, rng)
+        )
     else:
         raise ValueError(f"unknown pattern {pattern}")
 
@@ -166,7 +202,56 @@ def evaluate_pattern(
         due=due / events,
         sdc=sdc / events,
         exhaustive=exhaustive,
+        elapsed_s=time.perf_counter() - started,
     )
+
+
+def _scheme_payload(scheme: ECCScheme):
+    """Cheapest picklable handle on a scheme for worker processes.
+
+    Registry-built schemes travel as their name (workers rebuild them through
+    the per-process registry cache); anything else is pickled whole.
+    """
+    from repro.core.registry import get_scheme
+
+    try:
+        if get_scheme(scheme.name) is scheme:
+            return scheme.name
+    except KeyError:
+        pass
+    return scheme
+
+
+def _evaluate_cell(
+    payload,
+    pattern: ErrorPattern,
+    samples: int,
+    seed_seq: np.random.SeedSequence,
+    exhaustive_triples: bool,
+) -> PatternOutcome:
+    """Worker entry point: one (scheme, pattern) cell with its own seed."""
+    if isinstance(payload, str):
+        from repro.core.registry import get_scheme
+
+        scheme = get_scheme(payload)
+    else:
+        scheme = payload
+    return evaluate_pattern(
+        scheme,
+        pattern,
+        samples=samples,
+        rng=np.random.default_rng(seed_seq),
+        exhaustive_triples=exhaustive_triples,
+    )
+
+
+def _cell_seeds(seed: int) -> list[np.random.SeedSequence]:
+    """One independent child seed per Table-2 pattern.
+
+    The spawn is a pure function of ``seed``, so any execution order — serial
+    or fanned out over workers — evaluates every cell with the same stream.
+    """
+    return np.random.SeedSequence(seed).spawn(len(ErrorPattern))
 
 
 def evaluate_scheme(
@@ -175,19 +260,29 @@ def evaluate_scheme(
     samples: int = _DEFAULT_SAMPLES,
     seed: int = 1234,
     exhaustive_triples: bool = False,
+    workers: int | None = None,
 ) -> dict[ErrorPattern, PatternOutcome]:
-    """All seven Table-2 cells for one scheme."""
-    rng = np.random.default_rng(seed)
-    return {
-        pattern: evaluate_pattern(
-            scheme,
-            pattern,
-            samples=samples,
-            rng=rng,
-            exhaustive_triples=exhaustive_triples,
-        )
-        for pattern in ErrorPattern
-    }
+    """All seven Table-2 cells for one scheme.
+
+    With ``workers=N`` (N > 1) the cells fan out over a process pool;
+    per-cell seeding makes the result bit-identical to the serial run.
+    """
+    cells = list(zip(ErrorPattern, _cell_seeds(seed)))
+    if workers is not None and workers > 1:
+        payload = _scheme_payload(scheme)
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = [
+                pool.submit(_evaluate_cell, payload, pattern, samples,
+                            child, exhaustive_triples)
+                for pattern, child in cells
+            ]
+            outcomes = [future.result() for future in futures]
+    else:
+        outcomes = [
+            _evaluate_cell(scheme, pattern, samples, child, exhaustive_triples)
+            for pattern, child in cells
+        ]
+    return {pattern: outcome for (pattern, _), outcome in zip(cells, outcomes)}
 
 
 def weighted_outcomes(
@@ -232,14 +327,40 @@ def sdc_risk_table(
     samples: int = _DEFAULT_SAMPLES,
     seed: int = 1234,
     exhaustive_triples: bool = False,
+    workers: int | None = None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
-    """Table 2: per-pattern outcomes for a list of schemes."""
-    return {
-        scheme.name: evaluate_scheme(
-            scheme,
-            samples=samples,
-            seed=seed,
-            exhaustive_triples=exhaustive_triples,
-        )
-        for scheme in schemes
-    }
+    """Table 2: per-pattern outcomes for a list of schemes.
+
+    With ``workers=N`` every (scheme, pattern) cell becomes one process-pool
+    job — the widest fan-out this harness offers.  Seeds are spawned per
+    pattern exactly as in :func:`evaluate_scheme`, so the table is
+    bit-identical whatever ``workers`` is.
+    """
+    if workers is None or workers <= 1:
+        return {
+            scheme.name: evaluate_scheme(
+                scheme,
+                samples=samples,
+                seed=seed,
+                exhaustive_triples=exhaustive_triples,
+            )
+            for scheme in schemes
+        }
+
+    cells = list(zip(ErrorPattern, _cell_seeds(seed)))
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = {
+            (scheme.name, pattern): pool.submit(
+                _evaluate_cell, _scheme_payload(scheme), pattern, samples,
+                child, exhaustive_triples,
+            )
+            for scheme in schemes
+            for pattern, child in cells
+        }
+        return {
+            scheme.name: {
+                pattern: futures[(scheme.name, pattern)].result()
+                for pattern, _ in cells
+            }
+            for scheme in schemes
+        }

@@ -18,6 +18,8 @@ priority rule of Table 1.
 
 from __future__ import annotations
 
+from functools import cache
+
 import numpy as np
 
 from repro.core.layout import (
@@ -34,20 +36,35 @@ from repro.core.layout import (
 )
 from repro.errormodel.classify import classify_errors_batch
 from repro.errormodel.patterns import ErrorPattern
+from repro.gf.gf2 import pack_rows
 
 __all__ = [
     "enumerate_bit_errors",
     "enumerate_pin_errors",
     "enumerate_byte_errors",
     "enumerate_double_bit_errors",
+    "enumerate_bit_errors_packed",
+    "enumerate_pin_errors_packed",
+    "enumerate_byte_errors_packed",
+    "enumerate_double_bit_errors_packed",
     "iter_triple_bit_errors",
+    "iter_triple_bit_errors_packed",
     "count_triple_bit_errors",
     "sample_triple_bit_errors",
     "sample_beat_errors",
     "sample_entry_errors",
+    "sample_triple_bit_errors_packed",
+    "sample_beat_errors_packed",
+    "sample_entry_errors_packed",
     "sample_pattern",
     "pattern_space_size",
 ]
+
+
+def _frozen(errors: np.ndarray) -> np.ndarray:
+    """Mark a cached enumeration read-only so callers cannot corrupt it."""
+    errors.setflags(write=False)
+    return errors
 
 
 def _multi_bit_masks(width: int, minimum_weight: int = 2) -> np.ndarray:
@@ -57,13 +74,15 @@ def _multi_bit_masks(width: int, minimum_weight: int = 2) -> np.ndarray:
     return bits[bits.sum(axis=1) >= minimum_weight]
 
 
+@cache
 def enumerate_bit_errors() -> np.ndarray:
-    """All 288 single-bit errors."""
-    return np.eye(ENTRY_BITS, dtype=np.uint8)
+    """All 288 single-bit errors (cached, read-only)."""
+    return _frozen(np.eye(ENTRY_BITS, dtype=np.uint8))
 
 
+@cache
 def enumerate_pin_errors() -> np.ndarray:
-    """All 72 pins × 11 multi-bit beat masks = 792 pin errors."""
+    """All 72 pins × 11 multi-bit beat masks = 792 pin errors (cached)."""
     masks = _multi_bit_masks(NUM_BEATS)
     errors = np.zeros((NUM_PINS * masks.shape[0], ENTRY_BITS), dtype=np.uint8)
     row = 0
@@ -72,11 +91,13 @@ def enumerate_pin_errors() -> np.ndarray:
         for mask in masks:
             errors[row, positions] = mask
             row += 1
-    return errors
+    return _frozen(errors)
 
 
+@cache
 def enumerate_byte_errors() -> np.ndarray:
-    """All 36 byte positions × 247 multi-bit masks = 8,892 byte errors."""
+    """All 36 byte positions × 247 multi-bit masks = 8,892 byte errors
+    (cached)."""
     masks = _multi_bit_masks(BITS_PER_BYTE)
     errors = np.zeros((NUM_BYTES * masks.shape[0], ENTRY_BITS), dtype=np.uint8)
     row = 0
@@ -85,12 +106,12 @@ def enumerate_byte_errors() -> np.ndarray:
         for mask in masks:
             errors[row, positions] = mask
             row += 1
-    return errors
+    return _frozen(errors)
 
 
+@cache
 def enumerate_double_bit_errors() -> np.ndarray:
-    """All bit pairs not sharing a pin or a byte (39,888 errors)."""
-    indices = np.arange(ENTRY_BITS)
+    """All bit pairs not sharing a pin or a byte (39,888 errors, cached)."""
     first, second = np.triu_indices(ENTRY_BITS, k=1)
     keep = (pin_of(first) != pin_of(second)) & (byte_of(first) != byte_of(second))
     first, second = first[keep], second[keep]
@@ -98,7 +119,31 @@ def enumerate_double_bit_errors() -> np.ndarray:
     rows = np.arange(first.size)
     errors[rows, first] = 1
     errors[rows, second] = 1
-    return errors
+    return _frozen(errors)
+
+
+@cache
+def enumerate_bit_errors_packed() -> np.ndarray:
+    """:func:`enumerate_bit_errors` as (288, 5) packed uint64 words."""
+    return _frozen(pack_rows(enumerate_bit_errors()))
+
+
+@cache
+def enumerate_pin_errors_packed() -> np.ndarray:
+    """:func:`enumerate_pin_errors` as (792, 5) packed uint64 words."""
+    return _frozen(pack_rows(enumerate_pin_errors()))
+
+
+@cache
+def enumerate_byte_errors_packed() -> np.ndarray:
+    """:func:`enumerate_byte_errors` as (8892, 5) packed uint64 words."""
+    return _frozen(pack_rows(enumerate_byte_errors()))
+
+
+@cache
+def enumerate_double_bit_errors_packed() -> np.ndarray:
+    """:func:`enumerate_double_bit_errors` as (39888, 5) packed words."""
+    return _frozen(pack_rows(enumerate_double_bit_errors()))
 
 
 def iter_triple_bit_errors(chunk: int = 65536):
@@ -130,6 +175,12 @@ def iter_triple_bit_errors(chunk: int = 65536):
             block[rows, b_part] = 1
             block[rows, c_part] = 1
             yield block
+
+
+def iter_triple_bit_errors_packed(chunk: int = 65536):
+    """:func:`iter_triple_bit_errors` with blocks packed into uint64 words."""
+    for block in iter_triple_bit_errors(chunk):
+        yield pack_rows(block)
 
 
 def count_triple_bit_errors() -> int:
@@ -214,6 +265,26 @@ def sample_entry_errors(count: int, rng: np.random.Generator) -> np.ndarray:
         return rng.integers(0, 2, size=(n, ENTRY_BITS), dtype=np.uint8)
 
     return _rejection_sample(count, rng, ErrorPattern.ENTRY, draw)
+
+
+def sample_triple_bit_errors_packed(count: int,
+                                    rng: np.random.Generator) -> np.ndarray:
+    """:func:`sample_triple_bit_errors` packed into uint64 words.
+
+    Consumes the identical random stream as the unpacked sampler, so a
+    packed evaluation reproduces the unpacked one bit-for-bit.
+    """
+    return pack_rows(sample_triple_bit_errors(count, rng))
+
+
+def sample_beat_errors_packed(count: int, rng: np.random.Generator) -> np.ndarray:
+    """:func:`sample_beat_errors` packed into uint64 words (same stream)."""
+    return pack_rows(sample_beat_errors(count, rng))
+
+
+def sample_entry_errors_packed(count: int, rng: np.random.Generator) -> np.ndarray:
+    """:func:`sample_entry_errors` packed into uint64 words (same stream)."""
+    return pack_rows(sample_entry_errors(count, rng))
 
 
 def pattern_space_size(pattern: ErrorPattern) -> int | None:

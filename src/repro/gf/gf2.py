@@ -20,6 +20,12 @@ __all__ = [
     "int_from_bits",
     "pack_bits",
     "unpack_bits",
+    "pack_rows",
+    "unpack_rows",
+    "bytes_from_rows",
+    "bytes_from_words",
+    "syndrome_byte_table",
+    "syndromes_from_bytes",
     "gf2_matmul",
     "gf2_mat_vec",
     "syndromes_of",
@@ -83,6 +89,96 @@ def unpack_bits(values: np.ndarray, width: int) -> np.ndarray:
     values = np.asarray(values, dtype=np.int64)
     shifts = np.arange(width, dtype=np.int64)
     return ((values[..., None] >> shifts) & 1).astype(np.uint8)
+
+
+def bytes_from_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack the trailing 0/1 axis into bytes, bit ``i`` at weight ``2**(i%8)``.
+
+    A length-N trailing axis becomes ``ceil(N/8)`` bytes.  This is the byte
+    view of the packed-word representation below, and the index space of
+    :func:`syndrome_byte_table`.
+    """
+    return np.packbits(np.asarray(bits, dtype=np.uint8), axis=-1,
+                       bitorder="little")
+
+
+def pack_rows(bits: np.ndarray) -> np.ndarray:
+    """Pack the trailing 0/1 axis into little-endian ``uint64`` words.
+
+    Bit ``i`` of a row lands in word ``i // 64`` at weight ``2**(i % 64)``,
+    so a ``(B, 288)`` error batch packs into ``(B, 5)`` words.  Unlike
+    :func:`pack_bits` there is no 63-bit width limit; this is the dense
+    transport format of the fast decode path.
+    """
+    bits = np.asarray(bits, dtype=np.uint8)
+    width = bits.shape[-1]
+    num_words = -(-width // 64) if width else 0
+    byte_rows = bytes_from_rows(bits)
+    pad = num_words * 8 - byte_rows.shape[-1]
+    if pad:
+        byte_rows = np.concatenate(
+            [byte_rows, np.zeros(byte_rows.shape[:-1] + (pad,), dtype=np.uint8)],
+            axis=-1,
+        )
+    grouped = byte_rows.reshape(byte_rows.shape[:-1] + (num_words, 8))
+    shifts = (np.uint64(8) * np.arange(8, dtype=np.uint64))
+    return np.bitwise_or.reduce(grouped.astype(np.uint64) << shifts, axis=-1)
+
+
+def bytes_from_words(words: np.ndarray, num_bytes: int) -> np.ndarray:
+    """Expand packed ``uint64`` words into their first ``num_bytes`` bytes.
+
+    Inverse of the byte-grouping in :func:`pack_rows`; endian-independent.
+    """
+    words = np.asarray(words, dtype=np.uint64)
+    shifts = (np.uint64(8) * np.arange(8, dtype=np.uint64))
+    byte_rows = ((words[..., None] >> shifts) & np.uint64(0xFF)).astype(np.uint8)
+    return byte_rows.reshape(words.shape[:-1] + (-1,))[..., :num_bytes]
+
+
+def unpack_rows(words: np.ndarray, width: int) -> np.ndarray:
+    """Inverse of :func:`pack_rows` — expand words into ``width`` 0/1 bits."""
+    byte_rows = bytes_from_words(words, -(-width // 8))
+    return np.unpackbits(byte_rows, axis=-1, bitorder="little")[..., :width]
+
+
+def syndrome_byte_table(h_matrix: np.ndarray) -> np.ndarray:
+    """Per-byte-position packed-syndrome contribution table for ``H``.
+
+    For an ``(R, N)`` parity-check matrix (R <= 62) the table has shape
+    ``(ceil(N/8), 256)`` and satisfies, for any error vector ``e`` packed
+    into bytes ``b`` by :func:`bytes_from_rows`::
+
+        pack_bits(H @ e mod 2)  ==  XOR_j table[j, b[j]]
+
+    which turns batch syndrome computation into one fancy gather plus an
+    XOR reduction (:func:`syndromes_from_bytes`) — no GF(2) matmul.
+    """
+    h_matrix = np.asarray(h_matrix, dtype=np.uint8)
+    rows, cols = h_matrix.shape
+    if rows > 62:
+        raise ValueError("syndrome_byte_table supports at most 62 check rows")
+    column_syndromes = pack_bits(h_matrix.T)  # (N,)
+    num_bytes = -(-cols // 8)
+    padded = np.zeros(num_bytes * 8, dtype=np.int64)
+    padded[:cols] = column_syndromes
+    # values[v, k] — bit k of byte value v
+    values = ((np.arange(256)[:, None] >> np.arange(8)) & 1).astype(bool)
+    table = np.zeros((num_bytes, 256), dtype=np.int64)
+    segments = padded.reshape(num_bytes, 8)
+    for bit in range(8):
+        table ^= np.where(values[:, bit], segments[:, bit : bit + 1], 0)
+    return table
+
+
+def syndromes_from_bytes(table: np.ndarray, byte_rows: np.ndarray) -> np.ndarray:
+    """Packed syndromes of byte-packed rows via a :func:`syndrome_byte_table`.
+
+    ``byte_rows`` has shape ``(B, num_bytes)``; the result is ``(B,)``.
+    """
+    byte_rows = np.asarray(byte_rows, dtype=np.uint8)
+    positions = np.arange(table.shape[0])
+    return np.bitwise_xor.reduce(table[positions, byte_rows], axis=-1)
 
 
 def gf2_matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:

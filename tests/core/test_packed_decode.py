@@ -1,0 +1,86 @@
+"""The packed syndrome-LUT fast path against the unpacked reference oracle.
+
+`BinaryEntryScheme.decode_batch_errors_reference` is the original
+matmul-based batch decoder; the packed path (`decode_batch_errors` /
+`decode_batch_packed`) must reproduce its every output field on structured
+and random error batches alike.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import get_scheme
+from repro.core.layout import ENTRY_BITS, ENTRY_WORDS
+from repro.core.registry import SCHEME_NAMES, binary_scheme_names
+from repro.errormodel.sampling import (
+    enumerate_byte_errors,
+    enumerate_double_bit_errors,
+    enumerate_pin_errors,
+)
+from repro.gf.gf2 import pack_rows
+
+BINARY = binary_scheme_names()
+
+
+def _assert_same(reference, other, context):
+    assert np.array_equal(reference.due, other.due), context
+    assert np.array_equal(reference.residual_data, other.residual_data), context
+    assert np.array_equal(reference.corrected, other.corrected), context
+
+
+def _batches():
+    rng = np.random.default_rng(2024)
+    return {
+        "sparse": (rng.random((1500, ENTRY_BITS)) < 0.01).astype(np.uint8),
+        "dense": (rng.random((800, ENTRY_BITS)) < 0.25).astype(np.uint8),
+        "pins": enumerate_pin_errors(),
+        "bytes": enumerate_byte_errors(),
+        "doubles": enumerate_double_bit_errors()[::7],
+        "zero": np.zeros((4, ENTRY_BITS), dtype=np.uint8),
+    }
+
+
+@pytest.mark.parametrize("name", BINARY)
+class TestPackedAgainstReference:
+    def test_bit_input_matches_reference(self, name):
+        scheme = get_scheme(name)
+        for batch_name, errors in _batches().items():
+            _assert_same(
+                scheme.decode_batch_errors_reference(errors),
+                scheme.decode_batch_errors(errors),
+                (name, batch_name),
+            )
+
+    def test_packed_input_matches_reference(self, name):
+        scheme = get_scheme(name)
+        for batch_name, errors in _batches().items():
+            _assert_same(
+                scheme.decode_batch_errors_reference(errors),
+                scheme.decode_batch_packed(pack_rows(errors)),
+                (name, batch_name),
+            )
+
+    def test_packed_tables_built(self, name):
+        assert get_scheme(name)._packed_ok
+
+
+@pytest.mark.parametrize("name", SCHEME_NAMES)
+class TestPackedEntryPoint:
+    """decode_batch_packed exists on every scheme (default: unpack+delegate)."""
+
+    def test_packed_equals_unpacked(self, name):
+        scheme = get_scheme(name)
+        rng = np.random.default_rng(11)
+        errors = (rng.random((300, ENTRY_BITS)) < 0.02).astype(np.uint8)
+        _assert_same(
+            scheme.decode_batch_errors(errors),
+            scheme.decode_batch_packed(pack_rows(errors)),
+            name,
+        )
+
+    def test_rejects_wrong_shape(self, name):
+        scheme = get_scheme(name)
+        with pytest.raises(ValueError):
+            scheme.decode_batch_packed(
+                np.zeros((3, ENTRY_WORDS + 1), dtype=np.uint64)
+            )

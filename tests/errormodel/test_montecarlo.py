@@ -93,6 +93,57 @@ class TestCells:
         assert detected.cell() == "D"
         assert "%" in risky.cell()
 
+    def test_cell_mixed_correct_and_detect(self):
+        """sdc == 0 but neither dce nor due is 1.0: not "0.0000%"."""
+        mixed = PatternOutcome(ErrorPattern.PIN, 10, 0.7, 0.3, 0.0, True)
+        assert mixed.cell() == "C/D"
+
+    def test_cell_sdc_shows_percentage(self):
+        tiny = PatternOutcome(ErrorPattern.ENTRY, 10, 0.9, 0.0999, 0.0001, False)
+        assert tiny.cell() == "0.0100%"
+
+
+class TestTiming:
+    def test_elapsed_and_rate_populated(self):
+        outcome = evaluate_pattern(get_scheme("ni-secded"), ErrorPattern.BIT)
+        assert outcome.elapsed_s > 0.0
+        assert outcome.events_per_second > 0.0
+        assert outcome.events_per_second == outcome.events / outcome.elapsed_s
+
+    def test_elapsed_excluded_from_equality(self):
+        one = PatternOutcome(ErrorPattern.BIT, 10, 1.0, 0.0, 0.0, True, 0.5)
+        two = PatternOutcome(ErrorPattern.BIT, 10, 1.0, 0.0, 0.0, True, 9.0)
+        assert one == two
+
+
+class TestWorkers:
+    """The ProcessPoolExecutor fan-out is bit-identical to the serial path."""
+
+    def test_evaluate_scheme_workers_bit_identical(self):
+        scheme = get_scheme("duet")
+        serial = evaluate_scheme(scheme, samples=600, seed=5)
+        fanned = evaluate_scheme(scheme, samples=600, seed=5, workers=2)
+        assert fanned == serial
+
+    def test_sdc_risk_table_workers_bit_identical(self):
+        schemes = [get_scheme("ni-secded"), get_scheme("trio")]
+        serial = sdc_risk_table(schemes, samples=600, seed=6)
+        fanned = sdc_risk_table(schemes, samples=600, seed=6, workers=2)
+        assert fanned == serial
+
+    def test_unregistered_scheme_survives_fanout(self):
+        """A scheme object absent from the registry is pickled, not named."""
+        from repro.codes.hsiao import hsiao_code
+        from repro.core.binary import BinaryEntryScheme
+
+        scheme = BinaryEntryScheme(
+            hsiao_code(), interleaved=False,
+            name="local-secded", label="Local SECDED",
+        )
+        serial = evaluate_scheme(scheme, samples=400, seed=7)
+        fanned = evaluate_scheme(scheme, samples=400, seed=7, workers=2)
+        assert fanned == serial
+
 
 class TestWeightedOutcomes:
     def test_probabilities_sum_to_one(self, trio_outcomes):

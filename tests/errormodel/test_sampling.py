@@ -8,16 +8,25 @@ from repro.errormodel.patterns import ErrorPattern
 from repro.errormodel.sampling import (
     count_triple_bit_errors,
     enumerate_bit_errors,
+    enumerate_bit_errors_packed,
     enumerate_byte_errors,
+    enumerate_byte_errors_packed,
     enumerate_double_bit_errors,
+    enumerate_double_bit_errors_packed,
     enumerate_pin_errors,
+    enumerate_pin_errors_packed,
     iter_triple_bit_errors,
+    iter_triple_bit_errors_packed,
     pattern_space_size,
     sample_beat_errors,
+    sample_beat_errors_packed,
     sample_entry_errors,
+    sample_entry_errors_packed,
     sample_pattern,
     sample_triple_bit_errors,
+    sample_triple_bit_errors_packed,
 )
+from repro.gf.gf2 import pack_rows
 
 
 class TestEnumerations:
@@ -117,6 +126,56 @@ class TestRandomSamplers:
         first = sample_beat_errors(50, np.random.default_rng(7))
         second = sample_beat_errors(50, np.random.default_rng(7))
         assert np.array_equal(first, second)
+
+
+class TestCaching:
+    """Exhaustive enumerations are computed once and returned read-only."""
+
+    def test_enumerations_cached(self):
+        assert enumerate_bit_errors() is enumerate_bit_errors()
+        assert enumerate_pin_errors() is enumerate_pin_errors()
+        assert enumerate_byte_errors() is enumerate_byte_errors()
+        assert enumerate_double_bit_errors() is enumerate_double_bit_errors()
+
+    def test_cached_arrays_read_only(self):
+        errors = enumerate_double_bit_errors()
+        with pytest.raises(ValueError):
+            errors[0, 0] = 1
+
+    def test_packed_enumerations_cached(self):
+        assert enumerate_bit_errors_packed() is enumerate_bit_errors_packed()
+        assert enumerate_byte_errors_packed() is enumerate_byte_errors_packed()
+
+
+class TestPackedVariants:
+    """Packed emitters carry the exact bits of their unpacked counterparts."""
+
+    def test_packed_enumerations_match(self):
+        pairs = [
+            (enumerate_bit_errors, enumerate_bit_errors_packed),
+            (enumerate_pin_errors, enumerate_pin_errors_packed),
+            (enumerate_byte_errors, enumerate_byte_errors_packed),
+            (enumerate_double_bit_errors, enumerate_double_bit_errors_packed),
+        ]
+        for unpacked, packed in pairs:
+            assert np.array_equal(packed(), pack_rows(unpacked()))
+
+    def test_packed_triple_iterator_matches(self):
+        unpacked = next(iter_triple_bit_errors(chunk=4096))
+        packed = next(iter_triple_bit_errors_packed(chunk=4096))
+        assert np.array_equal(packed, pack_rows(unpacked))
+
+    @pytest.mark.parametrize("pair", [
+        (sample_triple_bit_errors, sample_triple_bit_errors_packed),
+        (sample_beat_errors, sample_beat_errors_packed),
+        (sample_entry_errors, sample_entry_errors_packed),
+    ])
+    def test_packed_samplers_share_random_stream(self, pair):
+        unpacked_fn, packed_fn = pair
+        unpacked = unpacked_fn(200, np.random.default_rng(42))
+        packed = packed_fn(200, np.random.default_rng(42))
+        assert packed.dtype == np.uint64
+        assert np.array_equal(packed, pack_rows(unpacked))
 
 
 class TestDispatcher:

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 
 from repro.gf.gf2 import (
     bits_from_int,
+    bytes_from_rows,
+    bytes_from_words,
     gf2_inverse,
     gf2_matmul,
     gf2_mat_vec,
@@ -15,8 +17,12 @@ from repro.gf.gf2 import (
     gf2_solve,
     int_from_bits,
     pack_bits,
+    pack_rows,
+    syndrome_byte_table,
     syndromes_batch,
+    syndromes_from_bytes,
     unpack_bits,
+    unpack_rows,
 )
 
 
@@ -142,6 +148,58 @@ class TestInverse:
         x = rng.integers(0, 2, 8, dtype=np.uint8)
         rhs = gf2_mat_vec(matrix, x)
         assert np.array_equal(gf2_solve(matrix, rhs), x)
+
+
+class TestPackedRows:
+    """The uint64 packed-word representation of the decode fast path."""
+
+    @pytest.mark.parametrize("width", [1, 7, 64, 70, 288])
+    def test_roundtrip(self, width):
+        rng = np.random.default_rng(width)
+        bits = rng.integers(0, 2, (9, width), dtype=np.uint8)
+        words = pack_rows(bits)
+        assert words.dtype == np.uint64
+        assert words.shape == (9, -(-width // 64))
+        assert np.array_equal(unpack_rows(words, width), bits)
+
+    def test_bit_placement(self):
+        bits = np.zeros((1, 288), dtype=np.uint8)
+        bits[0, 0] = 1
+        bits[0, 70] = 1
+        bits[0, 287] = 1
+        words = pack_rows(bits)
+        assert words[0, 0] == np.uint64(1)
+        assert words[0, 1] == np.uint64(1) << np.uint64(6)  # bit 70 = word 1 bit 6
+        assert words[0, 4] == np.uint64(1) << np.uint64(31)  # bit 287
+
+    def test_bytes_from_words_matches_bytes_from_rows(self):
+        rng = np.random.default_rng(1)
+        bits = rng.integers(0, 2, (5, 288), dtype=np.uint8)
+        assert np.array_equal(
+            bytes_from_words(pack_rows(bits), 36), bytes_from_rows(bits)
+        )
+
+
+class TestSyndromeByteTable:
+    @pytest.mark.parametrize("shape", [(8, 72), (9, 72), (32, 288), (5, 13)])
+    def test_matches_matmul_syndromes(self, shape):
+        rng = np.random.default_rng(shape[1])
+        h = rng.integers(0, 2, shape, dtype=np.uint8)
+        errors = rng.integers(0, 2, (40, shape[1]), dtype=np.uint8)
+        table = syndrome_byte_table(h)
+        assert table.shape == (-(-shape[1] // 8), 256)
+        got = syndromes_from_bytes(table, bytes_from_rows(errors))
+        assert np.array_equal(got, pack_bits(syndromes_batch(h, errors)))
+
+    def test_zero_error_zero_syndrome(self):
+        h = np.random.default_rng(0).integers(0, 2, (8, 72), dtype=np.uint8)
+        table = syndrome_byte_table(h)
+        zero = np.zeros((1, 72), dtype=np.uint8)
+        assert syndromes_from_bytes(table, bytes_from_rows(zero))[0] == 0
+
+    def test_too_many_rows_rejected(self):
+        with pytest.raises(ValueError):
+            syndrome_byte_table(np.zeros((63, 100), dtype=np.uint8))
 
 
 @settings(max_examples=30)
