@@ -13,6 +13,7 @@ fd-level capture swallows ordinary prints from passing tests, so
 
 from __future__ import annotations
 
+import re
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -21,20 +22,26 @@ RESULTS_DIR = Path(__file__).parent / "results"
 EMITTED: list[str] = []
 
 
+def slugify(name: str) -> str:
+    """Filesystem-safe archive name for a banner title.
+
+    Paper-artifact titles ("Figure 8: ...", "Table 3 (decoders): ...")
+    keep everything before the colon — including the parenthetical, which
+    disambiguates the two Table-3 halves; free-form titles ("Throughput —
+    trio batch decoder (paper: ...)") drop their parenthetical aside.
+    Whatever survives is collapsed to ``[a-z0-9._-]`` runs and capped at
+    60 characters.
+    """
+    head = name.split(":")[0] if re.match(r"(Figure|Table|Section)\b", name) \
+        else name.split("(")[0]
+    slug = re.sub(r"[^a-z0-9.-]+", "_", head.lower())
+    return slug.strip("_.-")[:60].rstrip("_.-")
+
+
 def emit(name: str, text: str) -> None:
     """Queue a regenerated table/figure and archive it under results/."""
     banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}"
     EMITTED.append(banner)
 
     RESULTS_DIR.mkdir(exist_ok=True)
-    head = name.split("(")[0].strip()
-    if head.startswith(("Figure", "Table", "Section")):
-        head = head.split(":")[0]
-    slug = (
-        head.lower()
-        .replace(":", "")
-        .replace("—", "-")
-        .replace(" ", "_")
-        .replace("/", "-")[:60]
-    )
-    (RESULTS_DIR / f"{slug}.txt").write_text(text + "\n")
+    (RESULTS_DIR / f"{slugify(name)}.txt").write_text(text + "\n")

@@ -1,0 +1,49 @@
+"""Run-store cache speedup (library performance).
+
+Tracks the tentpole promise of the persistent run store: a warm
+:class:`repro.runs.CellCache` makes a full :func:`evaluate_scheme` sweep
+essentially free while staying bit-identical to the cold computation.
+"""
+
+import time
+
+from benchmarks._output import emit
+from repro.core import get_scheme
+from repro.errormodel.montecarlo import evaluate_scheme
+from repro.runs import CellCache, RunStore
+
+SAMPLES = 20_000
+SEED = 20211018
+
+
+def test_runs_cache_warm_speedup(tmp_path):
+    """Warm lookups skip injection + decode entirely and stay identical."""
+    scheme = get_scheme("trio")
+    store = RunStore(tmp_path / "store")
+
+    cold_cache = CellCache(store)
+    start = time.perf_counter()
+    cold = evaluate_scheme(scheme, samples=SAMPLES, seed=SEED,
+                           cache=cold_cache)
+    cold_s = time.perf_counter() - start
+
+    warm_cache = CellCache(store)
+    start = time.perf_counter()
+    warm = evaluate_scheme(scheme, samples=SAMPLES, seed=SEED,
+                           cache=warm_cache)
+    warm_s = time.perf_counter() - start
+
+    assert warm == cold
+    assert (cold_cache.hits, cold_cache.misses) == (0, 7)
+    assert (warm_cache.hits, warm_cache.misses) == (7, 0)
+
+    speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    emit(
+        "Throughput — run-store cache (trio)",
+        f"cold {cold_s:6.3f} s (7 misses)\n"
+        f"warm {warm_s:6.3f} s (7 hits, bit-identical)\n"
+        f"speedup {speedup:,.0f}x",
+    )
+    # The acceptance bar is 10x on the full fig8 sweep; a single scheme
+    # clears it comfortably unless artifact IO regresses badly.
+    assert speedup > 10

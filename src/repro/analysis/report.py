@@ -61,14 +61,15 @@ def _section_table1(config: ReportConfig) -> str:
     )
 
 
-def _outcomes(config: ReportConfig):
+def _outcomes(config: ReportConfig, workers=None, cache=None):
     from repro.core import all_schemes
     from repro.errormodel.montecarlo import evaluate_scheme, weighted_outcomes
 
     outcomes = {}
     for scheme in all_schemes():
         per_pattern = evaluate_scheme(
-            scheme, samples=config.samples, seed=config.seed
+            scheme, samples=config.samples, seed=config.seed,
+            workers=workers, cache=cache,
         )
         outcomes[scheme.name] = weighted_outcomes(
             scheme, per_pattern=per_pattern
@@ -183,13 +184,21 @@ def generate_report(
     seed: int = 20211018,
     campaign_events: int = 4000,
     exaflops: tuple[float, ...] = (0.5, 1.0, 2.0),
+    workers: int | None = None,
+    cache=None,
 ) -> str:
-    """Render the full reproduction report as Markdown."""
+    """Render the full reproduction report as Markdown.
+
+    ``workers`` fans the Table-2 cells out over a process pool and
+    ``cache`` (e.g. :class:`repro.runs.CellCache`) reuses cells already in
+    the persistent run store — both leave the rendered report
+    byte-identical.
+    """
     config = ReportConfig(
         samples=samples, seed=seed, campaign_events=campaign_events,
         exaflops=exaflops,
     )
-    outcomes = _outcomes(config)
+    outcomes = _outcomes(config, workers=workers, cache=cache)
     parts = [
         "# Reproduction report — Characterizing and Mitigating Soft Errors "
         "in GPU DRAM (MICRO 2021)",

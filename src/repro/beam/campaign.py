@@ -126,8 +126,19 @@ class BeamCampaign:
             self.device.inject_upset(entry_index, flips)
 
     # -- campaign ------------------------------------------------------------
-    def run(self, patterns: list[DataPattern] | None = None) -> CampaignResult:
-        """Run ``config.runs`` microbenchmark runs, rotating data patterns."""
+    def run(
+        self,
+        patterns: list[DataPattern] | None = None,
+        *,
+        checkpoint=None,
+    ) -> CampaignResult:
+        """Run ``config.runs`` microbenchmark runs, rotating data patterns.
+
+        ``checkpoint`` (e.g. :class:`repro.runs.CampaignCheckpoint`, or any
+        object with ``record_run(run_index, records, clock)``) is notified
+        after each completed run, so an interrupted campaign leaves an
+        append-only progress log behind.
+        """
         patterns = patterns or STANDARD_PATTERNS()
         benchmark = Microbenchmark(
             self.device,
@@ -146,6 +157,8 @@ class BeamCampaign:
                     environment=self._environment,
                 )
             )
+            if checkpoint is not None:
+                checkpoint.record_run(run_index, records, self.clock)
         return CampaignResult(
             records=records,
             events=list(self._event_log),

@@ -10,6 +10,14 @@ Gives shell access to the main workflows of the library:
 ``system``      exascale MTTI/MTTF and the ISO 26262 automotive assessment
 ``search``      run the genetic SEC-2bEC code search and print the H matrix
 ``report``      generate the full reproduction report as Markdown
+``runs``        inspect the persistent run store (list/show/diff/gc)
+
+The evaluation commands (``evaluate``, ``fig8``, ``report``, ``system``,
+``campaign``) cache their results in the persistent run store by default
+(``--no-cache`` opts out), accept ``--workers N`` to fan Table-2 cells out
+over a process pool, and accept ``--resume <run-id>`` to restart an
+interrupted sweep with its original parameters — completed cells come back
+as cache hits, so only the unfinished work is recomputed.
 """
 
 from __future__ import annotations
@@ -20,6 +28,32 @@ import sys
 from repro.analysis.tables import format_percent, format_table
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_store_flags(parser: argparse.ArgumentParser,
+                     workers: bool = True) -> None:
+    """The run-store flags shared by every evaluation subcommand."""
+    if workers:
+        parser.add_argument(
+            "--workers", type=int, default=None, metavar="N",
+            help="fan Table-2 cells out over N worker processes "
+                 "(bit-identical to the serial run)")
+        parser.add_argument(
+            "--cell-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-cell wall-clock bound in the fanned-out path "
+                 "(timed-out cells are requeued, then run serially)")
+    parser.add_argument(
+        "--cache", action=argparse.BooleanOptionalAction, default=True,
+        help="reuse / record results in the persistent run store "
+             "(default: on)")
+    parser.add_argument(
+        "--resume", default=None, metavar="RUN_ID",
+        help="restart an interrupted run with its stored parameters; "
+             "completed cells become cache hits")
+    parser.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run-store root (default: $REPRO_RUNS_DIR or "
+             "~/.cache/repro-runs)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -38,10 +72,12 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--samples", type=int, default=20_000,
                           help="Monte Carlo samples per sampled pattern")
     evaluate.add_argument("--seed", type=int, default=1234)
+    _add_store_flags(evaluate)
 
     fig8 = sub.add_parser("fig8", help="Figure-8 comparison of all schemes")
     fig8.add_argument("--samples", type=int, default=20_000)
     fig8.add_argument("--seed", type=int, default=1234)
+    _add_store_flags(fig8)
 
     sub.add_parser("hardware", help="Table-3 synthesis estimates")
 
@@ -50,24 +86,93 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2021)
     campaign.add_argument("--events", type=int, default=3000,
                           help="generator-truth events for the statistics")
+    _add_store_flags(campaign, workers=False)
 
     system = sub.add_parser("system", help="HPC and automotive system models")
     system.add_argument("--scheme", default="trio")
     system.add_argument("--samples", type=int, default=20_000)
     system.add_argument("--exaflops", type=float, nargs="+",
                         default=[0.5, 1.0, 2.0])
+    _add_store_flags(system)
 
     report = sub.add_parser("report", help="full reproduction report (Markdown)")
     report.add_argument("-o", "--output", default=None,
                         help="write to a file instead of stdout")
     report.add_argument("--samples", type=int, default=20_000)
     report.add_argument("--seed", type=int, default=20211018)
+    _add_store_flags(report)
 
     search = sub.add_parser("search", help="genetic SEC-2bEC code search")
     search.add_argument("--population", type=int, default=24)
     search.add_argument("--generations", type=int, default=40)
     search.add_argument("--seed", type=int, default=2021)
+
+    from repro.runs.cli import add_runs_parser
+
+    add_runs_parser(sub)
     return parser
+
+
+# ---------------------------------------------------------------------------
+# Run-session plumbing
+# ---------------------------------------------------------------------------
+
+def _begin_session(args, command: str, config: dict):
+    """Open a run session for a cached subcommand, or None when disabled.
+
+    An unusable store (read-only disk, bad root) only disables caching; a
+    bad ``--resume`` id is a hard user error and exits with a message.
+    """
+    if not args.cache and args.resume is None:
+        return None
+    from repro.runs import RunSession, UnknownRunError
+
+    try:
+        return RunSession.begin(command=command, config=config,
+                                root=args.runs_dir, resume=args.resume)
+    except (UnknownRunError, ValueError) as exc:
+        message = exc.args[0] if exc.args else exc
+        print(f"repro: error: {message}", file=sys.stderr)
+        raise SystemExit(2) from None
+    except OSError as exc:
+        print(f"repro: warning: run store unavailable ({exc}); "
+              "caching disabled", file=sys.stderr)
+        return None
+
+
+class _NullSession:
+    """No-op stand-in so command bodies read the same with caching off."""
+
+    cell_cache = None
+    config: dict = {}
+
+    def stage(self, name):
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def active(self):
+        import contextlib
+
+        return contextlib.nullcontext()
+
+    def summary(self):
+        return None
+
+
+def _session_or_null(args, command: str, config: dict):
+    session = _begin_session(args, command, config)
+    if session is None:
+        null = _NullSession()
+        null.config = config
+        return null
+    return session
+
+
+def _print_summary(session) -> None:
+    summary = session.summary()
+    if summary:
+        print(f"\n{summary}")
 
 
 # ---------------------------------------------------------------------------
@@ -93,8 +198,19 @@ def _cmd_evaluate(args) -> None:
     from repro.core import get_scheme
     from repro.errormodel import evaluate_scheme, weighted_outcomes
 
-    scheme = get_scheme(args.scheme)
-    per_pattern = evaluate_scheme(scheme, samples=args.samples, seed=args.seed)
+    session = _session_or_null(args, "evaluate", {
+        "scheme": args.scheme, "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    })
+    cfg = session.config
+    with session.active():
+        scheme = get_scheme(cfg["scheme"])
+        with session.stage("evaluate"):
+            per_pattern = evaluate_scheme(
+                scheme, samples=cfg["samples"], seed=cfg["seed"],
+                workers=cfg.get("workers"), cache=session.cell_cache,
+                cell_timeout=cfg.get("cell_timeout"),
+            )
     rows = [
         [pattern.value, outcome.events,
          f"{outcome.dce:.4%}", f"{outcome.due:.4%}",
@@ -111,22 +227,35 @@ def _cmd_evaluate(args) -> None:
         f"\nTable-1 weighted: corrected {outcome.correct:.2%}, "
         f"DUE {outcome.detect:.2%}, SDC {format_percent(outcome.sdc)}"
     )
+    _print_summary(session)
 
 
 def _cmd_fig8(args) -> None:
     from repro.core import all_schemes
-    from repro.errormodel import weighted_outcomes
+    from repro.errormodel import evaluate_scheme, weighted_outcomes
 
+    session = _session_or_null(args, "fig8", {
+        "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    })
+    cfg = session.config
     rows = []
-    for scheme in all_schemes():
-        outcome = weighted_outcomes(scheme, samples=args.samples,
-                                    seed=args.seed)
-        rows.append([
-            scheme.label, f"{outcome.correct:.2%}",
-            f"{outcome.detect:.2%}", format_percent(outcome.sdc),
-        ])
+    with session.active():
+        with session.stage("evaluate"):
+            for scheme in all_schemes():
+                per_pattern = evaluate_scheme(
+                    scheme, samples=cfg["samples"], seed=cfg["seed"],
+                    workers=cfg.get("workers"), cache=session.cell_cache,
+                    cell_timeout=cfg.get("cell_timeout"),
+                )
+                outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
+                rows.append([
+                    scheme.label, f"{outcome.correct:.2%}",
+                    f"{outcome.detect:.2%}", format_percent(outcome.sdc),
+                ])
     print(format_table(["scheme", "corrected", "DUE", "SDC"], rows,
                        title="Figure 8 — Table-1-weighted outcomes"))
+    _print_summary(session)
 
 
 def _cmd_hardware() -> None:
@@ -152,6 +281,8 @@ def _cmd_hardware() -> None:
 
 
 def _cmd_campaign(args) -> None:
+    from dataclasses import asdict
+
     from repro.beam import (
         BeamCampaign,
         CampaignConfig,
@@ -165,42 +296,96 @@ def _cmd_campaign(args) -> None:
     )
     from repro.beam.postprocess import events_from_truth
 
+    session = _session_or_null(args, "campaign", {
+        "runs": args.runs, "seed": args.seed, "events": args.events,
+    })
+    cfg = session.config
     config = CampaignConfig(
-        runs=args.runs, write_cycles=6, reads_per_write=3, loop_time_s=2.0,
-        seed=args.seed,
+        runs=cfg["runs"], write_cycles=6, reads_per_write=3, loop_time_s=2.0,
+        seed=cfg["seed"],
         event_parameters=EventParameters(mean_time_to_event_s=8.0),
         damage_parameters=DamageParameters(leaky_pool=100,
                                            saturation_fluence=3e8),
     )
-    result = BeamCampaign(config).run()
-    filtered = filter_intermittent(result.records)
-    observed = group_events(filtered.soft_records)
-    print(f"beam time {result.clock.elapsed_s:,.0f}s | "
-          f"{len(result.events)} injected events | "
-          f"{len(observed)} observed | "
-          f"{len(filtered.damaged_entries)} damaged entries filtered")
+    records = None
+    with session.active():
+        if session.cell_cache is not None:
+            from repro.runs import RunStore, mismatch_from_record
 
-    generator = SoftErrorEventGenerator(seed=args.seed)
-    observed += events_from_truth(
-        [generator.generate_event(20.0 * i) for i in range(args.events)]
-    )
-    print("\nEvent classes (Figure 4a):")
-    for klass, fraction in breadth_class_fractions(observed).items():
-        print(f"  {klass.name}: {fraction:.1%}")
-    print("\nDerived Table 1:")
-    for pattern, probability in derive_table1(observed).items():
-        print(f"  {pattern.value:8s}: {probability:.2%}")
+            key = RunStore.campaign_key(asdict(config), session.fingerprint)
+            cached = session.store.load_campaign(key)
+            if cached is not None:
+                meta, record_dicts = cached
+                records = [mismatch_from_record(d) for d in record_dicts]
+                elapsed_s = meta["elapsed_s"]
+                n_events = meta["n_events"]
+                session.cell_cache.hits += 1
+        if records is None:
+            from repro.runs import mismatch_to_record
+
+            checkpoint = None
+            if session.cell_cache is not None:
+                checkpoint = session.campaign_checkpoint()
+            with session.stage("campaign"):
+                result = BeamCampaign(config).run(checkpoint=checkpoint)
+            records = result.records
+            elapsed_s = result.clock.elapsed_s
+            n_events = len(result.events)
+            if session.cell_cache is not None:
+                session.store.save_campaign(
+                    key,
+                    {"elapsed_s": elapsed_s, "n_events": n_events,
+                     "fluence": result.clock.fluence,
+                     "weak_cells": result.weak_cell_count},
+                    [mismatch_to_record(r) for r in records],
+                )
+                session.cell_cache.misses += 1
+
+        filtered = filter_intermittent(records)
+        observed = group_events(filtered.soft_records)
+        print(f"beam time {elapsed_s:,.0f}s | "
+              f"{n_events} injected events | "
+              f"{len(observed)} observed | "
+              f"{len(filtered.damaged_entries)} damaged entries filtered")
+
+        generator = SoftErrorEventGenerator(seed=cfg["seed"])
+        with session.stage("statistics"):
+            observed += events_from_truth(
+                [generator.generate_event(20.0 * i)
+                 for i in range(cfg["events"])]
+            )
+        print("\nEvent classes (Figure 4a):")
+        for klass, fraction in breadth_class_fractions(observed).items():
+            print(f"  {klass.name}: {fraction:.1%}")
+        print("\nDerived Table 1:")
+        for pattern, probability in derive_table1(observed).items():
+            print(f"  {pattern.value:8s}: {probability:.2%}")
+    _print_summary(session)
 
 
 def _cmd_system(args) -> None:
     from repro.core import get_scheme
-    from repro.errormodel import weighted_outcomes
+    from repro.errormodel import evaluate_scheme, weighted_outcomes
     from repro.system import ExascaleSystem, assess_scheme
 
-    outcome = weighted_outcomes(get_scheme(args.scheme), samples=args.samples)
+    session = _session_or_null(args, "system", {
+        "scheme": args.scheme, "samples": args.samples,
+        "exaflops": list(args.exaflops), "workers": args.workers,
+        "cell_timeout": args.cell_timeout,
+    })
+    cfg = session.config
+    with session.active():
+        scheme = get_scheme(cfg["scheme"])
+        with session.stage("evaluate"):
+            per_pattern = evaluate_scheme(
+                scheme, samples=cfg["samples"],
+                workers=cfg.get("workers"), cache=session.cell_cache,
+                cell_timeout=cfg.get("cell_timeout"),
+            )
+        outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
     system = ExascaleSystem()
     rows = []
-    for exaflops in args.exaflops:
+    for exaflops in cfg["exaflops"]:
         point = system.point(exaflops, outcome)
         rows.append([
             f"{exaflops:.2f}", f"{point.gpus:,}",
@@ -208,7 +393,7 @@ def _cmd_system(args) -> None:
         ])
     print(format_table(
         ["exaflops", "GPUs", "MTTI (h)", "MTTF (months)"],
-        rows, title=f"{args.scheme} at exascale (Figure 9)",
+        rows, title=f"{cfg['scheme']} at exascale (Figure 9)",
     ))
     assessment = assess_scheme(outcome)
     verdict = "PASS" if assessment.meets_iso26262 else "FAIL"
@@ -216,18 +401,30 @@ def _cmd_system(args) -> None:
           f"-> ISO 26262 {verdict}; fleet: "
           f"{assessment.fleet_sdc_per_day:.3g} SDC/day, "
           f"{assessment.fleet_due_cars_per_day:,.0f} DUE cars/day")
+    _print_summary(session)
 
 
 def _cmd_report(args) -> None:
     from repro.analysis.report import generate_report
 
-    markdown = generate_report(samples=args.samples, seed=args.seed)
+    session = _session_or_null(args, "report", {
+        "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    })
+    cfg = session.config
+    with session.active():
+        with session.stage("report"):
+            markdown = generate_report(
+                samples=cfg["samples"], seed=cfg["seed"],
+                workers=cfg.get("workers"), cache=session.cell_cache,
+            )
     if args.output:
         with open(args.output, "w") as handle:
             handle.write(markdown)
         print(f"report written to {args.output}")
     else:
         print(markdown)
+    _print_summary(session)
 
 
 def _cmd_search(args) -> None:
@@ -263,6 +460,10 @@ def main(argv: list[str] | None = None) -> int:
         _cmd_report(args)
     elif args.command == "search":
         _cmd_search(args)
+    elif args.command == "runs":
+        from repro.runs.cli import cmd_runs
+
+        return cmd_runs(args)
     return 0
 
 

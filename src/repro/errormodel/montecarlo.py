@@ -23,13 +23,25 @@ is seeded independently from ``np.random.SeedSequence(seed).spawn``, which
 makes :func:`evaluate_scheme` and :func:`sdc_risk_table` with ``workers=N``
 (a :class:`~concurrent.futures.ProcessPoolExecutor` fan-out over cells)
 bit-identical to the serial ``workers=1`` run.
+
+The fan-out degrades gracefully rather than crashing a long sweep: a cell
+that exceeds ``cell_timeout`` or a worker pool that breaks
+(:class:`~concurrent.futures.BrokenExecutor`) is requeued once onto a
+fresh pool, and anything still unfinished falls back to in-process serial
+evaluation — same seeds, so the result is identical either way.  Passing
+``cache=`` (a :class:`repro.runs.CellCache` or anything with the same
+``lookup``/``record`` shape) short-circuits already-computed cells through
+the persistent run store and records fresh ones for the next invocation.
 """
 
 from __future__ import annotations
 
+import logging
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
@@ -57,6 +69,8 @@ __all__ = [
     "weighted_outcomes",
     "sdc_risk_table",
 ]
+
+_LOGGER = logging.getLogger(__name__)
 
 _Z99 = 2.576  # two-sided 99% normal quantile
 
@@ -254,6 +268,141 @@ def _cell_seeds(seed: int) -> list[np.random.SeedSequence]:
     return np.random.SeedSequence(seed).spawn(len(ErrorPattern))
 
 
+class _CellJob(NamedTuple):
+    """One (scheme, pattern) cell awaiting evaluation."""
+
+    key: tuple[str, ErrorPattern]
+    scheme: ECCScheme
+    pattern: ErrorPattern
+    samples: int
+    seed_seq: np.random.SeedSequence
+    exhaustive_triples: bool
+
+
+def _run_cells(
+    jobs: list[_CellJob],
+    workers: int | None,
+    cell_timeout: float | None = None,
+) -> dict[tuple[str, ErrorPattern], PatternOutcome]:
+    """Evaluate cells, fanned out when asked, robust to worker failure.
+
+    With ``workers=N`` (N > 1) cells go to a process pool.  A cell that
+    misses ``cell_timeout`` or a pool that breaks mid-sweep is requeued
+    once onto a fresh pool; whatever is still unfinished after the second
+    attempt is evaluated serially in-process.  Per-cell seeding makes the
+    outcome identical on every path.
+    """
+    results: dict[tuple[str, ErrorPattern], PatternOutcome] = {}
+    pending = list(jobs)
+    if workers is not None and workers > 1 and len(pending) > 1:
+        for attempt in (1, 2):
+            if not pending:
+                break
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except OSError as exc:
+                _LOGGER.warning(
+                    "cannot start worker pool (%s); evaluating %d cells "
+                    "in-process", exc, len(pending),
+                )
+                break
+            try:
+                futures = {
+                    job.key: pool.submit(
+                        _evaluate_cell, _scheme_payload(job.scheme),
+                        job.pattern, job.samples, job.seed_seq,
+                        job.exhaustive_triples,
+                    )
+                    for job in pending
+                }
+                for job in pending:
+                    try:
+                        results[job.key] = futures[job.key].result(
+                            timeout=cell_timeout
+                        )
+                    except _FuturesTimeout:
+                        futures[job.key].cancel()
+                        _LOGGER.warning(
+                            "cell %s/%s exceeded the %.3gs timeout; "
+                            "requeueing", job.key[0], job.pattern.name,
+                            cell_timeout,
+                        )
+                    except BrokenExecutor as exc:
+                        _LOGGER.warning(
+                            "worker pool broke on cell %s/%s (%s); "
+                            "requeueing unfinished cells",
+                            job.key[0], job.pattern.name, exc,
+                        )
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            # Timed-out and never-collected cells alike go to the next
+            # attempt (or the serial fallback below) in original order.
+            pending = [job for job in pending if job.key not in results]
+            if pending and attempt == 2:
+                _LOGGER.warning(
+                    "fan-out failed twice; falling back to in-process "
+                    "serial evaluation for %d cells", len(pending),
+                )
+    for job in pending:
+        results[job.key] = evaluate_pattern(
+            job.scheme,
+            job.pattern,
+            samples=job.samples,
+            rng=np.random.default_rng(job.seed_seq),
+            exhaustive_triples=job.exhaustive_triples,
+        )
+    return results
+
+
+def _collect_cells(
+    schemes: list[ECCScheme],
+    *,
+    samples: int,
+    seed: int,
+    exhaustive_triples: bool,
+    workers: int | None,
+    cache,
+    cell_timeout: float | None,
+) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
+    """Shared cache-aware engine behind Table 2 and per-scheme evaluation."""
+    cells = list(zip(ErrorPattern, _cell_seeds(seed)))
+    table: dict[str, dict[ErrorPattern, PatternOutcome]] = {
+        scheme.name: {} for scheme in schemes
+    }
+    jobs: list[_CellJob] = []
+    for scheme in schemes:
+        for pattern, child in cells:
+            hit = None
+            if cache is not None:
+                hit = cache.lookup(scheme.name, pattern, samples, seed,
+                                   exhaustive_triples)
+            if hit is not None:
+                table[scheme.name][pattern] = hit
+            else:
+                jobs.append(_CellJob(
+                    key=(scheme.name, pattern),
+                    scheme=scheme,
+                    pattern=pattern,
+                    samples=samples,
+                    seed_seq=child,
+                    exhaustive_triples=exhaustive_triples,
+                ))
+    fresh = _run_cells(jobs, workers, cell_timeout)
+    for job in jobs:
+        outcome = fresh[job.key]
+        table[job.key[0]][job.pattern] = outcome
+        if cache is not None:
+            cache.record(job.key[0], job.pattern, samples, seed,
+                         exhaustive_triples, outcome)
+    return {
+        scheme.name: {
+            pattern: table[scheme.name][pattern] for pattern in ErrorPattern
+        }
+        for scheme in schemes
+    }
+
+
 def evaluate_scheme(
     scheme: ECCScheme,
     *,
@@ -261,28 +410,22 @@ def evaluate_scheme(
     seed: int = 1234,
     exhaustive_triples: bool = False,
     workers: int | None = None,
+    cache=None,
+    cell_timeout: float | None = None,
 ) -> dict[ErrorPattern, PatternOutcome]:
     """All seven Table-2 cells for one scheme.
 
     With ``workers=N`` (N > 1) the cells fan out over a process pool;
     per-cell seeding makes the result bit-identical to the serial run.
+    ``cache`` (e.g. :class:`repro.runs.CellCache`) reloads previously
+    computed cells from the persistent run store and records fresh ones;
+    ``cell_timeout`` bounds each cell's wall-clock in the fanned-out path.
     """
-    cells = list(zip(ErrorPattern, _cell_seeds(seed)))
-    if workers is not None and workers > 1:
-        payload = _scheme_payload(scheme)
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [
-                pool.submit(_evaluate_cell, payload, pattern, samples,
-                            child, exhaustive_triples)
-                for pattern, child in cells
-            ]
-            outcomes = [future.result() for future in futures]
-    else:
-        outcomes = [
-            _evaluate_cell(scheme, pattern, samples, child, exhaustive_triples)
-            for pattern, child in cells
-        ]
-    return {pattern: outcome for (pattern, _), outcome in zip(cells, outcomes)}
+    return _collect_cells(
+        [scheme], samples=samples, seed=seed,
+        exhaustive_triples=exhaustive_triples, workers=workers,
+        cache=cache, cell_timeout=cell_timeout,
+    )[scheme.name]
 
 
 def weighted_outcomes(
@@ -328,39 +471,22 @@ def sdc_risk_table(
     seed: int = 1234,
     exhaustive_triples: bool = False,
     workers: int | None = None,
+    cache=None,
+    cell_timeout: float | None = None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Table 2: per-pattern outcomes for a list of schemes.
 
     With ``workers=N`` every (scheme, pattern) cell becomes one process-pool
     job — the widest fan-out this harness offers.  Seeds are spawned per
     pattern exactly as in :func:`evaluate_scheme`, so the table is
-    bit-identical whatever ``workers`` is.
+    bit-identical whatever ``workers`` is; worker failures and cell
+    timeouts degrade to requeue-then-serial instead of killing the sweep.
+    ``cache`` short-circuits cells already in the persistent run store, so
+    an interrupted sweep re-invoked with the same parameters recomputes
+    only its unfinished cells.
     """
-    if workers is None or workers <= 1:
-        return {
-            scheme.name: evaluate_scheme(
-                scheme,
-                samples=samples,
-                seed=seed,
-                exhaustive_triples=exhaustive_triples,
-            )
-            for scheme in schemes
-        }
-
-    cells = list(zip(ErrorPattern, _cell_seeds(seed)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = {
-            (scheme.name, pattern): pool.submit(
-                _evaluate_cell, _scheme_payload(scheme), pattern, samples,
-                child, exhaustive_triples,
-            )
-            for scheme in schemes
-            for pattern, child in cells
-        }
-        return {
-            scheme.name: {
-                pattern: futures[(scheme.name, pattern)].result()
-                for pattern, _ in cells
-            }
-            for scheme in schemes
-        }
+    return _collect_cells(
+        schemes, samples=samples, seed=seed,
+        exhaustive_triples=exhaustive_triples, workers=workers,
+        cache=cache, cell_timeout=cell_timeout,
+    )

@@ -1,0 +1,56 @@
+"""repro.runs — persistent run store, content-addressed caching, resume.
+
+The persistence and orchestration layer over the evaluation harness.
+Every Table-2 cell (:class:`~repro.errormodel.montecarlo.PatternOutcome`)
+and beam campaign is content-addressed by its full identity — scheme,
+pattern, samples, seed, exhaustiveness and a fingerprint of the
+result-bearing source code — and serialized as a checksummed JSONL
+artifact under a configurable store root (``REPRO_RUNS_DIR``, default
+``~/.cache/repro-runs``).  Re-running ``repro evaluate`` / ``fig8`` /
+``report`` / ``system`` / ``campaign`` with the same parameters then
+reloads bit-identical outcomes instead of re-entering the Monte Carlo hot
+path, an interrupted sweep resumed with ``--resume <run-id>`` recomputes
+only its unfinished cells, and every invocation leaves an atomic manifest
+(config, provenance, wall-clock per stage, cache hit/miss counters) that
+``repro runs list/show/diff/gc`` operates on.
+"""
+
+from repro.runs.artifacts import (
+    ArtifactCorrupt,
+    mismatch_from_record,
+    mismatch_to_record,
+    outcome_from_record,
+    outcome_to_record,
+)
+from repro.runs.fingerprint import code_fingerprint
+from repro.runs.manifest import RunManifest, git_commit, new_run_id
+from repro.runs.session import CampaignCheckpoint, CellCache, RunSession
+from repro.runs.store import (
+    DEFAULT_ROOT,
+    ENV_VAR,
+    GCStats,
+    RunStore,
+    UnknownRunError,
+    resolve_root,
+)
+
+__all__ = [
+    "ArtifactCorrupt",
+    "CampaignCheckpoint",
+    "CellCache",
+    "DEFAULT_ROOT",
+    "ENV_VAR",
+    "GCStats",
+    "RunManifest",
+    "RunSession",
+    "RunStore",
+    "UnknownRunError",
+    "code_fingerprint",
+    "git_commit",
+    "mismatch_from_record",
+    "mismatch_to_record",
+    "new_run_id",
+    "outcome_from_record",
+    "outcome_to_record",
+    "resolve_root",
+]

@@ -1,0 +1,43 @@
+"""Code fingerprint: the cache-invalidation half of the run store's keys.
+
+A cached cell is only reusable if the code that would recompute it is
+unchanged, so every cache key mixes in a digest of the ``repro`` package
+sources.  The digest covers everything that feeds a numerical result —
+codes, decoders, samplers, the Monte Carlo harness, the beam/DRAM
+simulation and the system models — and deliberately excludes the layers
+that only *present* results (``repro.analysis``, ``repro.cli``) and the
+run store itself (``repro.runs``), so formatting tweaks and store
+development don't invalidate terabytes of perfectly good artifacts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from functools import lru_cache
+from pathlib import Path
+
+__all__ = ["code_fingerprint"]
+
+#: Top-level ``repro`` subpackages that cannot change a stored result.
+_PRESENTATION_PACKAGES = ("runs", "analysis")
+#: Top-level ``repro`` modules that cannot change a stored result.
+_PRESENTATION_MODULES = ("cli.py", "__main__.py")
+
+
+@lru_cache(maxsize=1)
+def code_fingerprint() -> str:
+    """Hex digest (16 chars) over every result-bearing ``repro`` source."""
+    import repro
+
+    root = Path(repro.__file__).resolve().parent
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root).as_posix()
+        if rel.split("/", 1)[0] in _PRESENTATION_PACKAGES:
+            continue
+        if rel in _PRESENTATION_MODULES:
+            continue
+        digest.update(rel.encode())
+        digest.update(b"\x00")
+        digest.update(hashlib.sha256(path.read_bytes()).digest())
+    return digest.hexdigest()[:16]

@@ -1,0 +1,88 @@
+"""Per-invocation run manifests.
+
+Every cached CLI invocation writes one manifest: what was asked for
+(command + config), what produced it (package version, code fingerprint,
+git commit when available), how it went (status, wall-clock per stage,
+cache hit/miss counters) and where it came from (``resumed_from``).  The
+manifest is written atomically twice — once as ``running`` when the
+invocation starts, so an interrupted sweep still leaves a resumable
+record, and once with its final status and counters at the end.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import secrets
+import subprocess
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+__all__ = ["RunManifest", "new_run_id", "git_commit"]
+
+_SCHEMA = 1
+
+
+def new_run_id(now: float | None = None) -> str:
+    """Sortable, collision-resistant run id: UTC timestamp + random hex."""
+    stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime(now))
+    return f"{stamp}-{secrets.token_hex(3)}"
+
+
+def git_commit() -> str | None:
+    """Short commit hash of the working tree, or None outside a checkout."""
+    try:
+        result = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=2.0, check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = result.stdout.strip()
+    return commit if result.returncode == 0 and commit else None
+
+
+@dataclass
+class RunManifest:
+    """Provenance record of one cached CLI invocation."""
+
+    run_id: str
+    command: str
+    config: dict
+    status: str = "running"  #: running | completed | failed
+    started_at: float = 0.0
+    finished_at: float | None = None
+    version: str = ""
+    fingerprint: str = ""
+    git_commit: str | None = None
+    #: wall-clock seconds per named stage, in execution order
+    stages: dict = field(default_factory=dict)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    resumed_from: str | None = None
+
+    @property
+    def duration_s(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.started_at
+
+    def to_dict(self) -> dict:
+        return {"schema": _SCHEMA, **asdict(self)}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> RunManifest:
+        data = {k: v for k, v in data.items() if k != "schema"}
+        return cls(**data)
+
+    def save(self, path: Path) -> None:
+        """Atomic write (temp file + rename)."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
+        os.replace(tmp, path)
+
+    @classmethod
+    def load(cls, path: Path) -> RunManifest:
+        return cls.from_dict(json.loads(path.read_text()))

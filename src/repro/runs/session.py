@@ -1,0 +1,225 @@
+"""Run sessions: the glue between the CLI and the run store.
+
+A :class:`RunSession` wraps one cached CLI invocation — it allocates a run
+id, writes the ``running`` manifest up front (so interrupted sweeps leave
+a resumable record), exposes a :class:`CellCache` for the Monte Carlo
+harness, times named stages, and finalizes the manifest with cache
+hit/miss counters.  ``--resume <id>`` re-opens a prior run's config so an
+interrupted sweep restarts with identical parameters; the
+content-addressed store then turns every already-completed cell into a
+cache hit, so only the unfinished cells are recomputed.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+import repro
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs.artifacts import canonical_json
+from repro.runs.fingerprint import code_fingerprint
+from repro.runs.manifest import RunManifest, git_commit, new_run_id
+from repro.runs.store import RunStore
+
+__all__ = ["CellCache", "RunSession", "CampaignCheckpoint"]
+
+
+class CellCache:
+    """Content-addressed cache of Table-2 cells, with hit/miss counters.
+
+    This is the object :func:`repro.errormodel.montecarlo.evaluate_scheme`
+    and :func:`~repro.errormodel.montecarlo.sdc_risk_table` accept as
+    ``cache=``: ``lookup`` returns a stored
+    :class:`~repro.errormodel.montecarlo.PatternOutcome` (bit-identical to
+    a cold run) or None, and ``record`` persists a freshly computed one —
+    appending to the session's checkpoint log so interrupted sweeps are
+    observable cell by cell.
+    """
+
+    def __init__(
+        self,
+        store: RunStore,
+        fingerprint: str | None = None,
+        checkpoint_path=None,
+    ) -> None:
+        self.store = store
+        self.fingerprint = fingerprint or code_fingerprint()
+        self.checkpoint_path = checkpoint_path
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, scheme: str, pattern: ErrorPattern, samples: int,
+                seed: int, exhaustive_triples: bool) -> str:
+        return self.store.cell_key(
+            scheme, pattern, samples, seed, exhaustive_triples,
+            self.fingerprint,
+        )
+
+    def lookup(self, scheme: str, pattern: ErrorPattern, samples: int,
+               seed: int, exhaustive_triples: bool) -> PatternOutcome | None:
+        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples)
+        outcome = self.store.load_cell(key)
+        if outcome is None or outcome.pattern is not pattern:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return outcome
+
+    def record(self, scheme: str, pattern: ErrorPattern, samples: int,
+               seed: int, exhaustive_triples: bool,
+               outcome: PatternOutcome) -> None:
+        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples)
+        self.store.save_cell(key, outcome)
+        if self.checkpoint_path is not None:
+            self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.checkpoint_path, "a") as handle:
+                handle.write(canonical_json({
+                    "kind": "cell",
+                    "key": key,
+                    "scheme": scheme,
+                    "pattern": pattern.name,
+                    "elapsed_s": outcome.elapsed_s,
+                    "t": time.time(),
+                }) + "\n")
+
+
+class CampaignCheckpoint:
+    """Append-only progress log for a beam campaign's microbenchmark runs.
+
+    :meth:`repro.beam.campaign.BeamCampaign.run` calls :meth:`record_run`
+    after each completed run, so an interrupted campaign leaves a
+    time-stamped record of how far it got (visible via ``repro runs
+    show``); the whole-campaign artifact cache then makes the re-invocation
+    free once the campaign has completed once.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = path
+
+    def record_run(self, run_index: int, records, clock) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            handle.write(canonical_json({
+                "kind": "campaign-run",
+                "run": run_index,
+                "records": len(records),
+                "elapsed_s": clock.elapsed_s,
+                "fluence": clock.fluence,
+                "t": time.time(),
+            }) + "\n")
+
+    def completed_runs(self) -> list[dict]:
+        import json
+
+        if not self.path.exists():
+            return []
+        entries = []
+        for line in self.path.read_text().splitlines():
+            try:
+                entries.append(json.loads(line))
+            except ValueError:
+                continue  # torn final line after a kill
+        return entries
+
+
+class RunSession:
+    """One cached CLI invocation: manifest + cell cache + stage timing."""
+
+    def __init__(self, store: RunStore, manifest: RunManifest,
+                 cache: CellCache) -> None:
+        self.store = store
+        self.manifest = manifest
+        self.cell_cache = cache
+
+    @classmethod
+    def begin(
+        cls,
+        command: str,
+        config: dict,
+        *,
+        root=None,
+        resume: str | None = None,
+    ) -> RunSession:
+        """Open a session, honoring ``--resume`` by re-reading that run's
+        config (an explicit resume always restarts the *same* sweep)."""
+        store = RunStore(root)
+        if resume is not None:
+            prior = store.load_manifest(resume)
+            if prior.command != command:
+                raise ValueError(
+                    f"run {resume} was a `{prior.command}` invocation; "
+                    f"it cannot resume `{command}`"
+                )
+            config = dict(prior.config)
+        fingerprint = code_fingerprint()
+        manifest = RunManifest(
+            run_id=new_run_id(),
+            command=command,
+            config=config,
+            status="running",
+            started_at=time.time(),
+            version=repro.__version__,
+            fingerprint=fingerprint,
+            git_commit=git_commit(),
+            resumed_from=resume,
+        )
+        manifest.save(store.manifest_path(manifest.run_id))
+        cache = CellCache(
+            store, fingerprint,
+            checkpoint_path=store.checkpoint_path(manifest.run_id),
+        )
+        return cls(store, manifest, cache)
+
+    @property
+    def run_id(self) -> str:
+        return self.manifest.run_id
+
+    @property
+    def config(self) -> dict:
+        return self.manifest.config
+
+    @property
+    def fingerprint(self) -> str:
+        return self.manifest.fingerprint
+
+    def campaign_checkpoint(self) -> CampaignCheckpoint:
+        return CampaignCheckpoint(self.store.checkpoint_path(self.run_id))
+
+    @contextmanager
+    def stage(self, name: str):
+        """Time one named stage into the manifest."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.manifest.stages[name] = round(
+                time.perf_counter() - started, 6
+            )
+
+    @contextmanager
+    def active(self):
+        """Finalize the manifest whatever happens inside the body."""
+        try:
+            yield self
+        except BaseException:
+            self.finish(status="failed")
+            raise
+        else:
+            self.finish(status="completed")
+
+    def finish(self, status: str = "completed") -> None:
+        self.manifest.status = status
+        self.manifest.finished_at = time.time()
+        self.manifest.cache_hits = self.cell_cache.hits
+        self.manifest.cache_misses = self.cell_cache.misses
+        self.manifest.save(self.store.manifest_path(self.run_id))
+
+    def summary(self) -> str:
+        """One-line cache report the CLI prints after the tables."""
+        return (
+            f"[repro runs] {self.run_id}: "
+            f"{self.cell_cache.hits} cache hits, "
+            f"{self.cell_cache.misses} misses | store {self.store.root}"
+        )

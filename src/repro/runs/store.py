@@ -1,0 +1,265 @@
+"""The persistent run store: content-addressed artifacts on local disk.
+
+Layout under the store root (``--runs-dir`` flag > ``REPRO_RUNS_DIR`` env
+var > ``~/.cache/repro-runs``)::
+
+    cells/<kk>/<key>.jsonl       one Table-2 cell (PatternOutcome) per file
+    campaigns/<kk>/<key>.jsonl   one beam campaign (meta + mismatch log)
+    runs/<run_id>/manifest.json  one manifest per CLI invocation
+    runs/<run_id>/checkpoint.jsonl  append-only completed-cell/run log
+
+``<key>`` is the SHA-256 of the canonical JSON of the cell's identity —
+scheme, pattern, samples, seed, exhaustive flag, and the code fingerprint
+(:func:`repro.runs.fingerprint.code_fingerprint`) — and ``<kk>`` its first
+two hex chars (a fan-out directory so huge stores stay ``ls``-able).
+Exhaustive cells normalize ``samples``/``seed`` to ``None``: their outcome
+cannot depend on either, so ``repro evaluate --samples 500`` and ``repro
+fig8 --samples 2000`` share the same artifact.
+
+Corrupt artifacts (failed checksum, bad structure) are deleted on load and
+reported as misses, so the caller transparently recomputes them.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import time
+from dataclasses import dataclass
+from hashlib import sha256
+from pathlib import Path
+
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs.artifacts import (
+    ArtifactCorrupt,
+    canonical_json,
+    outcome_from_record,
+    outcome_to_record,
+    read_jsonl,
+    write_jsonl_atomic,
+)
+from repro.runs.manifest import RunManifest
+
+__all__ = ["RunStore", "GCStats", "UnknownRunError", "resolve_root",
+           "ENV_VAR", "DEFAULT_ROOT"]
+
+_LOGGER = logging.getLogger(__name__)
+
+ENV_VAR = "REPRO_RUNS_DIR"
+DEFAULT_ROOT = "~/.cache/repro-runs"
+
+#: Artifact schema version, bumped on incompatible layout changes.
+_SCHEMA = 1
+
+#: Patterns whose Table-2 cell is always enumerated exhaustively, making
+#: the outcome independent of ``samples`` and ``seed``.
+_ALWAYS_EXHAUSTIVE = frozenset({
+    ErrorPattern.BIT,
+    ErrorPattern.PIN,
+    ErrorPattern.BYTE,
+    ErrorPattern.DOUBLE_BIT,
+})
+
+
+class UnknownRunError(KeyError):
+    """A run id was requested that the store has no manifest for."""
+
+
+@dataclass(frozen=True)
+class GCStats:
+    """What a :meth:`RunStore.gc` pass removed (or would remove)."""
+
+    artifacts: int
+    runs: int
+    bytes: int
+
+
+def resolve_root(root: str | os.PathLike | None = None) -> Path:
+    """Store root: explicit argument > ``REPRO_RUNS_DIR`` > default."""
+    if root is not None:
+        return Path(root).expanduser()
+    env = os.environ.get(ENV_VAR)
+    if env:
+        return Path(env).expanduser()
+    return Path(DEFAULT_ROOT).expanduser()
+
+
+class RunStore:
+    """Content-addressed artifact store plus per-invocation run records."""
+
+    def __init__(self, root: str | os.PathLike | None = None) -> None:
+        self.root = resolve_root(root)
+
+    # -- paths ----------------------------------------------------------------
+    def cell_path(self, key: str) -> Path:
+        return self.root / "cells" / key[:2] / f"{key}.jsonl"
+
+    def campaign_path(self, key: str) -> Path:
+        return self.root / "campaigns" / key[:2] / f"{key}.jsonl"
+
+    def run_dir(self, run_id: str) -> Path:
+        return self.root / "runs" / run_id
+
+    def manifest_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "manifest.json"
+
+    def checkpoint_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "checkpoint.jsonl"
+
+    # -- keys -----------------------------------------------------------------
+    @staticmethod
+    def cache_key(material: dict) -> str:
+        """SHA-256 of the canonical JSON of an identity dict."""
+        return sha256(canonical_json(material).encode()).hexdigest()
+
+    @classmethod
+    def cell_key(
+        cls,
+        scheme: str,
+        pattern: ErrorPattern,
+        samples: int,
+        seed: int,
+        exhaustive_triples: bool,
+        fingerprint: str,
+    ) -> str:
+        """Content address of one (scheme, pattern) Table-2 cell."""
+        exhaustive = pattern in _ALWAYS_EXHAUSTIVE or (
+            pattern is ErrorPattern.TRIPLE_BIT and exhaustive_triples
+        )
+        return cls.cache_key({
+            "schema": _SCHEMA,
+            "kind": "cell",
+            "scheme": scheme,
+            "pattern": pattern.name,
+            "samples": None if exhaustive else int(samples),
+            "seed": None if exhaustive else int(seed),
+            "exhaustive": exhaustive,
+            "code": fingerprint,
+        })
+
+    @classmethod
+    def campaign_key(cls, config_material: dict, fingerprint: str) -> str:
+        """Content address of one whole beam campaign."""
+        return cls.cache_key({
+            "schema": _SCHEMA,
+            "kind": "campaign",
+            "config": config_material,
+            "code": fingerprint,
+        })
+
+    # -- cell artifacts -------------------------------------------------------
+    def load_cell(self, key: str) -> PatternOutcome | None:
+        """Cached outcome for a key, or None (missing / corrupt-and-purged)."""
+        path = self.cell_path(key)
+        if not path.exists():
+            return None
+        try:
+            header, record = read_jsonl(path)
+            if header.get("kind") != "cell":
+                raise ArtifactCorrupt(f"{path}: not a cell artifact")
+            return outcome_from_record(record)
+        except (ArtifactCorrupt, ValueError, KeyError, TypeError) as exc:
+            _LOGGER.warning(
+                "discarding corrupt cell artifact %s (%s); it will be "
+                "recomputed", path.name, exc,
+            )
+            path.unlink(missing_ok=True)
+            return None
+
+    def save_cell(self, key: str, outcome: PatternOutcome) -> None:
+        write_jsonl_atomic(self.cell_path(key), [
+            {"schema": _SCHEMA, "kind": "cell", "key": key},
+            outcome_to_record(outcome),
+        ])
+
+    # -- campaign artifacts ---------------------------------------------------
+    def load_campaign(self, key: str) -> tuple[dict, list[dict]] | None:
+        """(meta, record dicts) for a cached campaign, or None."""
+        path = self.campaign_path(key)
+        if not path.exists():
+            return None
+        try:
+            header, meta, *records = read_jsonl(path)
+            if header.get("kind") != "campaign":
+                raise ArtifactCorrupt(f"{path}: not a campaign artifact")
+            return meta, records
+        except (ArtifactCorrupt, ValueError, KeyError, TypeError) as exc:
+            _LOGGER.warning(
+                "discarding corrupt campaign artifact %s (%s); it will be "
+                "recomputed", path.name, exc,
+            )
+            path.unlink(missing_ok=True)
+            return None
+
+    def save_campaign(self, key: str, meta: dict,
+                      records: list[dict]) -> None:
+        write_jsonl_atomic(self.campaign_path(key), [
+            {"schema": _SCHEMA, "kind": "campaign", "key": key},
+            meta,
+            *records,
+        ])
+
+    # -- runs -----------------------------------------------------------------
+    def list_runs(self) -> list[RunManifest]:
+        """Every stored manifest, newest first (unreadable ones skipped)."""
+        runs_dir = self.root / "runs"
+        manifests = []
+        if runs_dir.is_dir():
+            for run_dir in runs_dir.iterdir():
+                try:
+                    manifests.append(RunManifest.load(run_dir / "manifest.json"))
+                except (OSError, ValueError, KeyError):
+                    continue
+        manifests.sort(key=lambda m: m.started_at, reverse=True)
+        return manifests
+
+    def load_manifest(self, run_id: str) -> RunManifest:
+        """Manifest for a run id; raises :class:`UnknownRunError` if absent."""
+        path = self.manifest_path(run_id)
+        try:
+            return RunManifest.load(path)
+        except (OSError, ValueError, KeyError):
+            raise UnknownRunError(
+                f"no run {run_id!r} in store {self.root} "
+                f"(try `repro runs list`)"
+            ) from None
+
+    # -- garbage collection ---------------------------------------------------
+    def gc(self, *, days: float = 30.0, dry_run: bool = False) -> GCStats:
+        """Remove artifacts and run records older than ``days`` (by mtime).
+
+        ``days=0`` empties the store.  ``dry_run=True`` only reports what
+        a real pass would reclaim.
+        """
+        cutoff = time.time() - days * 86400.0
+        artifacts = runs = freed = 0
+        for bucket in ("cells", "campaigns"):
+            base = self.root / bucket
+            if not base.is_dir():
+                continue
+            for path in base.rglob("*.jsonl"):
+                if path.stat().st_mtime <= cutoff:
+                    artifacts += 1
+                    freed += path.stat().st_size
+                    if not dry_run:
+                        path.unlink(missing_ok=True)
+        runs_dir = self.root / "runs"
+        if runs_dir.is_dir():
+            for run_dir in runs_dir.iterdir():
+                if not run_dir.is_dir():
+                    continue
+                newest = max(
+                    (p.stat().st_mtime for p in run_dir.iterdir()),
+                    default=run_dir.stat().st_mtime,
+                )
+                if newest <= cutoff:
+                    runs += 1
+                    freed += sum(
+                        p.stat().st_size for p in run_dir.rglob("*")
+                        if p.is_file()
+                    )
+                    if not dry_run:
+                        shutil.rmtree(run_dir, ignore_errors=True)
+        return GCStats(artifacts=artifacts, runs=runs, bytes=freed)

@@ -1,0 +1,22 @@
+"""Suite-wide fixtures."""
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_run_store(tmp_path_factory):
+    """Point the run store at a per-session temp dir.
+
+    The CLI caches results by default, so without this every CLI test
+    would write artifacts into the developer's real ``~/.cache/repro-runs``
+    (and could read stale ones back out of it).
+    """
+    prior = os.environ.get("REPRO_RUNS_DIR")
+    os.environ["REPRO_RUNS_DIR"] = str(tmp_path_factory.mktemp("repro-runs"))
+    yield
+    if prior is None:
+        os.environ.pop("REPRO_RUNS_DIR", None)
+    else:
+        os.environ["REPRO_RUNS_DIR"] = prior

@@ -1,0 +1,82 @@
+"""Checksummed JSONL artifacts: round trips, atomicity, damage detection."""
+
+import pytest
+
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs.artifacts import (
+    ArtifactCorrupt,
+    outcome_from_record,
+    outcome_to_record,
+    read_jsonl,
+    write_jsonl_atomic,
+)
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        records = [{"kind": "cell"}, {"x": 1.5, "y": [1, 2, 3]}]
+        write_jsonl_atomic(path, records)
+        assert read_jsonl(path) == records
+
+    def test_empty_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        write_jsonl_atomic(path, [])
+        assert read_jsonl(path) == []
+
+    def test_no_temp_file_left_behind(self, tmp_path):
+        write_jsonl_atomic(tmp_path / "a.jsonl", [{"k": 1}])
+        assert [p.name for p in tmp_path.iterdir()] == ["a.jsonl"]
+
+    def test_truncation_detected(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        write_jsonl_atomic(path, [{"k": 1}, {"k": 2}])
+        text = path.read_text()
+        path.write_text(text[: len(text) // 2])
+        with pytest.raises(ArtifactCorrupt):
+            read_jsonl(path)
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        write_jsonl_atomic(path, [{"value": 12345}])
+        path.write_text(path.read_text().replace("12345", "12346", 1))
+        with pytest.raises(ArtifactCorrupt, match="checksum"):
+            read_jsonl(path)
+
+    def test_missing_trailer_detected(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        path.write_text('{"k": 1}\n')
+        with pytest.raises(ArtifactCorrupt, match="trailer"):
+            read_jsonl(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactCorrupt):
+            read_jsonl(tmp_path / "nope.jsonl")
+
+
+class TestOutcomeCodec:
+    def test_exact_float_round_trip(self):
+        # Deliberately awkward floats: only an exact round trip keeps the
+        # cache hit bit-identical to the cold run.
+        outcome = PatternOutcome(
+            pattern=ErrorPattern.BEAT,
+            events=20_000,
+            dce=0.1 + 0.2,
+            due=1.0 / 3.0,
+            sdc=1.0 - (0.1 + 0.2) - 1.0 / 3.0,
+            exhaustive=False,
+            elapsed_s=0.123456789,
+        )
+        restored = outcome_from_record(outcome_to_record(outcome))
+        assert restored == outcome
+        assert restored.dce.hex() == outcome.dce.hex()
+        assert restored.sdc.hex() == outcome.sdc.hex()
+        assert restored.elapsed_s == outcome.elapsed_s
+
+    def test_json_round_trip_through_disk(self, tmp_path):
+        outcome = PatternOutcome(ErrorPattern.ENTRY, 7, 0.7, 0.2, 0.1, False)
+        path = tmp_path / "cell.jsonl"
+        write_jsonl_atomic(path, [outcome_to_record(outcome)])
+        (record,) = read_jsonl(path)
+        assert outcome_from_record(record) == outcome

@@ -1,0 +1,140 @@
+"""End-to-end CLI round trips through ``main()``: caching flags, resume,
+and the ``repro runs`` maintenance subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.runs import RunStore
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+def _strip_summary(out: str) -> str:
+    """Drop the run-id-bearing summary line so outputs can be compared."""
+    return "\n".join(
+        line for line in out.splitlines()
+        if not line.startswith("[repro runs]")
+    )
+
+
+class TestCachedCommands:
+    def test_fig8_warm_run_hits_and_matches(self, root, capsys):
+        assert main(["fig8", "--samples", "60", "--runs-dir", str(root)]) == 0
+        cold = capsys.readouterr().out
+        assert "0 cache hits, 63 misses" in cold
+
+        assert main(["fig8", "--samples", "60", "--runs-dir", str(root)]) == 0
+        warm = capsys.readouterr().out
+        assert "63 cache hits, 0 misses" in warm
+        assert _strip_summary(warm) == _strip_summary(cold)
+
+    def test_no_cache_prints_no_summary_and_writes_nothing(self, root, capsys):
+        assert main(["evaluate", "trio", "--samples", "40", "--no-cache",
+                     "--runs-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "[repro runs]" not in out
+        assert not root.exists()
+
+    def test_evaluate_records_manifest(self, root, capsys):
+        assert main(["evaluate", "trio", "--samples", "40",
+                     "--runs-dir", str(root)]) == 0
+        capsys.readouterr()
+        (manifest,) = RunStore(root).list_runs()
+        assert manifest.command == "evaluate"
+        assert manifest.status == "completed"
+        assert manifest.config["scheme"] == "trio"
+        assert manifest.config["samples"] == 40
+        assert (manifest.cache_hits, manifest.cache_misses) == (0, 7)
+        assert "evaluate" in manifest.stages
+
+    def test_resume_restores_stored_parameters(self, root, capsys):
+        assert main(["evaluate", "trio", "--samples", "40",
+                     "--runs-dir", str(root)]) == 0
+        first_out = capsys.readouterr().out
+        (first,) = RunStore(root).list_runs()
+
+        # Different --samples on the command line: --resume must win, so
+        # every cell is already in the store.
+        assert main(["evaluate", "trio", "--samples", "9999",
+                     "--resume", first.run_id, "--runs-dir", str(root)]) == 0
+        second_out = capsys.readouterr().out
+        assert "7 cache hits, 0 misses" in second_out
+        assert _strip_summary(second_out) == _strip_summary(first_out)
+
+        resumed = RunStore(root).load_manifest(
+            [m for m in RunStore(root).list_runs()
+             if m.run_id != first.run_id][0].run_id
+        )
+        assert resumed.resumed_from == first.run_id
+        assert resumed.config["samples"] == 40
+
+    def test_resume_unknown_run_exits_2(self, root, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["evaluate", "trio", "--resume", "nope",
+                  "--runs-dir", str(root)])
+        assert excinfo.value.code == 2
+        assert "no run 'nope'" in capsys.readouterr().err
+
+
+class TestRunsSubcommand:
+    def _seed_run(self, root, capsys, samples="40"):
+        main(["evaluate", "trio", "--samples", samples,
+              "--runs-dir", str(root)])
+        capsys.readouterr()
+        return RunStore(root).list_runs()[0]
+
+    def test_list(self, root, capsys):
+        manifest = self._seed_run(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "list"]) == 0
+        out = capsys.readouterr().out
+        assert manifest.run_id in out
+        assert "evaluate" in out
+
+    def test_list_empty_store(self, root, capsys):
+        assert main(["runs", "--runs-dir", str(root), "list"]) == 0
+        assert "no runs stored" in capsys.readouterr().out
+
+    def test_show(self, root, capsys):
+        manifest = self._seed_run(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "show",
+                     manifest.run_id]) == 0
+        out = capsys.readouterr().out
+        assert manifest.run_id in out
+        assert "completed" in out
+        assert '"samples": 40' in out
+        assert "checkpoint 7 completed cells" in out
+
+    def test_show_unknown_run(self, root, capsys):
+        assert main(["runs", "--runs-dir", str(root), "show", "nope"]) == 2
+        assert "no run 'nope'" in capsys.readouterr().err
+
+    def test_diff(self, root, capsys):
+        a = self._seed_run(root, capsys, samples="40")
+        b = self._seed_run(root, capsys, samples="80")
+        if b.run_id == a.run_id:  # list_runs()[0] is newest
+            pytest.fail("expected two distinct runs")
+        assert main(["runs", "--runs-dir", str(root), "diff",
+                     a.run_id, b.run_id]) == 0
+        out = capsys.readouterr().out
+        assert "config.samples" in out
+        assert "40" in out and "80" in out
+
+    def test_diff_identical(self, root, capsys):
+        a = self._seed_run(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "diff",
+                     a.run_id, a.run_id]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_gc(self, root, capsys):
+        self._seed_run(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "gc", "--all",
+                     "--dry-run"]) == 0
+        assert "would remove" in capsys.readouterr().out
+        assert RunStore(root).list_runs()  # dry run kept everything
+
+        assert main(["runs", "--runs-dir", str(root), "gc", "--all"]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert RunStore(root).list_runs() == []

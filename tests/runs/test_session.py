@@ -1,0 +1,125 @@
+"""RunSession lifecycle: manifests, resume semantics, checkpoint logs."""
+
+import json
+
+import pytest
+
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs import CellCache, RunSession, RunStore, UnknownRunError
+
+OUTCOME = PatternOutcome(ErrorPattern.BEAT, 500, 0.8, 0.15, 0.05, False, 0.2)
+
+
+@pytest.fixture
+def root(tmp_path):
+    return tmp_path / "store"
+
+
+class TestLifecycle:
+    def test_begin_writes_running_manifest(self, root):
+        session = RunSession.begin("fig8", {"samples": 100}, root=root)
+        on_disk = RunStore(root).load_manifest(session.run_id)
+        assert on_disk.status == "running"
+        assert on_disk.command == "fig8"
+        assert on_disk.config == {"samples": 100}
+        assert on_disk.fingerprint == session.fingerprint
+        assert on_disk.finished_at is None
+
+    def test_active_completes_and_records_counters(self, root):
+        session = RunSession.begin("fig8", {}, root=root)
+        with session.active():
+            session.cell_cache.hits = 5
+            session.cell_cache.misses = 2
+        on_disk = RunStore(root).load_manifest(session.run_id)
+        assert on_disk.status == "completed"
+        assert (on_disk.cache_hits, on_disk.cache_misses) == (5, 2)
+        assert on_disk.duration_s is not None
+
+    def test_active_marks_failed_and_reraises(self, root):
+        session = RunSession.begin("fig8", {}, root=root)
+        with pytest.raises(RuntimeError, match="boom"):
+            with session.active():
+                raise RuntimeError("boom")
+        assert RunStore(root).load_manifest(session.run_id).status == "failed"
+
+    def test_stage_timing(self, root):
+        session = RunSession.begin("fig8", {}, root=root)
+        with session.active():
+            with session.stage("evaluate"):
+                pass
+        on_disk = RunStore(root).load_manifest(session.run_id)
+        assert "evaluate" in on_disk.stages
+        assert on_disk.stages["evaluate"] >= 0.0
+
+
+class TestResume:
+    def test_resume_restores_prior_config(self, root):
+        first = RunSession.begin(
+            "evaluate", {"scheme": "trio", "samples": 123}, root=root,
+        )
+        first.finish("failed")
+        second = RunSession.begin(
+            "evaluate", {"scheme": "duet", "samples": 999},
+            root=root, resume=first.run_id,
+        )
+        assert second.config == {"scheme": "trio", "samples": 123}
+        assert second.manifest.resumed_from == first.run_id
+        assert second.run_id != first.run_id
+
+    def test_resume_unknown_run(self, root):
+        with pytest.raises(UnknownRunError):
+            RunSession.begin("fig8", {}, root=root, resume="nope")
+
+    def test_resume_wrong_command(self, root):
+        first = RunSession.begin("fig8", {}, root=root)
+        first.finish()
+        with pytest.raises(ValueError, match="fig8"):
+            RunSession.begin("campaign", {}, root=root, resume=first.run_id)
+
+
+class TestCheckpointLog:
+    def test_cell_record_appends_checkpoint_line(self, root):
+        session = RunSession.begin("fig8", {}, root=root)
+        session.cell_cache.record("trio", ErrorPattern.BEAT, 500, 7, False,
+                                  OUTCOME)
+        lines = [
+            json.loads(line)
+            for line in session.store.checkpoint_path(session.run_id)
+            .read_text().splitlines()
+        ]
+        assert len(lines) == 1
+        assert lines[0]["kind"] == "cell"
+        assert lines[0]["scheme"] == "trio"
+        assert lines[0]["pattern"] == "BEAT"
+
+    def test_detached_cache_skips_checkpoint(self, root):
+        cache = CellCache(RunStore(root))
+        cache.record("trio", ErrorPattern.BEAT, 500, 7, False, OUTCOME)
+        assert cache.lookup("trio", ErrorPattern.BEAT, 500, 7, False) == OUTCOME
+        assert (cache.hits, cache.misses) == (1, 0)
+
+    def test_campaign_checkpoint_round_trip(self, root):
+        class _Clock:
+            elapsed_s = 12.5
+            fluence = 3.0e6
+
+        session = RunSession.begin("campaign", {}, root=root)
+        checkpoint = session.campaign_checkpoint()
+        checkpoint.record_run(0, [object(), object()], _Clock())
+        checkpoint.record_run(1, [], _Clock())
+        runs = checkpoint.completed_runs()
+        assert [entry["run"] for entry in runs] == [0, 1]
+        assert runs[0]["records"] == 2
+
+    def test_campaign_checkpoint_tolerates_torn_line(self, root):
+        class _Clock:
+            elapsed_s = 1.0
+            fluence = 2.0
+
+        session = RunSession.begin("campaign", {}, root=root)
+        checkpoint = session.campaign_checkpoint()
+        checkpoint.record_run(0, [], _Clock())
+        with open(checkpoint.path, "a") as handle:
+            handle.write('{"kind": "campaign-run", "run": 1')  # killed mid-write
+        assert [entry["run"] for entry in checkpoint.completed_runs()] == [0]

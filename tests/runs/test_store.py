@@ -1,0 +1,151 @@
+"""The content-addressed store: keys, corruption recovery, gc, manifests."""
+
+import pytest
+
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs import (
+    RunManifest,
+    RunStore,
+    UnknownRunError,
+    code_fingerprint,
+    new_run_id,
+)
+
+OUTCOME = PatternOutcome(ErrorPattern.BEAT, 500, 0.8, 0.15, 0.05, False, 0.2)
+
+
+@pytest.fixture
+def store(tmp_path):
+    return RunStore(tmp_path / "store")
+
+
+class TestKeys:
+    def test_key_is_stable(self):
+        args = ("trio", ErrorPattern.BEAT, 1000, 7, False, "abc")
+        assert RunStore.cell_key(*args) == RunStore.cell_key(*args)
+
+    def test_key_varies_with_identity(self):
+        base = RunStore.cell_key("trio", ErrorPattern.BEAT, 1000, 7, False, "abc")
+        assert RunStore.cell_key("duet", ErrorPattern.BEAT, 1000, 7, False, "abc") != base
+        assert RunStore.cell_key("trio", ErrorPattern.ENTRY, 1000, 7, False, "abc") != base
+        assert RunStore.cell_key("trio", ErrorPattern.BEAT, 2000, 7, False, "abc") != base
+        assert RunStore.cell_key("trio", ErrorPattern.BEAT, 1000, 8, False, "abc") != base
+
+    def test_code_fingerprint_invalidates(self):
+        base = RunStore.cell_key("trio", ErrorPattern.BEAT, 1000, 7, False,
+                                 code_fingerprint())
+        other = RunStore.cell_key("trio", ErrorPattern.BEAT, 1000, 7, False,
+                                  "deadbeefdeadbeef")
+        assert base != other
+
+    def test_exhaustive_cells_ignore_samples_and_seed(self):
+        # BIT/PIN/BYTE/2-bit cells are enumerated, never sampled: any
+        # (samples, seed) pair must share one artifact.
+        a = RunStore.cell_key("trio", ErrorPattern.BIT, 1000, 7, False, "abc")
+        b = RunStore.cell_key("trio", ErrorPattern.BIT, 9999, 42, False, "abc")
+        assert a == b
+
+    def test_triples_split_on_exhaustive_flag(self):
+        sampled = RunStore.cell_key("trio", ErrorPattern.TRIPLE_BIT,
+                                    1000, 7, False, "abc")
+        enumerated = RunStore.cell_key("trio", ErrorPattern.TRIPLE_BIT,
+                                       1000, 7, True, "abc")
+        assert sampled != enumerated
+        # ... and the enumerated key is itself samples/seed-free.
+        assert enumerated == RunStore.cell_key(
+            "trio", ErrorPattern.TRIPLE_BIT, 5, 99, True, "abc")
+
+
+class TestCellArtifacts:
+    def test_save_load_round_trip(self, store):
+        key = "ab" + "0" * 62
+        store.save_cell(key, OUTCOME)
+        assert store.load_cell(key) == OUTCOME
+
+    def test_missing_is_none(self, store):
+        assert store.load_cell("ff" + "0" * 62) is None
+
+    def test_corrupt_artifact_purged_and_recomputed(self, store):
+        key = "ab" + "0" * 62
+        store.save_cell(key, OUTCOME)
+        path = store.cell_path(key)
+        path.write_text(path.read_text()[:-20])  # torn write
+        assert store.load_cell(key) is None  # detected -> miss
+        assert not path.exists()  # purged so the recompute can overwrite
+        store.save_cell(key, OUTCOME)
+        assert store.load_cell(key) == OUTCOME
+
+    def test_wrong_kind_rejected(self, store):
+        key = "ab" + "0" * 62
+        store.save_campaign(key, {"elapsed_s": 1.0}, [])
+        # A campaign artifact dropped where a cell is expected is corrupt.
+        store.cell_path(key).parent.mkdir(parents=True, exist_ok=True)
+        store.campaign_path(key).replace(store.cell_path(key))
+        assert store.load_cell(key) is None
+
+
+class TestCampaignArtifacts:
+    def test_round_trip(self, store):
+        key = "cd" + "0" * 62
+        meta = {"elapsed_s": 12.5, "n_events": 3}
+        records = [{"time_s": 1.0, "entry_index": 5}]
+        store.save_campaign(key, meta, records)
+        assert store.load_campaign(key) == (meta, records)
+
+    def test_empty_records(self, store):
+        key = "cd" + "0" * 62
+        store.save_campaign(key, {"n_events": 0}, [])
+        assert store.load_campaign(key) == ({"n_events": 0}, [])
+
+
+class TestManifests:
+    def test_round_trip(self, store):
+        manifest = RunManifest(
+            run_id=new_run_id(), command="fig8",
+            config={"samples": 100, "seed": 1}, started_at=123.0,
+            version="1.0.0", fingerprint="abc",
+        )
+        manifest.save(store.manifest_path(manifest.run_id))
+        loaded = store.load_manifest(manifest.run_id)
+        assert loaded == manifest
+
+    def test_unknown_run(self, store):
+        with pytest.raises(UnknownRunError):
+            store.load_manifest("20990101T000000-ffffff")
+
+    def test_list_runs_newest_first(self, store):
+        for started in (10.0, 30.0, 20.0):
+            manifest = RunManifest(
+                run_id=new_run_id(started) + f"-{started}", command="fig8",
+                config={}, started_at=started,
+            )
+            manifest.save(store.manifest_path(manifest.run_id))
+        assert [m.started_at for m in store.list_runs()] == [30.0, 20.0, 10.0]
+
+
+class TestGC:
+    def test_gc_all(self, store):
+        store.save_cell("ab" + "0" * 62, OUTCOME)
+        manifest = RunManifest(run_id=new_run_id(), command="fig8", config={})
+        manifest.save(store.manifest_path(manifest.run_id))
+        dry = store.gc(days=0.0, dry_run=True)
+        assert (dry.artifacts, dry.runs) == (1, 1)
+        assert store.load_cell("ab" + "0" * 62) is not None  # dry run kept it
+        stats = store.gc(days=0.0)
+        assert (stats.artifacts, stats.runs) == (1, 1)
+        assert stats.bytes > 0
+        assert store.load_cell("ab" + "0" * 62) is None
+        assert store.list_runs() == []
+
+    def test_gc_keeps_recent(self, store):
+        store.save_cell("ab" + "0" * 62, OUTCOME)
+        stats = store.gc(days=30.0)
+        assert stats.artifacts == 0
+        assert store.load_cell("ab" + "0" * 62) is not None
+
+    def test_env_var_root(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "via-env"))
+        assert RunStore().root == tmp_path / "via-env"
+        monkeypatch.delenv("REPRO_RUNS_DIR")
+        assert RunStore().root.name == "repro-runs"
