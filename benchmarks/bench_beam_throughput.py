@@ -1,0 +1,84 @@
+"""Beam statistics-campaign throughput (library performance).
+
+Tracks the columnar engine of :mod:`repro.beam.engine` against the
+retained scalar reference path over the full generate → scan →
+post-process pipeline, asserting the derived Figure 4/5 statistics and
+Table 1 stay bit-identical while the columnar path clears its speedup
+floor.  ``REPRO_BEAM_BENCH_EVENTS`` scales the campaign (the CI smoke job
+runs a smaller one; the 10x floor applies at the full 3,000 events).
+"""
+
+import os
+import time
+
+from benchmarks._output import emit
+from repro.beam.engine import run_statistics_campaign
+
+EVENTS = int(os.environ.get("REPRO_BEAM_BENCH_EVENTS", "3000"))
+SEED = 20211018
+#: full-size campaigns must clear 10x; scaled-down smoke runs just beat 1x
+SPEEDUP_FLOOR = 10.0 if EVENTS >= 3000 else 1.0
+
+
+def _run(engine: str, **kwargs):
+    start = time.perf_counter()
+    result = run_statistics_campaign(EVENTS, seed=SEED, engine=engine,
+                                     **kwargs)
+    return result, time.perf_counter() - start
+
+
+def test_beam_engine_throughput():
+    """Columnar vs reference: identical statistics, >=10x wall-clock."""
+    run_statistics_campaign(64, seed=SEED)  # warm imports and caches
+    columnar, columnar_s = _run("columnar")
+    reference, reference_s = _run("reference")
+
+    assert columnar.class_fractions == reference.class_fractions
+    assert columnar.mbme_histogram == reference.mbme_histogram
+    assert columnar.byte_alignment == reference.byte_alignment
+    assert columnar.bits_per_word_aligned == reference.bits_per_word_aligned
+    assert columnar.bits_per_word_non_aligned == \
+        reference.bits_per_word_non_aligned
+    assert columnar.table1 == reference.table1  # exact float equality
+    assert columnar.n_records == reference.n_records
+
+    speedup = reference_s / columnar_s
+    rows = [
+        f"{'stage':<12} {'reference s':>12} {'columnar s':>11} "
+        f"{'col events/s':>13}",
+    ]
+    for stage in columnar.stage_seconds:
+        rows.append(
+            f"{stage:<12} {reference.stage_seconds[stage]:>12.3f} "
+            f"{columnar.stage_seconds[stage]:>11.3f} "
+            f"{columnar.events_per_second[stage]:>13,.0f}"
+        )
+    rows.append(
+        f"{'total':<12} {reference_s:>12.3f} {columnar_s:>11.3f} "
+        f"{EVENTS / columnar_s:>13,.0f}"
+    )
+    rows.append(
+        f"\n{EVENTS:,} events, {columnar.n_records:,} mismatch records, "
+        f"{columnar.n_observed:,} observed events"
+    )
+    rows.append(f"speedup {speedup:.1f}x (floor {SPEEDUP_FLOOR:g}x) — "
+                "derived Table 1 / Figure 4/5 statistics bit-identical")
+    emit("Throughput — beam statistics campaign (columnar vs reference)",
+         "\n".join(rows))
+    assert speedup >= SPEEDUP_FLOOR
+
+
+def test_beam_engine_workers_bit_identical():
+    """The chunk fan-out returns the exact serial statistics."""
+    serial, serial_s = _run("columnar")
+    fanned, fanned_s = _run("columnar", workers=2)
+
+    assert fanned.table1 == serial.table1
+    assert fanned.class_fractions == serial.class_fractions
+    assert fanned.observed_events == serial.observed_events
+    emit(
+        "Throughput — beam campaign workers fan-out (columnar)",
+        f"workers=1 {serial_s:6.2f} s\n"
+        f"workers=2 {fanned_s:6.2f} s (bit-identical statistics; speedup "
+        f"requires multi-core hardware)",
+    )

@@ -13,7 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["AN_CONSTANT", "an_encode", "an_decode", "an_check", "an_pattern_words"]
+__all__ = [
+    "AN_CONSTANT",
+    "an_encode",
+    "an_decode",
+    "an_check",
+    "an_pattern_words",
+    "an_pattern_words_batch",
+]
 
 #: The paper's multiplier: 2^32 - 1.
 AN_CONSTANT = (1 << 32) - 1
@@ -49,3 +56,18 @@ def an_pattern_words(entry_index: int, words_per_entry: int = 4) -> np.ndarray:
         [an_encode(base + offset) for offset in range(words_per_entry)],
         dtype=np.uint64,
     )
+
+
+def an_pattern_words_batch(entry_indices: np.ndarray,
+                           words_per_entry: int = 4) -> np.ndarray:
+    """:func:`an_pattern_words` for a whole entry batch: ``(len, 4)`` uint64.
+
+    ``index × A < 2^64`` for every index a 32GB device can hold, so the
+    wrapping uint64 multiply below equals the scalar ``& _WORD_MASK``.
+    """
+    entry_indices = np.asarray(entry_indices, dtype=np.uint64)
+    word_index = (
+        entry_indices[:, None] * np.uint64(words_per_entry)
+        + np.arange(words_per_entry, dtype=np.uint64)
+    )
+    return word_index * np.uint64(AN_CONSTANT)

@@ -34,6 +34,7 @@ from repro.beam.microbenchmark import (
 from repro.dram.device import SimulatedHBM2
 from repro.dram.geometry import HBM2Geometry
 from repro.dram.refresh import RefreshConfig
+from repro.gf.gf2 import pack_rows
 
 __all__ = ["CampaignConfig", "CampaignResult", "BeamCampaign", "refresh_sweep"]
 
@@ -71,7 +72,7 @@ class CampaignResult:
 
     @property
     def weak_cell_count(self) -> int:
-        return len(self.damage.damaged_cells)
+        return self.damage.damaged_count
 
     def fit_per_gbit(self) -> float:
         """Terrestrial FIT per Gbit derived from this campaign.
@@ -110,20 +111,27 @@ class BeamCampaign:
         """Advance the world while the benchmark runs one loop step."""
         step_fluence = self.clock.advance(dt_s)
         if step_fluence > 0.0:
-            for cell in self.damage.accumulate(step_fluence):
-                self.device.install_weak_cell(cell)
+            entries, bits, retentions, leaks = \
+                self.damage.accumulate_columns(step_fluence)
+            if entries.size:
+                self.device.install_weak_cells_batch(
+                    entries, bits, retentions, leaks
+                )
             for event in self.events.events_in(dt_s, self.clock.elapsed_s - dt_s):
                 self._apply_event(event)
         self._accumulation.append(
-            (self.clock.fluence, len(self.damage.damaged_cells))
+            (self.clock.fluence, self.damage.damaged_count)
         )
 
     def _apply_event(self, event: SoftErrorEvent) -> None:
         self._event_log.append(event)
-        for entry_index, positions in event.flips.items():
-            flips = np.zeros(_ENTRY_BITS, dtype=np.uint8)
-            flips[positions] = 1
-            self.device.inject_upset(entry_index, flips)
+        entries = np.fromiter(
+            event.flips, dtype=np.int64, count=len(event.flips)
+        )
+        rows = np.zeros((entries.size, _ENTRY_BITS), dtype=np.uint8)
+        for row, positions in zip(rows, event.flips.values()):
+            row[positions] = 1
+        self.device.inject_upsets_batch(entries, pack_rows(rows))
 
     # -- campaign ------------------------------------------------------------
     def run(
@@ -178,7 +186,7 @@ def refresh_sweep(
     Run *outside* the beam on an already-damaged model (the paper pulls one
     GPU out of the beam and modulates refresh through a modified BIOS).
     """
+    counts = damage.observable_counts(periods_s)
     return {
-        period: damage.observable_count(RefreshConfig(period))
-        for period in periods_s
+        period: int(count) for period, count in zip(periods_s, counts)
     }

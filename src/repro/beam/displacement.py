@@ -61,7 +61,14 @@ class DamageParameters:
 
 
 class DisplacementDamageModel:
-    """Stochastic weak-cell creation, observation and annealing."""
+    """Stochastic weak-cell creation, observation and annealing.
+
+    Cell state is columnar — parallel entry/bit/retention/direction arrays
+    — so observation queries (``observable_count`` over many refresh
+    periods, the Figure 3a sweep) are single vector comparisons instead of
+    per-cell :class:`WeakCell` rebuilds.  The list views remain available
+    for compatibility.
+    """
 
     def __init__(
         self,
@@ -74,8 +81,15 @@ class DisplacementDamageModel:
         self.parameters = parameters or DamageParameters()
         self._rng = np.random.default_rng(seed)
         self._damaged_fraction = 0.0  # fraction of the leaky pool damaged
-        self._cells: list[WeakCell] = []
+        self._entry = np.empty(0, dtype=np.int64)
+        self._bit = np.empty(0, dtype=np.int64)
+        self._retention = np.empty(0, dtype=np.float64)
+        self._leaks = np.empty(0, dtype=np.int64)
         self._anneal_shift = 0.0  # current upward retention shift, seconds
+
+    @property
+    def damaged_count(self) -> int:
+        return int(self._entry.size)
 
     # -- accumulation ------------------------------------------------------
     def expected_damaged(self, fluence: float) -> float:
@@ -88,8 +102,11 @@ class DisplacementDamageModel:
         return params.leaky_pool * (1.0 - np.exp(-fluence / params.saturation_fluence))
 
 
-    def accumulate(self, step_fluence: float) -> list[WeakCell]:
-        """Damage new cells for a fluence increment; returns the new cells."""
+    def accumulate_columns(
+        self, step_fluence: float
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Damage new cells for a fluence increment; returns their
+        ``(entry, bit, retention, leaks_to)`` columns (pre-anneal)."""
         if step_fluence < 0:
             raise ValueError("fluence increment must be non-negative")
         params = self.parameters
@@ -100,29 +117,45 @@ class DisplacementDamageModel:
             * (1.0 - np.exp(-step_fluence / params.saturation_fluence))
         )
         count = int(self._rng.poisson(expected_new))
-        count = min(count, params.leaky_pool - len(self._cells))
+        count = min(count, params.leaky_pool - self.damaged_count)
         self._damaged_fraction = min(
             1.0, self._damaged_fraction + depletion * (1.0 - np.exp(
                 -step_fluence / params.saturation_fluence))
         )
 
-        new_cells = []
-        total_entries = self.geometry.total_entries
-        entry_bits = self.geometry.entry_bits
-        retentions = self._rng.normal(
+        retentions = np.maximum(self._rng.normal(
             params.retention_mean_s, params.retention_sigma_s, size=count
-        )
+        ), 1e-6)
         directions = self._rng.random(count) < params.one_to_zero_fraction
-        for retention, leaks_low in zip(retentions, directions):
-            cell = WeakCell(
-                entry_index=int(self._rng.integers(total_entries)),
-                bit=int(self._rng.integers(entry_bits)),
-                retention_s=max(float(retention), 1e-6),
-                leaks_to=0 if leaks_low else 1,
+        entries = self._rng.integers(
+            self.geometry.total_entries, size=count
+        ).astype(np.int64)
+        bits = self._rng.integers(
+            self.geometry.entry_bits, size=count
+        ).astype(np.int64)
+        leaks = np.where(directions, 0, 1).astype(np.int64)
+        self._entry = np.concatenate([self._entry, entries])
+        self._bit = np.concatenate([self._bit, bits])
+        self._retention = np.concatenate([self._retention, retentions])
+        self._leaks = np.concatenate([self._leaks, leaks])
+        return entries, bits, retentions, leaks
+
+    def accumulate(self, step_fluence: float) -> list[WeakCell]:
+        """Damage new cells for a fluence increment; returns the new cells."""
+        entries, bits, retentions, leaks = self.accumulate_columns(
+            step_fluence
+        )
+        return [
+            WeakCell(
+                entry_index=int(entry),
+                bit=int(bit),
+                retention_s=float(retention),
+                leaks_to=int(leak),
             )
-            self._cells.append(cell)
-            new_cells.append(cell)
-        return new_cells
+            for entry, bit, retention, leak in zip(
+                entries, bits, retentions, leaks
+            )
+        ]
 
     # -- annealing ----------------------------------------------------------
     def anneal(self, seconds: float) -> None:
@@ -134,25 +167,47 @@ class DisplacementDamageModel:
         self._anneal_shift += remaining * (1.0 - np.exp(-seconds / params.anneal_tau_s))
 
     # -- observation ----------------------------------------------------------
+    def damaged_columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(entry, bit, retention, leaks_to)`` columns of every damaged
+        cell, annealing applied to retention."""
+        return (
+            self._entry, self._bit,
+            self._retention + self._anneal_shift, self._leaks,
+        )
+
+    def _cells_from_columns(self, mask: np.ndarray | None = None
+                            ) -> list[WeakCell]:
+        entry, bit, retention, leaks = self.damaged_columns()
+        if mask is not None:
+            entry, bit = entry[mask], bit[mask]
+            retention, leaks = retention[mask], leaks[mask]
+        return [
+            WeakCell(int(e), int(b), float(r), int(d))
+            for e, b, r, d in zip(entry, bit, retention, leaks)
+        ]
+
     @property
     def damaged_cells(self) -> list[WeakCell]:
         """All damaged cells with annealing applied to their retention."""
-        return [
-            WeakCell(
-                entry_index=cell.entry_index,
-                bit=cell.bit,
-                retention_s=cell.retention_s + self._anneal_shift,
-                leaks_to=cell.leaks_to,
-            )
-            for cell in self._cells
-        ]
+        return self._cells_from_columns()
 
     def observable_cells(self, refresh: RefreshConfig) -> list[WeakCell]:
         """Cells whose (annealed) retention is below the refresh period."""
-        return [cell for cell in self.damaged_cells if cell.leaks_under(refresh)]
+        retention = self._retention + self._anneal_shift
+        return self._cells_from_columns(retention < refresh.period_s)
 
     def observable_count(self, refresh: RefreshConfig) -> int:
-        return len(self.observable_cells(refresh))
+        retention = self._retention + self._anneal_shift
+        return int((retention < refresh.period_s).sum())
+
+    def observable_counts(self, periods_s) -> np.ndarray:
+        """Observable-cell counts for many refresh periods at once
+        (the Figure 3a sweep as one vector comparison)."""
+        periods = np.asarray(periods_s, dtype=np.float64)
+        retention = self._retention + self._anneal_shift
+        return (retention[:, None] < periods[None, :]).sum(axis=0)
 
     def predicted_observable(self, refresh: RefreshConfig) -> float:
         """Model prediction: damaged count × Φ((T − μ_eff)/σ) (Figure 3a)."""
@@ -160,6 +215,6 @@ class DisplacementDamageModel:
 
         params = self.parameters
         mean = params.retention_mean_s + self._anneal_shift
-        return len(self._cells) * float(
+        return self.damaged_count * float(
             norm.cdf((refresh.period_s - mean) / params.retention_sigma_s)
         )

@@ -1,0 +1,522 @@
+"""Columnar statistics-campaign engine (generate → scan → post-process).
+
+The Figure 4/5 and Table 1 statistics need thousands of ground-truth SEU
+events pushed through the whole observation pipeline: synthesize the
+event, corrupt the simulated device, scan it back and classify what the
+scan recovered.  This module packages that loop as one engine with two
+interchangeable implementations:
+
+* ``engine="columnar"`` — :class:`~repro.beam.events.BatchEventSynthesis`
+  draws every event of a chunk vectorized, the device is corrupted with
+  bit-packed batch injections, read back through
+  :meth:`~repro.dram.device.SimulatedHBM2.scan_mismatches_batch`, and the
+  mismatch log is post-processed as a
+  :class:`~repro.beam.fliptable.RecordTable` without ever materializing
+  per-record Python objects.
+* ``engine="reference"`` — the retained scalar oracle: per-event draws,
+  per-entry injection, the per-entry scalar scan and the record-list
+  post-processing helpers.
+
+Both engines consume identical random streams (chunk ``c`` is seeded by
+``SeedSequence(seed).spawn(n_chunks)[c]``) and therefore derive
+bit-identical statistics; the equivalence suite asserts it and the
+throughput benchmark measures the gap.
+
+Chunks are independent, so ``workers=N`` fans them out over a process
+pool with the same requeue-once-then-serial robustness the Monte Carlo
+harness uses — and, thanks to per-chunk seeding, the same results on
+every path.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+from typing import NamedTuple
+
+import numpy as np
+
+from repro.beam.events import BatchEventSynthesis, EventParameters
+from repro.beam.fliptable import RecordTable, unpack_packed_rows
+from repro.beam.microbenchmark import (
+    ANPattern,
+    CheckerboardPattern,
+    DataPattern,
+    MismatchRecord,
+    UniformPattern,
+)
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+
+__all__ = ["StatisticsResult", "run_statistics_campaign", "ENGINES"]
+
+_LOGGER = logging.getLogger(__name__)
+
+_DATA_BITS = 256
+_DATA_WORDS = _DATA_BITS // 64
+
+#: The two interchangeable engine implementations.
+ENGINES = ("columnar", "reference")
+
+_STAGES = ("synthesize", "scan", "postprocess")
+
+
+def _pattern_by_name(name: str) -> DataPattern:
+    if name == "all0":
+        return UniformPattern(ones=False)
+    if name == "all1":
+        return UniformPattern(ones=True)
+    if name == "checkerboard":
+        return CheckerboardPattern()
+    if name == "an-encoded":
+        return ANPattern()
+    raise ValueError(f"unknown data pattern {name!r}")
+
+
+@dataclass
+class StatisticsResult:
+    """Derived statistics plus the per-stage throughput accounting."""
+
+    engine: str
+    n_events: int
+    n_records: int
+    n_observed: int
+    class_fractions: dict
+    mbme_histogram: dict
+    byte_alignment: dict
+    bits_per_word_aligned: dict
+    bits_per_word_non_aligned: dict
+    table1: dict
+    #: accumulated wall-clock seconds per stage, in pipeline order
+    stage_seconds: dict = field(default_factory=dict)
+    #: lazy materializer for :attr:`observed_events` (columnar results
+    #: keep the grouped table and only build ObservedEvent objects on use)
+    _observed_factory: object = field(default=None, repr=False, compare=False)
+    _observed: list | None = field(default=None, repr=False, compare=False)
+
+    @property
+    def observed_events(self) -> list:
+        """The recovered events, for merging with campaign observations."""
+        if self._observed is None:
+            factory = self._observed_factory
+            self._observed = list(factory()) if factory is not None else []
+        return self._observed
+
+    @property
+    def events_per_second(self) -> dict:
+        """Per-stage throughput — what ``repro runs show`` surfaces."""
+        return {
+            stage: (self.n_events / seconds) if seconds > 0 else 0.0
+            for stage, seconds in self.stage_seconds.items()
+        }
+
+    def counters(self) -> dict:
+        """Flat manifest-ready counters (JSON-safe scalars only)."""
+        flat: dict = {"engine": self.engine, "events": self.n_events,
+                      "records": self.n_records, "observed": self.n_observed}
+        for stage, seconds in self.stage_seconds.items():
+            flat[f"{stage}_s"] = round(seconds, 6)
+        for stage, rate in self.events_per_second.items():
+            flat[f"{stage}_events_per_s"] = round(rate, 3)
+        return flat
+
+
+#: what both finalizers return for a campaign that observed nothing
+_EMPTY_STATS = ({}, {}, {}, {}, {}, {})
+
+
+class _ChunkJob(NamedTuple):
+    """One contiguous run of global event indices awaiting evaluation."""
+
+    index: int
+    start: int  #: global index of the chunk's first event
+    size: int
+    seed_seq: np.random.SeedSequence
+
+
+def _event_times(start: int, size: int,
+                 parameters: EventParameters) -> np.ndarray:
+    """Each event owns one write cycle; time is its global index scaled."""
+    return (start + np.arange(size, dtype=np.float64)) \
+        * parameters.mean_time_to_event_s
+
+
+def _columnar_chunk(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern: DataPattern,
+    job: _ChunkJob,
+) -> tuple[dict, dict]:
+    """Vectorized chunk: batch synthesis, packed injection + scan."""
+    timings = dict.fromkeys(_STAGES[:2], 0.0)
+    synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
+    started = time.perf_counter()
+    table = synthesis.table_at(_event_times(job.start, job.size, parameters))
+    timings["synthesize"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    device = SimulatedHBM2(geometry)
+    expected = pattern.entry_fn(False)
+    packed = pattern.packed_fn(False)
+    packed_sites = table.packed_site_rows()
+    times = table.event_columns["time_s"]
+
+    # Fast path: inject the whole chunk's sites, scan once.  Each event's
+    # write cycle is distinct, so the batched scan is record-for-record
+    # the per-event scan *provided* no two events of the chunk hit the
+    # same entry (their overlays would XOR-merge); site entries are
+    # event-major and ascending within an event, so after the entry-sorted
+    # scan a searchsorted gather restores per-site record order.
+    unique_entries = np.unique(table.site_entry)
+    if unique_entries.size == table.site_entry.size:
+        device.write_all(expected, packed)
+        device.inject_upsets_batch(table.site_entry, packed_sites)
+        entries, diff = device.scan_mismatches_batch(expected, packed)
+        diff = diff.copy()
+        diff[:, _DATA_WORDS:] = 0  # ECC-disabled: data bits only
+        keep = diff.any(axis=1)
+        entries, diff = entries[keep], diff[keep]
+        site_rows = diff[np.searchsorted(entries, table.site_entry)]
+        observed = site_rows.any(axis=1)
+        row_of_flip, bits = unpack_packed_rows(site_rows[observed])
+        n_observed = int(observed.sum())
+        counts = np.diff(
+            np.searchsorted(row_of_flip, np.arange(n_observed + 1))
+        )
+        site_event = table.site_event[observed]
+        columns = {
+            "time_s": times[site_event],
+            "write_cycle": job.start + site_event,
+            "entry_index": table.site_entry[observed],
+            "flips_per_record": counts,
+            "flip_bit": bits,
+        }
+        timings["scan"] = time.perf_counter() - started
+        return columns, timings
+
+    # Collision path (rare): per-event write/inject/scan, same records.
+    site_start = table.event_site_start()
+    time_col: list[np.ndarray] = []
+    cycle_col: list[np.ndarray] = []
+    entry_col: list[np.ndarray] = []
+    count_col: list[np.ndarray] = []
+    bit_col: list[np.ndarray] = []
+    for index in range(table.n_events):
+        lo, hi = site_start[index], site_start[index + 1]
+        device.write_all(expected, packed)  # O(1): resets the overlay
+        device.inject_upsets_batch(
+            table.site_entry[lo:hi], packed_sites[lo:hi]
+        )
+        entries, diff = device.scan_mismatches_batch(expected, packed)
+        diff = diff.copy()
+        diff[:, _DATA_WORDS:] = 0
+        keep = diff.any(axis=1)
+        if not keep.any():
+            continue
+        kept = entries[keep]
+        row_of_flip, bits = unpack_packed_rows(diff[keep])
+        counts = np.diff(
+            np.searchsorted(row_of_flip, np.arange(kept.size + 1))
+        )
+        time_col.append(np.full(kept.size, times[index]))
+        cycle_col.append(np.full(kept.size, job.start + index,
+                                 dtype=np.int64))
+        entry_col.append(kept)
+        count_col.append(counts)
+        bit_col.append(bits)
+    timings["scan"] = time.perf_counter() - started
+
+    def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
+
+    columns = {
+        "time_s": _cat(time_col, np.float64),
+        "write_cycle": _cat(cycle_col, np.int64),
+        "entry_index": _cat(entry_col, np.int64),
+        "flips_per_record": _cat(count_col, np.int64),
+        "flip_bit": _cat(bit_col, np.int64),
+    }
+    return columns, timings
+
+
+def _reference_chunk(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern: DataPattern,
+    job: _ChunkJob,
+) -> tuple[list[MismatchRecord], dict]:
+    """Scalar oracle chunk: identical streams, per-entry device traffic."""
+    timings = dict.fromkeys(_STAGES[:2], 0.0)
+    synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
+    started = time.perf_counter()
+    events = synthesis.events_at(_event_times(job.start, job.size, parameters))
+    timings["synthesize"] = time.perf_counter() - started
+
+    started = time.perf_counter()
+    device = SimulatedHBM2(geometry)
+    expected = pattern.entry_fn(False)
+    records: list[MismatchRecord] = []
+    for index, event in enumerate(events):
+        device.write_all(expected)
+        for entry, positions in event.flips.items():
+            flips = np.zeros(geometry.entry_bits, dtype=np.uint8)
+            flips[positions] = 1
+            device.inject_upset(entry, flips)
+        for mismatch in device.scan_mismatches(expected):
+            data_positions = tuple(
+                bit for bit in mismatch.bit_positions if bit < _DATA_BITS
+            )
+            if data_positions:
+                records.append(MismatchRecord(
+                    time_s=event.time_s,
+                    run=0,
+                    pattern=pattern.name,
+                    write_cycle=job.start + index,
+                    read_pass=0,
+                    inverted=False,
+                    entry_index=mismatch.entry_index,
+                    bit_positions=data_positions,
+                ))
+    timings["scan"] = time.perf_counter() - started
+    return records, timings
+
+
+def _evaluate_chunk(
+    engine: str,
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    job: _ChunkJob,
+):
+    """Top-level (picklable) chunk evaluator for the worker pool."""
+    pattern = _pattern_by_name(pattern_name)
+    runner = _columnar_chunk if engine == "columnar" else _reference_chunk
+    return runner(geometry, parameters, pattern, job)
+
+
+def _run_chunks(
+    engine: str,
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    jobs: list[_ChunkJob],
+    workers: int | None,
+    chunk_timeout: float | None = None,
+) -> dict[int, tuple]:
+    """Evaluate chunks, fanned out when asked, robust to worker failure.
+
+    Mirrors the Monte Carlo harness: a chunk that misses ``chunk_timeout``
+    or a pool that breaks mid-campaign is requeued once onto a fresh pool;
+    whatever is still unfinished after the second attempt runs serially
+    in-process.  Per-chunk seeding makes every path bit-identical.
+    """
+    results: dict[int, tuple] = {}
+    pending = list(jobs)
+    if workers is not None and workers > 1 and len(pending) > 1:
+        for attempt in (1, 2):
+            if not pending:
+                break
+            try:
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except OSError as exc:
+                _LOGGER.warning(
+                    "cannot start worker pool (%s); evaluating %d chunks "
+                    "in-process", exc, len(pending),
+                )
+                break
+            try:
+                futures = {
+                    job.index: pool.submit(
+                        _evaluate_chunk, engine, geometry, parameters,
+                        pattern_name, job,
+                    )
+                    for job in pending
+                }
+                for job in pending:
+                    try:
+                        results[job.index] = futures[job.index].result(
+                            timeout=chunk_timeout
+                        )
+                    except _FuturesTimeout:
+                        futures[job.index].cancel()
+                        _LOGGER.warning(
+                            "chunk %d exceeded the %.3gs timeout; "
+                            "requeueing", job.index, chunk_timeout,
+                        )
+                    except BrokenExecutor as exc:
+                        _LOGGER.warning(
+                            "worker pool broke on chunk %d (%s); "
+                            "requeueing unfinished chunks", job.index, exc,
+                        )
+                        break
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            pending = [job for job in pending if job.index not in results]
+            if pending and attempt == 2:
+                _LOGGER.warning(
+                    "fan-out failed twice; falling back to in-process "
+                    "serial evaluation for %d chunks", len(pending),
+                )
+    for job in pending:
+        results[job.index] = _evaluate_chunk(
+            engine, geometry, parameters, pattern_name, job
+        )
+    return results
+
+
+def _finalize_columnar(columns: dict, pattern_name: str) -> tuple:
+    from repro.beam.postprocess import (
+        derive_table1_table,
+        filter_intermittent_table,
+        group_events_table,
+        breadth_class_fractions_table,
+        bits_per_word_histogram_table,
+        byte_alignment_stats_table,
+        mbme_breadth_histogram_table,
+    )
+
+    n_records = int(columns["entry_index"].size)
+    table = RecordTable.from_columns(
+        time_s=columns["time_s"],
+        run=np.zeros(n_records, dtype=np.int64),
+        pattern_code=np.zeros(n_records, dtype=np.int64),
+        write_cycle=columns["write_cycle"],
+        read_pass=np.zeros(n_records, dtype=np.int64),
+        inverted=np.zeros(n_records, dtype=bool),
+        entry_index=columns["entry_index"],
+        flips_per_record=columns["flips_per_record"],
+        flip_bit=columns["flip_bit"],
+        patterns=(pattern_name,),
+    )
+    grouped = group_events_table(filter_intermittent_table(table).soft)
+    if not grouped.n_events:
+        return n_records, 0, _EMPTY_STATS, list
+    stats = (
+        breadth_class_fractions_table(grouped),
+        mbme_breadth_histogram_table(grouped),
+        byte_alignment_stats_table(grouped),
+        bits_per_word_histogram_table(grouped, byte_aligned=True),
+        bits_per_word_histogram_table(grouped, byte_aligned=False),
+        derive_table1_table(grouped),
+    )
+    return n_records, grouped.n_events, stats, grouped.to_observed_events
+
+
+def _finalize_reference(records: list[MismatchRecord]) -> tuple:
+    from repro.beam.postprocess import (
+        derive_table1,
+        filter_intermittent,
+        group_events,
+        breadth_class_fractions,
+        bits_per_word_histogram,
+        byte_alignment_stats,
+        mbme_breadth_histogram,
+    )
+
+    events = group_events(filter_intermittent(records).soft_records)
+    if not events:
+        return len(records), 0, _EMPTY_STATS, list
+    stats = (
+        breadth_class_fractions(events),
+        mbme_breadth_histogram(events),
+        byte_alignment_stats(events),
+        bits_per_word_histogram(events, byte_aligned=True),
+        bits_per_word_histogram(events, byte_aligned=False),
+        derive_table1(events),
+    )
+    return len(records), len(events), stats, lambda: events
+
+
+def run_statistics_campaign(
+    n_events: int,
+    *,
+    seed: int = 2021,
+    geometry: HBM2Geometry | None = None,
+    parameters: EventParameters | None = None,
+    pattern: str | DataPattern = "an-encoded",
+    engine: str = "columnar",
+    workers: int | None = None,
+    chunk: int = 512,
+    chunk_timeout: float | None = None,
+) -> StatisticsResult:
+    """Generate, scan and post-process ``n_events`` ground-truth SEUs.
+
+    Event ``i`` arrives at ``i × mean_time_to_event_s`` and owns write
+    cycle ``i`` of run 0; chunk ``c`` of ``chunk`` events is seeded by
+    ``SeedSequence(seed).spawn(n_chunks)[c]``, so the result is a pure
+    function of ``(n_events, seed, chunk)`` — identical across engines
+    and across any ``workers`` setting.
+    """
+    if n_events < 0:
+        raise ValueError("n_events must be non-negative")
+    if engine not in ENGINES:
+        raise ValueError(f"engine must be one of {ENGINES}")
+    geometry = geometry or HBM2Geometry.for_gpu(32)
+    parameters = parameters or EventParameters()
+    pattern_name = pattern if isinstance(pattern, str) else pattern.name
+    _pattern_by_name(pattern_name)  # validate before spawning workers
+
+    n_chunks = (n_events + chunk - 1) // chunk if n_events else 0
+    children = np.random.SeedSequence(seed).spawn(n_chunks)
+    jobs = [
+        _ChunkJob(
+            index=index,
+            start=index * chunk,
+            size=min(chunk, n_events - index * chunk),
+            seed_seq=children[index],
+        )
+        for index in range(n_chunks)
+    ]
+    results = _run_chunks(
+        engine, geometry, parameters, pattern_name, jobs, workers,
+        chunk_timeout,
+    )
+
+    stage_seconds = dict.fromkeys(_STAGES, 0.0)
+    for index in sorted(results):
+        for stage, seconds in results[index][1].items():
+            stage_seconds[stage] += seconds
+
+    started = time.perf_counter()
+    if engine == "columnar":
+        def _cat(key: str, dtype) -> np.ndarray:
+            parts = [results[i][0][key] for i in sorted(results)]
+            return np.concatenate(parts) if parts \
+                else np.empty(0, dtype=dtype)
+
+        columns = {
+            "time_s": _cat("time_s", np.float64),
+            "write_cycle": _cat("write_cycle", np.int64),
+            "entry_index": _cat("entry_index", np.int64),
+            "flips_per_record": _cat("flips_per_record", np.int64),
+            "flip_bit": _cat("flip_bit", np.int64),
+        }
+        n_records, n_observed, stats, observed = _finalize_columnar(
+            columns, pattern_name
+        )
+    else:
+        records = [
+            record for index in sorted(results) for record in results[index][0]
+        ]
+        n_records, n_observed, stats, observed = _finalize_reference(records)
+    stage_seconds["postprocess"] = time.perf_counter() - started
+
+    (class_fractions, mbme_histogram, byte_alignment, bits_aligned,
+     bits_non_aligned, table1) = stats
+    return StatisticsResult(
+        engine=engine,
+        n_events=n_events,
+        n_records=n_records,
+        n_observed=n_observed,
+        class_fractions=class_fractions,
+        mbme_histogram=mbme_histogram,
+        byte_alignment=byte_alignment,
+        bits_per_word_aligned=bits_aligned,
+        bits_per_word_non_aligned=bits_non_aligned,
+        table1=table1,
+        stage_seconds=stage_seconds,
+        _observed_factory=observed,
+    )

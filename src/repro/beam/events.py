@@ -29,8 +29,10 @@ bits ``8b..8b+7``.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 import numpy as np
 
@@ -41,6 +43,8 @@ __all__ = [
     "EventParameters",
     "SoftErrorEvent",
     "SoftErrorEventGenerator",
+    "BatchEventSynthesis",
+    "interval_class_mixture",
     "WORDS_PER_ENTRY",
     "BITS_PER_WORD",
 ]
@@ -294,3 +298,511 @@ class SoftErrorEventGenerator:
         offsets = self._rng.choice(width, size=min(count, width), replace=False)
         base = word * BITS_PER_WORD + (byte_column * 8 if byte_column >= 0 else 0)
         return [base + int(offset) for offset in offsets]
+
+
+# ---------------------------------------------------------------------------
+# Batch (columnar) event synthesis
+# ---------------------------------------------------------------------------
+#
+# :class:`SoftErrorEventGenerator` draws one value at a time from a single
+# stream, with data-dependent consumption (rejection loops, variable-size
+# ``choice``) that cannot be replayed by sized array draws.  The batch
+# synthesiser therefore defines its *own* draw plan with the same
+# distributions but fixed, phase-separated consumption:
+#
+# * nine independent child streams (one ``SeedSequence`` spawn per draw
+#   phase) so variable consumption in one phase cannot desynchronise the
+#   others;
+# * every data-dependent draw is rephrased as a fixed number of uniforms —
+#   ``floor(u * n)`` for bounded integers, argsort-of-uniforms for sampling
+#   without replacement, an inverse-CDF lookup for the truncated binomial —
+#   so one sized call per phase replays the exact per-value stream.
+#
+# The scalar :meth:`BatchEventSynthesis.events_at` path consumes the same
+# streams one event at a time and is kept as the bit-exact oracle (and the
+# benchmark's reference engine).
+
+#: spawn order of the per-phase child streams
+_PHASES = ("arrival", "klass", "breadth", "place", "mode",
+           "words", "pick", "sev", "off")
+
+_DATA_BITS = WORDS_PER_ENTRY * BITS_PER_WORD  # 256
+
+
+@lru_cache(maxsize=None)
+def _truncated_binomial_cdf(width: int) -> np.ndarray:
+    """CDF of Binomial(width, 1/2) conditioned on >= 2, support 2..width.
+
+    ``2 + searchsorted(cdf, u, side="right")`` inverts it, replacing the
+    scalar generator's redraw-until-two rejection loop with one uniform.
+    """
+    weights = np.array(
+        [math.comb(width, k) for k in range(2, width + 1)], dtype=np.float64
+    )
+    return np.cumsum(weights / weights.sum())
+
+
+def _power_law_breadths(u: np.ndarray, alpha: float, cap: int) -> np.ndarray:
+    """Vector form of :meth:`SoftErrorEventGenerator._power_law_breadth`."""
+    raw = 2.0 * np.power(1.0 - u, -1.0 / alpha)
+    clipped = np.minimum(raw, float(cap))
+    return np.clip(np.floor(clipped), 2, cap).astype(np.int64)
+
+
+def _floor_scaled(u: np.ndarray, n: int) -> np.ndarray:
+    """``floor(u * n)`` — a rejection-free Uniform{0..n-1} from u in [0,1)."""
+    return np.floor(u * n).astype(np.int64)
+
+
+def _inverse_permutations(uniforms: np.ndarray) -> np.ndarray:
+    """Per-row inverse argsort ranks of ``(rows, k)`` uniforms.
+
+    Row element ``w`` has rank ``< m`` exactly when ``w`` is among the
+    first ``m`` picks of a without-replacement draw, so ``rank < m`` masks
+    the chosen items in ascending order.  Stable kind pins the (measure
+    zero) tie behaviour so scalar and vectorized paths always agree.
+    """
+    perm = np.argsort(uniforms, axis=-1, kind="stable")
+    # Inverting a permutation needs a scatter, not a second sort.
+    ranks = np.empty_like(perm)
+    np.put_along_axis(
+        ranks, perm,
+        np.broadcast_to(np.arange(perm.shape[-1]), perm.shape),
+        axis=-1,
+    )
+    return ranks
+
+
+def interval_class_mixture(
+    parameters: EventParameters, utilization: float
+) -> tuple[float, tuple[float, float, float, float]]:
+    """Total arrival rate and class mixture at a DRAM utilization.
+
+    The same Section-5 scaling as :meth:`SoftErrorEventGenerator.events_in`:
+    array classes (SBSE/SBME) accrue with time, logic classes (MBSE/MBME)
+    with accesses.
+    """
+    if not 0.0 <= utilization <= 1.0:
+        raise ValueError("utilization must be in [0, 1]")
+    base = parameters.class_probabilities
+    array_rate = (base[0] + base[1]) / parameters.mean_time_to_event_s
+    logic_rate = (
+        (base[2] + base[3]) * utilization / parameters.mean_time_to_event_s
+    )
+    total_rate = array_rate + logic_rate
+    if total_rate <= 0.0:
+        return 0.0, (0.0, 0.0, 0.0, 0.0)
+    probabilities = (
+        base[0] / (base[0] + base[1]) * array_rate / total_rate,
+        base[1] / (base[0] + base[1]) * array_rate / total_rate,
+        (base[2] / (base[2] + base[3]) * logic_rate / total_rate
+         if logic_rate else 0.0),
+        (base[3] / (base[2] + base[3]) * logic_rate / total_rate
+         if logic_rate else 0.0),
+    )
+    return total_rate, probabilities
+
+
+class BatchEventSynthesis:
+    """Columnar SEU synthesis over the phase-streamed draw plan.
+
+    Construct two instances with the same seed and make the same calls in
+    the same order, and :meth:`table_at` (vectorized) and :meth:`events_at`
+    (scalar oracle) consume identical random streams and produce identical
+    events — the equivalence the columnar engine's tests assert.
+    """
+
+    def __init__(
+        self,
+        geometry: HBM2Geometry | None = None,
+        parameters: EventParameters | None = None,
+        *,
+        seed: int | np.random.SeedSequence = 7,
+    ) -> None:
+        self.geometry = geometry or HBM2Geometry.for_gpu(32)
+        self.parameters = parameters or EventParameters()
+        self._seq = (
+            seed if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+
+    # -- stream plumbing ---------------------------------------------------
+    def _phase_rngs(self) -> dict[str, np.random.Generator]:
+        children = self._seq.spawn(len(_PHASES))
+        return {
+            name: np.random.default_rng(child)
+            for name, child in zip(_PHASES, children)
+        }
+
+    def _class_cdf(self, probabilities) -> np.ndarray:
+        return np.cumsum(np.asarray(
+            probabilities or self.parameters.class_probabilities,
+            dtype=np.float64,
+        ))
+
+    # -- arrivals ----------------------------------------------------------
+    def _arrival_times(
+        self,
+        rng: np.random.Generator,
+        duration_s: float,
+        start_time_s: float,
+        total_rate: float,
+        *,
+        batch: bool,
+    ) -> np.ndarray:
+        """Poisson arrival instants in ``[start, start + duration)``.
+
+        Both paths accept ``start + cumsum(exponentials) < start + duration``;
+        the batch path re-cumsums the concatenated draws from zero each
+        extension so its partial sums associate exactly like the scalar
+        path's running ``acc += e``.
+        """
+        if total_rate <= 0.0 or duration_s <= 0.0:
+            return np.empty(0, dtype=np.float64)
+        end = start_time_s + duration_s
+        scale = 1.0 / total_rate
+        if batch:
+            expected = duration_s * total_rate
+            block = max(16, int(expected * 1.5) + 8)
+            draws: list[np.ndarray] = []
+            while True:
+                draws.append(rng.exponential(scale, size=block))
+                cum = np.cumsum(np.concatenate(draws))
+                if cum[-1] >= duration_s:
+                    times = start_time_s + cum
+                    return times[times < end]
+        times_list: list[float] = []
+        acc = 0.0
+        while True:
+            acc += float(rng.exponential(scale))
+            clock = start_time_s + acc
+            if clock >= end:
+                return np.array(times_list, dtype=np.float64)
+            times_list.append(clock)
+
+    # -- public API --------------------------------------------------------
+    def interval_table(self, duration_s: float, start_time_s: float = 0.0,
+                       utilization: float = 1.0):
+        """Vectorized equivalent of
+        :meth:`SoftErrorEventGenerator.events_in`, as a ``FlipTable``."""
+        rngs = self._phase_rngs()
+        rate, probabilities = interval_class_mixture(
+            self.parameters, utilization
+        )
+        times = self._arrival_times(
+            rngs["arrival"], duration_s, start_time_s, rate, batch=True
+        )
+        return self._table(rngs, times, probabilities)
+
+    def interval_events(self, duration_s: float, start_time_s: float = 0.0,
+                        utilization: float = 1.0) -> list[SoftErrorEvent]:
+        """Scalar oracle for :meth:`interval_table` (same streams)."""
+        rngs = self._phase_rngs()
+        rate, probabilities = interval_class_mixture(
+            self.parameters, utilization
+        )
+        times = self._arrival_times(
+            rngs["arrival"], duration_s, start_time_s, rate, batch=False
+        )
+        return self._events(rngs, times, probabilities)
+
+    def table_at(self, times, class_probabilities=None):
+        """Synthesize one event per entry of ``times``, vectorized."""
+        rngs = self._phase_rngs()
+        return self._table(
+            rngs, np.asarray(times, dtype=np.float64), class_probabilities
+        )
+
+    def events_at(self, times, class_probabilities=None
+                  ) -> list[SoftErrorEvent]:
+        """Scalar oracle for :meth:`table_at` (same streams)."""
+        rngs = self._phase_rngs()
+        return self._events(
+            rngs, np.asarray(times, dtype=np.float64), class_probabilities
+        )
+
+    # -- vectorized core ---------------------------------------------------
+    def _table(self, rngs, times: np.ndarray, class_probabilities):
+        from repro.beam.fliptable import FlipTable
+
+        params = self.parameters
+        geometry = self.geometry
+        per_bank = geometry.entries_per_bank
+        n = times.size
+        if n == 0:
+            return FlipTable.from_flips(
+                np.empty(0, np.int64), np.empty(0, np.int64),
+                np.empty(0, np.int64), np.empty(0, np.int64),
+                n_events=0,
+                event_columns={
+                    "time_s": times.copy(),
+                    "class_code": np.empty(0, np.int64),
+                },
+            )
+
+        # klass: one uniform per event through the class CDF
+        class_cdf = self._class_cdf(class_probabilities)
+        codes = np.minimum(
+            np.searchsorted(class_cdf, rngs["klass"].random(n), side="right"),
+            3,
+        ).astype(np.int64)
+        is_sbme = codes == 1
+        is_mbse = codes == 2
+        is_mbme = codes == 3
+        is_mb = is_mbse | is_mbme
+
+        # breadth: one uniform per event (unused for single-entry classes)
+        u_breadth = rngs["breadth"].random(n)
+        breadth = np.ones(n, dtype=np.int64)
+        breadth[is_sbme] = _power_law_breadths(
+            u_breadth[is_sbme], params.sbme_breadth_alpha,
+            params.sbme_breadth_max,
+        )
+        breadth[is_mbme] = _power_law_breadths(
+            u_breadth[is_mbme], params.mbme_breadth_alpha,
+            params.mbme_breadth_max,
+        )
+        breadth = np.minimum(breadth, per_bank)
+
+        # place: (u_site, u_off) per event; multi-entry runs stay bank-local
+        u_place = rngs["place"].random(2 * n).reshape(n, 2)
+        first_entry = _floor_scaled(u_place[:, 0], geometry.total_entries)
+        bank_start = (first_entry // per_bank) * per_bank
+        offset = np.floor(
+            u_place[:, 1] * (per_bank - breadth + 1)
+        ).astype(np.int64)
+        base_entry = np.where(breadth > 1, bank_start + offset, first_entry)
+
+        # mode: (u_bit, u_pin, u_align, u_col) per event
+        u_mode = rngs["mode"].random(4 * n).reshape(n, 4)
+        sb_bit = _floor_scaled(u_mode[:, 0], _DATA_BITS)
+        pin_bit = _floor_scaled(u_mode[:, 0], BITS_PER_WORD)
+        is_pin = is_mbse & (u_mode[:, 1] < params.pin_fault_fraction)
+        aligned = is_mb & ~is_pin & (
+            u_mode[:, 2] < params.byte_aligned_fraction
+        )
+        byte_col = np.where(
+            aligned, _floor_scaled(u_mode[:, 3], BITS_PER_WORD // 8), -1
+        )
+
+        # sites: one row per (event, entry)
+        site_event = np.repeat(np.arange(n, dtype=np.int64), breadth)
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(breadth, out=starts[1:])
+        within = np.arange(site_event.size, dtype=np.int64) - np.repeat(
+            starts[:-1], breadth
+        )
+        site_entry = base_entry[site_event] + within
+        n_sites = site_event.size
+
+        # words: one uniform per multi-bit site (pin events have one site)
+        site_is_mb = is_mb[site_event]
+        mb_sites = np.nonzero(site_is_mb)[0]
+        mb_event = site_event[mb_sites]
+        u_words = rngs["words"].random(mb_sites.size)
+        cum_ba = np.cumsum(np.asarray(params.byte_aligned_words_dist))
+        cum_na = np.cumsum(np.asarray(params.non_aligned_words_dist))
+        nw = np.where(
+            is_pin[mb_event],
+            2 + _floor_scaled(u_words, WORDS_PER_ENTRY - 1),
+            1 + np.minimum(
+                np.where(
+                    aligned[mb_event],
+                    np.searchsorted(cum_ba, u_words, side="right"),
+                    np.searchsorted(cum_na, u_words, side="right"),
+                ),
+                WORDS_PER_ENTRY - 1,
+            ),
+        ).astype(np.int64)
+
+        # pick: four uniforms per multi-bit site select its affected words
+        u_pick = rngs["pick"].random(4 * mb_sites.size).reshape(-1, 4)
+        word_rank = _inverse_permutations(u_pick)
+        word_sel = word_rank < nw[:, None]
+
+        pin_site = is_pin[mb_event]
+        plain_word_sel = word_sel & ~pin_site[:, None]
+        w_site, w_word = np.nonzero(plain_word_sel)  # (event, site, word asc)
+        w_event = mb_event[w_site]
+        w_aligned = aligned[w_event]
+        w_width = np.where(w_aligned, 8, BITS_PER_WORD)
+        w_base = w_word * BITS_PER_WORD + np.where(
+            w_aligned, byte_col[w_event] * 8, 0
+        )
+
+        # sev: (u_inv, u_sparse, u_count) per plain multi-bit word
+        u_sev = rngs["sev"].random(3 * w_site.size).reshape(-1, 3)
+        sparse = ~w_aligned & (u_sev[:, 1] < params.sparse_severity_fraction)
+        cdf8 = _truncated_binomial_cdf(8)
+        cdf64 = _truncated_binomial_cdf(BITS_PER_WORD)
+        binom = np.minimum(
+            2 + np.where(
+                w_aligned,
+                np.searchsorted(cdf8, u_sev[:, 2], side="right"),
+                np.searchsorted(cdf64, u_sev[:, 2], side="right"),
+            ),
+            w_width,
+        )
+        count = np.where(
+            u_sev[:, 0] < params.inversion_fraction,
+            w_width,
+            np.where(sparse, 2 + _floor_scaled(u_sev[:, 2], 3), binom),
+        ).astype(np.int64)
+
+        # off: ``width`` uniforms per plain word pick its flipped offsets
+        off_starts = np.zeros(w_site.size + 1, dtype=np.int64)
+        np.cumsum(w_width, out=off_starts[1:])
+        u_off = rngs["off"].random(int(off_starts[-1]))
+
+        flip_site_parts: list[np.ndarray] = []
+        flip_bit_parts: list[np.ndarray] = []
+
+        # single-bit sites: one flip each (SBME repeats the cell column)
+        sb_sites = np.nonzero(~site_is_mb)[0]
+        flip_site_parts.append(sb_sites)
+        flip_bit_parts.append(sb_bit[site_event[sb_sites]])
+
+        # pin sites: the same within-word bit across the selected words
+        p_site, p_word = np.nonzero(word_sel & pin_site[:, None])
+        flip_site_parts.append(mb_sites[p_site])
+        flip_bit_parts.append(
+            p_word * BITS_PER_WORD + pin_bit[mb_event[p_site]]
+        )
+
+        # plain words, grouped by width so each group argsorts one matrix
+        for width, cond in ((8, w_aligned), (BITS_PER_WORD, ~w_aligned)):
+            group = np.nonzero(cond)[0]
+            if not group.size:
+                continue
+            index = off_starts[group][:, None] + np.arange(width)
+            rank = _inverse_permutations(u_off[index])
+            sel = rank < count[group][:, None]
+            g_row, g_off = np.nonzero(sel)
+            flip_site_parts.append(mb_sites[w_site[group[g_row]]])
+            flip_bit_parts.append(w_base[group[g_row]] + g_off)
+
+        flip_site = np.concatenate(flip_site_parts)
+        flip_bit = np.concatenate(flip_bit_parts).astype(np.int64)
+        order = np.lexsort((flip_bit, flip_site))
+        flip_site = flip_site[order]
+        flip_bit = flip_bit[order]
+        flips_per_site = np.bincount(flip_site, minlength=n_sites)
+
+        return FlipTable.from_flips(
+            site_event, site_entry, flips_per_site, flip_bit,
+            n_events=n,
+            event_columns={"time_s": times.copy(), "class_code": codes},
+        )
+
+    # -- scalar oracle core ------------------------------------------------
+    def _events(self, rngs, times: np.ndarray, class_probabilities
+                ) -> list[SoftErrorEvent]:
+        params = self.parameters
+        geometry = self.geometry
+        per_bank = geometry.entries_per_bank
+        class_cdf = self._class_cdf(class_probabilities)
+        classes = (EventClass.SBSE, EventClass.SBME,
+                   EventClass.MBSE, EventClass.MBME)
+        cum_ba = np.cumsum(np.asarray(params.byte_aligned_words_dist))
+        cum_na = np.cumsum(np.asarray(params.non_aligned_words_dist))
+        cdf_by_width = {
+            8: _truncated_binomial_cdf(8),
+            BITS_PER_WORD: _truncated_binomial_cdf(BITS_PER_WORD),
+        }
+
+        events: list[SoftErrorEvent] = []
+        for time_s in times:
+            code = min(int(np.searchsorted(
+                class_cdf, rngs["klass"].random(), side="right"
+            )), 3)
+            u_breadth = rngs["breadth"].random()
+            if code == 1:
+                breadth = int(_power_law_breadths(
+                    np.array([u_breadth]), params.sbme_breadth_alpha,
+                    params.sbme_breadth_max,
+                )[0])
+            elif code == 3:
+                breadth = int(_power_law_breadths(
+                    np.array([u_breadth]), params.mbme_breadth_alpha,
+                    params.mbme_breadth_max,
+                )[0])
+            else:
+                breadth = 1
+            breadth = min(breadth, per_bank)
+
+            u_site, u_off = rngs["place"].random(2)
+            first_entry = int(np.floor(u_site * geometry.total_entries))
+            if breadth > 1:
+                bank_start = (first_entry // per_bank) * per_bank
+                base_entry = bank_start + int(
+                    np.floor(u_off * (per_bank - breadth + 1))
+                )
+            else:
+                base_entry = first_entry
+
+            u_bit, u_pin, u_align, u_col = rngs["mode"].random(4)
+            is_mb = code in (2, 3)
+            is_pin = code == 2 and u_pin < params.pin_fault_fraction
+            aligned = (
+                is_mb and not is_pin and u_align < params.byte_aligned_fraction
+            )
+            byte_col = int(np.floor(u_col * (BITS_PER_WORD // 8))) \
+                if aligned else -1
+
+            flips: dict[int, np.ndarray] = {}
+            for index in range(breadth):
+                entry = base_entry + index
+                if not is_mb:
+                    bit = int(np.floor(u_bit * _DATA_BITS))
+                    flips[entry] = np.array([bit], dtype=np.int64)
+                    continue
+                u_words = rngs["words"].random()
+                if is_pin:
+                    nw = 2 + int(np.floor(u_words * (WORDS_PER_ENTRY - 1)))
+                elif aligned:
+                    nw = 1 + min(int(np.searchsorted(
+                        cum_ba, u_words, side="right"
+                    )), WORDS_PER_ENTRY - 1)
+                else:
+                    nw = 1 + min(int(np.searchsorted(
+                        cum_na, u_words, side="right"
+                    )), WORDS_PER_ENTRY - 1)
+                rank = _inverse_permutations(rngs["pick"].random(4))
+                words = np.nonzero(rank < nw)[0]
+                if is_pin:
+                    bit = int(np.floor(u_bit * BITS_PER_WORD))
+                    flips[entry] = np.array(
+                        [int(word) * BITS_PER_WORD + bit for word in words],
+                        dtype=np.int64,
+                    )
+                    continue
+                width = 8 if aligned else BITS_PER_WORD
+                positions: list[int] = []
+                for word in words:
+                    u_inv, u_sparse, u_count = rngs["sev"].random(3)
+                    if u_inv < params.inversion_fraction:
+                        count = width
+                    elif (
+                        not aligned
+                        and u_sparse < params.sparse_severity_fraction
+                    ):
+                        count = 2 + int(np.floor(u_count * 3))
+                    else:
+                        count = min(2 + int(np.searchsorted(
+                            cdf_by_width[width], u_count, side="right"
+                        )), width)
+                    off_rank = _inverse_permutations(
+                        rngs["off"].random(width)
+                    )
+                    offsets = np.nonzero(off_rank < count)[0]
+                    base = int(word) * BITS_PER_WORD + (
+                        byte_col * 8 if aligned else 0
+                    )
+                    positions.extend(base + int(o) for o in offsets)
+                flips[entry] = np.array(sorted(positions), dtype=np.int64)
+            events.append(SoftErrorEvent(
+                time_s=float(time_s),
+                event_class=classes[code],
+                flips=flips,
+            ))
+        return events

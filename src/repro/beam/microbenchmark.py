@@ -27,8 +27,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.beam.ancode import an_pattern_words
+from repro.beam.ancode import an_pattern_words_batch
 from repro.dram.device import SimulatedHBM2
+from repro.gf.gf2 import pack_rows
 
 __all__ = [
     "DataPattern",
@@ -45,13 +46,33 @@ _ENTRY_BITS = 288
 
 
 class DataPattern(ABC):
-    """A data background written to (and expected back from) the device."""
+    """A data background written to (and expected back from) the device.
+
+    Subclasses implement :meth:`data_bits_batch`; the scalar
+    :meth:`data_bits` view on top memoizes per entry, because the scan
+    loop re-evaluates the same sparse fault sites on every read pass.
+    """
 
     name: str = "abstract"
+    _memo_limit = 65536  # fault sites are sparse; bound the cache anyway
+
+    def __init__(self) -> None:
+        self._memo: dict[int, np.ndarray] = {}
 
     @abstractmethod
+    def data_bits_batch(self, entry_indices: np.ndarray) -> np.ndarray:
+        """The 256 data bits of each entry (non-inverted), ``(len, 256)``."""
+
     def data_bits(self, entry_index: int) -> np.ndarray:
         """The 256 data bits of one entry (non-inverted polarity)."""
+        cached = self._memo.get(entry_index)
+        if cached is None:
+            cached = self.data_bits_batch(
+                np.array([entry_index], dtype=np.int64)
+            )[0]
+            if len(self._memo) < self._memo_limit:
+                self._memo[entry_index] = cached
+        return cached.copy()
 
     def entry_fn(self, inverted: bool) -> Callable[[int], np.ndarray]:
         """A device-compatible pattern function (288 bits, ECC region zero)."""
@@ -64,17 +85,33 @@ class DataPattern(ABC):
 
         return pattern
 
+    def packed_entry_rows(self, entry_indices: np.ndarray,
+                          inverted: bool) -> np.ndarray:
+        """Batch form of :meth:`entry_fn`: bit-packed ``(len, 5)`` rows."""
+        entry_indices = np.asarray(entry_indices, dtype=np.int64)
+        bits = np.zeros((entry_indices.size, _ENTRY_BITS), dtype=np.uint8)
+        data = self.data_bits_batch(entry_indices)
+        bits[:, :_DATA_BITS] = (data ^ 1) if inverted else data
+        return pack_rows(bits)
+
+    def packed_fn(self, inverted: bool) -> Callable[[np.ndarray], np.ndarray]:
+        """A device-compatible batch pattern function (see
+        :meth:`repro.dram.device.SimulatedHBM2.scan_mismatches_batch`)."""
+        return lambda entries: self.packed_entry_rows(entries, inverted)
+
 
 class UniformPattern(DataPattern):
     """All-0s (or all-1s) — the paper's first pattern."""
 
     def __init__(self, ones: bool = False) -> None:
+        super().__init__()
         self.ones = ones
         self.name = "all1" if ones else "all0"
 
-    def data_bits(self, entry_index: int) -> np.ndarray:
+    def data_bits_batch(self, entry_indices: np.ndarray) -> np.ndarray:
         value = 1 if self.ones else 0
-        return np.full(_DATA_BITS, value, dtype=np.uint8)
+        size = np.asarray(entry_indices).size
+        return np.full((size, _DATA_BITS), value, dtype=np.uint8)
 
 
 class CheckerboardPattern(DataPattern):
@@ -82,13 +119,14 @@ class CheckerboardPattern(DataPattern):
 
     name = "checkerboard"
 
-    def data_bits(self, entry_index: int) -> np.ndarray:
-        bits = np.zeros(_DATA_BITS, dtype=np.uint8)
-        for word in range(4):
-            phase = (entry_index + word) % 2
-            # 0x55...: even bits set; 0xAA...: odd bits set.
-            bits[64 * word + phase : 64 * (word + 1) : 2] = 1
-        return bits
+    def data_bits_batch(self, entry_indices: np.ndarray) -> np.ndarray:
+        entry_indices = np.asarray(entry_indices, dtype=np.int64)
+        # 0x55...: even bits set; 0xAA...: odd bits set.
+        phase = (entry_indices[:, None] + np.arange(4)) % 2  # (len, 4)
+        offset_parity = np.arange(64) % 2
+        word_bits = phase[:, :, None] == offset_parity[None, None, :]
+        return word_bits.reshape(entry_indices.size, _DATA_BITS) \
+            .astype(np.uint8)
 
 
 class ANPattern(DataPattern):
@@ -96,13 +134,16 @@ class ANPattern(DataPattern):
 
     name = "an-encoded"
 
-    def data_bits(self, entry_index: int) -> np.ndarray:
-        words = an_pattern_words(entry_index)
-        bits = np.zeros(_DATA_BITS, dtype=np.uint8)
-        for word_index, value in enumerate(int(w) for w in words):
-            for bit in range(64):
-                bits[64 * word_index + bit] = (value >> bit) & 1
-        return bits
+    def data_bits_batch(self, entry_indices: np.ndarray) -> np.ndarray:
+        entry_indices = np.asarray(entry_indices, dtype=np.int64)
+        words = an_pattern_words_batch(entry_indices)  # (len, 4) uint64
+        # Bit i of word w is data bit 64w+i: little-endian byte view +
+        # little-endian unpack give exactly that order, without the
+        # (len, 4, 64) shift broadcast.
+        as_bytes = words.astype("<u8").view(np.uint8)
+        return np.unpackbits(
+            as_bytes, axis=1, bitorder="little"
+        )[:, :_DATA_BITS]
 
 
 def STANDARD_PATTERNS() -> list[DataPattern]:
@@ -134,11 +175,13 @@ class Microbenchmark:
         write_cycles: int = 10,
         reads_per_write: int = 20,
         loop_time_s: float = 0.05,
+        use_batch_scan: bool = False,
     ) -> None:
         self.device = device
         self.write_cycles = write_cycles
         self.reads_per_write = reads_per_write
         self.loop_time_s = loop_time_s
+        self.use_batch_scan = use_batch_scan
 
     def run(
         self,
@@ -155,18 +198,16 @@ class Microbenchmark:
         for cycle in range(self.write_cycles):
             inverted = cycle % 2 == 1
             expected = pattern.entry_fn(inverted)
-            self.device.write_all(expected)
+            packed = pattern.packed_fn(inverted)
+            self.device.write_all(expected, packed)
             if environment is not None:
                 environment(self.loop_time_s)
             clock += self.loop_time_s
 
             for read_pass in range(self.reads_per_write):
-                for mismatch in self.device.scan_mismatches(expected):
-                    data_positions = tuple(
-                        bit for bit in mismatch.bit_positions if bit < _DATA_BITS
-                    )
-                    if not data_positions:
-                        continue
+                for entry_index, data_positions in self._scan(
+                    expected, packed
+                ):
                     records.append(
                         MismatchRecord(
                             time_s=clock,
@@ -175,7 +216,7 @@ class Microbenchmark:
                             write_cycle=cycle,
                             read_pass=read_pass,
                             inverted=inverted,
-                            entry_index=mismatch.entry_index,
+                            entry_index=entry_index,
                             bit_positions=data_positions,
                         )
                     )
@@ -184,3 +225,35 @@ class Microbenchmark:
                 clock += self.loop_time_s
 
         return records
+
+    def _scan(self, expected, packed):
+        """Mismatching (entry, data-bit positions) pairs, ascending entries.
+
+        The batch path zeroes the packed ECC word (bits 256-287 live
+        entirely in word 4) and unpacks only surviving rows — record for
+        record what the scalar scan's ``bit < 256`` filter produces.
+        """
+        if not self.use_batch_scan:
+            for mismatch in self.device.scan_mismatches(expected):
+                data_positions = tuple(
+                    bit for bit in mismatch.bit_positions if bit < _DATA_BITS
+                )
+                if data_positions:
+                    yield mismatch.entry_index, data_positions
+            return
+        entries, diff = self.device.scan_mismatches_batch(expected, packed)
+        diff = diff.copy()
+        diff[:, _DATA_BITS // 64:] = 0
+        keep = diff.any(axis=1)
+        if not keep.any():
+            return
+        from repro.beam.fliptable import unpack_packed_rows
+
+        kept_entries = entries[keep]
+        row_of_flip, bits = unpack_packed_rows(diff[keep])
+        starts = np.searchsorted(row_of_flip,
+                                 np.arange(kept_entries.size + 1))
+        for index, entry in enumerate(kept_entries):
+            yield int(entry), tuple(
+                int(b) for b in bits[starts[index]:starts[index + 1]]
+            )

@@ -46,6 +46,16 @@ __all__ = [
     "byte_alignment_stats",
     "bits_per_word_histogram",
     "derive_table1",
+    "FilterTableResult",
+    "filter_intermittent_table",
+    "group_events_table",
+    "events_from_truth_table",
+    "observed_class_codes",
+    "breadth_class_fractions_table",
+    "mbme_breadth_histogram_table",
+    "byte_alignment_stats_table",
+    "bits_per_word_histogram_table",
+    "derive_table1_table",
 ]
 
 
@@ -293,3 +303,348 @@ def derive_table1(events: list[ObservedEvent]) -> dict[ErrorPattern, float]:
             weights[pattern] += share
     total = sum(weights.values())
     return {pattern: weight / total for pattern, weight in weights.items()}
+
+
+# --------------------------------------------------------------------------
+# 4. Columnar pipeline — the same analyses over flat tables
+# --------------------------------------------------------------------------
+#
+# Each ``*_table`` function below reproduces its scalar namesake exactly
+# (same partitions, same fractions, same floating-point accumulation
+# order); the scalar paths remain the oracles the equivalence suite checks
+# against.
+
+from repro.beam.fliptable import FlipTable, RecordTable  # noqa: E402
+from repro.errormodel.classify import (  # noqa: E402
+    PATTERN_ORDER,
+    classify_error_codes_batch,
+)
+
+
+@dataclass(frozen=True)
+class FilterTableResult:
+    """Columnar mirror of :class:`FilterResult`."""
+
+    soft: RecordTable
+    intermittent: RecordTable
+    damaged_entries: np.ndarray  #: sorted int64 damaged entry indices
+
+    def to_filter_result(self) -> FilterResult:
+        return FilterResult(
+            soft_records=self.soft.to_records(),
+            intermittent_records=self.intermittent.to_records(),
+            damaged_entries=frozenset(
+                int(e) for e in self.damaged_entries
+            ),
+        )
+
+
+def filter_intermittent_table(table: RecordTable,
+                              min_cycles: int = 2) -> FilterTableResult:
+    """Vectorized :func:`filter_intermittent` over a :class:`RecordTable`.
+
+    Distinct ``(run, write_cycle)`` pairs per entry are counted with one
+    lexsort instead of a dict of sets; both partitions preserve record
+    order, like the scalar filter's list comprehensions.
+    """
+    if not table.n_records:
+        return FilterTableResult(
+            soft=table, intermittent=table.select(np.zeros(0, dtype=bool)),
+            damaged_entries=np.empty(0, dtype=np.int64),
+        )
+    order = np.lexsort((table.write_cycle, table.run, table.entry_index))
+    entry = table.entry_index[order]
+    run = table.run[order]
+    cycle = table.write_cycle[order]
+    new_pair = np.r_[True, (np.diff(entry) != 0) | (np.diff(run) != 0)
+                     | (np.diff(cycle) != 0)]
+    unique_entries, inverse = np.unique(entry, return_inverse=True)
+    pairs_per_entry = np.bincount(inverse[new_pair],
+                                  minlength=unique_entries.size)
+    damaged = unique_entries[pairs_per_entry >= min_cycles]
+    if damaged.size:
+        position = np.minimum(
+            np.searchsorted(damaged, table.entry_index), damaged.size - 1
+        )
+        is_damaged = damaged[position] == table.entry_index
+    else:
+        is_damaged = np.zeros(table.n_records, dtype=bool)
+    return FilterTableResult(
+        soft=table.select(~is_damaged),
+        intermittent=table.select(is_damaged),
+        damaged_entries=damaged,
+    )
+
+
+def group_events_table(soft: RecordTable) -> FlipTable:
+    """Vectorized :func:`group_events`: a :class:`FlipTable` of observed
+    events with ``run``/``write_cycle``/``read_pass`` columns.
+
+    Events are ordered by ``(run, write_cycle, read_pass)`` and each
+    event's sites by first-observation time — exactly the scalar
+    grouper's sort order and dict-insertion order.
+    """
+    if not soft.n_records:
+        return FlipTable.from_flips(
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            np.empty(0, np.int64), np.empty(0, np.int64),
+            n_events=0,
+            event_columns={
+                "run": np.empty(0, np.int64),
+                "write_cycle": np.empty(0, np.int64),
+                "read_pass": np.empty(0, np.int64),
+            },
+        )
+    # first observation of each (run, cycle, entry), earliest time winning
+    # ties by record order (the scalar path's stable sorted() + dict)
+    time_order = np.argsort(soft.time_s, kind="stable")
+    time_rank = np.empty(soft.n_records, dtype=np.int64)
+    time_rank[time_order] = np.arange(soft.n_records)
+    by_key = np.lexsort((
+        time_rank, soft.entry_index, soft.write_cycle, soft.run
+    ))
+    first_of_key = np.r_[
+        True,
+        (np.diff(soft.run[by_key]) != 0)
+        | (np.diff(soft.write_cycle[by_key]) != 0)
+        | (np.diff(soft.entry_index[by_key]) != 0),
+    ]
+    kept = by_key[first_of_key]
+
+    # group kept records into events by (run, cycle, read pass), sites in
+    # first-seen time order within each event
+    by_event = np.lexsort((
+        time_rank[kept], soft.read_pass[kept],
+        soft.write_cycle[kept], soft.run[kept],
+    ))
+    rows = kept[by_event]
+    run = soft.run[rows]
+    cycle = soft.write_cycle[rows]
+    read_pass = soft.read_pass[rows]
+    new_event = np.r_[True, (np.diff(run) != 0) | (np.diff(cycle) != 0)
+                      | (np.diff(read_pass) != 0)]
+    site_event = np.cumsum(new_event) - 1
+    n_events = int(site_event[-1]) + 1
+
+    counts = soft.flips_per_record()[rows]
+    starts = soft.flip_start[rows]
+    flat = np.repeat(starts, counts) + (
+        np.arange(int(counts.sum())) - np.repeat(
+            np.r_[0, np.cumsum(counts)[:-1]], counts
+        )
+    )
+    return FlipTable.from_flips(
+        site_event, soft.entry_index[rows], counts, soft.flip_bit[flat],
+        n_events=n_events,
+        event_columns={
+            "run": run[new_event],
+            "write_cycle": cycle[new_event],
+            "read_pass": read_pass[new_event],
+        },
+    )
+
+
+def events_from_truth_table(truth: FlipTable) -> FlipTable:
+    """Columnar :func:`events_from_truth`: relabel a ground-truth table
+    with the observed-event columns (run 0, cycle 0, pass = index)."""
+    n = truth.n_events
+    return FlipTable(
+        n_events=n,
+        site_event=truth.site_event,
+        site_entry=truth.site_entry,
+        site_flip_start=truth.site_flip_start,
+        flip_bit=truth.flip_bit,
+        event_columns={
+            "run": np.zeros(n, dtype=np.int64),
+            "write_cycle": np.zeros(n, dtype=np.int64),
+            "read_pass": np.arange(n, dtype=np.int64),
+        },
+    )
+
+
+def observed_class_codes(table: FlipTable) -> np.ndarray:
+    """Structural Figure 4a class of each event, as indices into
+    ``list(EventClass)`` (SBSE 0, SBME 1, MBSE 2, MBME 3)."""
+    return _table_cached(table, "class_codes", _observed_class_codes_uncached)
+
+
+def _observed_class_codes_uncached(table: FlipTable) -> np.ndarray:
+    multi_entry = table.breadths() > 1
+    site_multibit = table.flips_per_site() > 1
+    multibit_sites = np.bincount(
+        table.site_event[site_multibit], minlength=table.n_events
+    )
+    return 2 * (multibit_sites > 0).astype(np.int64) \
+        + multi_entry.astype(np.int64)
+
+
+def _table_cached(table: FlipTable, key: str, compute):
+    """Memoize a derived product on the (build-once) table instance; the
+    Figure 4/5 statistics all start from the same segment decomposition."""
+    cache = getattr(table, "_derived_cache", None)
+    if cache is None:
+        cache = {}
+        object.__setattr__(table, "_derived_cache", cache)
+    if key not in cache:
+        cache[key] = compute(table)
+    return cache[key]
+
+
+def _word_segments(table: FlipTable
+                   ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-(site, word) flip segments: ``(seg_site, seg_len, seg_aligned)``.
+
+    Flip bits are sorted within each site, so a site's words form
+    contiguous runs and a segment is byte-aligned exactly when its first
+    and last flips land in the same aligned byte.
+    """
+    return _table_cached(table, "segments", _word_segments_uncached)
+
+
+def _word_segments_uncached(table: FlipTable
+                            ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    site = table.site_of_flip()
+    if not site.size:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.empty(0, dtype=bool)
+    word = table.flip_bit >> 6
+    byte = (table.flip_bit >> 3) & 7
+    new_segment = np.r_[True, (np.diff(site) != 0) | (np.diff(word) != 0)]
+    seg_start = np.flatnonzero(new_segment)
+    seg_end = np.r_[seg_start[1:], site.size]
+    return site[seg_start], seg_end - seg_start, \
+        byte[seg_start] == byte[seg_end - 1]
+
+
+def _site_alignment(table: FlipTable
+                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-site (words affected, byte-aligned) plus per-event alignment."""
+    return _table_cached(table, "alignment", _site_alignment_uncached)
+
+
+def _site_alignment_uncached(table: FlipTable
+                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    seg_site, _, seg_aligned = _word_segments(table)
+    words_per_site = np.bincount(seg_site, minlength=table.n_sites)
+    misaligned_segments = np.bincount(
+        seg_site[~seg_aligned], minlength=table.n_sites
+    )
+    site_aligned = misaligned_segments == 0
+    misaligned_sites = np.bincount(
+        table.site_event[~site_aligned], minlength=table.n_events
+    )
+    return words_per_site, site_aligned, misaligned_sites == 0
+
+
+def breadth_class_fractions_table(table: FlipTable
+                                  ) -> dict[EventClass, float]:
+    """Columnar :func:`breadth_class_fractions` (Figure 4a)."""
+    if not table.n_events:
+        raise ValueError("no events to classify")
+    counts = np.bincount(observed_class_codes(table), minlength=4)
+    return {
+        klass: int(count) / table.n_events
+        for klass, count in zip(EventClass, counts)
+    }
+
+
+_MBME_EDGES = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+
+def mbme_breadth_histogram_table(table: FlipTable) -> dict[str, int]:
+    """Columnar :func:`mbme_breadth_histogram` (Figure 4b)."""
+    edges = np.asarray(_MBME_EDGES)
+    breadth = table.breadths()[observed_class_codes(table) == 3]
+    breadth = breadth[(breadth >= edges[0]) & (breadth < edges[-1])]
+    bins = np.searchsorted(edges, breadth, side="right") - 1
+    counts = np.bincount(bins, minlength=edges.size - 1)
+    return {
+        f"{low}-{high - 1}": int(count)
+        for low, high, count in zip(edges[:-1], edges[1:], counts)
+    }
+
+
+def byte_alignment_stats_table(table: FlipTable) -> dict[str, float]:
+    """Columnar :func:`byte_alignment_stats` (Figure 4c)."""
+    codes = observed_class_codes(table)
+    multibit_event = codes >= 2
+    n_multibit = int(multibit_event.sum())
+    if not n_multibit:
+        raise ValueError("no multi-bit events observed")
+    words_per_site, _, event_aligned = _site_alignment(table)
+    n_aligned = int((multibit_event & event_aligned).sum())
+
+    stats: dict[str, float] = {
+        "byte_aligned_fraction": n_aligned / n_multibit,
+    }
+    site_words = words_per_site  # (n_sites,)
+    for label, event_mask in (
+        ("aligned", multibit_event & event_aligned),
+        ("non_aligned", multibit_event & ~event_aligned),
+    ):
+        site_mask = event_mask[table.site_event]
+        total = int(site_mask.sum())
+        if not total:
+            continue
+        counts = np.bincount(site_words[site_mask],
+                             minlength=WORDS_PER_ENTRY + 1)
+        for words in range(1, WORDS_PER_ENTRY + 1):
+            stats[f"{label}_words_{words}"] = int(counts[words]) / total
+    return stats
+
+
+def bits_per_word_histogram_table(table: FlipTable, *,
+                                  byte_aligned: bool) -> dict[int, float]:
+    """Columnar :func:`bits_per_word_histogram` (Figure 5)."""
+    codes = observed_class_codes(table)
+    _, _, event_aligned = _site_alignment(table)
+    event_mask = (codes >= 2) & (event_aligned == byte_aligned)
+    seg_site, seg_len, _ = _word_segments(table)
+    keep = event_mask[table.site_event[seg_site]]
+    lengths = seg_len[keep]
+    if not lengths.size:
+        return {}
+    counts = np.bincount(lengths)
+    total = int(lengths.size)
+    return {
+        int(severity): int(count) / total
+        for severity, count in enumerate(counts) if count
+    }
+
+
+def derive_table1_table(table: FlipTable,
+                        chunk: int = 8192) -> dict[ErrorPattern, float]:
+    """Columnar :func:`derive_table1`: every per-entry flip vector through
+    the batch classifier, weights accumulated in site order.
+
+    ``np.bincount`` adds its weights sequentially in input order — the
+    same per-pattern addition sequence as the scalar loop — so the result
+    is bit-identical to :func:`derive_table1`, not merely close.
+    """
+    if not table.n_events:
+        raise ValueError("no events to classify")
+    codes = table1_site_codes(table, chunk=chunk)
+    shares = 1.0 / table.breadths()[table.site_event]
+    weights = np.bincount(codes, weights=shares,
+                          minlength=len(PATTERN_ORDER))
+    total = sum(weights.tolist())
+    return {
+        pattern: float(weight) / total
+        for pattern, weight in zip(PATTERN_ORDER, weights)
+    }
+
+
+def table1_site_codes(table: FlipTable, chunk: int = 8192) -> np.ndarray:
+    """Table-1 pattern code of each site's transmitted error vector."""
+    site = table.site_of_flip()
+    transmitted = (table.flip_bit >> 6) * NUM_PINS \
+        + (table.flip_bit & (BITS_PER_WORD - 1))
+    codes = np.empty(table.n_sites, dtype=np.int64)
+    for start in range(0, table.n_sites, chunk):
+        stop = min(start + chunk, table.n_sites)
+        lo = int(table.site_flip_start[start])
+        hi = int(table.site_flip_start[stop])
+        dense = np.zeros((stop - start, ENTRY_BITS), dtype=np.uint8)
+        dense[site[lo:hi] - start, transmitted[lo:hi]] = 1
+        codes[start:stop] = classify_error_codes_batch(dense)
+    return codes

@@ -14,8 +14,9 @@ Gives shell access to the main workflows of the library:
 
 The evaluation commands (``evaluate``, ``fig8``, ``report``, ``system``,
 ``campaign``) cache their results in the persistent run store by default
-(``--no-cache`` opts out), accept ``--workers N`` to fan Table-2 cells out
-over a process pool, and accept ``--resume <run-id>`` to restart an
+(``--no-cache`` opts out), accept ``--workers N`` to fan work out over a
+process pool (Table-2 cells, or the statistics chunks of ``campaign``),
+and accept ``--resume <run-id>`` to restart an
 interrupted sweep with its original parameters — completed cells come back
 as cache hits, so only the unfinished work is recomputed.
 """
@@ -86,6 +87,14 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2021)
     campaign.add_argument("--events", type=int, default=3000,
                           help="generator-truth events for the statistics")
+    campaign.add_argument("--engine", choices=["columnar", "reference"],
+                          default="columnar",
+                          help="statistics-campaign implementation "
+                               "(bit-identical results; columnar is the "
+                               "vectorized fast path)")
+    campaign.add_argument("--workers", type=int, default=None, metavar="N",
+                          help="fan statistics chunks out over N worker "
+                               "processes (bit-identical to the serial run)")
     _add_store_flags(campaign, workers=False)
 
     system = sub.add_parser("system", help="HPC and automotive system models")
@@ -150,6 +159,9 @@ class _NullSession:
         import contextlib
 
         return contextlib.nullcontext()
+
+    def record_counters(self, counters: dict) -> None:
+        pass
 
     def active(self):
         import contextlib
@@ -288,13 +300,12 @@ def _cmd_campaign(args) -> None:
         CampaignConfig,
         DamageParameters,
         EventParameters,
-        SoftErrorEventGenerator,
         breadth_class_fractions,
         derive_table1,
         filter_intermittent,
         group_events,
+        run_statistics_campaign,
     )
-    from repro.beam.postprocess import events_from_truth
 
     session = _session_or_null(args, "campaign", {
         "runs": args.runs, "seed": args.seed, "events": args.events,
@@ -348,12 +359,13 @@ def _cmd_campaign(args) -> None:
               f"{len(observed)} observed | "
               f"{len(filtered.damaged_entries)} damaged entries filtered")
 
-        generator = SoftErrorEventGenerator(seed=cfg["seed"])
         with session.stage("statistics"):
-            observed += events_from_truth(
-                [generator.generate_event(20.0 * i)
-                 for i in range(cfg["events"])]
+            statistics = run_statistics_campaign(
+                cfg["events"], seed=cfg["seed"],
+                engine=args.engine, workers=args.workers,
             )
+            observed += statistics.observed_events
+        session.record_counters(statistics.counters())
         print("\nEvent classes (Figure 4a):")
         for klass, fraction in breadth_class_fractions(observed).items():
             print(f"  {klass.name}: {fraction:.1%}")

@@ -93,6 +93,11 @@ def _cmd_show(store: RunStore, run_id: str) -> None:
         print("stages:")
         for name, seconds in manifest.stages.items():
             print(f"  {name:<24} {seconds:.3f}s")
+    if manifest.counters:
+        print("counters:")
+        for name, value in manifest.counters.items():
+            formatted = f"{value:,}" if isinstance(value, int) else value
+            print(f"  {name:<24} {formatted}")
     checkpoint = CampaignCheckpoint(store.checkpoint_path(run_id))
     entries = checkpoint.completed_runs()
     if entries:

@@ -58,6 +58,8 @@ class RunManifest:
     git_commit: str | None = None
     #: wall-clock seconds per named stage, in execution order
     stages: dict = field(default_factory=dict)
+    #: free-form command metrics (e.g. per-stage events_per_second)
+    counters: dict = field(default_factory=dict)
     cache_hits: int = 0
     cache_misses: int = 0
     resumed_from: str | None = None

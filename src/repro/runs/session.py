@@ -198,6 +198,12 @@ class RunSession:
                 time.perf_counter() - started, 6
             )
 
+    def record_counters(self, counters: dict) -> None:
+        """Merge command metrics (JSON-safe scalars) into the manifest —
+        e.g. the statistics engine's per-stage events-per-second — so
+        ``repro runs show`` can surface throughput alongside wall-clock."""
+        self.manifest.counters.update(counters)
+
     @contextmanager
     def active(self):
         """Finalize the manifest whatever happens inside the body."""

@@ -1,0 +1,311 @@
+"""Seed-for-seed equivalence of the columnar beam engine vs the scalar
+reference paths: event synthesis, packed device scans, post-processing
+and the statistics-campaign engine (serial and fanned out)."""
+
+import numpy as np
+import pytest
+
+from repro.beam.campaign import BeamCampaign, CampaignConfig
+from repro.beam.displacement import DamageParameters
+from repro.beam.engine import StatisticsResult, run_statistics_campaign
+from repro.beam.events import BatchEventSynthesis, EventParameters
+from repro.beam.fliptable import (
+    FlipTable,
+    RecordTable,
+    pack_positions,
+    unpack_packed_rows,
+)
+from repro.beam.microbenchmark import (
+    ANPattern,
+    CheckerboardPattern,
+    Microbenchmark,
+    STANDARD_PATTERNS,
+    UniformPattern,
+)
+from repro.beam.postprocess import (
+    bits_per_word_histogram,
+    bits_per_word_histogram_table,
+    breadth_class_fractions,
+    breadth_class_fractions_table,
+    byte_alignment_stats,
+    byte_alignment_stats_table,
+    derive_table1,
+    derive_table1_table,
+    events_from_truth,
+    events_from_truth_table,
+    filter_intermittent,
+    filter_intermittent_table,
+    group_events,
+    group_events_table,
+    mbme_breadth_histogram,
+    mbme_breadth_histogram_table,
+)
+from repro.dram.device import SimulatedHBM2
+from repro.dram.geometry import HBM2Geometry
+
+
+def _small_geometry():
+    return HBM2Geometry.for_gpu(32)
+
+
+# ---------------------------------------------------------------------------
+# Packed round trips
+# ---------------------------------------------------------------------------
+
+class TestPacking:
+    def test_pack_unpack_round_trip(self):
+        site_of_flip = np.repeat(np.arange(50), 4)
+        bits = np.tile(np.array([0, 63, 64, 287]), 50)
+        rows = pack_positions(site_of_flip, bits, 50)
+        row_back, bit_back = unpack_packed_rows(rows)
+        assert np.array_equal(row_back, site_of_flip)
+        order = np.lexsort((bits, site_of_flip))
+        assert np.array_equal(bit_back, bits[order])
+
+    def test_record_table_round_trip(self):
+        config = CampaignConfig(
+            runs=2, write_cycles=4, reads_per_write=2, loop_time_s=2.0,
+            event_parameters=EventParameters(mean_time_to_event_s=6.0),
+            damage_parameters=DamageParameters(
+                leaky_pool=80, saturation_fluence=3e8
+            ),
+        )
+        records = BeamCampaign(config).run().records
+        assert records, "campaign should observe something"
+        table = RecordTable.from_records(records)
+        assert table.to_records() == records
+
+
+# ---------------------------------------------------------------------------
+# Vectorized synthesis vs the scalar oracle
+# ---------------------------------------------------------------------------
+
+class TestBatchSynthesis:
+    def test_table_matches_events_same_streams(self):
+        times = np.arange(400, dtype=np.float64) * 17.0
+        table = BatchEventSynthesis(seed=101).table_at(times)
+        events = BatchEventSynthesis(seed=101).events_at(times)
+        reference = FlipTable.from_events(events)
+        assert table.n_events == reference.n_events == 400
+        assert np.array_equal(table.site_event, reference.site_event)
+        assert np.array_equal(table.site_entry, reference.site_entry)
+        assert np.array_equal(table.flip_bit, reference.flip_bit)
+        assert np.array_equal(
+            table.flips_per_site(), reference.flips_per_site()
+        )
+
+    def test_interval_table_matches_interval_events(self):
+        a = BatchEventSynthesis(seed=77)
+        b = BatchEventSynthesis(seed=77)
+        # two consecutive intervals: spawn state must advance identically
+        for start in (0.0, 400.0):
+            table = a.interval_table(400.0, start)
+            events = b.interval_events(400.0, start)
+            reference = FlipTable.from_events(events)
+            assert np.array_equal(table.site_entry, reference.site_entry)
+            assert np.array_equal(table.flip_bit, reference.flip_bit)
+            assert np.allclose(
+                table.event_columns["time_s"],
+                [event.time_s for event in events],
+                rtol=0, atol=0,
+            )
+
+
+# ---------------------------------------------------------------------------
+# Batched device scan vs the scalar scan
+# ---------------------------------------------------------------------------
+
+class TestBatchScan:
+    @pytest.mark.parametrize("pattern_index", [0, 1, 2])
+    def test_microbenchmark_records_identical(self, pattern_index):
+        pattern_scalar = STANDARD_PATTERNS()[pattern_index]
+        pattern_batch = STANDARD_PATTERNS()[pattern_index]
+        rng = np.random.default_rng(9)
+
+        def corrupt(device):
+            for entry in rng.integers(0, 10_000, size=40):
+                flips = np.zeros(288, dtype=np.uint8)
+                flips[rng.choice(288, size=3, replace=False)] = 1
+                device.inject_upset(int(entry), flips)
+
+        results = []
+        for pattern, use_batch in (
+            (pattern_scalar, False), (pattern_batch, True)
+        ):
+            rng = np.random.default_rng(9)
+            device = SimulatedHBM2(_small_geometry())
+            corrupt(device)
+            bench = Microbenchmark(
+                device, write_cycles=2, reads_per_write=2,
+                use_batch_scan=use_batch,
+            )
+            # re-corrupt after each write via the environment hook
+            cycle = {"n": 0}
+
+            def environment(dt, device=device):
+                corrupt(device)
+
+            results.append(bench.run(pattern, environment=environment))
+        assert results[0] == results[1]
+
+
+# ---------------------------------------------------------------------------
+# Columnar post-processing vs the scalar helpers
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def campaign_records():
+    config = CampaignConfig(
+        runs=3, write_cycles=6, reads_per_write=3, loop_time_s=2.0,
+        event_parameters=EventParameters(mean_time_to_event_s=6.0),
+        damage_parameters=DamageParameters(
+            leaky_pool=120, saturation_fluence=3e8
+        ),
+    )
+    return BeamCampaign(config).run().records
+
+
+class TestColumnarPostprocess:
+    def test_filter_partitions_identical(self, campaign_records):
+        scalar = filter_intermittent(campaign_records)
+        table = filter_intermittent_table(
+            RecordTable.from_records(campaign_records)
+        ).to_filter_result()
+        assert table.soft_records == scalar.soft_records
+        assert table.intermittent_records == scalar.intermittent_records
+        assert table.damaged_entries == scalar.damaged_entries
+
+    def test_grouping_identical(self, campaign_records):
+        scalar = group_events(filter_intermittent(campaign_records).soft_records)
+        grouped = group_events_table(
+            filter_intermittent_table(
+                RecordTable.from_records(campaign_records)
+            ).soft
+        )
+        assert grouped.to_observed_events() == scalar
+
+    def test_truth_statistics_identical(self):
+        times = np.arange(1200, dtype=np.float64) * 20.0
+        truth = BatchEventSynthesis(seed=11).table_at(times)
+        events = events_from_truth(
+            BatchEventSynthesis(seed=11).events_at(times)
+        )
+        table = events_from_truth_table(truth)
+        assert breadth_class_fractions_table(table) == \
+            breadth_class_fractions(events)
+        assert mbme_breadth_histogram_table(table) == \
+            mbme_breadth_histogram(events)
+        assert byte_alignment_stats_table(table) == \
+            byte_alignment_stats(events)
+        for aligned in (True, False):
+            assert bits_per_word_histogram_table(
+                table, byte_aligned=aligned
+            ) == bits_per_word_histogram(events, byte_aligned=aligned)
+
+    def test_table1_weights_bit_identical(self):
+        times = np.arange(1200, dtype=np.float64) * 20.0
+        truth = BatchEventSynthesis(seed=13).table_at(times)
+        events = events_from_truth(
+            BatchEventSynthesis(seed=13).events_at(times)
+        )
+        columnar = derive_table1_table(events_from_truth_table(truth))
+        scalar = derive_table1(events)
+        assert columnar == scalar  # exact float equality, not approx
+
+
+# ---------------------------------------------------------------------------
+# The statistics-campaign engine
+# ---------------------------------------------------------------------------
+
+class TestStatisticsEngine:
+    def test_engines_bit_identical(self):
+        columnar = run_statistics_campaign(500, seed=41, engine="columnar")
+        reference = run_statistics_campaign(500, seed=41, engine="reference")
+        assert columnar.n_records == reference.n_records
+        assert columnar.n_observed == reference.n_observed
+        assert columnar.class_fractions == reference.class_fractions
+        assert columnar.mbme_histogram == reference.mbme_histogram
+        assert columnar.byte_alignment == reference.byte_alignment
+        assert columnar.bits_per_word_aligned == \
+            reference.bits_per_word_aligned
+        assert columnar.bits_per_word_non_aligned == \
+            reference.bits_per_word_non_aligned
+        assert columnar.table1 == reference.table1
+        assert columnar.observed_events == reference.observed_events
+
+    def test_workers_bit_identical(self):
+        serial = run_statistics_campaign(500, seed=41, chunk=128)
+        fanned = run_statistics_campaign(500, seed=41, chunk=128, workers=3)
+        assert fanned.table1 == serial.table1
+        assert fanned.class_fractions == serial.class_fractions
+        assert fanned.observed_events == serial.observed_events
+
+    def test_stage_accounting(self):
+        result = run_statistics_campaign(200, seed=7)
+        assert set(result.stage_seconds) == \
+            {"synthesize", "scan", "postprocess"}
+        assert all(seconds >= 0 for seconds in result.stage_seconds.values())
+        rates = result.events_per_second
+        assert set(rates) == set(result.stage_seconds)
+        counters = result.counters()
+        assert counters["engine"] == "columnar"
+        assert counters["events"] == 200
+        assert "scan_events_per_s" in counters
+
+    def test_empty_campaign(self):
+        result = run_statistics_campaign(0, seed=7)
+        assert result.n_records == 0
+        assert result.n_observed == 0
+        assert result.table1 == {}
+        assert result.observed_events == []
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            run_statistics_campaign(10, engine="gpu")
+
+    def test_result_is_pure_function_of_seed(self):
+        a = run_statistics_campaign(300, seed=19)
+        b = run_statistics_campaign(300, seed=19)
+        assert a.table1 == b.table1
+        assert isinstance(a, StatisticsResult)
+
+
+# ---------------------------------------------------------------------------
+# Vectorized data patterns vs their defining formulas
+# ---------------------------------------------------------------------------
+
+class TestPatternVectorization:
+    def test_checkerboard_formula(self):
+        pattern = CheckerboardPattern()
+        entries = np.array([0, 1, 2, 3, 1000, 54321], dtype=np.int64)
+        batch = pattern.data_bits_batch(entries)
+        for row, entry in zip(batch, entries):
+            expected = np.zeros(256, dtype=np.uint8)
+            for word in range(4):
+                phase = (entry + word) % 2
+                for offset in range(64):
+                    expected[word * 64 + offset] = \
+                        1 if offset % 2 == phase else 0
+            assert np.array_equal(row, expected)
+
+    def test_an_pattern_formula(self):
+        from repro.beam.ancode import an_pattern_words_batch
+
+        pattern = ANPattern()
+        entries = np.array([0, 7, 4096, 87654321], dtype=np.int64)
+        batch = pattern.data_bits_batch(entries)
+        words = an_pattern_words_batch(entries)
+        for row, word_row in zip(batch, words):
+            expected = np.concatenate([
+                [(int(word) >> shift) & 1 for shift in range(64)]
+                for word in word_row
+            ]).astype(np.uint8)
+            assert np.array_equal(row, expected)
+
+    def test_scalar_view_memoizes(self):
+        pattern = UniformPattern(ones=True)
+        first = pattern.data_bits(5)
+        second = pattern.data_bits(5)
+        assert np.array_equal(first, second)
+        first[:] = 0  # returned copies must not poison the memo
+        assert pattern.data_bits(5).all()
