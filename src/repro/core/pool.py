@@ -1,0 +1,165 @@
+"""Requeue-then-serial process-pool degradation, shared by every fan-out.
+
+The Monte Carlo harness (:mod:`repro.errormodel.montecarlo`) and the
+columnar statistics engine (:mod:`repro.beam.engine`) fan independent,
+deterministically seeded jobs out over a :class:`ProcessPoolExecutor`.
+Both need the same robustness story: a job that misses its timeout or a
+pool that breaks mid-sweep is requeued once onto a fresh pool, and
+whatever is still unfinished after the second attempt runs serially
+in-process — per-job seeding makes every path bit-identical.  This
+module is the single implementation of that story; it used to be copied
+(with subtly different accounting) into both call sites.
+
+Accounting is reconciled here: a job that fails any number of pool
+attempts before completing counts as *requeued exactly once* (it is a
+member of :attr:`PoolReport.requeued_keys`, a set), while raw timeout
+incidents are tallied separately — so a chunk that times out on both
+attempts is one requeued chunk, two timeouts.
+
+Callers pass ``executor_factory`` as a closure over their own module's
+``ProcessPoolExecutor`` global, preserving the established monkeypatch
+seam (tests substitute fake pools per call site), and pass their own
+``logger`` so warnings keep their historical logger names.
+"""
+
+from __future__ import annotations
+
+import logging
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout
+from dataclasses import dataclass, field
+
+__all__ = ["PoolReport", "run_with_requeue"]
+
+_LOGGER = logging.getLogger(__name__)
+
+
+@dataclass
+class PoolReport:
+    """How a :func:`run_with_requeue` call got to a full result set."""
+
+    jobs: int = 0
+    #: pool attempts actually started (0 = pure serial, no pool used)
+    attempts: int = 0
+    pool_completed: int = 0
+    serial_completed: int = 0
+    #: timeout incidents (the same job timing out twice counts twice)
+    timeouts: int = 0
+    #: pool-break incidents (:class:`BrokenExecutor` observations)
+    pool_breaks: int = 0
+    pool_start_failures: int = 0
+    #: keys of jobs that survived at least one failed pool attempt —
+    #: a set, so each requeued job is counted exactly once
+    requeued_keys: set = field(default_factory=set)
+
+    @property
+    def requeued(self) -> int:
+        return len(self.requeued_keys)
+
+    def counters(self) -> dict:
+        """Flat JSON-safe counters for manifests and span records.
+
+        Empty when no pool was involved, so serial runs don't pollute
+        their manifests with all-zero pool telemetry.
+        """
+        if not self.attempts and not self.pool_start_failures:
+            return {}
+        return {
+            "pool_jobs": self.jobs,
+            "pool_attempts": self.attempts,
+            "pool_completed": self.pool_completed,
+            "pool_serial_fallback": self.serial_completed,
+            "pool_requeued": self.requeued,
+            "pool_timeouts": self.timeouts,
+            "pool_breaks": self.pool_breaks,
+        }
+
+
+def run_with_requeue(
+    jobs,
+    *,
+    key,
+    describe,
+    submit,
+    run_serial,
+    workers: int | None,
+    timeout: float | None = None,
+    executor_factory=None,
+    noun: str = "jobs",
+    logger: logging.Logger | None = None,
+    on_result=None,
+) -> tuple[dict, PoolReport]:
+    """Evaluate ``jobs``, fanned out when asked, robust to worker failure.
+
+    ``key(job)`` names a job's result slot, ``describe(job)`` renders it
+    for log lines, ``submit(pool, job)`` schedules it on an executor, and
+    ``run_serial(job)`` evaluates it in-process.  ``on_result(job,
+    result)`` fires for every completed job on whichever path completed
+    it — the hook the observability layer uses for heartbeats and
+    worker-span merging.
+
+    Returns ``(results, report)``: results keyed by ``key(job)`` (always
+    complete — degradation never drops work), and the
+    :class:`PoolReport` accounting of how the pool behaved.
+    """
+    logger = logger or _LOGGER
+    results: dict = {}
+    report = PoolReport(jobs=len(jobs))
+
+    def _finish(job, result) -> None:
+        results[key(job)] = result
+        if on_result is not None:
+            on_result(job, result)
+
+    pending = list(jobs)
+    if workers is not None and workers > 1 and len(pending) > 1 \
+            and executor_factory is not None:
+        for attempt in (1, 2):
+            if not pending:
+                break
+            try:
+                pool = executor_factory()
+            except OSError as exc:
+                report.pool_start_failures += 1
+                logger.warning(
+                    "cannot start worker pool (%s); evaluating %d %s "
+                    "in-process", exc, len(pending), noun,
+                )
+                break
+            report.attempts = attempt
+            try:
+                futures = {key(job): submit(pool, job) for job in pending}
+                for job in pending:
+                    try:
+                        result = futures[key(job)].result(timeout=timeout)
+                    except _FuturesTimeout:
+                        futures[key(job)].cancel()
+                        report.timeouts += 1
+                        logger.warning(
+                            "%s exceeded the %.3gs timeout; requeueing",
+                            describe(job), timeout,
+                        )
+                    except BrokenExecutor as exc:
+                        report.pool_breaks += 1
+                        logger.warning(
+                            "worker pool broke on %s (%s); requeueing "
+                            "unfinished %s", describe(job), exc, noun,
+                        )
+                        break
+                    else:
+                        report.pool_completed += 1
+                        _finish(job, result)
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+            pending = [job for job in pending if key(job) not in results]
+            report.requeued_keys.update(key(job) for job in pending)
+            if pending and attempt == 2:
+                logger.warning(
+                    "fan-out failed twice; falling back to in-process "
+                    "serial evaluation for %d %s", len(pending), noun,
+                )
+    for job in pending:
+        result = run_serial(job)
+        report.serial_completed += 1
+        _finish(job, result)
+    return results, report

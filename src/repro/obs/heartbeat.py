@@ -1,0 +1,100 @@
+"""Periodic progress heartbeats for long-running loops.
+
+A :class:`Heartbeat` is fed ``update(done, events=...)`` from whatever
+loop is making progress (chunks collected, cells finished).  At most once
+per ``interval_s`` it emits one line — items done, events/s since the
+start, and an ETA extrapolated from the completion rate — to stderr or to
+an arbitrary ``callback``.  ``interval_s=0`` (or ``None``) disables
+emission entirely, so harness code can thread one object through
+unconditionally.
+
+The heartbeat contract (relied on by the CLI and the docs):
+
+* one line per emission, prefixed ``[repro] <label>:``;
+* emissions are rate-limited by wall clock, never by update count;
+* a final line is emitted by :meth:`close` only if at least one periodic
+  line was emitted before it (quiet loops stay quiet).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+__all__ = ["Heartbeat"]
+
+
+class Heartbeat:
+    """Rate-limited progress reporter (stderr or callback)."""
+
+    def __init__(
+        self,
+        label: str,
+        *,
+        total: int | None = None,
+        unit: str = "chunks",
+        interval_s: float | None = 5.0,
+        stream=None,
+        callback=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.label = label
+        self.total = total
+        self.unit = unit
+        self.interval_s = interval_s
+        self.stream = stream
+        self.callback = callback
+        self._clock = clock
+        self._started = clock()
+        self._last_emit = self._started
+        self._done = 0
+        self._events = 0
+        self.emitted = 0
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self.interval_s) and self.interval_s > 0
+
+    # -- progress feed --------------------------------------------------------
+    def update(self, done: int | None = None, *, advance: int = 0,
+               events: int = 0) -> None:
+        """Record progress; emit one line if the interval has elapsed."""
+        if done is not None:
+            self._done = done
+        else:
+            self._done += advance
+        self._events += events
+        if not self.enabled:
+            return
+        now = self._clock()
+        if now - self._last_emit >= self.interval_s:
+            self._emit(now, final=False)
+            self._last_emit = now
+
+    def close(self) -> None:
+        """Emit a closing line when periodic lines were already emitted."""
+        if self.enabled and self.emitted:
+            self._emit(self._clock(), final=True)
+
+    # -- formatting -----------------------------------------------------------
+    def _emit(self, now: float, final: bool) -> None:
+        elapsed = max(now - self._started, 1e-9)
+        parts = [f"{self._done}"]
+        if self.total:
+            parts[0] += f"/{self.total}"
+        parts[0] += f" {self.unit}"
+        if self._events:
+            parts.append(f"{self._events:,} events")
+            parts.append(f"{self._events / elapsed:,.0f} events/s")
+        if self.total and 0 < self._done < self.total and not final:
+            remaining = (self.total - self._done) * (elapsed / self._done)
+            parts.append(f"ETA {remaining:.0f}s")
+        if final:
+            parts.append(f"done in {elapsed:.1f}s")
+        line = f"[repro] {self.label}: " + ", ".join(parts)
+        self.emitted += 1
+        if self.callback is not None:
+            self.callback(line)
+            return
+        stream = self.stream if self.stream is not None else sys.stderr
+        print(line, file=stream, flush=True)

@@ -1,0 +1,105 @@
+"""Terminal renderers for stored traces.
+
+``render_trace_tree`` draws the flame-style per-stage span tree that
+``repro runs trace <run-id>`` prints: one line per span, box-drawing
+connectors for the hierarchy, durations right-aligned, attrs and
+counters inline, worker provenance tagged.  ``render_slowest`` renders
+the slowest-span table (e.g. the slowest chunks of a campaign) that
+follows the tree.
+"""
+
+from __future__ import annotations
+
+from repro.obs.spans import SpanRecord, slowest_spans
+
+__all__ = ["render_trace_tree", "render_slowest"]
+
+
+def _fmt_attrs(record: SpanRecord) -> str:
+    parts = [f"{key}={value}" for key, value in record.attrs.items()]
+    parts += [
+        f"{key}={value:,}" if isinstance(value, int) else f"{key}={value:g}"
+        for key, value in record.counters.items()
+    ]
+    if record.worker:
+        parts.append(f"[{record.worker}]")
+    return "  ".join(parts)
+
+
+def _fmt_duration(seconds: float) -> str:
+    if seconds >= 120.0:
+        return f"{seconds / 60.0:.1f}m"
+    if seconds >= 0.1:
+        return f"{seconds:.3f}s"
+    return f"{seconds * 1e3:.2f}ms"
+
+
+def render_trace_tree(records: list[SpanRecord], *,
+                      max_children: int = 12) -> str:
+    """The span hierarchy as an indented tree, one line per span.
+
+    Nodes with more than ``max_children`` children elide the middle,
+    keeping the first and the slowest few — campaign traces with hundreds
+    of chunks stay readable.  Pass ``max_children=0`` to show everything.
+    """
+    children: dict[int | None, list[SpanRecord]] = {}
+    for record in records:
+        children.setdefault(record.parent_id, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda r: (r.start_s, r.span_id))
+
+    lines: list[str] = []
+
+    def _emit(record: SpanRecord, prefix: str, connector: str,
+              child_prefix: str) -> None:
+        attrs = _fmt_attrs(record)
+        label = record.name + (f"  {attrs}" if attrs else "")
+        lines.append(
+            f"{prefix}{connector}{label:<56} {_fmt_duration(record.duration_s):>10}"
+        )
+        _walk(record.span_id, prefix + child_prefix)
+
+    def _walk(parent_id: int | None, prefix: str) -> None:
+        siblings = children.get(parent_id, [])
+        elided = 0
+        if max_children and len(siblings) > max_children:
+            slow = {
+                r.span_id
+                for r in sorted(siblings, key=lambda r: r.duration_s,
+                                reverse=True)[: max_children - 1]
+            }
+            shown = [r for i, r in enumerate(siblings)
+                     if i == 0 or r.span_id in slow][:max_children]
+            elided = len(siblings) - len(shown)
+            siblings = shown
+        for index, record in enumerate(siblings):
+            last = index == len(siblings) - 1 and not elided
+            if parent_id is None and prefix == "":
+                _emit(record, "", "", "")
+            else:
+                _emit(record, prefix, "└─ " if last else "├─ ",
+                      "   " if last else "│  ")
+        if elided:
+            lines.append(f"{prefix}└─ … {elided} more")
+
+    _walk(None, "")
+    return "\n".join(lines)
+
+
+def render_slowest(records: list[SpanRecord], name: str,
+                   top: int = 5) -> str:
+    """Table of the ``top`` slowest spans named ``name`` (slowest first)."""
+    slow = slowest_spans(records, name, top=top)
+    if not slow:
+        return f"no {name!r} spans in this trace"
+    lines = [f"slowest {name} spans:",
+             f"  {'span':<28} {'duration':>10}  {'details'}"]
+    for record in slow:
+        attrs = _fmt_attrs(record)
+        label = name
+        if "index" in record.attrs:
+            label = f"{name} {record.attrs['index']}"
+        lines.append(
+            f"  {label:<28} {_fmt_duration(record.duration_s):>10}  {attrs}"
+        )
+    return "\n".join(lines)

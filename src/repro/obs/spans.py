@@ -1,0 +1,242 @@
+"""Hierarchical wall-clock spans with attached counters.
+
+A :class:`Tracer` owns one trace: a flat, append-only list of completed
+:class:`SpanRecord` objects whose ``parent_id`` links encode the tree.
+``tracer.span(name, **attrs)`` is a context manager; nesting spans nests
+records.  Counters (plain numeric increments — events decoded, sites
+injected, chunks requeued) attach to whichever span is active when
+:meth:`Tracer.count` runs, so per-stage throughput falls out of the trace
+instead of living in ad-hoc dicts.
+
+Worker processes run their own tracer and return ``tracer.records`` over
+whatever result channel already exists (a pickled tuple from a
+``ProcessPoolExecutor`` future); the parent calls :meth:`Tracer.merge`,
+which renumbers the worker's ids into the parent's id space, grafts the
+worker's root spans under the parent's current span, and tags every
+merged record with the worker label.  Start offsets stay relative to each
+process's own trace epoch (worker clocks are not comparable to the
+parent's); durations — the quantity every renderer and aggregate uses —
+are exact everywhere.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Tracer",
+    "stage_totals",
+    "counter_totals",
+    "slowest_spans",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One finished span: identity, position in the tree, time, counters."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    #: seconds since the owning tracer's epoch (per-process clock)
+    start_s: float
+    duration_s: float
+    attrs: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    #: provenance tag for records merged from a worker process
+    worker: str | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-safe encoding (the trace-artifact line format)."""
+        record = {
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_s, 6),
+            "dur_s": round(self.duration_s, 6),
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.counters:
+            record["counters"] = self.counters
+        if self.worker is not None:
+            record["worker"] = self.worker
+        return record
+
+    @classmethod
+    def from_dict(cls, record: dict) -> SpanRecord:
+        return cls(
+            span_id=int(record["id"]),
+            parent_id=None if record.get("parent") is None
+            else int(record["parent"]),
+            name=str(record["name"]),
+            start_s=float(record.get("start_s", 0.0)),
+            duration_s=float(record.get("dur_s", 0.0)),
+            attrs=dict(record.get("attrs") or {}),
+            counters=dict(record.get("counters") or {}),
+            worker=record.get("worker"),
+        )
+
+
+class _ActiveSpan:
+    """Mutable in-flight span; becomes a :class:`SpanRecord` on exit."""
+
+    __slots__ = ("span_id", "parent_id", "name", "started", "attrs",
+                 "counters")
+
+    def __init__(self, span_id, parent_id, name, started, attrs):
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.started = started
+        self.attrs = attrs
+        self.counters: dict = {}
+
+
+class _SpanContext:
+    """The context manager ``Tracer.span`` returns (re-entrant per call)."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_active")
+
+    def __init__(self, tracer, name, attrs):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+        self._active = None
+
+    def __enter__(self):
+        self._active = self._tracer._push(self._name, self._attrs)
+        return self._active
+
+    def __exit__(self, exc_type, exc, tb):
+        self._tracer._pop(self._active, failed=exc_type is not None)
+        return False
+
+
+class Tracer:
+    """One trace: an id allocator, an active-span stack, finished records.
+
+    Single-threaded by design — each process (parent or pool worker) owns
+    exactly one tracer and the span stack mirrors the call stack.
+    """
+
+    def __init__(self, clock=time.perf_counter) -> None:
+        self._clock = clock
+        self.epoch = clock()
+        self.records: list[SpanRecord] = []
+        self._stack: list[_ActiveSpan] = []
+        self._next_id = 1
+
+    # -- span lifecycle -------------------------------------------------------
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """Open a child span of the currently active span (or a root)."""
+        return _SpanContext(self, name, attrs)
+
+    def _push(self, name: str, attrs: dict) -> _ActiveSpan:
+        parent_id = self._stack[-1].span_id if self._stack else None
+        active = _ActiveSpan(self._next_id, parent_id, name,
+                             self._clock(), attrs)
+        self._next_id += 1
+        self._stack.append(active)
+        return active
+
+    def _pop(self, active: _ActiveSpan, failed: bool = False) -> None:
+        ended = self._clock()
+        # tolerate mispaired exits: unwind to the span being closed
+        while self._stack and self._stack[-1] is not active:
+            self._stack.pop()
+        if self._stack:
+            self._stack.pop()
+        attrs = dict(active.attrs)
+        if failed:
+            attrs["failed"] = True
+        self.records.append(SpanRecord(
+            span_id=active.span_id,
+            parent_id=active.parent_id,
+            name=active.name,
+            start_s=active.started - self.epoch,
+            duration_s=ended - active.started,
+            attrs=attrs,
+            counters=active.counters,
+        ))
+
+    # -- counters -------------------------------------------------------------
+    def count(self, **counters) -> None:
+        """Add numeric increments to the active span (no-op outside one)."""
+        if not self._stack:
+            return
+        bucket = self._stack[-1].counters
+        for name, value in counters.items():
+            bucket[name] = bucket.get(name, 0) + value
+
+    # -- pool-aware aggregation -----------------------------------------------
+    def merge(self, records: list[SpanRecord],
+              worker: str | None = None) -> None:
+        """Graft a worker tracer's finished records under the active span.
+
+        Worker span ids are renumbered into this tracer's id space, the
+        worker's root spans become children of the currently active span
+        (or trace roots when none is active), and every merged record is
+        tagged with ``worker`` unless it already carries a tag.
+        """
+        if not records:
+            return
+        parent_id = self._stack[-1].span_id if self._stack else None
+        remap = {}
+        for record in records:
+            remap[record.span_id] = self._next_id
+            self._next_id += 1
+        for record in records:
+            self.records.append(SpanRecord(
+                span_id=remap[record.span_id],
+                parent_id=parent_id if record.parent_id is None
+                else remap[record.parent_id],
+                name=record.name,
+                start_s=record.start_s,
+                duration_s=record.duration_s,
+                attrs=dict(record.attrs),
+                counters=dict(record.counters),
+                worker=record.worker if record.worker is not None else worker,
+            ))
+
+
+# ---------------------------------------------------------------------------
+# Aggregates over finished records
+# ---------------------------------------------------------------------------
+
+def stage_totals(records: list[SpanRecord],
+                 names: tuple[str, ...] | None = None) -> dict:
+    """Accumulated wall-clock seconds per span name.
+
+    ``names`` pre-seeds (and orders) the result — stages that never ran
+    report 0.0 rather than disappearing.
+    """
+    totals: dict = dict.fromkeys(names, 0.0) if names else {}
+    for record in records:
+        if names is not None and record.name not in totals:
+            continue
+        totals[record.name] = totals.get(record.name, 0.0) \
+            + record.duration_s
+    return totals
+
+
+def counter_totals(records: list[SpanRecord],
+                   name: str | None = None) -> dict:
+    """Summed counters across records (optionally one span name only)."""
+    totals: dict = {}
+    for record in records:
+        if name is not None and record.name != name:
+            continue
+        for counter, value in record.counters.items():
+            totals[counter] = totals.get(counter, 0) + value
+    return totals
+
+
+def slowest_spans(records: list[SpanRecord], name: str,
+                  top: int = 5) -> list[SpanRecord]:
+    """The ``top`` longest spans of one name, slowest first."""
+    matching = [record for record in records if record.name == name]
+    matching.sort(key=lambda record: record.duration_s, reverse=True)
+    return matching[:top]

@@ -1,0 +1,79 @@
+"""Checksummed JSONL trace artifacts.
+
+One trace file is a JSON-lines document: a header line identifying the
+artifact, one line per :class:`~repro.obs.spans.SpanRecord`, and a
+SHA-256 trailer over everything before it — the same torn-write contract
+the run store uses for cell and campaign artifacts, implemented here
+standalone so ``repro.obs`` stays import-cycle-free.  Writes go through a
+temp file and ``os.replace``; readers verify the trailer before trusting
+a single byte and raise :class:`TraceCorrupt` on any damage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+
+from repro.obs.spans import SpanRecord
+
+__all__ = ["TraceCorrupt", "write_trace", "read_trace", "TRACE_SCHEMA"]
+
+#: Trace artifact schema version, bumped on incompatible format changes.
+TRACE_SCHEMA = 1
+
+
+class TraceCorrupt(RuntimeError):
+    """A stored trace failed its checksum or structural validation."""
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def write_trace(path: str | os.PathLike, records: list[SpanRecord],
+                meta: dict | None = None) -> Path:
+    """Atomically write a trace artifact; returns the final path."""
+    path = Path(path)
+    header = {"schema": TRACE_SCHEMA, "kind": "trace", **(meta or {})}
+    body = "".join(
+        _canonical(line) + "\n"
+        for line in [header, *(record.to_dict() for record in records)]
+    )
+    trailer = _canonical(
+        {"sha256": hashlib.sha256(body.encode()).hexdigest()}
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(body + trailer + "\n")
+    os.replace(tmp, path)
+    return path
+
+
+def read_trace(path: str | os.PathLike) -> tuple[dict, list[SpanRecord]]:
+    """(header, records) for a stored trace; raises :class:`TraceCorrupt`."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError) as exc:
+        raise TraceCorrupt(f"{path}: unreadable ({exc})") from None
+    head, _, tail = text.rstrip("\n").rpartition("\n")
+    body = head + "\n" if head else ""
+    try:
+        expected = json.loads(tail)["sha256"]
+    except (ValueError, TypeError, KeyError):
+        raise TraceCorrupt(f"{path}: missing checksum trailer") from None
+    if hashlib.sha256(body.encode()).hexdigest() != expected:
+        raise TraceCorrupt(f"{path}: checksum mismatch")
+    try:
+        header, *lines = [json.loads(line) for line in body.splitlines()]
+    except ValueError:
+        raise TraceCorrupt(f"{path}: malformed record") from None
+    if not isinstance(header, dict) or header.get("kind") != "trace":
+        raise TraceCorrupt(f"{path}: not a trace artifact")
+    try:
+        records = [SpanRecord.from_dict(line) for line in lines]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TraceCorrupt(f"{path}: bad span record ({exc})") from None
+    return header, records

@@ -1,0 +1,200 @@
+"""The shared requeue-then-serial pool degradation helper.
+
+Exercises :func:`repro.core.pool.run_with_requeue` directly with scripted
+fake pools, pinning down the accounting reconciliation: a job that fails
+any number of pool attempts is *requeued exactly once*, while raw timeout
+and pool-break incidents are tallied per occurrence.
+"""
+
+import logging
+
+import pytest
+
+from repro.core.pool import BrokenExecutor, PoolReport, run_with_requeue
+from repro.core.pool import _FuturesTimeout
+
+JOBS = ["a", "b", "c"]
+
+
+class _Future:
+    def __init__(self, outcome):
+        self.outcome = outcome
+        self.cancelled = False
+
+    def result(self, timeout=None):
+        if isinstance(self.outcome, BaseException):
+            raise self.outcome
+        return self.outcome
+
+    def cancel(self):
+        self.cancelled = True
+
+
+class _ScriptedPool:
+    """Executor stand-in driven by a per-attempt outcome function."""
+
+    def __init__(self, outcome_for):
+        self.outcome_for = outcome_for
+        self.shutdowns = []
+
+    def submit(self, fn, job):
+        return _Future(self.outcome_for(job))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns.append((wait, cancel_futures))
+
+
+def _run(factory, jobs=JOBS, on_result=None, timeout=None, workers=4):
+    return run_with_requeue(
+        jobs,
+        key=lambda job: job,
+        describe=lambda job: f"job {job}",
+        submit=lambda pool, job: pool.submit(None, job),
+        run_serial=lambda job: f"serial:{job}",
+        workers=workers,
+        timeout=timeout,
+        executor_factory=factory,
+        noun="jobs",
+        on_result=on_result,
+    )
+
+
+class TestHappyPath:
+    def test_all_jobs_complete_on_the_pool(self):
+        pools = []
+
+        def factory():
+            pools.append(_ScriptedPool(lambda job: f"pool:{job}"))
+            return pools[-1]
+
+        results, report = _run(factory)
+        assert results == {job: f"pool:{job}" for job in JOBS}
+        assert len(pools) == 1
+        assert (report.attempts, report.pool_completed,
+                report.serial_completed) == (1, 3, 0)
+        assert report.requeued == 0
+        assert report.counters()["pool_requeued"] == 0
+
+    def test_pool_skipped_for_serial_configurations(self):
+        for workers, jobs in ((None, JOBS), (1, JOBS), (4, ["only"])):
+            results, report = _run(
+                lambda: pytest.fail("factory must not be called"),
+                jobs=jobs, workers=workers)
+            assert results == {job: f"serial:{job}" for job in jobs}
+            assert report.attempts == 0
+            assert report.counters() == {}  # serial runs stay clean
+
+
+class TestRequeueAccounting:
+    def test_job_failing_both_attempts_is_requeued_exactly_once(self):
+        def factory():
+            return _ScriptedPool(
+                lambda job: _FuturesTimeout() if job == "b" else f"pool:{job}")
+
+        results, report = _run(factory, timeout=0.01)
+        assert results["b"] == "serial:b"
+        assert report.requeued_keys == {"b"}
+        assert report.requeued == 1          # one requeued job...
+        assert report.timeouts == 2          # ...two timeout incidents
+        assert report.attempts == 2
+        counters = report.counters()
+        assert counters["pool_requeued"] == 1
+        assert counters["pool_timeouts"] == 2
+        assert counters["pool_serial_fallback"] == 1
+
+    def test_job_that_recovers_on_the_second_attempt(self):
+        attempts = []
+
+        def factory():
+            attempts.append(len(attempts))
+            current = len(attempts)
+            return _ScriptedPool(
+                lambda job: _FuturesTimeout()
+                if (job == "b" and current == 1) else f"pool:{job}")
+
+        results, report = _run(factory, timeout=0.01)
+        assert results["b"] == "pool:b"
+        assert report.requeued_keys == {"b"}
+        assert (report.timeouts, report.serial_completed) == (1, 0)
+
+    def test_broken_pool_requeues_everything_unfinished(self, caplog):
+        def factory():
+            return _ScriptedPool(lambda job: BrokenExecutor("dead"))
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.pool"):
+            results, report = _run(factory)
+        assert results == {job: f"serial:{job}" for job in JOBS}
+        assert report.requeued_keys == set(JOBS)
+        assert report.pool_breaks == 2  # one break observed per attempt
+        assert report.serial_completed == 3
+        assert any("worker pool broke" in r.message for r in caplog.records)
+        assert any("falling back" in r.message for r in caplog.records)
+
+    def test_pool_that_cannot_start_goes_straight_to_serial(self, caplog):
+        def factory():
+            raise OSError("no processes")
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.pool"):
+            results, report = _run(factory)
+        assert results == {job: f"serial:{job}" for job in JOBS}
+        assert (report.attempts, report.pool_start_failures) == (0, 1)
+        assert report.counters()["pool_serial_fallback"] == 3
+        assert any("cannot start worker pool" in r.message
+                   for r in caplog.records)
+
+
+class TestHooks:
+    def test_on_result_fires_once_per_job_on_either_path(self):
+        seen = []
+
+        def factory():
+            return _ScriptedPool(
+                lambda job: _FuturesTimeout() if job == "b" else f"pool:{job}")
+
+        _run(factory, timeout=0.01,
+             on_result=lambda job, result: seen.append((job, result)))
+        assert sorted(seen) == [("a", "pool:a"), ("b", "serial:b"),
+                                ("c", "pool:c")]
+
+    def test_pools_are_always_shut_down(self):
+        pools = []
+
+        def factory():
+            pools.append(_ScriptedPool(lambda job: BrokenExecutor("dead")))
+            return pools[-1]
+
+        _run(factory)
+        assert len(pools) == 2
+        assert all(p.shutdowns == [(False, True)] for p in pools)
+
+    def test_custom_logger_is_used(self, caplog):
+        logger = logging.getLogger("test.pool.custom")
+
+        def factory():
+            raise OSError("nope")
+
+        with caplog.at_level(logging.WARNING, logger="test.pool.custom"):
+            run_with_requeue(
+                JOBS, key=lambda j: j, describe=lambda j: j,
+                submit=lambda pool, j: None,
+                run_serial=lambda j: j, workers=4,
+                executor_factory=factory, logger=logger,
+            )
+        assert caplog.records
+        assert all(r.name == "test.pool.custom" for r in caplog.records)
+
+
+class TestPoolReport:
+    def test_counters_shape(self):
+        report = PoolReport(jobs=5, attempts=2, pool_completed=3,
+                            serial_completed=2, timeouts=3, pool_breaks=1,
+                            requeued_keys={1, 2})
+        assert report.counters() == {
+            "pool_jobs": 5,
+            "pool_attempts": 2,
+            "pool_completed": 3,
+            "pool_serial_fallback": 2,
+            "pool_requeued": 2,
+            "pool_timeouts": 3,
+            "pool_breaks": 1,
+        }

@@ -1,0 +1,109 @@
+"""Heartbeat rate limiting, formatting and the quiet-loop contract."""
+
+from repro.obs import Heartbeat
+
+
+class FakeClock:
+    def __init__(self, start=0.0):
+        self.now = start
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, seconds):
+        self.now += seconds
+
+
+def _collecting(label="sweep", **kwargs):
+    lines = []
+    clock = FakeClock()
+    beat = Heartbeat(label, callback=lines.append, clock=clock, **kwargs)
+    return beat, clock, lines
+
+
+class TestRateLimiting:
+    def test_no_emission_before_the_interval(self):
+        beat, clock, lines = _collecting(interval_s=5.0)
+        for _ in range(100):
+            clock.tick(0.01)
+            beat.update(advance=1)
+        assert lines == []
+
+    def test_emits_once_per_interval_not_per_update(self):
+        beat, clock, lines = _collecting(interval_s=5.0)
+        for _ in range(10):
+            clock.tick(1.0)
+            beat.update(advance=1)
+        assert len(lines) == 2  # at t=5 and t=10
+
+    def test_interval_zero_disables_emission(self):
+        beat, clock, lines = _collecting(interval_s=0)
+        clock.tick(100.0)
+        beat.update(advance=1)
+        beat.close()
+        assert lines == []
+        assert not beat.enabled
+
+    def test_interval_none_disables_emission(self):
+        beat, clock, lines = _collecting(interval_s=None)
+        clock.tick(100.0)
+        beat.update(advance=1)
+        assert lines == []
+
+
+class TestFormatting:
+    def test_line_shape_with_total_events_and_eta(self):
+        beat, clock, lines = _collecting(total=20, unit="chunks",
+                                         interval_s=5.0)
+        clock.tick(5.0)
+        beat.update(advance=10, events=5000)
+        (line,) = lines
+        assert line.startswith("[repro] sweep: ")
+        assert "10/20 chunks" in line
+        assert "5,000 events" in line
+        assert "1,000 events/s" in line
+        assert "ETA 5s" in line  # 10 left at 2 chunks/s
+
+    def test_absolute_done_updates(self):
+        beat, clock, lines = _collecting(total=8, interval_s=1.0)
+        clock.tick(1.0)
+        beat.update(done=3)
+        assert "3/8" in lines[0]
+
+    def test_no_eta_without_a_total(self):
+        beat, clock, lines = _collecting(interval_s=1.0)
+        clock.tick(1.0)
+        beat.update(advance=4)
+        assert "ETA" not in lines[0]
+
+
+class TestClose:
+    def test_close_stays_quiet_when_nothing_was_emitted(self):
+        beat, clock, lines = _collecting(interval_s=5.0)
+        clock.tick(1.0)
+        beat.update(advance=3)
+        beat.close()
+        assert lines == []
+
+    def test_close_emits_a_final_line_after_periodic_ones(self):
+        beat, clock, lines = _collecting(total=4, interval_s=1.0)
+        clock.tick(1.0)
+        beat.update(advance=2)
+        clock.tick(1.0)
+        beat.update(advance=2)
+        beat.close()
+        assert len(lines) == 3
+        assert "done in" in lines[-1]
+        assert "ETA" not in lines[-1]
+
+
+class TestStream:
+    def test_writes_to_the_given_stream_without_a_callback(self):
+        import io
+
+        stream = io.StringIO()
+        clock = FakeClock()
+        beat = Heartbeat("sweep", interval_s=1.0, stream=stream, clock=clock)
+        clock.tick(1.0)
+        beat.update(advance=1)
+        assert stream.getvalue().startswith("[repro] sweep: ")

@@ -1,0 +1,70 @@
+"""Trace-tree and slowest-span renderers."""
+
+from repro.obs import SpanRecord, render_slowest, render_trace_tree
+
+
+def _campaign_records(n_chunks=3):
+    records = [SpanRecord(1, None, "campaign", 0.0, 10.0,
+                          counters={"events": 100 * n_chunks})]
+    next_id = 2
+    for index in range(n_chunks):
+        records.append(SpanRecord(next_id, 1, "chunk", float(index),
+                                  1.0 + index, attrs={"index": index},
+                                  worker=f"pid:{index}"))
+        next_id += 1
+    return records
+
+
+class TestTree:
+    def test_one_line_per_span_with_connectors(self):
+        out = render_trace_tree(_campaign_records())
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("campaign")
+        assert lines[1].startswith("├─ chunk")
+        assert lines[3].startswith("└─ chunk")
+
+    def test_attrs_counters_and_worker_tags_inline(self):
+        out = render_trace_tree(_campaign_records())
+        assert "events=300" in out
+        assert "index=0" in out
+        assert "[pid:0]" in out
+
+    def test_durations_rendered_human_readable(self):
+        records = [SpanRecord(1, None, "fast", 0.0, 0.002),
+                   SpanRecord(2, None, "slow", 0.0, 200.0)]
+        out = render_trace_tree(records)
+        assert "2.00ms" in out
+        assert "3.3m" in out
+
+    def test_wide_nodes_elide_but_keep_first_and_slowest(self):
+        records = _campaign_records(n_chunks=20)
+        out = render_trace_tree(records, max_children=5)
+        lines = out.splitlines()
+        assert len(lines) == 1 + 5 + 1  # root + kept children + elision
+        assert "… 15 more" in lines[-1]
+        assert "index=0" in out    # first kept
+        assert "index=19" in out   # slowest kept
+
+    def test_max_children_zero_shows_everything(self):
+        out = render_trace_tree(_campaign_records(n_chunks=20),
+                                max_children=0)
+        assert len(out.splitlines()) == 21
+        assert "more" not in out
+
+    def test_empty_records_render_empty(self):
+        assert render_trace_tree([]) == ""
+
+
+class TestSlowest:
+    def test_table_sorted_slowest_first_with_index_labels(self):
+        out = render_slowest(_campaign_records(), "chunk", top=2)
+        lines = out.splitlines()
+        assert lines[0] == "slowest chunk spans:"
+        assert "chunk 2" in lines[2]
+        assert "chunk 1" in lines[3]
+        assert len(lines) == 4
+
+    def test_no_matching_spans(self):
+        out = render_slowest(_campaign_records(), "cell")
+        assert "no 'cell' spans" in out
