@@ -6,6 +6,11 @@ post-process pipeline, asserting the derived Figure 4/5 statistics and
 Table 1 stay bit-identical while the columnar path clears its speedup
 floor.  ``REPRO_BEAM_BENCH_EVENTS`` scales the campaign (the CI smoke job
 runs a smaller one; the 10x floor applies at the full 3,000 events).
+
+Also guards the observability contract: running with the full obs stack
+(explicit tracer, heartbeat, trace export) must stay within 2% of the
+plain run.  Set ``REPRO_BEAM_BENCH_TRACE`` to a path to export the traced
+run's JSONL trace artifact (the CI smoke job uploads and validates it).
 """
 
 import os
@@ -13,11 +18,16 @@ import time
 
 from benchmarks._output import emit
 from repro.beam.engine import run_statistics_campaign
+from repro.obs import Heartbeat, Tracer, write_trace
 
 EVENTS = int(os.environ.get("REPRO_BEAM_BENCH_EVENTS", "3000"))
 SEED = 20211018
 #: full-size campaigns must clear 10x; scaled-down smoke runs just beat 1x
 SPEEDUP_FLOOR = 10.0 if EVENTS >= 3000 else 1.0
+#: tracing overhead bound: 2% relative plus absolute slack for tiny smoke
+#: campaigns where scheduler noise dwarfs the pipeline itself
+TRACE_OVERHEAD = 1.02
+TRACE_SLACK_S = 0.05
 
 
 def _run(engine: str, **kwargs):
@@ -82,3 +92,49 @@ def test_beam_engine_workers_bit_identical():
         f"workers=2 {fanned_s:6.2f} s (bit-identical statistics; speedup "
         f"requires multi-core hardware)",
     )
+
+
+def test_beam_engine_tracing_overhead():
+    """The obs layer (tracer + heartbeat + export) costs <2% throughput."""
+    run_statistics_campaign(64, seed=SEED)  # warm imports and caches
+
+    def _best(runner, repeats=3):
+        best_s, best_result = float("inf"), None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            result = runner()
+            elapsed = time.perf_counter() - start
+            if elapsed < best_s:
+                best_s, best_result = elapsed, result
+        return best_s, best_result
+
+    plain_s, plain = _best(
+        lambda: run_statistics_campaign(EVENTS, seed=SEED))
+
+    def _traced():
+        tracer = Tracer()
+        heartbeat = Heartbeat("bench", unit="chunks", interval_s=0.5,
+                              callback=lambda line: None)
+        result = run_statistics_campaign(EVENTS, seed=SEED, tracer=tracer,
+                                         heartbeat=heartbeat)
+        return result, tracer
+
+    traced_s, (traced, tracer) = _best(_traced)
+
+    assert traced.table1 == plain.table1  # observability never perturbs
+    assert traced.n_records == plain.n_records
+
+    trace_out = os.environ.get("REPRO_BEAM_BENCH_TRACE")
+    if trace_out:
+        write_trace(trace_out, tracer.records,
+                    meta={"bench": "beam_throughput", "events": EVENTS})
+
+    overhead = traced_s / plain_s - 1.0
+    emit(
+        "Throughput — beam campaign tracing overhead (columnar)",
+        f"plain  {plain_s:6.3f} s\n"
+        f"traced {traced_s:6.3f} s ({len(tracer.records)} spans, "
+        f"overhead {overhead:+.1%}; bound {TRACE_OVERHEAD - 1:.0%} "
+        f"+ {TRACE_SLACK_S:g}s slack)",
+    )
+    assert traced_s <= plain_s * TRACE_OVERHEAD + TRACE_SLACK_S

@@ -61,7 +61,7 @@ def _section_table1(config: ReportConfig) -> str:
     )
 
 
-def _outcomes(config: ReportConfig, workers=None, cache=None):
+def _outcomes(config: ReportConfig, workers=None, cache=None, tracer=None):
     from repro.core import all_schemes
     from repro.errormodel.montecarlo import evaluate_scheme, weighted_outcomes
 
@@ -69,7 +69,7 @@ def _outcomes(config: ReportConfig, workers=None, cache=None):
     for scheme in all_schemes():
         per_pattern = evaluate_scheme(
             scheme, samples=config.samples, seed=config.seed,
-            workers=workers, cache=cache,
+            workers=workers, cache=cache, tracer=tracer,
         )
         outcomes[scheme.name] = weighted_outcomes(
             scheme, per_pattern=per_pattern
@@ -186,19 +186,22 @@ def generate_report(
     exaflops: tuple[float, ...] = (0.5, 1.0, 2.0),
     workers: int | None = None,
     cache=None,
+    tracer=None,
 ) -> str:
     """Render the full reproduction report as Markdown.
 
-    ``workers`` fans the Table-2 cells out over a process pool and
-    ``cache`` (e.g. :class:`repro.runs.CellCache`) reuses cells already in
-    the persistent run store — both leave the rendered report
+    ``workers`` fans the Table-2 cells out over a process pool, ``cache``
+    (e.g. :class:`repro.runs.CellCache`) reuses cells already in the
+    persistent run store, and ``tracer`` (a :class:`repro.obs.Tracer`)
+    collects per-cell spans — all leave the rendered report
     byte-identical.
     """
     config = ReportConfig(
         samples=samples, seed=seed, campaign_events=campaign_events,
         exaflops=exaflops,
     )
-    outcomes = _outcomes(config, workers=workers, cache=cache)
+    outcomes = _outcomes(config, workers=workers, cache=cache,
+                         tracer=tracer)
     parts = [
         "# Reproduction report — Characterizing and Mitigating Soft Errors "
         "in GPU DRAM (MICRO 2021)",

@@ -23,17 +23,31 @@ bit-identical statistics; the equivalence suite asserts it and the
 throughput benchmark measures the gap.
 
 Chunks are independent, so ``workers=N`` fans them out over a process
-pool with the same requeue-once-then-serial robustness the Monte Carlo
-harness uses — and, thanks to per-chunk seeding, the same results on
-every path.
+pool with the shared requeue-once-then-serial robustness of
+:func:`repro.core.pool.run_with_requeue` — and, thanks to per-chunk
+seeding, the same results on every path.
+
+Observability: every chunk runs under its own worker-side
+:class:`repro.obs.Tracer` (``chunk`` → ``synthesize``/``scan`` spans with
+event/record counters, tagged with the worker pid); the parent merges
+the records as chunks complete, wraps the whole run in a ``campaign``
+span, and derives :attr:`StatisticsResult.stage_seconds` from the trace.
+Pass ``tracer=`` to graft the campaign into a larger trace (the CLI
+passes its run session's tracer) and ``heartbeat=`` for periodic
+progress lines while chunks complete.
 """
 
 from __future__ import annotations
 
 import logging
-import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
+import os
+
+# BrokenExecutor and the futures TimeoutError are re-exported here for the
+# degradation tests, which monkeypatch this module's ProcessPoolExecutor
+# and raise these exact types from fake futures.
+from concurrent.futures import BrokenExecutor  # noqa: F401
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout  # noqa: F401
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
@@ -48,8 +62,10 @@ from repro.beam.microbenchmark import (
     MismatchRecord,
     UniformPattern,
 )
+from repro.core.pool import run_with_requeue
 from repro.dram.device import SimulatedHBM2
 from repro.dram.geometry import HBM2Geometry
+from repro.obs import Tracer, stage_totals
 
 __all__ = ["StatisticsResult", "run_statistics_campaign", "ENGINES"]
 
@@ -91,7 +107,14 @@ class StatisticsResult:
     bits_per_word_non_aligned: dict
     table1: dict
     #: accumulated wall-clock seconds per stage, in pipeline order
+    #: (derived from the trace; kept as a dict for manifest compatibility)
     stage_seconds: dict = field(default_factory=dict)
+    #: the campaign's span records (chunk/worker spans included) — what
+    #: the run store exports as the trace artifact
+    trace: list = field(default_factory=list, repr=False, compare=False)
+    #: pool-degradation telemetry (requeues, timeouts), empty when serial
+    pool_counters: dict = field(default_factory=dict, repr=False,
+                                compare=False)
     #: lazy materializer for :attr:`observed_events` (columnar results
     #: keep the grouped table and only build ObservedEvent objects on use)
     _observed_factory: object = field(default=None, repr=False, compare=False)
@@ -121,6 +144,7 @@ class StatisticsResult:
             flat[f"{stage}_s"] = round(seconds, 6)
         for stage, rate in self.events_per_second.items():
             flat[f"{stage}_events_per_s"] = round(rate, 3)
+        flat.update(self.pool_counters)
         return flat
 
 
@@ -149,15 +173,29 @@ def _columnar_chunk(
     parameters: EventParameters,
     pattern: DataPattern,
     job: _ChunkJob,
-) -> tuple[dict, dict]:
+    tracer: Tracer,
+) -> dict:
     """Vectorized chunk: batch synthesis, packed injection + scan."""
-    timings = dict.fromkeys(_STAGES[:2], 0.0)
     synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
-    started = time.perf_counter()
-    table = synthesis.table_at(_event_times(job.start, job.size, parameters))
-    timings["synthesize"] = time.perf_counter() - started
+    with tracer.span("synthesize"):
+        table = synthesis.table_at(
+            _event_times(job.start, job.size, parameters)
+        )
+        tracer.count(events=job.size, sites=int(table.site_entry.size))
 
-    started = time.perf_counter()
+    with tracer.span("scan"):
+        columns = _scan_columnar(geometry, pattern, job, table)
+        tracer.count(records=int(columns["entry_index"].size))
+    return columns
+
+
+def _scan_columnar(
+    geometry: HBM2Geometry,
+    pattern: DataPattern,
+    job: _ChunkJob,
+    table,
+) -> dict:
+    """Inject and scan one synthesized chunk, returning record columns."""
     device = SimulatedHBM2(geometry)
     expected = pattern.entry_fn(False)
     packed = pattern.packed_fn(False)
@@ -194,8 +232,7 @@ def _columnar_chunk(
             "flips_per_record": counts,
             "flip_bit": bits,
         }
-        timings["scan"] = time.perf_counter() - started
-        return columns, timings
+        return columns
 
     # Collision path (rare): per-event write/inject/scan, same records.
     site_start = table.event_site_start()
@@ -227,19 +264,17 @@ def _columnar_chunk(
         entry_col.append(kept)
         count_col.append(counts)
         bit_col.append(bits)
-    timings["scan"] = time.perf_counter() - started
 
     def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
         return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
 
-    columns = {
+    return {
         "time_s": _cat(time_col, np.float64),
         "write_cycle": _cat(cycle_col, np.int64),
         "entry_index": _cat(entry_col, np.int64),
         "flips_per_record": _cat(count_col, np.int64),
         "flip_bit": _cat(bit_col, np.int64),
     }
-    return columns, timings
 
 
 def _reference_chunk(
@@ -247,15 +282,29 @@ def _reference_chunk(
     parameters: EventParameters,
     pattern: DataPattern,
     job: _ChunkJob,
-) -> tuple[list[MismatchRecord], dict]:
+    tracer: Tracer,
+) -> list[MismatchRecord]:
     """Scalar oracle chunk: identical streams, per-entry device traffic."""
-    timings = dict.fromkeys(_STAGES[:2], 0.0)
     synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
-    started = time.perf_counter()
-    events = synthesis.events_at(_event_times(job.start, job.size, parameters))
-    timings["synthesize"] = time.perf_counter() - started
+    with tracer.span("synthesize"):
+        events = synthesis.events_at(
+            _event_times(job.start, job.size, parameters)
+        )
+        tracer.count(events=job.size)
 
-    started = time.perf_counter()
+    with tracer.span("scan"):
+        records = _scan_reference(geometry, pattern, job, events)
+        tracer.count(records=len(records))
+    return records
+
+
+def _scan_reference(
+    geometry: HBM2Geometry,
+    pattern: DataPattern,
+    job: _ChunkJob,
+    events,
+) -> list[MismatchRecord]:
+    """Per-event scalar write/inject/scan for one chunk."""
     device = SimulatedHBM2(geometry)
     expected = pattern.entry_fn(False)
     records: list[MismatchRecord] = []
@@ -280,8 +329,7 @@ def _reference_chunk(
                     entry_index=mismatch.entry_index,
                     bit_positions=data_positions,
                 ))
-    timings["scan"] = time.perf_counter() - started
-    return records, timings
+    return records
 
 
 def _evaluate_chunk(
@@ -291,10 +339,21 @@ def _evaluate_chunk(
     pattern_name: str,
     job: _ChunkJob,
 ):
-    """Top-level (picklable) chunk evaluator for the worker pool."""
+    """Top-level (picklable) chunk evaluator for the worker pool.
+
+    Returns ``(payload, span_records)``: the chunk's result columns (or
+    scalar records) plus the finished worker-side trace, tagged with this
+    process's pid so merged traces keep worker provenance.
+    """
     pattern = _pattern_by_name(pattern_name)
     runner = _columnar_chunk if engine == "columnar" else _reference_chunk
-    return runner(geometry, parameters, pattern, job)
+    tracer = Tracer()
+    with tracer.span("chunk", index=job.index):
+        payload = runner(geometry, parameters, pattern, job, tracer)
+    tag = f"pid:{os.getpid()}"
+    for record in tracer.records:
+        record.worker = tag
+    return payload, tracer.records
 
 
 def _run_chunks(
@@ -305,66 +364,43 @@ def _run_chunks(
     jobs: list[_ChunkJob],
     workers: int | None,
     chunk_timeout: float | None = None,
+    tracer: Tracer | None = None,
+    heartbeat=None,
 ) -> dict[int, tuple]:
     """Evaluate chunks, fanned out when asked, robust to worker failure.
 
-    Mirrors the Monte Carlo harness: a chunk that misses ``chunk_timeout``
-    or a pool that breaks mid-campaign is requeued once onto a fresh pool;
-    whatever is still unfinished after the second attempt runs serially
-    in-process.  Per-chunk seeding makes every path bit-identical.
+    Delegates the requeue-once-then-serial robustness to
+    :func:`repro.core.pool.run_with_requeue` (shared with the Monte Carlo
+    harness); per-chunk seeding makes every path bit-identical.  Worker
+    span records merge into ``tracer`` and ``heartbeat`` advances as each
+    chunk completes, on whichever path completed it.
     """
-    results: dict[int, tuple] = {}
-    pending = list(jobs)
-    if workers is not None and workers > 1 and len(pending) > 1:
-        for attempt in (1, 2):
-            if not pending:
-                break
-            try:
-                pool = ProcessPoolExecutor(max_workers=workers)
-            except OSError as exc:
-                _LOGGER.warning(
-                    "cannot start worker pool (%s); evaluating %d chunks "
-                    "in-process", exc, len(pending),
-                )
-                break
-            try:
-                futures = {
-                    job.index: pool.submit(
-                        _evaluate_chunk, engine, geometry, parameters,
-                        pattern_name, job,
-                    )
-                    for job in pending
-                }
-                for job in pending:
-                    try:
-                        results[job.index] = futures[job.index].result(
-                            timeout=chunk_timeout
-                        )
-                    except _FuturesTimeout:
-                        futures[job.index].cancel()
-                        _LOGGER.warning(
-                            "chunk %d exceeded the %.3gs timeout; "
-                            "requeueing", job.index, chunk_timeout,
-                        )
-                    except BrokenExecutor as exc:
-                        _LOGGER.warning(
-                            "worker pool broke on chunk %d (%s); "
-                            "requeueing unfinished chunks", job.index, exc,
-                        )
-                        break
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-            pending = [job for job in pending if job.index not in results]
-            if pending and attempt == 2:
-                _LOGGER.warning(
-                    "fan-out failed twice; falling back to in-process "
-                    "serial evaluation for %d chunks", len(pending),
-                )
-    for job in pending:
-        results[job.index] = _evaluate_chunk(
-            engine, geometry, parameters, pattern_name, job
-        )
-    return results
+    def _on_result(job: _ChunkJob, result) -> None:
+        if tracer is not None:
+            tracer.merge(result[1])
+        if heartbeat is not None:
+            heartbeat.update(advance=1, events=job.size)
+
+    results, report = run_with_requeue(
+        jobs,
+        key=lambda job: job.index,
+        describe=lambda job: f"chunk {job.index}",
+        submit=lambda pool, job: pool.submit(
+            _evaluate_chunk, engine, geometry, parameters, pattern_name, job,
+        ),
+        run_serial=lambda job: _evaluate_chunk(
+            engine, geometry, parameters, pattern_name, job,
+        ),
+        workers=workers,
+        timeout=chunk_timeout,
+        executor_factory=lambda: ProcessPoolExecutor(max_workers=workers),
+        noun="chunks",
+        logger=_LOGGER,
+        on_result=_on_result,
+    )
+    if tracer is not None:
+        tracer.count(**report.counters())
+    return results, report
 
 
 def _finalize_columnar(columns: dict, pattern_name: str) -> tuple:
@@ -441,6 +477,8 @@ def run_statistics_campaign(
     workers: int | None = None,
     chunk: int = 512,
     chunk_timeout: float | None = None,
+    tracer: Tracer | None = None,
+    heartbeat=None,
 ) -> StatisticsResult:
     """Generate, scan and post-process ``n_events`` ground-truth SEUs.
 
@@ -449,6 +487,12 @@ def run_statistics_campaign(
     ``SeedSequence(seed).spawn(n_chunks)[c]``, so the result is a pure
     function of ``(n_events, seed, chunk)`` — identical across engines
     and across any ``workers`` setting.
+
+    The run reports through ``tracer`` (a fresh one when omitted): a
+    ``campaign`` span wrapping per-chunk worker spans and a
+    ``postprocess`` span; the finished records land in
+    :attr:`StatisticsResult.trace`.  ``heartbeat``, when given, advances
+    once per completed chunk.
     """
     if n_events < 0:
         raise ValueError("n_events must be non-negative")
@@ -458,6 +502,9 @@ def run_statistics_campaign(
     parameters = parameters or EventParameters()
     pattern_name = pattern if isinstance(pattern, str) else pattern.name
     _pattern_by_name(pattern_name)  # validate before spawning workers
+
+    tracer = tracer if tracer is not None else Tracer()
+    trace_base = len(tracer.records)
 
     n_chunks = (n_events + chunk - 1) // chunk if n_events else 0
     children = np.random.SeedSequence(seed).spawn(n_chunks)
@@ -470,40 +517,45 @@ def run_statistics_campaign(
         )
         for index in range(n_chunks)
     ]
-    results = _run_chunks(
-        engine, geometry, parameters, pattern_name, jobs, workers,
-        chunk_timeout,
-    )
+    if heartbeat is not None and heartbeat.total is None:
+        heartbeat.total = n_chunks
 
-    stage_seconds = dict.fromkeys(_STAGES, 0.0)
-    for index in sorted(results):
-        for stage, seconds in results[index][1].items():
-            stage_seconds[stage] += seconds
-
-    started = time.perf_counter()
-    if engine == "columnar":
-        def _cat(key: str, dtype) -> np.ndarray:
-            parts = [results[i][0][key] for i in sorted(results)]
-            return np.concatenate(parts) if parts \
-                else np.empty(0, dtype=dtype)
-
-        columns = {
-            "time_s": _cat("time_s", np.float64),
-            "write_cycle": _cat("write_cycle", np.int64),
-            "entry_index": _cat("entry_index", np.int64),
-            "flips_per_record": _cat("flips_per_record", np.int64),
-            "flip_bit": _cat("flip_bit", np.int64),
-        }
-        n_records, n_observed, stats, observed = _finalize_columnar(
-            columns, pattern_name
+    with tracer.span("campaign", engine=engine):
+        tracer.count(events=n_events, chunks=n_chunks)
+        results, report = _run_chunks(
+            engine, geometry, parameters, pattern_name, jobs, workers,
+            chunk_timeout, tracer, heartbeat,
         )
-    else:
-        records = [
-            record for index in sorted(results) for record in results[index][0]
-        ]
-        n_records, n_observed, stats, observed = _finalize_reference(records)
-    stage_seconds["postprocess"] = time.perf_counter() - started
 
+        with tracer.span("postprocess"):
+            if engine == "columnar":
+                def _cat(key: str, dtype) -> np.ndarray:
+                    parts = [results[i][0][key] for i in sorted(results)]
+                    return np.concatenate(parts) if parts \
+                        else np.empty(0, dtype=dtype)
+
+                columns = {
+                    "time_s": _cat("time_s", np.float64),
+                    "write_cycle": _cat("write_cycle", np.int64),
+                    "entry_index": _cat("entry_index", np.int64),
+                    "flips_per_record": _cat("flips_per_record", np.int64),
+                    "flip_bit": _cat("flip_bit", np.int64),
+                }
+                n_records, n_observed, stats, observed = _finalize_columnar(
+                    columns, pattern_name
+                )
+            else:
+                records = [
+                    record for index in sorted(results)
+                    for record in results[index][0]
+                ]
+                n_records, n_observed, stats, observed = \
+                    _finalize_reference(records)
+            tracer.count(records=n_records, observed=n_observed)
+    if heartbeat is not None:
+        heartbeat.close()
+
+    trace = tracer.records[trace_base:]
     (class_fractions, mbme_histogram, byte_alignment, bits_aligned,
      bits_non_aligned, table1) = stats
     return StatisticsResult(
@@ -517,6 +569,8 @@ def run_statistics_campaign(
         bits_per_word_aligned=bits_aligned,
         bits_per_word_non_aligned=bits_non_aligned,
         table1=table1,
-        stage_seconds=stage_seconds,
+        stage_seconds=stage_totals(trace, _STAGES),
+        trace=trace,
+        pool_counters=report.counters(),
         _observed_factory=observed,
     )

@@ -55,6 +55,10 @@ def _add_store_flags(parser: argparse.ArgumentParser,
         "--runs-dir", default=None, metavar="DIR",
         help="run-store root (default: $REPRO_RUNS_DIR or "
              "~/.cache/repro-runs)")
+    parser.add_argument(
+        "--heartbeat", type=float, default=5.0, metavar="SECONDS",
+        help="progress-heartbeat interval on stderr (0 disables; "
+             "default 5)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -154,6 +158,7 @@ class _NullSession:
 
     cell_cache = None
     config: dict = {}
+    tracer = None
 
     def stage(self, name):
         import contextlib
@@ -185,6 +190,16 @@ def _print_summary(session) -> None:
     summary = session.summary()
     if summary:
         print(f"\n{summary}")
+
+
+def _make_heartbeat(args, label: str, unit: str):
+    """A stderr progress heartbeat honoring ``--heartbeat`` (None = off)."""
+    interval = getattr(args, "heartbeat", 0.0)
+    if not interval or interval <= 0:
+        return None
+    from repro.obs import Heartbeat
+
+    return Heartbeat(label, unit=unit, interval_s=interval)
 
 
 # ---------------------------------------------------------------------------
@@ -222,6 +237,9 @@ def _cmd_evaluate(args) -> None:
                 scheme, samples=cfg["samples"], seed=cfg["seed"],
                 workers=cfg.get("workers"), cache=session.cell_cache,
                 cell_timeout=cfg.get("cell_timeout"),
+                tracer=session.tracer,
+                heartbeat=_make_heartbeat(
+                    args, f"evaluate {cfg['scheme']}", "cells"),
             )
     rows = [
         [pattern.value, outcome.events,
@@ -259,6 +277,9 @@ def _cmd_fig8(args) -> None:
                     scheme, samples=cfg["samples"], seed=cfg["seed"],
                     workers=cfg.get("workers"), cache=session.cell_cache,
                     cell_timeout=cfg.get("cell_timeout"),
+                    tracer=session.tracer,
+                    heartbeat=_make_heartbeat(
+                        args, f"fig8 {scheme.name}", "cells"),
                 )
                 outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
                 rows.append([
@@ -363,6 +384,9 @@ def _cmd_campaign(args) -> None:
             statistics = run_statistics_campaign(
                 cfg["events"], seed=cfg["seed"],
                 engine=args.engine, workers=args.workers,
+                tracer=session.tracer,
+                heartbeat=_make_heartbeat(
+                    args, "campaign statistics", "chunks"),
             )
             observed += statistics.observed_events
         session.record_counters(statistics.counters())
@@ -393,6 +417,9 @@ def _cmd_system(args) -> None:
                 scheme, samples=cfg["samples"],
                 workers=cfg.get("workers"), cache=session.cell_cache,
                 cell_timeout=cfg.get("cell_timeout"),
+                tracer=session.tracer,
+                heartbeat=_make_heartbeat(
+                    args, f"system {cfg['scheme']}", "cells"),
             )
         outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
     system = ExascaleSystem()
@@ -429,6 +456,7 @@ def _cmd_report(args) -> None:
             markdown = generate_report(
                 samples=cfg["samples"], seed=cfg["seed"],
                 workers=cfg.get("workers"), cache=session.cell_cache,
+                tracer=session.tracer,
             )
     if args.output:
         with open(args.output, "w") as handle:

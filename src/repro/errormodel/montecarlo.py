@@ -28,23 +28,35 @@ The fan-out degrades gracefully rather than crashing a long sweep: a cell
 that exceeds ``cell_timeout`` or a worker pool that breaks
 (:class:`~concurrent.futures.BrokenExecutor`) is requeued once onto a
 fresh pool, and anything still unfinished falls back to in-process serial
-evaluation — same seeds, so the result is identical either way.  Passing
-``cache=`` (a :class:`repro.runs.CellCache` or anything with the same
+evaluation — same seeds, so the result is identical either way.  That
+requeue-then-serial story lives in :func:`repro.core.pool.run_with_requeue`,
+shared with the beam-statistics engine.  Passing ``cache=`` (a
+:class:`repro.runs.CellCache` or anything with the same
 ``lookup``/``record`` shape) short-circuits already-computed cells through
 the persistent run store and records fresh ones for the next invocation.
+``tracer=`` (a :class:`repro.obs.Tracer`) records one ``cell`` span per
+freshly computed cell — worker-side when fanned out, merged into the
+parent trace as results arrive.
 """
 
 from __future__ import annotations
 
 import logging
+import os
 import time
-from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
-from concurrent.futures import TimeoutError as _FuturesTimeout
+
+# BrokenExecutor and the futures TimeoutError are re-exported here for the
+# degradation tests, which monkeypatch this module's ProcessPoolExecutor
+# and raise these exact types from fake futures.
+from concurrent.futures import BrokenExecutor  # noqa: F401
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as _FuturesTimeout  # noqa: F401
 from dataclasses import dataclass, field
 from typing import NamedTuple
 
 import numpy as np
 
+from repro.core.pool import run_with_requeue
 from repro.core.scheme import ECCScheme
 from repro.errormodel.patterns import (
     TABLE1_PROBABILITIES,
@@ -242,21 +254,45 @@ def _evaluate_cell(
     samples: int,
     seed_seq: np.random.SeedSequence,
     exhaustive_triples: bool,
-) -> PatternOutcome:
-    """Worker entry point: one (scheme, pattern) cell with its own seed."""
+    with_trace: bool = False,
+) -> PatternOutcome | tuple[PatternOutcome, list]:
+    """Worker entry point: one (scheme, pattern) cell with its own seed.
+
+    With ``with_trace`` the cell runs under a worker-side tracer and the
+    result travels as ``(outcome, span_records)`` so the parent can merge
+    the worker's ``cell`` span into its trace.
+    """
     if isinstance(payload, str):
         from repro.core.registry import get_scheme
 
         scheme = get_scheme(payload)
     else:
         scheme = payload
-    return evaluate_pattern(
-        scheme,
-        pattern,
-        samples=samples,
-        rng=np.random.default_rng(seed_seq),
-        exhaustive_triples=exhaustive_triples,
-    )
+    name = payload if isinstance(payload, str) else scheme.name
+    if not with_trace:
+        return evaluate_pattern(
+            scheme,
+            pattern,
+            samples=samples,
+            rng=np.random.default_rng(seed_seq),
+            exhaustive_triples=exhaustive_triples,
+        )
+    from repro.obs import Tracer
+
+    tracer = Tracer()
+    with tracer.span("cell", scheme=name, pattern=pattern.name):
+        outcome = evaluate_pattern(
+            scheme,
+            pattern,
+            samples=samples,
+            rng=np.random.default_rng(seed_seq),
+            exhaustive_triples=exhaustive_triples,
+        )
+        tracer.count(events=outcome.events)
+    tag = f"pid:{os.getpid()}"
+    for record in tracer.records:
+        record.worker = tag
+    return outcome, tracer.records
 
 
 def _cell_seeds(seed: int) -> list[np.random.SeedSequence]:
@@ -283,75 +319,51 @@ def _run_cells(
     jobs: list[_CellJob],
     workers: int | None,
     cell_timeout: float | None = None,
+    tracer=None,
+    heartbeat=None,
 ) -> dict[tuple[str, ErrorPattern], PatternOutcome]:
     """Evaluate cells, fanned out when asked, robust to worker failure.
 
-    With ``workers=N`` (N > 1) cells go to a process pool.  A cell that
-    misses ``cell_timeout`` or a pool that breaks mid-sweep is requeued
-    once onto a fresh pool; whatever is still unfinished after the second
-    attempt is evaluated serially in-process.  Per-cell seeding makes the
-    outcome identical on every path.
+    Delegates the requeue-once-then-serial robustness to
+    :func:`repro.core.pool.run_with_requeue`; per-cell seeding makes the
+    outcome identical on every path.  When ``tracer`` is given, each cell
+    carries its worker-side ``cell`` span back with the outcome and the
+    spans merge into the parent trace as results arrive; ``heartbeat``
+    (a :class:`repro.obs.Heartbeat`) is advanced one cell at a time.
     """
-    results: dict[tuple[str, ErrorPattern], PatternOutcome] = {}
-    pending = list(jobs)
-    if workers is not None and workers > 1 and len(pending) > 1:
-        for attempt in (1, 2):
-            if not pending:
-                break
-            try:
-                pool = ProcessPoolExecutor(max_workers=workers)
-            except OSError as exc:
-                _LOGGER.warning(
-                    "cannot start worker pool (%s); evaluating %d cells "
-                    "in-process", exc, len(pending),
-                )
-                break
-            try:
-                futures = {
-                    job.key: pool.submit(
-                        _evaluate_cell, _scheme_payload(job.scheme),
-                        job.pattern, job.samples, job.seed_seq,
-                        job.exhaustive_triples,
-                    )
-                    for job in pending
-                }
-                for job in pending:
-                    try:
-                        results[job.key] = futures[job.key].result(
-                            timeout=cell_timeout
-                        )
-                    except _FuturesTimeout:
-                        futures[job.key].cancel()
-                        _LOGGER.warning(
-                            "cell %s/%s exceeded the %.3gs timeout; "
-                            "requeueing", job.key[0], job.pattern.name,
-                            cell_timeout,
-                        )
-                    except BrokenExecutor as exc:
-                        _LOGGER.warning(
-                            "worker pool broke on cell %s/%s (%s); "
-                            "requeueing unfinished cells",
-                            job.key[0], job.pattern.name, exc,
-                        )
-                        break
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-            # Timed-out and never-collected cells alike go to the next
-            # attempt (or the serial fallback below) in original order.
-            pending = [job for job in pending if job.key not in results]
-            if pending and attempt == 2:
-                _LOGGER.warning(
-                    "fan-out failed twice; falling back to in-process "
-                    "serial evaluation for %d cells", len(pending),
-                )
-    for job in pending:
-        results[job.key] = evaluate_pattern(
-            job.scheme,
-            job.pattern,
-            samples=job.samples,
-            rng=np.random.default_rng(job.seed_seq),
-            exhaustive_triples=job.exhaustive_triples,
-        )
+    with_trace = tracer is not None
+    if heartbeat is not None and heartbeat.total is None:
+        heartbeat.total = len(jobs)
+
+    def _on_result(job: _CellJob, result) -> None:
+        if with_trace:
+            tracer.merge(result[1])
+        if heartbeat is not None:
+            outcome = result[0] if with_trace else result
+            heartbeat.update(advance=1, events=outcome.events)
+
+    results, report = run_with_requeue(
+        jobs,
+        key=lambda job: job.key,
+        describe=lambda job: f"cell {job.key[0]}/{job.pattern.name}",
+        submit=lambda pool, job: pool.submit(
+            _evaluate_cell, _scheme_payload(job.scheme), job.pattern,
+            job.samples, job.seed_seq, job.exhaustive_triples, with_trace,
+        ),
+        run_serial=lambda job: _evaluate_cell(
+            job.scheme, job.pattern, job.samples, job.seed_seq,
+            job.exhaustive_triples, with_trace,
+        ),
+        workers=workers,
+        timeout=cell_timeout,
+        executor_factory=lambda: ProcessPoolExecutor(max_workers=workers),
+        noun="cells",
+        logger=_LOGGER,
+        on_result=_on_result,
+    )
+    if with_trace:
+        tracer.count(**report.counters())
+        return {key: value[0] for key, value in results.items()}
     return results
 
 
@@ -364,6 +376,8 @@ def _collect_cells(
     workers: int | None,
     cache,
     cell_timeout: float | None,
+    tracer=None,
+    heartbeat=None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Shared cache-aware engine behind Table 2 and per-scheme evaluation."""
     cells = list(zip(ErrorPattern, _cell_seeds(seed)))
@@ -388,7 +402,12 @@ def _collect_cells(
                     seed_seq=child,
                     exhaustive_triples=exhaustive_triples,
                 ))
-    fresh = _run_cells(jobs, workers, cell_timeout)
+    fresh = _run_cells(jobs, workers, cell_timeout, tracer, heartbeat)
+    if heartbeat is not None:
+        heartbeat.close()
+    if tracer is not None:
+        tracer.count(cells_computed=len(jobs),
+                     cells_cached=len(schemes) * len(cells) - len(jobs))
     for job in jobs:
         outcome = fresh[job.key]
         table[job.key[0]][job.pattern] = outcome
@@ -412,6 +431,8 @@ def evaluate_scheme(
     workers: int | None = None,
     cache=None,
     cell_timeout: float | None = None,
+    tracer=None,
+    heartbeat=None,
 ) -> dict[ErrorPattern, PatternOutcome]:
     """All seven Table-2 cells for one scheme.
 
@@ -419,12 +440,14 @@ def evaluate_scheme(
     per-cell seeding makes the result bit-identical to the serial run.
     ``cache`` (e.g. :class:`repro.runs.CellCache`) reloads previously
     computed cells from the persistent run store and records fresh ones;
-    ``cell_timeout`` bounds each cell's wall-clock in the fanned-out path.
+    ``cell_timeout`` bounds each cell's wall-clock in the fanned-out path;
+    ``tracer`` (a :class:`repro.obs.Tracer`) collects per-cell spans.
     """
     return _collect_cells(
         [scheme], samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
-        cache=cache, cell_timeout=cell_timeout,
+        cache=cache, cell_timeout=cell_timeout, tracer=tracer,
+        heartbeat=heartbeat,
     )[scheme.name]
 
 
@@ -473,6 +496,8 @@ def sdc_risk_table(
     workers: int | None = None,
     cache=None,
     cell_timeout: float | None = None,
+    tracer=None,
+    heartbeat=None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Table 2: per-pattern outcomes for a list of schemes.
 
@@ -488,5 +513,6 @@ def sdc_risk_table(
     return _collect_cells(
         schemes, samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
-        cache=cache, cell_timeout=cell_timeout,
+        cache=cache, cell_timeout=cell_timeout, tracer=tracer,
+        heartbeat=heartbeat,
     )

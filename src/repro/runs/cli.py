@@ -2,14 +2,19 @@
 
 ``repro runs list``            every stored run, newest first
 ``repro runs show <id>``       one run's manifest, stages and checkpoint
+``repro runs trace <id>``      one run's span tree and slowest-span table
 ``repro runs diff <a> <b>``    compare two runs' config/provenance/counters
 ``repro runs gc``              drop artifacts and runs older than ``--days``
+
+All timestamps render in UTC (suffixed ``Z``): manifests store UTC epoch
+seconds, and mixing naive local time into the display made runs appear to
+start hours away from their run-id timestamps.
 """
 
 from __future__ import annotations
 
 import json
-import time
+from datetime import datetime, timezone
 
 from repro.analysis.tables import format_table
 from repro.runs.session import CampaignCheckpoint
@@ -31,6 +36,15 @@ def add_runs_parser(sub) -> None:
     show = runs_sub.add_parser("show", help="print one run's manifest")
     show.add_argument("run_id")
 
+    trace = runs_sub.add_parser(
+        "trace", help="render one run's span tree and slowest spans")
+    trace.add_argument("run_id")
+    trace.add_argument("--limit", type=int, default=12, metavar="N",
+                       help="children shown per span before eliding "
+                            "(0 shows everything; default 12)")
+    trace.add_argument("--slowest", type=int, default=5, metavar="N",
+                       help="rows in the slowest-span table (default 5)")
+
     diff = runs_sub.add_parser("diff", help="compare two runs")
     diff.add_argument("run_a")
     diff.add_argument("run_b")
@@ -45,7 +59,10 @@ def add_runs_parser(sub) -> None:
 
 
 def _fmt_when(timestamp: float) -> str:
-    return time.strftime("%Y-%m-%d %H:%M:%S", time.localtime(timestamp))
+    """Manifest timestamps are UTC epoch seconds; render them as UTC too
+    (explicit ``Z``), matching the UTC stamp embedded in run ids."""
+    when = datetime.fromtimestamp(timestamp, tz=timezone.utc)
+    return when.strftime("%Y-%m-%d %H:%M:%SZ")
 
 
 def _fmt_duration(seconds: float | None) -> str:
@@ -74,6 +91,17 @@ def _cmd_list(store: RunStore) -> None:
     ))
 
 
+def _fmt_counter(value) -> str:
+    """One uniform rendering for manifest and obs counters."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return f"{value:,}"
+    if isinstance(value, float):
+        return f"{value:,.6g}"
+    return str(value)
+
+
 def _cmd_show(store: RunStore, run_id: str) -> None:
     manifest = store.load_manifest(run_id)
     print(f"run        {manifest.run_id}")
@@ -95,14 +123,52 @@ def _cmd_show(store: RunStore, run_id: str) -> None:
             print(f"  {name:<24} {seconds:.3f}s")
     if manifest.counters:
         print("counters:")
-        for name, value in manifest.counters.items():
-            formatted = f"{value:,}" if isinstance(value, int) else value
-            print(f"  {name:<24} {formatted}")
+        for name in sorted(manifest.counters):
+            print(f"  {name:<24} {_fmt_counter(manifest.counters[name])}")
     checkpoint = CampaignCheckpoint(store.checkpoint_path(run_id))
     entries = checkpoint.completed_runs()
     if entries:
         print(f"checkpoint {len(entries)} completed "
               f"{'cells' if entries[0].get('kind') == 'cell' else 'runs'}")
+    if store.trace_path(run_id).exists():
+        print(f"trace      stored (`repro runs trace {run_id}`)")
+
+
+def _cmd_trace(store: RunStore, run_id: str, limit: int,
+               slowest: int) -> int:
+    """Render a stored trace; exit 1 when absent, 2 when corrupt."""
+    import sys
+    from collections import Counter
+
+    from repro.obs import (
+        TraceCorrupt,
+        read_trace,
+        render_slowest,
+        render_trace_tree,
+    )
+
+    manifest = store.load_manifest(run_id)  # surfaces UnknownRunError first
+    path = store.trace_path(run_id)
+    if not path.exists():
+        print(f"run {run_id} has no stored trace "
+              "(recorded before tracing existed, or with caching off)")
+        return 1
+    try:
+        _, records = read_trace(path)
+    except TraceCorrupt as exc:
+        print(f"repro: error: trace for run {run_id} is corrupt ({exc})",
+              file=sys.stderr)
+        return 2
+    print(f"trace of run {run_id} ({manifest.command}, "
+          f"{len(records)} spans)")
+    print()
+    print(render_trace_tree(records, max_children=limit))
+    leaves = Counter(r.name for r in records if r.parent_id is not None)
+    if leaves and slowest > 0:
+        name = leaves.most_common(1)[0][0]
+        print()
+        print(render_slowest(records, name, top=slowest))
+    return 0
 
 
 def _cmd_diff(store: RunStore, run_a: str, run_b: str) -> None:
@@ -140,6 +206,9 @@ def _cmd_gc(store: RunStore, days: float, dry_run: bool) -> None:
     print(f"{verb} {stats.artifacts} artifacts and {stats.runs} runs "
           f"({stats.bytes / 1024:.1f} KiB) older than {days:g} days "
           f"from {store.root}")
+    if stats.protected:
+        print(f"kept {stats.protected} expired paths still referenced by "
+              "in-progress or resumable runs")
 
 
 def cmd_runs(args) -> int:
@@ -154,6 +223,8 @@ def cmd_runs(args) -> int:
             _cmd_list(store)
         elif args.runs_command == "show":
             _cmd_show(store, args.run_id)
+        elif args.runs_command == "trace":
+            return _cmd_trace(store, args.run_id, args.limit, args.slowest)
         elif args.runs_command == "diff":
             _cmd_diff(store, args.run_a, args.run_b)
         elif args.runs_command == "gc":

@@ -16,7 +16,7 @@ import os
 import secrets
 import subprocess
 import time
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
 
 __all__ = ["RunManifest", "new_run_id", "git_commit"]
@@ -75,7 +75,21 @@ class RunManifest:
 
     @classmethod
     def from_dict(cls, data: dict) -> RunManifest:
-        data = {k: v for k, v in data.items() if k != "schema"}
+        """Build a manifest from stored JSON, tolerating schema drift.
+
+        Older manifests may lack fields added since they were written and
+        newer ones may carry fields this version doesn't know; both load —
+        unknown keys are dropped, missing ones take their defaults.  Only
+        the identity fields (``run_id``, ``command``) are required.
+        """
+        if not isinstance(data, dict):
+            raise ValueError(f"manifest is not an object: {data!r}")
+        known = {f.name for f in fields(cls)}
+        data = {k: v for k, v in data.items() if k in known}
+        for required in ("run_id", "command"):
+            if required not in data:
+                raise ValueError(f"manifest is missing {required!r}")
+        data.setdefault("config", {})
         return cls(**data)
 
     def save(self, path: Path) -> None:

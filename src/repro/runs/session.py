@@ -8,20 +8,31 @@ hit/miss counters.  ``--resume <id>`` re-opens a prior run's config so an
 interrupted sweep restarts with identical parameters; the
 content-addressed store then turns every already-completed cell into a
 cache hit, so only the unfinished cells are recomputed.
+
+Every session carries a :class:`repro.obs.Tracer`.  :meth:`RunSession.stage`
+opens one span per named stage (still mirroring the wall-clock into
+``manifest.stages`` for ``repro runs show``), the evaluation harnesses nest
+their cell/chunk spans underneath it, and :meth:`RunSession.finish` exports
+the whole tree as a checksummed JSONL trace artifact next to the manifest —
+the file ``repro runs trace <run-id>`` renders.
 """
 
 from __future__ import annotations
 
+import logging
 import time
 from contextlib import contextmanager
 
 import repro
 from repro.errormodel.montecarlo import PatternOutcome
 from repro.errormodel.patterns import ErrorPattern
+from repro.obs import Tracer, counter_totals, write_trace
 from repro.runs.artifacts import canonical_json
 from repro.runs.fingerprint import code_fingerprint
 from repro.runs.manifest import RunManifest, git_commit, new_run_id
 from repro.runs.store import RunStore
+
+_LOGGER = logging.getLogger(__name__)
 
 __all__ = ["CellCache", "RunSession", "CampaignCheckpoint"]
 
@@ -132,6 +143,7 @@ class RunSession:
         self.store = store
         self.manifest = manifest
         self.cell_cache = cache
+        self.tracer = Tracer()
 
     @classmethod
     def begin(
@@ -189,10 +201,11 @@ class RunSession:
 
     @contextmanager
     def stage(self, name: str):
-        """Time one named stage into the manifest."""
+        """Time one named stage into the manifest and the session trace."""
         started = time.perf_counter()
         try:
-            yield
+            with self.tracer.span(name):
+                yield
         finally:
             self.manifest.stages[name] = round(
                 time.perf_counter() - started, 6
@@ -220,7 +233,29 @@ class RunSession:
         self.manifest.finished_at = time.time()
         self.manifest.cache_hits = self.cell_cache.hits
         self.manifest.cache_misses = self.cell_cache.misses
+        self._export_trace()
         self.manifest.save(self.store.manifest_path(self.run_id))
+
+    def _export_trace(self) -> None:
+        """Persist the session trace next to the manifest (best effort)."""
+        records = self.tracer.records
+        if not records:
+            return
+        # Only root (stage-level) counters go to the manifest: nested spans
+        # repeat their parents' tallies (a campaign's events counter is the
+        # sum of its chunks'), so summing the whole tree would double-count.
+        roots = [r for r in records if r.parent_id is None]
+        for name, value in counter_totals(roots).items():
+            self.manifest.counters.setdefault(name, value)
+        try:
+            write_trace(
+                self.store.trace_path(self.run_id), records,
+                meta={"run_id": self.run_id,
+                      "command": self.manifest.command},
+            )
+        except OSError as exc:
+            _LOGGER.warning("could not write trace for run %s (%s)",
+                            self.run_id, exc)
 
     def summary(self) -> str:
         """One-line cache report the CLI prints after the tables."""

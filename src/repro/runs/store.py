@@ -22,6 +22,7 @@ reported as misses, so the caller transparently recomputes them.
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 import shutil
@@ -74,6 +75,8 @@ class GCStats:
     artifacts: int
     runs: int
     bytes: int
+    #: expired paths kept anyway because a live run still needs them
+    protected: int = 0
 
 
 def resolve_root(root: str | os.PathLike | None = None) -> Path:
@@ -107,6 +110,9 @@ class RunStore:
 
     def checkpoint_path(self, run_id: str) -> Path:
         return self.run_dir(run_id) / "checkpoint.jsonl"
+
+    def trace_path(self, run_id: str) -> Path:
+        return self.run_dir(run_id) / "trace.jsonl"
 
     # -- keys -----------------------------------------------------------------
     @staticmethod
@@ -210,7 +216,7 @@ class RunStore:
             for run_dir in runs_dir.iterdir():
                 try:
                     manifests.append(RunManifest.load(run_dir / "manifest.json"))
-                except (OSError, ValueError, KeyError):
+                except (OSError, ValueError, KeyError, TypeError):
                     continue
         manifests.sort(key=lambda m: m.started_at, reverse=True)
         return manifests
@@ -220,27 +226,74 @@ class RunStore:
         path = self.manifest_path(run_id)
         try:
             return RunManifest.load(path)
-        except (OSError, ValueError, KeyError):
+        except (OSError, ValueError, KeyError, TypeError):
             raise UnknownRunError(
                 f"no run {run_id!r} in store {self.root} "
                 f"(try `repro runs list`)"
             ) from None
 
     # -- garbage collection ---------------------------------------------------
+    def _gc_protected(self) -> tuple[set[str], set[str]]:
+        """(run ids, artifact keys) that gc must keep regardless of age.
+
+        Any run whose manifest status is not ``completed`` is either in
+        progress or resumable (``--resume`` restarts it and turns its
+        finished cells into cache hits), so its run record — and every
+        artifact its checkpoint log references — must survive collection.
+        """
+        protected_runs: set[str] = set()
+        protected_keys: set[str] = set()
+        runs_dir = self.root / "runs"
+        if not runs_dir.is_dir():
+            return protected_runs, protected_keys
+        for run_dir in runs_dir.iterdir():
+            if not run_dir.is_dir():
+                continue
+            try:
+                manifest = RunManifest.load(run_dir / "manifest.json")
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # unreadable manifests are not resumable
+            if manifest.status == "completed":
+                continue
+            protected_runs.add(run_dir.name)
+            checkpoint = run_dir / "checkpoint.jsonl"
+            if not checkpoint.is_file():
+                continue
+            try:
+                lines = checkpoint.read_text().splitlines()
+            except OSError:
+                continue
+            for line in lines:
+                try:
+                    entry = json.loads(line)
+                except ValueError:
+                    continue  # torn final line after a kill
+                key = entry.get("key") if isinstance(entry, dict) else None
+                if isinstance(key, str):
+                    protected_keys.add(key)
+        return protected_runs, protected_keys
+
     def gc(self, *, days: float = 30.0, dry_run: bool = False) -> GCStats:
         """Remove artifacts and run records older than ``days`` (by mtime).
 
         ``days=0`` empties the store.  ``dry_run=True`` only reports what
-        a real pass would reclaim.
+        a real pass would reclaim.  Runs that are still in progress or
+        resumable (manifest status other than ``completed``) are never
+        removed, nor are the artifacts their checkpoints reference —
+        collecting those would silently restart a resumed sweep from zero.
         """
         cutoff = time.time() - days * 86400.0
-        artifacts = runs = freed = 0
+        protected_runs, protected_keys = self._gc_protected()
+        artifacts = runs = freed = protected = 0
         for bucket in ("cells", "campaigns"):
             base = self.root / bucket
             if not base.is_dir():
                 continue
             for path in base.rglob("*.jsonl"):
                 if path.stat().st_mtime <= cutoff:
+                    if path.stem in protected_keys:
+                        protected += 1
+                        continue
                     artifacts += 1
                     freed += path.stat().st_size
                     if not dry_run:
@@ -255,6 +308,9 @@ class RunStore:
                     default=run_dir.stat().st_mtime,
                 )
                 if newest <= cutoff:
+                    if run_dir.name in protected_runs:
+                        protected += 1
+                        continue
                     runs += 1
                     freed += sum(
                         p.stat().st_size for p in run_dir.rglob("*")
@@ -262,4 +318,5 @@ class RunStore:
                     )
                     if not dry_run:
                         shutil.rmtree(run_dir, ignore_errors=True)
-        return GCStats(artifacts=artifacts, runs=runs, bytes=freed)
+        return GCStats(artifacts=artifacts, runs=runs, bytes=freed,
+                       protected=protected)

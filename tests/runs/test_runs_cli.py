@@ -138,3 +138,137 @@ class TestRunsSubcommand:
         assert main(["runs", "--runs-dir", str(root), "gc", "--all"]) == 0
         assert "removed" in capsys.readouterr().out
         assert RunStore(root).list_runs() == []
+
+
+class TestTraceSubcommand:
+    def _seed_campaign(self, root, capsys):
+        main(["campaign", "--runs", "1", "--events", "1200", "--workers",
+              "2", "--runs-dir", str(root)])
+        capsys.readouterr()
+        return RunStore(root).list_runs()[0]
+
+    def test_trace_renders_the_stage_tree_with_worker_spans(self, root,
+                                                            capsys):
+        manifest = self._seed_campaign(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "trace",
+                     manifest.run_id]) == 0
+        out = capsys.readouterr().out
+        assert f"trace of run {manifest.run_id}" in out
+        for name in ("campaign", "statistics", "chunk", "synthesize",
+                     "scan", "postprocess"):
+            assert name in out
+        assert "[pid:" in out  # worker provenance made it into the render
+        assert "slowest" in out
+
+    def test_show_advertises_the_stored_trace(self, root, capsys):
+        manifest = self._seed_campaign(root, capsys)
+        assert main(["runs", "--runs-dir", str(root), "show",
+                     manifest.run_id]) == 0
+        assert f"repro runs trace {manifest.run_id}" \
+            in capsys.readouterr().out
+
+    def test_missing_trace_exits_1(self, root, capsys):
+        from repro.runs import RunManifest, new_run_id
+
+        store = RunStore(root)
+        manifest = RunManifest(run_id=new_run_id(), command="fig8",
+                               config={}, status="completed")
+        manifest.save(store.manifest_path(manifest.run_id))
+        assert main(["runs", "--runs-dir", str(root), "trace",
+                     manifest.run_id]) == 1
+        assert "no stored trace" in capsys.readouterr().out
+
+    def test_unknown_run_exits_2(self, root, capsys):
+        assert main(["runs", "--runs-dir", str(root), "trace", "nope"]) == 2
+        assert "no run 'nope'" in capsys.readouterr().err
+
+    def test_corrupt_trace_exits_2(self, root, capsys):
+        manifest = self._seed_campaign(root, capsys)
+        path = RunStore(root).trace_path(manifest.run_id)
+        path.write_text(path.read_text()[:-40])  # torn write
+        assert main(["runs", "--runs-dir", str(root), "trace",
+                     manifest.run_id]) == 2
+        assert "corrupt" in capsys.readouterr().err
+
+
+class TestManifestTolerance:
+    def _write_manifest(self, root, payload):
+        import json
+
+        store = RunStore(root)
+        path = store.manifest_path(payload["run_id"])
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload))
+        return store
+
+    def test_old_schema_manifest_still_lists_and_shows(self, root, capsys):
+        # A manifest from before counters/stages/cache accounting existed.
+        store = self._write_manifest(root, {
+            "schema": 0,
+            "run_id": "20200101T000000-aaaaaa",
+            "command": "fig8",
+            "config": {"samples": 10},
+            "status": "completed",
+            "started_at": 1577836800.0,
+        })
+        (listed,) = store.list_runs()
+        assert listed.run_id == "20200101T000000-aaaaaa"
+        assert listed.counters == {}
+        assert main(["runs", "--runs-dir", str(root), "show",
+                     listed.run_id]) == 0
+        out = capsys.readouterr().out
+        assert "fig8" in out
+        assert "2020-01-01 00:00:00Z" in out
+
+    def test_manifest_with_unknown_future_fields_loads(self, root):
+        store = self._write_manifest(root, {
+            "schema": 9,
+            "run_id": "20990101T000000-bbbbbb",
+            "command": "evaluate",
+            "config": {},
+            "status": "completed",
+            "started_at": 1.0,
+            "from_the_future": {"nested": True},
+        })
+        loaded = store.load_manifest("20990101T000000-bbbbbb")
+        assert loaded.command == "evaluate"
+        assert not hasattr(loaded, "from_the_future")
+
+    def test_manifest_missing_identity_is_skipped_not_fatal(self, root,
+                                                            capsys):
+        self._write_manifest(root, {
+            "run_id": "20200101T000000-cccccc",
+            "command": "fig8",
+            "config": {},
+            "status": "completed",
+            "started_at": 2.0,
+        })
+        store = self._write_manifest(root, {"run_id": "broken-no-command"})
+        assert [m.run_id for m in store.list_runs()] \
+            == ["20200101T000000-cccccc"]
+        assert main(["runs", "--runs-dir", str(root), "show",
+                     "broken-no-command"]) == 2
+        assert "no run" in capsys.readouterr().err
+
+    def test_timestamps_render_in_utc_not_local_time(self, root, capsys,
+                                                     monkeypatch):
+        import time
+
+        monkeypatch.setenv("TZ", "America/Los_Angeles")
+        time.tzset()
+        try:
+            self._write_manifest(root, {
+                "run_id": "20240615T120000-dddddd",
+                "command": "fig8",
+                "config": {},
+                "status": "completed",
+                "started_at": 1718452800.0,  # 2024-06-15 12:00:00 UTC
+            })
+            assert main(["runs", "--runs-dir", str(root), "show",
+                         "20240615T120000-dddddd"]) == 0
+            out = capsys.readouterr().out
+            # Must match the UTC stamp in the run id, not local (05:00).
+            assert "2024-06-15 12:00:00Z" in out
+        finally:
+            monkeypatch.delenv("TZ", raising=False)
+            time.tzset()

@@ -127,7 +127,8 @@ class TestManifests:
 class TestGC:
     def test_gc_all(self, store):
         store.save_cell("ab" + "0" * 62, OUTCOME)
-        manifest = RunManifest(run_id=new_run_id(), command="fig8", config={})
+        manifest = RunManifest(run_id=new_run_id(), command="fig8", config={},
+                               status="completed")
         manifest.save(store.manifest_path(manifest.run_id))
         dry = store.gc(days=0.0, dry_run=True)
         assert (dry.artifacts, dry.runs) == (1, 1)
@@ -149,3 +150,76 @@ class TestGC:
         assert RunStore().root == tmp_path / "via-env"
         monkeypatch.delenv("REPRO_RUNS_DIR")
         assert RunStore().root.name == "repro-runs"
+
+
+class TestGCGuard:
+    """gc must never collect in-progress or resumable runs, nor the
+    artifacts their checkpoints reference."""
+
+    def _run(self, store, status, checkpoint_keys=()):
+        import json
+
+        manifest = RunManifest(run_id=new_run_id(), command="fig8",
+                               config={}, status=status)
+        manifest.save(store.manifest_path(manifest.run_id))
+        if checkpoint_keys:
+            checkpoint = store.checkpoint_path(manifest.run_id)
+            with open(checkpoint, "a") as handle:
+                for key in checkpoint_keys:
+                    handle.write(json.dumps({"kind": "cell", "key": key})
+                                 + "\n")
+        return manifest
+
+    def test_running_run_survives_gc(self, store):
+        manifest = self._run(store, "running")
+        stats = store.gc(days=0.0)
+        assert stats.runs == 0
+        assert stats.protected == 1
+        assert store.load_manifest(manifest.run_id).run_id == manifest.run_id
+
+    def test_failed_run_is_resumable_and_survives(self, store):
+        manifest = self._run(store, "failed")
+        stats = store.gc(days=0.0)
+        assert stats.runs == 0
+        assert store.load_manifest(manifest.run_id).status == "failed"
+
+    def test_completed_run_still_collects(self, store):
+        self._run(store, "completed")
+        stats = store.gc(days=0.0)
+        assert (stats.runs, stats.protected) == (1, 0)
+        assert store.list_runs() == []
+
+    def test_checkpointed_artifacts_survive_with_their_run(self, store):
+        kept_key = "ab" + "0" * 62
+        doomed_key = "cd" + "0" * 62
+        store.save_cell(kept_key, OUTCOME)
+        store.save_cell(doomed_key, OUTCOME)
+        self._run(store, "running", checkpoint_keys=[kept_key])
+        stats = store.gc(days=0.0)
+        assert stats.artifacts == 1  # only the unreferenced cell
+        assert store.load_cell(kept_key) is not None
+        assert store.load_cell(doomed_key) is None
+
+    def test_completed_runs_do_not_pin_their_artifacts(self, store):
+        key = "ab" + "0" * 62
+        store.save_cell(key, OUTCOME)
+        self._run(store, "completed", checkpoint_keys=[key])
+        stats = store.gc(days=0.0)
+        assert stats.artifacts == 1
+        assert store.load_cell(key) is None
+
+    def test_torn_checkpoint_line_is_tolerated(self, store):
+        key = "ab" + "0" * 62
+        store.save_cell(key, OUTCOME)
+        manifest = self._run(store, "running", checkpoint_keys=[key])
+        with open(store.checkpoint_path(manifest.run_id), "a") as handle:
+            handle.write('{"kind": "cell", "key": "tr')  # killed mid-write
+        stats = store.gc(days=0.0)
+        assert store.load_cell(key) is not None
+        assert stats.runs == 0
+
+    def test_dry_run_reports_protection_without_touching_anything(self, store):
+        self._run(store, "running")
+        stats = store.gc(days=0.0, dry_run=True)
+        assert stats.protected == 1
+        assert store.list_runs()
