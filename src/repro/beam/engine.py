@@ -62,9 +62,10 @@ from repro.beam.microbenchmark import (
     MismatchRecord,
     UniformPattern,
 )
-from repro.core.pool import run_with_requeue
+from repro.core.pool import RetryPolicy, run_with_requeue
 from repro.dram.device import SimulatedHBM2
 from repro.dram.geometry import HBM2Geometry
+from repro.faults import faultpoint
 from repro.obs import Tracer, stage_totals
 
 __all__ = ["StatisticsResult", "run_statistics_campaign", "ENGINES"]
@@ -345,6 +346,8 @@ def _evaluate_chunk(
     scalar records) plus the finished worker-side trace, tagged with this
     process's pid so merged traces keep worker provenance.
     """
+    faultpoint("pool.worker.crash", chunk=job.index)
+    faultpoint("engine.chunk.hang", chunk=job.index)
     pattern = _pattern_by_name(pattern_name)
     runner = _columnar_chunk if engine == "columnar" else _reference_chunk
     tracer = Tracer()
@@ -366,6 +369,7 @@ def _run_chunks(
     chunk_timeout: float | None = None,
     tracer: Tracer | None = None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> dict[int, tuple]:
     """Evaluate chunks, fanned out when asked, robust to worker failure.
 
@@ -397,6 +401,7 @@ def _run_chunks(
         noun="chunks",
         logger=_LOGGER,
         on_result=_on_result,
+        retry=retry,
     )
     if tracer is not None:
         tracer.count(**report.counters())
@@ -479,6 +484,7 @@ def run_statistics_campaign(
     chunk_timeout: float | None = None,
     tracer: Tracer | None = None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> StatisticsResult:
     """Generate, scan and post-process ``n_events`` ground-truth SEUs.
 
@@ -524,7 +530,7 @@ def run_statistics_campaign(
         tracer.count(events=n_events, chunks=n_chunks)
         results, report = _run_chunks(
             engine, geometry, parameters, pattern_name, jobs, workers,
-            chunk_timeout, tracer, heartbeat,
+            chunk_timeout, tracer, heartbeat, retry,
         )
 
         with tracer.span("postprocess"):

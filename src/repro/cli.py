@@ -11,6 +11,12 @@ Gives shell access to the main workflows of the library:
 ``search``      run the genetic SEC-2bEC code search and print the H matrix
 ``report``      generate the full reproduction report as Markdown
 ``runs``        inspect the persistent run store (list/show/diff/gc)
+``chaos``       campaign under a seeded fault schedule (crash-consistency
+                harness; asserts recovery and clean-identical statistics)
+
+Every evaluation subcommand also accepts ``--inject-faults SPEC`` (or the
+``REPRO_FAULTS`` environment variable) to activate the deterministic
+fault-injection layer of :mod:`repro.faults` — see DESIGN.md.
 
 The evaluation commands (``evaluate``, ``fig8``, ``report``, ``system``,
 ``campaign``) cache their results in the persistent run store by default
@@ -59,6 +65,18 @@ def _add_store_flags(parser: argparse.ArgumentParser,
         "--heartbeat", type=float, default=5.0, metavar="SECONDS",
         help="progress-heartbeat interval on stderr (0 disables; "
              "default 5)")
+    parser.add_argument(
+        "--inject-faults", default=None, metavar="SPEC",
+        help="activate deterministic fault injection, e.g. "
+             "'pool.worker.crash:mode=exit;checkpoint.torn_write:mode=torn' "
+             "(also via $REPRO_FAULTS; see DESIGN.md)")
+    parser.add_argument(
+        "--faults-seed", type=int, default=0, metavar="SEED",
+        help="seed for probabilistic fault draws (default 0)")
+    parser.add_argument(
+        "--faults-ledger", default=None, metavar="FILE",
+        help="cross-process activation ledger, shared across crash-restart "
+             "cycles so 'times=' budgets hold globally")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -99,6 +117,11 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--workers", type=int, default=None, metavar="N",
                           help="fan statistics chunks out over N worker "
                                "processes (bit-identical to the serial run)")
+    campaign.add_argument("--chunk-timeout", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-chunk wall-clock bound in the fanned-out "
+                               "path (timed-out chunks are requeued, then "
+                               "run serially)")
     _add_store_flags(campaign, workers=False)
 
     system = sub.add_parser("system", help="HPC and automotive system models")
@@ -120,10 +143,33 @@ def build_parser() -> argparse.ArgumentParser:
     search.add_argument("--generations", type=int, default=40)
     search.add_argument("--seed", type=int, default=2021)
 
+    from repro.faults.chaos import add_chaos_parser
     from repro.runs.cli import add_runs_parser
 
     add_runs_parser(sub)
+    add_chaos_parser(sub)
     return parser
+
+
+def _install_fault_plan(args) -> None:
+    """Activate ``--inject-faults`` for this process and its children."""
+    spec = getattr(args, "inject_faults", None)
+    if not spec or args.command == "chaos":
+        # The chaos harness passes the spec to its campaign *subprocesses*;
+        # activating it in the orchestrator would fault the referee.
+        return
+    from repro import faults
+
+    try:
+        plan = faults.FaultPlan.parse(
+            spec,
+            seed=getattr(args, "faults_seed", 0),
+            ledger=getattr(args, "faults_ledger", None),
+        )
+    except faults.FaultSpecError as exc:
+        print(f"repro: error: --inject-faults: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    faults.install(plan)
 
 
 # ---------------------------------------------------------------------------
@@ -384,6 +430,7 @@ def _cmd_campaign(args) -> None:
             statistics = run_statistics_campaign(
                 cfg["events"], seed=cfg["seed"],
                 engine=args.engine, workers=args.workers,
+                chunk_timeout=getattr(args, "chunk_timeout", None),
                 tracer=session.tracer,
                 heartbeat=_make_heartbeat(
                     args, "campaign statistics", "chunks"),
@@ -484,6 +531,7 @@ def _cmd_search(args) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _install_fault_plan(args)
     if args.command == "schemes":
         _cmd_schemes()
     elif args.command == "evaluate":
@@ -504,6 +552,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.runs.cli import cmd_runs
 
         return cmd_runs(args)
+    elif args.command == "chaos":
+        from repro.faults.chaos import cmd_chaos
+
+        return cmd_chaos(args)
     return 0
 
 

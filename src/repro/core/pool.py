@@ -3,18 +3,29 @@
 The Monte Carlo harness (:mod:`repro.errormodel.montecarlo`) and the
 columnar statistics engine (:mod:`repro.beam.engine`) fan independent,
 deterministically seeded jobs out over a :class:`ProcessPoolExecutor`.
-Both need the same robustness story: a job that misses its timeout or a
-pool that breaks mid-sweep is requeued once onto a fresh pool, and
-whatever is still unfinished after the second attempt runs serially
+Both need the same robustness story: a job that misses its timeout, hits
+a worker-side exception, or rides a pool that breaks mid-sweep is
+requeued onto a fresh pool (with exponential backoff between attempts),
+and whatever is still unfinished after the pool budget runs serially
 in-process — per-job seeding makes every path bit-identical.  This
 module is the single implementation of that story; it used to be copied
 (with subtly different accounting) into both call sites.
 
 Accounting is reconciled here: a job that fails any number of pool
 attempts before completing counts as *requeued exactly once* (it is a
-member of :attr:`PoolReport.requeued_keys`, a set), while raw timeout
-incidents are tallied separately — so a chunk that times out on both
-attempts is one requeued chunk, two timeouts.
+member of :attr:`PoolReport.requeued_keys`, a set), while raw timeout,
+pool-break, and job-error incidents are tallied per occurrence — so a
+chunk that times out on both attempts is one requeued chunk, two
+timeouts.
+
+Poison jobs — jobs that fail every pool attempt *and* every serial
+retry — are quarantined rather than looping or tearing down the sweep:
+their keys land in :attr:`PoolReport.poisoned` with the final error, and
+:func:`run_with_requeue` raises :class:`PoisonedJobs` (carrying the
+partial results) unless the caller opts into ``allow_poisoned=True``.
+A failure on the *pure-serial* path (no pool ever involved) still
+propagates immediately, as it always has: there is no healthier
+execution tier left to try, and quarantining would hide a plain bug.
 
 Callers pass ``executor_factory`` as a closure over their own module's
 ``ProcessPoolExecutor`` global, preserving the established monkeypatch
@@ -25,13 +36,60 @@ seam (tests substitute fake pools per call site), and pass their own
 from __future__ import annotations
 
 import logging
+import random
+import time
 from concurrent.futures import BrokenExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 
-__all__ = ["PoolReport", "run_with_requeue"]
+__all__ = ["PoisonedJobs", "PoolReport", "RetryPolicy", "run_with_requeue"]
 
 _LOGGER = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry budgets and backoff shape for :func:`run_with_requeue`."""
+
+    #: fresh-pool attempts before degrading to serial
+    pool_attempts: int = 2
+    #: in-process tries per job on the serial path before quarantine
+    serial_attempts: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    #: fraction of the backoff randomized away (0 = fixed delays)
+    jitter: float = 0.25
+
+    def backoff_s(self, attempt: int, u: float = 0.0) -> float:
+        """Delay before retry ``attempt`` (1-based), jittered by ``u`` in
+        [0, 1).  Jitter *subtracts* up to ``jitter`` of the delay, so the
+        cap holds and a fleet of retriers decorrelates."""
+        delay = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        return delay * (1.0 - self.jitter * u)
+
+
+class PoisonedJobs(RuntimeError):
+    """Some jobs failed every retry tier and were quarantined.
+
+    Carries everything the caller needs to degrade gracefully anyway:
+    ``poisoned`` (key -> final error string), the full :class:`PoolReport`
+    and the partial ``results`` dict.
+    """
+
+    def __init__(self, poisoned: dict, report: PoolReport,
+                 results: dict) -> None:
+        names = ", ".join(str(k) for k in sorted(poisoned, key=str))
+        super().__init__(
+            f"{len(poisoned)} job(s) failed every retry and were "
+            f"quarantined: {names}"
+        )
+        self.poisoned = poisoned
+        self.report = report
+        self.results = results
 
 
 @dataclass
@@ -48,9 +106,13 @@ class PoolReport:
     #: pool-break incidents (:class:`BrokenExecutor` observations)
     pool_breaks: int = 0
     pool_start_failures: int = 0
+    #: worker-side exception incidents observed on the pool path
+    job_errors: int = 0
     #: keys of jobs that survived at least one failed pool attempt —
     #: a set, so each requeued job is counted exactly once
     requeued_keys: set = field(default_factory=set)
+    #: quarantined poison jobs: key -> final error string
+    poisoned: dict = field(default_factory=dict)
 
     @property
     def requeued(self) -> int:
@@ -60,11 +122,13 @@ class PoolReport:
         """Flat JSON-safe counters for manifests and span records.
 
         Empty when no pool was involved, so serial runs don't pollute
-        their manifests with all-zero pool telemetry.
+        their manifests with all-zero pool telemetry; the incident-class
+        keys (``pool_job_errors``, ``pool_poisoned``) appear only when
+        nonzero, so healthy sweeps keep their historical counter shape.
         """
         if not self.attempts and not self.pool_start_failures:
             return {}
-        return {
+        counters = {
             "pool_jobs": self.jobs,
             "pool_attempts": self.attempts,
             "pool_completed": self.pool_completed,
@@ -73,6 +137,11 @@ class PoolReport:
             "pool_timeouts": self.timeouts,
             "pool_breaks": self.pool_breaks,
         }
+        if self.job_errors:
+            counters["pool_job_errors"] = self.job_errors
+        if self.poisoned:
+            counters["pool_poisoned"] = len(self.poisoned)
+        return counters
 
 
 def run_with_requeue(
@@ -88,6 +157,10 @@ def run_with_requeue(
     noun: str = "jobs",
     logger: logging.Logger | None = None,
     on_result=None,
+    retry: RetryPolicy | None = None,
+    allow_poisoned: bool = False,
+    sleep=time.sleep,
+    jitter_draw=random.random,
 ) -> tuple[dict, PoolReport]:
     """Evaluate ``jobs``, fanned out when asked, robust to worker failure.
 
@@ -98,11 +171,18 @@ def run_with_requeue(
     it — the hook the observability layer uses for heartbeats and
     worker-span merging.
 
-    Returns ``(results, report)``: results keyed by ``key(job)`` (always
-    complete — degradation never drops work), and the
-    :class:`PoolReport` accounting of how the pool behaved.
+    ``retry`` shapes the budgets and backoff (default
+    :class:`RetryPolicy`); ``sleep``/``jitter_draw`` are injection seams
+    so tests assert backoff schedules without waiting them out.
+
+    Returns ``(results, report)``: results keyed by ``key(job)``
+    (complete unless poison jobs were quarantined under
+    ``allow_poisoned=True``) and the :class:`PoolReport` accounting.
+    Raises :class:`PoisonedJobs` when a pool-path job exhausts every
+    retry tier and ``allow_poisoned`` is False.
     """
     logger = logger or _LOGGER
+    retry = retry or RetryPolicy()
     results: dict = {}
     report = PoolReport(jobs=len(jobs))
 
@@ -111,10 +191,18 @@ def run_with_requeue(
         if on_result is not None:
             on_result(job, result)
 
+    def _backoff(attempt: int, why: str) -> None:
+        delay = retry.backoff_s(attempt, jitter_draw())
+        if delay > 0:
+            logger.warning("backing off %.3gs before retry (%s)",
+                           delay, why)
+            sleep(delay)
+
     pending = list(jobs)
+    pool_used = False
     if workers is not None and workers > 1 and len(pending) > 1 \
             and executor_factory is not None:
-        for attempt in (1, 2):
+        for attempt in range(1, retry.pool_attempts + 1):
             if not pending:
                 break
             try:
@@ -126,6 +214,7 @@ def run_with_requeue(
                     "in-process", exc, len(pending), noun,
                 )
                 break
+            pool_used = True
             report.attempts = attempt
             try:
                 futures = {key(job): submit(pool, job) for job in pending}
@@ -146,6 +235,12 @@ def run_with_requeue(
                             "unfinished %s", describe(job), exc, noun,
                         )
                         break
+                    except Exception as exc:
+                        report.job_errors += 1
+                        logger.warning(
+                            "%s failed on the pool (%s: %s); requeueing",
+                            describe(job), type(exc).__name__, exc,
+                        )
                     else:
                         report.pool_completed += 1
                         _finish(job, result)
@@ -153,13 +248,41 @@ def run_with_requeue(
                 pool.shutdown(wait=False, cancel_futures=True)
             pending = [job for job in pending if key(job) not in results]
             report.requeued_keys.update(key(job) for job in pending)
-            if pending and attempt == 2:
+            if pending and attempt < retry.pool_attempts:
+                _backoff(attempt, f"{len(pending)} {noun} unfinished")
+            elif pending:
                 logger.warning(
                     "fan-out failed twice; falling back to in-process "
                     "serial evaluation for %d %s", len(pending), noun,
                 )
     for job in pending:
-        result = run_serial(job)
-        report.serial_completed += 1
-        _finish(job, result)
+        for serial_attempt in range(1, retry.serial_attempts + 1):
+            try:
+                result = run_serial(job)
+            except Exception as exc:
+                if serial_attempt < retry.serial_attempts:
+                    logger.warning(
+                        "%s failed in-process (%s: %s); retrying",
+                        describe(job), type(exc).__name__, exc,
+                    )
+                    _backoff(serial_attempt, f"serial retry of "
+                             f"{describe(job)}")
+                    continue
+                if not pool_used:
+                    # Pure-serial configurations keep their historical
+                    # contract: the error is the caller's to see.
+                    raise
+                report.poisoned[key(job)] = f"{type(exc).__name__}: {exc}"
+                logger.error(
+                    "%s failed every pool and serial attempt; "
+                    "quarantining as a poison job (%s)",
+                    describe(job), exc,
+                )
+                break
+            else:
+                report.serial_completed += 1
+                _finish(job, result)
+                break
+    if report.poisoned and not allow_poisoned:
+        raise PoisonedJobs(dict(report.poisoned), report, results)
     return results, report

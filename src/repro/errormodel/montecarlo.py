@@ -56,8 +56,9 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.core.pool import run_with_requeue
+from repro.core.pool import RetryPolicy, run_with_requeue
 from repro.core.scheme import ECCScheme
+from repro.faults import faultpoint
 from repro.errormodel.patterns import (
     TABLE1_PROBABILITIES,
     ErrorPattern,
@@ -262,6 +263,8 @@ def _evaluate_cell(
     result travels as ``(outcome, span_records)`` so the parent can merge
     the worker's ``cell`` span into its trace.
     """
+    faultpoint("pool.worker.crash", pattern=pattern.name)
+    faultpoint("montecarlo.cell.hang", pattern=pattern.name)
     if isinstance(payload, str):
         from repro.core.registry import get_scheme
 
@@ -321,6 +324,7 @@ def _run_cells(
     cell_timeout: float | None = None,
     tracer=None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> dict[tuple[str, ErrorPattern], PatternOutcome]:
     """Evaluate cells, fanned out when asked, robust to worker failure.
 
@@ -360,6 +364,7 @@ def _run_cells(
         noun="cells",
         logger=_LOGGER,
         on_result=_on_result,
+        retry=retry,
     )
     if with_trace:
         tracer.count(**report.counters())
@@ -378,6 +383,7 @@ def _collect_cells(
     cell_timeout: float | None,
     tracer=None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Shared cache-aware engine behind Table 2 and per-scheme evaluation."""
     cells = list(zip(ErrorPattern, _cell_seeds(seed)))
@@ -402,7 +408,7 @@ def _collect_cells(
                     seed_seq=child,
                     exhaustive_triples=exhaustive_triples,
                 ))
-    fresh = _run_cells(jobs, workers, cell_timeout, tracer, heartbeat)
+    fresh = _run_cells(jobs, workers, cell_timeout, tracer, heartbeat, retry)
     if heartbeat is not None:
         heartbeat.close()
     if tracer is not None:
@@ -433,6 +439,7 @@ def evaluate_scheme(
     cell_timeout: float | None = None,
     tracer=None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> dict[ErrorPattern, PatternOutcome]:
     """All seven Table-2 cells for one scheme.
 
@@ -447,7 +454,7 @@ def evaluate_scheme(
         [scheme], samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
         cache=cache, cell_timeout=cell_timeout, tracer=tracer,
-        heartbeat=heartbeat,
+        heartbeat=heartbeat, retry=retry,
     )[scheme.name]
 
 
@@ -498,6 +505,7 @@ def sdc_risk_table(
     cell_timeout: float | None = None,
     tracer=None,
     heartbeat=None,
+    retry: RetryPolicy | None = None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Table 2: per-pattern outcomes for a list of schemes.
 
@@ -514,5 +522,5 @@ def sdc_risk_table(
         schemes, samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
         cache=cache, cell_timeout=cell_timeout, tracer=tracer,
-        heartbeat=heartbeat,
+        heartbeat=heartbeat, retry=retry,
     )

@@ -1,0 +1,56 @@
+"""Deterministic fault injection for chaos-testing the repro stack.
+
+``faultpoint(name)`` calls are sprinkled at crash-sensitive spots (store
+renames, checkpoint appends, pool-worker entries); they cost nothing
+until a :class:`FaultPlan` — parsed from ``--inject-faults`` or the
+``REPRO_FAULTS`` environment — is active.  See :mod:`repro.faults.plan`
+for the spec grammar and :mod:`repro.faults.points` for the actions.
+
+The chaos harness (:mod:`repro.faults.chaos`) is intentionally *not*
+imported here: it depends on :mod:`repro.runs`, and this package must
+stay leaf-level so any layer can call ``faultpoint`` without cycles.
+"""
+
+from repro.faults.plan import (
+    ENV_HOST_PID,
+    ENV_LEDGER,
+    ENV_SEED,
+    ENV_SPEC,
+    FaultPlan,
+    FaultRule,
+    FaultSpecError,
+    MODES,
+    unit_draw,
+)
+from repro.faults.points import (
+    Incident,
+    InjectedFault,
+    active_plan,
+    counters,
+    faultpoint,
+    incidents,
+    install,
+    reset,
+    uninstall,
+)
+
+__all__ = [
+    "ENV_HOST_PID",
+    "ENV_LEDGER",
+    "ENV_SEED",
+    "ENV_SPEC",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "Incident",
+    "InjectedFault",
+    "MODES",
+    "active_plan",
+    "counters",
+    "faultpoint",
+    "incidents",
+    "install",
+    "reset",
+    "uninstall",
+    "unit_draw",
+]

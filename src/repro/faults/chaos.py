@@ -1,0 +1,268 @@
+"""``repro chaos`` — run a real campaign under a seeded fault schedule.
+
+The harness is the acceptance test for the whole robustness story: it
+runs one beam campaign *clean* and the same campaign under a
+deterministic fault plan — kill -9'd pool workers, torn artifact and
+checkpoint writes, hung chunks — restarting with ``--resume`` every time
+an injected fault kills the process, then verdicts on three things:
+
+1. the faulted campaign eventually completes (retry / quarantine /
+   resume actually recover);
+2. its stdout — the derived statistics — is bit-identical to the clean
+   run's (determinism survives every degraded path);
+3. every injected incident is visible: ``fault.*`` counters (fed by the
+   cross-process activation ledger) and the quarantine counter appear in
+   the final run's manifest.
+
+Campaign processes are separate interpreters, launched with
+``--inject-faults`` so each installs the plan as its *own* host —
+``host=1`` rules (torn writes in the coordinating process) genuinely
+kill it, while plain destructive rules stay confined to pool workers.
+The shared ledger keeps ``times=`` budgets global across the
+crash-restart cycles, so a schedule of N faults injects exactly N faults
+no matter how many restarts they cause.
+
+This module imports :mod:`repro.runs` and therefore lives outside the
+``repro.faults`` package namespace exports — the injection runtime must
+stay leaf-level.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.faults.plan import (
+    ENV_HOST_PID,
+    ENV_LEDGER,
+    ENV_SEED,
+    ENV_SPEC,
+    FaultPlan,
+    FaultSpecError,
+)
+
+__all__ = ["DEFAULT_SPEC", "add_chaos_parser", "cmd_chaos", "run_chaos"]
+
+#: The stock schedule: four fault classes across three layers — a pool
+#: worker killed mid-chunk, the campaign artifact and a checkpoint line
+#: torn mid-write (killing the host), and two hung chunks.
+DEFAULT_SPEC = (
+    "pool.worker.crash:mode=exit,times=1;"
+    "store.save_campaign.pre_rename:mode=torn,host=1,times=1;"
+    "checkpoint.torn_write:mode=torn,host=1,times=1;"
+    "engine.chunk.hang:mode=hang,s=0.05,times=2"
+)
+
+#: wall-clock bound per campaign invocation (a hung subprocess must not
+#: hang the harness)
+_SUBPROCESS_TIMEOUT_S = 600.0
+
+
+def add_chaos_parser(sub) -> None:
+    """Register the ``chaos`` subcommand on the main CLI's subparsers."""
+    chaos = sub.add_parser(
+        "chaos",
+        help="campaign under a seeded fault schedule; asserts recovery "
+             "and clean-run-identical statistics",
+    )
+    chaos.add_argument("--events", type=int, default=1200,
+                       help="generator-truth events (>= 2 chunks so the "
+                            "worker pool engages; default 1200)")
+    chaos.add_argument("--runs", type=int, default=1)
+    chaos.add_argument("--seed", type=int, default=2021)
+    chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--inject-faults", default=DEFAULT_SPEC,
+                       metavar="SPEC",
+                       help="fault schedule for the faulted campaign "
+                            "(default: worker crash + torn artifact + "
+                            "torn checkpoint + chunk hangs)")
+    chaos.add_argument("--faults-seed", type=int, default=7)
+    chaos.add_argument("--max-restarts", type=int, default=8,
+                       help="resume attempts before declaring the "
+                            "schedule unrecoverable (default 8)")
+    chaos.add_argument("--chunk-timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-chunk timeout passed through to the "
+                            "campaigns (exercises the requeue path for "
+                            "hang faults longer than it)")
+    chaos.add_argument("--keep", action="store_true",
+                       help="keep the scratch stores and ledger for "
+                            "post-mortem instead of deleting them")
+
+
+def _campaign_argv(args, store: Path) -> list[str]:
+    argv = [
+        sys.executable, "-m", "repro", "campaign",
+        "--runs", str(args.runs),
+        "--events", str(args.events),
+        "--seed", str(args.seed),
+        "--workers", str(args.workers),
+        "--heartbeat", "0",
+        "--runs-dir", str(store),
+    ]
+    if args.chunk_timeout is not None:
+        argv += ["--chunk-timeout", str(args.chunk_timeout)]
+    return argv
+
+
+def _scrubbed_env() -> dict:
+    """A child environment with no inherited fault activation and the
+    library importable whether or not it is pip-installed."""
+    env = dict(os.environ)
+    for var in (ENV_SPEC, ENV_SEED, ENV_LEDGER, ENV_HOST_PID):
+        env.pop(var, None)
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parent.parent)
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+def _run(argv: list[str], env: dict) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        argv, env=env, capture_output=True, text=True,
+        timeout=_SUBPROCESS_TIMEOUT_S,
+    )
+
+
+def _report_lines(stdout: str) -> list[str]:
+    """The comparable statistics lines: everything except the run-store
+    chatter (run ids differ between invocations by construction)."""
+    return [line for line in stdout.splitlines()
+            if line.strip() and not line.startswith("[repro")]
+
+
+def _resume_id(store: Path) -> str | None:
+    """Newest interrupted campaign run in the store, if any."""
+    from repro.runs import RunStore
+
+    for manifest in RunStore(store).list_runs():
+        if manifest.command == "campaign" and manifest.status != "completed":
+            return manifest.run_id
+    return None
+
+
+def run_chaos(args, out=print) -> int:
+    """Execute the clean-vs-faulted comparison; returns an exit code."""
+    try:
+        FaultPlan.parse(args.inject_faults)  # fail fast on a bad spec
+    except FaultSpecError as exc:
+        out(f"repro chaos: error: bad fault spec: {exc}")
+        return 2
+
+    work = Path(tempfile.mkdtemp(prefix="repro-chaos-"))
+    clean_store = work / "clean-store"
+    chaos_store = work / "chaos-store"
+    ledger = work / "faults-ledger.jsonl"
+    env = _scrubbed_env()
+    try:
+        out(f"[repro chaos] schedule: {args.inject_faults}")
+        out(f"[repro chaos] scratch dir: {work}")
+
+        clean = _run(_campaign_argv(args, clean_store), env)
+        if clean.returncode != 0:
+            out("[repro chaos] FAIL: the clean (fault-free) campaign "
+                f"exited {clean.returncode}")
+            out(clean.stderr)
+            return 1
+
+        fault_flags = [
+            "--inject-faults", args.inject_faults,
+            "--faults-seed", str(args.faults_seed),
+            "--faults-ledger", str(ledger),
+        ]
+        restarts = 0
+        faulted = None
+        for attempt in range(args.max_restarts + 1):
+            argv = _campaign_argv(args, chaos_store) + fault_flags
+            resume = _resume_id(chaos_store)
+            if resume is not None:
+                argv += ["--resume", resume]
+            faulted = _run(argv, env)
+            if faulted.returncode == 0:
+                break
+            restarts += 1
+            out(f"[repro chaos] campaign killed (exit "
+                f"{faulted.returncode}); restart {restarts} "
+                f"{'resuming ' + resume if resume else 'fresh'}"
+                .rstrip())
+        else:
+            out(f"[repro chaos] FAIL: campaign still failing after "
+                f"{args.max_restarts} restarts")
+            if faulted is not None:
+                out(faulted.stderr)
+            return 1
+        out(f"[repro chaos] faulted campaign completed after "
+            f"{restarts} restart(s)")
+
+        # Incident accounting: the ledger is the ground truth of what was
+        # injected; the final manifest must expose the same incidents.
+        plan = FaultPlan.parse(args.inject_faults, ledger=ledger)
+        injected = plan.ledger_counts()
+        out("[repro chaos] injected incidents (ledger):")
+        for point, count in sorted(injected.items()):
+            out(f"  {point}: {count}")
+        if not injected:
+            out("[repro chaos] FAIL: the schedule injected nothing — "
+                "the run never reached its fault points")
+            return 1
+
+        from repro.runs import RunStore
+
+        final = next(
+            m for m in RunStore(chaos_store).list_runs()
+            if m.command == "campaign" and m.status == "completed"
+        )
+        problems = []
+        for point, count in injected.items():
+            seen = final.counters.get(f"fault.{point}")
+            if seen != count:
+                problems.append(
+                    f"manifest counter fault.{point} is {seen}, "
+                    f"ledger says {count}")
+        quarantined = final.counters.get("artifacts_quarantined", 0)
+        out(f"[repro chaos] final manifest: run {final.run_id}, "
+            f"{quarantined} artifact(s) quarantined")
+        torn_artifact = any(point.startswith("store.")
+                            for point in injected)
+        if torn_artifact and not quarantined:
+            problems.append(
+                "a store write was torn but nothing was quarantined")
+
+        clean_lines = _report_lines(clean.stdout)
+        fault_lines = _report_lines(faulted.stdout)
+        if clean_lines != fault_lines:
+            problems.append("faulted statistics differ from the clean run")
+            for a, b in zip(clean_lines, fault_lines):
+                if a != b:
+                    out(f"  clean:   {a}")
+                    out(f"  faulted: {b}")
+            if len(clean_lines) != len(fault_lines):
+                out(f"  ({len(clean_lines)} clean lines vs "
+                    f"{len(fault_lines)} faulted)")
+
+        if problems:
+            for problem in problems:
+                out(f"[repro chaos] FAIL: {problem}")
+            return 1
+        out(f"[repro chaos] PASS: {sum(injected.values())} injected "
+            f"fault(s) across {len(injected)} point(s), "
+            f"{restarts} restart(s), statistics bit-identical to the "
+            "clean run")
+        return 0
+    finally:
+        if args.keep:
+            out(f"[repro chaos] kept scratch dir {work}")
+        else:
+            shutil.rmtree(work, ignore_errors=True)
+
+
+def cmd_chaos(args) -> int:
+    """Dispatch ``repro chaos``; returns a process exit code."""
+    return run_chaos(args)

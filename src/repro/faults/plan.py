@@ -1,0 +1,288 @@
+"""Deterministic fault plans: which named fault points fire, and how.
+
+A :class:`FaultPlan` is parsed from a compact spec string (CLI
+``--inject-faults`` or the ``REPRO_FAULTS`` environment variable)::
+
+    SPEC  := RULE (';' RULE)*
+    RULE  := POINT (':' PARAM (',' PARAM)*)?
+    PARAM := KEY '=' VALUE
+
+``POINT`` is a dotted fault-point name exactly as it appears at the call
+site (``store.save_cell.pre_rename``, ``pool.worker.crash``, ...).  The
+per-rule parameters:
+
+========  ==============================================================
+``mode``  ``raise`` (default) | ``exit`` | ``torn`` | ``corrupt`` | ``hang``
+``p``     activation probability per eligible hit (default 1.0)
+``times`` total activation budget (default 1; ``inf`` removes the cap)
+``after`` skip the first N hits of the point (default 0)
+``s``     sleep seconds for ``hang`` faults (default 0.2)
+``host``  1 allows destructive modes in the host process (default 0)
+``then``  for ``torn``: ``exit`` (default) | ``raise`` | ``none``
+========  ==============================================================
+
+Every probabilistic decision is a pure function of ``(seed, point,
+hit index)`` — a SHA-256 draw, no RNG state — so a chaos run with the
+same spec and seed is replayable.  When a *ledger* path is configured,
+``times`` budgets are counted across processes (and across crash-restart
+cycles) by appending one fsync'd JSON line per activation; without a
+ledger, budgets are per-process.
+
+The plan travels to worker processes and CLI subprocesses through the
+environment (:meth:`FaultPlan.environ`): spec, seed, ledger path and the
+host pid, so a forked or spawned worker reconstructs the identical plan
+and knows it is *not* the host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from hashlib import sha256
+from pathlib import Path
+
+__all__ = [
+    "ENV_HOST_PID",
+    "ENV_LEDGER",
+    "ENV_SEED",
+    "ENV_SPEC",
+    "FaultPlan",
+    "FaultRule",
+    "FaultSpecError",
+    "MODES",
+    "unit_draw",
+]
+
+ENV_SPEC = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULTS_SEED"
+ENV_LEDGER = "REPRO_FAULTS_LEDGER"
+ENV_HOST_PID = "REPRO_FAULTS_HOST_PID"
+
+#: Recognized fault actions (see :mod:`repro.faults.points`).
+MODES = ("raise", "exit", "torn", "corrupt", "hang")
+
+#: Recognized ``then=`` follow-ups for ``torn`` faults.
+TORN_THEN = ("exit", "raise", "none")
+
+
+class FaultSpecError(ValueError):
+    """A ``--inject-faults`` / ``REPRO_FAULTS`` spec failed to parse."""
+
+
+def unit_draw(seed: int, name: str, index: int) -> float:
+    """Deterministic uniform draw in [0, 1) from (seed, name, index).
+
+    Stateless — the same triple yields the same value in every process,
+    which is what makes probabilistic fault schedules replayable.
+    """
+    digest = sha256(f"{seed}:{name}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass
+class FaultRule:
+    """One parsed rule of a fault plan, plus its per-process counters."""
+
+    point: str
+    mode: str = "raise"
+    p: float = 1.0
+    #: total activation budget; None means unbounded
+    times: int | None = 1
+    #: eligible hits to skip before the rule may fire
+    after: int = 0
+    #: sleep duration for ``hang`` faults
+    delay_s: float = 0.2
+    #: allow destructive modes (exit / torn-exit) in the host process
+    host: bool = False
+    #: what a ``torn`` fault does after writing the partial data
+    then: str = "exit"
+    #: per-process hit counter (every faultpoint() call for this point)
+    hits: int = field(default=0, compare=False)
+    #: per-process activation counter (ledger-free budget accounting)
+    fired: int = field(default=0, compare=False)
+
+    def destructive(self) -> bool:
+        """True when firing can kill the current process."""
+        return self.mode == "exit" or (
+            self.mode == "torn" and self.then == "exit"
+        )
+
+
+def _parse_rule(text: str) -> FaultRule:
+    point, _, params = text.partition(":")
+    point = point.strip()
+    if not point:
+        raise FaultSpecError(f"empty fault-point name in {text!r}")
+    rule = FaultRule(point=point)
+    if not params:
+        return rule
+    for param in params.split(","):
+        key, sep, value = param.partition("=")
+        key, value = key.strip(), value.strip()
+        if not sep or not value:
+            raise FaultSpecError(
+                f"{point}: parameter {param!r} is not KEY=VALUE")
+        try:
+            if key == "mode":
+                if value not in MODES:
+                    raise FaultSpecError(
+                        f"{point}: unknown mode {value!r} "
+                        f"(expected one of {', '.join(MODES)})")
+                rule.mode = value
+            elif key == "p":
+                rule.p = float(value)
+                if not 0.0 <= rule.p <= 1.0:
+                    raise FaultSpecError(f"{point}: p must be in [0, 1]")
+            elif key == "times":
+                rule.times = None if value == "inf" else int(value)
+                if rule.times is not None and rule.times < 1:
+                    raise FaultSpecError(f"{point}: times must be >= 1")
+            elif key == "after":
+                rule.after = int(value)
+                if rule.after < 0:
+                    raise FaultSpecError(f"{point}: after must be >= 0")
+            elif key == "s":
+                rule.delay_s = float(value)
+                if rule.delay_s < 0:
+                    raise FaultSpecError(f"{point}: s must be >= 0")
+            elif key == "host":
+                rule.host = value not in ("0", "false", "no")
+            elif key == "then":
+                if value not in TORN_THEN:
+                    raise FaultSpecError(
+                        f"{point}: unknown then={value!r} "
+                        f"(expected one of {', '.join(TORN_THEN)})")
+                rule.then = value
+            else:
+                raise FaultSpecError(
+                    f"{point}: unknown parameter {key!r}")
+        except ValueError as exc:
+            if isinstance(exc, FaultSpecError):
+                raise
+            raise FaultSpecError(
+                f"{point}: bad value for {key!r} ({value!r})") from None
+    return rule
+
+
+class FaultPlan:
+    """A parsed, seeded fault schedule shared by every layer of the stack."""
+
+    def __init__(
+        self,
+        rules: list[FaultRule],
+        *,
+        seed: int = 0,
+        ledger: str | os.PathLike | None = None,
+        spec: str = "",
+        host_pid: int | None = None,
+    ) -> None:
+        self.rules: dict[str, FaultRule] = {}
+        for rule in rules:
+            if rule.point in self.rules:
+                raise FaultSpecError(
+                    f"fault point {rule.point!r} appears twice in the spec")
+            self.rules[rule.point] = rule
+        self.seed = int(seed)
+        self.ledger = Path(ledger) if ledger is not None else None
+        self.spec = spec or ";".join(self.rules)
+        self.host_pid = int(host_pid) if host_pid is not None else os.getpid()
+        if self.ledger is not None:
+            self.ledger.parent.mkdir(parents=True, exist_ok=True)
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        *,
+        seed: int = 0,
+        ledger: str | os.PathLike | None = None,
+        host_pid: int | None = None,
+    ) -> FaultPlan:
+        """Build a plan from a spec string; raises :class:`FaultSpecError`."""
+        rules = [
+            _parse_rule(part)
+            for part in spec.split(";")
+            if part.strip()
+        ]
+        if not rules:
+            raise FaultSpecError(f"fault spec {spec!r} contains no rules")
+        return cls(rules, seed=seed, ledger=ledger, spec=spec,
+                   host_pid=host_pid)
+
+    @classmethod
+    def from_env(cls, environ=None) -> FaultPlan | None:
+        """The plan the environment describes, or None when faults are off.
+
+        A spawned worker or a ``--resume`` CLI invocation reconstructs the
+        exact plan of the originating process: same spec, same seed, same
+        ledger — and the originating host pid, so destructive faults stay
+        confined to worker processes unless a rule says ``host=1``.
+        """
+        environ = environ if environ is not None else os.environ
+        spec = environ.get(ENV_SPEC)
+        if not spec:
+            return None
+        host_pid = environ.get(ENV_HOST_PID)
+        return cls.parse(
+            spec,
+            seed=int(environ.get(ENV_SEED, "0")),
+            ledger=environ.get(ENV_LEDGER) or None,
+            host_pid=int(host_pid) if host_pid else None,
+        )
+
+    def environ(self) -> dict[str, str]:
+        """Environment variables that let child processes rebuild the plan."""
+        env = {ENV_SPEC: self.spec, ENV_SEED: str(self.seed),
+               ENV_HOST_PID: str(self.host_pid)}
+        if self.ledger is not None:
+            env[ENV_LEDGER] = str(self.ledger)
+        return env
+
+    def rule_for(self, point: str) -> FaultRule | None:
+        return self.rules.get(point)
+
+    # -- cross-process activation ledger --------------------------------------
+    def ledger_record(self, point: str) -> None:
+        """Append one activation, fsync'd *before* any destructive action.
+
+        Concurrent workers may interleave appends; each line is written in
+        a single ``os.write``, so lines stay whole.  Budget checks under
+        concurrency are therefore best-effort — two workers racing the
+        same last budget slot may both fire — which is exactly the
+        at-least-once semantics chaos schedules want.
+        """
+        if self.ledger is None:
+            return
+        line = json.dumps({"point": point, "pid": os.getpid(),
+                           "t": time.time()}) + "\n"
+        fd = os.open(self.ledger, os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                     0o644)
+        try:
+            os.write(fd, line.encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def ledger_counts(self) -> dict[str, int]:
+        """Activations per point recorded so far (all processes)."""
+        counts: dict[str, int] = {}
+        if self.ledger is None or not self.ledger.exists():
+            return counts
+        try:
+            lines = self.ledger.read_text().splitlines()
+        except OSError:
+            return counts
+        for line in lines:
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn final line after a kill
+            point = entry.get("point") if isinstance(entry, dict) else None
+            if isinstance(point, str):
+                counts[point] = counts.get(point, 0) + 1
+        return counts
+
+    def ledger_count(self, point: str) -> int:
+        return self.ledger_counts().get(point, 0)

@@ -32,7 +32,12 @@ from repro.obs.spans import (
     slowest_spans,
     stage_totals,
 )
-from repro.obs.trace import TraceCorrupt, read_trace, write_trace
+from repro.obs.trace import (
+    TraceCorrupt,
+    read_trace,
+    read_trace_tolerant,
+    write_trace,
+)
 
 __all__ = [
     "Heartbeat",
@@ -41,6 +46,7 @@ __all__ = [
     "Tracer",
     "counter_totals",
     "read_trace",
+    "read_trace_tolerant",
     "render_slowest",
     "render_trace_tree",
     "slowest_spans",

@@ -78,15 +78,20 @@ class Heartbeat:
 
     # -- formatting -----------------------------------------------------------
     def _emit(self, now: float, final: bool) -> None:
-        elapsed = max(now - self._started, 1e-9)
+        # Guard the zero-progress edges explicitly: a first emission with
+        # done == 0 (no ETA possible) or a zero-resolution clock (elapsed
+        # == 0, no rate possible) must degrade to fewer parts, not raise.
+        elapsed = now - self._started
         parts = [f"{self._done}"]
         if self.total:
             parts[0] += f"/{self.total}"
         parts[0] += f" {self.unit}"
         if self._events:
             parts.append(f"{self._events:,} events")
-            parts.append(f"{self._events / elapsed:,.0f} events/s")
-        if self.total and 0 < self._done < self.total and not final:
+            if elapsed > 0:
+                parts.append(f"{self._events / elapsed:,.0f} events/s")
+        if self.total and 0 < self._done < self.total and not final \
+                and elapsed > 0:
             remaining = (self.total - self._done) * (elapsed / self._done)
             parts.append(f"ETA {remaining:.0f}s")
         if final:

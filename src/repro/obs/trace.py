@@ -18,7 +18,8 @@ from pathlib import Path
 
 from repro.obs.spans import SpanRecord
 
-__all__ = ["TraceCorrupt", "write_trace", "read_trace", "TRACE_SCHEMA"]
+__all__ = ["TraceCorrupt", "write_trace", "read_trace",
+           "read_trace_tolerant", "TRACE_SCHEMA"]
 
 #: Trace artifact schema version, bumped on incompatible format changes.
 TRACE_SCHEMA = 1
@@ -77,3 +78,44 @@ def read_trace(path: str | os.PathLike) -> tuple[dict, list[SpanRecord]]:
     except (KeyError, TypeError, ValueError) as exc:
         raise TraceCorrupt(f"{path}: bad span record ({exc})") from None
     return header, records
+
+
+def read_trace_tolerant(
+    path: str | os.PathLike,
+) -> tuple[dict, list[SpanRecord], str | None]:
+    """(header, valid-prefix records, problem) for a possibly-damaged trace.
+
+    The strict reader refuses the whole file on any damage; this one
+    salvages what a truncated or torn trace still holds: every leading
+    line that parses as a span record (after a parseable header) is
+    returned, and ``problem`` describes the damage — or is None when the
+    trace verified cleanly.  Nothing here raises :class:`TraceCorrupt`.
+    """
+    path = Path(path)
+    try:
+        return (*read_trace(path), None)
+    except TraceCorrupt as exc:
+        problem = str(exc)
+    try:
+        text = path.read_text()
+    except (OSError, UnicodeDecodeError):
+        return {}, [], problem
+    header: dict = {}
+    records: list[SpanRecord] = []
+    for index, line in enumerate(text.splitlines()):
+        try:
+            data = json.loads(line)
+        except ValueError:
+            break  # truncation point: nothing past it is trustworthy
+        if not isinstance(data, dict) or "sha256" in data:
+            break  # trailer (or garbage) ends the record prefix
+        if index == 0:
+            if data.get("kind") != "trace":
+                break
+            header = data
+            continue
+        try:
+            records.append(SpanRecord.from_dict(data))
+        except (KeyError, TypeError, ValueError):
+            break
+    return header, records, problem

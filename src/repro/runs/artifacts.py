@@ -5,8 +5,10 @@ JSON-lines document whose final line is a SHA-256 trailer over everything
 before it.  Readers verify the trailer before trusting a single byte, so a
 torn write, a truncated disk, or a flipped bit surfaces as
 :class:`ArtifactCorrupt` (and the store recomputes) instead of silently
-poisoning downstream tables.  Writes go through a temp file and
-``os.replace`` so a concurrent reader never sees a half-written artifact.
+poisoning downstream tables.  Writes go through
+:func:`repro.runs.durable.durable_write_text` — same-directory temp file,
+fsync, ``os.replace``, directory fsync — so a concurrent reader never
+sees a half-written artifact and a crash never leaves one behind.
 
 Floats round-trip exactly: ``json`` serializes via ``float.__repr__``
 (shortest round-trip representation), so a cache hit reproduces the cold
@@ -17,10 +19,10 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from pathlib import Path
 
 from repro.beam.microbenchmark import MismatchRecord
+from repro.runs.durable import durable_write_text
 from repro.errormodel.montecarlo import PatternOutcome
 from repro.errormodel.patterns import ErrorPattern
 
@@ -45,16 +47,15 @@ def canonical_json(obj) -> str:
     return json.dumps(obj, sort_keys=True, separators=(",", ":"))
 
 
-def write_jsonl_atomic(path: Path, records: list[dict]) -> None:
-    """Write records + checksum trailer, atomically (temp file + rename)."""
+def write_jsonl_atomic(path: Path, records: list[dict],
+                       *, fault_point: str | None = None) -> None:
+    """Write records + checksum trailer, atomically and durably."""
     body = "".join(canonical_json(record) + "\n" for record in records)
     trailer = canonical_json(
         {"sha256": hashlib.sha256(body.encode()).hexdigest()}
     )
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-    tmp.write_text(body + trailer + "\n")
-    os.replace(tmp, path)
+    durable_write_text(path, body + trailer + "\n", fault_point=fault_point)
 
 
 def read_jsonl(path: Path) -> list[dict]:

@@ -17,7 +17,7 @@ import json
 from datetime import datetime, timezone
 
 from repro.analysis.tables import format_table
-from repro.runs.session import CampaignCheckpoint
+from repro.runs.session import read_checkpoint
 from repro.runs.store import RunStore
 
 __all__ = ["add_runs_parser", "cmd_runs"]
@@ -125,24 +125,29 @@ def _cmd_show(store: RunStore, run_id: str) -> None:
         print("counters:")
         for name in sorted(manifest.counters):
             print(f"  {name:<24} {_fmt_counter(manifest.counters[name])}")
-    checkpoint = CampaignCheckpoint(store.checkpoint_path(run_id))
-    entries = checkpoint.completed_runs()
+    entries, torn = read_checkpoint(store.checkpoint_path(run_id))
     if entries:
+        suffix = f" ({torn} torn line{'s' * (torn != 1)})" if torn else ""
         print(f"checkpoint {len(entries)} completed "
-              f"{'cells' if entries[0].get('kind') == 'cell' else 'runs'}")
+              f"{'cells' if entries[0].get('kind') == 'cell' else 'runs'}"
+              f"{suffix}")
     if store.trace_path(run_id).exists():
         print(f"trace      stored (`repro runs trace {run_id}`)")
 
 
 def _cmd_trace(store: RunStore, run_id: str, limit: int,
                slowest: int) -> int:
-    """Render a stored trace; exit 1 when absent, 2 when corrupt."""
+    """Render a stored trace, salvaging the valid prefix when damaged.
+
+    Exit 1 when no trace exists, 0 otherwise — a truncated or torn
+    ``trace.jsonl`` (e.g. from a killed run) renders whatever prefix
+    survived, with a warning on stderr, instead of refusing outright.
+    """
     import sys
     from collections import Counter
 
     from repro.obs import (
-        TraceCorrupt,
-        read_trace,
+        read_trace_tolerant,
         render_slowest,
         render_trace_tree,
     )
@@ -153,12 +158,11 @@ def _cmd_trace(store: RunStore, run_id: str, limit: int,
         print(f"run {run_id} has no stored trace "
               "(recorded before tracing existed, or with caching off)")
         return 1
-    try:
-        _, records = read_trace(path)
-    except TraceCorrupt as exc:
-        print(f"repro: error: trace for run {run_id} is corrupt ({exc})",
-              file=sys.stderr)
-        return 2
+    _, records, problem = read_trace_tolerant(path)
+    if problem is not None:
+        print(f"repro: warning: trace for run {run_id} is damaged "
+              f"({problem}); rendering the {len(records)} spans that "
+              "survived", file=sys.stderr)
     print(f"trace of run {run_id} ({manifest.command}, "
           f"{len(records)} spans)")
     print()

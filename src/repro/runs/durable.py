@@ -1,0 +1,81 @@
+"""Crash-consistent file primitives shared by the run store and sessions.
+
+Two write disciplines cover every artifact the store produces:
+
+* :func:`durable_write_text` — the rename dance done properly: write a
+  same-directory temp file, ``flush()`` + ``os.fsync``, ``os.replace``
+  onto the final name, then fsync the directory so the rename itself
+  survives a power cut.  A crash at any instant leaves either the old
+  artifact or the new one, never a hybrid.
+* :func:`durable_append_line` — for append-only checkpoint logs, where
+  rename-replace would be quadratic: append one line, flush, fsync.  A
+  mid-append crash can still leave a torn final line, which is why every
+  checkpoint *reader* treats an unparseable tail as end-of-log.
+
+Both accept a ``fault_point`` prefix; when fault injection is active the
+``<prefix>.pre_rename`` / ``<prefix>.post_rename`` (or the bare append
+point) hooks let a chaos schedule crash a writer at the exact instants
+these disciplines are designed to survive.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.faults import faultpoint
+
+__all__ = ["durable_append_line", "durable_write_text", "fsync_dir"]
+
+
+def fsync_dir(path: Path) -> None:
+    """Flush a directory entry (the rename) to disk; best-effort on
+    filesystems that refuse O_RDONLY directory fds."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def durable_write_text(
+    path: str | os.PathLike,
+    text: str,
+    *,
+    fault_point: str | None = None,
+) -> None:
+    """Atomically and durably replace ``path`` with ``text``."""
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    with open(tmp, "w") as handle:
+        handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if fault_point is not None:
+        faultpoint(f"{fault_point}.pre_rename", path=str(path), data=text)
+    os.replace(tmp, path)
+    if fault_point is not None:
+        faultpoint(f"{fault_point}.post_rename", path=str(path))
+    fsync_dir(path.parent)
+
+
+def durable_append_line(
+    path: str | os.PathLike,
+    line: str,
+    *,
+    fault_point: str | None = None,
+) -> None:
+    """Durably append one newline-terminated line to a checkpoint log."""
+    if not line.endswith("\n"):
+        line += "\n"
+    if fault_point is not None:
+        faultpoint(fault_point, path=str(path), data=line, append=True)
+    with open(path, "a") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())

@@ -12,12 +12,13 @@ record, and once with its final status and counters at the end.
 from __future__ import annotations
 
 import json
-import os
 import secrets
 import subprocess
 import time
 from dataclasses import asdict, dataclass, field, fields
 from pathlib import Path
+
+from repro.runs.durable import durable_write_text
 
 __all__ = ["RunManifest", "new_run_id", "git_commit"]
 
@@ -93,11 +94,12 @@ class RunManifest:
         return cls(**data)
 
     def save(self, path: Path) -> None:
-        """Atomic write (temp file + rename)."""
+        """Atomic, durable write (temp file + fsync + rename)."""
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-        tmp.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n")
-        os.replace(tmp, path)
+        durable_write_text(
+            path, json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            fault_point="store.manifest",
+        )
 
     @classmethod
     def load(cls, path: Path) -> RunManifest:

@@ -24,17 +24,42 @@ import time
 from contextlib import contextmanager
 
 import repro
+from repro import faults
 from repro.errormodel.montecarlo import PatternOutcome
 from repro.errormodel.patterns import ErrorPattern
 from repro.obs import Tracer, counter_totals, write_trace
 from repro.runs.artifacts import canonical_json
+from repro.runs.durable import durable_append_line
 from repro.runs.fingerprint import code_fingerprint
 from repro.runs.manifest import RunManifest, git_commit, new_run_id
 from repro.runs.store import RunStore
 
 _LOGGER = logging.getLogger(__name__)
 
-__all__ = ["CellCache", "RunSession", "CampaignCheckpoint"]
+__all__ = ["CellCache", "RunSession", "CampaignCheckpoint",
+           "read_checkpoint"]
+
+
+def read_checkpoint(path) -> tuple[list[dict], int]:
+    """(parsed entries, torn-line count) of a checkpoint log.
+
+    Checkpoints are fsync'd line appends, so the only damage a crash can
+    inflict is a torn *final* line; any unparseable line is treated as
+    end-of-write garbage and counted, never raised.
+    """
+    import json
+
+    if not path.exists():
+        return [], 0
+    entries, torn = [], 0
+    for line in path.read_text().splitlines():
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except ValueError:
+            torn += 1
+    return entries, torn
 
 
 class CellCache:
@@ -85,15 +110,14 @@ class CellCache:
         self.store.save_cell(key, outcome)
         if self.checkpoint_path is not None:
             self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.checkpoint_path, "a") as handle:
-                handle.write(canonical_json({
-                    "kind": "cell",
-                    "key": key,
-                    "scheme": scheme,
-                    "pattern": pattern.name,
-                    "elapsed_s": outcome.elapsed_s,
-                    "t": time.time(),
-                }) + "\n")
+            durable_append_line(self.checkpoint_path, canonical_json({
+                "kind": "cell",
+                "key": key,
+                "scheme": scheme,
+                "pattern": pattern.name,
+                "elapsed_s": outcome.elapsed_s,
+                "t": time.time(),
+            }), fault_point="checkpoint.torn_write")
 
 
 class CampaignCheckpoint:
@@ -111,27 +135,17 @@ class CampaignCheckpoint:
 
     def record_run(self, run_index: int, records, clock) -> None:
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with open(self.path, "a") as handle:
-            handle.write(canonical_json({
-                "kind": "campaign-run",
-                "run": run_index,
-                "records": len(records),
-                "elapsed_s": clock.elapsed_s,
-                "fluence": clock.fluence,
-                "t": time.time(),
-            }) + "\n")
+        durable_append_line(self.path, canonical_json({
+            "kind": "campaign-run",
+            "run": run_index,
+            "records": len(records),
+            "elapsed_s": clock.elapsed_s,
+            "fluence": clock.fluence,
+            "t": time.time(),
+        }), fault_point="checkpoint.torn_write")
 
     def completed_runs(self) -> list[dict]:
-        import json
-
-        if not self.path.exists():
-            return []
-        entries = []
-        for line in self.path.read_text().splitlines():
-            try:
-                entries.append(json.loads(line))
-            except ValueError:
-                continue  # torn final line after a kill
+        entries, _ = read_checkpoint(self.path)
         return entries
 
 
@@ -234,6 +248,14 @@ class RunSession:
         self.manifest.cache_hits = self.cell_cache.hits
         self.manifest.cache_misses = self.cell_cache.misses
         self._export_trace()
+        # Robustness incidents become manifest counters: every injected
+        # fault (ledger-aware, so crashes of *predecessor* processes under
+        # --resume still show) and every artifact quarantined this run.
+        self.manifest.counters.update(faults.counters())
+        if self.store.quarantined:
+            self.manifest.counters["artifacts_quarantined"] = (
+                self.store.quarantined
+            )
         self.manifest.save(self.store.manifest_path(self.run_id))
 
     def _export_trace(self) -> None:

@@ -16,8 +16,11 @@ Exhaustive cells normalize ``samples``/``seed`` to ``None``: their outcome
 cannot depend on either, so ``repro evaluate --samples 500`` and ``repro
 fig8 --samples 2000`` share the same artifact.
 
-Corrupt artifacts (failed checksum, bad structure) are deleted on load and
-reported as misses, so the caller transparently recomputes them.
+Corrupt artifacts (failed checksum, bad structure) are *quarantined* on
+load — moved to ``quarantine/`` for post-mortem, never silently reused —
+and reported as misses, so the caller transparently recomputes them.
+Saves go through fsync'd atomic writes (:mod:`repro.runs.durable`), so a
+crash mid-save never leaves a half-written artifact under its key.
 """
 
 from __future__ import annotations
@@ -94,10 +97,15 @@ class RunStore:
 
     def __init__(self, root: str | os.PathLike | None = None) -> None:
         self.root = resolve_root(root)
+        #: corrupt artifacts moved aside by this store instance
+        self.quarantined = 0
 
     # -- paths ----------------------------------------------------------------
     def cell_path(self, key: str) -> Path:
         return self.root / "cells" / key[:2] / f"{key}.jsonl"
+
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
 
     def campaign_path(self, key: str) -> Path:
         return self.root / "campaigns" / key[:2] / f"{key}.jsonl"
@@ -155,9 +163,30 @@ class RunStore:
             "code": fingerprint,
         })
 
+    # -- quarantine -----------------------------------------------------------
+    def _quarantine(self, path: Path, exc: Exception) -> None:
+        """Move a corrupt artifact aside for post-mortem instead of
+        deleting it; the caller recomputes and overwrites cleanly."""
+        dest_dir = self.quarantine_dir()
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = dest_dir / path.name
+        suffix = 0
+        while dest.exists():
+            suffix += 1
+            dest = dest_dir / f"{path.name}.{suffix}"
+        try:
+            os.replace(path, dest)
+        except OSError:
+            path.unlink(missing_ok=True)  # cross-device edge; still a miss
+        self.quarantined += 1
+        _LOGGER.warning(
+            "quarantined corrupt artifact %s -> %s (%s); it will be "
+            "recomputed", path.name, dest, exc,
+        )
+
     # -- cell artifacts -------------------------------------------------------
     def load_cell(self, key: str) -> PatternOutcome | None:
-        """Cached outcome for a key, or None (missing / corrupt-and-purged)."""
+        """Cached outcome for a key, or None (missing / quarantined)."""
         path = self.cell_path(key)
         if not path.exists():
             return None
@@ -167,18 +196,14 @@ class RunStore:
                 raise ArtifactCorrupt(f"{path}: not a cell artifact")
             return outcome_from_record(record)
         except (ArtifactCorrupt, ValueError, KeyError, TypeError) as exc:
-            _LOGGER.warning(
-                "discarding corrupt cell artifact %s (%s); it will be "
-                "recomputed", path.name, exc,
-            )
-            path.unlink(missing_ok=True)
+            self._quarantine(path, exc)
             return None
 
     def save_cell(self, key: str, outcome: PatternOutcome) -> None:
         write_jsonl_atomic(self.cell_path(key), [
             {"schema": _SCHEMA, "kind": "cell", "key": key},
             outcome_to_record(outcome),
-        ])
+        ], fault_point="store.save_cell")
 
     # -- campaign artifacts ---------------------------------------------------
     def load_campaign(self, key: str) -> tuple[dict, list[dict]] | None:
@@ -192,11 +217,7 @@ class RunStore:
                 raise ArtifactCorrupt(f"{path}: not a campaign artifact")
             return meta, records
         except (ArtifactCorrupt, ValueError, KeyError, TypeError) as exc:
-            _LOGGER.warning(
-                "discarding corrupt campaign artifact %s (%s); it will be "
-                "recomputed", path.name, exc,
-            )
-            path.unlink(missing_ok=True)
+            self._quarantine(path, exc)
             return None
 
     def save_campaign(self, key: str, meta: dict,
@@ -205,7 +226,7 @@ class RunStore:
             {"schema": _SCHEMA, "kind": "campaign", "key": key},
             meta,
             *records,
-        ])
+        ], fault_point="store.save_campaign")
 
     # -- runs -----------------------------------------------------------------
     def list_runs(self) -> list[RunManifest]:
@@ -285,13 +306,18 @@ class RunStore:
         cutoff = time.time() - days * 86400.0
         protected_runs, protected_keys = self._gc_protected()
         artifacts = runs = freed = protected = 0
-        for bucket in ("cells", "campaigns"):
+        for bucket in ("cells", "campaigns", "quarantine"):
             base = self.root / bucket
             if not base.is_dir():
                 continue
-            for path in base.rglob("*.jsonl"):
+            # quarantined copies may carry a .N collision suffix, so match
+            # any file there; live buckets stay strict.
+            pattern = "*" if bucket == "quarantine" else "*.jsonl"
+            for path in base.rglob(pattern):
+                if not path.is_file():
+                    continue
                 if path.stat().st_mtime <= cutoff:
-                    if path.stem in protected_keys:
+                    if bucket != "quarantine" and path.stem in protected_keys:
                         protected += 1
                         continue
                     artifacts += 1

@@ -1,0 +1,18 @@
+"""Shared fixtures: every faults test runs with a clean injection state."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def clean_fault_state(monkeypatch):
+    """No plan active, no incidents, no inherited fault environment —
+    before and after every test in this package."""
+    for var in (faults.ENV_SPEC, faults.ENV_SEED, faults.ENV_LEDGER,
+                faults.ENV_HOST_PID):
+        monkeypatch.delenv(var, raising=False)
+    faults.reset()
+    yield
+    faults.uninstall(scrub_env=False)
+    faults.reset()

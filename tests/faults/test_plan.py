@@ -1,0 +1,132 @@
+"""FaultPlan spec grammar, deterministic draws, budgets and the ledger."""
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, FaultSpecError, unit_draw
+
+
+class TestSpecGrammar:
+    def test_bare_point_defaults(self):
+        plan = FaultPlan.parse("store.save_cell.pre_rename")
+        rule = plan.rule_for("store.save_cell.pre_rename")
+        assert (rule.mode, rule.p, rule.times, rule.after) == \
+            ("raise", 1.0, 1, 0)
+
+    def test_full_parameterization(self):
+        plan = FaultPlan.parse(
+            "pool.worker.crash:mode=exit,p=0.5,times=3,after=2,host=1;"
+            "engine.chunk.hang:mode=hang,s=0.01;"
+            "checkpoint.torn_write:mode=torn,then=raise",
+        )
+        crash = plan.rule_for("pool.worker.crash")
+        assert (crash.mode, crash.p, crash.times, crash.after, crash.host) \
+            == ("exit", 0.5, 3, 2, True)
+        assert plan.rule_for("engine.chunk.hang").delay_s == 0.01
+        assert plan.rule_for("checkpoint.torn_write").then == "raise"
+        assert plan.rule_for("unknown.point") is None
+
+    def test_times_inf_means_unbounded(self):
+        plan = FaultPlan.parse("a.b:times=inf")
+        assert plan.rule_for("a.b").times is None
+
+    @pytest.mark.parametrize("spec", [
+        "",
+        ";;",
+        "point:mode=nuke",
+        "point:p=1.5",
+        "point:times=0",
+        "point:after=-1",
+        "point:s=-0.1",
+        "point:then=later",
+        "point:bogus=1",
+        "point:p",
+        "point:p=",
+        "a.b;a.b",  # duplicate point
+    ])
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_destructive_classification(self):
+        plan = FaultPlan.parse(
+            "a:mode=exit;b:mode=torn;c:mode=torn,then=raise;d:mode=raise")
+        assert plan.rule_for("a").destructive()
+        assert plan.rule_for("b").destructive()  # torn defaults then=exit
+        assert not plan.rule_for("c").destructive()
+        assert not plan.rule_for("d").destructive()
+
+
+class TestDeterminism:
+    def test_unit_draw_is_a_pure_function(self):
+        assert unit_draw(7, "pool.worker.crash", 3) == \
+            unit_draw(7, "pool.worker.crash", 3)
+        assert 0.0 <= unit_draw(7, "pool.worker.crash", 3) < 1.0
+
+    def test_unit_draw_varies_with_every_input(self):
+        base = unit_draw(7, "a", 1)
+        assert unit_draw(8, "a", 1) != base
+        assert unit_draw(7, "b", 1) != base
+        assert unit_draw(7, "a", 2) != base
+
+
+class TestEnvironmentRoundTrip:
+    def test_environ_rebuilds_the_identical_plan(self, tmp_path):
+        plan = FaultPlan.parse(
+            "pool.worker.crash:mode=exit,times=2", seed=42,
+            ledger=tmp_path / "ledger.jsonl", host_pid=1234,
+        )
+        rebuilt = FaultPlan.from_env(plan.environ())
+        assert rebuilt.spec == plan.spec
+        assert rebuilt.seed == 42
+        assert rebuilt.ledger == plan.ledger
+        assert rebuilt.host_pid == 1234
+        assert rebuilt.rule_for("pool.worker.crash").times == 2
+
+    def test_from_env_is_none_without_a_spec(self):
+        assert FaultPlan.from_env({}) is None
+
+    def test_install_exports_and_uninstall_scrubs(self, tmp_path):
+        import os
+
+        plan = FaultPlan.parse("a.b", ledger=tmp_path / "ledger.jsonl")
+        faults.install(plan)
+        assert os.environ[faults.ENV_SPEC] == "a.b"
+        assert os.environ[faults.ENV_LEDGER] == str(tmp_path / "ledger.jsonl")
+        assert faults.active_plan() is plan
+        faults.uninstall()
+        assert faults.ENV_SPEC not in os.environ
+        assert faults.active_plan() is None
+
+    def test_active_plan_resolves_the_environment_lazily(self, monkeypatch):
+        monkeypatch.setenv(faults.ENV_SPEC, "x.y:mode=hang,s=0")
+        monkeypatch.setenv(faults.ENV_SEED, "9")
+        faults.reset()
+        plan = faults.active_plan()
+        assert plan is not None and plan.seed == 9
+        assert faults.active_plan() is plan  # resolved exactly once
+
+
+class TestLedger:
+    def test_counts_accumulate_across_plan_instances(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        first = FaultPlan.parse("a.b:times=2", ledger=ledger)
+        first.ledger_record("a.b")
+        # A "restarted process" builds a fresh plan over the same file.
+        second = FaultPlan.parse("a.b:times=2", ledger=ledger)
+        second.ledger_record("a.b")
+        assert second.ledger_count("a.b") == 2
+        assert first.ledger_counts() == {"a.b": 2}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        ledger = tmp_path / "ledger.jsonl"
+        plan = FaultPlan.parse("a.b", ledger=ledger)
+        plan.ledger_record("a.b")
+        with open(ledger, "a") as handle:
+            handle.write('{"point": "a.')  # killed mid-append
+        assert plan.ledger_counts() == {"a.b": 1}
+
+    def test_no_ledger_is_a_noop(self):
+        plan = FaultPlan.parse("a.b")
+        plan.ledger_record("a.b")
+        assert plan.ledger_counts() == {}

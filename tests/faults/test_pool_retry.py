@@ -1,0 +1,212 @@
+"""Retry budgets, backoff schedules, and poison-job quarantine."""
+
+import logging
+
+import pytest
+
+from repro.core.pool import (
+    BrokenExecutor,
+    PoisonedJobs,
+    RetryPolicy,
+    run_with_requeue,
+)
+
+JOBS = ["a", "b", "c"]
+
+#: Deterministic policy for schedule assertions: no jitter, no cap bite.
+FIXED = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                    backoff_max_s=10.0, jitter=0.0)
+
+
+class _Future:
+    def __init__(self, outcome):
+        self.outcome = outcome
+
+    def result(self, timeout=None):
+        if isinstance(self.outcome, BaseException):
+            raise self.outcome
+        return self.outcome
+
+    def cancel(self):
+        pass
+
+
+class _ScriptedPool:
+    def __init__(self, outcome_for):
+        self.outcome_for = outcome_for
+
+    def submit(self, fn, job):
+        return _Future(self.outcome_for(job))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+def _run(factory, *, jobs=JOBS, workers=4, retry=None, run_serial=None,
+         sleep=None, jitter_draw=None, allow_poisoned=False):
+    naps = []
+    return (*run_with_requeue(
+        jobs,
+        key=lambda job: job,
+        describe=lambda job: f"job {job}",
+        submit=lambda pool, job: pool.submit(None, job),
+        run_serial=run_serial or (lambda job: f"serial:{job}"),
+        workers=workers,
+        executor_factory=factory,
+        noun="jobs",
+        retry=retry or FIXED,
+        allow_poisoned=allow_poisoned,
+        sleep=sleep if sleep is not None else naps.append,
+        jitter_draw=jitter_draw or (lambda: 0.0),
+    ), naps)
+
+
+class TestBackoffMath:
+    def test_exponential_growth_with_a_cap(self):
+        policy = RetryPolicy(backoff_base_s=0.05, backoff_factor=2.0,
+                             backoff_max_s=0.15, jitter=0.0)
+        assert [policy.backoff_s(n) for n in (1, 2, 3, 4)] == \
+            [0.05, 0.1, 0.15, 0.15]
+
+    def test_jitter_subtracts_so_the_cap_holds(self):
+        policy = RetryPolicy(backoff_base_s=1.0, backoff_max_s=1.0,
+                             jitter=0.25)
+        assert policy.backoff_s(1, 0.0) == 1.0
+        assert policy.backoff_s(1, 1.0) == 0.75
+        assert all(policy.backoff_s(1, u / 10) <= 1.0 for u in range(10))
+
+
+class TestWorkerExceptions:
+    def test_pool_exception_is_requeued_then_completes_serially(self, caplog):
+        def factory():
+            return _ScriptedPool(
+                lambda job: ValueError("boom") if job == "b"
+                else f"pool:{job}")
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.pool"):
+            results, report, _ = _run(factory)
+        assert results["b"] == "serial:b"
+        assert report.job_errors == 2  # one incident per pool attempt
+        assert report.requeued_keys == {"b"}
+        assert report.counters()["pool_job_errors"] == 2
+        assert any("failed on the pool" in r.message for r in caplog.records)
+
+    def test_backoff_slept_between_pool_attempts(self):
+        def factory():
+            return _ScriptedPool(
+                lambda job: ValueError("boom") if job == "b"
+                else f"pool:{job}")
+
+        _, _, naps = _run(factory)
+        # One backoff after pool attempt 1; none after the final attempt.
+        assert naps == [0.1]
+
+    def test_jitter_draw_shapes_the_delay(self):
+        def factory():
+            return _ScriptedPool(lambda job: ValueError("boom"))
+
+        retry = RetryPolicy(backoff_base_s=0.1, backoff_factor=2.0,
+                            backoff_max_s=10.0, jitter=0.5)
+        _, _, naps = _run(factory, retry=retry, jitter_draw=lambda: 1.0)
+        assert naps[0] == pytest.approx(0.05)  # 0.1 * (1 - 0.5)
+
+
+class TestPoisonJobs:
+    @staticmethod
+    def _always_broken(job):
+        raise RuntimeError(f"cursed {job}")
+
+    def test_exhausting_every_tier_raises_poisoned_jobs(self, caplog):
+        def factory():
+            return _ScriptedPool(
+                lambda job: ValueError("boom") if job == "b"
+                else f"pool:{job}")
+
+        def serial(job):
+            if job == "b":
+                raise RuntimeError("cursed b")
+            return f"serial:{job}"
+
+        with caplog.at_level(logging.ERROR, logger="repro.core.pool"):
+            with pytest.raises(PoisonedJobs) as excinfo:
+                _run(factory, run_serial=serial)
+        exc = excinfo.value
+        assert exc.poisoned == {"b": "RuntimeError: cursed b"}
+        assert exc.results == {"a": "pool:a", "c": "pool:c"}
+        assert exc.report.poisoned == exc.poisoned
+        assert "quarantined" in str(exc)
+        assert any("poison job" in r.message for r in caplog.records)
+
+    def test_allow_poisoned_returns_partial_results(self):
+        def factory():
+            return _ScriptedPool(
+                lambda job: ValueError("boom") if job == "b"
+                else f"pool:{job}")
+
+        def serial(job):
+            if job == "b":
+                raise RuntimeError("cursed b")
+            return f"serial:{job}"
+
+        results, report, _ = _run(factory, run_serial=serial,
+                                  allow_poisoned=True)
+        assert "b" not in results
+        assert report.counters()["pool_poisoned"] == 1
+        assert report.poisoned["b"] == "RuntimeError: cursed b"
+
+    def test_serial_retry_budget_is_honored(self):
+        tries = []
+
+        def factory():
+            return _ScriptedPool(lambda job: ValueError("boom"))
+
+        def serial(job):
+            tries.append(job)
+            raise RuntimeError(f"cursed {job}")
+
+        retry = RetryPolicy(backoff_base_s=0.1, jitter=0.0,
+                            serial_attempts=3)
+        with pytest.raises(PoisonedJobs):
+            _run(factory, retry=retry, run_serial=serial)
+        assert tries == ["a"] * 3 + ["b"] * 3 + ["c"] * 3
+
+    def test_serial_retry_recovers_without_quarantine(self):
+        calls = {}
+
+        def factory():
+            return _ScriptedPool(lambda job: ValueError("boom"))
+
+        def serial(job):
+            calls[job] = calls.get(job, 0) + 1
+            if calls[job] == 1:
+                raise RuntimeError("transient")
+            return f"serial:{job}"
+
+        results, report, naps = _run(factory, run_serial=serial)
+        assert results == {job: f"serial:{job}" for job in JOBS}
+        assert report.poisoned == {}
+        assert report.serial_completed == 3
+        # 1 pool backoff + 3 serial first-retry backoffs at base delay.
+        assert naps == [0.1, 0.1, 0.1, 0.1]
+
+    def test_pure_serial_failure_still_propagates(self):
+        with pytest.raises(RuntimeError, match="cursed"):
+            _run(None, workers=None, run_serial=self._always_broken)
+
+    def test_pool_start_failure_keeps_the_propagating_contract(self):
+        def factory():
+            raise OSError("no processes")
+
+        with pytest.raises(RuntimeError, match="cursed"):
+            _run(factory, run_serial=self._always_broken)
+
+
+class TestBrokenPoolBackoff:
+    def test_backoff_also_runs_between_broken_pool_attempts(self):
+        def factory():
+            return _ScriptedPool(lambda job: BrokenExecutor("dead"))
+
+        results, report, naps = _run(factory)
+        assert results == {job: f"serial:{job}" for job in JOBS}
+        assert report.pool_breaks == 2
+        assert naps == [0.1]

@@ -1,0 +1,86 @@
+"""Resume after a kill: a checkpoint cut at any byte offset must neither
+crash ``--resume`` nor change a single byte of the final statistics."""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main
+from repro.runs import RunStore
+from repro.runs.session import read_checkpoint
+
+ARGS = ["campaign", "--runs", "1", "--events", "200", "--seed", "3",
+        "--heartbeat", "0"]
+
+
+def _filtered(out: str) -> str:
+    """Campaign output minus run-id-bearing bookkeeping lines."""
+    return "\n".join(
+        line for line in out.splitlines() if not line.startswith("[repro")
+    )
+
+
+def _campaign(root, *extra, capsys) -> str:
+    assert main([*ARGS, "--runs-dir", str(root), *extra]) == 0
+    return _filtered(capsys.readouterr().out)
+
+
+@pytest.fixture(scope="module")
+def clean(tmp_path_factory):
+    """One clean reference run; its filtered stdout is the golden output."""
+    root = tmp_path_factory.mktemp("clean") / "store"
+    import contextlib
+    import io
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        assert main([*ARGS, "--runs-dir", str(root)]) == 0
+    return _filtered(stdout.getvalue())
+
+
+@pytest.mark.parametrize("fraction", [0.0, 0.1, 0.5, 0.9, 1.0])
+def test_resume_from_a_cut_checkpoint_is_bit_identical(
+        tmp_path, capsys, clean, fraction):
+    root = tmp_path / "store"
+    _campaign(root, capsys=capsys)
+    store = RunStore(root)
+    (manifest,) = store.list_runs()
+
+    # Simulate the kill the checkpoint protects against: cut its log at an
+    # arbitrary byte offset, lose the campaign artifact mid-flight, and
+    # leave the manifest in the ``running`` state an os._exit would.
+    checkpoint = store.checkpoint_path(manifest.run_id)
+    raw = checkpoint.read_bytes()
+    assert raw  # the campaign recorded progress
+    checkpoint.write_bytes(raw[: int(len(raw) * fraction)])
+    shutil.rmtree(root / "campaigns")
+    manifest_path = store.manifest_path(manifest.run_id)
+    record = json.loads(manifest_path.read_text())
+    record["status"] = "running"
+    record["finished_at"] = None
+    manifest_path.write_text(json.dumps(record))
+
+    # The damaged log parses to a valid prefix plus at most one torn line.
+    entries, torn = read_checkpoint(checkpoint)
+    assert torn <= 1
+    assert all(entry["kind"] == "campaign-run" for entry in entries)
+
+    resumed_out = _campaign(root, "--resume", manifest.run_id, capsys=capsys)
+    assert resumed_out == clean
+
+    resumed = [m for m in store.list_runs()
+               if m.resumed_from == manifest.run_id]
+    assert len(resumed) == 1
+    assert resumed[0].status == "completed"
+
+    # ``repro runs show`` renders the damaged run instead of choking on it.
+    assert main(["runs", "--runs-dir", str(root), "show",
+                 manifest.run_id]) == 0
+    capsys.readouterr()
+
+
+def test_clean_rerun_matches_itself(tmp_path, capsys, clean):
+    # Control: the comparison in the parametrized test is meaningful
+    # because a clean run in a fresh store reproduces the golden output.
+    assert _campaign(tmp_path / "store", capsys=capsys) == clean

@@ -77,6 +77,39 @@ class TestFormatting:
         assert "ETA" not in lines[0]
 
 
+class TestZeroProgressEdges:
+    """The first emission must never divide by zero — not with done == 0
+    (no ETA denominator) and not with elapsed == 0 (no rate denominator),
+    e.g. on a coarse clock or an instantly-emitting interval."""
+
+    def test_emission_with_zero_done_and_events(self):
+        beat, clock, lines = _collecting(total=10, interval_s=1.0)
+        clock.tick(1.0)
+        beat.update(advance=0, events=500)
+        (line,) = lines
+        assert "0/10" in line
+        assert "ETA" not in line  # no completions yet -> no extrapolation
+
+    def test_emission_with_zero_elapsed(self):
+        beat, clock, lines = _collecting(total=10, interval_s=1.0)
+        clock.tick(1.0)  # interval elapsed since _last_emit -> will emit
+        beat._started = clock.now  # ...but elapsed-since-start == 0 exactly
+        beat.update(advance=5, events=100)
+        (line,) = lines
+        assert "5/10" in line
+        assert "100 events" in line
+        assert "events/s" not in line  # rate is undefined, not infinite
+        assert "ETA" not in line
+
+    def test_close_with_nothing_done_after_an_emission(self):
+        beat, clock, lines = _collecting(total=4, interval_s=1.0)
+        clock.tick(1.0)
+        beat.update(advance=0)
+        beat.close()
+        assert len(lines) == 2
+        assert "done in" in lines[-1]
+
+
 class TestClose:
     def test_close_stays_quiet_when_nothing_was_emitted(self):
         beat, clock, lines = _collecting(interval_s=5.0)

@@ -182,13 +182,33 @@ class TestTraceSubcommand:
         assert main(["runs", "--runs-dir", str(root), "trace", "nope"]) == 2
         assert "no run 'nope'" in capsys.readouterr().err
 
-    def test_corrupt_trace_exits_2(self, root, capsys):
+    def test_corrupt_trace_renders_valid_prefix_with_warning(self, root,
+                                                             capsys):
         manifest = self._seed_campaign(root, capsys)
         path = RunStore(root).trace_path(manifest.run_id)
         path.write_text(path.read_text()[:-40])  # torn write
         assert main(["runs", "--runs-dir", str(root), "trace",
-                     manifest.run_id]) == 2
-        assert "corrupt" in capsys.readouterr().err
+                     manifest.run_id]) == 0
+        out, err = capsys.readouterr()
+        assert "damaged" in err
+        # The surviving prefix still renders as a tree.
+        assert f"trace of run {manifest.run_id}" in out
+        assert "campaign" in out
+
+    def test_wholly_garbage_trace_warns_and_renders_nothing(self, root,
+                                                            capsys):
+        from repro.runs import RunManifest, new_run_id
+
+        store = RunStore(root)
+        manifest = RunManifest(run_id=new_run_id(), command="fig8",
+                               config={}, status="completed")
+        manifest.save(store.manifest_path(manifest.run_id))
+        store.trace_path(manifest.run_id).write_bytes(b"\x00\xff not json")
+        assert main(["runs", "--runs-dir", str(root), "trace",
+                     manifest.run_id]) == 0
+        out, err = capsys.readouterr()
+        assert "damaged" in err
+        assert "0 spans" in out
 
 
 class TestManifestTolerance:
