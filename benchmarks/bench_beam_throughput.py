@@ -1,40 +1,97 @@
 """Beam statistics-campaign throughput (library performance).
 
-Tracks the columnar engine of :mod:`repro.beam.engine` against the
-retained scalar reference path over the full generate → scan →
-post-process pipeline, asserting the derived Figure 4/5 statistics and
-Table 1 stay bit-identical while the columnar path clears its speedup
-floor.  ``REPRO_BEAM_BENCH_EVENTS`` scales the campaign (the CI smoke job
-runs a smaller one; the 10x floor applies at the full 3,000 events).
+Tracks the three statistics engines of :mod:`repro.beam.engine` over the
+full generate → scan → post-process pipeline, asserting the derived
+Figure 4/5 statistics and Table 1 stay bit-identical while the fast
+paths clear their speedup floors:
+
+* ``columnar`` vs the retained scalar ``reference`` (the PR-3 contract:
+  ≥ 10x at the full 3,000 events);
+* ``shm`` (fused whole-campaign passes + zero-copy transport) vs
+  ``columnar`` (this PR's contract: ≥ 10x at the full 1,000,000 events).
+
+The shm-vs-columnar legs each run in a *fresh subprocess*: at campaign
+scale both engines are sensitive to inherited heap state (a leg that
+rides the other's already-faulted pages measures the allocator, not the
+engine), so process isolation is what makes the two numbers comparable
+— the same way standalone CLI campaigns run.  Bit-identity across the
+process boundary is asserted on a canonical rendering of every derived
+statistic (floats via ``repr``, which round-trips exactly).
+
+``REPRO_BEAM_BENCH_EVENTS`` scales the columnar-vs-reference campaign,
+``REPRO_BEAM_BENCH_SHM_EVENTS`` the shm-vs-columnar one, and
+``REPRO_BEAM_BENCH_FANOUT_EVENTS`` the worker fan-out sweep (the CI
+smoke job runs all three scaled down; the floors relax below full size).
 
 Also guards the observability contract: running with the full obs stack
 (explicit tracer, heartbeat, trace export) must stay within 2% of the
-plain run.  Set ``REPRO_BEAM_BENCH_TRACE`` to a path to export the traced
-run's JSONL trace artifact (the CI smoke job uploads and validates it).
+plain run — measured on the shm engine, whose fused dispatch leaves the
+least overhead to hide in.  Set ``REPRO_BEAM_BENCH_TRACE`` to a path to
+export the traced run's JSONL trace artifact (the CI smoke job uploads
+and validates it).
 """
 
+import json
 import os
+import subprocess
+import sys
 import time
 
 from benchmarks._output import emit
 from repro.beam.engine import run_statistics_campaign
+from repro.core.shm import orphaned_segments
 from repro.obs import Heartbeat, Tracer, write_trace
 
 EVENTS = int(os.environ.get("REPRO_BEAM_BENCH_EVENTS", "3000"))
+SHM_EVENTS = int(os.environ.get("REPRO_BEAM_BENCH_SHM_EVENTS",
+                                str(max(EVENTS, 3000))))
+FANOUT_EVENTS = int(os.environ.get("REPRO_BEAM_BENCH_FANOUT_EVENTS",
+                                   "100000"))
 SEED = 20211018
 #: full-size campaigns must clear 10x; scaled-down smoke runs just beat 1x
 SPEEDUP_FLOOR = 10.0 if EVENTS >= 3000 else 1.0
+#: the shm engine's floor applies at the full 1e6-event campaign
+SHM_SPEEDUP_FLOOR = 10.0 if SHM_EVENTS >= 1_000_000 else 1.0
 #: tracing overhead bound: 2% relative plus absolute slack for tiny smoke
 #: campaigns where scheduler noise dwarfs the pipeline itself
 TRACE_OVERHEAD = 1.02
 TRACE_SLACK_S = 0.05
 
 
-def _run(engine: str, **kwargs):
+def _run(engine: str, events: int = EVENTS, **kwargs):
     start = time.perf_counter()
-    result = run_statistics_campaign(EVENTS, seed=SEED, engine=engine,
+    result = run_statistics_campaign(events, seed=SEED, engine=engine,
                                      **kwargs)
     return result, time.perf_counter() - start
+
+
+def _assert_stats_identical(a, b):
+    assert a.class_fractions == b.class_fractions
+    assert a.mbme_histogram == b.mbme_histogram
+    assert a.byte_alignment == b.byte_alignment
+    assert a.bits_per_word_aligned == b.bits_per_word_aligned
+    assert a.bits_per_word_non_aligned == b.bits_per_word_non_aligned
+    assert a.table1 == b.table1  # exact float equality
+    assert a.n_records == b.n_records
+    assert a.n_observed == b.n_observed
+
+
+def _stage_rows(fast, fast_s, slow, slow_s, fast_name, slow_name, events):
+    rows = [
+        f"{'stage':<12} {slow_name + ' s':>12} {fast_name + ' s':>11} "
+        f"{fast_name + ' events/s':>20}",
+    ]
+    for stage in fast.stage_seconds:
+        rows.append(
+            f"{stage:<12} {slow.stage_seconds[stage]:>12.3f} "
+            f"{fast.stage_seconds[stage]:>11.3f} "
+            f"{fast.events_per_second[stage]:>20,.0f}"
+        )
+    rows.append(
+        f"{'total':<12} {slow_s:>12.3f} {fast_s:>11.3f} "
+        f"{events / fast_s:>20,.0f}"
+    )
+    return rows
 
 
 def test_beam_engine_throughput():
@@ -43,30 +100,11 @@ def test_beam_engine_throughput():
     columnar, columnar_s = _run("columnar")
     reference, reference_s = _run("reference")
 
-    assert columnar.class_fractions == reference.class_fractions
-    assert columnar.mbme_histogram == reference.mbme_histogram
-    assert columnar.byte_alignment == reference.byte_alignment
-    assert columnar.bits_per_word_aligned == reference.bits_per_word_aligned
-    assert columnar.bits_per_word_non_aligned == \
-        reference.bits_per_word_non_aligned
-    assert columnar.table1 == reference.table1  # exact float equality
-    assert columnar.n_records == reference.n_records
+    _assert_stats_identical(columnar, reference)
 
     speedup = reference_s / columnar_s
-    rows = [
-        f"{'stage':<12} {'reference s':>12} {'columnar s':>11} "
-        f"{'col events/s':>13}",
-    ]
-    for stage in columnar.stage_seconds:
-        rows.append(
-            f"{stage:<12} {reference.stage_seconds[stage]:>12.3f} "
-            f"{columnar.stage_seconds[stage]:>11.3f} "
-            f"{columnar.events_per_second[stage]:>13,.0f}"
-        )
-    rows.append(
-        f"{'total':<12} {reference_s:>12.3f} {columnar_s:>11.3f} "
-        f"{EVENTS / columnar_s:>13,.0f}"
-    )
+    rows = _stage_rows(columnar, columnar_s, reference, reference_s,
+                       "columnar", "reference", EVENTS)
     rows.append(
         f"\n{EVENTS:,} events, {columnar.n_records:,} mismatch records, "
         f"{columnar.n_observed:,} observed events"
@@ -78,25 +116,108 @@ def test_beam_engine_throughput():
     assert speedup >= SPEEDUP_FLOOR
 
 
-def test_beam_engine_workers_bit_identical():
-    """The chunk fan-out returns the exact serial statistics."""
-    serial, serial_s = _run("columnar")
-    fanned, fanned_s = _run("columnar", workers=2)
+#: one isolated campaign leg: run, then report wall/stages and a
+#: canonical rendering of every derived statistic on stdout as JSON
+_LEG_CODE = """
+import json, sys, time
+from repro.beam.engine import run_statistics_campaign
 
-    assert fanned.table1 == serial.table1
-    assert fanned.class_fractions == serial.class_fractions
-    assert fanned.observed_events == serial.observed_events
-    emit(
-        "Throughput — beam campaign workers fan-out (columnar)",
-        f"workers=1 {serial_s:6.2f} s\n"
-        f"workers=2 {fanned_s:6.2f} s (bit-identical statistics; speedup "
-        f"requires multi-core hardware)",
+engine, events, seed = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+t0 = time.perf_counter()
+res = run_statistics_campaign(events, seed=seed, engine=engine)
+elapsed = time.perf_counter() - t0
+print(json.dumps({
+    "elapsed": elapsed,
+    "stages": {k: float(v) for k, v in res.stage_seconds.items()},
+    "n_records": res.n_records,
+    "n_observed": res.n_observed,
+    "stats": repr((res.class_fractions, res.mbme_histogram,
+                   res.byte_alignment, res.bits_per_word_aligned,
+                   res.bits_per_word_non_aligned, res.table1)),
+}))
+"""
+
+
+def _run_fresh(engine: str, events: int) -> dict:
+    """One campaign in a fresh interpreter — no inherited heap state."""
+    env = dict(os.environ)
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env["PYTHONPATH"] = os.path.abspath(src) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    proc = subprocess.run(
+        [sys.executable, "-c", _LEG_CODE, engine, str(events), str(SEED)],
+        capture_output=True, text=True, env=env,
     )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return json.loads(proc.stdout.splitlines()[-1])
+
+
+def test_beam_shm_engine_throughput():
+    """Fused shm engine vs columnar: identical statistics, >=10x at 1e6."""
+    shm = _run_fresh("shm", SHM_EVENTS)
+    columnar = _run_fresh("columnar", SHM_EVENTS)
+
+    assert shm["stats"] == columnar["stats"]  # exact, repr round-trips
+    assert shm["n_records"] == columnar["n_records"]
+    assert shm["n_observed"] == columnar["n_observed"]
+    assert orphaned_segments() == []  # transport hygiene rides along
+
+    speedup = columnar["elapsed"] / shm["elapsed"]
+    rows = [
+        f"{'stage':<12} {'columnar s':>12} {'shm s':>11} "
+        f"{'shm events/s':>20}",
+    ]
+    for stage, shm_stage_s in shm["stages"].items():
+        rows.append(
+            f"{stage:<12} {columnar['stages'][stage]:>12.3f} "
+            f"{shm_stage_s:>11.3f} "
+            f"{SHM_EVENTS / shm_stage_s if shm_stage_s else 0:>20,.0f}"
+        )
+    rows.append(
+        f"{'total':<12} {columnar['elapsed']:>12.3f} "
+        f"{shm['elapsed']:>11.3f} {SHM_EVENTS / shm['elapsed']:>20,.0f}"
+    )
+    rows.append(
+        f"\n{SHM_EVENTS:,} events, {shm['n_records']:,} mismatch records, "
+        f"{shm['n_observed']:,} observed events (fresh process per leg)"
+    )
+    rows.append(f"speedup {speedup:.1f}x (floor {SHM_SPEEDUP_FLOOR:g}x) — "
+                "statistics bit-identical, no orphaned shm segments")
+    emit("Throughput — beam campaign fused shm engine (vs columnar)",
+         "\n".join(rows))
+    assert speedup >= SHM_SPEEDUP_FLOOR
+
+
+def test_beam_engine_workers_fan_out():
+    """events/s per worker count on the shm engine, all bit-identical.
+
+    Single-core hosts see the pool's dispatch overhead rather than a
+    speedup; the table records throughput per worker count either way,
+    and every row must reproduce the serial statistics exactly.
+    """
+    serial = None
+    rows = [f"{'workers':<8} {'wall s':>8} {'events/s':>12}"]
+    for workers in (1, 2, 4):
+        result, elapsed = _run(
+            "shm", events=FANOUT_EVENTS,
+            workers=None if workers == 1 else workers)
+        if serial is None:
+            serial = result
+        else:
+            _assert_stats_identical(result, serial)
+        rows.append(f"{workers:<8} {elapsed:>8.2f} "
+                    f"{FANOUT_EVENTS / elapsed:>12,.0f}")
+    assert orphaned_segments() == []
+    rows.append(
+        f"\n{FANOUT_EVENTS:,} events (shm engine); statistics "
+        "bit-identical across all worker counts"
+    )
+    emit("Throughput — beam campaign workers fan-out", "\n".join(rows))
 
 
 def test_beam_engine_tracing_overhead():
     """The obs layer (tracer + heartbeat + export) costs <2% throughput."""
-    run_statistics_campaign(64, seed=SEED)  # warm imports and caches
+    run_statistics_campaign(64, seed=SEED, engine="shm")  # warm caches
 
     def _best(runner, repeats=3):
         best_s, best_result = float("inf"), None
@@ -109,14 +230,14 @@ def test_beam_engine_tracing_overhead():
         return best_s, best_result
 
     plain_s, plain = _best(
-        lambda: run_statistics_campaign(EVENTS, seed=SEED))
+        lambda: run_statistics_campaign(EVENTS, seed=SEED, engine="shm"))
 
     def _traced():
         tracer = Tracer()
         heartbeat = Heartbeat("bench", unit="chunks", interval_s=0.5,
                               callback=lambda line: None)
-        result = run_statistics_campaign(EVENTS, seed=SEED, tracer=tracer,
-                                         heartbeat=heartbeat)
+        result = run_statistics_campaign(EVENTS, seed=SEED, engine="shm",
+                                         tracer=tracer, heartbeat=heartbeat)
         return result, tracer
 
     traced_s, (traced, tracer) = _best(_traced)
@@ -131,7 +252,7 @@ def test_beam_engine_tracing_overhead():
 
     overhead = traced_s / plain_s - 1.0
     emit(
-        "Throughput — beam campaign tracing overhead (columnar)",
+        "Throughput — beam campaign tracing overhead (shm)",
         f"plain  {plain_s:6.3f} s\n"
         f"traced {traced_s:6.3f} s ({len(tracer.records)} spans, "
         f"overhead {overhead:+.1%}; bound {TRACE_OVERHEAD - 1:.0%} "

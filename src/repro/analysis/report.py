@@ -61,7 +61,8 @@ def _section_table1(config: ReportConfig) -> str:
     )
 
 
-def _outcomes(config: ReportConfig, workers=None, cache=None, tracer=None):
+def _outcomes(config: ReportConfig, workers=None, cache=None, tracer=None,
+              warm_pool=None):
     from repro.core import all_schemes
     from repro.errormodel.montecarlo import evaluate_scheme, weighted_outcomes
 
@@ -70,6 +71,7 @@ def _outcomes(config: ReportConfig, workers=None, cache=None, tracer=None):
         per_pattern = evaluate_scheme(
             scheme, samples=config.samples, seed=config.seed,
             workers=workers, cache=cache, tracer=tracer,
+            warm_pool=warm_pool,
         )
         outcomes[scheme.name] = weighted_outcomes(
             scheme, per_pattern=per_pattern
@@ -187,21 +189,23 @@ def generate_report(
     workers: int | None = None,
     cache=None,
     tracer=None,
+    warm_pool=None,
 ) -> str:
     """Render the full reproduction report as Markdown.
 
     ``workers`` fans the Table-2 cells out over a process pool, ``cache``
     (e.g. :class:`repro.runs.CellCache`) reuses cells already in the
-    persistent run store, and ``tracer`` (a :class:`repro.obs.Tracer`)
-    collects per-cell spans — all leave the rendered report
-    byte-identical.
+    persistent run store, ``tracer`` (a :class:`repro.obs.Tracer`)
+    collects per-cell spans, and ``warm_pool`` (a
+    :class:`repro.core.pool.WarmPool`) reuses worker processes across the
+    per-scheme sweeps — all leave the rendered report byte-identical.
     """
     config = ReportConfig(
         samples=samples, seed=seed, campaign_events=campaign_events,
         exaflops=exaflops,
     )
     outcomes = _outcomes(config, workers=workers, cache=cache,
-                         tracer=tracer)
+                         tracer=tracer, warm_pool=warm_pool)
     parts = [
         "# Reproduction report — Characterizing and Mitigating Soft Errors "
         "in GPU DRAM (MICRO 2021)",

@@ -53,7 +53,16 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.beam.events import BatchEventSynthesis, EventParameters
+from repro.beam.events import (
+    BITS_PER_WORD,
+    WORDS_PER_ENTRY,
+    BatchEventSynthesis,
+    EventParameters,
+    _floor_scaled,
+    _inverse_permutations,
+    _power_law_breadths,
+    _truncated_binomial_cdf,
+)
 from repro.beam.fliptable import RecordTable, unpack_packed_rows
 from repro.beam.microbenchmark import (
     ANPattern,
@@ -62,7 +71,10 @@ from repro.beam.microbenchmark import (
     MismatchRecord,
     UniformPattern,
 )
+from repro.core.mem import enable_heap_reuse
 from repro.core.pool import RetryPolicy, run_with_requeue
+from repro.core.shm import ShmArena, SliceDescriptor, align, read_columns, \
+    write_columns
 from repro.dram.device import SimulatedHBM2
 from repro.dram.geometry import HBM2Geometry
 from repro.faults import faultpoint
@@ -75,8 +87,32 @@ _LOGGER = logging.getLogger(__name__)
 _DATA_BITS = 256
 _DATA_WORDS = _DATA_BITS // 64
 
-#: The two interchangeable engine implementations.
-ENGINES = ("columnar", "reference")
+#: The interchangeable engine implementations: ``shm`` is the fused
+#: zero-copy fast path, ``columnar`` and ``reference`` are its oracles.
+ENGINES = ("shm", "columnar", "reference")
+
+#: the record columns every engine's chunk evaluation produces
+_COLUMN_KEYS = ("time_s", "write_cycle", "entry_index",
+                "flips_per_record", "flip_bit")
+#: dtypes of an *empty* column set.  The shm transport ships the two
+#: flip-sized columns narrow (flip bits are < 288, per-record flip
+#: counts < 2**15) — a 4x smaller resident set keeps the whole-campaign
+#: postprocess under the allocator's fresh-page regime; the columnar
+#: engine keeps shipping int64 and both finalizers accept either width.
+_COLUMN_DTYPES = {
+    "time_s": np.float64,
+    "write_cycle": np.int64,
+    "entry_index": np.int64,
+    "flips_per_record": np.int16,
+    "flip_bit": np.int16,
+}
+
+#: arena budget per event for the shm transport (generous vs the ~1.2 KB
+#: empirical mean; tmpfs pages materialize only when written, and a range
+#: that outgrows its slice degrades to the inline pickled path)
+_SHM_BYTES_PER_EVENT = 4096
+#: flat per-job slice headroom on top of the per-event budget
+_SHM_JOB_HEADROOM = 1 << 20
 
 _STAGES = ("synthesize", "scan", "postprocess")
 
@@ -160,6 +196,20 @@ class _ChunkJob(NamedTuple):
     start: int  #: global index of the chunk's first event
     size: int
     seed_seq: np.random.SeedSequence
+
+
+class _RangeJob(NamedTuple):
+    """A run of whole chunks the shm engine evaluates in one fused pass.
+
+    Chunk seeding is untouched — the range replays each member chunk's
+    phase streams with that chunk's own ``SeedSequence`` — so the range
+    partition never changes the statistics, only the dispatch granularity.
+    """
+
+    index: int
+    start: int  #: global index of the range's first event
+    size: int  #: total events across the member chunks
+    chunks: tuple  #: the member :class:`_ChunkJob`s, in order
 
 
 def _event_times(start: int, size: int,
@@ -278,6 +328,271 @@ def _scan_columnar(
     }
 
 
+def _smallest_mask(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Mask of each row's ``counts`` smallest values, without argsorts.
+
+    Bit-identical to ``_inverse_permutations(u) < counts[:, None]``: when
+    the value at the selection boundary is strictly below its successor,
+    rank membership depends only on the value multiset, so one values-only
+    sort plus a threshold compare replaces the stable argsort, its rank
+    scatter, and the rank matrix.  Rows with an exact float tie *at the
+    boundary* (detected, not assumed away) fall back to the stable-rank
+    path, so the measure-zero tie behaviour still matches the oracle.
+    """
+    if not u.size:
+        return np.zeros(u.shape, dtype=bool)
+    width = u.shape[-1]
+    rows = np.arange(u.shape[0])
+    ordered = np.sort(u, axis=-1)
+    mask = u <= ordered[rows, counts - 1][:, None]
+    boundary = np.nonzero(counts < width)[0]
+    tied = boundary[
+        ordered[boundary, counts[boundary] - 1]
+        == ordered[boundary, counts[boundary]]
+    ]
+    if tied.size:
+        mask[tied] = _inverse_permutations(u[tied]) \
+            < counts[tied, None]
+    return mask
+
+
+def _fused_range_columns(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    job: _RangeJob,
+) -> dict:
+    """Whole-range fused synthesis: record columns without a device pass.
+
+    Two observations collapse the per-chunk pipeline:
+
+    * The campaign's inject/scan stage is an *identity* on the synthesized
+      flips — every event owns its own write cycle, the device is reset
+      before each one, and ECC bits are masked — so the record columns are
+      the synthesis columns relabeled (``time_s``/``write_cycle`` gathered
+      per site).  No :class:`~repro.dram.device.SimulatedHBM2` needed.
+    * Per chunk, only the *sized draws* must replay that chunk's phase
+      streams, and every transform past the draws (the argsort-of-uniforms
+      word and offset picks, the flip scatter, the final ``(site, bit)``
+      lexsort) is row-local — rows never mix between chunks and
+      ``(site, bit)`` pairs are unique.  The transforms therefore stream
+      per chunk and only the slim output columns accumulate; one counting
+      scatter merges the whole range at the end.  Keeping the resident
+      set near the output size (rather than stacking every intermediate)
+      is what holds million-event ranges inside the allocator's
+      reused-page regime — see ``repro.core.mem``.
+
+    Bit-for-bit equality with per-chunk :func:`_columnar_chunk` output is
+    pinned by the equivalence suite.
+    """
+    params = parameters
+    per_bank = geometry.entries_per_bank
+    class_cdf = np.cumsum(np.asarray(
+        params.class_probabilities, dtype=np.float64
+    ))
+    cum_ba = np.cumsum(np.asarray(params.byte_aligned_words_dist))
+    cum_na = np.cumsum(np.asarray(params.non_aligned_words_dist))
+
+    cdf8 = _truncated_binomial_cdf(8)
+    cdf64 = _truncated_binomial_cdf(BITS_PER_WORD)
+
+    # Per-chunk accumulators; event/site indices are rebased to the range.
+    # Flip parts keep (global site run, int16 bits) pairs for the final
+    # counting scatter; everything else dies with its chunk iteration.
+    site_event_p: list[np.ndarray] = []
+    site_entry_p: list[np.ndarray] = []
+    counts_p: list[np.ndarray] = []
+    flip_site_parts: list[np.ndarray] = []
+    flip_bit_parts: list[np.ndarray] = []
+    event_off = 0
+    site_off = 0
+
+    for chunk in job.chunks:
+        n = chunk.size
+        rngs = BatchEventSynthesis(
+            geometry, params, seed=chunk.seed_seq
+        )._phase_rngs()
+
+        codes = np.minimum(
+            np.searchsorted(class_cdf, rngs["klass"].random(n), side="right"),
+            3,
+        ).astype(np.int64)
+        is_sbme = codes == 1
+        is_mbse = codes == 2
+        is_mbme = codes == 3
+        is_mb = is_mbse | is_mbme
+
+        u_breadth = rngs["breadth"].random(n)
+        breadth = np.ones(n, dtype=np.int64)
+        breadth[is_sbme] = _power_law_breadths(
+            u_breadth[is_sbme], params.sbme_breadth_alpha,
+            params.sbme_breadth_max,
+        )
+        breadth[is_mbme] = _power_law_breadths(
+            u_breadth[is_mbme], params.mbme_breadth_alpha,
+            params.mbme_breadth_max,
+        )
+        breadth = np.minimum(breadth, per_bank)
+
+        u_place = rngs["place"].random(2 * n).reshape(n, 2)
+        first_entry = _floor_scaled(u_place[:, 0], geometry.total_entries)
+        bank_start = (first_entry // per_bank) * per_bank
+        offset = np.floor(
+            u_place[:, 1] * (per_bank - breadth + 1)
+        ).astype(np.int64)
+        base_entry = np.where(breadth > 1, bank_start + offset, first_entry)
+
+        u_mode = rngs["mode"].random(4 * n).reshape(n, 4)
+        sb_bit = _floor_scaled(u_mode[:, 0], _DATA_BITS)
+        pin_bit = _floor_scaled(u_mode[:, 0], BITS_PER_WORD)
+        is_pin = is_mbse & (u_mode[:, 1] < params.pin_fault_fraction)
+        aligned = is_mb & ~is_pin & (
+            u_mode[:, 2] < params.byte_aligned_fraction
+        )
+        byte_col = np.where(
+            aligned, _floor_scaled(u_mode[:, 3], BITS_PER_WORD // 8), -1
+        )
+
+        site_event = np.repeat(np.arange(n, dtype=np.int64), breadth)
+        starts = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(breadth, out=starts[1:])
+        within = np.arange(site_event.size, dtype=np.int64) - np.repeat(
+            starts[:-1], breadth
+        )
+        site_entry = base_entry[site_event] + within
+
+        site_is_mb = is_mb[site_event]
+        mb_sites = np.nonzero(site_is_mb)[0]
+        mb_event = site_event[mb_sites]
+        u_words = rngs["words"].random(mb_sites.size)
+        nw = np.where(
+            is_pin[mb_event],
+            2 + _floor_scaled(u_words, WORDS_PER_ENTRY - 1),
+            1 + np.minimum(
+                np.where(
+                    aligned[mb_event],
+                    np.searchsorted(cum_ba, u_words, side="right"),
+                    np.searchsorted(cum_na, u_words, side="right"),
+                ),
+                WORDS_PER_ENTRY - 1,
+            ),
+        ).astype(np.int64)
+        u_pick = rngs["pick"].random(4 * mb_sites.size).reshape(-1, 4)
+
+        # Sized draws for the deferred transforms: each plain (non-pin)
+        # multi-bit site selects exactly ``nw`` words (`rank < nw` over a
+        # permutation of 0..3) of its class's width, so the sev/off stream
+        # totals are known without running the argsorts here.
+        pin_site = is_pin[mb_event]
+        plain_nw = nw[~pin_site]
+        plain_width = np.where(aligned[mb_event[~pin_site]], 8, BITS_PER_WORD)
+        u_sev = rngs["sev"].random(3 * int(plain_nw.sum())).reshape(-1, 3)
+        u_off = rngs["off"].random(int((plain_nw * plain_width).sum()))
+
+        # Chunk-local transforms — mirrors the tail of
+        # :meth:`BatchEventSynthesis._table` on this chunk's rows.
+        word_sel = _smallest_mask(u_pick, nw)
+        plain_word_sel = word_sel & ~pin_site[:, None]
+        w_site, w_word = np.nonzero(plain_word_sel)
+        w_event = mb_event[w_site]
+        w_aligned = aligned[w_event]
+        w_width = np.where(w_aligned, 8, BITS_PER_WORD)
+        w_base = w_word * BITS_PER_WORD + np.where(
+            w_aligned, byte_col[w_event] * 8, 0
+        )
+
+        sparse = ~w_aligned & (u_sev[:, 1] < params.sparse_severity_fraction)
+        binom = np.minimum(
+            2 + np.where(
+                w_aligned,
+                np.searchsorted(cdf8, u_sev[:, 2], side="right"),
+                np.searchsorted(cdf64, u_sev[:, 2], side="right"),
+            ),
+            w_width,
+        )
+        count = np.where(
+            u_sev[:, 0] < params.inversion_fraction,
+            w_width,
+            np.where(sparse, 2 + _floor_scaled(u_sev[:, 2], 3), binom),
+        ).astype(np.int64)
+
+        off_starts = np.zeros(w_site.size + 1, dtype=np.int64)
+        np.cumsum(w_width, out=off_starts[1:])
+
+        chunk_sites: list[np.ndarray] = []
+        chunk_bits: list[np.ndarray] = []
+
+        sb_sites = np.nonzero(~site_is_mb)[0]
+        chunk_sites.append(sb_sites)
+        chunk_bits.append(sb_bit[site_event[sb_sites]])
+
+        p_site, p_word = np.nonzero(word_sel & pin_site[:, None])
+        chunk_sites.append(mb_sites[p_site])
+        chunk_bits.append(
+            p_word * BITS_PER_WORD + pin_bit[mb_event[p_site]]
+        )
+
+        for width, cond in ((8, w_aligned), (BITS_PER_WORD, ~w_aligned)):
+            group = np.nonzero(cond)[0]
+            if not group.size:
+                continue
+            index = off_starts[group][:, None] + np.arange(width)
+            sel = _smallest_mask(u_off[index], count[group])
+            g_row, g_off = np.nonzero(sel)
+            chunk_sites.append(mb_sites[w_site[group[g_row]]])
+            chunk_bits.append(w_base[group[g_row]] + g_off)
+
+        counts_p.append(np.bincount(
+            np.concatenate(chunk_sites), minlength=site_event.size
+        ).astype(np.int16))
+        for sites, bits in zip(chunk_sites, chunk_bits):
+            if sites.size:
+                flip_site_parts.append(sites + site_off)
+                flip_bit_parts.append(bits.astype(np.int16))
+
+        site_event_p.append(site_event + event_off)
+        site_entry_p.append(site_entry)
+        event_off += n
+        site_off += site_event.size
+
+    def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        stacked = np.concatenate(parts)
+        parts.clear()  # release the per-chunk blocks as we go
+        return stacked
+
+    site_event = _cat(site_event_p, np.int64)
+    site_entry = _cat(site_entry_p, np.int64)
+    flips_per_site = _cat(counts_p, np.int16)
+    n_sites = site_event.size
+
+    # Merge without the global (site, bit) lexsort: each part above emits
+    # flips already ascending by (site, bit) — nonzero is row-major and
+    # word/offset bases ascend — and the parts cover *disjoint* site sets
+    # (sites are chunk-partitioned, and within a chunk a site is
+    # single-bit xor pin xor aligned-plain xor non-aligned-plain).  A
+    # counting scatter therefore reproduces the sorted layout.
+    flip_offset = np.zeros(n_sites + 1, dtype=np.int64)
+    np.cumsum(flips_per_site, dtype=np.int64, out=flip_offset[1:])
+    flip_bit = np.empty(int(flip_offset[-1]) if n_sites else 0,
+                        dtype=np.int16)
+    for sites, bits in zip(flip_site_parts, flip_bit_parts):
+        run_first = np.flatnonzero(np.r_[True, sites[1:] != sites[:-1]])
+        within = np.arange(sites.size, dtype=np.int64) - np.repeat(
+            run_first, np.diff(np.r_[run_first, sites.size])
+        )
+        flip_bit[flip_offset[sites] + within] = bits
+
+    times = _event_times(job.start, job.size, parameters)
+    return {
+        "time_s": times[site_event],
+        "write_cycle": job.start + site_event,
+        "entry_index": site_entry,
+        "flips_per_record": flips_per_site,
+        "flip_bit": flip_bit,
+    }
+
+
 def _reference_chunk(
     geometry: HBM2Geometry,
     parameters: EventParameters,
@@ -348,6 +663,7 @@ def _evaluate_chunk(
     """
     faultpoint("pool.worker.crash", chunk=job.index)
     faultpoint("engine.chunk.hang", chunk=job.index)
+    enable_heap_reuse()
     pattern = _pattern_by_name(pattern_name)
     runner = _columnar_chunk if engine == "columnar" else _reference_chunk
     tracer = Tracer()
@@ -357,6 +673,48 @@ def _evaluate_chunk(
     for record in tracer.records:
         record.worker = tag
     return payload, tracer.records
+
+
+def _evaluate_range(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    job: _RangeJob,
+    segment: str | None = None,
+    offset: int = 0,
+    capacity: int = 0,
+):
+    """Top-level (picklable) fused-range evaluator for the worker pool.
+
+    With ``segment`` set, the result columns go into the arena slice at
+    ``(offset, capacity)`` and only the :class:`SliceDescriptor` rides the
+    result channel; without one (serial path, or a slice the columns
+    outgrew) the columns themselves are returned.  Span names match the
+    per-chunk engines — ``chunk`` → ``synthesize``/``scan`` — so traces
+    and per-stage throughput counters stay structurally comparable; the
+    ``scan`` span here times the (identity) scan's resolution, i.e. the
+    transport write.
+    """
+    faultpoint("pool.worker.crash", chunk=job.chunks[0].index)
+    faultpoint("engine.chunk.hang", chunk=job.chunks[0].index)
+    enable_heap_reuse()
+    _pattern_by_name(pattern_name)  # campaign scans are pattern-invariant
+    tracer = Tracer()
+    with tracer.span("chunk", index=job.chunks[0].index,
+                     chunks=len(job.chunks)):
+        with tracer.span("synthesize"):
+            columns = _fused_range_columns(geometry, parameters, job)
+            tracer.count(events=job.size,
+                         sites=int(columns["entry_index"].size))
+        with tracer.span("scan"):
+            payload = None
+            if segment is not None:
+                payload = write_columns(segment, offset, capacity, columns)
+            tracer.count(records=int(columns["entry_index"].size))
+    tag = f"pid:{os.getpid()}"
+    for record in tracer.records:
+        record.worker = tag
+    return (payload if payload is not None else columns), tracer.records
 
 
 def _run_chunks(
@@ -370,6 +728,7 @@ def _run_chunks(
     tracer: Tracer | None = None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
 ) -> dict[int, tuple]:
     """Evaluate chunks, fanned out when asked, robust to worker failure.
 
@@ -397,7 +756,10 @@ def _run_chunks(
         ),
         workers=workers,
         timeout=chunk_timeout,
-        executor_factory=lambda: ProcessPoolExecutor(max_workers=workers),
+        executor_factory=(
+            warm_pool.executor_factory if warm_pool is not None
+            else (lambda: ProcessPoolExecutor(max_workers=workers))
+        ),
         noun="chunks",
         logger=_LOGGER,
         on_result=_on_result,
@@ -406,6 +768,146 @@ def _run_chunks(
     if tracer is not None:
         tracer.count(**report.counters())
     return results, report
+
+
+def _range_jobs(
+    jobs: list[_ChunkJob],
+    workers: int | None,
+    range_chunks: int | None = None,
+) -> list[_RangeJob]:
+    """Partition chunk jobs into fused ranges.
+
+    Defaults to ~4 ranges per worker (so the pool load-balances and a
+    requeued range is cheap) capped at 64 chunks per range (bounding the
+    fused pass's working set).
+    """
+    if not jobs:
+        return []
+    if range_chunks is None:
+        per = 4 * max(1, workers or 1)
+        range_chunks = max(1, min(64, -(-len(jobs) // per)))
+    ranges = []
+    for index, lo in enumerate(range(0, len(jobs), range_chunks)):
+        block = tuple(jobs[lo:lo + range_chunks])
+        ranges.append(_RangeJob(
+            index=index,
+            start=block[0].start,
+            size=sum(job.size for job in block),
+            chunks=block,
+        ))
+    return ranges
+
+
+def _run_ranges(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    jobs: list[_RangeJob],
+    workers: int | None,
+    chunk_timeout: float | None = None,
+    tracer: Tracer | None = None,
+    heartbeat=None,
+    retry: RetryPolicy | None = None,
+    warm_pool=None,
+):
+    """Evaluate fused ranges; returns ``(results, report, arena)``.
+
+    When the pool will actually engage, a shared-memory arena is created
+    and every range job gets a deterministic ``(offset, capacity)`` slice
+    sized from its event count; workers return descriptors instead of
+    pickled columns.  The caller must read the descriptors back (see
+    :func:`_merge_range_payloads`) and close the arena — returning it
+    instead of closing here keeps the zero-copy reads alive through the
+    postprocess stage.  Arena creation failure (or an outgrown slice) is
+    never fatal: both degrade to the inline pickled path.
+    """
+    def _on_result(job: _RangeJob, result) -> None:
+        if tracer is not None:
+            tracer.merge(result[1])
+        if heartbeat is not None:
+            heartbeat.update(advance=1, events=job.size)
+
+    arena = None
+    offsets: dict[int, tuple[int, int]] = {}
+    pooled = (
+        workers is not None and workers > 1 and len(jobs) > 1
+    )
+    if pooled:
+        layout = []
+        total = 0
+        for job in jobs:
+            cap = align(job.size * _SHM_BYTES_PER_EVENT + _SHM_JOB_HEADROOM)
+            layout.append((total, cap))
+            total += cap
+        try:
+            arena = ShmArena(total)
+        except OSError as exc:
+            _LOGGER.warning(
+                "shared-memory arena unavailable (%s); "
+                "falling back to pickled results", exc,
+            )
+        else:
+            offsets = {job.index: slot for job, slot in zip(jobs, layout)}
+            if tracer is not None and arena.reclaimed:
+                tracer.count(shm_reclaimed=len(arena.reclaimed))
+
+    def _submit(pool, job: _RangeJob):
+        if arena is not None:
+            off, cap = offsets[job.index]
+            return pool.submit(
+                _evaluate_range, geometry, parameters, pattern_name, job,
+                arena.name, off, cap,
+            )
+        return pool.submit(
+            _evaluate_range, geometry, parameters, pattern_name, job,
+        )
+
+    try:
+        results, report = run_with_requeue(
+            jobs,
+            key=lambda job: job.index,
+            describe=lambda job: f"chunk range {job.index}",
+            submit=_submit,
+            run_serial=lambda job: _evaluate_range(
+                geometry, parameters, pattern_name, job,
+            ),
+            workers=workers,
+            timeout=chunk_timeout,
+            executor_factory=(
+                warm_pool.executor_factory if warm_pool is not None
+                else (lambda: ProcessPoolExecutor(max_workers=workers))
+            ),
+            noun="chunk ranges",
+            logger=_LOGGER,
+            on_result=_on_result,
+            retry=retry,
+        )
+    except BaseException:
+        if arena is not None:
+            arena.close()
+        raise
+    if tracer is not None:
+        tracer.count(**report.counters())
+    return results, report, arena
+
+
+def _merge_range_payloads(results: dict, arena) -> dict:
+    """Concatenate range payloads (descriptors or inline columns) in
+    range order into one column set; copies out of the arena."""
+    parts: dict[str, list[np.ndarray]] = {key: [] for key in _COLUMN_KEYS}
+    for index in sorted(results):
+        payload = results[index][0]
+        if isinstance(payload, SliceDescriptor):
+            columns = read_columns(arena.buf, payload)
+        else:
+            columns = payload
+        for key in _COLUMN_KEYS:
+            parts[key].append(columns[key])
+    return {
+        key: (np.concatenate(blocks) if blocks
+              else np.empty(0, dtype=_COLUMN_DTYPES[key]))
+        for key, blocks in parts.items()
+    }
 
 
 def _finalize_columnar(columns: dict, pattern_name: str) -> tuple:
@@ -444,6 +946,69 @@ def _finalize_columnar(columns: dict, pattern_name: str) -> tuple:
         derive_table1_table(grouped),
     )
     return n_records, grouped.n_events, stats, grouped.to_observed_events
+
+
+def _finalize_shm(columns: dict, pattern_name: str) -> tuple:
+    """Direct soft-error grouping on the merged record columns.
+
+    Exploits what holds for every campaign record set (and is pinned
+    byte-for-byte against :func:`_finalize_columnar` by the equivalence
+    suite): entries are unique *within* an event, so an entry recorded
+    twice was necessarily hit in two distinct write cycles — the
+    intermittent filter reduces to "keep entries with exactly one
+    record".  Surviving records are already in (cycle, site) order, so
+    grouping is a run-length pass, skipping the
+    :class:`~repro.beam.fliptable.RecordTable` materialization and the
+    full-table lexsorts of the columnar finalizer.
+    """
+    from repro.beam.fliptable import FlipTable
+    from repro.beam.postprocess import (
+        derive_table1_table,
+        breadth_class_fractions_table,
+        bits_per_word_histogram_table,
+        byte_alignment_stats_table,
+        mbme_breadth_histogram_table,
+    )
+
+    # ``pop`` releases each transport column at last use — the caller
+    # discards the dict, and the freed blocks keep the resident set (and
+    # with it the page-fault bill) flat through the grouping passes.
+    columns.pop("time_s", None)  # derivable; unused by the fused grouping
+    entry = columns.pop("entry_index")
+    n_records = int(entry.size)
+    if not n_records:
+        return 0, 0, _EMPTY_STATS, list
+    counts = columns.pop("flips_per_record")
+    unique_entries, per_entry = np.unique(entry, return_counts=True)
+    soft = per_entry[np.searchsorted(unique_entries, entry)] == 1
+    del unique_entries, per_entry
+    cycles = columns.pop("write_cycle")[soft]
+    if not cycles.size:
+        return n_records, 0, _EMPTY_STATS, list
+    new_event = np.r_[True, cycles[1:] != cycles[:-1]]
+    site_event = np.cumsum(new_event) - 1
+    n_events = int(site_event[-1]) + 1
+    flip_bit = columns.pop("flip_bit")[np.repeat(soft, counts)]
+    grouped = FlipTable.from_flips(
+        site_event, entry[soft], counts[soft],
+        flip_bit,
+        n_events=n_events,
+        event_columns={
+            "run": np.zeros(n_events, dtype=np.int64),
+            "write_cycle": cycles[new_event],
+            "read_pass": np.zeros(n_events, dtype=np.int64),
+        },
+    )
+    del entry, counts, soft, cycles, new_event, site_event, flip_bit
+    stats = (
+        breadth_class_fractions_table(grouped),
+        mbme_breadth_histogram_table(grouped),
+        byte_alignment_stats_table(grouped),
+        bits_per_word_histogram_table(grouped, byte_aligned=True),
+        bits_per_word_histogram_table(grouped, byte_aligned=False),
+        derive_table1_table(grouped),
+    )
+    return n_records, n_events, stats, grouped.to_observed_events
 
 
 def _finalize_reference(records: list[MismatchRecord]) -> tuple:
@@ -485,6 +1050,8 @@ def run_statistics_campaign(
     tracer: Tracer | None = None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
+    range_chunks: int | None = None,
 ) -> StatisticsResult:
     """Generate, scan and post-process ``n_events`` ground-truth SEUs.
 
@@ -498,7 +1065,15 @@ def run_statistics_campaign(
     ``campaign`` span wrapping per-chunk worker spans and a
     ``postprocess`` span; the finished records land in
     :attr:`StatisticsResult.trace`.  ``heartbeat``, when given, advances
-    once per completed chunk.
+    once per completed job (chunk, or fused chunk range for
+    ``engine="shm"``).
+
+    ``engine="shm"`` evaluates chunks in fused ranges (``range_chunks``
+    per job, auto-sized by default), ships pooled results through a
+    shared-memory arena, and — with ``warm_pool`` set to a
+    :class:`repro.core.pool.WarmPool` — reuses worker processes across
+    campaigns in the same invocation.  ``warm_pool`` applies to the
+    per-chunk engines too.
     """
     if n_events < 0:
         raise ValueError("n_events must be non-negative")
@@ -508,6 +1083,7 @@ def run_statistics_campaign(
     parameters = parameters or EventParameters()
     pattern_name = pattern if isinstance(pattern, str) else pattern.name
     _pattern_by_name(pattern_name)  # validate before spawning workers
+    enable_heap_reuse()
 
     tracer = tracer if tracer is not None else Tracer()
     trace_base = len(tracer.records)
@@ -523,41 +1099,55 @@ def run_statistics_campaign(
         )
         for index in range(n_chunks)
     ]
+    ranges = _range_jobs(jobs, workers, range_chunks) \
+        if engine == "shm" else None
     if heartbeat is not None and heartbeat.total is None:
-        heartbeat.total = n_chunks
+        heartbeat.total = len(ranges) if ranges is not None else n_chunks
 
     with tracer.span("campaign", engine=engine):
         tracer.count(events=n_events, chunks=n_chunks)
-        results, report = _run_chunks(
-            engine, geometry, parameters, pattern_name, jobs, workers,
-            chunk_timeout, tracer, heartbeat, retry,
-        )
+        if engine == "shm":
+            results, report, arena = _run_ranges(
+                geometry, parameters, pattern_name, ranges, workers,
+                chunk_timeout, tracer, heartbeat, retry, warm_pool,
+            )
+            try:
+                with tracer.span("postprocess"):
+                    columns = _merge_range_payloads(results, arena)
+                    n_records, n_observed, stats, observed = _finalize_shm(
+                        columns, pattern_name
+                    )
+                    tracer.count(records=n_records, observed=n_observed)
+            finally:
+                if arena is not None:
+                    arena.close()
+        else:
+            results, report = _run_chunks(
+                engine, geometry, parameters, pattern_name, jobs, workers,
+                chunk_timeout, tracer, heartbeat, retry, warm_pool,
+            )
 
-        with tracer.span("postprocess"):
-            if engine == "columnar":
-                def _cat(key: str, dtype) -> np.ndarray:
-                    parts = [results[i][0][key] for i in sorted(results)]
-                    return np.concatenate(parts) if parts \
-                        else np.empty(0, dtype=dtype)
+            with tracer.span("postprocess"):
+                if engine == "columnar":
+                    def _cat(key: str, dtype) -> np.ndarray:
+                        parts = [results[i][0][key] for i in sorted(results)]
+                        return np.concatenate(parts) if parts \
+                            else np.empty(0, dtype=dtype)
 
-                columns = {
-                    "time_s": _cat("time_s", np.float64),
-                    "write_cycle": _cat("write_cycle", np.int64),
-                    "entry_index": _cat("entry_index", np.int64),
-                    "flips_per_record": _cat("flips_per_record", np.int64),
-                    "flip_bit": _cat("flip_bit", np.int64),
-                }
-                n_records, n_observed, stats, observed = _finalize_columnar(
-                    columns, pattern_name
-                )
-            else:
-                records = [
-                    record for index in sorted(results)
-                    for record in results[index][0]
-                ]
-                n_records, n_observed, stats, observed = \
-                    _finalize_reference(records)
-            tracer.count(records=n_records, observed=n_observed)
+                    columns = {
+                        key: _cat(key, _COLUMN_DTYPES[key])
+                        for key in _COLUMN_KEYS
+                    }
+                    n_records, n_observed, stats, observed = \
+                        _finalize_columnar(columns, pattern_name)
+                else:
+                    records = [
+                        record for index in sorted(results)
+                        for record in results[index][0]
+                    ]
+                    n_records, n_observed, stats, observed = \
+                        _finalize_reference(records)
+                tracer.count(records=n_records, observed=n_observed)
     if heartbeat is not None:
         heartbeat.close()
 

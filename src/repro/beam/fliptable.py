@@ -88,7 +88,8 @@ class FlipTable:
     site_event: np.ndarray  #: (S,) int64 — owning event id of each site
     site_entry: np.ndarray  #: (S,) int64 — memory entry index of each site
     site_flip_start: np.ndarray  #: (S+1,) int64 — CSR offsets into flip_bit
-    flip_bit: np.ndarray  #: (F,) int64 — data-bit offsets 0-255
+    flip_bit: np.ndarray  #: (F,) integer — data-bit offsets 0-255 (int64
+    #: from the scalar/columnar paths, int16 off the shm transport)
     #: per-event metadata columns, each (n_events,) — e.g. ``time_s``,
     #: ``class_code`` for ground truth; ``run``/``write_cycle``/``read_pass``
     #: for reconstructed events
@@ -144,6 +145,9 @@ class FlipTable:
         n_events: int,
         event_columns: dict[str, np.ndarray] | None = None,
     ) -> FlipTable:
+        flip_bit = np.asarray(flip_bit)
+        if not np.issubdtype(flip_bit.dtype, np.integer):
+            flip_bit = flip_bit.astype(np.int64)
         return cls(
             n_events=int(n_events),
             site_event=np.asarray(site_event, dtype=np.int64),
@@ -151,7 +155,10 @@ class FlipTable:
             site_flip_start=_csr_from_counts(
                 np.asarray(flips_per_site, dtype=np.int64)
             ),
-            flip_bit=np.asarray(flip_bit, dtype=np.int64),
+            # integer width is preserved: the shm engine ships int16 bits
+            # (values < ENTRY_BITS) and the statistics kernels accept any
+            # integer dtype, so upcasting would only double the footprint
+            flip_bit=flip_bit,
             event_columns=dict(event_columns or {}),
         )
 

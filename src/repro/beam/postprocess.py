@@ -315,10 +315,7 @@ def derive_table1(events: list[ObservedEvent]) -> dict[ErrorPattern, float]:
 # against.
 
 from repro.beam.fliptable import FlipTable, RecordTable  # noqa: E402
-from repro.errormodel.classify import (  # noqa: E402
-    PATTERN_ORDER,
-    classify_error_codes_batch,
-)
+from repro.errormodel.classify import PATTERN_ORDER  # noqa: E402
 
 
 @dataclass(frozen=True)
@@ -490,6 +487,31 @@ def _table_cached(table: FlipTable, key: str, compute):
     return cache[key]
 
 
+def _flip_site_ids(table: FlipTable) -> np.ndarray:
+    """:meth:`FlipTable.site_of_flip` in the narrowest safe integer
+    width, cached — the segment and Table-1 passes share one (F,)-sized
+    gather instead of re-materializing an int64 copy each."""
+    return _table_cached(table, "flip_site_ids", _flip_site_ids_uncached)
+
+
+def _flip_site_ids_uncached(table: FlipTable) -> np.ndarray:
+    dtype = np.int64 if table.n_sites > np.iinfo(np.int32).max else np.int32
+    return np.repeat(
+        np.arange(table.n_sites, dtype=dtype), table.flips_per_site()
+    )
+
+
+def _flip_bits16(table: FlipTable) -> np.ndarray:
+    """``flip_bit`` as int16 (values < ENTRY_BITS always fit), cached.
+    A no-op view for shm-built tables, a one-time narrowing copy for the
+    int64 columnar/scalar ones — all the kernels below run on it so the
+    big per-flip temporaries shrink 4x."""
+    return _table_cached(
+        table, "flip_bits16",
+        lambda t: t.flip_bit.astype(np.int16, copy=False),
+    )
+
+
 def _word_segments(table: FlipTable
                    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Per-(site, word) flip segments: ``(seg_site, seg_len, seg_aligned)``.
@@ -503,17 +525,27 @@ def _word_segments(table: FlipTable
 
 def _word_segments_uncached(table: FlipTable
                             ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    site = table.site_of_flip()
-    if not site.size:
+    n_flips = table.n_flips
+    if not n_flips:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty, np.empty(0, dtype=bool)
-    word = table.flip_bit >> 6
-    byte = (table.flip_bit >> 3) & 7
-    new_segment = np.r_[True, (np.diff(site) != 0) | (np.diff(word) != 0)]
+    bits = _flip_bits16(table)
+    word = bits >> 6
+    new_segment = np.empty(n_flips, dtype=bool)
+    new_segment[0] = True
+    np.not_equal(word[1:], word[:-1], out=new_segment[1:])
+    del word
+    # Site boundaries open segments too.  The CSR offsets name them
+    # directly — no (F,)-sized site-diff needed; an empty site collapses
+    # onto its successor's first flip, which is a boundary anyway, and
+    # trailing empty sites (offset == n_flips) are masked off.
+    inner = table.site_flip_start[1:-1]
+    new_segment[inner[inner < n_flips]] = True
     seg_start = np.flatnonzero(new_segment)
-    seg_end = np.r_[seg_start[1:], site.size]
-    return site[seg_start], seg_end - seg_start, \
-        byte[seg_start] == byte[seg_end - 1]
+    seg_end = np.r_[seg_start[1:], n_flips]
+    seg_site = _flip_site_ids(table)[seg_start]
+    return seg_site, seg_end - seg_start, \
+        ((bits[seg_start] >> 3) & 7) == ((bits[seg_end - 1] >> 3) & 7)
 
 
 def _site_alignment(table: FlipTable
@@ -635,16 +667,65 @@ def derive_table1_table(table: FlipTable,
 
 
 def table1_site_codes(table: FlipTable, chunk: int = 8192) -> np.ndarray:
-    """Table-1 pattern code of each site's transmitted error vector."""
-    site = table.site_of_flip()
-    transmitted = (table.flip_bit >> 6) * NUM_PINS \
-        + (table.flip_bit & (BITS_PER_WORD - 1))
-    codes = np.empty(table.n_sites, dtype=np.int64)
-    for start in range(0, table.n_sites, chunk):
-        stop = min(start + chunk, table.n_sites)
-        lo = int(table.site_flip_start[start])
-        hi = int(table.site_flip_start[stop])
-        dense = np.zeros((stop - start, ENTRY_BITS), dtype=np.uint8)
-        dense[site[lo:hi] - start, transmitted[lo:hi]] = 1
-        codes[start:stop] = classify_error_codes_batch(dense)
+    """Table-1 pattern code of each site's transmitted error vector.
+
+    Classifies straight off the per-site flip lists: "all flips share one
+    pin/byte/beat" is a per-segment check on the group ids, so no dense
+    ``(chunk, 288)`` error matrices are materialized (``chunk`` is kept
+    for API compatibility).  Codes are identical to pushing each
+    site's dense vector through
+    :func:`repro.errormodel.classify.classify_error_codes_batch` — the
+    priority chain below is that function's, applied to the same
+    predicates — which the equivalence tests pin against the scalar
+    :func:`repro.errormodel.classify.classify_error`.
+    """
+    n_sites = table.n_sites
+    if not n_sites:
+        return np.empty(0, dtype=np.int64)
+    counts = np.diff(table.site_flip_start)
+    if np.any(counts == 0):
+        raise ValueError("cannot classify all-zero errors")
+    site = _flip_site_ids(table)
+    bits = _flip_bits16(table)
+    # weights count *distinct* bits, like the dense vector's popcount
+    # (flips are sorted within a site, so duplicates are adjacent); an
+    # adjacent equal pair can only straddle sites at a site's first flip,
+    # so clearing the CSR starts replaces the (F,)-sized site compare
+    duplicate = np.zeros(site.size, dtype=bool)
+    np.equal(bits[1:], bits[:-1], out=duplicate[1:])
+    duplicate[table.site_flip_start[1:-1]] = False
+    weights = counts - np.bincount(site[duplicate], minlength=n_sites)
+    del duplicate
+
+    first = table.site_flip_start[:-1]
+    last = table.site_flip_start[1:] - 1
+
+    # Data bit ``d`` is transmitted as ``beat_of = d >> 6`` on pin
+    # ``pin_of = d & 63`` (< NUM_PINS), so the layout group ids reduce to
+    # shifts — same ids ``pin_of``/``byte_of``/``beat_of`` return for
+    # ``transmitted = (d >> 6) * NUM_PINS + (d & 63)``.  The beat and byte
+    # ids are non-decreasing in ``d`` and flips are sorted within a site,
+    # so "all in one group" is just first == last per segment; pin ids are
+    # not monotone, so that one compares every flip to its segment's first.
+    pins = bits & (BITS_PER_WORD - 1)
+    bit_first, bit_last = bits[first], bits[last]
+    off_pin = pins != np.repeat(pins[first], counts)
+    one_pin = np.bincount(site[off_pin], minlength=n_sites) == 0
+    del off_pin, pins
+    one_byte = (
+        (bit_first >> 6) * (NUM_PINS // 8) + ((bit_first & 63) >> 3)
+        == (bit_last >> 6) * (NUM_PINS // 8) + ((bit_last & 63) >> 3)
+    )
+    one_beat = (bit_first >> 6) == (bit_last >> 6)
+
+    order = {pattern: code for code, pattern in enumerate(PATTERN_ORDER)}
+    codes = np.full(n_sites, order[ErrorPattern.ENTRY], dtype=np.int64)
+    codes[one_beat] = order[ErrorPattern.BEAT]
+    codes[(weights == 3) & ~one_pin & ~one_byte] = \
+        order[ErrorPattern.TRIPLE_BIT]
+    codes[(weights == 2) & ~one_pin & ~one_byte] = \
+        order[ErrorPattern.DOUBLE_BIT]
+    codes[one_byte & (weights >= 2)] = order[ErrorPattern.BYTE]
+    codes[one_pin & (weights >= 2)] = order[ErrorPattern.PIN]
+    codes[weights == 1] = order[ErrorPattern.BIT]
     return codes

@@ -109,11 +109,12 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--seed", type=int, default=2021)
     campaign.add_argument("--events", type=int, default=3000,
                           help="generator-truth events for the statistics")
-    campaign.add_argument("--engine", choices=["columnar", "reference"],
+    campaign.add_argument("--engine", choices=["shm", "columnar", "reference"],
                           default="columnar",
                           help="statistics-campaign implementation "
-                               "(bit-identical results; columnar is the "
-                               "vectorized fast path)")
+                               "(bit-identical results; shm is the fused "
+                               "shared-memory fast path, columnar the "
+                               "vectorized per-chunk one)")
     campaign.add_argument("--workers", type=int, default=None, metavar="N",
                           help="fan statistics chunks out over N worker "
                                "processes (bit-identical to the serial run)")
@@ -248,6 +249,15 @@ def _make_heartbeat(args, label: str, unit: str):
     return Heartbeat(label, unit=unit, interval_s=interval)
 
 
+def _warm_pool(workers):
+    """The invocation-wide warm pool, or None when not fanning out."""
+    if not workers or workers <= 1:
+        return None
+    from repro.core.pool import shared_warm_pool
+
+    return shared_warm_pool(workers)
+
+
 # ---------------------------------------------------------------------------
 # Subcommand implementations
 # ---------------------------------------------------------------------------
@@ -286,6 +296,7 @@ def _cmd_evaluate(args) -> None:
                 tracer=session.tracer,
                 heartbeat=_make_heartbeat(
                     args, f"evaluate {cfg['scheme']}", "cells"),
+                warm_pool=_warm_pool(cfg.get("workers")),
             )
     rows = [
         [pattern.value, outcome.events,
@@ -326,6 +337,7 @@ def _cmd_fig8(args) -> None:
                     tracer=session.tracer,
                     heartbeat=_make_heartbeat(
                         args, f"fig8 {scheme.name}", "cells"),
+                    warm_pool=_warm_pool(cfg.get("workers")),
                 )
                 outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
                 rows.append([
@@ -434,6 +446,7 @@ def _cmd_campaign(args) -> None:
                 tracer=session.tracer,
                 heartbeat=_make_heartbeat(
                     args, "campaign statistics", "chunks"),
+                warm_pool=_warm_pool(args.workers),
             )
             observed += statistics.observed_events
         session.record_counters(statistics.counters())
@@ -467,6 +480,7 @@ def _cmd_system(args) -> None:
                 tracer=session.tracer,
                 heartbeat=_make_heartbeat(
                     args, f"system {cfg['scheme']}", "cells"),
+                warm_pool=_warm_pool(cfg.get("workers")),
             )
         outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
     system = ExascaleSystem()
@@ -504,6 +518,7 @@ def _cmd_report(args) -> None:
                 samples=cfg["samples"], seed=cfg["seed"],
                 workers=cfg.get("workers"), cache=session.cell_cache,
                 tracer=session.tracer,
+                warm_pool=_warm_pool(cfg.get("workers")),
             )
     if args.output:
         with open(args.output, "w") as handle:
@@ -532,31 +547,36 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _install_fault_plan(args)
-    if args.command == "schemes":
-        _cmd_schemes()
-    elif args.command == "evaluate":
-        _cmd_evaluate(args)
-    elif args.command == "fig8":
-        _cmd_fig8(args)
-    elif args.command == "hardware":
-        _cmd_hardware()
-    elif args.command == "campaign":
-        _cmd_campaign(args)
-    elif args.command == "system":
-        _cmd_system(args)
-    elif args.command == "report":
-        _cmd_report(args)
-    elif args.command == "search":
-        _cmd_search(args)
-    elif args.command == "runs":
-        from repro.runs.cli import cmd_runs
+    try:
+        if args.command == "schemes":
+            _cmd_schemes()
+        elif args.command == "evaluate":
+            _cmd_evaluate(args)
+        elif args.command == "fig8":
+            _cmd_fig8(args)
+        elif args.command == "hardware":
+            _cmd_hardware()
+        elif args.command == "campaign":
+            _cmd_campaign(args)
+        elif args.command == "system":
+            _cmd_system(args)
+        elif args.command == "report":
+            _cmd_report(args)
+        elif args.command == "search":
+            _cmd_search(args)
+        elif args.command == "runs":
+            from repro.runs.cli import cmd_runs
 
-        return cmd_runs(args)
-    elif args.command == "chaos":
-        from repro.faults.chaos import cmd_chaos
+            return cmd_runs(args)
+        elif args.command == "chaos":
+            from repro.faults.chaos import cmd_chaos
 
-        return cmd_chaos(args)
-    return 0
+            return cmd_chaos(args)
+        return 0
+    finally:
+        from repro.core.pool import close_warm_pools
+
+        close_warm_pools()
 
 
 if __name__ == "__main__":

@@ -31,6 +31,14 @@ Callers pass ``executor_factory`` as a closure over their own module's
 ``ProcessPoolExecutor`` global, preserving the established monkeypatch
 seam (tests substitute fake pools per call site), and pass their own
 ``logger`` so warnings keep their historical logger names.
+
+:class:`WarmPool` layers pool *reuse* on top: one CLI invocation that
+runs many campaigns or cell sweeps pays the interpreter-spawn cost once
+— its :meth:`WarmPool.executor_factory` plugs into the same seam but
+returns a handle whose ``shutdown()`` keeps the underlying executor
+alive when the attempt ended cleanly, and retires it (broken pool, or
+futures still in flight after a timeout) so the next attempt gets a
+fresh one — the requeue-then-serial degradation semantics are unchanged.
 """
 
 from __future__ import annotations
@@ -38,11 +46,19 @@ from __future__ import annotations
 import logging
 import random
 import time
-from concurrent.futures import BrokenExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
 from dataclasses import dataclass, field
 
-__all__ = ["PoisonedJobs", "PoolReport", "RetryPolicy", "run_with_requeue"]
+__all__ = [
+    "PoisonedJobs",
+    "PoolReport",
+    "RetryPolicy",
+    "WarmPool",
+    "close_warm_pools",
+    "run_with_requeue",
+    "shared_warm_pool",
+]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -217,8 +233,22 @@ def run_with_requeue(
             pool_used = True
             report.attempts = attempt
             try:
-                futures = {key(job): submit(pool, job) for job in pending}
-                for job in pending:
+                try:
+                    futures = {key(job): submit(pool, job)
+                               for job in pending}
+                except BrokenExecutor as exc:
+                    # A pool can break *at submit time* (its workers died
+                    # between creation and the first submit).  That is one
+                    # pool-break incident and a plain requeue — the same
+                    # accounting as a break observed through a future —
+                    # not an error that tears down the whole sweep.
+                    report.pool_breaks += 1
+                    logger.warning(
+                        "worker pool broke during submission (%s); "
+                        "requeueing %d %s", exc, len(pending), noun,
+                    )
+                    futures = None
+                for job in pending if futures is not None else ():
                     try:
                         result = futures[key(job)].result(timeout=timeout)
                     except _FuturesTimeout:
@@ -286,3 +316,112 @@ def run_with_requeue(
     if report.poisoned and not allow_poisoned:
         raise PoisonedJobs(dict(report.poisoned), report, results)
     return results, report
+
+
+# ---------------------------------------------------------------------------
+# Warm pool reuse
+# ---------------------------------------------------------------------------
+
+class _WarmHandle:
+    """What :meth:`WarmPool.executor_factory` hands to ``run_with_requeue``.
+
+    ``run_with_requeue`` unconditionally calls ``shutdown(wait=False,
+    cancel_futures=True)`` after every attempt; the handle translates
+    that into "keep the executor warm when the attempt ended cleanly,
+    retire it when it is broken or still has futures in flight" (a hung
+    or timed-out worker leaves the pool's state unknowable, so the next
+    attempt must get a fresh one).
+    """
+
+    def __init__(self, pool: WarmPool, executor) -> None:
+        self._pool = pool
+        self._executor = executor
+        self._futures: list = []
+
+    def submit(self, fn, /, *args, **kwargs):
+        future = self._executor.submit(fn, *args, **kwargs)
+        self._futures.append(future)
+        return future
+
+    def shutdown(self, wait: bool = True,
+                 cancel_futures: bool = False) -> None:
+        broken = bool(getattr(self._executor, "_broken", False))
+        in_flight = any(not future.done() for future in self._futures)
+        if broken or in_flight:
+            self._pool._retire(self._executor)
+
+
+class WarmPool:
+    """A process pool that survives across campaigns within one invocation.
+
+    Use :meth:`executor_factory` wherever ``run_with_requeue`` takes an
+    ``executor_factory``: the first call spawns the executor, later calls
+    reuse it (``spawns``/``reuses`` count both for telemetry), and a
+    retirement — broken executor, futures left in flight — makes the next
+    call spawn fresh, preserving the requeue-onto-a-fresh-pool semantics.
+    """
+
+    def __init__(self, workers: int | None = None, factory=None) -> None:
+        self.workers = workers
+        self._factory = factory or (
+            lambda: ProcessPoolExecutor(max_workers=workers)
+        )
+        self._executor = None
+        self.spawns = 0
+        self.reuses = 0
+
+    def executor_factory(self):
+        """A live executor behind a shutdown-deferring handle."""
+        if self._executor is None:
+            self._executor = self._factory()
+            self.spawns += 1
+        else:
+            self.reuses += 1
+        return _WarmHandle(self, self._executor)
+
+    def _retire(self, executor) -> None:
+        if executor is self._executor:
+            self._executor = None
+        try:
+            executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+    def close(self) -> None:
+        """Shut the warm executor down (idempotent)."""
+        if self._executor is not None:
+            self._retire(self._executor)
+
+    def counters(self) -> dict:
+        """Manifest-ready reuse telemetry."""
+        return {"warm_pool_spawns": self.spawns,
+                "warm_pool_reuses": self.reuses}
+
+    def __enter__(self) -> WarmPool:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+
+_SHARED_WARM_POOLS: dict = {}
+
+
+def shared_warm_pool(workers: int | None) -> WarmPool:
+    """The invocation-wide warm pool for a worker count (lazily created).
+
+    The CLI threads this through beam campaigns and Monte Carlo sweeps so
+    one ``repro`` invocation spawns each pool size at most once; call
+    :func:`close_warm_pools` on the way out.
+    """
+    if workers not in _SHARED_WARM_POOLS:
+        _SHARED_WARM_POOLS[workers] = WarmPool(workers)
+    return _SHARED_WARM_POOLS[workers]
+
+
+def close_warm_pools() -> None:
+    """Close and forget every shared warm pool (invocation teardown)."""
+    while _SHARED_WARM_POOLS:
+        _, pool = _SHARED_WARM_POOLS.popitem()
+        pool.close()

@@ -325,6 +325,7 @@ def _run_cells(
     tracer=None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
 ) -> dict[tuple[str, ErrorPattern], PatternOutcome]:
     """Evaluate cells, fanned out when asked, robust to worker failure.
 
@@ -334,6 +335,8 @@ def _run_cells(
     carries its worker-side ``cell`` span back with the outcome and the
     spans merge into the parent trace as results arrive; ``heartbeat``
     (a :class:`repro.obs.Heartbeat`) is advanced one cell at a time.
+    ``warm_pool`` (a :class:`repro.core.pool.WarmPool`) supplies the
+    worker pool, reusing processes across sweeps in one invocation.
     """
     with_trace = tracer is not None
     if heartbeat is not None and heartbeat.total is None:
@@ -360,7 +363,10 @@ def _run_cells(
         ),
         workers=workers,
         timeout=cell_timeout,
-        executor_factory=lambda: ProcessPoolExecutor(max_workers=workers),
+        executor_factory=(
+            warm_pool.executor_factory if warm_pool is not None
+            else (lambda: ProcessPoolExecutor(max_workers=workers))
+        ),
         noun="cells",
         logger=_LOGGER,
         on_result=_on_result,
@@ -384,6 +390,7 @@ def _collect_cells(
     tracer=None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Shared cache-aware engine behind Table 2 and per-scheme evaluation."""
     cells = list(zip(ErrorPattern, _cell_seeds(seed)))
@@ -408,7 +415,8 @@ def _collect_cells(
                     seed_seq=child,
                     exhaustive_triples=exhaustive_triples,
                 ))
-    fresh = _run_cells(jobs, workers, cell_timeout, tracer, heartbeat, retry)
+    fresh = _run_cells(jobs, workers, cell_timeout, tracer, heartbeat, retry,
+                       warm_pool)
     if heartbeat is not None:
         heartbeat.close()
     if tracer is not None:
@@ -440,6 +448,7 @@ def evaluate_scheme(
     tracer=None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
 ) -> dict[ErrorPattern, PatternOutcome]:
     """All seven Table-2 cells for one scheme.
 
@@ -448,13 +457,15 @@ def evaluate_scheme(
     ``cache`` (e.g. :class:`repro.runs.CellCache`) reloads previously
     computed cells from the persistent run store and records fresh ones;
     ``cell_timeout`` bounds each cell's wall-clock in the fanned-out path;
-    ``tracer`` (a :class:`repro.obs.Tracer`) collects per-cell spans.
+    ``tracer`` (a :class:`repro.obs.Tracer`) collects per-cell spans;
+    ``warm_pool`` (a :class:`repro.core.pool.WarmPool`) reuses worker
+    processes across sweeps instead of spawning per call.
     """
     return _collect_cells(
         [scheme], samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
         cache=cache, cell_timeout=cell_timeout, tracer=tracer,
-        heartbeat=heartbeat, retry=retry,
+        heartbeat=heartbeat, retry=retry, warm_pool=warm_pool,
     )[scheme.name]
 
 
@@ -506,6 +517,7 @@ def sdc_risk_table(
     tracer=None,
     heartbeat=None,
     retry: RetryPolicy | None = None,
+    warm_pool=None,
 ) -> dict[str, dict[ErrorPattern, PatternOutcome]]:
     """Table 2: per-pattern outcomes for a list of schemes.
 
@@ -522,5 +534,5 @@ def sdc_risk_table(
         schemes, samples=samples, seed=seed,
         exhaustive_triples=exhaustive_triples, workers=workers,
         cache=cache, cell_timeout=cell_timeout, tracer=tracer,
-        heartbeat=heartbeat, retry=retry,
+        heartbeat=heartbeat, retry=retry, warm_pool=warm_pool,
     )

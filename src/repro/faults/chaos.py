@@ -36,6 +36,7 @@ import sys
 import tempfile
 from pathlib import Path
 
+from repro.core.shm import orphaned_segments
 from repro.faults.plan import (
     ENV_HOST_PID,
     ENV_LEDGER,
@@ -75,6 +76,11 @@ def add_chaos_parser(sub) -> None:
     chaos.add_argument("--runs", type=int, default=1)
     chaos.add_argument("--seed", type=int, default=2021)
     chaos.add_argument("--workers", type=int, default=2)
+    chaos.add_argument("--engine", choices=["shm", "columnar", "reference"],
+                       default="columnar",
+                       help="statistics engine for both campaigns; 'shm' "
+                            "additionally exercises the shared-memory "
+                            "arena faultpoints (shm.arena.*)")
     chaos.add_argument("--inject-faults", default=DEFAULT_SPEC,
                        metavar="SPEC",
                        help="fault schedule for the faulted campaign "
@@ -101,6 +107,7 @@ def _campaign_argv(args, store: Path) -> list[str]:
         "--events", str(args.events),
         "--seed", str(args.seed),
         "--workers", str(args.workers),
+        "--engine", getattr(args, "engine", "columnar"),
         "--heartbeat", "0",
         "--runs-dir", str(store),
     ]
@@ -171,6 +178,11 @@ def run_chaos(args, out=print) -> int:
                 f"exited {clean.returncode}")
             out(clean.stderr)
             return 1
+        leaked = orphaned_segments()
+        if leaked:
+            out("[repro chaos] FAIL: the clean campaign leaked "
+                f"shared-memory segments: {', '.join(leaked)}")
+            return 1
 
         fault_flags = [
             "--inject-faults", args.inject_faults,
@@ -234,6 +246,13 @@ def run_chaos(args, out=print) -> int:
         if torn_artifact and not quarantined:
             problems.append(
                 "a store write was torn but nothing was quarantined")
+
+        # Arena hygiene: every campaign process is dead by now, so any
+        # surviving repro-shm segment is a leak the recovery story missed.
+        leaked = orphaned_segments()
+        if leaked:
+            problems.append("orphaned shared-memory segments after "
+                            "recovery: " + ", ".join(leaked))
 
         clean_lines = _report_lines(clean.stdout)
         fault_lines = _report_lines(faulted.stdout)

@@ -19,6 +19,9 @@ The registered fault points, by layer:
 ``pool.worker.crash``                     entry of every pool job
 ``engine.chunk.hang``                     entry of a statistics chunk
 ``montecarlo.cell.hang``                  entry of a Table-2 cell
+``shm.arena.create``                      after a campaign arena exists
+``shm.arena.attach``                      before a worker maps its slice
+``shm.arena.detach``                      after a worker's slice is written
 ========================================  =================================
 
 Actions (``mode=``): ``raise`` raises :class:`InjectedFault`; ``exit``

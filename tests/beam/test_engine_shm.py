@@ -1,0 +1,362 @@
+"""The fused shared-memory engine and its zero-copy transport.
+
+Three contracts, in test-class order: the seed-for-seed equivalence
+matrix (``shm`` vs ``columnar`` vs ``reference`` — statistics byte
+identical, traces structurally comparable); the arena transport itself
+(round trip, checksum verification, overflow fallback, orphan reclaim,
+lifecycle hygiene); and recovery (a worker killed mid-range must not
+change the statistics or leave a ``/dev/shm`` segment behind).
+"""
+
+import logging
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro import faults
+from repro.beam import engine
+from repro.beam.engine import run_statistics_campaign
+from repro.beam.events import _inverse_permutations
+from repro.core.shm import (
+    PREFIX,
+    ShmArena,
+    cleanup_stale,
+    orphaned_segments,
+    read_columns,
+    write_columns,
+)
+from repro.faults import FaultPlan
+
+SEED = 41
+EVENTS = 600
+CHUNK = 97  # deliberately not a divisor: last chunk is a short one
+
+
+def _segments() -> list[str]:
+    """Every live repro arena segment, orphaned or not."""
+    try:
+        return sorted(e for e in os.listdir("/dev/shm")
+                      if e.startswith(PREFIX + "-"))
+    except OSError:  # pragma: no cover - no /dev/shm on this platform
+        return []
+
+
+def _assert_stats_identical(a, b):
+    assert a.n_records == b.n_records
+    assert a.n_observed == b.n_observed
+    assert a.class_fractions == b.class_fractions
+    assert a.mbme_histogram == b.mbme_histogram
+    assert a.byte_alignment == b.byte_alignment
+    assert a.bits_per_word_aligned == b.bits_per_word_aligned
+    assert a.bits_per_word_non_aligned == b.bits_per_word_non_aligned
+    assert a.table1 == b.table1
+    assert a.observed_events == b.observed_events
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    """One campaign per engine, same seed/chunking."""
+    return {
+        name: run_statistics_campaign(
+            EVENTS, seed=SEED, chunk=CHUNK, engine=name)
+        for name in engine.ENGINES
+    }
+
+
+class TestEquivalenceMatrix:
+    @pytest.mark.parametrize("other", ["columnar", "reference"])
+    def test_statistics_byte_identical(self, matrix, other):
+        _assert_stats_identical(matrix["shm"], matrix[other])
+
+    def test_traces_structurally_equal(self, matrix):
+        """Same stage-span vocabulary in every engine, one campaign and
+        one postprocess span each — so per-stage events_per_second stays
+        comparable across engines even though shm fuses dispatch."""
+        names = {name: {r.name for r in result.trace}
+                 for name, result in matrix.items()}
+        assert names["shm"] == names["columnar"] == names["reference"] == {
+            "campaign", "chunk", "synthesize", "scan", "postprocess"}
+        for result in matrix.values():
+            spans = [r.name for r in result.trace]
+            assert spans.count("campaign") == 1
+            assert spans.count("postprocess") == 1
+            assert set(result.stage_seconds) == set(engine._STAGES)
+
+    def test_shm_fuses_chunks_into_ranges(self, matrix):
+        n_chunks = -(-EVENTS // CHUNK)
+        chunk_spans = [r for r in matrix["shm"].trace if r.name == "chunk"]
+        assert len(chunk_spans) < n_chunks  # genuinely fused...
+        assert sum(r.attrs["chunks"] for r in chunk_spans) == n_chunks
+        columnar = [r for r in matrix["columnar"].trace
+                    if r.name == "chunk"]
+        assert len(columnar) == n_chunks  # ...while columnar is per-chunk
+
+    def test_range_partition_is_statistics_invariant(self, matrix):
+        for range_chunks in (1, 3, 64):
+            repartitioned = run_statistics_campaign(
+                EVENTS, seed=SEED, chunk=CHUNK, engine="shm",
+                range_chunks=range_chunks)
+            _assert_stats_identical(repartitioned, matrix["shm"])
+
+
+@pytest.mark.slow
+class TestPooledShm:
+    def test_pooled_matches_serial_and_leaves_no_segments(self, matrix):
+        before = _segments()
+        pooled = run_statistics_campaign(
+            1200, seed=SEED, chunk=100, engine="shm", workers=2,
+            range_chunks=3)
+        serial = run_statistics_campaign(
+            1200, seed=SEED, chunk=100, engine="shm")
+        _assert_stats_identical(pooled, serial)
+        assert pooled.pool_counters.get("pool_completed") == 4  # 12/3 ranges
+        assert _segments() == before  # arena unlinked on the way out
+
+    def test_killed_worker_recovers_bit_identically(self):
+        """kill -9 a worker mid-range: the campaign must requeue, finish
+        with byte-identical statistics, and unlink the arena."""
+        before = _segments()
+        clean = run_statistics_campaign(
+            1200, seed=SEED, chunk=100, engine="shm")
+        faults.install(
+            FaultPlan.parse("pool.worker.crash:mode=exit,times=1"),
+            export_env=True)
+        try:
+            crashed = run_statistics_campaign(
+                1200, seed=SEED, chunk=100, engine="shm", workers=2,
+                range_chunks=3)
+        finally:
+            faults.uninstall()
+            faults.reset()
+        _assert_stats_identical(crashed, clean)
+        assert crashed.pool_counters.get("pool_breaks", 0) >= 1
+        assert _segments() == before
+        assert orphaned_segments() == []
+
+
+class _DoneFuture:
+    def __init__(self, value):
+        self.value = value
+
+    def result(self, timeout=None):
+        return self.value
+
+    def cancel(self):
+        pass
+
+
+class _InlinePool:
+    """Executes submissions in-process: the real transport code path
+    (arena slices, descriptors) without multi-process variance."""
+
+    def __init__(self, max_workers=None):
+        pass
+
+    def submit(self, fn, *args, **kwargs):
+        return _DoneFuture(fn(*args, **kwargs))
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        pass
+
+
+class TestTransportFallbacks:
+    def test_descriptor_transport_matches_serial(self, monkeypatch, matrix):
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _InlinePool)
+        pooled = run_statistics_campaign(
+            EVENTS, seed=SEED, chunk=CHUNK, engine="shm", workers=4,
+            range_chunks=2)
+        _assert_stats_identical(pooled, matrix["shm"])
+
+    def test_arena_unavailable_degrades_to_pickles(self, monkeypatch,
+                                                   caplog, matrix):
+        def _no_arena(nbytes, **kwargs):
+            raise OSError("shm exhausted")
+
+        monkeypatch.setattr(engine, "ShmArena", _no_arena)
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _InlinePool)
+        with caplog.at_level(logging.WARNING, logger="repro.beam.engine"):
+            pooled = run_statistics_campaign(
+                EVENTS, seed=SEED, chunk=CHUNK, engine="shm", workers=4,
+                range_chunks=2)
+        _assert_stats_identical(pooled, matrix["shm"])
+        assert any("arena unavailable" in r.message for r in caplog.records)
+
+    def test_outgrown_slice_degrades_to_pickles(self, monkeypatch, matrix):
+        # Slices sized for ~no events: every write_columns overflows and
+        # the workers fall back to returning the columns inline.
+        monkeypatch.setattr(engine, "_SHM_BYTES_PER_EVENT", 1)
+        monkeypatch.setattr(engine, "_SHM_JOB_HEADROOM", 0)
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _InlinePool)
+        before = _segments()
+        pooled = run_statistics_campaign(
+            EVENTS, seed=SEED, chunk=CHUNK, engine="shm", workers=4,
+            range_chunks=2)
+        _assert_stats_identical(pooled, matrix["shm"])
+        assert _segments() == before
+
+    def test_heartbeat_advances_once_per_range(self, monkeypatch):
+        class _Broken(_InlinePool):
+            def submit(self, fn, *args, **kwargs):
+                raise engine.BrokenExecutor("fake")
+
+        class _Heartbeat:
+            total = None
+            advances = []
+
+            def update(self, advance=0, events=0):
+                self.advances.append((advance, events))
+
+            def close(self):
+                pass
+
+        monkeypatch.setattr(engine, "ProcessPoolExecutor", _Broken)
+        heartbeat = _Heartbeat()
+        run_statistics_campaign(
+            EVENTS, seed=SEED, chunk=CHUNK, engine="shm", workers=4,
+            range_chunks=2, heartbeat=heartbeat)
+        # 7 chunks in ranges of 2 -> 4 ranges, each advanced exactly once
+        # on the serial-fallback path that completed it; the engine sizes
+        # the bar in ranges, not chunks.
+        assert heartbeat.total == 4
+        assert len(heartbeat.advances) == 4
+        assert sum(events for _, events in heartbeat.advances) == EVENTS
+
+
+class TestArena:
+    COLUMNS = {
+        "time_s": np.linspace(0.0, 1.0, 7),
+        "flip_bit": np.arange(7, dtype=np.int64) * 3,
+        "flags": np.array([1, 0, 1, 1, 0, 0, 1], dtype=np.uint8),
+    }
+
+    def _copied_read(self, arena, descriptor):
+        """Read back through a detached copy of the arena bytes.
+
+        The zero-copy views alias the segment, and a mapping with live
+        exports cannot be unmapped — tests must not leak views past
+        ``close()`` (the engine copies out before closing, too).
+        """
+        return read_columns(memoryview(bytearray(arena.buf)), descriptor)
+
+    def test_round_trip(self):
+        with ShmArena(4096) as arena:
+            descriptor = write_columns(arena.name, 0, 4096, self.COLUMNS)
+            assert descriptor is not None
+            assert descriptor.segment == arena.name
+            assert descriptor.length <= 4096
+            got = self._copied_read(arena, descriptor)
+            assert list(got) == list(self.COLUMNS)
+            for key, array in self.COLUMNS.items():
+                assert got[key].dtype == array.dtype
+                np.testing.assert_array_equal(got[key], array)
+
+    def test_round_trip_at_an_offset(self):
+        with ShmArena(8192) as arena:
+            descriptor = write_columns(arena.name, 4096, 4096, self.COLUMNS)
+            assert descriptor.offset == 4096
+            got = self._copied_read(arena, descriptor)
+            np.testing.assert_array_equal(got["flip_bit"],
+                                          self.COLUMNS["flip_bit"])
+
+    def test_checksum_mismatch_raises(self):
+        with ShmArena(4096) as arena:
+            descriptor = write_columns(arena.name, 0, 4096, self.COLUMNS)
+            block = descriptor.columns[0]
+            arena.buf[block.offset] ^= 0x01  # one flipped bit
+            with pytest.raises(ValueError, match="checksum mismatch"):
+                self._copied_read(arena, descriptor)
+
+    def test_overflow_returns_none_without_attaching(self):
+        # Capacity check precedes the attach: a bogus segment name is
+        # fine because an oversized write must bail out before mapping.
+        assert write_columns("no-such-segment", 0, 8, self.COLUMNS) is None
+
+    def test_close_is_idempotent_and_unlinks(self):
+        arena = ShmArena(1024)
+        name = arena.name
+        assert name in _segments()
+        arena.close()
+        arena.close()
+        assert name not in _segments()
+
+    def test_orphan_detection_and_reclaim(self):
+        # A segment named for a process that no longer exists: exactly
+        # what a kill -9'd campaign leaves behind.
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True, text=True, check=True)
+        dead_pid = int(probe.stdout)
+        name = f"{PREFIX}-{dead_pid}-feedface"
+        path = os.path.join("/dev/shm", name)
+        with open(path, "wb") as handle:
+            handle.write(b"\0" * 64)
+        try:
+            assert name in orphaned_segments()
+            assert name in cleanup_stale()
+            assert name not in _segments()
+            assert name not in orphaned_segments()
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+    def test_live_segments_are_not_orphans(self):
+        with ShmArena(1024) as arena:
+            assert arena.name not in orphaned_segments()
+            assert cleanup_stale() == []
+
+    def test_creation_reclaims_earlier_orphans(self):
+        probe = subprocess.run(
+            [sys.executable, "-c", "import os; print(os.getpid())"],
+            capture_output=True, text=True, check=True)
+        name = f"{PREFIX}-{int(probe.stdout)}-deadbeef"
+        path = os.path.join("/dev/shm", name)
+        with open(path, "wb") as handle:
+            handle.write(b"\0" * 64)
+        try:
+            with ShmArena(1024) as arena:
+                assert name in arena.reclaimed
+            assert name not in _segments()
+        finally:
+            if os.path.exists(path):
+                os.unlink(path)
+
+
+class TestSmallestMask:
+    def _oracle(self, u, counts):
+        return _inverse_permutations(u) < counts[:, None]
+
+    def test_matches_oracle_on_random_rows(self):
+        rng = np.random.default_rng(7)
+        u = rng.random((200, 8))
+        counts = rng.integers(1, 9, size=200)
+        np.testing.assert_array_equal(
+            engine._smallest_mask(u, counts), self._oracle(u, counts))
+
+    def test_forced_boundary_ties_fall_back_to_stable_ranks(self):
+        # Row 0 ties exactly at the selection boundary (counts=2 over
+        # [.5, .5, .5, .1]): membership must follow the stable argsort,
+        # i.e. earlier-index duplicates win.
+        u = np.array([
+            [0.5, 0.5, 0.5, 0.1],
+            [0.5, 0.1, 0.5, 0.5],
+            [0.2, 0.2, 0.2, 0.2],
+        ])
+        counts = np.array([2, 3, 1])
+        np.testing.assert_array_equal(
+            engine._smallest_mask(u, counts), self._oracle(u, counts))
+
+    def test_full_width_rows_have_no_boundary(self):
+        u = np.array([[0.3, 0.3, 0.3]])
+        counts = np.array([3])
+        np.testing.assert_array_equal(
+            engine._smallest_mask(u, counts),
+            np.ones((1, 3), dtype=bool))
+
+    def test_empty_input(self):
+        empty = np.empty((0, 4))
+        got = engine._smallest_mask(empty, np.empty(0, dtype=np.int64))
+        assert got.shape == (0, 4)
+        assert got.dtype == bool

@@ -1,0 +1,29 @@
+"""Allocator tuning is observable-behaviour-free: it may only succeed
+(True) or degrade to a no-op (False), idempotently, without perturbing
+allocation itself."""
+
+import numpy as np
+
+from repro.core import mem
+from repro.core.mem import enable_heap_reuse
+
+
+def test_enable_heap_reuse_is_idempotent_and_boolean():
+    first = enable_heap_reuse()
+    assert isinstance(first, bool)
+    assert enable_heap_reuse() is first  # memoized tri-state
+    # allocation still works afterwards, tuned or not
+    arr = np.arange(1 << 16, dtype=np.int64)
+    assert int(arr.sum()) == (1 << 16) * ((1 << 16) - 1) // 2
+
+
+def test_reserve_is_monotonic_and_capped(monkeypatch):
+    monkeypatch.setattr(mem, "_MAX_RESERVE", 1 << 21)
+    monkeypatch.setattr(mem, "_RESERVED", 0)
+    enable_heap_reuse(reserve_bytes=1 << 20)
+    grown = mem._RESERVED
+    assert grown == 1 << 20
+    enable_heap_reuse(reserve_bytes=1 << 10)  # smaller request: no shrink
+    assert mem._RESERVED == grown
+    enable_heap_reuse(reserve_bytes=1 << 30)  # capped at _MAX_RESERVE
+    assert mem._RESERVED == 1 << 21

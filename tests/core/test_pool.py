@@ -130,6 +130,50 @@ class TestRequeueAccounting:
         assert any("worker pool broke" in r.message for r in caplog.records)
         assert any("falling back" in r.message for r in caplog.records)
 
+    def test_serial_retry_after_timeout_is_one_incident(self):
+        """A chunk that times out on every pool attempt and then succeeds
+        in-process must advance its heartbeat once and be requeued once —
+        the timeout *occurrences* stay per-incident, but nothing else
+        double-counts the job."""
+        advances = []
+
+        def factory():
+            return _ScriptedPool(
+                lambda job: _FuturesTimeout() if job == "b" else f"pool:{job}")
+
+        results, report = _run(
+            factory, timeout=0.01,
+            on_result=lambda job, result: advances.append(job))
+        assert results["b"] == "serial:b"
+        assert advances.count("b") == 1     # heartbeat fired once for b
+        assert sorted(advances) == JOBS     # and once for everything else
+        assert report.requeued == 1
+        assert report.timeouts == 2         # raw incidents, per occurrence
+        assert report.serial_completed == 1
+        assert report.pool_completed == 2
+        # the reconciliation: completions sum to the job count exactly
+        assert report.pool_completed + report.serial_completed == len(JOBS)
+
+    def test_submit_time_pool_break_requeues_once(self, caplog):
+        """A pool whose workers die between creation and the first submit
+        breaks at submit time — one break incident per attempt, the same
+        requeue accounting as a break observed through a future."""
+        class _SubmitBrokenPool(_ScriptedPool):
+            def submit(self, fn, job):
+                raise BrokenExecutor("died before first submit")
+
+        def factory():
+            return _SubmitBrokenPool(lambda job: None)
+
+        with caplog.at_level(logging.WARNING, logger="repro.core.pool"):
+            results, report = _run(factory)
+        assert results == {job: f"serial:{job}" for job in JOBS}
+        assert report.pool_breaks == 2      # one per pool attempt
+        assert report.requeued_keys == set(JOBS)
+        assert report.serial_completed == 3
+        assert any("broke during submission" in r.message
+                   for r in caplog.records)
+
     def test_pool_that_cannot_start_goes_straight_to_serial(self, caplog):
         def factory():
             raise OSError("no processes")

@@ -1,0 +1,161 @@
+"""Warm worker-pool reuse across campaigns in one invocation.
+
+:class:`repro.core.pool.WarmPool` plugs into ``run_with_requeue``'s
+``executor_factory`` seam; these tests pin the reuse contract — spawn
+once, reuse cleanly-finished executors, retire broken or still-busy ones
+so the requeue-onto-a-fresh-pool semantics survive — plus the shared
+per-invocation registry the CLI uses.
+"""
+
+import pytest
+
+from repro.core.pool import (
+    WarmPool,
+    close_warm_pools,
+    run_with_requeue,
+    shared_warm_pool,
+)
+
+
+class _Future:
+    def __init__(self, outcome, done=True):
+        self.outcome = outcome
+        self._done = done
+
+    def result(self, timeout=None):
+        if isinstance(self.outcome, BaseException):
+            raise self.outcome
+        return self.outcome
+
+    def done(self):
+        return self._done
+
+    def cancel(self):
+        pass
+
+
+class _Executor:
+    """Scripted ProcessPoolExecutor stand-in."""
+
+    def __init__(self):
+        self.shutdowns = 0
+        self._broken = False
+
+    def submit(self, fn, *args, **kwargs):
+        return _Future(f"ok:{args[0]}")
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns += 1
+
+
+class TestWarmPool:
+    def test_spawns_once_and_reuses(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        pool = WarmPool(workers=2, factory=factory)
+        first = pool.executor_factory()
+        first.shutdown(wait=False, cancel_futures=True)
+        second = pool.executor_factory()
+        second.shutdown(wait=False, cancel_futures=True)
+        assert len(made) == 1
+        assert pool.spawns == 1 and pool.reuses == 1
+        assert made[0].shutdowns == 0  # kept warm through both attempts
+        assert pool.counters() == {"warm_pool_spawns": 1,
+                                   "warm_pool_reuses": 1}
+
+    def test_broken_executor_is_retired(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        pool = WarmPool(workers=2, factory=factory)
+        handle = pool.executor_factory()
+        made[0]._broken = True
+        handle.shutdown(wait=False, cancel_futures=True)
+        assert made[0].shutdowns == 1  # genuinely shut down
+        pool.executor_factory()
+        assert len(made) == 2  # next attempt got a fresh executor
+        assert pool.spawns == 2 and pool.reuses == 0
+
+    def test_in_flight_futures_retire_the_executor(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        pool = WarmPool(workers=2, factory=factory)
+        handle = pool.executor_factory()
+        handle._futures.append(_Future("hung", done=False))
+        handle.shutdown(wait=False, cancel_futures=True)
+        assert made[0].shutdowns == 1
+        pool.executor_factory()
+        assert len(made) == 2
+
+    def test_close_is_idempotent(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        pool = WarmPool(workers=2, factory=factory)
+        pool.executor_factory()
+        pool.close()
+        pool.close()
+        assert made[0].shutdowns == 1
+
+    def test_context_manager_closes(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        with WarmPool(workers=2, factory=factory) as pool:
+            pool.executor_factory()
+        assert made[0].shutdowns == 1
+
+    def test_reuse_through_run_with_requeue(self):
+        made = []
+
+        def factory():
+            made.append(_Executor())
+            return made[-1]
+
+        pool = WarmPool(workers=2, factory=factory)
+        for _ in range(3):  # three "campaigns" in one invocation
+            results, report = run_with_requeue(
+                ["a", "b"],
+                key=lambda job: job,
+                describe=lambda job: job,
+                submit=lambda executor, job: executor.submit(None, job),
+                run_serial=lambda job: f"serial:{job}",
+                workers=2,
+                executor_factory=pool.executor_factory,
+            )
+            assert results == {"a": "ok:a", "b": "ok:b"}
+            assert report.pool_completed == 2
+        assert len(made) == 1
+        assert pool.spawns == 1 and pool.reuses == 2
+
+
+class TestSharedRegistry:
+    def test_shared_pool_per_worker_count(self):
+        try:
+            assert shared_warm_pool(2) is shared_warm_pool(2)
+            assert shared_warm_pool(2) is not shared_warm_pool(3)
+        finally:
+            close_warm_pools()
+
+    def test_close_warm_pools_forgets(self):
+        first = shared_warm_pool(2)
+        close_warm_pools()
+        assert shared_warm_pool(2) is not first
+        close_warm_pools()

@@ -11,7 +11,7 @@ from repro.faults.chaos import DEFAULT_SPEC, run_chaos
 
 def _args(**overrides) -> argparse.Namespace:
     base = dict(
-        events=1200, runs=1, seed=2021, workers=2,
+        events=1200, runs=1, seed=2021, workers=2, engine="columnar",
         inject_faults=DEFAULT_SPEC, faults_seed=7, max_restarts=8,
         chunk_timeout=None, keep=False,
     )
@@ -37,6 +37,24 @@ def test_default_schedule_recovers_bit_identically():
     # The stock schedule kills the host twice (torn campaign artifact and
     # torn checkpoint, both host=1), so recovery requires real restarts.
     assert any("campaign killed" in line for line in lines)
+
+
+@pytest.mark.slow
+def test_shm_arena_leak_is_reclaimed_on_resume():
+    # shm.arena.create with host=1 kills the coordinator right after the
+    # shared-memory segment exists — a deliberate leak.  The --resume
+    # recovery must reclaim it (run_chaos fails on any surviving
+    # repro-shm segment) and still end bit-identical to the clean run.
+    lines = []
+    spec = ("pool.worker.crash:mode=exit,times=1;"
+            "shm.arena.create:mode=exit,host=1,times=1")
+    assert run_chaos(
+        _args(engine="shm", inject_faults=spec), out=lines.append) == 0
+    report = "\n".join(lines)
+    assert "PASS" in report
+    assert "shm.arena.create: 1" in report
+    assert any("campaign killed" in line for line in lines)
+    assert "statistics bit-identical to the clean run" in report
 
 
 @pytest.mark.slow
