@@ -72,7 +72,11 @@ from repro.beam.microbenchmark import (
     UniformPattern,
 )
 from repro.core.mem import enable_heap_reuse
-from repro.core.pool import RetryPolicy, run_with_requeue
+from repro.core.pool import (
+    RetryPolicy,
+    pool_worker_init,
+    run_with_requeue,
+)
 from repro.core.shm import ShmArena, SliceDescriptor, align, read_columns, \
     write_columns
 from repro.dram.device import SimulatedHBM2
@@ -758,7 +762,8 @@ def _run_chunks(
         timeout=chunk_timeout,
         executor_factory=(
             warm_pool.executor_factory if warm_pool is not None
-            else (lambda: ProcessPoolExecutor(max_workers=workers))
+            else (lambda: ProcessPoolExecutor(
+                max_workers=workers, initializer=pool_worker_init))
         ),
         noun="chunks",
         logger=_LOGGER,
@@ -875,7 +880,8 @@ def _run_ranges(
             timeout=chunk_timeout,
             executor_factory=(
                 warm_pool.executor_factory if warm_pool is not None
-                else (lambda: ProcessPoolExecutor(max_workers=workers))
+                else (lambda: ProcessPoolExecutor(
+                max_workers=workers, initializer=pool_worker_init))
             ),
             noun="chunk ranges",
             logger=_LOGGER,

@@ -12,7 +12,13 @@ Gives shell access to the main workflows of the library:
 ``report``      generate the full reproduction report as Markdown
 ``runs``        inspect the persistent run store (list/show/diff/gc)
 ``chaos``       campaign under a seeded fault schedule (crash-consistency
-                harness; asserts recovery and clean-identical statistics)
+                harness; asserts recovery and clean-identical statistics;
+                ``--serve`` targets the daemon instead of the CLI)
+``serve``       run the multi-tenant async campaign service (HTTP/JSON
+                API with dedupe, fair-share scheduling and SSE progress)
+``submit``      submit one job to a running ``repro serve`` daemon
+``jobs``        list/show/watch/cancel jobs on a running daemon
+``version``     print the package version (also ``repro --version``)
 
 Every evaluation subcommand also accepts ``--inject-faults SPEC`` (or the
 ``REPRO_FAULTS`` environment variable) to activate the deterministic
@@ -34,7 +40,27 @@ import sys
 
 from repro.analysis.tables import format_percent, format_table
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "version_string"]
+
+
+def version_string() -> str:
+    """``repro <version>`` from installed metadata, else the package.
+
+    An installed distribution's metadata wins (it reflects what pip
+    actually deployed); a source checkout that was never installed falls
+    back to ``repro.__version__``.
+    """
+    try:
+        from importlib.metadata import version as _dist_version
+
+        version = _dist_version("repro")
+    except Exception:
+        version = None
+    if not version:
+        import repro
+
+        version = repro.__version__
+    return f"repro {version}"
 
 
 def _add_store_flags(parser: argparse.ArgumentParser,
@@ -86,7 +112,11 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduction of 'Characterizing and Mitigating Soft "
                     "Errors in GPU DRAM' (MICRO 2021).",
     )
+    parser.add_argument("--version", action="version",
+                        version=version_string())
     sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("version", help="print the package version")
 
     sub.add_parser("schemes", help="list available ECC organizations")
 
@@ -146,9 +176,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     from repro.faults.chaos import add_chaos_parser
     from repro.runs.cli import add_runs_parser
+    from repro.serve.client import add_client_parsers
+    from repro.serve.server import add_serve_parser
 
     add_runs_parser(sub)
     add_chaos_parser(sub)
+    add_serve_parser(sub)
+    add_client_parsers(sub)
     return parser
 
 
@@ -233,20 +267,68 @@ def _session_or_null(args, command: str, config: dict):
     return session
 
 
-def _print_summary(session) -> None:
+def _print_summary(session, out=print) -> None:
     summary = session.summary()
     if summary:
-        print(f"\n{summary}")
+        out(f"\n{summary}")
 
 
 def _make_heartbeat(args, label: str, unit: str):
-    """A stderr progress heartbeat honoring ``--heartbeat`` (None = off)."""
+    """A progress heartbeat honoring ``--heartbeat`` (None = off).
+
+    Lines go to stderr by default; a namespace carrying a
+    ``heartbeat_callback`` (the serve daemon's SSE bridge) gets every
+    line delivered there instead.
+    """
     interval = getattr(args, "heartbeat", 0.0)
+    callback = getattr(args, "heartbeat_callback", None)
     if not interval or interval <= 0:
         return None
     from repro.obs import Heartbeat
 
-    return Heartbeat(label, unit=unit, interval_s=interval)
+    return Heartbeat(label, unit=unit, interval_s=interval,
+                     callback=callback)
+
+
+# ---------------------------------------------------------------------------
+# Session configs — one builder per cached command, shared with the serve
+# daemon so a submitted job and its CLI twin produce the same manifest
+# config (which is what makes the daemon's resume-matching work).
+# ---------------------------------------------------------------------------
+
+def evaluate_session_config(args) -> dict:
+    return {
+        "scheme": args.scheme, "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    }
+
+
+def fig8_session_config(args) -> dict:
+    return {
+        "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    }
+
+
+def campaign_session_config(args) -> dict:
+    return {"runs": args.runs, "seed": args.seed, "events": args.events}
+
+
+def beam_campaign_config(cfg: dict):
+    """The :class:`repro.beam.CampaignConfig` a campaign session runs.
+
+    Factored out of :func:`_cmd_campaign` so the serve layer can compute
+    the campaign's content-addressed artifact key *before* scheduling.
+    """
+    from repro.beam import CampaignConfig, DamageParameters, EventParameters
+
+    return CampaignConfig(
+        runs=cfg["runs"], write_cycles=6, reads_per_write=3, loop_time_s=2.0,
+        seed=cfg["seed"],
+        event_parameters=EventParameters(mean_time_to_event_s=8.0),
+        damage_parameters=DamageParameters(leaky_pool=100,
+                                           saturation_fluence=3e8),
+    )
 
 
 def _warm_pool(workers):
@@ -277,14 +359,12 @@ def _cmd_schemes() -> None:
     print(format_table(["name", "organization", "pin correction"], rows))
 
 
-def _cmd_evaluate(args) -> None:
+def _cmd_evaluate(args, out=print):
     from repro.core import get_scheme
     from repro.errormodel import evaluate_scheme, weighted_outcomes
 
-    session = _session_or_null(args, "evaluate", {
-        "scheme": args.scheme, "samples": args.samples, "seed": args.seed,
-        "workers": args.workers, "cell_timeout": args.cell_timeout,
-    })
+    session = _session_or_null(args, "evaluate",
+                               evaluate_session_config(args))
     cfg = session.config
     with session.active():
         scheme = get_scheme(cfg["scheme"])
@@ -305,26 +385,24 @@ def _cmd_evaluate(args) -> None:
          "exhaustive" if outcome.exhaustive else "sampled"]
         for pattern, outcome in per_pattern.items()
     ]
-    print(format_table(
+    out(format_table(
         ["pattern", "events", "corrected", "DUE", "SDC", "method"],
         rows, title=f"{scheme.label} — per-pattern outcomes",
     ))
     outcome = weighted_outcomes(scheme, per_pattern=per_pattern)
-    print(
+    out(
         f"\nTable-1 weighted: corrected {outcome.correct:.2%}, "
         f"DUE {outcome.detect:.2%}, SDC {format_percent(outcome.sdc)}"
     )
-    _print_summary(session)
+    _print_summary(session, out)
+    return session
 
 
-def _cmd_fig8(args) -> None:
+def _cmd_fig8(args, out=print):
     from repro.core import all_schemes
     from repro.errormodel import evaluate_scheme, weighted_outcomes
 
-    session = _session_or_null(args, "fig8", {
-        "samples": args.samples, "seed": args.seed,
-        "workers": args.workers, "cell_timeout": args.cell_timeout,
-    })
+    session = _session_or_null(args, "fig8", fig8_session_config(args))
     cfg = session.config
     rows = []
     with session.active():
@@ -344,9 +422,10 @@ def _cmd_fig8(args) -> None:
                     scheme.label, f"{outcome.correct:.2%}",
                     f"{outcome.detect:.2%}", format_percent(outcome.sdc),
                 ])
-    print(format_table(["scheme", "corrected", "DUE", "SDC"], rows,
-                       title="Figure 8 — Table-1-weighted outcomes"))
-    _print_summary(session)
+    out(format_table(["scheme", "corrected", "DUE", "SDC"], rows,
+                     title="Figure 8 — Table-1-weighted outcomes"))
+    _print_summary(session, out)
+    return session
 
 
 def _cmd_hardware() -> None:
@@ -371,14 +450,11 @@ def _cmd_hardware() -> None:
         print()
 
 
-def _cmd_campaign(args) -> None:
+def _cmd_campaign(args, out=print):
     from dataclasses import asdict
 
     from repro.beam import (
         BeamCampaign,
-        CampaignConfig,
-        DamageParameters,
-        EventParameters,
         breadth_class_fractions,
         derive_table1,
         filter_intermittent,
@@ -386,17 +462,10 @@ def _cmd_campaign(args) -> None:
         run_statistics_campaign,
     )
 
-    session = _session_or_null(args, "campaign", {
-        "runs": args.runs, "seed": args.seed, "events": args.events,
-    })
+    session = _session_or_null(args, "campaign",
+                               campaign_session_config(args))
     cfg = session.config
-    config = CampaignConfig(
-        runs=cfg["runs"], write_cycles=6, reads_per_write=3, loop_time_s=2.0,
-        seed=cfg["seed"],
-        event_parameters=EventParameters(mean_time_to_event_s=8.0),
-        damage_parameters=DamageParameters(leaky_pool=100,
-                                           saturation_fluence=3e8),
-    )
+    config = beam_campaign_config(cfg)
     records = None
     with session.active():
         if session.cell_cache is not None:
@@ -433,10 +502,10 @@ def _cmd_campaign(args) -> None:
 
         filtered = filter_intermittent(records)
         observed = group_events(filtered.soft_records)
-        print(f"beam time {elapsed_s:,.0f}s | "
-              f"{n_events} injected events | "
-              f"{len(observed)} observed | "
-              f"{len(filtered.damaged_entries)} damaged entries filtered")
+        out(f"beam time {elapsed_s:,.0f}s | "
+            f"{n_events} injected events | "
+            f"{len(observed)} observed | "
+            f"{len(filtered.damaged_entries)} damaged entries filtered")
 
         with session.stage("statistics"):
             statistics = run_statistics_campaign(
@@ -450,13 +519,14 @@ def _cmd_campaign(args) -> None:
             )
             observed += statistics.observed_events
         session.record_counters(statistics.counters())
-        print("\nEvent classes (Figure 4a):")
+        out("\nEvent classes (Figure 4a):")
         for klass, fraction in breadth_class_fractions(observed).items():
-            print(f"  {klass.name}: {fraction:.1%}")
-        print("\nDerived Table 1:")
+            out(f"  {klass.name}: {fraction:.1%}")
+        out("\nDerived Table 1:")
         for pattern, probability in derive_table1(observed).items():
-            print(f"  {pattern.value:8s}: {probability:.2%}")
-    _print_summary(session)
+            out(f"  {pattern.value:8s}: {probability:.2%}")
+    _print_summary(session, out)
+    return session
 
 
 def _cmd_system(args) -> None:
@@ -547,8 +617,13 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _install_fault_plan(args)
+    from repro.core.pool import install_shutdown_hooks
+
+    install_shutdown_hooks()
     try:
-        if args.command == "schemes":
+        if args.command == "version":
+            print(version_string())
+        elif args.command == "schemes":
             _cmd_schemes()
         elif args.command == "evaluate":
             _cmd_evaluate(args)
@@ -572,6 +647,18 @@ def main(argv: list[str] | None = None) -> int:
             from repro.faults.chaos import cmd_chaos
 
             return cmd_chaos(args)
+        elif args.command == "serve":
+            from repro.serve.server import cmd_serve
+
+            return cmd_serve(args)
+        elif args.command == "submit":
+            from repro.serve.client import cmd_submit
+
+            return cmd_submit(args)
+        elif args.command == "jobs":
+            from repro.serve.client import cmd_jobs
+
+            return cmd_jobs(args)
         return 0
     finally:
         from repro.core.pool import close_warm_pools

@@ -43,8 +43,12 @@ fresh one — the requeue-then-serial degradation semantics are unchanged.
 
 from __future__ import annotations
 
+import atexit
 import logging
+import os
 import random
+import signal
+import threading
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as _FuturesTimeout
@@ -56,6 +60,9 @@ __all__ = [
     "RetryPolicy",
     "WarmPool",
     "close_warm_pools",
+    "install_shutdown_hooks",
+    "pool_worker_init",
+    "release_runtime_resources",
     "run_with_requeue",
     "shared_warm_pool",
 ]
@@ -351,6 +358,31 @@ class _WarmHandle:
             self._pool._retire(self._executor)
 
 
+def pool_worker_init() -> None:
+    """Reset inherited signal state in a freshly forked pool worker.
+
+    Forked workers inherit the parent's signal dispositions — including,
+    when the parent is the ``repro serve`` daemon, asyncio's wakeup-fd
+    handler whose socketpair is *shared* with the parent's event loop.  A
+    worker that then receives a signal (``ProcessPoolExecutor`` SIGTERMs
+    surviving workers when a sibling dies and breaks the pool) would
+    write the signal number into the shared socket and the *daemon's*
+    loop would dispatch its own SIGTERM callback — a worker-pool incident
+    masquerading as a shutdown request.  Detaching the wakeup fd and
+    restoring default dispositions confines signals to the process they
+    were sent to.
+    """
+    try:
+        signal.set_wakeup_fd(-1)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            signal.signal(signum, signal.SIG_DFL)
+        except (ValueError, OSError):  # pragma: no cover - exotic host
+            pass
+
+
 class WarmPool:
     """A process pool that survives across campaigns within one invocation.
 
@@ -364,7 +396,8 @@ class WarmPool:
     def __init__(self, workers: int | None = None, factory=None) -> None:
         self.workers = workers
         self._factory = factory or (
-            lambda: ProcessPoolExecutor(max_workers=workers)
+            lambda: ProcessPoolExecutor(max_workers=workers,
+                                        initializer=pool_worker_init)
         )
         self._executor = None
         self.spawns = 0
@@ -425,3 +458,68 @@ def close_warm_pools() -> None:
     while _SHARED_WARM_POOLS:
         _, pool = _SHARED_WARM_POOLS.popitem()
         pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Process-exit cleanup: signals + atexit
+# ---------------------------------------------------------------------------
+#
+# A warm pool holds live worker processes and a campaign holds live
+# /dev/shm arena segments; a SIGTERM'd invocation (or a long-running
+# ``repro serve`` daemon) that never reaches its ``finally`` blocks would
+# strand both — workers as orphans, segments until the next opportunistic
+# ``cleanup_stale`` scan.  ``install_shutdown_hooks`` makes teardown a
+# process-level guarantee: ``atexit`` covers every normal exit, and
+# SIGTERM/SIGINT handlers cover the killed ones, chaining to whatever
+# handler was installed before (so Ctrl-C still raises KeyboardInterrupt
+# and a plain SIGTERM still terminates with the conventional status).
+
+_HOOKS_INSTALLED = False
+_PREVIOUS_HANDLERS: dict = {}
+
+
+def release_runtime_resources() -> None:
+    """Close every shared warm pool and unlink this process's arenas.
+
+    Idempotent and safe to call from a signal handler — both halves only
+    touch in-process registries plus ``os`` calls.
+    """
+    close_warm_pools()
+    from repro.core.shm import release_arenas
+
+    release_arenas()
+
+
+def _on_shutdown_signal(signum, frame) -> None:
+    release_runtime_resources()
+    previous = _PREVIOUS_HANDLERS.get(signum, signal.SIG_DFL)
+    if callable(previous):
+        previous(signum, frame)
+    elif previous == signal.SIG_DFL:
+        # Re-deliver with the default disposition so the exit status
+        # still says "killed by signal" to whoever is watching.
+        signal.signal(signum, signal.SIG_DFL)
+        os.kill(os.getpid(), signum)
+    # SIG_IGN: swallow, as the prior configuration asked.
+
+
+def install_shutdown_hooks() -> bool:
+    """Hook SIGTERM/SIGINT + ``atexit`` to release pools and shm arenas.
+
+    Returns True the first time (hooks installed), False on repeat calls.
+    Signal handlers are only touched from the main thread (Python forbids
+    anything else); the ``atexit`` half installs regardless.
+    """
+    global _HOOKS_INSTALLED
+    if _HOOKS_INSTALLED:
+        return False
+    _HOOKS_INSTALLED = True
+    atexit.register(release_runtime_resources)
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                _PREVIOUS_HANDLERS[signum] = signal.signal(
+                    signum, _on_shutdown_signal)
+            except (ValueError, OSError):  # pragma: no cover - exotic host
+                pass
+    return True

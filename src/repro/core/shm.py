@@ -44,6 +44,7 @@ import contextlib
 import os
 import secrets
 import stat
+import weakref
 import zlib
 from dataclasses import dataclass
 from multiprocessing import resource_tracker, shared_memory
@@ -60,6 +61,7 @@ __all__ = [
     "cleanup_stale",
     "orphaned_segments",
     "read_columns",
+    "release_arenas",
     "write_columns",
 ]
 
@@ -125,6 +127,30 @@ def _attach(name: str) -> shared_memory.SharedMemory:
         return shared_memory.SharedMemory(name=name)
 
 
+#: every arena this process created and has not yet closed — the hook
+#: :func:`release_arenas` (wired to SIGTERM/SIGINT/atexit by
+#: :func:`repro.core.pool.install_shutdown_hooks`) unlinks them so a
+#: killed host doesn't strand segments until the next stale-scan
+_LIVE_ARENAS: "weakref.WeakSet[ShmArena]" = weakref.WeakSet()
+
+
+def release_arenas() -> list[str]:
+    """Close (detach + unlink) every live arena of this process.
+
+    Returns the released segment names; idempotent — an arena already
+    closed by its campaign is skipped.
+    """
+    released = []
+    for arena in list(_LIVE_ARENAS):
+        if arena._segment is not None:
+            released.append(arena.name)
+            try:
+                arena.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+    return sorted(released)
+
+
 class ShmArena:
     """The host side of one campaign's shared-memory arena.
 
@@ -145,6 +171,7 @@ class ShmArena:
                 name=name or _segment_name(), create=True, size=self.nbytes,
             )
         self.name = self._segment.name
+        _LIVE_ARENAS.add(self)
         faultpoint("shm.arena.create", segment=self.name)
 
     @property

@@ -56,7 +56,11 @@ from typing import NamedTuple
 
 import numpy as np
 
-from repro.core.pool import RetryPolicy, run_with_requeue
+from repro.core.pool import (
+    RetryPolicy,
+    pool_worker_init,
+    run_with_requeue,
+)
 from repro.core.scheme import ECCScheme
 from repro.faults import faultpoint
 from repro.errormodel.patterns import (
@@ -365,7 +369,8 @@ def _run_cells(
         timeout=cell_timeout,
         executor_factory=(
             warm_pool.executor_factory if warm_pool is not None
-            else (lambda: ProcessPoolExecutor(max_workers=workers))
+            else (lambda: ProcessPoolExecutor(
+                max_workers=workers, initializer=pool_worker_init))
         ),
         noun="cells",
         logger=_LOGGER,

@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import os
 import shutil
+import signal
 import subprocess
 import sys
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.shm import orphaned_segments
@@ -46,7 +48,14 @@ from repro.faults.plan import (
     FaultSpecError,
 )
 
-__all__ = ["DEFAULT_SPEC", "add_chaos_parser", "cmd_chaos", "run_chaos"]
+__all__ = [
+    "DEFAULT_SERVE_SPEC",
+    "DEFAULT_SPEC",
+    "add_chaos_parser",
+    "cmd_chaos",
+    "run_chaos",
+    "run_chaos_serve",
+]
 
 #: The stock schedule: four fault classes across three layers — a pool
 #: worker killed mid-chunk, the campaign artifact and a checkpoint line
@@ -58,9 +67,21 @@ DEFAULT_SPEC = (
     "engine.chunk.hang:mode=hang,s=0.05,times=2"
 )
 
+#: The ``--serve`` schedule: a pool worker killed mid-chunk (the daemon's
+#: warm pool absorbs it) and a torn campaign-artifact write with
+#: ``host=1`` — the *daemon* is the host, so the fault kills the whole
+#: service mid-job and recovery must come from restart + store resume.
+DEFAULT_SERVE_SPEC = (
+    "pool.worker.crash:mode=exit,times=1;"
+    "store.save_campaign.pre_rename:mode=torn,host=1,times=1"
+)
+
 #: wall-clock bound per campaign invocation (a hung subprocess must not
 #: hang the harness)
 _SUBPROCESS_TIMEOUT_S = 600.0
+
+#: daemon must write its ready file within this window
+_SERVE_START_TIMEOUT_S = 60.0
 
 
 def add_chaos_parser(sub) -> None:
@@ -98,6 +119,12 @@ def add_chaos_parser(sub) -> None:
     chaos.add_argument("--keep", action="store_true",
                        help="keep the scratch stores and ledger for "
                             "post-mortem instead of deleting them")
+    chaos.add_argument("--serve", action="store_true",
+                       help="run the faulted campaign through a repro "
+                            "serve daemon instead of the CLI: faults "
+                            "kill the daemon mid-job and recovery is "
+                            "restart + resubmit (store resume), still "
+                            "asserting clean-run-identical statistics")
 
 
 def _campaign_argv(args, store: Path) -> list[str]:
@@ -282,6 +309,240 @@ def run_chaos(args, out=print) -> int:
             shutil.rmtree(work, ignore_errors=True)
 
 
+# ---------------------------------------------------------------------------
+# --serve: the same verdicts, with the faulted campaign inside a daemon
+# ---------------------------------------------------------------------------
+
+def _serve_argv(args, store: Path, ready: Path, ledger: Path,
+                spec: str) -> list[str]:
+    return [
+        sys.executable, "-m", "repro", "serve",
+        "--port", "0",
+        "--ready-file", str(ready),
+        "--runs-dir", str(store),
+        "--workers", str(args.workers),
+        "--inject-faults", spec,
+        "--faults-seed", str(args.faults_seed),
+        "--faults-ledger", str(ledger),
+    ]
+
+
+def _start_daemon(argv: list[str], env: dict, ready: Path,
+                  log_path: Path) -> subprocess.Popen:
+    """Launch the daemon and wait for its ready file (or early death)."""
+    ready.unlink(missing_ok=True)
+    log = open(log_path, "a")
+    daemon = subprocess.Popen(argv, env=env, stdout=log, stderr=log)
+    log.close()  # the child holds its own descriptor
+    deadline = time.monotonic() + _SERVE_START_TIMEOUT_S
+    while time.monotonic() < deadline:
+        if ready.exists():
+            return daemon
+        if daemon.poll() is not None:
+            raise RuntimeError(
+                f"daemon exited {daemon.returncode} before becoming "
+                f"ready (log: {log_path})")
+        time.sleep(0.05)
+    daemon.kill()
+    raise RuntimeError(f"daemon not ready after "
+                       f"{_SERVE_START_TIMEOUT_S:.0f}s (log: {log_path})")
+
+
+def _serve_job_once(url: str, params: dict):
+    """Submit + watch one campaign job; returns the terminal event pair.
+
+    Returns ``(job_id, event_name, report_or_error)`` — ``event_name`` is
+    ``None`` when the daemon died under us (connection drop, stream
+    ending without a terminal event).
+    """
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(url, timeout=30.0)
+    try:
+        status, payload = client.submit("campaign", params)
+        if status not in (200, 201):
+            return None, "rejected", str(payload)
+        job_id = payload["job"]["job_id"]
+        final = None
+        for event in client.watch(job_id, timeout=_SUBPROCESS_TIMEOUT_S):
+            if event["event"] in ("completed", "failed", "cancelled"):
+                final = event
+        if final is None:
+            return job_id, None, None
+        if final["event"] == "completed":
+            job = client.job(job_id)
+            return job_id, "completed", (job.get("result") or {}).get(
+                "report", "")
+        return job_id, final["event"], (final.get("data") or {}).get(
+            "error")
+    except (ServeError, OSError) as exc:
+        return None, None, str(exc)
+
+
+def run_chaos_serve(args, out=print) -> int:
+    """Clean-vs-faulted comparison with the faulted side behind a
+    ``repro serve`` daemon; returns an exit code.
+
+    ``host=1`` faults now kill the *daemon* mid-job: recovery is
+    restarting the daemon and resubmitting, and the daemon's own
+    store-resume picks the interrupted run back up.  The verdicts are the
+    same as :func:`run_chaos` — completion, incident accounting in ledger
+    and manifest, no shm leaks — plus the service-layer one: the report a
+    client finally receives is byte-identical to a direct CLI run.
+    """
+    spec = (DEFAULT_SERVE_SPEC if args.inject_faults == DEFAULT_SPEC
+            else args.inject_faults)
+    try:
+        FaultPlan.parse(spec)
+    except FaultSpecError as exc:
+        out(f"repro chaos: error: bad fault spec: {exc}")
+        return 2
+
+    work = Path(tempfile.mkdtemp(prefix="repro-chaos-serve-"))
+    clean_store = work / "clean-store"
+    chaos_store = work / "chaos-store"
+    ledger = work / "faults-ledger.jsonl"
+    ready = work / "serve-ready.txt"
+    serve_log = work / "serve.log"
+    env = _scrubbed_env()
+    daemon = None
+    try:
+        out(f"[repro chaos] schedule: {spec} (daemon-hosted)")
+        out(f"[repro chaos] scratch dir: {work}")
+
+        clean = _run(_campaign_argv(args, clean_store), env)
+        if clean.returncode != 0:
+            out("[repro chaos] FAIL: the clean (fault-free) campaign "
+                f"exited {clean.returncode}")
+            out(clean.stderr)
+            return 1
+
+        params = {
+            "runs": args.runs, "events": args.events, "seed": args.seed,
+            "workers": args.workers,
+            "engine": getattr(args, "engine", "columnar"),
+        }
+        if args.chunk_timeout is not None:
+            params["chunk_timeout"] = args.chunk_timeout
+        argv = _serve_argv(args, chaos_store, ready, ledger, spec)
+
+        restarts = 0
+        report = None
+        for _attempt in range(args.max_restarts + 1):
+            if daemon is None or daemon.poll() is not None:
+                daemon = _start_daemon(argv, env, ready, serve_log)
+            url = ready.read_text().strip()
+            job_id, outcome, detail = _serve_job_once(url, params)
+            if outcome == "completed":
+                report = detail
+                break
+            restarts += 1
+            try:  # give an injected kill a moment to register
+                daemon.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                pass
+            if daemon.poll() is not None:
+                out(f"[repro chaos] daemon killed (exit "
+                    f"{daemon.returncode}); restart {restarts}, "
+                    "resubmitting")
+            else:
+                out(f"[repro chaos] job {job_id or '?'} ended "
+                    f"{outcome or 'without a terminal event'}"
+                    + (f": {detail}" if detail else "")
+                    + f"; resubmission {restarts}")
+        else:
+            out(f"[repro chaos] FAIL: no completed job after "
+                f"{args.max_restarts} restarts (daemon log: {serve_log})")
+            return 1
+        out(f"[repro chaos] faulted campaign completed through the "
+            f"daemon after {restarts} restart(s)/resubmission(s)")
+
+        plan = FaultPlan.parse(spec, ledger=ledger)
+        injected = plan.ledger_counts()
+        out("[repro chaos] injected incidents (ledger):")
+        for point, count in sorted(injected.items()):
+            out(f"  {point}: {count}")
+        if not injected:
+            out("[repro chaos] FAIL: the schedule injected nothing — "
+                "the run never reached its fault points")
+            return 1
+
+        from repro.runs import RunStore
+
+        final = next(
+            m for m in RunStore(chaos_store).list_runs()
+            if m.command == "campaign" and m.status == "completed"
+        )
+        problems = []
+        for point, count in injected.items():
+            seen = final.counters.get(f"fault.{point}")
+            if seen != count:
+                problems.append(
+                    f"manifest counter fault.{point} is {seen}, "
+                    f"ledger says {count}")
+        quarantined = final.counters.get("artifacts_quarantined", 0)
+        out(f"[repro chaos] final manifest: run {final.run_id}, "
+            f"{quarantined} artifact(s) quarantined")
+        if any(point.startswith("store.") for point in injected) \
+                and not quarantined:
+            problems.append(
+                "a store write was torn but nothing was quarantined")
+
+        clean_lines = _report_lines(clean.stdout)
+        fault_lines = _report_lines(report or "")
+        if clean_lines != fault_lines:
+            problems.append("statistics served by the daemon differ "
+                            "from the clean run")
+            for a, b in zip(clean_lines, fault_lines):
+                if a != b:
+                    out(f"  clean:  {a}")
+                    out(f"  served: {b}")
+            if len(clean_lines) != len(fault_lines):
+                out(f"  ({len(clean_lines)} clean lines vs "
+                    f"{len(fault_lines)} served)")
+
+        # Graceful daemon shutdown is part of the verdict: SIGTERM must
+        # drain to exit 0, and nothing may be left in /dev/shm.
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            problems.append("daemon did not exit within 60s of SIGTERM")
+        else:
+            if code != 0:
+                problems.append(f"daemon exited {code} on SIGTERM "
+                                "(expected 0)")
+        daemon = None
+        leaked = orphaned_segments()
+        if leaked:
+            problems.append("orphaned shared-memory segments after "
+                            "recovery: " + ", ".join(leaked))
+
+        if problems:
+            for problem in problems:
+                out(f"[repro chaos] FAIL: {problem}")
+            return 1
+        out(f"[repro chaos] PASS: {sum(injected.values())} injected "
+            f"fault(s) across {len(injected)} point(s), "
+            f"{restarts} daemon restart(s), served statistics "
+            "bit-identical to the clean run")
+        return 0
+    except RuntimeError as exc:
+        out(f"[repro chaos] FAIL: {exc}")
+        return 1
+    finally:
+        if daemon is not None and daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if args.keep:
+            out(f"[repro chaos] kept scratch dir {work}")
+        else:
+            shutil.rmtree(work, ignore_errors=True)
+
+
 def cmd_chaos(args) -> int:
     """Dispatch ``repro chaos``; returns a process exit code."""
+    if getattr(args, "serve", False):
+        return run_chaos_serve(args)
     return run_chaos(args)

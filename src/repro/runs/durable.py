@@ -20,12 +20,16 @@ these disciplines are designed to survive.
 
 from __future__ import annotations
 
+import itertools
 import os
+import threading
 from pathlib import Path
 
 from repro.faults import faultpoint
 
 __all__ = ["durable_append_line", "durable_write_text", "fsync_dir"]
+
+_TMP_SEQ = itertools.count()
 
 
 def fsync_dir(path: Path) -> None:
@@ -51,7 +55,12 @@ def durable_write_text(
 ) -> None:
     """Atomically and durably replace ``path`` with ``text``."""
     path = Path(path)
-    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    # The temp name must be unique per *writer*, not just per process:
+    # two threads racing the same artifact key would otherwise share one
+    # temp file and the losing rename raises FileNotFoundError.
+    tmp = path.with_name(
+        f"{path.name}.tmp{os.getpid()}-{threading.get_ident()}"
+        f"-{next(_TMP_SEQ)}")
     with open(tmp, "w") as handle:
         handle.write(text)
         handle.flush()

@@ -1,0 +1,33 @@
+"""``repro serve`` — multi-tenant async campaign service.
+
+Layers (stdlib-only, no web framework):
+
+* :mod:`repro.serve.jobs` — job model, parameter normalization, and the
+  dedupe registry (identical in-flight submissions collapse to one job);
+* :mod:`repro.serve.scheduler` — bounded priority + weighted-deficit
+  round-robin fair-share queue across tenants;
+* :mod:`repro.serve.runner` — executes a job as the *exact* CLI command
+  body (byte-identical reports) with store-backed resume;
+* :mod:`repro.serve.sse` — per-job broadcast channels and server-sent
+  event encoding;
+* :mod:`repro.serve.server` — the asyncio HTTP daemon (``repro serve``);
+* :mod:`repro.serve.client` — the thin client (``repro submit``,
+  ``repro jobs``).
+"""
+
+from repro.serve.jobs import JobError, JobRegistry, UnknownJobError
+from repro.serve.runner import execute_job, job_keys
+from repro.serve.scheduler import FairShareScheduler, QueueFull
+from repro.serve.sse import BroadcastChannel, encode_sse
+
+__all__ = [
+    "BroadcastChannel",
+    "FairShareScheduler",
+    "JobError",
+    "JobRegistry",
+    "QueueFull",
+    "UnknownJobError",
+    "encode_sse",
+    "execute_job",
+    "job_keys",
+]

@@ -1,0 +1,349 @@
+"""Thin stdlib client for the ``repro serve`` daemon.
+
+:class:`ServeClient` wraps ``http.client`` (one connection per request —
+the daemon speaks ``Connection: close``) and exposes the API as plain
+methods; :meth:`ServeClient.watch` parses the SSE stream into event
+dicts.  The ``repro submit`` / ``repro jobs`` subcommands are wired here
+via :func:`add_client_parsers`.
+
+The daemon URL resolves, in order: explicit ``--url``, the
+``REPRO_SERVE_URL`` environment variable, then the default
+``http://127.0.0.1:8023``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import os
+import sys
+from urllib.parse import urlencode, urlsplit
+
+__all__ = [
+    "DEFAULT_URL",
+    "ServeClient",
+    "ServeError",
+    "add_client_parsers",
+    "cmd_jobs",
+    "cmd_submit",
+]
+
+DEFAULT_URL = "http://127.0.0.1:8023"
+
+#: events that end a watch
+_TERMINAL = {"completed", "failed", "cancelled"}
+
+
+class ServeError(RuntimeError):
+    """The daemon could not be reached or answered with garbage."""
+
+
+def resolve_url(url: str | None = None) -> str:
+    return (url or os.environ.get("REPRO_SERVE_URL") or DEFAULT_URL).rstrip("/")
+
+
+class ServeClient:
+    """One daemon endpoint; every call opens a fresh connection."""
+
+    def __init__(self, url: str | None = None, *,
+                 timeout: float = 30.0) -> None:
+        self.url = resolve_url(url)
+        split = urlsplit(self.url)
+        if split.scheme != "http" or not split.hostname:
+            raise ServeError(f"unsupported daemon URL {self.url!r} "
+                             f"(need http://host:port)")
+        self.host = split.hostname
+        self.port = split.port or 8023
+        self.timeout = timeout
+
+    def _connect(self, timeout: float | None = None):
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=timeout or self.timeout)
+
+    def request(self, method: str, path: str,
+                body: dict | None = None) -> tuple[int, dict]:
+        """One JSON round-trip; returns ``(status, payload)``."""
+        conn = self._connect()
+        try:
+            payload = None if body is None else json.dumps(body)
+            headers = {"Content-Type": "application/json"} if payload \
+                else {}
+            try:
+                conn.request(method, path, body=payload, headers=headers)
+                response = conn.getresponse()
+                raw = response.read()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"cannot reach repro serve at {self.url}: {exc}"
+                ) from exc
+            try:
+                decoded = json.loads(raw.decode() or "{}")
+            except ValueError as exc:
+                raise ServeError(
+                    f"non-JSON response from {self.url} "
+                    f"({response.status}): {raw[:200]!r}") from exc
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- API calls ------------------------------------------------------------
+    def health(self) -> dict:
+        return self._expect_ok("GET", "/v1/healthz")
+
+    def stats(self) -> dict:
+        return self._expect_ok("GET", "/v1/stats")
+
+    def submit(self, kind: str, params: dict | None = None, *,
+               tenant: str = "default",
+               priority: int = 0) -> tuple[int, dict]:
+        """Submit a job; returns the raw ``(status, payload)`` pair.
+
+        201 = newly queued, 200 = attached to an identical in-flight or
+        queued job (dedupe), 429 = queue full (payload carries
+        ``retry_after_s``).
+        """
+        return self.request("POST", "/v1/jobs", {
+            "kind": kind, "params": params or {},
+            "tenant": tenant, "priority": priority,
+        })
+
+    def jobs(self, *, tenant: str | None = None,
+             state: str | None = None) -> list[dict]:
+        query = {k: v for k, v in (("tenant", tenant),
+                                   ("state", state)) if v}
+        path = "/v1/jobs" + (f"?{urlencode(query)}" if query else "")
+        return self._expect_ok("GET", path)["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._expect_ok("GET", f"/v1/jobs/{job_id}")["job"]
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        return self.request("POST", f"/v1/jobs/{job_id}/cancel")
+
+    def watch(self, job_id: str, *, timeout: float = 3600.0):
+        """Yield SSE event dicts until the job reaches a terminal state.
+
+        Each yielded dict is ``{"id", "event", "data"}`` with ``data``
+        JSON-decoded.  History is replayed first, so watching a finished
+        job still yields its full event trail.
+        """
+        conn = self._connect(timeout=timeout)
+        try:
+            try:
+                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                response = conn.getresponse()
+            except (OSError, http.client.HTTPException) as exc:
+                raise ServeError(
+                    f"cannot reach repro serve at {self.url}: {exc}"
+                ) from exc
+            if response.status != 200:
+                raw = response.read()
+                raise ServeError(self._error_text(response.status, raw))
+            event: dict = {}
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.decode().rstrip("\r\n")
+                if not line:
+                    if "event" in event:
+                        yield event
+                        if event["event"] in _TERMINAL:
+                            return
+                    event = {}
+                    continue
+                if line.startswith(":"):  # keepalive comment
+                    continue
+                field, _, value = line.partition(":")
+                value = value.removeprefix(" ")
+                if field == "id":
+                    event["id"] = int(value)
+                elif field == "event":
+                    event["event"] = value
+                elif field == "data":
+                    try:
+                        event["data"] = json.loads(value)
+                    except ValueError:
+                        event["data"] = value
+        finally:
+            conn.close()
+
+    def _expect_ok(self, method: str, path: str) -> dict:
+        status, payload = self.request(method, path)
+        if status != 200:
+            raise ServeError(self._error_text(status, payload))
+        return payload
+
+    def _error_text(self, status: int, payload) -> str:
+        if isinstance(payload, dict):
+            detail = payload.get("error", payload)
+        elif isinstance(payload, bytes):
+            try:
+                detail = json.loads(payload.decode() or "{}").get(
+                    "error", payload[:200])
+            except ValueError:
+                detail = payload[:200]
+        else:
+            detail = payload
+        return f"repro serve at {self.url} answered {status}: {detail}"
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+def _parse_param(pair: str) -> tuple[str, object]:
+    name, sep, raw = pair.partition("=")
+    if not sep or not name:
+        raise SystemExit(
+            f"repro submit: error: parameters are NAME=VALUE, got {pair!r}")
+    try:
+        value = json.loads(raw)
+    except ValueError:
+        value = raw  # bare strings (e.g. scheme=on_die_ecc) stay strings
+    return name, value
+
+
+def add_client_parsers(sub) -> None:
+    """Register ``submit`` and ``jobs`` on the main CLI's subparsers."""
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running repro serve daemon")
+    submit.add_argument("kind", choices=("campaign", "evaluate", "fig8"))
+    submit.add_argument("params", nargs="*", metavar="NAME=VALUE",
+                        help="job parameters, e.g. scheme=on_die_ecc "
+                             "samples=20000")
+    submit.add_argument("--url", default=None,
+                        help="daemon URL (default: $REPRO_SERVE_URL or "
+                             f"{DEFAULT_URL})")
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--watch", action="store_true",
+                        help="stream progress to stderr and print the "
+                             "final report to stdout")
+    submit.add_argument("--timeout", type=float, default=3600.0,
+                        help="watch timeout in seconds (default 3600)")
+
+    jobs = sub.add_parser(
+        "jobs", help="inspect or control jobs on a repro serve daemon")
+    jobs.add_argument("--url", default=None,
+                      help="daemon URL (default: $REPRO_SERVE_URL or "
+                           f"{DEFAULT_URL})")
+    actions = jobs.add_subparsers(dest="action", required=True)
+    listing = actions.add_parser("list", help="list known jobs")
+    listing.add_argument("--tenant", default=None)
+    listing.add_argument("--state", default=None,
+                         choices=("queued", "running", "completed",
+                                  "failed", "cancelled"))
+    show = actions.add_parser("show", help="one job, result included")
+    show.add_argument("job_id")
+    watch = actions.add_parser("watch", help="stream a job's SSE events")
+    watch.add_argument("job_id")
+    watch.add_argument("--timeout", type=float, default=3600.0)
+    cancel = actions.add_parser("cancel", help="cancel a queued job")
+    cancel.add_argument("job_id")
+    # accept --url after the subaction too (`repro jobs list --url ...`);
+    # SUPPRESS keeps an unset subaction flag from clobbering the parent's
+    for action in (listing, show, watch, cancel):
+        action.add_argument("--url", default=argparse.SUPPRESS,
+                            help="daemon URL (default: $REPRO_SERVE_URL "
+                                 f"or {DEFAULT_URL})")
+
+
+def _watch_to_end(client: ServeClient, job_id: str,
+                  timeout: float) -> int:
+    """Follow a job's events; report to stdout, progress to stderr."""
+    final = None
+    for event in client.watch(job_id, timeout=timeout):
+        name, data = event["event"], event.get("data", {})
+        if name == "progress":
+            print(data.get("line", ""), file=sys.stderr, flush=True)
+        elif name in _TERMINAL:
+            final = (name, data)
+        else:
+            print(f"[repro submit] {name}: {json.dumps(data, sort_keys=True)}",
+                  file=sys.stderr, flush=True)
+    if final is None:
+        print(f"[repro submit] event stream for {job_id} ended without a "
+              f"terminal event", file=sys.stderr)
+        return 1
+    name, data = final
+    if name == "completed":
+        job = client.job(job_id)
+        report = (job.get("result") or {}).get("report", "")
+        if report:
+            print(report)
+        return 0
+    detail = data.get("error") or data.get("reason") or ""
+    print(f"[repro submit] job {job_id} {name}"
+          + (f": {detail}" if detail else ""), file=sys.stderr)
+    return 1
+
+
+def cmd_submit(args) -> int:
+    client = ServeClient(args.url)
+    params = dict(_parse_param(pair) for pair in args.params)
+    try:
+        status, payload = client.submit(
+            args.kind, params, tenant=args.tenant, priority=args.priority)
+    except ServeError as exc:
+        print(f"[repro submit] {exc}", file=sys.stderr)
+        return 1
+    if status == 429:
+        print(f"[repro submit] queue full: {payload.get('error')} "
+              f"(retry in {payload.get('retry_after_s')}s)",
+              file=sys.stderr)
+        return 2
+    if status not in (200, 201):
+        print(f"[repro submit] {payload.get('error', payload)}",
+              file=sys.stderr)
+        return 1
+    job = payload["job"]
+    verb = "attached to" if payload.get("deduped") else "submitted"
+    print(f"[repro submit] {verb} {job['job_id']} "
+          f"(kind={job['kind']}, tenant={job['tenant']}, "
+          f"state={job['state']}, precached={job['precached']})",
+          file=sys.stderr if args.watch else sys.stdout, flush=True)
+    if not args.watch:
+        return 0
+    try:
+        return _watch_to_end(client, job["job_id"], args.timeout)
+    except ServeError as exc:
+        print(f"[repro submit] {exc}", file=sys.stderr)
+        return 1
+
+
+def cmd_jobs(args) -> int:
+    client = ServeClient(args.url)
+    try:
+        if args.action == "list":
+            jobs = client.jobs(tenant=args.tenant, state=args.state)
+            if not jobs:
+                print("no jobs")
+                return 0
+            for job in jobs:
+                line = (f"{job['job_id']}  {job['state']:<9}  "
+                        f"{job['kind']:<8}  tenant={job['tenant']}  "
+                        f"priority={job['priority']}")
+                if job.get("attached"):
+                    line += f"  attached={job['attached']}"
+                print(line)
+            return 0
+        if args.action == "show":
+            print(json.dumps(client.job(args.job_id), indent=2,
+                             sort_keys=True))
+            return 0
+        if args.action == "watch":
+            return _watch_to_end(client, args.job_id, args.timeout)
+        if args.action == "cancel":
+            status, payload = client.cancel(args.job_id)
+            if status == 200:
+                print(f"cancelled {args.job_id}")
+                return 0
+            print(f"[repro jobs] {payload.get('error', payload)}",
+                  file=sys.stderr)
+            return 1
+    except ServeError as exc:
+        print(f"[repro jobs] {exc}", file=sys.stderr)
+        return 1
+    raise AssertionError(f"unknown action {args.action!r}")

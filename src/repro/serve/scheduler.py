@@ -1,0 +1,168 @@
+"""Priority + per-tenant fair-share queueing (weighted deficit round-robin).
+
+The daemon serves many tenants from one bounded queue.  Ordering is
+decided in two layers:
+
+* **across tenants** — weighted deficit round-robin: each tenant with
+  queued work sits in a ring; every visit tops its deficit counter up by
+  ``quantum × weight`` and a tenant is served while its deficit covers
+  the unit job cost.  A tenant with weight 2 therefore drains twice as
+  fast as a weight-1 tenant under contention, and an idle tenant's
+  deficit resets to zero (no banking credit while absent — the classic
+  DRR rule, so a returning tenant can't burst past everyone else);
+* **within a tenant** — strictly by descending ``priority`` (ties in
+  submission order).
+
+Depth is bounded: :meth:`FairShareScheduler.submit` raises
+:class:`QueueFull` once ``max_depth`` jobs are pending, which the HTTP
+layer turns into a 429 with ``Retry-After`` — backpressure instead of an
+unbounded in-memory queue.
+
+The scheduler is plain synchronous data structure code (the daemon calls
+it only from the event-loop thread); tests drive it directly.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.serve.jobs import CANCELLED, Job
+
+__all__ = ["FairShareScheduler", "QueueFull"]
+
+#: every job costs one deficit unit (jobs, not bytes, are the fair unit)
+_COST = 1.0
+
+
+class QueueFull(RuntimeError):
+    """The bounded queue is at capacity; the client should retry later."""
+
+
+class FairShareScheduler:
+    """Bounded multi-tenant queue with WDRR draining and priorities."""
+
+    def __init__(self, *, max_depth: int = 64, quantum: float = 1.0,
+                 weights: dict[str, float] | None = None,
+                 default_weight: float = 1.0) -> None:
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self.quantum = quantum
+        self.default_weight = max(float(default_weight), 0.01)
+        self._weights = {
+            tenant: max(float(weight), 0.01)
+            for tenant, weight in (weights or {}).items()
+        }
+        #: per-tenant heaps of (-priority, seq, job)
+        self._queues: dict[str, list] = {}
+        self._ring: list[str] = []
+        self._cursor = 0
+        self._deficit: dict[str, float] = {}
+        self._seq = itertools.count()
+        self._pending = 0
+        # telemetry
+        self.submitted = 0
+        self.served = 0
+        self.rejected = 0
+        self.cancelled = 0
+
+    # -- submission -----------------------------------------------------------
+    def weight(self, tenant: str) -> float:
+        return self._weights.get(tenant, self.default_weight)
+
+    def submit(self, job: Job) -> None:
+        """Queue a job, or raise :class:`QueueFull` at the depth bound."""
+        if self._pending >= self.max_depth:
+            self.rejected += 1
+            raise QueueFull(
+                f"queue is full ({self._pending}/{self.max_depth} pending)")
+        queue = self._queues.get(job.tenant)
+        if queue is None:
+            queue = self._queues[job.tenant] = []
+        if not queue and job.tenant not in self._ring:
+            self._ring.append(job.tenant)
+            self._deficit.setdefault(job.tenant, 0.0)
+        heapq.heappush(queue, (-int(job.priority), next(self._seq), job))
+        self._pending += 1
+        self.submitted += 1
+
+    def cancel(self, job: Job) -> bool:
+        """Lazily remove a queued job (it is skipped when popped)."""
+        queue = self._queues.get(job.tenant, [])
+        for _, _, queued in queue:
+            if queued is job:
+                job.state = CANCELLED
+                self._pending -= 1
+                self.cancelled += 1
+                return True
+        return False
+
+    # -- draining -------------------------------------------------------------
+    def _retire(self, tenant: str) -> None:
+        """Drop an empty tenant from the ring and reset its deficit."""
+        self._deficit[tenant] = 0.0
+        try:
+            index = self._ring.index(tenant)
+        except ValueError:
+            return
+        del self._ring[index]
+        if index < self._cursor:
+            self._cursor -= 1
+
+    def _pop(self, tenant: str) -> Job | None:
+        """Highest-priority live job of one tenant (skipping cancelled)."""
+        queue = self._queues[tenant]
+        while queue:
+            _, _, job = heapq.heappop(queue)
+            if job.state != CANCELLED:
+                return job
+        return None
+
+    def next_job(self) -> Job | None:
+        """The next job under WDRR + priority order, or None when idle."""
+        while self._ring:
+            self._cursor %= len(self._ring)
+            tenant = self._ring[self._cursor]
+            queue = self._queues.get(tenant, [])
+            if not any(job.state != CANCELLED for _, _, job in queue):
+                queue.clear()
+                self._retire(tenant)
+                continue
+            if self._deficit[tenant] >= _COST:
+                self._deficit[tenant] -= _COST
+                job = self._pop(tenant)
+                if not self._queues[tenant]:
+                    self._retire(tenant)
+                if job is not None:
+                    self._pending -= 1
+                    self.served += 1
+                    return job
+                continue
+            # out of credit: top up once, then give the next tenant a turn
+            self._deficit[tenant] += self.quantum * self.weight(tenant)
+            self._cursor += 1
+        return None
+
+    # -- introspection --------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        return self._pending
+
+    def depth(self, tenant: str | None = None) -> int:
+        if tenant is None:
+            return self._pending
+        return sum(1 for _, _, job in self._queues.get(tenant, [])
+                   if job.state != CANCELLED)
+
+    def counters(self) -> dict:
+        return {
+            "queue_pending": self._pending,
+            "queue_max_depth": self.max_depth,
+            "queue_submitted": self.submitted,
+            "queue_served": self.served,
+            "queue_rejected": self.rejected,
+            "queue_cancelled": self.cancelled,
+            "queue_tenants": sorted(
+                tenant for tenant, queue in self._queues.items() if queue),
+        }

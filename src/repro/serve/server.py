@@ -1,0 +1,578 @@
+"""``repro serve`` — the multi-tenant async campaign daemon.
+
+A stdlib-only asyncio HTTP/JSON service over the existing substrate: the
+content-addressed run store supplies caching and crash recovery, the
+shared :class:`~repro.core.pool.WarmPool` supplies persistent workers,
+and the :mod:`repro.obs` heartbeat layer supplies the progress feed that
+is bridged into per-job SSE channels.
+
+API (all under ``/v1``; the prefix is optional)::
+
+    GET  /v1/healthz            liveness + version
+    GET  /v1/stats              queue / dedupe / job-state counters
+    POST /v1/jobs               submit {kind, params, tenant, priority}
+                                → 201 created | 200 attached (deduped)
+                                | 429 queue full (backpressure)
+    GET  /v1/jobs               list jobs (?tenant=, ?state=)
+    GET  /v1/jobs/<id>          one job, result included when finished
+    GET  /v1/jobs/<id>/events   server-sent events: queued/started/
+                                progress/completed/failed/cancelled
+                                (history replayed, then live)
+    POST /v1/jobs/<id>/cancel   cancel a queued job (running → 409)
+
+Scheduling: submissions land in the bounded
+:class:`~repro.serve.scheduler.FairShareScheduler` (WDRR across tenants,
+priority within), and a dispatch task starts up to ``--slots`` jobs
+concurrently on a thread pool — each job being a real CLI command body
+whose own process fan-out rides the shared warm pool.  Identical
+concurrent submissions collapse onto one job
+(:class:`~repro.serve.jobs.JobRegistry`), so a thousand clients asking
+for the same sweep cost one computation.
+
+One connection serves one request (``Connection: close``); SSE streams
+stay open until the job reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import json
+import logging
+import os
+import signal
+import time
+from concurrent.futures import ThreadPoolExecutor
+from urllib.parse import parse_qs, urlsplit
+
+from repro.serve.jobs import (
+    CANCELLED,
+    COMPLETED,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    JobError,
+    JobRegistry,
+    UnknownJobError,
+    normalize_params,
+)
+from repro.serve.runner import execute_job, job_keys
+from repro.serve.scheduler import FairShareScheduler, QueueFull
+from repro.serve.sse import encode_sse
+
+__all__ = ["ServeApp", "add_serve_parser", "cmd_serve", "serve_forever"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: request bodies larger than this are rejected outright
+_MAX_BODY = 1 << 20
+#: header-read deadline per connection
+_READ_TIMEOUT_S = 10.0
+#: SSE keepalive comment cadence while a job is quiet
+_KEEPALIVE_S = 15.0
+
+_REASONS = {
+    200: "OK", 201: "Created", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 409: "Conflict", 413: "Payload Too Large",
+    429: "Too Many Requests", 500: "Internal Server Error",
+}
+
+
+class _BadRequest(Exception):
+    """A malformed request; ``status`` rides along."""
+
+    def __init__(self, message: str, status: int = 400) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+async def _read_request(reader) -> tuple[str, str, dict, bytes] | None:
+    """(method, target, headers, body), or None for an empty connection."""
+    line = await reader.readline()
+    if not line:
+        return None
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3:
+        raise _BadRequest(f"malformed request line: {line!r}")
+    method, target, _version = parts
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode("latin-1").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0") or "0")
+    except ValueError:
+        raise _BadRequest("bad Content-Length") from None
+    if length > _MAX_BODY:
+        raise _BadRequest("request body too large", status=413)
+    body = await reader.readexactly(length) if length > 0 else b""
+    return method.upper(), target, headers, body
+
+
+def _response_bytes(status: int, body: bytes, content_type: str,
+                    extra: dict | None = None) -> bytes:
+    lines = [f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}"]
+    headers = {
+        "Content-Type": content_type,
+        "Content-Length": str(len(body)),
+        "Connection": "close",
+        **(extra or {}),
+    }
+    lines.extend(f"{name}: {value}" for name, value in headers.items())
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body
+
+
+def _json_response(status: int, payload: dict,
+                   extra: dict | None = None) -> bytes:
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode()
+    return _response_bytes(status, body, "application/json", extra)
+
+
+class ServeApp:
+    """Registry + scheduler + runner glue behind the HTTP surface.
+
+    All state mutates on the event-loop thread; job bodies run on a
+    ``--slots``-wide thread pool and marshal progress back with
+    ``loop.call_soon_threadsafe``.  ``execute`` is an injection seam
+    (tests substitute a stub for the real :func:`execute_job`).
+    """
+
+    def __init__(
+        self,
+        *,
+        runs_dir=None,
+        workers: int | None = None,
+        slots: int = 1,
+        max_queue: int = 64,
+        quantum: float = 1.0,
+        weights: dict[str, float] | None = None,
+        history: int = 256,
+        progress_interval_s: float = 1.0,
+        retry_after_s: float = 2.0,
+        execute=None,
+    ) -> None:
+        self.runs_dir = runs_dir
+        self.workers = workers
+        self.slots = max(int(slots), 1)
+        self.progress_interval_s = progress_interval_s
+        self.retry_after_s = retry_after_s
+        self.registry = JobRegistry(history=history)
+        self.scheduler = FairShareScheduler(
+            max_depth=max_queue, quantum=quantum, weights=weights)
+        self._execute = execute or execute_job
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.slots, thread_name_prefix="repro-serve-job")
+        self._wake = asyncio.Event()
+        self._tasks: set[asyncio.Task] = set()
+        self._active = 0
+        self._stopping = False
+        self.started_at = time.time()
+
+    # -- application operations (event-loop thread only) ----------------------
+    def submit(self, payload: dict) -> tuple[int, dict]:
+        """Handle one submission; returns ``(http_status, body)``."""
+        if not isinstance(payload, dict):
+            raise JobError("submission body must be a JSON object")
+        kind = payload.get("kind")
+        if not isinstance(kind, str):
+            raise JobError("submission needs a string 'kind'")
+        raw_params = payload.get("params")
+        if raw_params is not None and not isinstance(raw_params, dict):
+            raise JobError("'params' must be an object")
+        params = normalize_params(kind, raw_params)
+        tenant = payload.get("tenant", "default")
+        if not isinstance(tenant, str) or not tenant or len(tenant) > 64:
+            raise JobError("'tenant' must be a non-empty string (<= 64 "
+                           "chars)")
+        priority = payload.get("priority", 0)
+        if isinstance(priority, bool) or not isinstance(priority, int):
+            raise JobError("'priority' must be an integer")
+        if self._stopping:
+            return 429, {"error": "daemon is shutting down",
+                         "retry_after_s": self.retry_after_s}
+        keys = job_keys(kind, params, runs_dir=self.runs_dir)
+        job, attached = self.registry.create(
+            kind, params, tenant=tenant, priority=priority,
+            key=keys["key"], precached=keys["precached"])
+        if attached:
+            return 200, {"job": job.to_dict(include_result=False),
+                         "deduped": True}
+        try:
+            self.scheduler.submit(job)
+        except QueueFull as exc:
+            self.registry.discard(job)
+            return 429, {"error": str(exc),
+                         "retry_after_s": self.retry_after_s}
+        job.channel.publish("queued", {
+            "job_id": job.job_id, "kind": job.kind, "tenant": job.tenant,
+            "priority": job.priority, "precached": job.precached,
+            "artifacts": keys["artifacts"],
+        })
+        self._wake.set()
+        return 201, {"job": job.to_dict(include_result=False),
+                     "deduped": False}
+
+    def cancel(self, job_id: str) -> tuple[int, dict]:
+        job = self.registry.get(job_id)
+        if job.state == QUEUED:
+            self.scheduler.cancel(job)
+            job.finished_at = time.time()
+            self.registry.finish(job)
+            job.channel.publish("cancelled", {"job_id": job.job_id})
+            return 200, {"job": job.to_dict()}
+        if job.state == RUNNING:
+            return 409, {"error": "job is already running; it will finish "
+                                  "and its result will be cached"}
+        return 409, {"error": f"job is already {job.state}"}
+
+    def stats(self) -> dict:
+        return {
+            "uptime_s": round(time.time() - self.started_at, 3),
+            "slots": self.slots,
+            "active": self._active,
+            "jobs": self.registry.state_counts(),
+            "deduped": self.registry.deduped,
+            "queue": self.scheduler.counters(),
+        }
+
+    # -- dispatch -------------------------------------------------------------
+    async def dispatch_loop(self) -> None:
+        """Start queued jobs whenever slots free up (runs forever)."""
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while not self._stopping and self._active < self.slots:
+                job = self.scheduler.next_job()
+                if job is None:
+                    break
+                self._active += 1
+                task = asyncio.create_task(self._run_job(job))
+                self._tasks.add(task)
+                task.add_done_callback(self._tasks.discard)
+
+    def _publish(self, job, name: str, data: dict) -> None:
+        if not job.channel.closed:
+            job.channel.publish(name, data)
+
+    async def _run_job(self, job) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = RUNNING
+        job.started_at = time.time()
+        self._publish(job, "started", {
+            "job_id": job.job_id, "attached": job.attached,
+            "precached": job.precached,
+        })
+
+        def progress(line: str) -> None:
+            loop.call_soon_threadsafe(
+                self._publish, job, "progress", {"line": line})
+
+        try:
+            result = await loop.run_in_executor(
+                self._threads,
+                functools.partial(
+                    self._execute, job.kind, job.params,
+                    runs_dir=self.runs_dir, progress=progress,
+                    progress_interval_s=self.progress_interval_s,
+                    default_workers=self.workers,
+                ),
+            )
+        except Exception as exc:
+            job.error = f"{type(exc).__name__}: {exc}"
+            job.state = FAILED
+            job.finished_at = time.time()
+            self.registry.finish(job)
+            _LOGGER.warning("job %s failed: %s", job.job_id, job.error)
+            self._publish(job, "failed", {"job_id": job.job_id,
+                                          "error": job.error})
+        else:
+            job.result = result
+            job.state = COMPLETED
+            job.finished_at = time.time()
+            self.registry.finish(job)
+            self._publish(job, "completed", {
+                "job_id": job.job_id,
+                "run_id": result.get("run_id"),
+                "resumed_from": result.get("resumed_from"),
+                "cache_hits": result.get("cache_hits"),
+                "cache_misses": result.get("cache_misses"),
+                "elapsed_s": round(job.finished_at - job.started_at, 3),
+            })
+        finally:
+            self._active -= 1
+            self._wake.set()
+
+    async def shutdown(self, grace_s: float | None = None) -> None:
+        """Cancel queued jobs, wait for running ones, stop the threads."""
+        self._stopping = True
+        while True:
+            job = self.scheduler.next_job()
+            if job is None:
+                break
+            job.state = CANCELLED
+            job.finished_at = time.time()
+            self.registry.finish(job)
+            job.channel.publish("cancelled", {"job_id": job.job_id,
+                                              "reason": "daemon shutdown"})
+        if self._tasks:
+            await asyncio.wait(self._tasks, timeout=grace_s)
+        self._threads.shutdown(wait=False, cancel_futures=True)
+
+    # -- HTTP surface ---------------------------------------------------------
+    async def handle_connection(self, reader, writer) -> None:
+        try:
+            try:
+                request = await asyncio.wait_for(
+                    _read_request(reader), timeout=_READ_TIMEOUT_S)
+            except (asyncio.TimeoutError, asyncio.IncompleteReadError,
+                    ConnectionError):
+                return
+            except _BadRequest as exc:
+                writer.write(_json_response(exc.status,
+                                            {"error": str(exc)}))
+                await writer.drain()
+                return
+            if request is None:
+                return
+            method, target, _headers, body = request
+            await self._route(writer, method, target, body)
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception as exc:  # pragma: no cover - last-resort guard
+            _LOGGER.exception("unhandled error serving a request")
+            try:
+                writer.write(_json_response(
+                    500, {"error": f"{type(exc).__name__}: {exc}"}))
+                await writer.drain()
+            except ConnectionError:
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _route(self, writer, method: str, target: str,
+                     body: bytes) -> None:
+        split = urlsplit(target)
+        path = split.path
+        if path.startswith("/v1/") or path == "/v1":
+            path = path[len("/v1"):] or "/"
+        query = parse_qs(split.query)
+
+        async def respond(status: int, payload: dict,
+                          extra: dict | None = None) -> None:
+            writer.write(_json_response(status, payload, extra))
+            await writer.drain()
+
+        try:
+            if path == "/healthz" and method == "GET":
+                from repro.cli import version_string
+
+                await respond(200, {"ok": True,
+                                    "version": version_string(),
+                                    "pid": os.getpid()})
+            elif path == "/stats" and method == "GET":
+                await respond(200, self.stats())
+            elif path == "/jobs" and method == "POST":
+                try:
+                    payload = json.loads(body.decode() or "{}")
+                except ValueError:
+                    raise JobError("request body is not valid JSON") \
+                        from None
+                status, result = self.submit(payload)
+                extra = None
+                if status == 429:
+                    extra = {"Retry-After":
+                             str(int(self.retry_after_s) or 1)}
+                await respond(status, result, extra)
+            elif path == "/jobs" and method == "GET":
+                tenant = (query.get("tenant") or [None])[0]
+                state = (query.get("state") or [None])[0]
+                jobs = self.registry.jobs(tenant=tenant, state=state)
+                await respond(200, {"jobs": [
+                    job.to_dict(include_result=False) for job in jobs]})
+            elif path.startswith("/jobs/"):
+                await self._route_job(writer, respond, method,
+                                      path[len("/jobs/"):])
+            else:
+                await respond(404, {"error": f"no route {method} {path}"})
+        except JobError as exc:
+            await respond(400, {"error": str(exc)})
+        except UnknownJobError as exc:
+            await respond(404, {"error": exc.args[0] if exc.args
+                                else str(exc)})
+
+    async def _route_job(self, writer, respond, method: str,
+                         rest: str) -> None:
+        job_id, _, action = rest.partition("/")
+        if not action and method == "GET":
+            job = self.registry.get(job_id)
+            await respond(200, {"job": job.to_dict()})
+        elif action == "cancel" and method == "POST":
+            status, payload = self.cancel(job_id)
+            await respond(status, payload)
+        elif action == "events" and method == "GET":
+            job = self.registry.get(job_id)
+            await self._stream_events(writer, job)
+        else:
+            await respond(404, {"error": f"no route {method} /jobs/{rest}"})
+
+    async def _stream_events(self, writer, job) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/event-stream\r\n"
+            b"Cache-Control: no-cache\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        await writer.drain()
+        queue = job.channel.subscribe()
+        try:
+            while True:
+                try:
+                    event = await asyncio.wait_for(
+                        queue.get(), timeout=_KEEPALIVE_S)
+                except asyncio.TimeoutError:
+                    writer.write(b": keepalive\n\n")
+                    await writer.drain()
+                    continue
+                if event is None:
+                    break
+                writer.write(encode_sse(event))
+                await writer.drain()
+        finally:
+            job.channel.unsubscribe(queue)
+
+
+# ---------------------------------------------------------------------------
+# CLI wiring
+# ---------------------------------------------------------------------------
+
+def add_serve_parser(sub) -> None:
+    """Register the ``serve`` subcommand on the main CLI's subparsers."""
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant campaign service (HTTP/JSON + SSE)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8023,
+                       help="TCP port (0 picks a free one; default 8023)")
+    serve.add_argument("--runs-dir", default=None, metavar="DIR",
+                       help="run-store root (default: $REPRO_RUNS_DIR or "
+                            "~/.cache/repro-runs)")
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="default process fan-out for jobs that don't "
+                            "set their own 'workers' parameter")
+    serve.add_argument("--slots", type=int, default=1, metavar="N",
+                       help="jobs run concurrently (default 1; each job "
+                            "fans out over the shared warm pool itself)")
+    serve.add_argument("--max-queue", type=int, default=64, metavar="N",
+                       help="pending-job bound before submissions get "
+                            "429 backpressure (default 64)")
+    serve.add_argument("--quantum", type=float, default=1.0,
+                       help="fair-share deficit quantum per scheduling "
+                            "visit (default 1.0)")
+    serve.add_argument("--tenant-weight", action="append", default=[],
+                       metavar="TENANT=WEIGHT",
+                       help="fair-share weight for one tenant "
+                            "(repeatable; unlisted tenants weigh 1.0)")
+    serve.add_argument("--history", type=int, default=256, metavar="N",
+                       help="finished jobs kept for list/show (default "
+                            "256)")
+    serve.add_argument("--progress-interval", type=float, default=1.0,
+                       metavar="SECONDS",
+                       help="SSE progress-event cadence (default 1.0)")
+    serve.add_argument("--grace", type=float, default=None,
+                       metavar="SECONDS",
+                       help="shutdown wait for running jobs (default: "
+                            "wait until they finish)")
+    serve.add_argument("--ready-file", default=None, metavar="FILE",
+                       help="write the listening URL here once ready "
+                            "(atomic; for harnesses and scripts)")
+    serve.add_argument("--inject-faults", default=None, metavar="SPEC",
+                       help="deterministic fault injection inside the "
+                            "daemon (see DESIGN.md)")
+    serve.add_argument("--faults-seed", type=int, default=0)
+    serve.add_argument("--faults-ledger", default=None, metavar="FILE")
+
+
+def _parse_weights(pairs: list[str]) -> dict[str, float]:
+    weights: dict[str, float] = {}
+    for pair in pairs:
+        tenant, sep, raw = pair.partition("=")
+        try:
+            weight = float(raw)
+        except ValueError:
+            weight = float("nan")
+        if not sep or not tenant or not weight > 0:
+            raise SystemExit(
+                f"repro serve: error: --tenant-weight needs "
+                f"TENANT=POSITIVE_NUMBER, got {pair!r}")
+        weights[tenant] = weight
+    return weights
+
+
+def _write_ready_file(path: str, url: str) -> None:
+    tmp = f"{path}.tmp-{os.getpid()}"
+    with open(tmp, "w") as handle:
+        handle.write(url + "\n")
+    os.replace(tmp, path)
+
+
+async def serve_forever(args, app: ServeApp | None = None) -> int:
+    """Run the daemon until SIGTERM/SIGINT; returns an exit code."""
+    app = app or ServeApp(
+        runs_dir=args.runs_dir,
+        workers=args.workers,
+        slots=args.slots,
+        max_queue=args.max_queue,
+        quantum=args.quantum,
+        weights=_parse_weights(args.tenant_weight),
+        history=args.history,
+        progress_interval_s=args.progress_interval,
+    )
+    server = await asyncio.start_server(
+        app.handle_connection, args.host, args.port)
+    host, port = server.sockets[0].getsockname()[:2]
+    url = f"http://{host}:{port}"
+    print(f"[repro serve] listening on {url} "
+          f"(slots={app.slots}, max_queue={app.scheduler.max_depth})",
+          flush=True)
+    if args.ready_file:
+        _write_ready_file(args.ready_file, url)
+
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            loop.add_signal_handler(signum, stop.set)
+        except (NotImplementedError, RuntimeError):  # pragma: no cover
+            pass
+    dispatch = asyncio.create_task(app.dispatch_loop())
+    try:
+        await stop.wait()
+        print("[repro serve] shutting down "
+              f"({app.scheduler.pending} queued, {app._active} running)",
+              flush=True)
+        server.close()
+        await server.wait_closed()
+        await app.shutdown(grace_s=getattr(args, "grace", None))
+    finally:
+        dispatch.cancel()
+        from repro.core.pool import release_runtime_resources
+
+        release_runtime_resources()
+    print("[repro serve] shutdown complete", flush=True)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Dispatch ``repro serve``; returns a process exit code."""
+    try:
+        return asyncio.run(serve_forever(args))
+    except KeyboardInterrupt:  # pragma: no cover - direct Ctrl-C race
+        return 130

@@ -1,0 +1,92 @@
+"""Server-sent-event plumbing: per-job broadcast channels.
+
+Every job owns one :class:`BroadcastChannel`.  The daemon publishes
+lifecycle and progress events into it (from the event-loop thread —
+worker threads marshal through ``loop.call_soon_threadsafe``), and every
+``GET /v1/jobs/<id>/events`` subscriber gets an :class:`asyncio.Queue`
+that first *replays the full history* and then receives live events, so
+a client that attaches after the job completed still sees the terminal
+event immediately instead of hanging.
+
+Events are plain dicts — ``{"id": n, "event": name, "data": {...}}`` —
+and :func:`encode_sse` renders one as a spec-compliant SSE frame
+(``id:`` / ``event:`` / ``data:`` lines terminated by a blank line).
+The channel is closed exactly once, when the job reaches a terminal
+state; subscribers see the ``None`` sentinel and finish their stream.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+__all__ = ["BroadcastChannel", "encode_sse"]
+
+#: terminal event names — a channel closes after publishing one of these
+TERMINAL_EVENTS = frozenset({"completed", "failed", "cancelled"})
+
+
+def encode_sse(event: dict) -> bytes:
+    """One event dict as an SSE frame (id / event / data + blank line)."""
+    lines = []
+    if event.get("id") is not None:
+        lines.append(f"id: {event['id']}")
+    lines.append(f"event: {event.get('event', 'message')}")
+    payload = json.dumps(event.get("data", {}), sort_keys=True)
+    lines.append(f"data: {payload}")
+    return ("\n".join(lines) + "\n\n").encode()
+
+
+class BroadcastChannel:
+    """History-replaying fan-out of one job's events to async readers."""
+
+    def __init__(self) -> None:
+        self.events: list[dict] = []
+        self._subscribers: list[asyncio.Queue] = []
+        self.closed = False
+
+    def publish(self, name: str, data: dict | None = None) -> dict:
+        """Append one event and wake every live subscriber.
+
+        Must run on the event-loop thread; terminal events close the
+        channel after delivery (late subscribers still replay history).
+        """
+        event = {
+            "id": len(self.events) + 1,
+            "event": name,
+            "data": dict(data or {}),
+            "t": time.time(),
+        }
+        self.events.append(event)
+        for queue in self._subscribers:
+            queue.put_nowait(event)
+        if name in TERMINAL_EVENTS:
+            self.close()
+        return event
+
+    def close(self) -> None:
+        """Send the end-of-stream sentinel to every subscriber (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        for queue in self._subscribers:
+            queue.put_nowait(None)
+        self._subscribers.clear()
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue pre-loaded with the full history, then fed live events."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self.closed:
+            queue.put_nowait(None)
+        else:
+            self._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, queue: asyncio.Queue) -> None:
+        try:
+            self._subscribers.remove(queue)
+        except ValueError:
+            pass

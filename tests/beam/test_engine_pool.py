@@ -34,7 +34,7 @@ class _FakePool:
 
     exc_factory = None
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, initializer=None):
         pass
 
     def submit(self, fn, *args, **kwargs):
@@ -94,7 +94,7 @@ class TestGracefulDegradation:
 
     def test_pool_that_cannot_start_falls_back(self, monkeypatch, caplog,
                                                serial_result):
-        def _raise(max_workers=None):
+        def _raise(max_workers=None, initializer=None):
             raise OSError("no more processes")
 
         monkeypatch.setattr(engine, "ProcessPoolExecutor", _raise)

@@ -152,7 +152,7 @@ class _InlinePool:
     """Executes submissions in-process: the real transport code path
     (arena slices, descriptors) without multi-process variance."""
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, initializer=None):
         pass
 
     def submit(self, fn, *args, **kwargs):

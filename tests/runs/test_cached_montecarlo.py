@@ -107,7 +107,7 @@ class _FakePool:
 
     exc_factory = None
 
-    def __init__(self, max_workers=None):
+    def __init__(self, max_workers=None, initializer=None):
         pass
 
     def submit(self, fn, *args, **kwargs):
@@ -146,7 +146,7 @@ class TestGracefulDegradation:
         assert any("exceeded" in rec.message for rec in caplog.records)
 
     def test_pool_that_cannot_start_falls_back(self, monkeypatch, caplog):
-        def _raise(max_workers=None):
+        def _raise(max_workers=None, initializer=None):
             raise OSError("no more processes")
 
         monkeypatch.setattr(montecarlo, "ProcessPoolExecutor", _raise)

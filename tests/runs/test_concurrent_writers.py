@@ -1,0 +1,105 @@
+"""Concurrent writers racing the same content-addressed artifact key.
+
+The store's write contract is tmp-file + fsync + atomic rename, so two
+sessions computing the same artifact must converge on one durable,
+readable file — no torn JSONL, no quarantine, regardless of interleaving.
+(The serve daemon's dedupe prevents the *double computation*; these tests
+prove the layer below stays correct even when two computations do race,
+e.g. a daemon and a direct CLI run sharing one store.)
+"""
+
+import json
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.errormodel.montecarlo import PatternOutcome
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs.store import RunStore
+
+OUTCOME = PatternOutcome(pattern=ErrorPattern.BIT, events=100,
+                         dce=0.75, due=0.25, sdc=0.0, exhaustive=True)
+
+KEY = "aa" * 32
+
+
+def _write_cell(root, barrier=None, errors=None):
+    try:
+        if barrier is not None:
+            barrier.wait()
+        RunStore(root).save_cell(KEY, OUTCOME)
+    except Exception as exc:  # pragma: no cover - failure path
+        if errors is None:
+            raise
+        errors.append(exc)
+
+
+def _write_campaign(root, barrier=None, errors=None):
+    try:
+        if barrier is not None:
+            barrier.wait()
+        RunStore(root).save_campaign(
+            KEY, {"config": {"runs": 1}}, [{"run": 0, "events": 7}])
+    except Exception as exc:  # pragma: no cover - failure path
+        if errors is None:
+            raise
+        errors.append(exc)
+
+
+class TestThreadRaces:
+    def test_racing_cell_writers_one_durable_artifact(self, tmp_path):
+        barrier = threading.Barrier(8)
+        errors = []
+        threads = [threading.Thread(target=_write_cell,
+                                    args=(tmp_path, barrier, errors))
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []  # every racer completed its write
+        store = RunStore(tmp_path)
+        loaded = store.load_cell(KEY)
+        assert loaded == OUTCOME
+        # nothing was quarantined and no tmp litter survived
+        assert not list(store.quarantine_dir().glob("*"))
+        assert not list(tmp_path.rglob("*.tmp*"))
+
+    def test_racing_campaign_writers_one_durable_artifact(self, tmp_path):
+        barrier = threading.Barrier(8)
+        errors = []
+        threads = [threading.Thread(target=_write_campaign,
+                                    args=(tmp_path, barrier, errors))
+                   for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+        assert errors == []  # every racer completed its write
+        store = RunStore(tmp_path)
+        loaded = store.load_campaign(KEY)
+        assert loaded is not None
+        meta, records = loaded
+        assert records == [{"run": 0, "events": 7}]
+        assert not list(store.quarantine_dir().glob("*"))
+
+
+@pytest.mark.slow
+class TestProcessRaces:
+    def test_cross_process_cell_race(self, tmp_path):
+        ctx = multiprocessing.get_context("spawn")
+        procs = [ctx.Process(target=_write_cell, args=(str(tmp_path),))
+                 for _ in range(4)]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(60)
+            assert proc.exitcode == 0
+        store = RunStore(tmp_path)
+        assert store.load_cell(KEY) == OUTCOME
+        assert not list(store.quarantine_dir().glob("*"))
+        # the artifact is valid JSONL end to end (no torn trailer)
+        lines = store.cell_path(KEY).read_text().splitlines()
+        for line in lines:
+            json.loads(line)

@@ -1,0 +1,232 @@
+"""The asyncio HTTP daemon, driven over real sockets with a stub runner.
+
+The stub ``execute`` seam keeps these tests fast and deterministic (no
+real campaigns), while everything else — routing, JSON validation,
+dedupe, scheduling, SSE streaming, backpressure — is the production
+code path end to end: ``ServeClient`` → TCP → ``ServeApp``.
+"""
+
+import asyncio
+import contextlib
+import threading
+import time
+
+import pytest
+
+from repro.serve.client import ServeClient, ServeError
+from repro.serve.server import ServeApp
+
+pytestmark = pytest.mark.usefixtures("_isolated_run_store")
+
+
+class StubRunner:
+    """An ``execute`` stand-in: blockable, failable, call-counting."""
+
+    def __init__(self):
+        self.calls = []
+        self.gate = threading.Event()
+        self.gate.set()  # run-to-completion unless a test blocks it
+
+    def __call__(self, kind, params, *, runs_dir=None, progress=None,
+                 progress_interval_s=1.0, default_workers=None):
+        self.calls.append((kind, dict(params)))
+        if progress is not None:
+            progress(f"[{kind}] working")
+        if not self.gate.wait(timeout=30.0):  # pragma: no cover
+            raise RuntimeError("test gate never released")
+        if params.get("seed") == 666:
+            raise RuntimeError("injected job failure")
+        return {"report": f"{kind} report seed={params.get('seed')}",
+                "run_id": "r-test", "resumed_from": None,
+                "cache_hits": 1, "cache_misses": 0}
+
+
+@contextlib.contextmanager
+def live_server(**app_kwargs):
+    """A real ServeApp bound to an ephemeral port on a loop thread."""
+    loop = asyncio.new_event_loop()
+    thread = threading.Thread(target=loop.run_forever, daemon=True)
+    thread.start()
+    state = {}
+
+    async def _start():
+        app = ServeApp(**app_kwargs)
+        server = await asyncio.start_server(
+            app.handle_connection, "127.0.0.1", 0)
+        state["app"] = app
+        state["server"] = server
+        state["dispatch"] = asyncio.create_task(app.dispatch_loop())
+        return server.sockets[0].getsockname()[1]
+
+    port = asyncio.run_coroutine_threadsafe(_start(), loop).result(10)
+    try:
+        yield state["app"], ServeClient(f"http://127.0.0.1:{port}")
+    finally:
+        async def _stop():
+            state["server"].close()
+            await state["server"].wait_closed()
+            await state["app"].shutdown(grace_s=10)
+            state["dispatch"].cancel()
+
+        asyncio.run_coroutine_threadsafe(_stop(), loop).result(15)
+        loop.call_soon_threadsafe(loop.stop)
+        thread.join(5)
+        loop.close()
+
+
+def wait_for(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+CAMPAIGN = {"runs": 1, "events": 100}
+
+
+class TestBasics:
+    def test_health_and_stats(self, tmp_path):
+        with live_server(runs_dir=tmp_path) as (app, client):
+            health = client.health()
+            assert health["ok"] is True
+            assert health["version"].startswith("repro ")
+            stats = client.stats()
+            assert stats["slots"] == 1
+            assert stats["jobs"] == {}
+
+    def test_unknown_routes_and_jobs_404(self, tmp_path):
+        with live_server(runs_dir=tmp_path) as (app, client):
+            assert client.request("GET", "/v1/frobnicate")[0] == 404
+            with pytest.raises(ServeError, match="404"):
+                client.job("job-nope")
+            assert client.cancel("job-nope")[0] == 404
+
+    def test_bad_submissions_400(self, tmp_path):
+        with live_server(runs_dir=tmp_path) as (app, client):
+            status, payload = client.submit("frobnicate", {})
+            assert status == 400 and "unknown job kind" in payload["error"]
+            status, payload = client.submit(
+                "campaign", {"nonsense": 1})
+            assert status == 400 and "unknown parameter" in payload["error"]
+            conn = client._connect()
+            try:
+                conn.request("POST", "/v1/jobs", body="{not json",
+                             headers={"Content-Type": "application/json"})
+                assert conn.getresponse().status == 400
+            finally:
+                conn.close()
+
+
+class TestLifecycle:
+    def test_submit_watch_complete_and_replay(self, tmp_path):
+        runner = StubRunner()
+        with live_server(runs_dir=tmp_path, execute=runner) \
+                as (app, client):
+            status, payload = client.submit("campaign",
+                                            dict(CAMPAIGN, seed=1))
+            assert status == 201 and payload["deduped"] is False
+            job_id = payload["job"]["job_id"]
+            events = list(client.watch(job_id))
+            names = [event["event"] for event in events]
+            assert names[0] == "queued"
+            assert "started" in names
+            assert "progress" in names
+            assert names[-1] == "completed"
+            completed = events[-1]["data"]
+            assert completed["run_id"] == "r-test"
+            assert completed["cache_hits"] == 1
+            job = client.job(job_id)
+            assert job["state"] == "completed"
+            assert job["result"]["report"] == "campaign report seed=1"
+            # a second watch replays the identical closed history
+            replay = [e["event"] for e in client.watch(job_id)]
+            assert replay == names
+
+    def test_failed_job_reports_error(self, tmp_path):
+        runner = StubRunner()
+        with live_server(runs_dir=tmp_path, execute=runner) \
+                as (app, client):
+            _, payload = client.submit("campaign",
+                                       dict(CAMPAIGN, seed=666))
+            job_id = payload["job"]["job_id"]
+            events = list(client.watch(job_id))
+            assert events[-1]["event"] == "failed"
+            assert "injected job failure" in events[-1]["data"]["error"]
+            assert client.job(job_id)["error"].startswith("RuntimeError")
+
+    def test_concurrent_identical_submissions_dedupe(self, tmp_path):
+        runner = StubRunner()
+        runner.gate.clear()  # hold the first job in its running state
+        with live_server(runs_dir=tmp_path, execute=runner) \
+                as (app, client):
+            first, second, third = (
+                client.submit("campaign", dict(CAMPAIGN, seed=2))
+                for _ in range(3))
+            assert first[0] == 201
+            assert second[0] == 200 and second[1]["deduped"] is True
+            assert third[0] == 200
+            assert second[1]["job"]["job_id"] == first[1]["job"]["job_id"]
+            runner.gate.set()
+            job_id = first[1]["job"]["job_id"]
+            events = list(client.watch(job_id))
+            assert events[-1]["event"] == "completed"
+            # one computation for three submissions
+            assert len(runner.calls) == 1
+            assert client.stats()["deduped"] == 2
+            # a fresh submission after completion is a new computation
+            status, payload = client.submit("campaign",
+                                            dict(CAMPAIGN, seed=2))
+            assert status == 201
+            assert payload["job"]["job_id"] != job_id
+
+
+class TestSchedulingSurface:
+    def test_backpressure_429_and_cancel(self, tmp_path):
+        runner = StubRunner()
+        runner.gate.clear()
+        with live_server(runs_dir=tmp_path, execute=runner,
+                         max_queue=1) as (app, client):
+            _, running = client.submit("campaign", dict(CAMPAIGN, seed=3))
+            running_id = running["job"]["job_id"]
+            assert wait_for(lambda: client.job(running_id)["state"]
+                            == "running")
+            _, queued = client.submit("campaign", dict(CAMPAIGN, seed=4))
+            queued_id = queued["job"]["job_id"]
+            # the single queue slot is taken: a distinct job bounces
+            status, payload = client.submit("campaign",
+                                            dict(CAMPAIGN, seed=5))
+            assert status == 429
+            assert payload["retry_after_s"] > 0
+            # ...but attaching to in-flight identity still works at 429
+            status, attach = client.submit("campaign",
+                                           dict(CAMPAIGN, seed=4))
+            assert status == 200
+            assert attach["job"]["job_id"] == queued_id
+            # cancel the queued job; cancelling the running one conflicts
+            assert client.cancel(queued_id)[0] == 200
+            assert client.job(queued_id)["state"] == "cancelled"
+            assert client.cancel(queued_id)[0] == 409
+            assert client.cancel(running_id)[0] == 409
+            runner.gate.set()
+            events = list(client.watch(running_id))
+            assert events[-1]["event"] == "completed"
+            cancelled = list(client.watch(queued_id))
+            assert cancelled[-1]["event"] == "cancelled"
+
+    def test_jobs_listing_filters(self, tmp_path):
+        runner = StubRunner()
+        with live_server(runs_dir=tmp_path, execute=runner) \
+                as (app, client):
+            _, a = client.submit("campaign", dict(CAMPAIGN, seed=6),
+                                 tenant="alice")
+            _, b = client.submit("campaign", dict(CAMPAIGN, seed=7),
+                                 tenant="bob")
+            for payload in (a, b):
+                list(client.watch(payload["job"]["job_id"]))
+            assert len(client.jobs()) == 2
+            alice = client.jobs(tenant="alice")
+            assert [j["job_id"] for j in alice] == [a["job"]["job_id"]]
+            done = client.jobs(state="completed")
+            assert len(done) == 2

@@ -1,0 +1,107 @@
+"""End-to-end daemon smoke: one real ``repro serve`` subprocess, three
+concurrent clients submitting the *same* small campaign.
+
+Asserts the PR's headline contract: exactly one computation (one
+completed campaign manifest in the store), every client gets the same
+result and the same terminal SSE event, the daemon drains to exit 0 on
+SIGTERM, and nothing is left behind in /dev/shm.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+import pytest
+
+from repro.core.shm import orphaned_segments
+from repro.runs.store import RunStore
+from repro.serve.client import ServeClient
+
+pytestmark = pytest.mark.slow
+
+CAMPAIGN = {"runs": 1, "events": 400, "seed": 77, "workers": 2}
+
+
+def _spawn_daemon(runs_dir: Path, ready: Path, log: Path):
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[2] / "src")
+    env["PYTHONPATH"] = src_root + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+    handle = open(log, "w")
+    daemon = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--ready-file", str(ready), "--runs-dir", str(runs_dir),
+         "--workers", "2"],
+        env=env, stdout=handle, stderr=subprocess.STDOUT)
+    handle.close()
+    deadline = time.monotonic() + 60
+    while time.monotonic() < deadline:
+        if ready.exists():
+            return daemon
+        if daemon.poll() is not None:
+            raise AssertionError(
+                f"daemon exited {daemon.returncode}: {log.read_text()}")
+        time.sleep(0.05)
+    daemon.kill()
+    raise AssertionError("daemon never became ready")
+
+
+def _submit_and_watch(url: str):
+    client = ServeClient(url)
+    status, payload = client.submit("campaign", CAMPAIGN)
+    job_id = payload["job"]["job_id"]
+    final = None
+    for event in client.watch(job_id, timeout=300):
+        if event["event"] in ("completed", "failed", "cancelled"):
+            final = event
+    report = (client.job(job_id).get("result") or {}).get("report")
+    return status, job_id, final, report
+
+
+def test_three_clients_one_computation(tmp_path):
+    runs_dir = tmp_path / "store"
+    ready = tmp_path / "ready.txt"
+    daemon = _spawn_daemon(runs_dir, ready, tmp_path / "serve.log")
+    try:
+        url = ready.read_text().strip()
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            outcomes = list(pool.map(
+                lambda _: _submit_and_watch(url), range(3)))
+
+        statuses = sorted(outcome[0] for outcome in outcomes)
+        assert statuses == [200, 200, 201]  # one new job, two attached
+        assert len({outcome[1] for outcome in outcomes}) == 1
+
+        finals = [outcome[2] for outcome in outcomes]
+        assert all(final["event"] == "completed" for final in finals)
+        # every client saw the *same* completion event (same id, run)
+        assert len({(final["id"],
+                     final["data"]["run_id"]) for final in finals}) == 1
+
+        reports = {outcome[3] for outcome in outcomes}
+        assert len(reports) == 1
+        assert "Event classes" in reports.pop()
+
+        # exactly one computation: one completed campaign manifest
+        manifests = [m for m in RunStore(runs_dir).list_runs()
+                     if m.command == "campaign"
+                     and m.status == "completed"]
+        assert len(manifests) == 1
+
+        stats = ServeClient(url).stats()
+        assert stats["deduped"] == 2
+        assert stats["jobs"] == {"completed": 1}
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+            assert daemon.wait(timeout=60) == 0
+        else:  # pragma: no cover - daemon died mid-test
+            pytest.fail(f"daemon died early: exit {daemon.returncode}")
+
+    leaked = [name for name in orphaned_segments()
+              if f"-{daemon.pid}-" in name]
+    assert leaked == []

@@ -2,7 +2,21 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, version_string
+
+
+class TestVersion:
+    def test_version_command(self, capsys):
+        assert main(["version"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.strip() == version_string()
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == version_string()
 
 
 class TestParser:
