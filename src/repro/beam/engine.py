@@ -71,20 +71,22 @@ from repro.beam.microbenchmark import (
     MismatchRecord,
     UniformPattern,
 )
+from repro.core.arrays import concat_or_empty
 from repro.core.mem import enable_heap_reuse
 from repro.core.pool import (
     RetryPolicy,
     pool_worker_init,
     run_with_requeue,
 )
-from repro.core.shm import ShmArena, SliceDescriptor, align, read_columns, \
-    write_columns
+from repro.core.shm import ShmArena, SliceDescriptor, align, read_attached, \
+    read_columns, write_columns
 from repro.dram.device import SimulatedHBM2
 from repro.dram.geometry import HBM2Geometry
 from repro.faults import faultpoint
 from repro.obs import Tracer, stage_totals
 
-__all__ = ["StatisticsResult", "run_statistics_campaign", "ENGINES"]
+__all__ = ["StatisticsResult", "run_statistics_campaign", "ENGINES",
+           "STATS_MODES"]
 
 _LOGGER = logging.getLogger(__name__)
 
@@ -94,6 +96,12 @@ _DATA_WORDS = _DATA_BITS // 64
 #: The interchangeable engine implementations: ``shm`` is the fused
 #: zero-copy fast path, ``columnar`` and ``reference`` are its oracles.
 ENGINES = ("shm", "columnar", "reference")
+
+#: how the statistics are aggregated: ``materialize`` concatenates every
+#: record column and post-processes once (the oracle); ``streaming``
+#: folds each job into a fixed-size accumulator worker-side and merges
+#: states — same floats, O(state) transport, flat host memory
+STATS_MODES = ("materialize", "streaming")
 
 #: the record columns every engine's chunk evaluation produces
 _COLUMN_KEYS = ("time_s", "write_cycle", "entry_index",
@@ -119,6 +127,10 @@ _SHM_BYTES_PER_EVENT = 4096
 _SHM_JOB_HEADROOM = 1 << 20
 
 _STAGES = ("synthesize", "scan", "postprocess")
+#: streaming pipeline stages: the scout sweep (entry placement replay →
+#: occupancy bitmap), the evaluation sweep's synthesis (plus ``scan`` on
+#: the columnar engine, which still runs its device pass), and the folds
+_STREAM_STAGES = ("scout", "synthesize", "scan", "fold")
 
 
 def _pattern_by_name(name: str) -> DataPattern:
@@ -156,6 +168,12 @@ class StatisticsResult:
     #: pool-degradation telemetry (requeues, timeouts), empty when serial
     pool_counters: dict = field(default_factory=dict, repr=False,
                                 compare=False)
+    #: which aggregation path produced this result (``STATS_MODES``)
+    stats_mode: str = "materialize"
+    #: the merged streaming accumulator (``stats="streaming"`` only) —
+    #: carries the raw tallies for downstream models (e.g. the fleet FIT
+    #: composition) without re-deriving them from the float statistics
+    accumulator: object = field(default=None, repr=False, compare=False)
     #: lazy materializer for :attr:`observed_events` (columnar results
     #: keep the grouped table and only build ObservedEvent objects on use)
     _observed_factory: object = field(default=None, repr=False, compare=False)
@@ -181,6 +199,8 @@ class StatisticsResult:
         """Flat manifest-ready counters (JSON-safe scalars only)."""
         flat: dict = {"engine": self.engine, "events": self.n_events,
                       "records": self.n_records, "observed": self.n_observed}
+        if self.stats_mode != "materialize":
+            flat["stats"] = self.stats_mode
         for stage, seconds in self.stage_seconds.items():
             flat[f"{stage}_s"] = round(seconds, 6)
         for stage, rate in self.events_per_second.items():
@@ -216,6 +236,23 @@ class _RangeJob(NamedTuple):
     chunks: tuple  #: the member :class:`_ChunkJob`s, in order
 
 
+def _fresh_seed(seq: np.random.SeedSequence) -> np.random.SeedSequence:
+    """A pristine copy of a chunk's seed sequence.
+
+    ``SeedSequence.spawn`` is stateful — a second spawn from the same
+    object yields different children — but a chunk's streams are defined
+    as the *first* spawn of its seed.  Every evaluation therefore spawns
+    from a copy (same entropy, same spawn_key, zero children spawned), so
+    replaying a chunk in the same process — the streaming engine's scout
+    sweep followed by its evaluation sweep, or a serial requeue — sees
+    exactly the streams a fresh worker would.
+    """
+    return np.random.SeedSequence(
+        entropy=seq.entropy, spawn_key=seq.spawn_key,
+        pool_size=seq.pool_size,
+    )
+
+
 def _event_times(start: int, size: int,
                  parameters: EventParameters) -> np.ndarray:
     """Each event owns one write cycle; time is its global index scaled."""
@@ -231,7 +268,9 @@ def _columnar_chunk(
     tracer: Tracer,
 ) -> dict:
     """Vectorized chunk: batch synthesis, packed injection + scan."""
-    synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
+    synthesis = BatchEventSynthesis(
+        geometry, parameters, seed=_fresh_seed(job.seed_seq)
+    )
     with tracer.span("synthesize"):
         table = synthesis.table_at(
             _event_times(job.start, job.size, parameters)
@@ -320,15 +359,12 @@ def _scan_columnar(
         count_col.append(counts)
         bit_col.append(bits)
 
-    def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
-        return np.concatenate(parts) if parts else np.empty(0, dtype=dtype)
-
     return {
-        "time_s": _cat(time_col, np.float64),
-        "write_cycle": _cat(cycle_col, np.int64),
-        "entry_index": _cat(entry_col, np.int64),
-        "flips_per_record": _cat(count_col, np.int64),
-        "flip_bit": _cat(bit_col, np.int64),
+        "time_s": concat_or_empty(time_col, np.float64),
+        "write_cycle": concat_or_empty(cycle_col, np.int64),
+        "entry_index": concat_or_empty(entry_col, np.int64),
+        "flips_per_record": concat_or_empty(count_col, np.int64),
+        "flip_bit": concat_or_empty(bit_col, np.int64),
     }
 
 
@@ -360,10 +396,65 @@ def _smallest_mask(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
     return mask
 
 
+def _chunk_site_layout(
+    geometry: HBM2Geometry,
+    params: EventParameters,
+    class_cdf: np.ndarray,
+    rngs: dict,
+    n: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Class codes, per-site event index and entry placement for one chunk.
+
+    The shared head of the fused pass: everything decided by the
+    ``klass``/``breadth``/``place`` phase streams, before any mode or
+    severity draw touches the other streams.  The scout sweep replays
+    exactly this — entry placement depends on nothing downstream — so its
+    entry multiset matches the synthesized records site-for-site.
+    """
+    per_bank = geometry.entries_per_bank
+    codes = np.minimum(
+        np.searchsorted(class_cdf, rngs["klass"].random(n), side="right"),
+        3,
+    ).astype(np.int64)
+    is_sbme = codes == 1
+    is_mbme = codes == 3
+
+    u_breadth = rngs["breadth"].random(n)
+    breadth = np.ones(n, dtype=np.int64)
+    breadth[is_sbme] = _power_law_breadths(
+        u_breadth[is_sbme], params.sbme_breadth_alpha,
+        params.sbme_breadth_max,
+    )
+    breadth[is_mbme] = _power_law_breadths(
+        u_breadth[is_mbme], params.mbme_breadth_alpha,
+        params.mbme_breadth_max,
+    )
+    breadth = np.minimum(breadth, per_bank)
+
+    u_place = rngs["place"].random(2 * n).reshape(n, 2)
+    first_entry = _floor_scaled(u_place[:, 0], geometry.total_entries)
+    bank_start = (first_entry // per_bank) * per_bank
+    offset = np.floor(
+        u_place[:, 1] * (per_bank - breadth + 1)
+    ).astype(np.int64)
+    base_entry = np.where(breadth > 1, bank_start + offset, first_entry)
+
+    site_event = np.repeat(np.arange(n, dtype=np.int64), breadth)
+    starts = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(breadth, out=starts[1:])
+    within = np.arange(site_event.size, dtype=np.int64) - np.repeat(
+        starts[:-1], breadth
+    )
+    site_entry = base_entry[site_event] + within
+    return codes, site_event, site_entry
+
+
 def _fused_range_columns(
     geometry: HBM2Geometry,
     parameters: EventParameters,
     job: _RangeJob,
+    *,
+    include_time: bool = True,
 ) -> dict:
     """Whole-range fused synthesis: record columns without a device pass.
 
@@ -389,7 +480,6 @@ def _fused_range_columns(
     pinned by the equivalence suite.
     """
     params = parameters
-    per_bank = geometry.entries_per_bank
     class_cdf = np.cumsum(np.asarray(
         params.class_probabilities, dtype=np.float64
     ))
@@ -413,37 +503,15 @@ def _fused_range_columns(
     for chunk in job.chunks:
         n = chunk.size
         rngs = BatchEventSynthesis(
-            geometry, params, seed=chunk.seed_seq
+            geometry, params, seed=_fresh_seed(chunk.seed_seq)
         )._phase_rngs()
 
-        codes = np.minimum(
-            np.searchsorted(class_cdf, rngs["klass"].random(n), side="right"),
-            3,
-        ).astype(np.int64)
-        is_sbme = codes == 1
+        codes, site_event, site_entry = _chunk_site_layout(
+            geometry, params, class_cdf, rngs, n
+        )
         is_mbse = codes == 2
         is_mbme = codes == 3
         is_mb = is_mbse | is_mbme
-
-        u_breadth = rngs["breadth"].random(n)
-        breadth = np.ones(n, dtype=np.int64)
-        breadth[is_sbme] = _power_law_breadths(
-            u_breadth[is_sbme], params.sbme_breadth_alpha,
-            params.sbme_breadth_max,
-        )
-        breadth[is_mbme] = _power_law_breadths(
-            u_breadth[is_mbme], params.mbme_breadth_alpha,
-            params.mbme_breadth_max,
-        )
-        breadth = np.minimum(breadth, per_bank)
-
-        u_place = rngs["place"].random(2 * n).reshape(n, 2)
-        first_entry = _floor_scaled(u_place[:, 0], geometry.total_entries)
-        bank_start = (first_entry // per_bank) * per_bank
-        offset = np.floor(
-            u_place[:, 1] * (per_bank - breadth + 1)
-        ).astype(np.int64)
-        base_entry = np.where(breadth > 1, bank_start + offset, first_entry)
 
         u_mode = rngs["mode"].random(4 * n).reshape(n, 4)
         sb_bit = _floor_scaled(u_mode[:, 0], _DATA_BITS)
@@ -455,14 +523,6 @@ def _fused_range_columns(
         byte_col = np.where(
             aligned, _floor_scaled(u_mode[:, 3], BITS_PER_WORD // 8), -1
         )
-
-        site_event = np.repeat(np.arange(n, dtype=np.int64), breadth)
-        starts = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(breadth, out=starts[1:])
-        within = np.arange(site_event.size, dtype=np.int64) - np.repeat(
-            starts[:-1], breadth
-        )
-        site_entry = base_entry[site_event] + within
 
         site_is_mb = is_mb[site_event]
         mb_sites = np.nonzero(site_is_mb)[0]
@@ -558,16 +618,10 @@ def _fused_range_columns(
         event_off += n
         site_off += site_event.size
 
-    def _cat(parts: list[np.ndarray], dtype) -> np.ndarray:
-        if not parts:
-            return np.empty(0, dtype=dtype)
-        stacked = np.concatenate(parts)
-        parts.clear()  # release the per-chunk blocks as we go
-        return stacked
-
-    site_event = _cat(site_event_p, np.int64)
-    site_entry = _cat(site_entry_p, np.int64)
-    flips_per_site = _cat(counts_p, np.int16)
+    # consume=True releases the per-chunk blocks as we go
+    site_event = concat_or_empty(site_event_p, np.int64, consume=True)
+    site_entry = concat_or_empty(site_entry_p, np.int64, consume=True)
+    flips_per_site = concat_or_empty(counts_p, np.int16, consume=True)
     n_sites = site_event.size
 
     # Merge without the global (site, bit) lexsort: each part above emits
@@ -587,14 +641,18 @@ def _fused_range_columns(
         )
         flip_bit[flip_offset[sites] + within] = bits
 
-    times = _event_times(job.start, job.size, parameters)
-    return {
-        "time_s": times[site_event],
+    columns = {
         "write_cycle": job.start + site_event,
         "entry_index": site_entry,
         "flips_per_record": flips_per_site,
         "flip_bit": flip_bit,
     }
+    if include_time:
+        # the streaming fold derives events from write cycles and never
+        # touches times — skipping the gather saves a sites-sized float64
+        times = _event_times(job.start, job.size, parameters)
+        columns["time_s"] = times[site_event]
+    return columns
 
 
 def _reference_chunk(
@@ -605,7 +663,9 @@ def _reference_chunk(
     tracer: Tracer,
 ) -> list[MismatchRecord]:
     """Scalar oracle chunk: identical streams, per-entry device traffic."""
-    synthesis = BatchEventSynthesis(geometry, parameters, seed=job.seed_seq)
+    synthesis = BatchEventSynthesis(
+        geometry, parameters, seed=_fresh_seed(job.seed_seq)
+    )
     with tracer.span("synthesize"):
         events = synthesis.events_at(
             _event_times(job.start, job.size, parameters)
@@ -719,6 +779,153 @@ def _evaluate_range(
     for record in tracer.records:
         record.worker = tag
     return (payload if payload is not None else columns), tracer.records
+
+
+def _member_chunks(job) -> tuple:
+    """The chunk jobs a streaming job covers (a range's members, or the
+    chunk itself on the per-chunk engines)."""
+    return job.chunks if isinstance(job, _RangeJob) else (job,)
+
+
+def _no_observed_stream():
+    """:attr:`StatisticsResult.observed_events` factory for streaming
+    results — the whole point is never materializing them."""
+    raise RuntimeError(
+        "streaming campaigns do not materialize observed events; "
+        "rerun with stats='materialize' to recover them"
+    )
+
+
+def _scout_job(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    job,
+):
+    """Top-level (picklable) scout-sweep worker.
+
+    Replays only the sized entry-placement streams (no mode/severity
+    draws, no flip materialization) and reports the slice's entry
+    multiset as ``[unique_entries, entries_hit_twice_locally]`` — exactly
+    what the host needs to fold into the global occupancy bitmap.  The
+    payload is a *list* on purpose: the host folds it and clears the
+    slots, so the requeue bookkeeping retains O(1) shells rather than
+    O(sites) arrays.
+    """
+    chunks = _member_chunks(job)
+    faultpoint("pool.worker.crash", chunk=chunks[0].index)
+    faultpoint("engine.chunk.hang", chunk=chunks[0].index)
+    enable_heap_reuse()
+    class_cdf = np.cumsum(np.asarray(
+        parameters.class_probabilities, dtype=np.float64
+    ))
+    tracer = Tracer()
+    with tracer.span("chunk", index=chunks[0].index, chunks=len(chunks)):
+        with tracer.span("scout"):
+            parts: list[np.ndarray] = []
+            for chunk_job in chunks:
+                rngs = BatchEventSynthesis(
+                    geometry, parameters, seed=_fresh_seed(chunk_job.seed_seq)
+                )._phase_rngs()
+                _, _, site_entry = _chunk_site_layout(
+                    geometry, parameters, class_cdf, rngs, chunk_job.size
+                )
+                parts.append(site_entry)
+            entries = concat_or_empty(parts, np.int64, consume=True)
+            unique, multiplicity = np.unique(entries, return_counts=True)
+            tracer.count(events=job.size, sites=int(entries.size))
+    tag = f"pid:{os.getpid()}"
+    for record in tracer.records:
+        record.worker = tag
+    return [unique, unique[multiplicity > 1]], tracer.records
+
+
+def _fold_streaming_columns(columns: dict, job, damaged: np.ndarray) -> dict:
+    """Fold one slice's record columns into accumulator state.
+
+    Mirrors :func:`_finalize_shm`'s grouping with the intermittent
+    filter answered *globally*: ``damaged`` is the sorted array of
+    entries hit by more than one event anywhere in the campaign (the
+    scout sweep's verdict), so membership — not local multiplicity —
+    decides softness.  Events never span jobs and surviving records stay
+    in (cycle, site) order, so per-slice grouping is exact and the folded
+    integer tallies partition the whole campaign's.
+    """
+    from repro.beam.fliptable import FlipTable
+    from repro.stats import CampaignAccumulator
+
+    accumulator = CampaignAccumulator()
+    columns.pop("time_s", None)
+    entry = columns.pop("entry_index")
+    counts = columns.pop("flips_per_record")
+    site_event = columns.pop("write_cycle") - job.start
+    flip_bit = columns.pop("flip_bit")
+    accumulator.add_raw(n_events=job.size, n_records=int(entry.size))
+    if entry.size and damaged.size:
+        probe = np.minimum(np.searchsorted(damaged, entry),
+                           damaged.size - 1)
+        soft = damaged[probe] != entry
+        if not soft.all():
+            flip_bit = flip_bit[np.repeat(soft, counts)]
+            entry = entry[soft]
+            counts = counts[soft]
+            site_event = site_event[soft]
+    if entry.size:
+        new_event = np.r_[True, site_event[1:] != site_event[:-1]]
+        event_id = np.cumsum(new_event) - 1
+        accumulator.update_from_flip_table(FlipTable.from_flips(
+            event_id, entry, counts, flip_bit,
+            n_events=int(event_id[-1]) + 1,
+        ))
+    return accumulator.state()
+
+
+def _evaluate_streaming(
+    engine: str,
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    job,
+    damaged: np.ndarray | None = None,
+    descriptor: SliceDescriptor | None = None,
+):
+    """Top-level (picklable) evaluation-sweep worker for the pool.
+
+    Synthesizes its slice (fused, for the shm engine; full device pass,
+    for columnar), drops records on globally damaged entries, folds the
+    survivors into a :class:`repro.stats.CampaignAccumulator` and returns
+    the O(kilobytes) state — per-event columns never leave the worker.
+    The damaged set arrives either inline (serial / small campaigns) or
+    as an arena ``descriptor`` broadcast once by the host.
+    """
+    chunks = _member_chunks(job)
+    faultpoint("pool.worker.crash", chunk=chunks[0].index)
+    faultpoint("engine.chunk.hang", chunk=chunks[0].index)
+    enable_heap_reuse()
+    pattern = _pattern_by_name(pattern_name)
+    if descriptor is not None:
+        damaged = read_attached(descriptor)["damaged"]
+    damaged = np.asarray(
+        damaged if damaged is not None else (), dtype=np.int64
+    )
+    tracer = Tracer()
+    with tracer.span("chunk", index=chunks[0].index, chunks=len(chunks)):
+        if engine == "shm":
+            with tracer.span("synthesize"):
+                columns = _fused_range_columns(
+                    geometry, parameters, job, include_time=False
+                )
+                tracer.count(events=job.size,
+                             sites=int(columns["entry_index"].size))
+        else:
+            columns = _columnar_chunk(geometry, parameters, pattern, job,
+                                      tracer)
+        with tracer.span("fold"):
+            state = _fold_streaming_columns(columns, job, damaged)
+            tracer.count(observed=int(state["n_observed"]))
+    tag = f"pid:{os.getpid()}"
+    for record in tracer.records:
+        record.worker = tag
+    return state, tracer.records
 
 
 def _run_chunks(
@@ -897,6 +1104,161 @@ def _run_ranges(
     return results, report, arena
 
 
+def _run_scout(
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    jobs: list,
+    workers: int | None,
+    chunk_timeout: float | None = None,
+    tracer: Tracer | None = None,
+    heartbeat=None,
+    retry: RetryPolicy | None = None,
+    warm_pool=None,
+):
+    """Scout sweep: fold every job's entry multiset into one occupancy
+    bitmap as results land; returns ``(damaged_entries, report)``.
+
+    The bitmap is O(device) — one bit per entry — and the payloads are
+    cleared as they fold, so peak memory is independent of campaign size.
+    """
+    from repro.stats import EntryOccupancy
+
+    occupancy = EntryOccupancy(geometry.total_entries)
+
+    def _on_result(job, result) -> None:
+        payload = result[0]
+        occupancy.fold(payload[0], payload[1])
+        payload[0] = payload[1] = None  # results keep O(1) shells
+        if tracer is not None:
+            tracer.merge(result[1])
+        if heartbeat is not None:
+            heartbeat.update(advance=1, events=job.size)
+
+    _, report = run_with_requeue(
+        jobs,
+        key=lambda job: job.index,
+        describe=lambda job: f"scout range {job.index}",
+        submit=lambda pool, job: pool.submit(
+            _scout_job, geometry, parameters, job,
+        ),
+        run_serial=lambda job: _scout_job(geometry, parameters, job),
+        workers=workers,
+        timeout=chunk_timeout,
+        executor_factory=(
+            warm_pool.executor_factory if warm_pool is not None
+            else (lambda: ProcessPoolExecutor(
+                max_workers=workers, initializer=pool_worker_init))
+        ),
+        noun="scout ranges",
+        logger=_LOGGER,
+        on_result=_on_result,
+        retry=retry,
+    )
+    if tracer is not None:
+        tracer.count(**report.counters())
+    return occupancy.damaged(), report
+
+
+def _run_streaming(
+    engine: str,
+    geometry: HBM2Geometry,
+    parameters: EventParameters,
+    pattern_name: str,
+    jobs: list,
+    damaged: np.ndarray,
+    workers: int | None,
+    chunk_timeout: float | None = None,
+    tracer: Tracer | None = None,
+    heartbeat=None,
+    retry: RetryPolicy | None = None,
+    warm_pool=None,
+):
+    """Evaluation sweep: every job folds worker-side and ships back
+    accumulator state; returns ``(results, report)``.
+
+    With a pool engaged, the damaged-entry set is broadcast once through
+    a small shared-memory arena (read-only to workers) instead of being
+    pickled into every submit; arena failure degrades to inline args.
+    The result channel needs no arena — states are kilobytes.
+    """
+    arena = None
+    descriptor = None
+    pooled = workers is not None and workers > 1 and len(jobs) > 1
+    if pooled and damaged.size:
+        try:
+            arena = ShmArena(align(damaged.nbytes))
+        except OSError as exc:
+            _LOGGER.warning(
+                "shared-memory arena unavailable (%s); "
+                "broadcasting damaged entries inline", exc,
+            )
+        else:
+            descriptor = write_columns(
+                arena.name, 0, arena.nbytes, {"damaged": damaged}
+            )
+            if descriptor is None:  # pragma: no cover - capacity is exact
+                arena.close()
+                arena = None
+
+    def _submit(pool, job):
+        if descriptor is not None:
+            return pool.submit(
+                _evaluate_streaming, engine, geometry, parameters,
+                pattern_name, job, None, descriptor,
+            )
+        return pool.submit(
+            _evaluate_streaming, engine, geometry, parameters,
+            pattern_name, job, damaged,
+        )
+
+    def _on_result(job, result) -> None:
+        if tracer is not None:
+            tracer.merge(result[1])
+        if heartbeat is not None:
+            heartbeat.update(advance=1, events=job.size)
+
+    try:
+        results, report = run_with_requeue(
+            jobs,
+            key=lambda job: job.index,
+            describe=lambda job: f"streaming range {job.index}",
+            submit=_submit,
+            run_serial=lambda job: _evaluate_streaming(
+                engine, geometry, parameters, pattern_name, job, damaged,
+            ),
+            workers=workers,
+            timeout=chunk_timeout,
+            executor_factory=(
+                warm_pool.executor_factory if warm_pool is not None
+                else (lambda: ProcessPoolExecutor(
+                    max_workers=workers, initializer=pool_worker_init))
+            ),
+            noun="streaming ranges",
+            logger=_LOGGER,
+            on_result=_on_result,
+            retry=retry,
+        )
+    finally:
+        if arena is not None:
+            arena.close()
+    if tracer is not None:
+        tracer.count(**report.counters())
+    return results, report
+
+
+def _merge_streaming_states(results: dict):
+    """Merge worker accumulator states in job order (any order would do —
+    merge is commutative — but determinism keeps traces comparable)."""
+    from repro.stats import CampaignAccumulator
+
+    accumulator = CampaignAccumulator.empty()
+    for index in sorted(results):
+        accumulator = accumulator.merge(
+            CampaignAccumulator.from_state(results[index][0])
+        )
+    return accumulator
+
+
 def _merge_range_payloads(results: dict, arena) -> dict:
     """Concatenate range payloads (descriptors or inline columns) in
     range order into one column set; copies out of the arena."""
@@ -1050,6 +1412,7 @@ def run_statistics_campaign(
     parameters: EventParameters | None = None,
     pattern: str | DataPattern = "an-encoded",
     engine: str = "columnar",
+    stats: str = "materialize",
     workers: int | None = None,
     chunk: int = 512,
     chunk_timeout: float | None = None,
@@ -1080,11 +1443,30 @@ def run_statistics_campaign(
     :class:`repro.core.pool.WarmPool` — reuses worker processes across
     campaigns in the same invocation.  ``warm_pool`` applies to the
     per-chunk engines too.
+
+    ``stats="streaming"`` replaces the materialize-then-postprocess tail
+    with two sweeps: a *scout* pass replays only the entry-placement
+    streams and answers the global intermittent filter with an
+    O(device) occupancy bitmap, then the evaluation sweep folds each
+    job's records into a fixed-size :class:`repro.stats
+    .CampaignAccumulator` worker-side.  Host memory stays flat in the
+    event count, and every statistic is float-identical to
+    ``stats="materialize"`` (the tallies are integers; the floats are
+    computed once, canonically).  The reference engine keeps only the
+    materialized path, and a streaming result never materializes
+    :attr:`StatisticsResult.observed_events`.
     """
     if n_events < 0:
         raise ValueError("n_events must be non-negative")
     if engine not in ENGINES:
         raise ValueError(f"engine must be one of {ENGINES}")
+    if stats not in STATS_MODES:
+        raise ValueError(f"stats must be one of {STATS_MODES}")
+    if stats == "streaming" and engine == "reference":
+        raise ValueError(
+            "the reference engine has no streaming statistics path; "
+            "use engine='shm' or engine='columnar'"
+        )
     geometry = geometry or HBM2Geometry.for_gpu(32)
     parameters = parameters or EventParameters()
     pattern_name = pattern if isinstance(pattern, str) else pattern.name
@@ -1107,12 +1489,44 @@ def run_statistics_campaign(
     ]
     ranges = _range_jobs(jobs, workers, range_chunks) \
         if engine == "shm" else None
+    sweeps = 2 if stats == "streaming" else 1
     if heartbeat is not None and heartbeat.total is None:
-        heartbeat.total = len(ranges) if ranges is not None else n_chunks
+        heartbeat.total = sweeps * (
+            len(ranges) if ranges is not None else n_chunks
+        )
+        if getattr(heartbeat, "total_events", None) is None:
+            heartbeat.total_events = sweeps * n_events
 
-    with tracer.span("campaign", engine=engine):
+    accumulator = None
+    with tracer.span("campaign", engine=engine, stats=stats):
         tracer.count(events=n_events, chunks=n_chunks)
-        if engine == "shm":
+        if stats == "streaming":
+            from repro.stats import STATS_KEYS
+
+            stream_jobs = ranges if ranges is not None else jobs
+            damaged, scout_report = _run_scout(
+                geometry, parameters, stream_jobs, workers, chunk_timeout,
+                tracer, heartbeat, retry, warm_pool,
+            )
+            results, report = _run_streaming(
+                engine, geometry, parameters, pattern_name, stream_jobs,
+                damaged, workers, chunk_timeout, tracer, heartbeat, retry,
+                warm_pool,
+            )
+            accumulator = _merge_streaming_states(results)
+            n_records = accumulator.n_records
+            n_observed = accumulator.n_observed
+            stats_tuple = (
+                tuple(accumulator.finalize()[key] for key in STATS_KEYS)
+                if n_observed else _EMPTY_STATS
+            )
+            observed = _no_observed_stream
+            tracer.count(records=n_records, observed=n_observed,
+                         damaged_entries=int(damaged.size))
+            pool_counters = scout_report.counters()
+            for key, value in report.counters().items():
+                pool_counters[key] = pool_counters.get(key, 0) + value
+        elif engine == "shm":
             results, report, arena = _run_ranges(
                 geometry, parameters, pattern_name, ranges, workers,
                 chunk_timeout, tracer, heartbeat, retry, warm_pool,
@@ -1120,13 +1534,13 @@ def run_statistics_campaign(
             try:
                 with tracer.span("postprocess"):
                     columns = _merge_range_payloads(results, arena)
-                    n_records, n_observed, stats, observed = _finalize_shm(
-                        columns, pattern_name
-                    )
+                    n_records, n_observed, stats_tuple, observed = \
+                        _finalize_shm(columns, pattern_name)
                     tracer.count(records=n_records, observed=n_observed)
             finally:
                 if arena is not None:
                     arena.close()
+            pool_counters = report.counters()
         else:
             results, report = _run_chunks(
                 engine, geometry, parameters, pattern_name, jobs, workers,
@@ -1135,31 +1549,30 @@ def run_statistics_campaign(
 
             with tracer.span("postprocess"):
                 if engine == "columnar":
-                    def _cat(key: str, dtype) -> np.ndarray:
-                        parts = [results[i][0][key] for i in sorted(results)]
-                        return np.concatenate(parts) if parts \
-                            else np.empty(0, dtype=dtype)
-
                     columns = {
-                        key: _cat(key, _COLUMN_DTYPES[key])
+                        key: concat_or_empty(
+                            [results[i][0][key] for i in sorted(results)],
+                            _COLUMN_DTYPES[key],
+                        )
                         for key in _COLUMN_KEYS
                     }
-                    n_records, n_observed, stats, observed = \
+                    n_records, n_observed, stats_tuple, observed = \
                         _finalize_columnar(columns, pattern_name)
                 else:
                     records = [
                         record for index in sorted(results)
                         for record in results[index][0]
                     ]
-                    n_records, n_observed, stats, observed = \
+                    n_records, n_observed, stats_tuple, observed = \
                         _finalize_reference(records)
                 tracer.count(records=n_records, observed=n_observed)
+            pool_counters = report.counters()
     if heartbeat is not None:
         heartbeat.close()
 
     trace = tracer.records[trace_base:]
     (class_fractions, mbme_histogram, byte_alignment, bits_aligned,
-     bits_non_aligned, table1) = stats
+     bits_non_aligned, table1) = stats_tuple
     return StatisticsResult(
         engine=engine,
         n_events=n_events,
@@ -1171,8 +1584,12 @@ def run_statistics_campaign(
         bits_per_word_aligned=bits_aligned,
         bits_per_word_non_aligned=bits_non_aligned,
         table1=table1,
-        stage_seconds=stage_totals(trace, _STAGES),
+        stage_seconds=stage_totals(
+            trace, _STREAM_STAGES if stats == "streaming" else _STAGES
+        ),
         trace=trace,
-        pool_counters=report.counters(),
+        pool_counters=pool_counters,
+        stats_mode=stats,
+        accumulator=accumulator,
         _observed_factory=observed,
     )

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.core.arrays import concat_or_empty
 from repro.gf.gf2 import pack_rows
 
 __all__ = [
@@ -184,9 +185,50 @@ class FlipTable:
             np.array(site_event, dtype=np.int64),
             np.array(site_entry, dtype=np.int64),
             np.array(counts, dtype=np.int64),
-            np.concatenate(bits) if bits else np.empty(0, dtype=np.int64),
+            concat_or_empty(bits, np.int64),
             n_events=len(times),
             event_columns={"time_s": np.array(times, dtype=np.float64)},
+        )
+
+    @classmethod
+    def from_observed_events(cls, events) -> FlipTable:
+        """Columnarize :class:`~repro.beam.postprocess.ObservedEvent`
+        objects: one site per ``flips`` item in insertion order, bits
+        sorted ascending within each site (the table invariant — observed
+        flip tuples already satisfy it, sorting is a cheap no-op then).
+
+        This is how the streaming accumulator folds the beam run's
+        recovered events with the same kernels (and therefore the same
+        tallies) as the columnar pipeline.
+        """
+        site_event: list[int] = []
+        site_entry: list[int] = []
+        counts: list[int] = []
+        bits: list[np.ndarray] = []
+        runs, cycles, passes = [], [], []
+        for index, event in enumerate(events):
+            runs.append(event.run)
+            cycles.append(event.write_cycle)
+            passes.append(event.read_pass)
+            for entry, positions in event.flips.items():
+                positions = np.sort(
+                    np.asarray(positions, dtype=np.int64).reshape(-1)
+                )
+                site_event.append(index)
+                site_entry.append(int(entry))
+                counts.append(positions.size)
+                bits.append(positions)
+        return cls.from_flips(
+            np.array(site_event, dtype=np.int64),
+            np.array(site_entry, dtype=np.int64),
+            np.array(counts, dtype=np.int64),
+            concat_or_empty(bits, np.int64),
+            n_events=len(runs),
+            event_columns={
+                "run": np.array(runs, dtype=np.int64),
+                "write_cycle": np.array(cycles, dtype=np.int64),
+                "read_pass": np.array(passes, dtype=np.int64),
+            },
         )
 
     def to_events(self):

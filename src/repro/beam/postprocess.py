@@ -35,6 +35,7 @@ from repro.beam.microbenchmark import MismatchRecord
 from repro.core.layout import ENTRY_BITS, NUM_PINS
 from repro.errormodel.classify import classify_error
 from repro.errormodel.patterns import ErrorPattern
+from repro.stats.table1 import table1_tally, table1_weights
 
 __all__ = [
     "FilterResult",
@@ -292,17 +293,24 @@ def derive_table1(events: list[ObservedEvent]) -> dict[ErrorPattern, float]:
     per-entry patterns spreads its weight across them.  (Weighting per
     *entry* instead would let a single thousand-entry MBME event dominate
     the distribution.)
+
+    The float weights are computed by the canonical tally → weight helper
+    of :mod:`repro.stats.table1`: this loop only counts sites by
+    ``(pattern, breadth)`` — integers, order-independent — so the scalar,
+    columnar and streaming paths are bit-identical for any event ordering
+    or range split.
     """
-    weights: dict[ErrorPattern, float] = {pattern: 0.0 for pattern in ErrorPattern}
     if not events:
         raise ValueError("no events to classify")
+    from repro.errormodel.classify import PATTERN_ORDER as _order
+
+    code_of = {pattern: code for code, pattern in enumerate(_order)}
+    tally: Counter = Counter()
     for event in events:
-        share = 1.0 / event.breadth
         for positions in event.flips.values():
             pattern = classify_error(_data_flips_to_entry_error(positions))
-            weights[pattern] += share
-    total = sum(weights.values())
-    return {pattern: weight / total for pattern, weight in weights.items()}
+            tally[(code_of[pattern], event.breadth)] += 1
+    return table1_weights(tally)
 
 
 # --------------------------------------------------------------------------
@@ -646,24 +654,21 @@ def bits_per_word_histogram_table(table: FlipTable, *,
 
 def derive_table1_table(table: FlipTable,
                         chunk: int = 8192) -> dict[ErrorPattern, float]:
-    """Columnar :func:`derive_table1`: every per-entry flip vector through
-    the batch classifier, weights accumulated in site order.
+    """Columnar :func:`derive_table1`: per-site pattern codes via the
+    segment kernels, then the canonical integer ``(pattern, breadth)``
+    tally of :mod:`repro.stats.table1`.
 
-    ``np.bincount`` adds its weights sequentially in input order — the
-    same per-pattern addition sequence as the scalar loop — so the result
-    is bit-identical to :func:`derive_table1`, not merely close.
+    Because both paths (and the streaming accumulator) reduce to the same
+    integer tally before any float is touched, the result is bit-identical
+    to :func:`derive_table1` — and invariant under any chunk/range
+    partition of the same events.
     """
     if not table.n_events:
         raise ValueError("no events to classify")
     codes = table1_site_codes(table, chunk=chunk)
-    shares = 1.0 / table.breadths()[table.site_event]
-    weights = np.bincount(codes, weights=shares,
-                          minlength=len(PATTERN_ORDER))
-    total = sum(weights.tolist())
-    return {
-        pattern: float(weight) / total
-        for pattern, weight in zip(PATTERN_ORDER, weights)
-    }
+    return table1_weights(table1_tally(
+        codes, table.breadths()[table.site_event]
+    ))
 
 
 def table1_site_codes(table: FlipTable, chunk: int = 8192) -> np.ndarray:

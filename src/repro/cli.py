@@ -145,9 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
                                "(bit-identical results; shm is the fused "
                                "shared-memory fast path, columnar the "
                                "vectorized per-chunk one)")
+    campaign.add_argument("--stats", choices=["materialize", "streaming"],
+                          default="materialize",
+                          help="statistics path: materialize per-event "
+                               "columns, or stream mergeable accumulators "
+                               "in bounded memory (identical numbers; "
+                               "streaming drops the per-event table)")
     campaign.add_argument("--workers", type=int, default=None, metavar="N",
                           help="fan statistics chunks out over N worker "
                                "processes (bit-identical to the serial run)")
+    campaign.add_argument("--fleet-size", type=int, default=None,
+                          metavar="N",
+                          help="scale the campaign's Table 1 to a fleet of "
+                               "N GPUs: FIT split, SDC/DUE MTBF, and "
+                               "mission risk under --fleet-scheme")
+    campaign.add_argument("--fleet-scheme", default="trio",
+                          help="ECC scheme the fleet model assumes "
+                               "(default: trio)")
     campaign.add_argument("--chunk-timeout", type=float, default=None,
                           metavar="SECONDS",
                           help="per-chunk wall-clock bound in the fanned-out "
@@ -311,7 +325,12 @@ def fig8_session_config(args) -> dict:
 
 
 def campaign_session_config(args) -> dict:
-    return {"runs": args.runs, "seed": args.seed, "events": args.events}
+    # fleet_size/fleet_scheme shape the printed report, so they are
+    # identity-bearing; --stats is an execution strategy with identical
+    # output and deliberately stays out (like --engine/--workers).
+    return {"runs": args.runs, "seed": args.seed, "events": args.events,
+            "fleet_size": getattr(args, "fleet_size", None),
+            "fleet_scheme": getattr(args, "fleet_scheme", "trio")}
 
 
 def beam_campaign_config(cfg: dict):
@@ -507,24 +526,56 @@ def _cmd_campaign(args, out=print):
             f"{len(observed)} observed | "
             f"{len(filtered.damaged_entries)} damaged entries filtered")
 
+        stats_mode = getattr(args, "stats", "materialize")
         with session.stage("statistics"):
             statistics = run_statistics_campaign(
                 cfg["events"], seed=cfg["seed"],
-                engine=args.engine, workers=args.workers,
+                engine=args.engine, stats=stats_mode, workers=args.workers,
                 chunk_timeout=getattr(args, "chunk_timeout", None),
                 tracer=session.tracer,
                 heartbeat=_make_heartbeat(
                     args, "campaign statistics", "chunks"),
                 warm_pool=_warm_pool(args.workers),
             )
-            observed += statistics.observed_events
+            if statistics.stats_mode != "streaming":
+                observed += statistics.observed_events
         session.record_counters(statistics.counters())
+        if statistics.stats_mode == "streaming":
+            # The statistics sweep never materialized events; fold the
+            # beam run's observed events into a fresh accumulator and
+            # merge the streamed state in.  Tally merging makes the
+            # report identical to the materialized concatenation.
+            from repro.stats import CampaignAccumulator
+
+            accumulator = CampaignAccumulator()
+            accumulator.update_from_events(observed)
+            final = accumulator.merge(statistics.accumulator).finalize()
+            class_fractions = final["class_fractions"]
+            table1 = final["table1"]
+        else:
+            class_fractions = breadth_class_fractions(observed)
+            table1 = derive_table1(observed)
         out("\nEvent classes (Figure 4a):")
-        for klass, fraction in breadth_class_fractions(observed).items():
+        for klass, fraction in class_fractions.items():
             out(f"  {klass.name}: {fraction:.1%}")
         out("\nDerived Table 1:")
-        for pattern, probability in derive_table1(observed).items():
+        for pattern, probability in table1.items():
             out(f"  {pattern.value:8s}: {probability:.2%}")
+        if cfg.get("fleet_size"):
+            from repro.core import get_scheme
+            from repro.system import GpuFleetModel
+
+            fleet = GpuFleetModel(devices=cfg["fleet_size"])
+            scheme = get_scheme(cfg["fleet_scheme"])
+            reliability = fleet.from_table1(scheme, table1)
+            out(f"\nFleet model: {cfg['fleet_size']:,} GPUs under "
+                f"{scheme.label}")
+            out(f"  SDC {reliability.sdc_fit:,.1f} FIT | "
+                f"MTBF {reliability.mtbf_sdc_hours:,.1f} h | "
+                f"P(>=1 in 24h) {reliability.sdc_risk(24.0):.2%}")
+            out(f"  DUE {reliability.due_fit:,.1f} FIT | "
+                f"MTBF {reliability.mtbf_due_hours:,.1f} h | "
+                f"P(>=1 in 24h) {reliability.due_risk(24.0):.2%}")
     _print_summary(session, out)
     return session
 

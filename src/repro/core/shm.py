@@ -60,6 +60,7 @@ __all__ = [
     "align",
     "cleanup_stale",
     "orphaned_segments",
+    "read_attached",
     "read_columns",
     "release_arenas",
     "write_columns",
@@ -265,6 +266,29 @@ def read_columns(buf: memoryview,
             f"offset {descriptor.offset}: expected "
             f"{descriptor.checksum:#010x}, read {checksum:#010x}"
         )
+    return columns
+
+
+def read_attached(descriptor: SliceDescriptor) -> dict:
+    """Attach the descriptor's segment, copy its columns out, detach.
+
+    The worker-side counterpart of :func:`read_columns`, for host→worker
+    broadcasts (the streaming engine ships its global damaged-entry set
+    this way).  The returned arrays own their data, so they stay valid
+    after the segment is unmapped — and after the host unlinks the arena.
+    """
+    faultpoint("shm.arena.attach", segment=descriptor.segment,
+               offset=descriptor.offset)
+    segment = _attach(descriptor.segment)
+    try:
+        columns = {
+            key: np.array(view)
+            for key, view in read_columns(segment.buf, descriptor).items()
+        }
+    finally:
+        segment.close()
+    faultpoint("shm.arena.detach", segment=descriptor.segment,
+               offset=descriptor.offset)
     return columns
 
 

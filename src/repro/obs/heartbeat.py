@@ -32,6 +32,7 @@ class Heartbeat:
         label: str,
         *,
         total: int | None = None,
+        total_events: int | None = None,
         unit: str = "chunks",
         interval_s: float | None = 5.0,
         stream=None,
@@ -40,6 +41,11 @@ class Heartbeat:
     ) -> None:
         self.label = label
         self.total = total
+        #: expected total event count; when set, the ETA extrapolates
+        #: from events folded rather than jobs finished — job sizes vary
+        #: (a streaming campaign's scout jobs race ahead of its
+        #: evaluation jobs), event counts don't
+        self.total_events = total_events
         self.unit = unit
         self.interval_s = interval_s
         self.stream = stream
@@ -90,10 +96,18 @@ class Heartbeat:
             parts.append(f"{self._events:,} events")
             if elapsed > 0:
                 parts.append(f"{self._events / elapsed:,.0f} events/s")
-        if self.total and 0 < self._done < self.total and not final \
-                and elapsed > 0:
-            remaining = (self.total - self._done) * (elapsed / self._done)
-            parts.append(f"ETA {remaining:.0f}s")
+        if not final and elapsed > 0:
+            # Prefer the event-count ETA when a budget is known; fall back
+            # to job counting.  Both guard done == 0 (nothing folded yet —
+            # no rate to extrapolate from).
+            if self.total_events and 0 < self._events < self.total_events:
+                remaining = (self.total_events - self._events) \
+                    * (elapsed / self._events)
+                parts.append(f"ETA {remaining:.0f}s")
+            elif self.total and 0 < self._done < self.total:
+                remaining = (self.total - self._done) \
+                    * (elapsed / self._done)
+                parts.append(f"ETA {remaining:.0f}s")
         if final:
             parts.append(f"done in {elapsed:.1f}s")
         line = f"[repro] {self.label}: " + ", ".join(parts)

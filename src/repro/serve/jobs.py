@@ -78,8 +78,12 @@ JOB_KINDS: dict[str, tuple[_Param, ...]] = {
         _Param("events", int, 3000),
         _Param("engine", str, "columnar", identity=False,
                choices=("shm", "columnar", "reference")),
+        _Param("stats", str, "materialize", identity=False,
+               choices=("materialize", "streaming")),
         _Param("workers", int, None, identity=False),
         _Param("chunk_timeout", float, None, identity=False),
+        _Param("fleet_size", int, None),
+        _Param("fleet_scheme", str, "trio"),
     ),
     "evaluate": (
         _Param("scheme", str, required=True),

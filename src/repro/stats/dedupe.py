@@ -1,0 +1,74 @@
+"""Fixed-size entry-occupancy index for the global intermittent filter.
+
+The post-processing contract says an entry with records in two or more
+distinct write cycles — *anywhere in the campaign* — is displacement
+damage, and every record it produced must be excluded.  The materialized
+engines see all records at once, so a ``np.unique`` answers it; a
+streaming engine never holds the campaign's records, so the multiplicity
+question needs a structure that is O(device), not O(events): one bit per
+memory entry (2^30 entries on the default A100 geometry → a flat 128 MB
+bitmap, the same for a 1e5-event smoke run and a 1e9-event fleet
+campaign).
+
+Fold order does not matter: an entry is damaged exactly when its global
+multiplicity is ≥ 2, and any interleaving of per-range folds sees the
+second occurrence either as an intra-range duplicate or as an
+already-set bit.  The damaged *set* is therefore identical for every
+range partition — the property the streaming engine's float-identity
+contract rests on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.arrays import concat_or_empty
+
+__all__ = ["EntryOccupancy"]
+
+
+class EntryOccupancy:
+    """One-bit-per-entry occupancy with duplicate (damaged) collection."""
+
+    def __init__(self, total_entries: int) -> None:
+        if total_entries <= 0:
+            raise ValueError("total_entries must be positive")
+        self.total_entries = int(total_entries)
+        self._bits = np.zeros((self.total_entries + 7) // 8, dtype=np.uint8)
+        self._damaged_parts: list[np.ndarray] = []
+
+    @property
+    def nbytes(self) -> int:
+        return int(self._bits.nbytes)
+
+    def fold(self, unique_entries: np.ndarray,
+             duplicated: np.ndarray) -> None:
+        """Fold one range's entries: ``unique_entries`` are the distinct
+        entry indices the range touched, ``duplicated`` the subset it
+        already saw at least twice *within* the range (both int64,
+        ``duplicated ⊆ unique_entries``)."""
+        unique_entries = np.asarray(unique_entries, dtype=np.int64)
+        if unique_entries.size:
+            if int(unique_entries.max()) >= self.total_entries \
+                    or int(unique_entries.min()) < 0:
+                raise ValueError("entry index outside the device")
+            word = unique_entries >> 3
+            mask = (np.uint8(1) << (unique_entries & 7).astype(np.uint8))
+            seen = (self._bits[word] & mask) != 0
+            if seen.any():
+                self._damaged_parts.append(unique_entries[seen])
+            # |= via indexed or — duplicate words in one fold are fine,
+            # each entry's bit is set regardless of scatter order
+            np.bitwise_or.at(self._bits, word, mask)
+        duplicated = np.asarray(duplicated, dtype=np.int64)
+        if duplicated.size:
+            self._damaged_parts.append(duplicated)
+
+    def damaged(self) -> np.ndarray:
+        """Sorted unique damaged entries folded so far (int64)."""
+        if not self._damaged_parts:
+            return np.empty(0, dtype=np.int64)
+        merged = np.unique(concat_or_empty(self._damaged_parts, np.int64))
+        # keep the deduped form so repeated calls stay cheap
+        self._damaged_parts = [merged]
+        return merged

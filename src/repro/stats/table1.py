@@ -1,0 +1,92 @@
+"""Canonical Table-1 weight computation from integer pattern tallies.
+
+Table 1 weights each *event* equally: an event of breadth ``b`` gives
+every one of its ``b`` per-entry patterns a ``1/b`` share.  Historically
+the scalar and columnar paths accumulated those float shares in site
+order, which made the result depend on event ordering — harmless within
+one pass, but fatal for a streaming engine that folds arbitrary range
+splits and must stay float-identical to the materialized oracle.
+
+The canonical form factors the float work out of the accumulation
+entirely: every path first counts **integers** — how many sites of
+pattern code ``c`` belong to events of breadth ``b`` — and only then
+converts the tally to float weights here, with one fixed summation order
+(ascending breadth within each pattern, patterns in ``PATTERN_ORDER``).
+Integer tallies merge exactly (addition is associative), so the scalar
+oracle, the columnar tables and any streamed/merged accumulator produce
+bit-identical Table-1 probabilities by construction.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.errormodel.classify import PATTERN_ORDER
+from repro.errormodel.patterns import ErrorPattern
+
+__all__ = ["table1_tally", "table1_weights", "merge_tallies"]
+
+
+def table1_tally(codes: np.ndarray, breadths: np.ndarray) -> Counter:
+    """Integer site tally keyed by ``(pattern_code, event_breadth)``.
+
+    ``codes`` is one pattern code per site (an index into
+    ``PATTERN_ORDER``) and ``breadths`` the owning event's breadth per
+    site, aligned element-wise.
+    """
+    codes = np.asarray(codes)
+    breadths = np.asarray(breadths)
+    if codes.size != breadths.size:
+        raise ValueError("codes and breadths must align per site")
+    tally: Counter = Counter()
+    if not codes.size:
+        return tally
+    # one pass over the distinct (code, breadth) pairs, not the sites
+    span = int(breadths.max()) + 1
+    keys, counts = np.unique(
+        codes.astype(np.int64) * span + breadths.astype(np.int64),
+        return_counts=True,
+    )
+    for key, count in zip(keys.tolist(), counts.tolist()):
+        tally[(key // span, key % span)] = count
+    return tally
+
+
+def merge_tallies(*tallies: Counter) -> Counter:
+    """Exact (integer) union of per-range tallies."""
+    merged: Counter = Counter()
+    for tally in tallies:
+        merged.update(tally)
+    return merged
+
+
+def table1_weights(tally) -> dict[ErrorPattern, float]:
+    """Normalized Table-1 probabilities from an integer tally.
+
+    The float accumulation order is fixed — per pattern, ascending
+    breadth; the normalizing total in ``PATTERN_ORDER`` — so any two
+    tallies with equal counts yield bit-identical probabilities.
+    """
+    per_code: dict[int, list[tuple[int, int]]] = {}
+    for (code, breadth), count in tally.items():
+        if count:
+            per_code.setdefault(int(code), []).append(
+                (int(breadth), int(count))
+            )
+    weights = []
+    for code in range(len(PATTERN_ORDER)):
+        acc = 0.0
+        for breadth, count in sorted(per_code.get(code, ())):
+            acc += count * (1.0 / breadth)
+        weights.append(acc)
+    total = 0.0
+    for weight in weights:
+        total += weight
+    if total <= 0.0:
+        raise ValueError("no events to classify")
+    return {
+        pattern: weight / total
+        for pattern, weight in zip(PATTERN_ORDER, weights)
+    }

@@ -6,7 +6,12 @@ from repro.system.automotive import (
     FleetModel,
     assess_scheme,
 )
-from repro.system.fit import GpuMemoryModel, RateSplit
+from repro.system.fit import (
+    FleetReliability,
+    GpuFleetModel,
+    GpuMemoryModel,
+    RateSplit,
+)
 from repro.system.scrubbing import ScrubbingModel
 from repro.system.hpc import ExascaleSystem, Figure9Point, figure9_series
 
@@ -15,6 +20,8 @@ __all__ = [
     "AutomotiveAssessment",
     "FleetModel",
     "assess_scheme",
+    "FleetReliability",
+    "GpuFleetModel",
     "GpuMemoryModel",
     "RateSplit",
     "ScrubbingModel",

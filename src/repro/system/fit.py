@@ -16,9 +16,11 @@ split.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
-__all__ = ["HOURS_PER_BILLION", "GpuMemoryModel", "RateSplit"]
+__all__ = ["HOURS_PER_BILLION", "FleetReliability", "GpuFleetModel",
+           "GpuMemoryModel", "RateSplit"]
 
 HOURS_PER_BILLION = 1e9
 
@@ -63,3 +65,104 @@ class GpuMemoryModel:
             due=self.raw_fit * due_probability,
             sdc=self.raw_fit * sdc_probability,
         )
+
+
+@dataclass(frozen=True)
+class FleetReliability:
+    """One ECC scheme's failure arithmetic scaled to ``devices`` GPUs.
+
+    FIT rates add across independent devices, so the fleet totals are the
+    per-GPU split times the fleet size; arrivals are Poisson, so the
+    probability of at least one event in a window follows from the
+    expected count.
+    """
+
+    devices: int
+    per_gpu: RateSplit
+
+    @property
+    def raw_fit(self) -> float:
+        return self.per_gpu.raw * self.devices
+
+    @property
+    def corrected_fit(self) -> float:
+        return self.per_gpu.corrected * self.devices
+
+    @property
+    def due_fit(self) -> float:
+        return self.per_gpu.due * self.devices
+
+    @property
+    def sdc_fit(self) -> float:
+        return self.per_gpu.sdc * self.devices
+
+    @property
+    def mtbf_sdc_hours(self) -> float:
+        """Mean time between silent corruptions, fleet-wide."""
+        return self.per_gpu.mtbf_hours(self.sdc_fit)
+
+    @property
+    def mtbf_due_hours(self) -> float:
+        """Mean time between detected-uncorrectable errors, fleet-wide."""
+        return self.per_gpu.mtbf_hours(self.due_fit)
+
+    def expected_events(self, rate_fit: float, hours: float) -> float:
+        """Expected failure count for a component rate over ``hours``."""
+        return rate_fit * hours / HOURS_PER_BILLION
+
+    def sdc_risk(self, hours: float) -> float:
+        """P(at least one silent corruption in ``hours``), Poisson."""
+        return 1.0 - math.exp(-self.expected_events(self.sdc_fit, hours))
+
+    def due_risk(self, hours: float) -> float:
+        """P(at least one DUE in ``hours``), Poisson."""
+        return 1.0 - math.exp(-self.expected_events(self.due_fit, hours))
+
+
+@dataclass(frozen=True)
+class GpuFleetModel:
+    """Fleet-scale reliability driven by campaign statistics.
+
+    Bridges the measurement side (a campaign's derived Table 1 — e.g. a
+    streamed :class:`repro.stats.CampaignAccumulator`'s pattern weights)
+    to the consequence side: weight an ECC scheme's per-pattern outcomes
+    by the campaign's pattern mixture, split each GPU's raw FIT by the
+    result, and scale to ``devices``.  Distinct from the automotive
+    :class:`repro.system.automotive.FleetModel`, which models driving
+    exposure, not device counts.
+    """
+
+    devices: int
+    gpu: GpuMemoryModel = GpuMemoryModel()
+
+    def __post_init__(self) -> None:
+        if self.devices < 1:
+            raise ValueError("fleet needs at least one device")
+
+    def reliability(self, outcome) -> FleetReliability:
+        """Fleet numbers for a Table-1-weighted
+        :class:`~repro.errormodel.montecarlo.SchemeOutcome`."""
+        return FleetReliability(
+            devices=self.devices,
+            per_gpu=self.gpu.split(outcome.correct, outcome.detect,
+                                   outcome.sdc),
+        )
+
+    def from_table1(self, scheme, table1: dict, *,
+                    samples: int = 20_000, seed: int = 1234,
+                    per_pattern: dict | None = None) -> FleetReliability:
+        """Fleet numbers for a *campaign-derived* Table 1.
+
+        ``table1`` maps each :class:`~repro.errormodel.ErrorPattern` to
+        its observed probability (what ``derive_table1`` or a streaming
+        accumulator's ``finalize()["table1"]`` returns); pass
+        ``per_pattern`` to reuse an existing scheme evaluation instead of
+        re-sampling.
+        """
+        from repro.errormodel.montecarlo import weighted_outcomes
+
+        outcome = weighted_outcomes(
+            scheme, probabilities=table1, samples=samples, seed=seed,
+            per_pattern=per_pattern,
+        )
+        return self.reliability(outcome)

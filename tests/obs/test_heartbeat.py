@@ -77,6 +77,43 @@ class TestFormatting:
         assert "ETA" not in lines[0]
 
 
+class TestEventEta:
+    """With a ``total_events`` budget the ETA extrapolates from events
+    folded, not jobs finished — job sizes vary, event counts don't."""
+
+    def test_event_eta_preferred_over_job_eta(self):
+        beat, clock, lines = _collecting(total=10, total_events=1000,
+                                         interval_s=5.0)
+        clock.tick(5.0)
+        beat.update(advance=1, events=500)
+        (line,) = lines
+        # 500 events left at 100/s -> 5s; the job ETA would say 45s.
+        assert "ETA 5s" in line
+
+    def test_falls_back_to_job_eta_with_zero_events(self):
+        beat, clock, lines = _collecting(total=10, total_events=1000,
+                                         interval_s=5.0)
+        clock.tick(5.0)
+        beat.update(advance=5, events=0)
+        (line,) = lines
+        assert "ETA 5s" in line  # 5 jobs left at 1 job/s
+
+    def test_no_eta_once_the_event_budget_is_met(self):
+        beat, clock, lines = _collecting(total_events=100, interval_s=5.0)
+        clock.tick(5.0)
+        beat.update(advance=1, events=100)
+        (line,) = lines
+        assert "ETA" not in line
+
+    def test_no_eta_with_zero_progress_on_both_axes(self):
+        beat, clock, lines = _collecting(total=10, total_events=1000,
+                                         interval_s=5.0)
+        clock.tick(5.0)
+        beat.update(advance=0, events=0)
+        (line,) = lines
+        assert "ETA" not in line
+
+
 class TestZeroProgressEdges:
     """The first emission must never divide by zero — not with done == 0
     (no ETA denominator) and not with elapsed == 0 (no rate denominator),

@@ -19,8 +19,9 @@ class TestNormalization:
     def test_defaults_filled(self):
         params = normalize_params("campaign", {})
         assert params == {"runs": 3, "seed": 2021, "events": 3000,
-                          "engine": "columnar", "workers": None,
-                          "chunk_timeout": None}
+                          "engine": "columnar", "stats": "materialize",
+                          "workers": None, "chunk_timeout": None,
+                          "fleet_size": None, "fleet_scheme": "trio"}
 
     def test_unknown_kind(self):
         with pytest.raises(JobError, match="unknown job kind"):
@@ -56,8 +57,8 @@ class TestIdentity:
     def test_execution_params_excluded(self):
         base = normalize_params("campaign", {})
         tuned = normalize_params(
-            "campaign", {"engine": "shm", "workers": 8,
-                         "chunk_timeout": 30.0})
+            "campaign", {"engine": "shm", "stats": "streaming",
+                         "workers": 8, "chunk_timeout": 30.0})
         assert job_identity("campaign", base) \
             == job_identity("campaign", tuned)
 

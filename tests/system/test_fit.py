@@ -1,8 +1,16 @@
-"""Tests for FIT arithmetic."""
+"""Tests for FIT arithmetic and the fleet-scale reliability model."""
+
+import math
+from types import SimpleNamespace
 
 import pytest
 
-from repro.system.fit import GpuMemoryModel, RateSplit
+from repro.system.fit import (
+    FleetReliability,
+    GpuFleetModel,
+    GpuMemoryModel,
+    RateSplit,
+)
 
 
 class TestGpuMemoryModel:
@@ -37,3 +45,66 @@ class TestRateSplit:
     def test_zero_rate_is_infinite(self):
         split = RateSplit(raw=1.0, corrected=1.0, due=0.0, sdc=0.0)
         assert split.mtbf_hours(split.sdc) == float("inf")
+
+
+class TestFleetReliability:
+    def _split(self):
+        return GpuMemoryModel().split(0.74, 0.206, 0.054)
+
+    def test_fit_scales_linearly_with_devices(self):
+        one = FleetReliability(devices=1, per_gpu=self._split())
+        many = FleetReliability(devices=1000, per_gpu=self._split())
+        assert many.sdc_fit == pytest.approx(1000 * one.sdc_fit)
+        assert many.due_fit == pytest.approx(1000 * one.due_fit)
+        assert many.mtbf_sdc_hours \
+            == pytest.approx(one.mtbf_sdc_hours / 1000)
+
+    def test_totals_partition_the_raw_rate(self):
+        fleet = FleetReliability(devices=64, per_gpu=self._split())
+        assert fleet.corrected_fit + fleet.due_fit + fleet.sdc_fit \
+            == pytest.approx(fleet.raw_fit)
+
+    def test_poisson_risk(self):
+        fleet = FleetReliability(devices=100, per_gpu=self._split())
+        expected = fleet.sdc_fit * 24.0 / 1e9
+        assert fleet.expected_events(fleet.sdc_fit, 24.0) \
+            == pytest.approx(expected)
+        assert fleet.sdc_risk(24.0) \
+            == pytest.approx(1.0 - math.exp(-expected))
+        assert fleet.sdc_risk(0.0) == 0.0
+        assert 0.0 < fleet.due_risk(24.0) < 1.0
+
+    def test_risk_saturates_at_long_missions(self):
+        fleet = FleetReliability(devices=100_000, per_gpu=self._split())
+        assert fleet.sdc_risk(1e9) == pytest.approx(1.0)
+
+    def test_zero_rate_never_fails(self):
+        perfect = GpuMemoryModel().split(1.0, 0.0, 0.0)
+        fleet = FleetReliability(devices=1000, per_gpu=perfect)
+        assert fleet.mtbf_sdc_hours == float("inf")
+        assert fleet.sdc_risk(1e9) == 0.0
+
+
+class TestGpuFleetModel:
+    def test_devices_validated(self):
+        with pytest.raises(ValueError, match="at least one device"):
+            GpuFleetModel(devices=0)
+
+    def test_reliability_splits_by_outcome(self):
+        outcome = SimpleNamespace(correct=0.74, detect=0.206, sdc=0.054)
+        fleet = GpuFleetModel(devices=8).reliability(outcome)
+        assert fleet.devices == 8
+        assert fleet.raw_fit == pytest.approx(8 * GpuMemoryModel().raw_fit)
+        # per-GPU 216 FIT of SDC (the paper's SEC-DED figure), x8
+        assert fleet.sdc_fit == pytest.approx(8 * 216.2, rel=0.01)
+
+    def test_from_table1_composes_with_the_error_model(self):
+        from repro.core import get_scheme
+        from repro.errormodel.montecarlo import TABLE1_PROBABILITIES
+
+        fleet = GpuFleetModel(devices=1000).from_table1(
+            get_scheme("trio"), dict(TABLE1_PROBABILITIES), samples=400)
+        assert fleet.devices == 1000
+        assert fleet.corrected_fit + fleet.due_fit + fleet.sdc_fit \
+            == pytest.approx(fleet.raw_fit)
+        assert fleet.sdc_fit < fleet.raw_fit * 0.01  # Trio: SDC is rare

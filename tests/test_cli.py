@@ -76,6 +76,17 @@ class TestCommands:
         assert "Derived Table 1" in out
         assert "SBSE" in out
 
+    def test_campaign_streaming_matches_materialize(self, capsys):
+        argv = ["campaign", "--runs", "1", "--events", "200", "--seed",
+                "3", "--fleet-size", "100", "--no-cache"]
+        assert main([*argv, "--stats", "streaming"]) == 0
+        streamed = capsys.readouterr().out
+        assert main([*argv, "--stats", "materialize"]) == 0
+        materialized = capsys.readouterr().out
+        assert "Fleet model: 100 GPUs" in streamed
+        assert "MTBF" in streamed and "FIT" in streamed
+        assert streamed == materialized  # byte-identical reports
+
     def test_system(self, capsys):
         assert main(["system", "--scheme", "trio", "--samples", "500",
                      "--exaflops", "1.0"]) == 0
