@@ -6,6 +6,9 @@ Gives shell access to the main workflows of the library:
 ``evaluate``    per-pattern and Table-1-weighted outcomes for one scheme
 ``fig8``        the Figure-8 comparison across all nine organizations
 ``hardware``    Table-3 encoder/decoder synthesis estimates
+                (``--expansion`` adds the expansion-tier circuits)
+``rank``        code-space superset ranking: resilience x area x delay
+                across every registered organization
 ``campaign``    run a simulated beam campaign and derive the error patterns
 ``system``      exascale MTTI/MTTF and the ISO 26262 automotive assessment
 ``search``      run the genetic SEC-2bEC code search and print the H matrix
@@ -40,7 +43,33 @@ import sys
 
 from repro.analysis.tables import format_percent, format_table
 
-__all__ = ["main", "build_parser", "version_string"]
+__all__ = ["main", "build_parser", "version_string", "SchemeNameError"]
+
+
+class SchemeNameError(ValueError):
+    """An unknown ECC scheme name reached a CLI command.
+
+    Raised instead of letting the registry's ``KeyError`` escape as a
+    traceback; :func:`main` turns it into a clean exit code 2, and the
+    serve daemon's generic exception handling turns it into a failed job
+    with the same message.
+    """
+
+
+def _scheme_or_error(name: str):
+    """``get_scheme`` with unknown names rewritten as a clean CLI error."""
+    from repro.core import get_scheme
+
+    try:
+        return get_scheme(name)
+    except KeyError:
+        from repro.core.registry import SCHEME_ALIASES, known_scheme_names
+
+        raise SchemeNameError(
+            f"unknown ECC scheme {name!r}\n"
+            f"  known schemes: {', '.join(known_scheme_names())}\n"
+            f"  aliases: {', '.join(sorted(SCHEME_ALIASES))}"
+        ) from None
 
 
 def version_string() -> str:
@@ -132,7 +161,19 @@ def build_parser() -> argparse.ArgumentParser:
     fig8.add_argument("--seed", type=int, default=1234)
     _add_store_flags(fig8)
 
-    sub.add_parser("hardware", help="Table-3 synthesis estimates")
+    hardware = sub.add_parser("hardware", help="Table-3 synthesis estimates")
+    hardware.add_argument(
+        "--expansion", action="store_true",
+        help="also synthesize the expansion-tier circuits (searched Hsiao, "
+             "SEC-DAEC, BCH DEC, polar) against the SEC-DED baseline")
+
+    rank = sub.add_parser(
+        "rank", help="code-space superset ranking: resilience x area x delay "
+                     "across every registered organization")
+    rank.add_argument("--samples", type=int, default=20_000,
+                      help="Monte Carlo samples per sampled pattern")
+    rank.add_argument("--seed", type=int, default=1234)
+    _add_store_flags(rank)
 
     campaign = sub.add_parser("campaign", help="run a simulated beam campaign")
     campaign.add_argument("--runs", type=int, default=3)
@@ -365,28 +406,34 @@ def _warm_pool(workers):
 
 def _cmd_schemes() -> None:
     from repro.core import all_schemes
-    from repro.core.registry import EXTENSION_SCHEME_NAMES, get_scheme
+    from repro.core.registry import (
+        EXPANSION_SCHEME_NAMES,
+        EXTENSION_SCHEME_NAMES,
+        get_scheme,
+    )
 
     rows = [
         [scheme.name, scheme.label, "yes" if scheme.corrects_pins else "no"]
         for scheme in all_schemes()
     ]
-    for name in EXTENSION_SCHEME_NAMES:
-        scheme = get_scheme(name)
-        rows.append([scheme.name, scheme.label + " [extension]",
-                     "yes" if scheme.corrects_pins else "no"])
+    for tier_names, suffix in ((EXTENSION_SCHEME_NAMES, " [extension]"),
+                               (EXPANSION_SCHEME_NAMES, " [expansion]")):
+        for name in tier_names:
+            scheme = get_scheme(name)
+            rows.append([scheme.name, scheme.label + suffix,
+                         "yes" if scheme.corrects_pins else "no"])
     print(format_table(["name", "organization", "pin correction"], rows))
 
 
 def _cmd_evaluate(args, out=print):
-    from repro.core import get_scheme
     from repro.errormodel import evaluate_scheme, weighted_outcomes
 
+    _scheme_or_error(args.scheme)  # fail fast, before opening a run
     session = _session_or_null(args, "evaluate",
                                evaluate_session_config(args))
     cfg = session.config
     with session.active():
-        scheme = get_scheme(cfg["scheme"])
+        scheme = _scheme_or_error(cfg["scheme"])
         with session.stage("evaluate"):
             per_pattern = evaluate_scheme(
                 scheme, samples=cfg["samples"], seed=cfg["seed"],
@@ -447,26 +494,68 @@ def _cmd_fig8(args, out=print):
     return session
 
 
-def _cmd_hardware() -> None:
+def _render_synthesis_table(title: str, rows, baseline) -> str:
+    rendered = []
+    for row in rows:
+        for label, stats, base in (("Perf.", row.perf, baseline.perf),
+                                   ("Eff.", row.eff, baseline.eff)):
+            rendered.append([
+                row.name, label, f"{stats.area:,.0f}",
+                f"{stats.area_overhead(base):+.1%}",
+                f"{stats.delay_ns:.3f}",
+            ])
+    return format_table(
+        ["circuit", "point", "area (AND2)", "vs SEC-DED", "delay (ns)"],
+        rendered, title=title,
+    )
+
+
+def _cmd_hardware(args=None) -> None:
     from repro.hardware.synth import table3_rows
 
     encoders, decoders = table3_rows()
     for title, rows in (("Encoders", encoders), ("Decoders", decoders)):
-        baseline = rows[0]
-        rendered = []
-        for row in rows:
-            for label, stats, base in (("Perf.", row.perf, baseline.perf),
-                                       ("Eff.", row.eff, baseline.eff)):
-                rendered.append([
-                    row.name, label, f"{stats.area:,.0f}",
-                    f"{stats.area_overhead(base):+.1%}",
-                    f"{stats.delay_ns:.3f}",
-                ])
-        print(format_table(
-            ["circuit", "point", "area (AND2)", "vs SEC-DED", "delay (ns)"],
-            rendered, title=f"Table 3 — {title}",
-        ))
+        print(_render_synthesis_table(f"Table 3 — {title}", rows, rows[0]))
         print()
+    if args is not None and getattr(args, "expansion", False):
+        from repro.hardware.expansion import expansion_rows
+
+        exp_encoders, exp_decoders = expansion_rows()
+        for title, rows, baseline in (
+            ("Encoders", exp_encoders, encoders[0]),
+            ("Decoders", exp_decoders, decoders[0]),
+        ):
+            print(_render_synthesis_table(
+                f"Expansion tier — {title} (vs the Table-3 SEC-DED baseline)",
+                rows, baseline,
+            ))
+            print()
+
+
+def rank_session_config(args) -> dict:
+    return {
+        "samples": args.samples, "seed": args.seed,
+        "workers": args.workers, "cell_timeout": args.cell_timeout,
+    }
+
+
+def _cmd_rank(args, out=print):
+    from repro.analysis.ranking import format_ranking, ranking_rows
+
+    session = _session_or_null(args, "rank", rank_session_config(args))
+    cfg = session.config
+    with session.active():
+        with session.stage("rank"):
+            rows = ranking_rows(
+                samples=cfg["samples"], seed=cfg["seed"],
+                workers=cfg.get("workers"), cache=session.cell_cache,
+                cell_timeout=cfg.get("cell_timeout"), tracer=session.tracer,
+                heartbeat=_make_heartbeat(args, "rank", "cells"),
+                warm_pool=_warm_pool(cfg.get("workers")),
+            )
+    out(format_ranking(rows))
+    _print_summary(session, out)
+    return session
 
 
 def _cmd_campaign(args, out=print):
@@ -481,6 +570,9 @@ def _cmd_campaign(args, out=print):
         run_statistics_campaign,
     )
 
+    if getattr(args, "fleet_size", None):
+        # fail fast, before the beam simulation runs
+        _scheme_or_error(getattr(args, "fleet_scheme", "trio"))
     session = _session_or_null(args, "campaign",
                                campaign_session_config(args))
     cfg = session.config
@@ -562,11 +654,10 @@ def _cmd_campaign(args, out=print):
         for pattern, probability in table1.items():
             out(f"  {pattern.value:8s}: {probability:.2%}")
         if cfg.get("fleet_size"):
-            from repro.core import get_scheme
             from repro.system import GpuFleetModel
 
             fleet = GpuFleetModel(devices=cfg["fleet_size"])
-            scheme = get_scheme(cfg["fleet_scheme"])
+            scheme = _scheme_or_error(cfg["fleet_scheme"])
             reliability = fleet.from_table1(scheme, table1)
             out(f"\nFleet model: {cfg['fleet_size']:,} GPUs under "
                 f"{scheme.label}")
@@ -581,10 +672,10 @@ def _cmd_campaign(args, out=print):
 
 
 def _cmd_system(args) -> None:
-    from repro.core import get_scheme
     from repro.errormodel import evaluate_scheme, weighted_outcomes
     from repro.system import ExascaleSystem, assess_scheme
 
+    _scheme_or_error(args.scheme)  # fail fast, before opening a run
     session = _session_or_null(args, "system", {
         "scheme": args.scheme, "samples": args.samples,
         "exaflops": list(args.exaflops), "workers": args.workers,
@@ -592,7 +683,7 @@ def _cmd_system(args) -> None:
     })
     cfg = session.config
     with session.active():
-        scheme = get_scheme(cfg["scheme"])
+        scheme = _scheme_or_error(cfg["scheme"])
         with session.stage("evaluate"):
             per_pattern = evaluate_scheme(
                 scheme, samples=cfg["samples"],
@@ -672,6 +763,15 @@ def main(argv: list[str] | None = None) -> int:
 
     install_shutdown_hooks()
     try:
+        return _dispatch(args)
+    finally:
+        from repro.core.pool import close_warm_pools
+
+        close_warm_pools()
+
+
+def _dispatch(args) -> int:
+    try:
         if args.command == "version":
             print(version_string())
         elif args.command == "schemes":
@@ -681,7 +781,9 @@ def main(argv: list[str] | None = None) -> int:
         elif args.command == "fig8":
             _cmd_fig8(args)
         elif args.command == "hardware":
-            _cmd_hardware()
+            _cmd_hardware(args)
+        elif args.command == "rank":
+            _cmd_rank(args)
         elif args.command == "campaign":
             _cmd_campaign(args)
         elif args.command == "system":
@@ -711,10 +813,9 @@ def main(argv: list[str] | None = None) -> int:
 
             return cmd_jobs(args)
         return 0
-    finally:
-        from repro.core.pool import close_warm_pools
-
-        close_warm_pools()
+    except SchemeNameError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -2,8 +2,18 @@
 
 from repro.codes.base32 import b32_decode_int, b32_encode_int, decode_h_matrix, encode_h_matrix
 from repro.codes.genetic import search_sec2bec
-from repro.codes.hsiao import HSIAO_72_64, hsiao_code, hsiao_h_matrix
+from repro.codes.bch import BCH_DEC_144_128, bch_dec_code, bch_dec_h_matrix
+from repro.codes.hsiao import (
+    HSIAO_72_64,
+    hsiao_code,
+    hsiao_h_matrix,
+    hsiao_search_code,
+    hsiao_search_h_matrix,
+    row_weight_spread,
+)
 from repro.codes.linear import BinaryLinearCode, PairTable
+from repro.codes.polar import POLAR_512_288, PolarCode
+from repro.codes.sec_daec import SEC_DAEC_72_64, sec_daec_code, sec_daec_h_matrix
 from repro.codes.reed_solomon import ReedSolomonCode, RSDecodeResult, RSDecodeStatus
 from repro.codes.sec2bec import (
     PAPER_H_ROWS_BASE32,
@@ -24,6 +34,17 @@ __all__ = [
     "HSIAO_72_64",
     "hsiao_code",
     "hsiao_h_matrix",
+    "hsiao_search_code",
+    "hsiao_search_h_matrix",
+    "row_weight_spread",
+    "BCH_DEC_144_128",
+    "bch_dec_code",
+    "bch_dec_h_matrix",
+    "POLAR_512_288",
+    "PolarCode",
+    "SEC_DAEC_72_64",
+    "sec_daec_code",
+    "sec_daec_h_matrix",
     "BinaryLinearCode",
     "PairTable",
     "ReedSolomonCode",

@@ -1,0 +1,72 @@
+"""Binary BCH double-error-correcting (DEC) codes over GF(2^8).
+
+A narrow-sense binary BCH code of designed distance 5 has the parity-check
+matrix
+
+    H = | α^0   α^1   ...  α^(n-1)  |
+        | α^0   α^3   ...  α^(3(n-1)) |
+
+over GF(2^8) (each field element contributing 8 binary rows), giving 16
+check bits and guaranteed correction of any one- or two-bit error.  We
+shorten the natural length-255 code to n = 144 so that *two* codewords tile
+the 288-bit memory entry exactly: 2 x 128 data bits fill the 256-bit
+payload, and 2 x 16 check bits fill the 32-bit ECC field — the same storage
+budget as the paper's organizations.
+
+Because d >= 5, every single column and every pairwise column XOR is a
+distinct nonzero syndrome, so the generic :class:`PairTable` machinery of
+``codes/linear.py`` realizes the DEC decode: the pair table enumerates all
+C(144, 2) = 10,296 unordered bit pairs and its constructor proves the
+no-aliasing property by raising on any collision.  A pin error lands as two
+bits in each 144-bit codeword (one per beat), inside the DEC budget; a byte
+error concentrates eight bits in one codeword, far beyond it.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+
+from repro.codes.linear import BinaryLinearCode, PairTable
+from repro.gf.gf256 import EXP_TABLE, ORDER
+
+__all__ = [
+    "bch_dec_h_matrix",
+    "bch_dec_code",
+    "bch_dec_pair_table",
+    "BCH_DEC_144_128",
+    "BCH_DEC_PAIRS",
+]
+
+
+def bch_dec_h_matrix(num_columns: int = 144) -> np.ndarray:
+    """The (16, num_columns) binary H of the shortened d=5 BCH code."""
+    if not 17 <= num_columns <= ORDER:
+        raise ValueError(f"BCH length must be in [17, {ORDER}]")
+    matrix = np.zeros((16, num_columns), dtype=np.uint8)
+    for j in range(num_columns):
+        alpha_j = int(EXP_TABLE[j % ORDER])
+        alpha_3j = int(EXP_TABLE[(3 * j) % ORDER])
+        for bit in range(8):
+            matrix[bit, j] = (alpha_j >> bit) & 1
+            matrix[8 + bit, j] = (alpha_3j >> bit) & 1
+    return matrix
+
+
+def bch_dec_code(num_columns: int = 144) -> BinaryLinearCode:
+    """The shortened binary BCH DEC code as a :class:`BinaryLinearCode`."""
+    return BinaryLinearCode(
+        bch_dec_h_matrix(num_columns),
+        name=f"bch-dec({num_columns},{num_columns - 16})",
+    )
+
+
+def bch_dec_pair_table(code: BinaryLinearCode) -> PairTable:
+    """The all-pairs correction table (d >= 5 guarantees no aliasing)."""
+    return code.build_pair_table(list(combinations(range(code.n), 2)))
+
+
+#: The shortened (144, 128) BCH DEC code and its all-pairs table.
+BCH_DEC_144_128 = bch_dec_code()
+BCH_DEC_PAIRS = bch_dec_pair_table(BCH_DEC_144_128)

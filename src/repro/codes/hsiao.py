@@ -14,12 +14,20 @@ Hsiao's published selection criterion.
 from __future__ import annotations
 
 from itertools import combinations
+from math import comb
 
 import numpy as np
 
 from repro.codes.linear import BinaryLinearCode
 
-__all__ = ["hsiao_h_matrix", "hsiao_code", "HSIAO_72_64"]
+__all__ = [
+    "hsiao_h_matrix",
+    "hsiao_code",
+    "HSIAO_72_64",
+    "hsiao_search_h_matrix",
+    "hsiao_search_code",
+    "row_weight_spread",
+]
 
 
 def _columns_of_weight(num_rows: int, weight: int) -> list[int]:
@@ -83,6 +91,135 @@ def hsiao_h_matrix(num_check: int = 8, num_data: int = 64) -> np.ndarray:
         for row in range(num_check):
             matrix[row, position] = (column >> row) & 1
     return matrix
+
+
+def row_weight_spread(h: np.ndarray) -> int:
+    """``max - min`` of the H-matrix row weights (encoder XOR-tree balance)."""
+    weights = np.asarray(h, dtype=np.int64).sum(axis=1)
+    return int(weights.max() - weights.min())
+
+
+def _column_row_weights(columns: list[int], num_check: int) -> np.ndarray:
+    weights = np.zeros(num_check, dtype=np.int64)
+    for column in columns:
+        for row in range(num_check):
+            weights[row] += (column >> row) & 1
+    return weights
+
+
+def _tier_plan(num_check: int, num_data: int) -> tuple[list[int], list[int], int]:
+    """Full odd-weight tiers, the partial tier's candidates, and its count."""
+    base: list[int] = []
+    remaining = num_data
+    for weight in range(3, num_check + 1, 2):
+        candidates = _columns_of_weight(num_check, weight)
+        if len(candidates) <= remaining:
+            base.extend(candidates)
+            remaining -= len(candidates)
+            continue
+        return base, candidates, remaining
+    if remaining:
+        raise ValueError("not enough odd-weight columns for requested size")
+    return base, [], 0
+
+
+def _spread_key(weights: np.ndarray) -> tuple[int, int]:
+    return int(weights.max() - weights.min()), int(weights.max())
+
+
+def _exhaustive_partial(
+    tier: list[int], count: int, base_weights: np.ndarray,
+    num_check: int, variant: int,
+) -> list[int]:
+    """Rank every partial-tier subset by balance; return the variant-th."""
+    scored: list[tuple[tuple[int, int], tuple[int, ...]]] = []
+    for subset in combinations(sorted(tier), count):
+        weights = base_weights + _column_row_weights(list(subset), num_check)
+        scored.append((_spread_key(weights), subset))
+    scored.sort()
+    if variant >= len(scored):
+        raise ValueError(
+            f"variant {variant} out of range: only {len(scored)} subsets"
+        )
+    return list(scored[variant][1])
+
+
+def _greedy_partial(
+    tier: list[int], count: int, base_weights: np.ndarray,
+    num_check: int, variant: int,
+) -> list[int]:
+    """Forward greedy balance search; ``variant`` perturbs the first pick."""
+    if variant >= len(tier) - count + 1:
+        raise ValueError(f"variant {variant} out of range for greedy search")
+    available = sorted(tier)
+    weights = base_weights.copy()
+    chosen: list[int] = []
+    for step in range(count):
+        ranked = sorted(
+            available,
+            key=lambda col: (
+                _spread_key(weights + _column_row_weights([col], num_check)),
+                col,
+            ),
+        )
+        pick = ranked[variant] if step == 0 else ranked[0]
+        available.remove(pick)
+        chosen.append(pick)
+        weights += _column_row_weights([pick], num_check)
+    return chosen
+
+
+def hsiao_search_h_matrix(
+    num_check: int = 8,
+    num_data: int = 64,
+    *,
+    variant: int = 0,
+    exhaustive_limit: int = 100_000,
+) -> np.ndarray:
+    """Search for a balanced-row Hsiao H-matrix (alternative constructions).
+
+    Full lower odd-weight tiers are always taken whole (any (72, 64) Hsiao
+    code contains all 56 weight-3 columns); the search is over the *partial*
+    tier.  When the subset space is small (``C(len(tier), count)`` at most
+    ``exhaustive_limit``) every subset is scored by row-weight spread and
+    ``variant`` indexes the ranked list; otherwise a forward greedy search
+    minimizes the spread step by step, with ``variant`` perturbing the first
+    pick to emit alternative near-balanced matrices.
+    """
+    base, tier, count = _tier_plan(num_check, num_data)
+    base_weights = _column_row_weights(base, num_check)
+    if count == 0:
+        if variant:
+            raise ValueError("code has no partial tier; only variant 0 exists")
+        chosen: list[int] = []
+    elif comb(len(tier), count) <= exhaustive_limit:
+        chosen = _exhaustive_partial(tier, count, base_weights, num_check, variant)
+    else:
+        chosen = _greedy_partial(tier, count, base_weights, num_check, variant)
+
+    check_columns = [1 << row for row in range(num_check)]
+    all_columns = base + chosen + check_columns
+    matrix = np.zeros((num_check, len(all_columns)), dtype=np.uint8)
+    for position, column in enumerate(all_columns):
+        for row in range(num_check):
+            matrix[row, position] = (column >> row) & 1
+    return matrix
+
+
+def hsiao_search_code(
+    num_check: int = 8,
+    num_data: int = 64,
+    *,
+    variant: int = 0,
+    exhaustive_limit: int = 100_000,
+) -> BinaryLinearCode:
+    """A searched balanced-row Hsiao code as a :class:`BinaryLinearCode`."""
+    h = hsiao_search_h_matrix(
+        num_check, num_data, variant=variant, exhaustive_limit=exhaustive_limit
+    )
+    return BinaryLinearCode(
+        h, name=f"hsiao-search({num_data + num_check},{num_data})v{variant}"
+    )
 
 
 def hsiao_code(num_check: int = 8, num_data: int = 64) -> BinaryLinearCode:

@@ -4,7 +4,15 @@ from repro.core.binary import BinaryEntryScheme
 from repro.core.duet_trio import ReconfigurableDuetTrio
 from repro.core.interleave import deinterleave, interleave
 from repro.core.layout import DATA_BITS, ECC_BITS, ENTRY_BITS, NUM_BEATS, NUM_PINS
-from repro.core.registry import SCHEME_NAMES, all_schemes, get_scheme
+from repro.core.registry import (
+    EXPANSION_SCHEME_NAMES,
+    EXTENSION_SCHEME_NAMES,
+    SCHEME_NAMES,
+    all_schemes,
+    expanded_schemes,
+    get_scheme,
+    known_scheme_names,
+)
 from repro.core.rs_ssc import InterleavedSSCScheme
 from repro.core.sanity_check import csc_violation, csc_violation_batch
 from repro.core.scheme import BatchDecode, DecodeResult, DecodeStatus, ECCScheme
@@ -23,7 +31,11 @@ __all__ = [
     "NUM_BEATS",
     "NUM_PINS",
     "SCHEME_NAMES",
+    "EXTENSION_SCHEME_NAMES",
+    "EXPANSION_SCHEME_NAMES",
     "all_schemes",
+    "expanded_schemes",
+    "known_scheme_names",
     "get_scheme",
     "csc_violation",
     "csc_violation_batch",

@@ -31,11 +31,13 @@ locations of all four codewords (:mod:`repro.core.sanity_check`).
 
 from __future__ import annotations
 
+import hashlib
+
 import numpy as np
 
 from repro.codes.linear import BinaryLinearCode, PairTable
 from repro.core.interleave import deinterleave_permutation
-from repro.core.layout import ENTRY_BITS, ENTRY_BYTES, NUM_BEATS, NUM_PINS
+from repro.core.layout import DATA_BITS, ENTRY_BITS, ENTRY_BYTES, NUM_BEATS, NUM_PINS
 from repro.core.sanity_check import csc_violation, csc_violation_batch
 from repro.core.scheme import BatchDecode, DecodeResult, DecodeStatus, ECCScheme
 from repro.gf.gf2 import (
@@ -49,12 +51,17 @@ from repro.gf.gf2 import (
 
 __all__ = ["BinaryEntryScheme"]
 
-_NUM_CODEWORDS = NUM_BEATS  # four 72-bit codewords per 288-bit entry
-_CW_BITS = NUM_PINS  # 72
-
 
 class BinaryEntryScheme(ECCScheme):
-    """A four-codeword binary ECC organization over one memory entry."""
+    """A multi-codeword binary ECC organization over one memory entry.
+
+    The paper's organizations tile the 288-bit entry with four 72-bit
+    codewords; the expansion schemes reuse the same machinery with any
+    ``(n, k)`` code whose codewords tile the entry exactly (``288 % n == 0``)
+    and whose data bits fill the 256-bit payload (``(288 // n) * k == 256``).
+    Interleaving and the correction sanity check are specific to the paper's
+    4x72 geometry and stay gated to it.
+    """
 
     def __init__(
         self,
@@ -66,9 +73,24 @@ class BinaryEntryScheme(ECCScheme):
         name: str,
         label: str,
     ) -> None:
-        if code.n != _CW_BITS:
-            raise ValueError(f"expected a {_CW_BITS}-bit codeword code")
+        if ENTRY_BITS % code.n != 0:
+            raise ValueError(
+                f"{code.n}-bit codewords do not tile a {ENTRY_BITS}-bit entry"
+            )
+        num_codewords = ENTRY_BITS // code.n
+        if num_codewords * code.k != DATA_BITS:
+            raise ValueError(
+                f"{num_codewords} codewords of {code.k} data bits do not "
+                f"fill the {DATA_BITS}-bit payload"
+            )
+        if (interleaved or csc) and code.n != NUM_PINS:
+            raise ValueError(
+                "interleaving and the CSC require the paper's "
+                f"{NUM_BEATS}x{NUM_PINS} geometry"
+            )
         self.code = code
+        self.num_codewords = num_codewords
+        self.cw_bits = code.n
         self.interleaved = interleaved
         self.pair_table = pair_table
         self.csc = csc
@@ -78,7 +100,7 @@ class BinaryEntryScheme(ECCScheme):
 
         #: trans_index[c, off] — transmitted bit carrying codeword c, offset off
         ni_positions = np.arange(ENTRY_BITS, dtype=np.int64).reshape(
-            _NUM_CODEWORDS, _CW_BITS
+            num_codewords, code.n
         )
         if interleaved:
             self.trans_index = deinterleave_permutation()[ni_positions]
@@ -88,7 +110,7 @@ class BinaryEntryScheme(ECCScheme):
 
         #: transmitted indices of the 256 data bits, in user order
         self.data_index = np.concatenate(
-            [self.trans_index[c, code.data_positions] for c in range(_NUM_CODEWORDS)]
+            [self.trans_index[c, code.data_positions] for c in range(num_codewords)]
         )
 
         if pair_table is not None:
@@ -99,11 +121,21 @@ class BinaryEntryScheme(ECCScheme):
                 [pair[1] for pair in pair_table.pairs], dtype=np.int64
             )
 
-        # All four codeword syndromes must share one int64 for the packed
+        # All codeword syndromes must share one int64 for the packed
         # fast path; wider codes fall back to the reference decoder.
-        self._packed_ok = _NUM_CODEWORDS * code.r <= 62
+        self._packed_ok = num_codewords * code.r <= 62
         if self._packed_ok:
             self._build_packed_tables()
+
+    def cache_token(self) -> str:
+        """Digest of the full construction: H, pairs, interleave, CSC."""
+        material = hashlib.sha256()
+        material.update(np.ascontiguousarray(self.code.h, dtype=np.uint8))
+        if self.pair_table is not None:
+            for low, high in self.pair_table.pairs:
+                material.update(f"{low},{high};".encode())
+        material.update(f"i={int(self.interleaved)},c={int(self.csc)}".encode())
+        return material.hexdigest()
 
     # -- packed decode tables ---------------------------------------------------
     def _build_packed_tables(self) -> None:
@@ -117,19 +149,19 @@ class BinaryEntryScheme(ECCScheme):
         byte-packed correction mask whose XOR with the received entry gives
         the residual.
         """
+        ncw = self.num_codewords
         r = self.code.r
         space = 1 << r
-        h_entry = np.zeros((_NUM_CODEWORDS * r, ENTRY_BITS), dtype=np.uint8)
-        for cw in range(_NUM_CODEWORDS):
+        h_entry = np.zeros((ncw * r, ENTRY_BITS), dtype=np.uint8)
+        for cw in range(ncw):
             h_entry[cw * r : (cw + 1) * r, self.trans_index[cw]] = self.code.h
         self._entry_syndrome_table = syndrome_byte_table(h_entry)
-        self._syndrome_shifts = (r * np.arange(_NUM_CODEWORDS)).astype(np.int64)
+        self._syndrome_shifts = (r * np.arange(ncw)).astype(np.int64)
         self._syndrome_mask = np.int64(space - 1)
 
         # Derive the per-syndrome actions from the same logic the reference
         # decoder uses, over the whole syndrome space at once.
-        every = np.tile(np.arange(space, dtype=np.int64)[:, None],
-                        (1, _NUM_CODEWORDS))
+        every = np.tile(np.arange(space, dtype=np.int64)[:, None], (1, ncw))
         offsets, cw_due, cw_corrects = self._corrections(every)
         lut_offsets = offsets[:, 0, :].copy()  # (space, 2), codeword-agnostic
         self._lut_due = cw_due[:, 0].copy()
@@ -142,8 +174,8 @@ class BinaryEntryScheme(ECCScheme):
             -1,
         )
 
-        corr_bits = np.zeros((_NUM_CODEWORDS, space, ENTRY_BITS), dtype=np.uint8)
-        for cw in range(_NUM_CODEWORDS):
+        corr_bits = np.zeros((ncw, space, ENTRY_BITS), dtype=np.uint8)
+        for cw in range(ncw):
             for slot in range(2):
                 valid = np.nonzero(lut_offsets[:, slot] >= 0)[0]
                 corr_bits[cw, valid,
@@ -158,8 +190,9 @@ class BinaryEntryScheme(ECCScheme):
     def encode(self, data_bits: np.ndarray) -> np.ndarray:
         data_bits = self._check_data(data_bits)
         entry = np.zeros(ENTRY_BITS, dtype=np.uint8)
-        for cw in range(_NUM_CODEWORDS):
-            codeword = self.code.encode(data_bits[64 * cw : 64 * (cw + 1)])
+        k = self.code.k
+        for cw in range(self.num_codewords):
+            codeword = self.code.encode(data_bits[k * cw : k * (cw + 1)])
             entry[self.trans_index[cw]] = codeword
         return entry
 
@@ -168,15 +201,15 @@ class BinaryEntryScheme(ECCScheme):
                      ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Map per-codeword packed syndromes to correction offsets.
 
-        ``packed_syndromes`` has shape (B, 4).  Returns ``(offsets, cw_due,
-        cw_corrects)`` where ``offsets`` is (B, 4, 2) within-codeword bit
+        ``packed_syndromes`` has shape (B, ncw).  Returns ``(offsets, cw_due,
+        cw_corrects)`` where ``offsets`` is (B, ncw, 2) within-codeword bit
         offsets with -1 sentinels.
         """
         syn = packed_syndromes
         batch = syn.shape[0]
-        offsets = np.full((batch, _NUM_CODEWORDS, 2), -1, dtype=np.int64)
+        offsets = np.full((batch, self.num_codewords, 2), -1, dtype=np.int64)
 
-        single = self.code.syndrome_to_bit[syn]  # (B, 4); -1 = no column match
+        single = self.code.syndrome_to_bit[syn]  # (B, ncw); -1 = no column match
         has_single = single >= 0
         offsets[..., 0] = np.where(has_single, single, -1)
 
@@ -196,7 +229,7 @@ class BinaryEntryScheme(ECCScheme):
     # -- scalar decode -----------------------------------------------------------
     def decode(self, entry_bits: np.ndarray) -> DecodeResult:
         entry_bits = self._check_entry(entry_bits)
-        cw_bits = entry_bits[self._gather].reshape(_NUM_CODEWORDS, _CW_BITS)
+        cw_bits = entry_bits[self._gather].reshape(self.num_codewords, self.cw_bits)
         packed = pack_bits(syndromes_batch(self.code.h, cw_bits))[None, :]
         offsets, cw_due, cw_corrects = self._corrections(packed)
 
@@ -204,7 +237,7 @@ class BinaryEntryScheme(ECCScheme):
             return DecodeResult(DecodeStatus.DETECTED, None)
 
         corrected_bits: list[int] = []
-        for cw in range(_NUM_CODEWORDS):
+        for cw in range(self.num_codewords):
             for slot in range(2):
                 offset = int(offsets[0, cw, slot])
                 if offset >= 0:
@@ -248,7 +281,7 @@ class BinaryEntryScheme(ECCScheme):
             if applies.size:
                 positions = np.concatenate(
                     [self._lut_positions[cw][syn[applies, cw]]
-                     for cw in range(_NUM_CODEWORDS)],
+                     for cw in range(self.num_codewords)],
                     axis=1,
                 )
                 due[applies] |= csc_violation_batch(
@@ -256,7 +289,7 @@ class BinaryEntryScheme(ECCScheme):
                 )
 
         correction = self._corr_byte_table[0, syn[:, 0]]
-        for cw in range(1, _NUM_CODEWORDS):
+        for cw in range(1, self.num_codewords):
             correction = correction ^ self._corr_byte_table[cw, syn[:, cw]]
         residual = entry_bytes ^ correction
         residual_data = ((residual & self._data_mask_bytes) != 0).any(axis=1)
@@ -268,22 +301,21 @@ class BinaryEntryScheme(ECCScheme):
     def decode_batch_errors_reference(self, errors: np.ndarray) -> BatchDecode:
         errors = self._check_errors(errors)
         batch = errors.shape[0]
-        cw_bits = errors[:, self._gather].reshape(batch * _NUM_CODEWORDS, _CW_BITS)
-        packed = pack_bits(syndromes_batch(self.code.h, cw_bits)).reshape(
-            batch, _NUM_CODEWORDS
-        )
+        ncw = self.num_codewords
+        cw_bits = errors[:, self._gather].reshape(batch * ncw, self.cw_bits)
+        packed = pack_bits(syndromes_batch(self.code.h, cw_bits)).reshape(batch, ncw)
         offsets, cw_due, cw_corrects = self._corrections(packed)
 
         # Transmitted positions of every correction slot, -1 preserved.
         positions = np.where(
             offsets >= 0,
             np.take_along_axis(
-                np.broadcast_to(self.trans_index, (batch, _NUM_CODEWORDS, _CW_BITS)),
+                np.broadcast_to(self.trans_index, (batch, ncw, self.cw_bits)),
                 np.maximum(offsets, 0),
                 axis=2,
             ),
             -1,
-        ).reshape(batch, _NUM_CODEWORDS * 2)
+        ).reshape(batch, ncw * 2)
 
         due = cw_due.any(axis=1)
         codewords_correcting = cw_corrects.sum(axis=1)

@@ -94,6 +94,17 @@ class ECCScheme(ABC):
     #: True if the organization preserves single-pin correction
     corrects_pins: bool = True
 
+    def cache_token(self) -> str:
+        """Content identity of the scheme for run-store cache keys.
+
+        The default is the registry name, which is correct for schemes whose
+        construction is fully determined by it.  Searched or parameterized
+        schemes (alternative H-matrices, different code variants) must
+        override this with a digest of their actual construction so two
+        variants sharing a name never collide in the artifact cache.
+        """
+        return self.name
+
     @abstractmethod
     def encode(self, data_bits: np.ndarray) -> np.ndarray:
         """Encode 256 data bits into a 288-bit transmitted entry."""

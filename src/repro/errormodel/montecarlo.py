@@ -408,7 +408,7 @@ def _collect_cells(
             hit = None
             if cache is not None:
                 hit = cache.lookup(scheme.name, pattern, samples, seed,
-                                   exhaustive_triples)
+                                   exhaustive_triples, scheme.cache_token())
             if hit is not None:
                 table[scheme.name][pattern] = hit
             else:
@@ -432,7 +432,8 @@ def _collect_cells(
         table[job.key[0]][job.pattern] = outcome
         if cache is not None:
             cache.record(job.key[0], job.pattern, samples, seed,
-                         exhaustive_triples, outcome)
+                         exhaustive_triples, outcome,
+                         job.scheme.cache_token())
     return {
         scheme.name: {
             pattern: table[scheme.name][pattern] for pattern in ErrorPattern

@@ -140,6 +140,20 @@ class Circuit:
     def mark_output(self, name: str, node: int) -> None:
         self.outputs[name] = node
 
+    def const_value(self, node: int) -> int | None:
+        """0/1 if ``node`` is a constant cell, else None.
+
+        Generators use this to fold gates whose inputs are known — e.g. the
+        constant channel LLRs feeding the top of an unrolled SC datapath —
+        so the cost model does not charge for logic synthesis would remove.
+        """
+        kind = self._nodes[node].kind
+        if kind is GateKind.CONST0:
+            return 0
+        if kind is GateKind.CONST1:
+            return 1
+        return None
+
     # -- reduction trees ---------------------------------------------------
     def tree(self, kind: GateKind, nodes: list[int], *,
              balanced: bool = True) -> int:

@@ -87,15 +87,18 @@ class CellCache:
         self.misses = 0
 
     def key_for(self, scheme: str, pattern: ErrorPattern, samples: int,
-                seed: int, exhaustive_triples: bool) -> str:
+                seed: int, exhaustive_triples: bool,
+                token: str | None = None) -> str:
         return self.store.cell_key(
             scheme, pattern, samples, seed, exhaustive_triples,
-            self.fingerprint,
+            self.fingerprint, token=token,
         )
 
     def lookup(self, scheme: str, pattern: ErrorPattern, samples: int,
-               seed: int, exhaustive_triples: bool) -> PatternOutcome | None:
-        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples)
+               seed: int, exhaustive_triples: bool,
+               token: str | None = None) -> PatternOutcome | None:
+        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples,
+                           token)
         outcome = self.store.load_cell(key)
         if outcome is None or outcome.pattern is not pattern:
             self.misses += 1
@@ -105,8 +108,9 @@ class CellCache:
 
     def record(self, scheme: str, pattern: ErrorPattern, samples: int,
                seed: int, exhaustive_triples: bool,
-               outcome: PatternOutcome) -> None:
-        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples)
+               outcome: PatternOutcome, token: str | None = None) -> None:
+        key = self.key_for(scheme, pattern, samples, seed, exhaustive_triples,
+                           token)
         self.store.save_cell(key, outcome)
         if self.checkpoint_path is not None:
             self.checkpoint_path.parent.mkdir(parents=True, exist_ok=True)

@@ -137,8 +137,17 @@ class RunStore:
         seed: int,
         exhaustive_triples: bool,
         fingerprint: str,
+        *,
+        token: str | None = None,
     ) -> str:
-        """Content address of one (scheme, pattern) Table-2 cell."""
+        """Content address of one (scheme, pattern) Table-2 cell.
+
+        ``token`` is the scheme's construction identity
+        (:meth:`repro.core.scheme.ECCScheme.cache_token`) — an H-matrix
+        digest for searched/parameterized codes — so two variants sharing
+        a registry name can never collide.  It defaults to the name for
+        callers addressing a scheme purely by registry identity.
+        """
         exhaustive = pattern in _ALWAYS_EXHAUSTIVE or (
             pattern is ErrorPattern.TRIPLE_BIT and exhaustive_triples
         )
@@ -146,6 +155,7 @@ class RunStore:
             "schema": _SCHEMA,
             "kind": "cell",
             "scheme": scheme,
+            "scheme_code": scheme if token is None else token,
             "pattern": pattern.name,
             "samples": None if exhaustive else int(samples),
             "seed": None if exhaustive else int(seed),

@@ -95,11 +95,12 @@ def _artifact_keys(kind: str, identity: dict, store: RunStore,
     """
     from repro.errormodel.patterns import ErrorPattern
 
-    def cells(scheme_name: str) -> list[tuple[str, str]]:
+    def cells(scheme) -> list[tuple[str, str]]:
         return [
-            ("cells", store.cell_key(scheme_name, pattern,
+            ("cells", store.cell_key(scheme.name, pattern,
                                      identity["samples"], identity["seed"],
-                                     False, fingerprint))
+                                     False, fingerprint,
+                                     token=scheme.cache_token()))
             for pattern in ErrorPattern
         ]
 
@@ -119,13 +120,13 @@ def _artifact_keys(kind: str, identity: dict, store: RunStore,
         except KeyError:
             raise JobError(
                 f"unknown scheme {identity['scheme']!r}") from None
-        return cells(scheme.name)
+        return cells(scheme)
     if kind == "fig8":
         from repro.core import all_schemes
 
         keys: list[tuple[str, str]] = []
         for scheme in all_schemes():
-            keys.extend(cells(scheme.name))
+            keys.extend(cells(scheme))
         return keys
     raise JobError(f"unknown job kind {kind!r}")
 

@@ -1,0 +1,100 @@
+"""Shortened polar code: construction, syndrome-SC decode, batch oracle."""
+
+import numpy as np
+import pytest
+
+from repro.codes.polar import POLAR_512_288, PolarCode, crc8_matrix, _polar_transform
+
+CODE = POLAR_512_288
+
+
+def _crc8_reference(bits):
+    """Straightforward shift-register CRC-8 (poly 0x07, init 0)."""
+    crc = 0
+    for bit in bits:
+        crc ^= int(bit) << 7
+        crc <<= 1
+        if crc & 0x100:
+            crc ^= 0x107
+    return np.array([(crc >> row) & 1 for row in range(8)], dtype=np.uint8)
+
+
+class TestConstruction:
+    def test_dimensions(self):
+        assert CODE.n == 512
+        assert CODE.transmitted == 288
+        assert CODE.k == 264
+        assert CODE.info_positions.size == 264
+        assert int(CODE.frozen_mask.sum()) == 512 - 264
+
+    def test_shortened_tail_is_frozen(self):
+        assert bool(CODE.frozen_mask[288:].all())
+
+    def test_shortening_is_exact(self):
+        # Freezing the tail leaves forces the transmitted tail to zero, so
+        # truncating to 288 bits loses nothing.
+        rng = np.random.default_rng(0)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        u = np.zeros(512, dtype=np.uint8)
+        u[CODE.info_positions[:256]] = data
+        u[CODE.info_positions[256:]] = CODE.crc(data)
+        assert not _polar_transform(u)[288:].any()
+
+    def test_crc_matrix_matches_shift_register(self):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            message = rng.integers(0, 2, 256, dtype=np.uint8)
+            assert np.array_equal(CODE.crc(message), _crc8_reference(message))
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PolarCode(n=100)
+        with pytest.raises(ValueError):
+            PolarCode(n=512, transmitted=600)
+        with pytest.raises(ValueError):
+            PolarCode(n=256, transmitted=260, data_bits=256)
+
+
+class TestScalarDecode:
+    def test_clean_roundtrip(self):
+        rng = np.random.default_rng(2)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        e_hat, decoded, crc_ok = CODE.decode(CODE.encode(data))
+        assert crc_ok
+        assert not e_hat.any()
+        assert np.array_equal(decoded, data)
+
+    def test_correction_is_codeword_independent(self):
+        rng = np.random.default_rng(3)
+        data = rng.integers(0, 2, 256, dtype=np.uint8)
+        codeword = CODE.encode(data)
+        for _ in range(10):
+            error = (rng.random(288) < 0.01).astype(np.uint8)
+            e_zero, _, ok_zero = CODE.decode(error)
+            e_code, _, ok_code = CODE.decode(codeword ^ error)
+            assert np.array_equal(e_zero, e_code)
+            assert ok_zero == ok_code
+
+
+class TestBatchDecode:
+    def test_single_bit_errors_never_escape_silently(self):
+        errors = np.eye(288, dtype=np.uint8)
+        e_hat, data, crc_fail = CODE.decode_batch(errors)
+        sdc = ~crc_fail & data.any(axis=1)
+        assert not sdc.any()
+        corrected = (~crc_fail & e_hat.any(axis=1)).sum()
+        assert corrected + crc_fail.sum() == 288
+        assert corrected >= 288 - 60  # most singles correct outright
+
+    def test_batch_is_bit_identical_to_scalar(self):
+        rng = np.random.default_rng(4)
+        errors = np.concatenate([
+            (rng.random((24, 288)) < 0.01).astype(np.uint8),
+            (rng.random((12, 288)) < 0.10).astype(np.uint8),
+        ])
+        e_batch, data_batch, fail_batch = CODE.decode_batch(errors)
+        for i in range(errors.shape[0]):
+            e_ref, data_ref, crc_ok = CODE.decode(errors[i])
+            assert np.array_equal(e_batch[i], e_ref), i
+            assert np.array_equal(data_batch[i], data_ref), i
+            assert bool(fail_batch[i]) == (not crc_ok), i

@@ -1,0 +1,65 @@
+"""SEC-DAEC: searched single + adjacent-double error correcting code."""
+
+import numpy as np
+import pytest
+
+from repro.codes.sec_daec import (
+    SEC_DAEC_72_64,
+    SEC_DAEC_PAIRS,
+    adjacent_pair_list,
+    sec_daec_code,
+    sec_daec_h_matrix,
+    search_sec_daec_columns,
+)
+from repro.gf.gf2 import gf2_rank
+
+
+class TestSearch:
+    def test_columns_are_distinct_nonzero(self):
+        columns = search_sec_daec_columns()
+        assert len(columns) == 72
+        assert 0 not in columns
+        assert len(set(columns)) == 72
+
+    def test_adjacent_xors_are_fresh_syndromes(self):
+        # The DAEC condition: singles and adjacent pairs share one injective
+        # syndrome map — 72 + 71 distinct nonzero values.
+        columns = search_sec_daec_columns()
+        pairs = [columns[i] ^ columns[i + 1] for i in range(71)]
+        syndromes = columns + pairs
+        assert 0 not in syndromes
+        assert len(set(syndromes)) == 143
+
+    def test_search_is_deterministic(self):
+        assert np.array_equal(sec_daec_h_matrix(), sec_daec_h_matrix())
+
+    def test_too_small_syndrome_space_rejected(self):
+        with pytest.raises(ValueError):
+            search_sec_daec_columns(num_check=4, num_columns=16)
+
+
+class TestCode:
+    def test_structure(self):
+        assert SEC_DAEC_72_64.h.shape == (8, 72)
+        assert gf2_rank(SEC_DAEC_72_64.h) == 8
+        assert SEC_DAEC_72_64.columns_distinct_nonzero()
+
+    def test_pair_table_covers_sliding_window(self):
+        assert SEC_DAEC_PAIRS.pairs == tuple(adjacent_pair_list())
+        for index, (low, high) in enumerate(SEC_DAEC_PAIRS.pairs):
+            syndrome = int(
+                SEC_DAEC_72_64.column_syndromes[low]
+                ^ SEC_DAEC_72_64.column_syndromes[high]
+            )
+            assert SEC_DAEC_PAIRS.syndrome_to_pair[syndrome] == index
+
+    def test_single_errors_resolve_to_their_bit(self):
+        code = SEC_DAEC_72_64
+        for position in range(72):
+            syndrome = int(code.column_syndromes[position])
+            assert code.syndrome_to_bit[syndrome] == position
+
+    def test_smaller_instance_also_searches(self):
+        code = sec_daec_code(num_check=7, num_columns=40)
+        assert code.columns_distinct_nonzero()
+        code.build_pair_table(adjacent_pair_list(40))  # raises on aliasing

@@ -1,0 +1,137 @@
+"""The expansion-tier schemes and the registry's alias discipline."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecodeStatus, get_scheme
+from repro.core.layout import DATA_BITS, ENTRY_BITS
+from repro.core.registry import (
+    EXPANSION_SCHEME_NAMES,
+    SCHEME_ALIASES,
+    known_scheme_names,
+)
+from repro.errormodel.sampling import enumerate_pin_errors
+
+
+class TestAliases:
+    def test_every_alias_resolves_to_the_canonical_instance(self):
+        for alias, canonical in SCHEME_ALIASES.items():
+            assert get_scheme(alias) is get_scheme(canonical), alias
+
+    def test_case_is_normalized_outside_the_cache(self):
+        for name in known_scheme_names():
+            assert get_scheme(name.upper()) is get_scheme(name)
+        assert get_scheme("TrioECC") is get_scheme("trio")
+
+    def test_unknown_name_raises_with_the_roster(self):
+        with pytest.raises(KeyError) as excinfo:
+            get_scheme("no-such-code")
+        message = str(excinfo.value)
+        assert "trio" in message
+        assert "aliases" in message
+
+
+class TestRoundTrips:
+    @pytest.mark.parametrize("name", EXPANSION_SCHEME_NAMES)
+    def test_clean_entry_round_trips(self, name):
+        scheme = get_scheme(name)
+        rng = np.random.default_rng(7)
+        data = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+        result = scheme.decode(scheme.encode(data))
+        assert result.status is DecodeStatus.CLEAN
+        assert np.array_equal(result.data, data)
+
+    @pytest.mark.parametrize("name", EXPANSION_SCHEME_NAMES)
+    def test_single_bit_errors_never_sdc(self, name):
+        scheme = get_scheme(name)
+        rng = np.random.default_rng(8)
+        data = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+        entry = scheme.encode(data)
+        for position in range(0, ENTRY_BITS, 7):
+            flipped = entry.copy()
+            flipped[position] ^= 1
+            result = scheme.decode(flipped)
+            if result.status is DecodeStatus.DETECTED:
+                continue  # polar may defer some singles to the CRC
+            assert result.status is DecodeStatus.CORRECTED
+            assert np.array_equal(result.data, data), position
+
+
+class TestSecDaec:
+    def test_adjacent_double_corrected(self):
+        scheme = get_scheme("sec-daec")
+        rng = np.random.default_rng(9)
+        data = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+        entry = scheme.encode(data)
+        for low in (5, 40, 70, 100, 200):  # within-codeword adjacencies
+            flipped = entry.copy()
+            flipped[low] ^= 1
+            flipped[low + 1] ^= 1
+            result = scheme.decode(flipped)
+            assert result.status is DecodeStatus.CORRECTED, low
+            assert np.array_equal(result.data, data), low
+
+    def test_nonadjacent_double_is_not_silently_clean(self):
+        scheme = get_scheme("sec-daec")
+        data = np.zeros(DATA_BITS, dtype=np.uint8)
+        flipped = scheme.encode(data)
+        flipped[3] ^= 1
+        flipped[39] ^= 1
+        result = scheme.decode(flipped)
+        assert result.status is not DecodeStatus.CLEAN
+
+
+class TestBchDec:
+    def test_arbitrary_double_in_one_codeword_corrected(self):
+        scheme = get_scheme("bch-dec")
+        rng = np.random.default_rng(10)
+        data = rng.integers(0, 2, DATA_BITS, dtype=np.uint8)
+        entry = scheme.encode(data)
+        for low, high in ((0, 143), (3, 77), (150, 287), (10, 11)):
+            flipped = entry.copy()
+            flipped[low] ^= 1
+            flipped[high] ^= 1
+            result = scheme.decode(flipped)
+            assert result.status is DecodeStatus.CORRECTED, (low, high)
+            assert np.array_equal(result.data, data), (low, high)
+
+    def test_pin_error_corrected(self):
+        # A pin error lands two bits in each 144-bit codeword — inside DEC.
+        scheme = get_scheme("bch-dec")
+        assert scheme.corrects_pins
+        batch = scheme.decode_batch_errors(enumerate_pin_errors())
+        assert batch.dce().all()
+
+    def test_triple_in_one_codeword_is_not_corrected_to_truth(self):
+        scheme = get_scheme("bch-dec")
+        data = np.zeros(DATA_BITS, dtype=np.uint8)
+        flipped = scheme.encode(data)
+        for position in (1, 60, 120):
+            flipped[position] ^= 1
+        result = scheme.decode(flipped)
+        assert result.status is not DecodeStatus.CLEAN
+        if result.status is DecodeStatus.CORRECTED:
+            assert not np.array_equal(result.data, data)  # honest SDC
+
+
+class TestPolarScheme:
+    def test_does_not_claim_pin_correction(self):
+        assert not get_scheme("polar").corrects_pins
+
+    def test_cache_token_is_content_addressed(self):
+        token = get_scheme("polar").cache_token()
+        assert token != "polar"
+        assert len(token) == 64
+
+
+class TestCacheTokens:
+    def test_tokens_distinct_across_the_registry(self):
+        tokens = [get_scheme(name).cache_token()
+                  for name in known_scheme_names()]
+        assert len(set(tokens)) == len(tokens)
+
+    def test_hsiao_v2_is_a_different_code_than_the_baseline(self):
+        baseline = get_scheme("ni-secded")
+        searched = get_scheme("hsiao-v2")
+        assert not np.array_equal(baseline.code.h, searched.code.h)
+        assert baseline.cache_token() != searched.cache_token()

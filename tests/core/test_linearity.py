@@ -14,9 +14,10 @@ from hypothesis import strategies as st
 
 from repro.core import SCHEME_NAMES, DecodeStatus, get_scheme
 from repro.core.layout import DATA_BITS, ENTRY_BITS
-from repro.core.registry import EXTENSION_SCHEME_NAMES
+from repro.core.registry import EXPANSION_SCHEME_NAMES, EXTENSION_SCHEME_NAMES
 
-ALL = list(SCHEME_NAMES) + list(EXTENSION_SCHEME_NAMES)
+ALL = (list(SCHEME_NAMES) + list(EXTENSION_SCHEME_NAMES)
+       + list(EXPANSION_SCHEME_NAMES))
 
 
 def _classify(scheme, entry, data):

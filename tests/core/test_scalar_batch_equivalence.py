@@ -12,13 +12,17 @@ import pytest
 
 from repro.core import DecodeStatus, get_scheme
 from repro.core.layout import ENTRY_BITS
-from repro.core.registry import EXTENSION_SCHEME_NAMES, SCHEME_NAMES
+from repro.core.registry import (
+    EXPANSION_SCHEME_NAMES,
+    EXTENSION_SCHEME_NAMES,
+    SCHEME_NAMES,
+)
 from repro.errormodel.sampling import (
     enumerate_pin_errors,
     sample_beat_errors,
 )
 
-EVERY_SCHEME = SCHEME_NAMES + EXTENSION_SCHEME_NAMES
+EVERY_SCHEME = SCHEME_NAMES + EXTENSION_SCHEME_NAMES + EXPANSION_SCHEME_NAMES
 
 
 def _mixed_error_batch(seed):

@@ -1,0 +1,73 @@
+"""Run-store identity for searched/parameterized codes (regression).
+
+Two scheme *variants* sharing one registry name — e.g. different searched
+Hsiao matrices both mounted as ``hsiao-v2`` across code revisions — must
+never collide in the content-addressed store.  The fix threads each
+scheme's :meth:`cache_token` (a digest of the full H-matrix construction)
+into every cell key; these tests pin that behavior down at the key,
+cache, and evaluator levels.
+"""
+
+import numpy as np
+
+from repro.codes.hsiao import hsiao_search_code
+from repro.core.binary import BinaryEntryScheme
+from repro.errormodel.montecarlo import PatternOutcome, evaluate_scheme
+from repro.errormodel.patterns import ErrorPattern
+from repro.runs import CellCache, RunStore
+
+OUTCOME = PatternOutcome(ErrorPattern.BEAT, 500, 0.8, 0.15, 0.05, False, 0.2)
+
+
+def _variant(variant):
+    """A searched SEC-DED scheme mounted under one shared registry name."""
+    return BinaryEntryScheme(
+        hsiao_search_code(variant=variant), interleaved=False,
+        name="hsiao-v2", label="searched",
+    )
+
+
+class TestTokens:
+    def test_variants_share_name_but_not_token(self):
+        a, b = _variant(1), _variant(2)
+        assert a.name == b.name
+        assert not np.array_equal(a.code.h, b.code.h)
+        assert a.cache_token() != b.cache_token()
+
+    def test_token_is_deterministic(self):
+        assert _variant(1).cache_token() == _variant(1).cache_token()
+
+
+class TestKeys:
+    def test_cell_keys_diverge_on_token(self):
+        a, b = _variant(1), _variant(2)
+        key_a = RunStore.cell_key("hsiao-v2", ErrorPattern.BEAT, 1000, 7,
+                                  False, "fp", token=a.cache_token())
+        key_b = RunStore.cell_key("hsiao-v2", ErrorPattern.BEAT, 1000, 7,
+                                  False, "fp", token=b.cache_token())
+        assert key_a != key_b
+
+    def test_cache_lookup_misses_across_variants(self, tmp_path):
+        a, b = _variant(1), _variant(2)
+        cache = CellCache(RunStore(tmp_path / "store"), fingerprint="fp")
+        cache.record("hsiao-v2", ErrorPattern.BEAT, 1000, 7, False, OUTCOME,
+                     token=a.cache_token())
+        assert cache.lookup("hsiao-v2", ErrorPattern.BEAT, 1000, 7, False,
+                            token=a.cache_token()) == OUTCOME
+        assert cache.lookup("hsiao-v2", ErrorPattern.BEAT, 1000, 7, False,
+                            token=b.cache_token()) is None
+
+
+class TestEvaluator:
+    def test_variant_swap_never_reuses_cells(self, tmp_path):
+        cache = CellCache(RunStore(tmp_path / "store"), fingerprint="fp")
+        evaluate_scheme(_variant(1), samples=50, seed=3, cache=cache)
+        assert cache.hits == 0
+        misses = cache.misses
+        # Same registry name, different H matrix: all seven cells recompute.
+        evaluate_scheme(_variant(2), samples=50, seed=3, cache=cache)
+        assert cache.hits == 0
+        assert cache.misses == 2 * misses
+        # The genuinely identical scheme, however, hits every cell.
+        evaluate_scheme(_variant(1), samples=50, seed=3, cache=cache)
+        assert cache.hits == misses

@@ -41,6 +41,9 @@ class TestCommands:
         assert "TrioECC" in out
         assert "SSC-DSD+" in out
         assert "[extension]" in out
+        assert "[expansion]" in out
+        for name in ("hsiao-v2", "sec-daec", "bch-dec", "polar"):
+            assert name in out
 
     def test_evaluate(self, capsys):
         assert main(["evaluate", "duet", "--samples", "500"]) == 0
@@ -53,9 +56,20 @@ class TestCommands:
         assert main(["evaluate", "TrioECC", "--samples", "500"]) == 0
         assert "TrioECC" in capsys.readouterr().out
 
-    def test_evaluate_unknown_scheme(self):
-        with pytest.raises(KeyError):
-            main(["evaluate", "nonsense"])
+    def test_evaluate_unknown_scheme(self, capsys):
+        assert main(["evaluate", "nonsense"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown ECC scheme 'nonsense'" in err
+        assert "trio" in err  # registry names are listed...
+        assert "duetecc" in err  # ...and so are the aliases
+        assert "Traceback" not in err
+
+    def test_campaign_unknown_fleet_scheme(self, capsys):
+        assert main(["campaign", "--runs", "1", "--events", "10",
+                     "--fleet-size", "100", "--fleet-scheme", "bogus",
+                     "--no-cache"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown ECC scheme 'bogus'" in err
 
     def test_fig8(self, capsys):
         assert main(["fig8", "--samples", "300"]) == 0
@@ -68,6 +82,20 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Encoders" in out and "Decoders" in out
         assert "TrioECC" in out
+        assert "BCH-DEC" not in out  # expansion tables are opt-in
+
+    def test_hardware_expansion(self, capsys):
+        assert main(["hardware", "--expansion"]) == 0
+        out = capsys.readouterr().out
+        assert "TrioECC" in out
+        assert "BCH-DEC" in out and "Polar" in out
+
+    def test_rank(self, capsys):
+        assert main(["rank", "--samples", "200", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        for name in ("trio", "bch-dec", "polar", "ssc-dsd+"):
+            assert name in out
+        assert "SDC" in out and "area" in out
 
     def test_campaign(self, capsys):
         assert main(["campaign", "--runs", "1", "--events", "200",
