@@ -51,10 +51,12 @@ from repro.faults.plan import (
 __all__ = [
     "DEFAULT_SERVE_SPEC",
     "DEFAULT_SPEC",
+    "KILL_SERVE_SPEC",
     "add_chaos_parser",
     "cmd_chaos",
     "run_chaos",
     "run_chaos_serve",
+    "run_chaos_serve_kill",
 ]
 
 #: The stock schedule: four fault classes across three layers — a pool
@@ -75,6 +77,14 @@ DEFAULT_SERVE_SPEC = (
     "pool.worker.crash:mode=exit,times=1;"
     "store.save_campaign.pre_rename:mode=torn,host=1,times=1"
 )
+
+#: The ``--serve --kill-daemon`` schedule: one long chunk hang holds the
+#: first job provably mid-run so the harness's external SIGKILL lands
+#: while it is RUNNING (with a second job queued behind it and a
+#: deduplicated attach recorded).  The shared ledger spends the hang
+#: budget, so the restarted daemon replays its journal and finishes the
+#: remainder at full speed.
+KILL_SERVE_SPEC = "engine.chunk.hang:mode=hang,s=8.0,times=1"
 
 #: wall-clock bound per campaign invocation (a hung subprocess must not
 #: hang the harness)
@@ -125,6 +135,14 @@ def add_chaos_parser(sub) -> None:
                             "kill the daemon mid-job and recovery is "
                             "restart + resubmit (store resume), still "
                             "asserting clean-run-identical statistics")
+    chaos.add_argument("--kill-daemon", action="store_true",
+                       help="(implies --serve) SIGKILL the daemon with "
+                            "a job running, one queued, and a "
+                            "deduplicated attach recorded; the restarted "
+                            "daemon must replay its journal so every "
+                            "pre-kill job reaches a terminal state with "
+                            "clean-run-identical statistics and no "
+                            "duplicate computation")
 
 
 def _campaign_argv(args, store: Path) -> list[str]:
@@ -541,8 +559,263 @@ def run_chaos_serve(args, out=print) -> int:
             shutil.rmtree(work, ignore_errors=True)
 
 
+# ---------------------------------------------------------------------------
+# --kill-daemon: SIGKILL mid-campaign; the journal must lose nothing
+# ---------------------------------------------------------------------------
+
+def _wait_ready(url: str, timeout_s: float = _SERVE_START_TIMEOUT_S) -> dict:
+    """Poll ``/v1/readyz`` until the daemon reports ready (or give up)."""
+    from repro.serve.client import ServeClient, ServeError
+
+    client = ServeClient(url, timeout=5.0)
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        try:
+            status, payload = client.readyz()
+        except ServeError:
+            status, payload = None, {}
+        if status == 200:
+            return payload
+        time.sleep(0.05)
+    raise RuntimeError(f"daemon at {url} not ready after {timeout_s:.0f}s")
+
+
+def _wait_job_state(client, job_id: str, states: frozenset | set,
+                    timeout_s: float):
+    """Poll one job until it reaches any of ``states``."""
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        job = client.job(job_id)
+        if job["state"] in states:
+            return job
+        time.sleep(0.05)
+    raise RuntimeError(f"job {job_id} did not reach {sorted(states)} "
+                       f"within {timeout_s:.0f}s")
+
+
+def run_chaos_serve_kill(args, out=print) -> int:
+    """SIGKILL the daemon mid-campaign; the journal must make it whole.
+
+    Scenario: job A running (held mid-chunk by a hang fault so the kill
+    provably lands mid-run), job B queued behind it, and a duplicate
+    submission of A's content key attached.  The daemon is SIGKILL'd,
+    restarted against the same store, and the verdict requires:
+
+    * journal replay requeues both jobs (A marked recovered-from-running);
+    * A's content key, resubmitted after the restart, attaches to the
+      *original* job id (dedupe survives the crash);
+    * both jobs complete with statistics byte-identical to direct CLI
+      runs, A resuming its interrupted run-store manifest;
+    * zero duplicate computation: exactly one completed campaign
+      manifest per identity, and every job's ``run_id`` maps to one
+      (journal <-> manifest parity);
+    * SIGTERM then drains to exit 0 and leaves a compacted journal whose
+      replay shows only terminal jobs, with no shm leaks.
+    """
+    from argparse import Namespace
+
+    spec = (KILL_SERVE_SPEC if args.inject_faults == DEFAULT_SPEC
+            else args.inject_faults)
+    try:
+        FaultPlan.parse(spec)
+    except FaultSpecError as exc:
+        out(f"repro chaos: error: bad fault spec: {exc}")
+        return 2
+
+    work = Path(tempfile.mkdtemp(prefix="repro-chaos-kill-"))
+    clean_store = work / "clean-store"
+    chaos_store = work / "chaos-store"
+    ledger = work / "faults-ledger.jsonl"
+    ready = work / "serve-ready.txt"
+    serve_log = work / "serve.log"
+    env = _scrubbed_env()
+    daemon = None
+    terminal = {"completed", "failed", "cancelled"}
+    try:
+        out(f"[repro chaos] schedule: {spec} + daemon SIGKILL")
+        out(f"[repro chaos] scratch dir: {work}")
+
+        args_b = Namespace(**vars(args))
+        args_b.seed = args.seed + 1
+        clean_a = _run(_campaign_argv(args, clean_store), env)
+        clean_b = _run(_campaign_argv(args_b, clean_store), env)
+        for name, clean in (("A", clean_a), ("B", clean_b)):
+            if clean.returncode != 0:
+                out(f"[repro chaos] FAIL: clean campaign {name} exited "
+                    f"{clean.returncode}")
+                out(clean.stderr)
+                return 1
+
+        base_params = {
+            "runs": args.runs, "events": args.events,
+            "workers": args.workers,
+            "engine": getattr(args, "engine", "columnar"),
+        }
+        if args.chunk_timeout is not None:
+            base_params["chunk_timeout"] = args.chunk_timeout
+        params_a = dict(base_params, seed=args.seed)
+        params_b = dict(base_params, seed=args.seed + 1)
+
+        from repro.serve.client import ServeClient
+
+        argv = _serve_argv(args, chaos_store, ready, ledger, spec)
+        daemon = _start_daemon(argv, env, ready, serve_log)
+        url = ready.read_text().strip()
+        _wait_ready(url)
+        client = ServeClient(url, timeout=30.0)
+
+        status, payload = client.submit("campaign", params_a)
+        if status != 201:
+            out(f"[repro chaos] FAIL: job A not accepted "
+                f"({status}: {payload})")
+            return 1
+        job_a = payload["job"]["job_id"]
+        _wait_job_state(client, job_a, {"running"}, 30.0)
+        status, payload = client.submit("campaign", params_b)
+        if status != 201:
+            out(f"[repro chaos] FAIL: job B not accepted "
+                f"({status}: {payload})")
+            return 1
+        job_b = payload["job"]["job_id"]
+        status, payload = client.submit("campaign", params_a)
+        if not (status == 200 and payload.get("deduped")
+                and payload["job"]["job_id"] == job_a):
+            out(f"[repro chaos] FAIL: duplicate submission did not "
+                f"attach to {job_a} ({status}: {payload})")
+            return 1
+        out(f"[repro chaos] staged: {job_a} running, {job_b} queued, "
+            f"one deduplicated attach; sending SIGKILL")
+
+        daemon.kill()
+        daemon.wait()
+
+        daemon = _start_daemon(argv, env, ready, serve_log)
+        url = ready.read_text().strip()
+        readyz = _wait_ready(url)
+        client = ServeClient(url, timeout=30.0)
+        replay = readyz.get("journal", {})
+        out(f"[repro chaos] journal replay after restart: {replay}")
+
+        problems = []
+        if replay.get("requeued") != 2:
+            problems.append(f"replay requeued {replay.get('requeued')} "
+                            "jobs, expected 2")
+        if replay.get("recovered_running") != 1:
+            problems.append("replay recovered "
+                            f"{replay.get('recovered_running')} mid-run "
+                            "jobs, expected 1")
+        if replay.get("terminal") != 0:
+            problems.append(f"replay saw {replay.get('terminal')} "
+                            "terminal jobs before the kill, expected 0")
+
+        status, payload = client.submit("campaign", params_a)
+        if not (status == 200 and payload.get("deduped")
+                and payload["job"]["job_id"] == job_a):
+            problems.append(
+                "a resubmitted content key did not attach to the "
+                f"original job after the restart ({status}: "
+                f"{payload.get('job', {}).get('job_id')})")
+
+        finals = {}
+        for job_id in (job_a, job_b):
+            finals[job_id] = _wait_job_state(
+                client, job_id, terminal, _SUBPROCESS_TIMEOUT_S)
+        for job_id, job in finals.items():
+            if job["state"] != "completed":
+                problems.append(f"job {job_id} ended {job['state']}: "
+                                f"{job.get('error')}")
+        if finals[job_a].get("recovered") is not True:
+            problems.append(f"job {job_a} was not flagged as recovered "
+                            "from a mid-run crash")
+        if finals[job_a]["state"] == "completed" and \
+                not (finals[job_a].get("result") or {}).get("resumed_from"):
+            problems.append(f"job {job_a} recomputed from scratch "
+                            "instead of resuming its interrupted run")
+
+        for job_id, clean in ((job_a, clean_a), (job_b, clean_b)):
+            if finals[job_id]["state"] != "completed":
+                continue
+            served = _report_lines(
+                (finals[job_id].get("result") or {}).get("report", ""))
+            if served != _report_lines(clean.stdout):
+                problems.append(f"job {job_id} statistics differ from "
+                                "its clean CLI run")
+
+        from repro.runs import RunStore
+
+        completed = [m for m in RunStore(chaos_store).list_runs()
+                     if m.command == "campaign"
+                     and m.status == "completed"]
+        if len(completed) != 2:
+            problems.append(f"{len(completed)} completed campaign "
+                            "manifests in the store, expected exactly 2 "
+                            "(duplicate or lost computation)")
+        run_ids = {m.run_id for m in completed}
+        for job_id, job in finals.items():
+            run_id = (job.get("result") or {}).get("run_id")
+            if run_id not in run_ids:
+                problems.append(f"job {job_id} result run {run_id} has "
+                                "no completed manifest")
+
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            code = daemon.wait(timeout=60)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            problems.append("daemon did not exit within 60s of SIGTERM")
+        else:
+            if code != 0:
+                problems.append(f"daemon exited {code} on SIGTERM "
+                                "(expected 0)")
+        daemon = None
+
+        from repro.serve.journal import JobJournal
+
+        compacted = JobJournal(chaos_store).replay()
+        if compacted.requeued != 0 or len(compacted.jobs) != 2:
+            problems.append(
+                f"compacted journal replays {len(compacted.jobs)} jobs "
+                f"with {compacted.requeued} requeued, expected 2 "
+                "terminal jobs and 0 requeued")
+        journal_runs = {(job.result or {}).get("run_id")
+                        for job in compacted.jobs}
+        if journal_runs != run_ids:
+            problems.append(
+                f"journal result runs {sorted(map(str, journal_runs))} "
+                f"!= completed manifests {sorted(run_ids)}")
+
+        leaked = orphaned_segments()
+        if leaked:
+            problems.append("orphaned shared-memory segments after "
+                            "recovery: " + ", ".join(leaked))
+
+        if problems:
+            for problem in problems:
+                out(f"[repro chaos] FAIL: {problem}")
+            return 1
+        out("[repro chaos] PASS: SIGKILL with 1 running + 1 queued + 1 "
+            "deduplicated job; journal replay requeued both, dedupe "
+            "held the original job id, statistics bit-identical to the "
+            "clean runs, no duplicate computation, clean SIGTERM left a "
+            "compacted journal")
+        return 0
+    except RuntimeError as exc:
+        out(f"[repro chaos] FAIL: {exc}")
+        return 1
+    finally:
+        if daemon is not None and daemon.poll() is None:
+            daemon.kill()
+            daemon.wait()
+        if args.keep:
+            out(f"[repro chaos] kept scratch dir {work}")
+        else:
+            shutil.rmtree(work, ignore_errors=True)
+
+
 def cmd_chaos(args) -> int:
     """Dispatch ``repro chaos``; returns a process exit code."""
+    if getattr(args, "kill_daemon", False):
+        return run_chaos_serve_kill(args)
     if getattr(args, "serve", False):
         return run_chaos_serve(args)
     return run_chaos(args)

@@ -22,6 +22,9 @@ The registered fault points, by layer:
 ``shm.arena.create``                      after a campaign arena exists
 ``shm.arena.attach``                      before a worker maps its slice
 ``shm.arena.detach``                      after a worker's slice is written
+``serve.journal.append``                  before a job-journal line append
+``serve.journal.compact.pre_rename``      journal compaction rewrite
+``serve.journal.compact.post_rename``
 ========================================  =================================
 
 Actions (``mode=``): ``raise`` raises :class:`InjectedFault`; ``exit``

@@ -4,27 +4,35 @@ Layers (stdlib-only, no web framework):
 
 * :mod:`repro.serve.jobs` — job model, parameter normalization, and the
   dedupe registry (identical in-flight submissions collapse to one job);
+* :mod:`repro.serve.journal` — write-ahead job journal: fsync'd state
+  transitions under the run store, replayed on startup so a daemon
+  crash loses no acknowledged work;
 * :mod:`repro.serve.scheduler` — bounded priority + weighted-deficit
   round-robin fair-share queue across tenants;
 * :mod:`repro.serve.runner` — executes a job as the *exact* CLI command
-  body (byte-identical reports) with store-backed resume;
+  body (byte-identical reports) with store-backed resume and
+  cooperative cancellation (:class:`~repro.serve.runner.JobCancelled`);
 * :mod:`repro.serve.sse` — per-job broadcast channels and server-sent
-  event encoding;
+  event encoding (ids monotonic across restarts);
 * :mod:`repro.serve.server` — the asyncio HTTP daemon (``repro serve``);
-* :mod:`repro.serve.client` — the thin client (``repro submit``,
-  ``repro jobs``).
+* :mod:`repro.serve.client` — the thin retrying client (``repro
+  submit``, ``repro jobs``).
 """
 
 from repro.serve.jobs import JobError, JobRegistry, UnknownJobError
-from repro.serve.runner import execute_job, job_keys
+from repro.serve.journal import JobJournal, JournalReplay
+from repro.serve.runner import JobCancelled, execute_job, job_keys
 from repro.serve.scheduler import FairShareScheduler, QueueFull
 from repro.serve.sse import BroadcastChannel, encode_sse
 
 __all__ = [
     "BroadcastChannel",
     "FairShareScheduler",
+    "JobCancelled",
     "JobError",
+    "JobJournal",
     "JobRegistry",
+    "JournalReplay",
     "QueueFull",
     "UnknownJobError",
     "encode_sse",

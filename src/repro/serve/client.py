@@ -6,6 +6,15 @@ methods; :meth:`ServeClient.watch` parses the SSE stream into event
 dicts.  The ``repro submit`` / ``repro jobs`` subcommands are wired here
 via :func:`add_client_parsers`.
 
+Transient failures are survivable: connection-refused and 429
+(queue-full) answers are retried with the pool's own
+:class:`~repro.core.pool.RetryPolicy` exponential backoff (``--retries``
+on the CLI; the sleep is injectable so tests run instantly), and
+:meth:`ServeClient.watch` reconnects across daemon restarts by resuming
+the SSE stream from its ``Last-Event-ID`` — the journal-backed daemon
+keeps event ids monotonic across a crash, so the resume point stays
+valid.
+
 The daemon URL resolves, in order: explicit ``--url``, the
 ``REPRO_SERVE_URL`` environment variable, then the default
 ``http://127.0.0.1:8023``.
@@ -17,8 +26,12 @@ import argparse
 import http.client
 import json
 import os
+import random
 import sys
+import time
 from urllib.parse import urlencode, urlsplit
+
+from repro.core.pool import RetryPolicy
 
 __all__ = [
     "DEFAULT_URL",
@@ -36,7 +49,16 @@ _TERMINAL = {"completed", "failed", "cancelled"}
 
 
 class ServeError(RuntimeError):
-    """The daemon could not be reached or answered with garbage."""
+    """The daemon could not be reached or answered with garbage.
+
+    ``retryable`` marks the transient flavours (connection refused /
+    reset, a restarting daemon) that back off and try again; protocol
+    garbage and HTTP error answers stay fatal.
+    """
+
+    def __init__(self, message: str, *, retryable: bool = False) -> None:
+        super().__init__(message)
+        self.retryable = retryable
 
 
 def resolve_url(url: str | None = None) -> str:
@@ -44,10 +66,19 @@ def resolve_url(url: str | None = None) -> str:
 
 
 class ServeClient:
-    """One daemon endpoint; every call opens a fresh connection."""
+    """One daemon endpoint; every call opens a fresh connection.
+
+    ``retries`` extra attempts are made for retryable failures
+    (connection errors and 429 backpressure), spaced by
+    ``retry_policy.backoff_s``.  ``sleep`` and ``draw`` are injection
+    seams: tests substitute a recording no-op sleep and a constant
+    jitter draw to assert the backoff schedule deterministically.
+    """
 
     def __init__(self, url: str | None = None, *,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0, retries: int = 0,
+                 retry_policy: RetryPolicy | None = None,
+                 sleep=None, draw=None) -> None:
         self.url = resolve_url(url)
         split = urlsplit(self.url)
         if split.scheme != "http" or not split.hostname:
@@ -56,14 +87,45 @@ class ServeClient:
         self.host = split.hostname
         self.port = split.port or 8023
         self.timeout = timeout
+        self.retries = max(int(retries), 0)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._sleep = sleep if sleep is not None else time.sleep
+        self._draw = draw if draw is not None else random.random
 
     def _connect(self, timeout: float | None = None):
         return http.client.HTTPConnection(
             self.host, self.port, timeout=timeout or self.timeout)
 
-    def request(self, method: str, path: str,
-                body: dict | None = None) -> tuple[int, dict]:
-        """One JSON round-trip; returns ``(status, payload)``."""
+    def _backoff(self, failures: int) -> None:
+        """Sleep before retry number ``failures`` (1-based)."""
+        self._sleep(self.retry_policy.backoff_s(failures, self._draw()))
+
+    def request(self, method: str, path: str, body: dict | None = None,
+                *, retries: int | None = None) -> tuple[int, dict]:
+        """One JSON round-trip; returns ``(status, payload)``.
+
+        Connection failures and 429 answers are retried up to
+        ``retries`` times (default: the client's setting) with
+        exponential backoff; the last outcome is surfaced either way.
+        """
+        attempts = (self.retries if retries is None else retries) + 1
+        for attempt in range(attempts):
+            final = attempt == attempts - 1
+            if attempt:
+                self._backoff(attempt)
+            try:
+                status, payload = self._request_once(method, path, body)
+            except ServeError as exc:
+                if final or not exc.retryable:
+                    raise
+                continue
+            if status == 429 and not final:
+                continue
+            return status, payload
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(self, method: str, path: str,
+                      body: dict | None) -> tuple[int, dict]:
         conn = self._connect()
         try:
             payload = None if body is None else json.dumps(body)
@@ -75,8 +137,8 @@ class ServeClient:
                 raw = response.read()
             except (OSError, http.client.HTTPException) as exc:
                 raise ServeError(
-                    f"cannot reach repro serve at {self.url}: {exc}"
-                ) from exc
+                    f"cannot reach repro serve at {self.url}: {exc}",
+                    retryable=True) from exc
             try:
                 decoded = json.loads(raw.decode() or "{}")
             except ValueError as exc:
@@ -91,22 +153,32 @@ class ServeClient:
     def health(self) -> dict:
         return self._expect_ok("GET", "/v1/healthz")
 
+    def readyz(self) -> tuple[int, dict]:
+        """Readiness probe: ``(200, {...})`` once the journal is
+        replayed and the daemon is dispatching, 503 before/while not."""
+        return self.request("GET", "/v1/readyz", retries=0)
+
     def stats(self) -> dict:
         return self._expect_ok("GET", "/v1/stats")
 
     def submit(self, kind: str, params: dict | None = None, *,
-               tenant: str = "default",
-               priority: int = 0) -> tuple[int, dict]:
+               tenant: str = "default", priority: int = 0,
+               deadline_s: float | None = None) -> tuple[int, dict]:
         """Submit a job; returns the raw ``(status, payload)`` pair.
 
         201 = newly queued, 200 = attached to an identical in-flight or
         queued job (dedupe), 429 = queue full (payload carries
-        ``retry_after_s``).
+        ``retry_after_s``; retried automatically when the client has
+        retries configured).  ``deadline_s`` is a wall-clock budget from
+        submission; the daemon cancels the job once it is exceeded.
         """
-        return self.request("POST", "/v1/jobs", {
+        body = {
             "kind": kind, "params": params or {},
             "tenant": tenant, "priority": priority,
-        })
+        }
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        return self.request("POST", "/v1/jobs", body)
 
     def jobs(self, *, tenant: str | None = None,
              state: str | None = None) -> list[dict]:
@@ -119,38 +191,83 @@ class ServeClient:
         return self._expect_ok("GET", f"/v1/jobs/{job_id}")["job"]
 
     def cancel(self, job_id: str) -> tuple[int, dict]:
-        return self.request("POST", f"/v1/jobs/{job_id}/cancel")
+        """``DELETE /v1/jobs/<id>``: 200 cancelled, 202 cancelling
+        (running — the job thread unwinds at its next heartbeat), 409
+        already terminal."""
+        return self.request("DELETE", f"/v1/jobs/{job_id}")
 
-    def watch(self, job_id: str, *, timeout: float = 3600.0):
+    def watch(self, job_id: str, *, timeout: float = 3600.0,
+              reconnects: int = 5):
         """Yield SSE event dicts until the job reaches a terminal state.
 
         Each yielded dict is ``{"id", "event", "data"}`` with ``data``
         JSON-decoded.  History is replayed first, so watching a finished
         job still yields its full event trail.
+
+        If the stream drops without a terminal event (daemon restart),
+        the watch reconnects up to ``reconnects`` times with backoff,
+        sending ``Last-Event-ID`` so already-seen events are not
+        replayed — the daemon keeps event ids monotonic across restarts,
+        so the resume point survives a crash.
         """
+        last_id = 0
+        failures = 0
+        while True:
+            got_events = False
+            try:
+                for event in self._watch_once(job_id, last_id, timeout):
+                    failures = 0
+                    got_events = True
+                    if isinstance(event.get("id"), int):
+                        last_id = max(last_id, event["id"])
+                    yield event
+                    if event["event"] in _TERMINAL:
+                        return
+                # Stream closed with no terminal event: a daemon going
+                # down mid-watch.  Treat like a connection failure.
+                raise ServeError(
+                    f"event stream for {job_id} ended early",
+                    retryable=True)
+            except ServeError as exc:
+                if not exc.retryable or failures >= reconnects:
+                    if got_events or not exc.retryable:
+                        # surfacing nothing after events flowed would
+                        # look like a server-side close; just end
+                        return
+                    raise
+                failures += 1
+                self._backoff(failures)
+
+    def _watch_once(self, job_id: str, last_id: int, timeout: float):
+        """One SSE connection's worth of events (ends on close)."""
         conn = self._connect(timeout=timeout)
         try:
+            headers = {}
+            if last_id:
+                headers["Last-Event-ID"] = str(last_id)
             try:
-                conn.request("GET", f"/v1/jobs/{job_id}/events")
+                conn.request("GET", f"/v1/jobs/{job_id}/events",
+                             headers=headers)
                 response = conn.getresponse()
             except (OSError, http.client.HTTPException) as exc:
                 raise ServeError(
-                    f"cannot reach repro serve at {self.url}: {exc}"
-                ) from exc
+                    f"cannot reach repro serve at {self.url}: {exc}",
+                    retryable=True) from exc
             if response.status != 200:
                 raw = response.read()
                 raise ServeError(self._error_text(response.status, raw))
             event: dict = {}
             while True:
-                line = response.readline()
+                try:
+                    line = response.readline()
+                except (OSError, http.client.HTTPException):
+                    return  # connection dropped mid-stream
                 if not line:
-                    break
+                    return
                 line = line.decode().rstrip("\r\n")
                 if not line:
                     if "event" in event:
                         yield event
-                        if event["event"] in _TERMINAL:
-                            return
                     event = {}
                     continue
                 if line.startswith(":"):  # keepalive comment
@@ -218,6 +335,14 @@ def add_client_parsers(sub) -> None:
                              f"{DEFAULT_URL})")
     submit.add_argument("--tenant", default="default")
     submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget from submission; the "
+                             "daemon cancels the job once exceeded")
+    submit.add_argument("--retries", type=int, default=2, metavar="N",
+                        help="extra attempts for connection-refused / "
+                             "queue-full answers, with exponential "
+                             "backoff (default 2)")
     submit.add_argument("--watch", action="store_true",
                         help="stream progress to stderr and print the "
                              "final report to stdout")
@@ -237,10 +362,12 @@ def add_client_parsers(sub) -> None:
                                   "failed", "cancelled"))
     show = actions.add_parser("show", help="one job, result included")
     show.add_argument("job_id")
-    watch = actions.add_parser("watch", help="stream a job's SSE events")
+    watch = actions.add_parser("watch", help="stream a job's SSE events "
+                               "(reconnects across daemon restarts)")
     watch.add_argument("job_id")
     watch.add_argument("--timeout", type=float, default=3600.0)
-    cancel = actions.add_parser("cancel", help="cancel a queued job")
+    cancel = actions.add_parser("cancel",
+                                help="cancel a queued or running job")
     cancel.add_argument("job_id")
     # accept --url after the subaction too (`repro jobs list --url ...`);
     # SUPPRESS keeps an unset subaction flag from clobbering the parent's
@@ -281,11 +408,12 @@ def _watch_to_end(client: ServeClient, job_id: str,
 
 
 def cmd_submit(args) -> int:
-    client = ServeClient(args.url)
+    client = ServeClient(args.url, retries=getattr(args, "retries", 0))
     params = dict(_parse_param(pair) for pair in args.params)
     try:
         status, payload = client.submit(
-            args.kind, params, tenant=args.tenant, priority=args.priority)
+            args.kind, params, tenant=args.tenant, priority=args.priority,
+            deadline_s=getattr(args, "deadline", None))
     except ServeError as exc:
         print(f"[repro submit] {exc}", file=sys.stderr)
         return 1
@@ -339,6 +467,10 @@ def cmd_jobs(args) -> int:
             status, payload = client.cancel(args.job_id)
             if status == 200:
                 print(f"cancelled {args.job_id}")
+                return 0
+            if status == 202:
+                print(f"cancelling {args.job_id} (running; the job "
+                      f"observes the request at its next heartbeat)")
                 return 0
             print(f"[repro jobs] {payload.get('error', payload)}",
                   file=sys.stderr)

@@ -176,10 +176,23 @@ class Job:
     finished_at: float | None = None
     #: clients that submitted this identity while it was in flight
     attached: int = 1
+    #: wall-clock budget from submission; exceeded -> cancelled
+    deadline_s: float | None = None
     cancel_requested: bool = False
+    #: why cancellation was requested / happened (client, deadline, ...)
+    cancel_reason: str | None = None
+    #: requeued by journal replay after dying mid-run
+    recovered: bool = False
     result: dict | None = None
     error: str | None = None
     channel: BroadcastChannel = field(default_factory=BroadcastChannel)
+
+    def deadline_exceeded(self, now: float | None = None) -> bool:
+        """True once the per-job deadline (if any) has passed."""
+        if self.deadline_s is None:
+            return False
+        return (now if now is not None else time.time()) \
+            > self.submitted_at + self.deadline_s
 
     def to_dict(self, *, include_result: bool = True) -> dict:
         data = {
@@ -195,8 +208,13 @@ class Job:
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
             "finished_at": self.finished_at,
-            "events": len(self.channel.events),
+            "deadline_s": self.deadline_s,
+            "cancel_requested": self.cancel_requested,
+            "recovered": self.recovered,
+            "events": self.channel.last_id,
         }
+        if self.cancel_reason is not None:
+            data["cancel_reason"] = self.cancel_reason
         if self.error is not None:
             data["error"] = self.error
         if include_result and self.result is not None:
@@ -215,13 +233,14 @@ class JobRegistry:
         self.deduped = 0
 
     def create(self, kind: str, params: dict | None, *, tenant: str,
-               priority: int, key: str,
-               precached: bool = False) -> tuple[Job, bool]:
+               priority: int, key: str, precached: bool = False,
+               deadline_s: float | None = None) -> tuple[Job, bool]:
         """Register a submission; returns ``(job, attached_to_existing)``.
 
         ``params`` must already be normalized (the key was derived from
         them).  An in-flight job with the same key absorbs the
-        submission: the caller must *not* schedule anything new.
+        submission: the caller must *not* schedule anything new (the
+        original job's deadline keeps governing).
         """
         existing = self._active_by_key.get(key)
         if existing is not None and existing.state not in TERMINAL_STATES:
@@ -230,11 +249,25 @@ class JobRegistry:
             return existing, True
         job = Job(job_id=new_job_id(), kind=kind, params=params,
                   tenant=tenant, priority=priority, key=key,
-                  precached=precached)
+                  precached=precached, deadline_s=deadline_s)
         self._jobs[job.job_id] = job
         self._active_by_key[key] = job
         self._trim()
         return job, False
+
+    def restore(self, job: Job) -> None:
+        """Re-insert a journal-replayed job (startup recovery path).
+
+        Jobs arrive in original submission order, so insertion order —
+        and therefore listing/trim behaviour — matches the pre-crash
+        registry.  Non-terminal jobs reclaim their dedupe slot: a
+        resubmitted content key attaches to the original job id instead
+        of starting a duplicate computation.
+        """
+        self._jobs[job.job_id] = job
+        if job.state not in TERMINAL_STATES:
+            self._active_by_key[job.key] = job
+        self._trim()
 
     def finish(self, job: Job) -> None:
         """Release a job's dedupe slot once it reaches a terminal state."""
@@ -253,6 +286,10 @@ class JobRegistry:
             return self._jobs[job_id]
         except KeyError:
             raise UnknownJobError(f"no job {job_id!r}") from None
+
+    def all_jobs(self) -> list[Job]:
+        """Every known job in submission (insertion) order."""
+        return list(self._jobs.values())
 
     def jobs(self, *, tenant: str | None = None,
              state: str | None = None) -> list[Job]:

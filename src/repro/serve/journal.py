@@ -1,0 +1,373 @@
+"""Write-ahead job journal: the daemon's registry survives a kill -9.
+
+The in-memory :class:`~repro.serve.jobs.JobRegistry` is fast but mortal
+— before this module, a daemon crash silently dropped every queued and
+in-flight job even though the run-store artifacts underneath survived.
+The journal fixes that with the same discipline the run store already
+proved: every job state transition is **appended as one fsync'd JSON
+line** (:func:`repro.runs.durable.durable_append_line`) to
+``<runs-dir>/serve/journal.jsonl`` *before* the daemon acts on it, and
+on startup :meth:`JobJournal.replay` reconstructs the registry from the
+journal's valid prefix.
+
+Record grammar (one JSON object per line, ``schema`` stamped on every
+record so future layouts can be skipped rather than crashed on)::
+
+    {"schema": 1, "type": "submitted", "job_id": ..., "kind": ...,
+     "params": {...}, "tenant": ..., "priority": 0, "key": ...,
+     "precached": false, "deadline_s": null, "submitted_at": t}
+    {"schema": 1, "type": "running", "job_id": ..., "at": t,
+     "event_id": 2}
+    {"schema": 1, "type": "cancel_requested", "job_id": ..., "reason": ...}
+    {"schema": 1, "type": "completed", "job_id": ..., "at": t,
+     "run_id": ..., "event_id": 7}
+    {"schema": 1, "type": "failed", ...  "error": ...}
+    {"schema": 1, "type": "cancelled", ... "reason": ...}
+
+Replay semantics (the crash-recovery contract):
+
+* a job with a terminal record is restored as **history** — state,
+  timestamps, and the ``run_id`` result pointer (the report text itself
+  lives in the run store, not the journal);
+* a job without one is **requeued**: the scheduler takes it back and the
+  runner's resume matching re-attaches it to any interrupted run-store
+  manifest, so completed cells and chunks return as cache hits instead
+  of being recomputed (``recovered`` marks jobs that were mid-run);
+* the dedupe map is rebuilt for every non-terminal job, so a client that
+  resubmits the same content key after the restart attaches to the
+  *original* job id instead of starting a duplicate computation;
+* a torn final line (the kill arrived between ``write`` and ``fsync``)
+  ends the valid prefix silently — the same tolerant-tail discipline as
+  ``read_checkpoint`` and ``read_trace_tolerant``;
+* records with an unknown ``schema`` or ``type`` are counted and
+  skipped, never fatal, so an old daemon can replay a newer journal.
+
+Durability tiers: the ``submitted`` record is written *before* the
+submission is acknowledged (true write-ahead — an acked job can never be
+lost), while transition records are best-effort: losing one merely
+requeues a finished job whose artifacts are already content-addressed,
+so the recompute is a cache hit.  At-least-once, never lost.
+
+Clean shutdown **compacts** the journal: the file is atomically
+rewritten (:func:`~repro.runs.durable.durable_write_text`) with just the
+records needed to reproduce the current registry, so it does not grow
+without bound across restarts.  ``replay(compact(state))`` is an
+identity on every field replay preserves — asserted by the tests.
+
+Fault points: ``serve.journal.append`` guards every line append (torn
+journal writes are chaos-testable) and ``serve.journal.compact.pre/
+post_rename`` guard the compaction rewrite.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.runs.durable import durable_append_line, durable_write_text
+from repro.serve.jobs import (
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+)
+
+__all__ = ["JobJournal", "JournalReplay", "JOURNAL_SCHEMA"]
+
+_LOGGER = logging.getLogger(__name__)
+
+#: journal record schema; bump on incompatible layout changes
+JOURNAL_SCHEMA = 1
+
+#: record types this schema understands
+_TERMINAL_TYPES = frozenset(TERMINAL_STATES)
+_KNOWN_TYPES = _TERMINAL_TYPES | {"submitted", "running", "cancel_requested"}
+
+
+@dataclass
+class JournalReplay:
+    """What :meth:`JobJournal.replay` reconstructed, plus its accounting."""
+
+    #: reconstructed jobs in original submission order
+    jobs: list[Job] = field(default_factory=list)
+    #: parsed records in the valid prefix
+    records: int = 0
+    #: jobs restored in a terminal state (history only)
+    terminal: int = 0
+    #: jobs put back on the queue (includes ``recovered`` ones)
+    requeued: int = 0
+    #: requeued jobs that were mid-run when the daemon died
+    recovered_running: int = 0
+    #: records skipped for an unknown schema / type (forward compat)
+    skipped_unknown: int = 0
+    #: state records whose job_id had no submitted record (or bad shape)
+    invalid: int = 0
+    #: 1 when a torn final line ended the valid prefix
+    torn_tail: int = 0
+
+    def counters(self) -> dict:
+        """Flat counters for ``/v1/stats`` and the chaos verdict."""
+        return {
+            "records": self.records,
+            "jobs": len(self.jobs),
+            "terminal": self.terminal,
+            "requeued": self.requeued,
+            "recovered_running": self.recovered_running,
+            "skipped_unknown": self.skipped_unknown,
+            "invalid": self.invalid,
+            "torn_tail": self.torn_tail,
+        }
+
+
+class JobJournal:
+    """Append-only fsync'd journal of job state under one store root."""
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.path = Path(root) / "serve" / "journal.jsonl"
+        #: lines appended by this process (telemetry, not persisted)
+        self.appended = 0
+        #: compaction passes performed by this process
+        self.compactions = 0
+
+    # -- writing --------------------------------------------------------------
+    def _append(self, record: dict) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        durable_append_line(
+            self.path,
+            json.dumps(record, sort_keys=True),
+            fault_point="serve.journal.append",
+        )
+        self.appended += 1
+
+    @staticmethod
+    def _submitted_record(job: Job) -> dict:
+        return {
+            "schema": JOURNAL_SCHEMA,
+            "type": "submitted",
+            "job_id": job.job_id,
+            "kind": job.kind,
+            "params": dict(job.params),
+            "tenant": job.tenant,
+            "priority": job.priority,
+            "key": job.key,
+            "precached": job.precached,
+            "deadline_s": job.deadline_s,
+            "submitted_at": job.submitted_at,
+        }
+
+    def record_submitted(self, job: Job) -> None:
+        """Write-ahead: must land before the submission is acknowledged."""
+        self._append(self._submitted_record(job))
+
+    def record_running(self, job: Job) -> None:
+        self._append({
+            "schema": JOURNAL_SCHEMA,
+            "type": "running",
+            "job_id": job.job_id,
+            "at": job.started_at,
+            "event_id": job.channel.last_id,
+        })
+
+    def record_cancel_requested(self, job: Job, reason: str) -> None:
+        self._append({
+            "schema": JOURNAL_SCHEMA,
+            "type": "cancel_requested",
+            "job_id": job.job_id,
+            "reason": reason,
+        })
+
+    def record_terminal(self, job: Job) -> None:
+        """One terminal record carrying the job's result pointer."""
+        record = {
+            "schema": JOURNAL_SCHEMA,
+            "type": job.state,
+            "job_id": job.job_id,
+            "at": job.finished_at,
+            "event_id": job.channel.last_id,
+        }
+        if job.state not in TERMINAL_STATES:  # pragma: no cover - guard
+            raise ValueError(f"job {job.job_id} is not terminal "
+                             f"({job.state!r})")
+        if job.error is not None:
+            record["error"] = job.error
+        if job.cancel_reason is not None:
+            record["reason"] = job.cancel_reason
+        run_id = (job.result or {}).get("run_id")
+        if run_id is not None:
+            record["run_id"] = run_id
+        self._append(record)
+
+    # -- replay ---------------------------------------------------------------
+    def replay(self) -> JournalReplay:
+        """Reconstruct the registry state from the journal's valid prefix."""
+        replay = JournalReplay()
+        try:
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return replay
+        except OSError as exc:  # pragma: no cover - unreadable volume
+            _LOGGER.warning("journal %s unreadable: %s", self.path, exc)
+            return replay
+
+        jobs: dict[str, Job] = {}
+        order: list[str] = []
+        was_running: set[str] = set()
+        base_ids: dict[str, int] = {}
+        for line in text.splitlines():
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn final line is the only damage an fsync'd append
+                # log can suffer; nothing past it is trustworthy.
+                replay.torn_tail = 1
+                break
+            replay.records += 1
+            if not isinstance(record, dict):
+                replay.invalid += 1
+                continue
+            schema = record.get("schema")
+            rtype = record.get("type")
+            if (not isinstance(schema, int) or schema > JOURNAL_SCHEMA
+                    or rtype not in _KNOWN_TYPES):
+                replay.skipped_unknown += 1
+                continue
+            if rtype == "submitted":
+                job = self._job_from_submitted(record)
+                if job is None:
+                    replay.invalid += 1
+                    continue
+                if job.job_id not in jobs:
+                    order.append(job.job_id)
+                jobs[job.job_id] = job
+                continue
+            job = jobs.get(record.get("job_id"))
+            if job is None:
+                replay.invalid += 1
+                continue
+            event_id = record.get("event_id")
+            if isinstance(event_id, int):
+                base_ids[job.job_id] = max(
+                    base_ids.get(job.job_id, 0), event_id)
+            if rtype == "running":
+                job.state = RUNNING
+                job.started_at = record.get("at")
+                was_running.add(job.job_id)
+            elif rtype == "cancel_requested":
+                job.cancel_requested = True
+                job.cancel_reason = record.get("reason")
+            else:  # terminal
+                job.state = rtype
+                job.finished_at = record.get("at")
+                job.error = record.get("error")
+                job.cancel_reason = record.get("reason")
+                run_id = record.get("run_id")
+                if run_id is not None:
+                    job.result = {"run_id": run_id}
+
+        for job_id in order:
+            job = jobs[job_id]
+            # SSE ids must stay monotonic across the restart: new events
+            # continue after the highest journaled id, so a watcher's
+            # Last-Event-ID from before the crash still filters correctly.
+            job.channel.base_id = base_ids.get(job_id, 0)
+            if job.state in TERMINAL_STATES:
+                replay.terminal += 1
+            else:
+                job.state = QUEUED
+                replay.requeued += 1
+                if job_id in was_running:
+                    job.recovered = True
+                    job.started_at = None
+                    replay.recovered_running += 1
+            replay.jobs.append(job)
+        return replay
+
+    @staticmethod
+    def _job_from_submitted(record: dict) -> Job | None:
+        job_id = record.get("job_id")
+        kind = record.get("kind")
+        params = record.get("params")
+        key = record.get("key")
+        if not (isinstance(job_id, str) and isinstance(kind, str)
+                and isinstance(params, dict) and isinstance(key, str)):
+            return None
+        job = Job(
+            job_id=job_id,
+            kind=kind,
+            params=params,
+            tenant=str(record.get("tenant", "default")),
+            priority=int(record.get("priority", 0)),
+            key=key,
+            precached=bool(record.get("precached", False)),
+        )
+        deadline = record.get("deadline_s")
+        if isinstance(deadline, (int, float)) and not isinstance(
+                deadline, bool):
+            job.deadline_s = float(deadline)
+        submitted_at = record.get("submitted_at")
+        if isinstance(submitted_at, (int, float)) and not isinstance(
+                submitted_at, bool):
+            job.submitted_at = float(submitted_at)
+        return job
+
+    # -- compaction -----------------------------------------------------------
+    def compact(self, jobs: list[Job]) -> int:
+        """Atomically rewrite the journal to the minimal record set.
+
+        Emits, per job in submission order, exactly the records replay
+        needs to reconstruct its current state — so a replay of the
+        compacted journal is identical to a replay of the full one.
+        Returns the number of records written.
+        """
+        lines: list[str] = []
+        for job in jobs:
+            lines.append(json.dumps(self._submitted_record(job),
+                                    sort_keys=True))
+            if (job.state == RUNNING or job.recovered
+                    or (job.state in TERMINAL_STATES
+                        and job.started_at is not None)):
+                lines.append(json.dumps({
+                    "schema": JOURNAL_SCHEMA,
+                    "type": "running",
+                    "job_id": job.job_id,
+                    "at": job.started_at,
+                    "event_id": job.channel.last_id,
+                }, sort_keys=True))
+            if job.cancel_requested and job.state not in TERMINAL_STATES:
+                lines.append(json.dumps({
+                    "schema": JOURNAL_SCHEMA,
+                    "type": "cancel_requested",
+                    "job_id": job.job_id,
+                    "reason": job.cancel_reason,
+                }, sort_keys=True))
+            if job.state in TERMINAL_STATES:
+                record = {
+                    "schema": JOURNAL_SCHEMA,
+                    "type": job.state,
+                    "job_id": job.job_id,
+                    "at": job.finished_at,
+                    "event_id": job.channel.last_id,
+                }
+                if job.error is not None:
+                    record["error"] = job.error
+                if job.cancel_reason is not None:
+                    record["reason"] = job.cancel_reason
+                run_id = (job.result or {}).get("run_id")
+                if run_id is not None:
+                    record["run_id"] = run_id
+                lines.append(json.dumps(record, sort_keys=True))
+        if not lines and not self.path.exists():
+            return 0  # nothing to write, don't create an empty journal
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        durable_write_text(
+            self.path,
+            "".join(line + "\n" for line in lines),
+            fault_point="serve.journal.compact",
+        )
+        self.compactions += 1
+        return len(lines)

@@ -30,7 +30,29 @@ from repro.runs.fingerprint import code_fingerprint
 from repro.runs.store import RunStore
 from repro.serve.jobs import JobError, job_identity
 
-__all__ = ["build_namespace", "execute_job", "find_resumable", "job_keys"]
+__all__ = [
+    "JobCancelled",
+    "build_namespace",
+    "execute_job",
+    "find_resumable",
+    "job_keys",
+]
+
+
+class JobCancelled(BaseException):
+    """A job thread observed a cancellation request (or blown deadline).
+
+    Deliberately a :class:`BaseException` — like ``KeyboardInterrupt`` —
+    so the broad ``except Exception`` recovery paths inside the engines
+    and pool cannot swallow the abort on its way out of the command
+    body.  The partially-completed run stays resumable: every finished
+    cell/chunk is already checkpointed in the run store, so a later
+    identical submission picks the work back up as cache hits.
+    """
+
+    def __init__(self, reason: str = "cancelled") -> None:
+        super().__init__(reason)
+        self.reason = reason
 
 #: schema stamp inside the dedupe-key material (bump on layout change)
 _JOB_KEY_SCHEMA = 1
@@ -186,6 +208,7 @@ def execute_job(
     progress=None,
     progress_interval_s: float = DEFAULT_PROGRESS_INTERVAL_S,
     default_workers: int | None = None,
+    should_abort=None,
 ) -> dict:
     """Run one normalized job to completion; returns the result payload.
 
@@ -194,10 +217,25 @@ def execute_job(
     into the job's SSE channel.  Runs on a worker thread; everything it
     touches is per-call except the shared warm pool, which is exactly the
     cross-campaign reuse the daemon exists to provide.
+
+    ``should_abort`` (a ``() -> bool`` callable) is the cooperative
+    cancellation seam: it is polled at every heartbeat emission — i.e. at
+    most once per ``progress_interval_s`` — and a True answer raises
+    :class:`JobCancelled` *inside the job thread*, unwinding the command
+    body mid-campaign.  The run store's checkpoints make the abandoned
+    run resumable, so cancellation never wastes completed work.
     """
     params = dict(params)
     if params.get("workers") is None and default_workers:
         params["workers"] = default_workers
+    if should_abort is not None and progress is not None:
+        inner_progress = progress
+
+        def progress(line: str) -> None:
+            if should_abort():
+                raise JobCancelled("cancel requested")
+            inner_progress(line)
+
     args = build_namespace(
         kind, params, runs_dir=runs_dir, progress=progress,
         progress_interval_s=progress_interval_s,

@@ -71,9 +71,15 @@ class FairShareScheduler:
     def weight(self, tenant: str) -> float:
         return self._weights.get(tenant, self.default_weight)
 
-    def submit(self, job: Job) -> None:
-        """Queue a job, or raise :class:`QueueFull` at the depth bound."""
-        if self._pending >= self.max_depth:
+    def submit(self, job: Job, *, force: bool = False) -> None:
+        """Queue a job, or raise :class:`QueueFull` at the depth bound.
+
+        ``force`` bypasses the bound — used only by journal replay, which
+        must re-enqueue every job the pre-crash daemon already accepted
+        (they were admitted under the bound once; rejecting them now
+        would drop acknowledged work).
+        """
+        if self._pending >= self.max_depth and not force:
             self.rejected += 1
             raise QueueFull(
                 f"queue is full ({self._pending}/{self.max_depth} pending)")

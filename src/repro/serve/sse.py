@@ -39,12 +39,26 @@ def encode_sse(event: dict) -> bytes:
 
 
 class BroadcastChannel:
-    """History-replaying fan-out of one job's events to async readers."""
+    """History-replaying fan-out of one job's events to async readers.
 
-    def __init__(self) -> None:
+    ``base_id`` offsets every event id: journal replay sets it to the
+    highest id recorded before a daemon restart, so ids stay monotonic
+    across the restart and a reconnecting watcher's ``Last-Event-ID``
+    filter keeps working against the rebuilt channel.
+    """
+
+    def __init__(self, base_id: int = 0) -> None:
+        self.base_id = base_id
         self.events: list[dict] = []
         self._subscribers: list[asyncio.Queue] = []
         self.closed = False
+
+    @property
+    def last_id(self) -> int:
+        """The id of the newest event (or the replayed base)."""
+        if self.events:
+            return self.events[-1]["id"]
+        return self.base_id
 
     def publish(self, name: str, data: dict | None = None) -> dict:
         """Append one event and wake every live subscriber.
@@ -53,7 +67,7 @@ class BroadcastChannel:
         channel after delivery (late subscribers still replay history).
         """
         event = {
-            "id": len(self.events) + 1,
+            "id": self.last_id + 1,
             "event": name,
             "data": dict(data or {}),
             "t": time.time(),
@@ -74,12 +88,26 @@ class BroadcastChannel:
             queue.put_nowait(None)
         self._subscribers.clear()
 
-    def subscribe(self) -> asyncio.Queue:
-        """A queue pre-loaded with the full history, then fed live events."""
+    def subscribe(self, after_id: int = 0) -> asyncio.Queue:
+        """A queue pre-loaded with history after ``after_id``, then live.
+
+        ``after_id`` is a reconnecting client's ``Last-Event-ID``: events
+        it already saw are not replayed.  One deliberate exception — when
+        the filter would suppress *everything* on a closed channel, the
+        terminal event is replayed anyway, so a watcher whose pre-restart
+        ``Last-Event-ID`` outruns the rebuilt history (progress events
+        are not journaled) still observes the job's terminal state
+        instead of hanging on an empty stream.
+        """
         queue: asyncio.Queue = asyncio.Queue()
+        replayed = 0
         for event in self.events:
-            queue.put_nowait(event)
+            if event["id"] > after_id:
+                queue.put_nowait(event)
+                replayed += 1
         if self.closed:
+            if not replayed and self.events:
+                queue.put_nowait(self.events[-1])
             queue.put_nowait(None)
         else:
             self._subscribers.append(queue)

@@ -6,14 +6,19 @@ import argparse
 
 import pytest
 
-from repro.faults.chaos import DEFAULT_SPEC, run_chaos
+from repro.faults.chaos import (
+    DEFAULT_SPEC,
+    cmd_chaos,
+    run_chaos,
+    run_chaos_serve_kill,
+)
 
 
 def _args(**overrides) -> argparse.Namespace:
     base = dict(
         events=1200, runs=1, seed=2021, workers=2, engine="columnar",
         inject_faults=DEFAULT_SPEC, faults_seed=7, max_restarts=8,
-        chunk_timeout=None, keep=False,
+        chunk_timeout=None, keep=False, serve=False, kill_daemon=False,
     )
     base.update(overrides)
     return argparse.Namespace(**base)
@@ -55,6 +60,31 @@ def test_shm_arena_leak_is_reclaimed_on_resume():
     assert "shm.arena.create: 1" in report
     assert any("campaign killed" in line for line in lines)
     assert "statistics bit-identical to the clean run" in report
+
+
+def test_kill_daemon_dispatch_fails_fast_on_a_bad_spec(capsys):
+    # --kill-daemon routes to the SIGKILL leg, which validates the spec
+    # before spawning any daemon or campaign.
+    args = _args(inject_faults="point:mode=nuke", kill_daemon=True)
+    assert cmd_chaos(args) == 2
+    out = capsys.readouterr().out
+    assert "bad fault spec" in out
+    assert "scratch dir" not in out
+
+
+@pytest.mark.slow
+def test_daemon_sigkill_recovers_through_the_journal():
+    # SIGKILL with one job held mid-run (hang fault), one queued, and a
+    # deduplicated attach recorded.  The restarted daemon must replay its
+    # journal: both jobs requeued, dedupe preserved across the crash,
+    # byte-identical statistics, and no duplicate computation.
+    lines = []
+    assert run_chaos_serve_kill(_args(), out=lines.append) == 0
+    report = "\n".join(lines)
+    assert "PASS" in report
+    assert "sending SIGKILL" in report
+    assert "journal replay after restart" in report
+    assert "compacted journal" in report
 
 
 @pytest.mark.slow

@@ -1,0 +1,187 @@
+"""The write-ahead job journal: replay semantics, damage tolerance,
+forward compatibility, and compaction identity."""
+
+import json
+
+import pytest
+
+from repro import faults
+from repro.faults import FaultPlan, InjectedFault
+from repro.serve.jobs import JobRegistry
+from repro.serve.journal import JOURNAL_SCHEMA, JobJournal
+
+
+@pytest.fixture
+def journal(tmp_path):
+    return JobJournal(tmp_path)
+
+
+@pytest.fixture
+def registry():
+    return JobRegistry()
+
+
+def submit(journal, registry, seed, **create_kwargs):
+    """One journaled submission with its 'queued' SSE event published."""
+    job, attached = registry.create(
+        "campaign", {"runs": 1, "events": 100, "seed": seed},
+        tenant=create_kwargs.pop("tenant", "default"),
+        priority=create_kwargs.pop("priority", 0),
+        key=create_kwargs.pop("key", f"key-{seed}"), **create_kwargs)
+    assert not attached
+    journal.record_submitted(job)
+    job.channel.publish("queued", {"job_id": job.job_id})
+    return job
+
+
+class TestRoundTrip:
+    def test_full_lifecycle_replays_faithfully(self, journal, registry):
+        job = submit(journal, registry, 1, deadline_s=60.0, priority=3)
+        job.state = "running"
+        job.started_at = 100.0
+        journal.record_running(job)
+        job.channel.publish("progress", {"line": "w"})
+        job.state = "completed"
+        job.finished_at = 101.0
+        job.result = {"run_id": "r-1", "report": "stays in the store"}
+        journal.record_terminal(job)
+
+        replay = journal.replay()
+        assert replay.counters()["records"] == 3
+        assert replay.terminal == 1 and replay.requeued == 0
+        (restored,) = replay.jobs
+        assert restored.job_id == job.job_id
+        assert restored.kind == "campaign"
+        assert restored.params == job.params
+        assert restored.priority == 3
+        assert restored.deadline_s == 60.0
+        assert restored.state == "completed"
+        assert restored.started_at == 100.0
+        assert restored.finished_at == 101.0
+        # only the result *pointer* is journaled, never the report body
+        assert restored.result == {"run_id": "r-1"}
+        # event ids continue after the highest journaled id
+        assert restored.channel.base_id == 2
+
+    def test_interrupted_jobs_requeue_with_recovery_flags(
+            self, journal, registry):
+        queued = submit(journal, registry, 2)
+        running = submit(journal, registry, 3)
+        running.state = "running"
+        running.started_at = 100.0
+        journal.record_running(running)
+        journal.record_cancel_requested(running, "client cancel")
+
+        replay = journal.replay()
+        assert replay.requeued == 2 and replay.recovered_running == 1
+        by_id = {j.job_id: j for j in replay.jobs}
+        assert by_id[queued.job_id].state == "queued"
+        assert not by_id[queued.job_id].recovered
+        recovered = by_id[running.job_id]
+        assert recovered.state == "queued"  # back on the queue
+        assert recovered.recovered and recovered.started_at is None
+        # a pre-crash cancellation request survives the restart
+        assert recovered.cancel_requested
+        assert recovered.cancel_reason == "client cancel"
+
+    def test_missing_journal_is_an_empty_replay(self, journal):
+        replay = journal.replay()
+        assert replay.jobs == [] and replay.counters()["records"] == 0
+
+
+class TestDamageTolerance:
+    def test_torn_final_record_ends_the_valid_prefix(
+            self, journal, registry):
+        submit(journal, registry, 4)
+        intact = journal.path.read_text()
+        with open(journal.path, "a") as handle:
+            handle.write('{"schema": 1, "type": "running", "job_')
+
+        replay = journal.replay()
+        assert replay.torn_tail == 1
+        assert len(replay.jobs) == 1  # everything before the tear holds
+        assert replay.jobs[0].state == "queued"
+        # ... and the damage is stable: replay does not modify the file
+        assert journal.path.read_text().startswith(intact)
+
+    def test_future_schema_and_unknown_types_are_skipped(
+            self, journal, registry):
+        job = submit(journal, registry, 5)
+        with open(journal.path, "a") as handle:
+            handle.write(json.dumps({
+                "schema": JOURNAL_SCHEMA + 1, "type": "submitted",
+                "job_id": "job-from-the-future", "kind": "campaign",
+                "params": {}, "key": "k-future"}) + "\n")
+            handle.write(json.dumps({
+                "schema": JOURNAL_SCHEMA, "type": "paused",
+                "job_id": job.job_id}) + "\n")
+            handle.write(json.dumps({
+                "schema": JOURNAL_SCHEMA, "type": "running",
+                "job_id": "job-never-submitted"}) + "\n")
+
+        replay = journal.replay()
+        assert replay.skipped_unknown == 2
+        assert replay.invalid == 1  # state record without a submission
+        assert [j.job_id for j in replay.jobs] == [job.job_id]
+
+    def test_torn_append_faultpoint(self, journal, registry):
+        faults.install(FaultPlan.parse(
+            "serve.journal.append:mode=torn,then=raise,times=1"),
+            export_env=False)
+        try:
+            with pytest.raises(InjectedFault):
+                submit(journal, registry, 6)
+            submit(journal, registry, 7)
+        finally:
+            faults.uninstall(scrub_env=False)
+        # The torn half-line is unparseable: it ends the valid prefix,
+        # exactly like a kill between write() and fsync() would.
+        replay = journal.replay()
+        assert replay.torn_tail == 1
+        assert replay.jobs == []
+
+    def test_compact_faultpoint_keeps_the_old_journal(
+            self, journal, registry):
+        job = submit(journal, registry, 8)
+        before = journal.path.read_text()
+        faults.install(FaultPlan.parse(
+            "serve.journal.compact.pre_rename:mode=raise"),
+            export_env=False)
+        try:
+            with pytest.raises(InjectedFault):
+                journal.compact([job])
+        finally:
+            faults.uninstall(scrub_env=False)
+        assert journal.path.read_text() == before  # rename never ran
+        assert journal.replay().jobs[0].job_id == job.job_id
+
+
+class TestCompaction:
+    def test_replay_of_compacted_journal_is_identical(
+            self, journal, registry):
+        queued = submit(journal, registry, 9)
+        done = submit(journal, registry, 10)
+        done.state = "running"
+        done.started_at = 100.0
+        journal.record_running(done)
+        done.state = "failed"
+        done.error = "RuntimeError: boom"
+        done.finished_at = 101.0
+        journal.record_terminal(done)
+        # at-least-once duplicates compaction must fold away
+        journal.record_cancel_requested(queued, "never acted on")
+        journal.record_cancel_requested(queued, "never acted on")
+
+        before = journal.replay()
+        appended_records = journal.path.read_text().count("\n")
+        written = journal.compact(before.jobs)
+        assert written < appended_records  # it actually shrank
+        after = journal.replay()
+        assert [j.to_dict() for j in after.jobs] \
+            == [j.to_dict() for j in before.jobs]
+        assert after.counters()["requeued"] == before.counters()["requeued"]
+        assert after.counters()["terminal"] == before.counters()["terminal"]
+
+    def test_compacting_nothing_creates_no_file(self, journal):
+        assert journal.compact([]) == 0
+        assert not journal.path.exists()

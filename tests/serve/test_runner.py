@@ -6,6 +6,7 @@ from repro.runs.session import RunSession
 from repro.runs.store import RunStore
 from repro.serve.jobs import JobError, normalize_params
 from repro.serve.runner import (
+    JobCancelled,
     build_namespace,
     execute_job,
     find_resumable,
@@ -90,6 +91,20 @@ class TestExecuteJob:
                     progress=lines.append, progress_interval_s=0.0001)
         assert lines  # heartbeat ticked at least once at this cadence
         assert any("cells" in line for line in lines)
+
+    def test_should_abort_seam_cancels_mid_run(self, tmp_path):
+        lines = []
+        with pytest.raises(JobCancelled, match="cancel requested"):
+            execute_job("evaluate", EVAL, runs_dir=tmp_path,
+                        progress=lines.append,
+                        progress_interval_s=0.0001,
+                        should_abort=lambda: True)
+        # the abort check runs *before* the heartbeat line is forwarded
+        assert lines == []
+        # the abandoned run stays resumable: a clean re-run attaches
+        result = execute_job("evaluate", EVAL, runs_dir=tmp_path)
+        assert result["resumed_from"] is not None
+        assert "Table-1 weighted" in result["report"]
 
 
 class TestFindResumable:
